@@ -1,0 +1,65 @@
+// Shared infrastructure for the figure/table reproduction harnesses.
+//
+// Every bench binary accepts:
+//   --scale=tiny|small|medium   problem size (default small)
+//   --seed=N                    master seed (default 1)
+// plus harness-specific knobs (documented per binary).  Each binary prints
+// the rows/series of one figure or table of the paper; absolute values
+// depend on the simulated device's cost model, but the qualitative shape is
+// what the reproduction claims.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+#include "hauberk/runtime.hpp"
+#include "swifi/campaign.hpp"
+#include "workloads/workload.hpp"
+
+namespace hauberk::bench {
+
+inline workloads::Scale scale_from(const common::CliArgs& args) {
+  const std::string s = args.get("scale", "small");
+  if (s == "tiny") return workloads::Scale::Tiny;
+  if (s == "medium") return workloads::Scale::Medium;
+  return workloads::Scale::Small;
+}
+
+/// One workload prepared for experiments: variants compiled, dataset staged,
+/// profiler run, control block configured (train == test unless changed).
+struct ProgramContext {
+  std::unique_ptr<workloads::Workload> workload;
+  core::KernelVariants variants;
+  workloads::Dataset dataset;
+  std::unique_ptr<core::KernelJob> job;
+  std::unique_ptr<gpusim::Device> device;
+  core::ProfileData profile;
+  std::unique_ptr<core::ControlBlock> cb;  ///< configured for the FI&FT build
+};
+
+inline ProgramContext make_context(std::unique_ptr<workloads::Workload> w, std::uint64_t seed,
+                                   workloads::Scale scale, double alpha = 1.0,
+                                   gpusim::DeviceProps props = {}) {
+  ProgramContext ctx;
+  ctx.workload = std::move(w);
+  ctx.variants = core::build_variants(ctx.workload->build_kernel(scale));
+  ctx.dataset = ctx.workload->make_dataset(seed, scale);
+  ctx.job = ctx.workload->make_job(ctx.dataset);
+  ctx.device = std::make_unique<gpusim::Device>(props);
+  ctx.profile = core::profile(*ctx.device, ctx.variants, {ctx.job.get()});
+  ctx.cb = core::make_configured_control_block(ctx.variants.fift, ctx.profile, alpha);
+  return ctx;
+}
+
+inline void print_header(const char* what) {
+  std::printf("\n=== %s ===\n", what);
+}
+
+}  // namespace hauberk::bench

@@ -1,0 +1,70 @@
+// Fig. 2 — memory footprint by data type per benchmark class: in HPC FP
+// programs, FP data occupies orders of magnitude more memory than integer
+// and pointer data combined (the paper reports 3-6 orders; our scaled-down
+// datasets preserve the dominance, with the gap growing with --scale).
+#include "bench_common.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+
+namespace {
+
+struct Footprint {
+  double fp_mb = 0, int_mb = 0, ptr_mb = 0;
+};
+
+Footprint measure(const workloads::Workload& w, workloads::Scale scale, std::uint64_t seed) {
+  gpusim::Device dev;
+  const auto ds = w.make_dataset(seed, scale);
+  auto job = w.make_job(ds);
+  const auto prog = kir::lower(w.build_kernel(scale));
+  (void)job->setup(dev);
+  Footprint f;
+  f.fp_mb = static_cast<double>(dev.mem().allocated_bytes(gpusim::AllocClass::F32Data)) / 1e6;
+  f.int_mb = static_cast<double>(dev.mem().allocated_bytes(gpusim::AllocClass::I32Data)) / 1e6;
+  // Pointer data: pointer-typed kernel parameters and pointer-typed virtual
+  // variables (one word each per thread, counted once) — device buffers hold
+  // no pointer arrays in these programs, matching the paper's tiny ptr bars.
+  int ptr_vars = 0;
+  for (const auto& p : prog.slot_types)
+    if (p == kir::DType::PTR) ++ptr_vars;
+  f.ptr_mb = 4.0 * ptr_vars / 1e6;
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  print_header("Fig. 2: data type vs. memory size (MB)");
+  common::Table t({"Program class", "FP data", "Integer data", "Pointer data", "FP/(int+ptr)"});
+
+  auto add_class = [&](const char* name,
+                       const std::vector<std::unique_ptr<workloads::Workload>>& suite,
+                       bool fp_only) {
+    Footprint sum;
+    for (const auto& w : suite) {
+      if (fp_only && w->is_integer_program()) continue;
+      if (!fp_only && !w->is_integer_program() && suite.size() > 2) continue;
+      const auto f = measure(*w, scale, seed);
+      sum.fp_mb += f.fp_mb;
+      sum.int_mb += f.int_mb;
+      sum.ptr_mb += f.ptr_mb;
+    }
+    const double denom = sum.int_mb + sum.ptr_mb;
+    t.add_row({name, common::Table::num(sum.fp_mb, 6), common::Table::num(sum.int_mb, 6),
+               common::Table::num(sum.ptr_mb, 6),
+               denom > 0 ? common::Table::num(sum.fp_mb / denom, 1) : "inf"});
+  };
+
+  add_class("HPC FP programs", workloads::hpc_suite(), /*fp_only=*/true);
+  add_class("HPC integer programs", workloads::hpc_suite(), /*fp_only=*/false);
+  add_class("3D graphics programs", workloads::graphics_suite(), /*fp_only=*/true);
+  t.print();
+  std::printf("\nPaper: FP data dominates HPC FP programs by 3-6 orders of magnitude;\n"
+              "the gap here scales with --scale (datasets are laptop-sized).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fig. 3 — impact of transient vs. intermittent faults on a 3D graphics
+// program (ocean-flow):
+//   (a) a transient fault corrupting one value -> one corrupted pixel in
+//       one frame: not user-noticeable;
+//   (b) an intermittent fault corrupting ~10,000 values -> a prominent
+//       corruption pattern: user-noticeable SDC.
+// An ASCII rendering of the corruption mask is printed for the intermittent
+// case (the paper's "stripe" image).
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+
+namespace {
+
+struct FrameResult {
+  std::size_t corrupted_pixels = 0;
+  bool noticeable = false;
+  core::ProgramOutput frame;
+};
+
+FrameResult render_with_fault(workloads::Workload& w, const workloads::Dataset& ds,
+                              const core::ProgramOutput& golden,
+                              const gpusim::DeviceFaultModel* fm) {
+  gpusim::Device dev;
+  if (fm) dev.install_fault(*fm);
+  auto job = w.make_job(ds);
+  const auto prog = kir::lower(w.build_kernel(workloads::Scale::Small));
+  const auto args = job->setup(dev);
+  const auto res = dev.launch(prog, job->config(), args);
+  FrameResult fr;
+  if (res.status != gpusim::LaunchStatus::Ok) return fr;
+  fr.frame = job->read_output(dev);
+  const auto req = w.requirement();
+  for (std::size_t i = 0; i < fr.frame.size(); ++i) {
+    const double d = std::fabs(fr.frame.element(i) - golden.element(i));
+    if (!(d <= req.pixel_delta)) ++fr.corrupted_pixels;
+  }
+  fr.noticeable = !req.satisfied(fr.frame, golden);
+  return fr;
+}
+
+void print_corruption_map(const core::ProgramOutput& frame, const core::ProgramOutput& golden,
+                          int width, double delta) {
+  const int height = static_cast<int>(frame.size()) / width;
+  for (int y = 0; y < height; y += 2) {  // 2 rows per text line
+    std::string line;
+    for (int x = 0; x < width; ++x) {
+      bool bad = false;
+      for (int dy = 0; dy < 2 && y + dy < height; ++dy) {
+        const std::size_t i = static_cast<std::size_t>(y + dy) * width + x;
+        if (!(std::fabs(frame.element(i) - golden.element(i)) <= delta)) bad = true;
+      }
+      line += bad ? '#' : '.';
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const std::uint64_t burst = args.get_u64("burst", 10000);
+
+  auto w = workloads::make_ocean();
+  const auto ds = w->make_dataset(seed, workloads::Scale::Small);
+  gpusim::Device dev;
+  auto job = w->make_job(ds);
+  const auto prog = kir::lower(w->build_kernel(workloads::Scale::Small));
+  const auto a = job->setup(dev);
+  (void)dev.launch(prog, job->config(), a);
+  const auto gold = job->read_output(dev);
+
+  print_header("Fig. 3: fault impact on the ocean-flow graphics program");
+
+  gpusim::DeviceFaultModel transient;
+  transient.kind = gpusim::DeviceFaultModel::Kind::Transient;
+  transient.component = gpusim::DeviceFaultModel::Component::FPU;
+  transient.mask = 0x3f800000;  // exponent pattern: visible even on a zero value
+  transient.duration_ops = 1;
+  const auto t = render_with_fault(*w, ds, gold, &transient);
+  std::printf("(a) transient fault (1 corrupted value): %zu corrupted pixel(s) of %zu; "
+              "user-noticeable SDC: %s (paper: no)\n",
+              t.corrupted_pixels, gold.size(), t.noticeable ? "YES" : "no");
+
+  gpusim::DeviceFaultModel intermittent = transient;
+  intermittent.kind = gpusim::DeviceFaultModel::Kind::Intermittent;
+  intermittent.duration_ops = burst;  // ~80us on a 250MHz FPU in the paper
+  const auto i = render_with_fault(*w, ds, gold, &intermittent);
+  std::printf("(b) intermittent fault (%llu corrupted values): %zu corrupted pixel(s); "
+              "user-noticeable SDC: %s (paper: yes, stripe pattern)\n",
+              static_cast<unsigned long long>(burst), i.corrupted_pixels,
+              i.noticeable ? "YES" : "no");
+
+  std::printf("\ncorruption map of the intermittent-fault frame ('#' = corrupted):\n");
+  print_corruption_map(i.frame, gold, static_cast<int>(std::lround(std::sqrt(gold.size()))),
+                       w->requirement().pixel_delta);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 4 — percentage of GPU kernel execution time spent in loops
+// (Observation 4: >98% in 5 of 7 programs, ~87% on average; RPES is the
+// sequential-heavy exception).
+#include "bench_common.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  print_header("Fig. 4: percent of GPU kernel execution time spent on loops");
+  common::Table t({"Benchmark", "Loop cycles %", "Total cycles"});
+
+  double sum = 0;
+  int ge98 = 0, n = 0;
+  for (auto& w : workloads::hpc_suite()) {
+    gpusim::Device dev;
+    const auto prog = kir::lower(w->build_kernel(scale));
+    const auto ds = w->make_dataset(seed, scale);
+    auto job = w->make_job(ds);
+    const auto a = job->setup(dev);
+    const auto res = dev.launch(prog, job->config(), a);
+    if (res.status != gpusim::LaunchStatus::Ok) {
+      std::fprintf(stderr, "fig04: %s failed\n", w->name().c_str());
+      continue;
+    }
+    const double pct = 100.0 * static_cast<double>(res.loop_cycles) /
+                       static_cast<double>(res.cycles);
+    t.add_row({w->name(), common::Table::num(pct, 1), std::to_string(res.cycles)});
+    sum += pct;
+    ge98 += pct >= 98.0;
+    ++n;
+  }
+  t.add_row({"AVG", common::Table::num(sum / n, 1), ""});
+  t.print();
+  std::printf("\nObservation 4 (paper: >98%% in 5/7 programs, ~87%% average):\n"
+              "  measured: %d/%d programs >= 98%%, average %.1f%%\n",
+              ge98, n, sum / n);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig. 10 — value-range distributions of integer and FP variables in MRI-Q:
+// values computed for the same variable cluster in a few powers of ten, and
+// FP variables typically show three correlation points (negative / ~zero /
+// positive).  We capture every virtual-variable definition through the FI
+// hooks (recording instead of injecting) and print decade histograms.
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+
+namespace {
+
+/// Hooks that record variable values at FI sites instead of corrupting them.
+class RecordingHooks final : public gpusim::LaunchHooks {
+ public:
+  explicit RecordingHooks(const kir::BytecodeProgram& prog) : prog_(&prog) {
+    hists_.reserve(prog.fi_sites.size());
+    for (std::size_t i = 0; i < prog.fi_sites.size(); ++i)
+      hists_.emplace_back(-21, 21, 1e-21);
+  }
+
+  bool fi_hook(std::uint32_t site_index, std::uint32_t, std::uint32_t& bits) override {
+    const auto& site = prog_->fi_sites[site_index];
+    const kir::Value v{site.type, bits};
+    std::lock_guard<std::mutex> lk(mu_);
+    hists_[site_index].add(v.as_double());
+    return false;
+  }
+
+  const kir::BytecodeProgram* prog_;
+  std::vector<common::DecadeHistogram> hists_;
+  std::mutex mu_;
+};
+
+void print_variable(const kir::FISite& site, const common::DecadeHistogram& h) {
+  std::printf("  %-10s (%s, %llu samples): peak decade mass %.0f%%  ", site.var_name.c_str(),
+              kir::dtype_name(site.type), static_cast<unsigned long long>(h.total()),
+              100.0 * h.peak_probability());
+  // Print the populated buckets as "label:probability".
+  int printed = 0;
+  for (std::size_t b = 0; b < h.num_buckets() && printed < 6; ++b) {
+    if (h.probability(b) < 0.02) continue;
+    std::printf("%s:%.2f  ", h.bucket_label(b).c_str(), h.probability(b));
+    ++printed;
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  auto w = workloads::make_mri_q();
+  auto v = core::build_variants(w->build_kernel(scale));
+  const auto ds = w->make_dataset(seed, scale);
+  auto job = w->make_job(ds);
+  gpusim::Device dev;
+
+  RecordingHooks rec(v.fi);
+  const auto a = job->setup(dev);
+  gpusim::LaunchOptions opts;
+  opts.hooks = &rec;
+  const auto res = dev.launch(v.fi, job->config(), a, opts);
+  if (res.status != gpusim::LaunchStatus::Ok) {
+    std::fprintf(stderr, "fig10: MRI-Q run failed\n");
+    return 1;
+  }
+
+  print_header("Fig. 10(a): value ranges of integer variables in MRI-Q");
+  int int_peaked = 0, int_total = 0;
+  for (std::size_t i = 0; i < v.fi.fi_sites.size(); ++i) {
+    const auto& site = v.fi.fi_sites[i];
+    if (site.type != kir::DType::I32 || rec.hists_[i].total() == 0) continue;
+    print_variable(site, rec.hists_[i]);
+    ++int_total;
+    int_peaked += rec.hists_[i].peak_probability() > 0.5;
+  }
+
+  print_header("Fig. 10(b): value ranges of FP variables in MRI-Q");
+  int fp_three_points = 0, fp_total = 0, fp_peaked = 0;
+  for (std::size_t i = 0; i < v.fi.fi_sites.size(); ++i) {
+    const auto& site = v.fi.fi_sites[i];
+    if (site.type != kir::DType::F32 || rec.hists_[i].total() == 0) continue;
+    print_variable(site, rec.hists_[i]);
+    ++fp_total;
+    fp_peaked += rec.hists_[i].peak_probability() > 0.5;
+    // Three correlation points: mass on both signs plus a near-zero band.
+    const auto& h = rec.hists_[i];
+    double neg = 0, zero = 0, pos = 0;
+    const std::size_t zi = h.bucket_index(0.0);
+    for (std::size_t b = 0; b < h.num_buckets(); ++b) {
+      const double p = h.probability(b);
+      if (b < zi) neg += p;
+      else if (b == zi) zero += p;
+      else pos += p;
+    }
+    // Count the near-zero decades (|v| < 1e-3) as part of the zero point.
+    fp_three_points += (neg > 0.05 && pos > 0.05);
+  }
+
+  std::printf("\nPaper's finding: most variables put >50%% of their values in one power of\n"
+              "ten, and FP variables cluster around up to three correlation points.\n"
+              "Measured: %d/%d int and %d/%d FP variables have a >50%% decade peak;\n"
+              "%d/%d FP variables have both negative and positive correlation points.\n",
+              int_peaked, int_total, fp_peaked, fp_total, fp_three_points, fp_total);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Fig. 13 — performance overhead of error detection techniques, normalized
+// to the baseline kernel time, for the seven HPC programs:
+//   R-Naive     full temporal duplication (paper: ~100%)
+//   R-Scatter   optimized in-kernel duplication (paper: ~89%; TPACF N/A)
+//   Hauberk-NL  non-loop detectors only
+//   Hauberk-L   loop detectors only
+//   Hauberk     both (paper: 15.3% avg; 8.9% excluding RPES)
+#include "bench_common.hpp"
+#include "swifi/baselines.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double r_naive = 0, r_scatter = 0, nl = 0, l = 0, full = 0;
+  bool scatter_ok = true;
+};
+
+double overhead_pct(std::uint64_t cycles, std::uint64_t base) {
+  return 100.0 * (static_cast<double>(cycles) - static_cast<double>(base)) /
+         static_cast<double>(base);
+}
+
+std::uint64_t run_cycles(gpusim::Device& dev, const kir::BytecodeProgram& prog,
+                         core::KernelJob& job, bool charge_cb) {
+  const auto args = job.setup(dev);
+  gpusim::LaunchOptions opts;
+  opts.charge_control_block = charge_cb;
+  const auto res = dev.launch(prog, job.config(), args, opts);
+  if (res.status != gpusim::LaunchStatus::Ok) {
+    std::fprintf(stderr, "fig13: %s failed: %s\n", prog.name.c_str(),
+                 gpusim::launch_status_name(res.status));
+    return 0;
+  }
+  return res.cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const int maxvar = static_cast<int>(args.get_int("maxvar", 1));
+
+  print_header("Fig. 13: performance overhead of GPU kernels, normalized to baseline (%)");
+
+  std::vector<Row> rows;
+  for (auto& w : workloads::hpc_suite()) {
+    Row row;
+    row.name = w->name();
+    const auto src = w->build_kernel(scale);
+    const auto ds = w->make_dataset(seed, scale);
+    auto job = w->make_job(ds);
+    gpusim::Device dev;
+
+    const auto baseline = kir::lower(src);
+    const std::uint64_t base = run_cycles(dev, baseline, *job, false);
+
+    // R-Naive: two full executions + CPU-side compare.
+    const auto rn = swifi::run_r_naive(dev, baseline, *job);
+    row.r_naive = overhead_pct(rn.total_cycles, base);
+
+    // R-Scatter: in-kernel duplication; may fail to compile.
+    const auto sk = swifi::make_r_scatter(src, dev.props());
+    if (sk.compiles) {
+      row.r_scatter = overhead_pct(run_cycles(dev, kir::lower(sk.kernel), *job, false), base);
+    } else {
+      row.scatter_ok = false;
+    }
+
+    // Hauberk variants (each charges the control-block delivery).
+    core::TranslateOptions opt;
+    opt.maxvar = maxvar;
+    opt.mode = core::LibMode::FT;
+
+    opt.protect_loop = false;
+    opt.protect_nonloop = true;
+    row.nl = overhead_pct(
+        run_cycles(dev, kir::lower(core::translate(src, opt)), *job, true), base);
+
+    opt.protect_loop = true;
+    opt.protect_nonloop = false;
+    row.l = overhead_pct(
+        run_cycles(dev, kir::lower(core::translate(src, opt)), *job, true), base);
+
+    opt.protect_nonloop = true;
+    row.full = overhead_pct(
+        run_cycles(dev, kir::lower(core::translate(src, opt)), *job, true), base);
+
+    rows.push_back(row);
+  }
+
+  common::Table t({"Program", "R-Naive", "R-Scatter", "Hauberk-NL", "Hauberk-L", "Hauberk"});
+  double s_rn = 0, s_rs = 0, s_nl = 0, s_l = 0, s_f = 0, s_f_no_rpes = 0;
+  int n_rs = 0, n_no_rpes = 0;
+  for (const auto& r : rows) {
+    t.add_row({r.name, common::Table::num(r.r_naive, 1),
+               r.scatter_ok ? common::Table::num(r.r_scatter, 1) : "N/A (shared mem)",
+               common::Table::num(r.nl, 1), common::Table::num(r.l, 1),
+               common::Table::num(r.full, 1)});
+    s_rn += r.r_naive;
+    if (r.scatter_ok) {
+      s_rs += r.r_scatter;
+      ++n_rs;
+    }
+    s_nl += r.nl;
+    s_l += r.l;
+    s_f += r.full;
+    if (r.name != "RPES") {
+      s_f_no_rpes += r.full;
+      ++n_no_rpes;
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+  t.add_row({"AVG", common::Table::num(s_rn / n, 1), common::Table::num(s_rs / n_rs, 1),
+             common::Table::num(s_nl / n, 1), common::Table::num(s_l / n, 1),
+             common::Table::num(s_f / n, 1)});
+  t.print();
+  std::printf("\nHauberk average overhead: %.1f%% (paper: 15.3%%)\n", s_f / n);
+  std::printf("Hauberk average excluding RPES: %.1f%% (paper: 8.9%%)\n",
+              s_f_no_rpes / n_no_rpes);
+  std::printf("R-Naive average: %.1f%% (paper: ~100%%); R-Scatter average: %.1f%% (paper: ~89%%)\n",
+              s_rn / n, s_rs / n_rs);
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Fig. 16 — false-positive ratio of the Hauberk loop detectors vs. the
+// number of training input sets, with alpha recalibration:
+//   left plot:  CP, MRI-FHD, PNS, TPACF at alpha = 1;
+//   right plot: MRI-FHD at alpha in {1, 2, 10, 100};
+// plus the Section IX.C companion analysis: MRI-FHD detection coverage for
+// alpha in {1, 1000, 10000, 100000}.
+//
+// Protocol (Section IX.C): 52 datasets per program; 50 randomly chosen for
+// training, 2 held out for testing; repeated --repeats times (default 10).
+// A false positive is a fault-free test run that raises an SDC alarm.
+//
+// Knobs: --repeats, --datasets (default 52).
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+
+namespace {
+
+constexpr int kTrainCounts[] = {1, 3, 5, 7, 10, 18, 30, 50};
+
+struct ProgramData {
+  std::unique_ptr<workloads::Workload> w;
+  core::KernelVariants variants;
+  std::vector<workloads::Dataset> datasets;
+  /// Per-dataset profiler samples, indexed [dataset][detector].
+  std::vector<std::vector<std::vector<double>>> samples;
+};
+
+ProgramData prepare(std::unique_ptr<workloads::Workload> w, int n_datasets,
+                    workloads::Scale scale) {
+  ProgramData pd;
+  pd.w = std::move(w);
+  pd.variants = core::build_variants(pd.w->build_kernel(scale));
+  gpusim::Device dev;
+  for (int d = 0; d < n_datasets; ++d) {
+    pd.datasets.push_back(pd.w->make_dataset(100 + static_cast<std::uint64_t>(d), scale));
+    auto job = pd.w->make_job(pd.datasets.back());
+    const auto prof = core::profile(dev, pd.variants, {job.get()});
+    pd.samples.push_back(prof.samples);
+  }
+  return pd;
+}
+
+/// Train on the given dataset indices, then report whether each test run
+/// raises a (false) alarm.
+double false_positive_ratio(ProgramData& pd, const std::vector<int>& order, int train_n,
+                            double alpha, int tests, gpusim::Device& dev) {
+  // Union of samples over the first train_n datasets.
+  std::vector<std::vector<double>> merged(pd.variants.ft.detectors.size());
+  for (int i = 0; i < train_n; ++i) {
+    const auto& s = pd.samples[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    for (std::size_t det = 0; det < s.size() && det < merged.size(); ++det)
+      merged[det].insert(merged[det].end(), s[det].begin(), s[det].end());
+  }
+  core::ControlBlock cb(pd.variants.ft);
+  cb.configure_from_profile(merged);
+  cb.set_alpha(alpha);
+
+  int alarms = 0;
+  for (int t = 0; t < tests; ++t) {
+    const auto& ds = pd.datasets[static_cast<std::size_t>(
+        order[order.size() - 1 - static_cast<std::size_t>(t)])];
+    auto job = pd.w->make_job(ds);
+    const auto args = job->setup(dev);
+    cb.reset_results();
+    gpusim::LaunchOptions opts;
+    opts.hooks = &cb;
+    const auto res = dev.launch(pd.variants.ft, job->config(), args, opts);
+    if (res.status != gpusim::LaunchStatus::Ok) continue;
+    alarms += (res.sdc_alarm || cb.sdc_detected()) ? 1 : 0;
+  }
+  return static_cast<double>(alarms) / tests;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const int repeats = static_cast<int>(args.get_int("repeats", 10));
+  const int n_datasets = static_cast<int>(args.get_int("datasets", 52));
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  print_header("Fig. 16 (left): false positive ratio vs. number of training sets (alpha=1)");
+
+  std::vector<ProgramData> programs;
+  programs.push_back(prepare(workloads::make_cp(), n_datasets, scale));
+  programs.push_back(prepare(workloads::make_mri_fhd(), n_datasets, scale));
+  programs.push_back(prepare(workloads::make_pns(), n_datasets, scale));
+  programs.push_back(prepare(workloads::make_tpacf(), n_datasets, scale));
+
+  auto sweep = [&](ProgramData& pd, double alpha) {
+    std::map<int, double> fp;  // train count -> average FP ratio
+    gpusim::Device dev;
+    for (int r = 0; r < repeats; ++r) {
+      std::vector<int> order(pd.datasets.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+      common::Rng rng = common::Rng::fork(seed, static_cast<std::uint64_t>(r) * 977 + 5);
+      std::shuffle(order.begin(), order.end(), rng);
+      for (int n : kTrainCounts)
+        fp[n] += false_positive_ratio(pd, order, n, alpha, /*tests=*/2, dev);
+    }
+    for (auto& [n, v] : fp) v = 100.0 * v / repeats;
+    return fp;
+  };
+
+  {
+    common::Table t({"Training sets", "CP", "MRI-FHD", "PNS", "TPACF"});
+    std::vector<std::map<int, double>> fps;
+    for (auto& pd : programs) fps.push_back(sweep(pd, 1.0));
+    for (int n : kTrainCounts) {
+      t.add_row({std::to_string(n), common::Table::pct_cell(fps[0][n]),
+                 common::Table::pct_cell(fps[1][n]), common::Table::pct_cell(fps[2][n]),
+                 common::Table::pct_cell(fps[3][n])});
+    }
+    t.print();
+    std::printf("\nPaper: PNS converges near zero within ~7 sets (fixed simulation model);\n"
+                "MRI-FHD stays high even at 50 sets (vector-product outputs).\n"
+                "Measured at 50 sets: CP %.0f%%, MRI-FHD %.0f%%, PNS %.0f%%, TPACF %.0f%%\n",
+                fps[0][50], fps[1][50], fps[2][50], fps[3][50]);
+  }
+
+  print_header("Fig. 16 (right): MRI-FHD false positive ratio vs. alpha");
+  {
+    common::Table t({"Training sets", "alpha=1", "alpha=2", "alpha=10", "alpha=100"});
+    std::map<double, std::map<int, double>> by_alpha;
+    for (double alpha : {1.0, 2.0, 10.0, 100.0}) by_alpha[alpha] = sweep(programs[1], alpha);
+    for (int n : kTrainCounts) {
+      t.add_row({std::to_string(n), common::Table::pct_cell(by_alpha[1.0][n]),
+                 common::Table::pct_cell(by_alpha[2.0][n]),
+                 common::Table::pct_cell(by_alpha[10.0][n]),
+                 common::Table::pct_cell(by_alpha[100.0][n])});
+    }
+    t.print();
+    std::printf("\nPaper: with alpha=100 the MRI-FHD false positive ratio drops to ~0 after\n"
+                "~7 training sets.  Measured at 7 sets: alpha=1 %.0f%%, alpha=100 %.0f%%\n",
+                by_alpha[1.0][7], by_alpha[100.0][7]);
+  }
+
+  print_header("Section IX.C: MRI-FHD detection coverage vs. alpha (train == test)");
+  {
+    auto& pd = programs[1];
+    common::Table t({"alpha", "Coverage", "Undetected"});
+    gpusim::Device dev;
+    auto job = pd.w->make_job(pd.datasets[0]);
+    auto prof = core::profile(dev, pd.variants, {job.get()});
+    for (double alpha : {1.0, 1000.0, 10000.0, 100000.0}) {
+      auto cb = core::make_configured_control_block(pd.variants.fift, prof, alpha);
+      swifi::PlanOptions opt;
+      opt.max_vars = 20;
+      opt.masks_per_var = 10;
+      opt.error_bits = 1;
+      opt.seed = seed + 3;
+      const auto specs = swifi::plan_faults(pd.variants.fift, prof, opt);
+      const auto res = swifi::run_campaign(dev, pd.variants.fift, *job, cb.get(), specs,
+                                           pd.w->requirement());
+      t.add_row({common::Table::num(alpha, 0),
+                 common::Table::pct_cell(100.0 * res.counts.coverage()),
+                 common::Table::pct_cell(100.0 * res.counts.ratio(res.counts.undetected))});
+    }
+    t.print();
+    std::printf("\nPaper: coverage 95%% at alpha<=1000, dropping ~12%% at alpha=10000\n"
+                "(faults usually change values by >1e6, see Fig. 15).\n");
+  }
+  return 0;
+}

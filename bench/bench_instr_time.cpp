@@ -1,0 +1,62 @@
+// Section IX.D — Hauberk instrumentation time.  The paper reports 0.7 s
+// average for the translator passes proper (81 s end-to-end including C
+// preprocessing on 2009 hardware).  This google-benchmark binary times the
+// translate() pass (all four library modes) for every benchmark kernel.
+#include <benchmark/benchmark.h>
+
+#include "hauberk/translator.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using namespace hauberk::workloads;
+
+namespace {
+
+std::unique_ptr<Workload> workload_at(int index) {
+  auto suite = hpc_suite();
+  return std::move(suite[static_cast<std::size_t>(index)]);
+}
+
+void BM_TranslateFT(benchmark::State& state) {
+  auto w = workload_at(static_cast<int>(state.range(0)));
+  const auto k = w->build_kernel(Scale::Small);
+  core::TranslateOptions opt;
+  opt.mode = core::LibMode::FT;
+  for (auto _ : state) {
+    auto out = core::translate(k, opt);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(w->name());
+}
+
+void BM_TranslateFIFT(benchmark::State& state) {
+  auto w = workload_at(static_cast<int>(state.range(0)));
+  const auto k = w->build_kernel(Scale::Small);
+  core::TranslateOptions opt;
+  opt.mode = core::LibMode::FIFT;
+  for (auto _ : state) {
+    auto out = core::translate(k, opt);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(w->name());
+}
+
+void BM_LowerInstrumented(benchmark::State& state) {
+  auto w = workload_at(static_cast<int>(state.range(0)));
+  core::TranslateOptions opt;
+  opt.mode = core::LibMode::FIFT;
+  const auto k = core::translate(w->build_kernel(Scale::Small), opt);
+  for (auto _ : state) {
+    auto p = kir::lower(k);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetLabel(w->name());
+}
+
+}  // namespace
+
+BENCHMARK(BM_TranslateFT)->DenseRange(0, 6);
+BENCHMARK(BM_TranslateFIFT)->DenseRange(0, 6);
+BENCHMARK(BM_LowerInstrumented)->DenseRange(0, 6);
+
+BENCHMARK_MAIN();

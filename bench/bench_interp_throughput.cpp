@@ -1,0 +1,61 @@
+// Substrate micro-benchmark: simulated-GPU interpreter throughput per
+// workload (instructions per second), plus the relative cost of running
+// with Hauberk FT instrumentation and with profiler hooks attached.  Not a
+// paper figure — used to size fault-injection campaigns.
+#include <benchmark/benchmark.h>
+
+#include "hauberk/runtime.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using namespace hauberk::workloads;
+
+namespace {
+
+struct Fx {
+  std::unique_ptr<Workload> w;
+  core::KernelVariants v;
+  Dataset ds;
+  std::unique_ptr<core::KernelJob> job;
+  gpusim::Device dev;
+
+  explicit Fx(int index) {
+    auto suite = hpc_suite();
+    w = std::move(suite[static_cast<std::size_t>(index)]);
+    v = core::build_variants(w->build_kernel(Scale::Small));
+    ds = w->make_dataset(1, Scale::Small);
+    job = w->make_job(ds);
+  }
+};
+
+void BM_Baseline(benchmark::State& state) {
+  Fx f(static_cast<int>(state.range(0)));
+  std::uint64_t instr = 0;
+  for (auto _ : state) {
+    const auto args = f.job->setup(f.dev);
+    const auto res = f.dev.launch(f.v.baseline, f.job->config(), args);
+    instr += res.instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instr));
+  state.SetLabel(f.w->name());
+}
+
+void BM_FtInstrumented(benchmark::State& state) {
+  Fx f(static_cast<int>(state.range(0)));
+  core::ControlBlock cb(f.v.ft);
+  for (auto _ : state) {
+    const auto args = f.job->setup(f.dev);
+    gpusim::LaunchOptions opts;
+    opts.hooks = &cb;
+    const auto res = f.dev.launch(f.v.ft, f.job->config(), args, opts);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetLabel(f.w->name());
+}
+
+}  // namespace
+
+BENCHMARK(BM_Baseline)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FtInstrumented)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

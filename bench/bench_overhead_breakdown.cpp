@@ -1,0 +1,101 @@
+// Overhead decomposition: where do Hauberk's extra cycles go?  Using the
+// interpreter's per-instruction execution counts, the FT build's cycles are
+// attributed to
+//   program        the original kernel computation,
+//   dup-recompute  the duplicated non-loop computations (Fig. 8(c) step ii),
+//   runtime-checks the detector library calls (checksum XOR/validate,
+//                  dup compare, range check, iteration check),
+//   detector-aux   loop-detector bookkeeping (accumulator/counter adds,
+//                  post-loop guards),
+// giving the per-program anatomy behind Fig. 13's Hauberk bars.
+#include "bench_common.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+using kir::OpCode;
+
+namespace {
+
+struct Breakdown {
+  std::uint64_t program = 0, dup = 0, checks = 0, aux = 0;
+  [[nodiscard]] std::uint64_t total() const { return program + dup + checks + aux; }
+};
+
+bool is_check_op(OpCode op) {
+  switch (op) {
+    case OpCode::ChkXor:
+    case OpCode::ChkValidate:
+    case OpCode::DupCmp:
+    case OpCode::RangeCheck:
+    case OpCode::EqualCheck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  print_header("Hauberk overhead anatomy: FT-build cycles by category (%)");
+  common::Table t({"Program", "Original", "Dup recompute", "Runtime checks", "Detector aux",
+                   "Overhead vs baseline"});
+
+  for (auto& w : workloads::hpc_suite()) {
+    gpusim::Device dev;
+    const auto src = w->build_kernel(scale);
+    const auto ds = w->make_dataset(seed, scale);
+    auto job = w->make_job(ds);
+
+    const auto baseline = kir::lower(src);
+    auto bargs = job->setup(dev);
+    const auto base = dev.launch(baseline, job->config(), bargs);
+
+    core::TranslateOptions opt;
+    opt.mode = core::LibMode::FT;
+    const auto prog = kir::lower(core::translate(src, opt));
+    core::ControlBlock cb(prog);
+
+    std::vector<std::uint64_t> counts;
+    auto fargs = job->setup(dev);
+    gpusim::LaunchOptions opts;
+    opts.hooks = &cb;
+    opts.instr_exec_counts = &counts;
+    const auto res = dev.launch(prog, job->config(), fargs, opts);
+    if (res.status != gpusim::LaunchStatus::Ok) {
+      std::fprintf(stderr, "breakdown: %s failed\n", w->name().c_str());
+      continue;
+    }
+
+    // Attribute executed instructions to categories via opcode and the
+    // translator's instruction flags.
+    Breakdown bd;
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+      const auto& in = prog.code[i];
+      if (is_check_op(in.op)) bd.checks += counts[i];
+      else if (in.flags & kir::kInstrHauberkDup) bd.dup += counts[i];
+      else if (in.flags & kir::kInstrDetectorAux) bd.aux += counts[i];
+      else if (in.op != OpCode::FIHook && in.op != OpCode::CountExec &&
+               in.op != OpCode::ProfileVal)
+        bd.program += counts[i];
+    }
+
+    const double total = static_cast<double>(bd.total());
+    const double overhead =
+        100.0 * (static_cast<double>(res.cycles) - static_cast<double>(base.cycles)) /
+        static_cast<double>(base.cycles);
+    t.add_row({w->name(), common::Table::pct_cell(100.0 * bd.program / total),
+               common::Table::pct_cell(100.0 * bd.dup / total),
+               common::Table::pct_cell(100.0 * bd.checks / total),
+               common::Table::pct_cell(100.0 * bd.aux / total),
+               common::Table::pct_cell(overhead)});
+  }
+  t.print();
+  std::printf("\n(category shares are fractions of executed instructions in the FT build;\n"
+              "the overhead column is the measured cycle overhead of Fig. 13)\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "common/bitops.hpp"
+
+#include <cmath>
+
+namespace hauberk::common {
+
+std::uint32_t random_mask(Rng& rng, int bits) {
+  if (bits <= 0) return 0;
+  if (bits >= 32) return 0xffffffffu;
+  // Floyd's algorithm for sampling `bits` distinct positions out of 32.
+  std::uint32_t mask = 0;
+  for (int j = 32 - bits; j < 32; ++j) {
+    const int t = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    const std::uint32_t bit = 1u << t;
+    mask |= (mask & bit) ? (1u << j) : bit;
+  }
+  return mask;
+}
+
+int magnitude_decade(double x, int lo, int hi) noexcept {
+  const double a = std::fabs(x);
+  if (a == 0.0 || !std::isfinite(a)) {
+    // Zero maps to the lowest decade; infinities/NaNs to the highest (they
+    // represent "enormous corruption" in the Fig. 15 classification).
+    return (a == 0.0) ? lo : hi;
+  }
+  const int d = static_cast<int>(std::floor(std::log10(a)));
+  if (d < lo) return lo;
+  if (d > hi) return hi;
+  return d;
+}
+
+}  // namespace hauberk::common

@@ -1,0 +1,39 @@
+// Bit-level utilities used by the SWIFI fault injector and the Fig. 15
+// bit-flip magnitude study: generating error masks with a prescribed number
+// of set bits ("number of error bits" in the paper), and flipping bits of
+// 32-bit architecture state regardless of its interpretation (F32/I32/PTR).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace hauberk::common {
+
+/// Generate a random 32-bit mask with exactly `bits` set bits (1 <= bits <= 32).
+/// This emulates a single- or multi-bit error pattern in one word of
+/// architecture state, as in Section VII(ii) / Fig. 14 of the paper.
+std::uint32_t random_mask(Rng& rng, int bits);
+
+/// Apply an error mask to a raw 32-bit word (the SWIFI primitive: the paper's
+/// FI library XORs the mask into the target state via the ALU).
+constexpr std::uint32_t apply_mask(std::uint32_t word, std::uint32_t mask) noexcept {
+  return word ^ mask;
+}
+
+/// Reinterpret helpers between float and its bit pattern.
+constexpr std::uint32_t f32_bits(float v) noexcept { return std::bit_cast<std::uint32_t>(v); }
+constexpr float bits_f32(std::uint32_t b) noexcept { return std::bit_cast<float>(b); }
+
+/// Flip `bits` random bits of a float value (Fig. 15 study).
+inline float flip_float_bits(Rng& rng, float v, int bits) {
+  return bits_f32(apply_mask(f32_bits(v), random_mask(rng, bits)));
+}
+
+/// Order-of-magnitude bucket index of |x| for power-of-ten histograms:
+/// returns floor(log10(|x|)) clamped to [lo, hi]; `zero_bucket` semantics are
+/// handled by callers (|x| == 0 maps to lo).
+int magnitude_decade(double x, int lo, int hi) noexcept;
+
+}  // namespace hauberk::common

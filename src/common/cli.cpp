@@ -1,0 +1,45 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace hauberk::common {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a(argv[i]);
+    if (!a.starts_with("--")) continue;
+    a.remove_prefix(2);
+    const auto eq = a.find('=');
+    if (eq != std::string_view::npos) {
+      kv_[std::string(a.substr(0, eq))] = std::string(a.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      kv_[std::string(a)] = argv[i + 1];
+      ++i;
+    } else {
+      kv_[std::string(a)] = "1";
+    }
+  }
+}
+
+std::string CliArgs::get(const std::string& name, const std::string& def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace hauberk::common

@@ -1,0 +1,25 @@
+// Minimal command-line flag parsing for the benchmark harnesses and example
+// programs: `--name=value` / `--name value` / bare `--flag` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hauberk::common {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const { return kv_.count(name) != 0; }
+  [[nodiscard]] std::string get(const std::string& name, const std::string& def = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name, std::uint64_t def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace hauberk::common

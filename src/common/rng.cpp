@@ -1,0 +1,14 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace hauberk::common {
+
+double Rng::normal() noexcept {
+  // Box-Muller transform.  Draw u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - next_double();
+  double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace hauberk::common

@@ -1,0 +1,21 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+namespace hauberk::common {
+
+std::string DecadeHistogram::bucket_label(std::size_t i) const {
+  const int span = hi_ - lo_ + 1;
+  char buf[32];
+  if (i == static_cast<std::size_t>(span)) return "0";
+  if (i < static_cast<std::size_t>(span)) {
+    const int d = hi_ - static_cast<int>(i);
+    std::snprintf(buf, sizeof(buf), "-1.0E%+03d", d);
+  } else {
+    const int d = lo_ + static_cast<int>(i) - span - 1;
+    std::snprintf(buf, sizeof(buf), "1.0E%+03d", d);
+  }
+  return buf;
+}
+
+}  // namespace hauberk::common

@@ -1,0 +1,107 @@
+// Small statistics helpers: running mean/stddev, min/max, and the
+// power-of-ten ("decade") histogram used to reproduce the value-range
+// distributions of Fig. 10 and the corruption-magnitude breakdown of Fig. 15.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hauberk::common {
+
+/// Welford running statistics accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over signed powers of ten, mirroring the x-axes of Fig. 10:
+/// buckets ... -1e2, -1e1, -1e0, (zero band), 1e0, 1e1, 1e2 ... where a value
+/// v falls in the decade bucket of sign(v) * 10^floor(log10(|v|)).  Values
+/// with |v| < zero_eps fall into the central zero bucket.
+class DecadeHistogram {
+ public:
+  /// Decades run from 10^lo_decade to 10^hi_decade on each side of zero.
+  DecadeHistogram(int lo_decade, int hi_decade, double zero_eps = 0.0)
+      : lo_(lo_decade), hi_(hi_decade), zero_eps_(zero_eps),
+        counts_(static_cast<std::size_t>(2 * (hi_decade - lo_decade + 1) + 1), 0) {}
+
+  void add(double v) noexcept {
+    ++total_;
+    ++counts_[bucket_index(v)];
+  }
+
+  /// Index layout: [neg hi .. neg lo][zero][pos lo .. pos hi].
+  [[nodiscard]] std::size_t bucket_index(double v) const noexcept {
+    const int span = hi_ - lo_ + 1;
+    const double a = std::fabs(v);
+    if (a <= zero_eps_ || a == 0.0) return static_cast<std::size_t>(span);  // zero bucket
+    int d;
+    if (!std::isfinite(a)) {
+      d = hi_;
+    } else {
+      d = static_cast<int>(std::floor(std::log10(a)));
+      d = std::clamp(d, lo_, hi_);
+    }
+    if (v < 0.0) return static_cast<std::size_t>(hi_ - d);           // negatives, descending
+    return static_cast<std::size_t>(span + 1 + (d - lo_));           // positives, ascending
+  }
+
+  [[nodiscard]] std::size_t num_buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double probability(std::size_t i) const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+
+  /// Human-readable bucket label, e.g. "-1.0E+03", "0", "1.0E-05".
+  [[nodiscard]] std::string bucket_label(std::size_t i) const;
+
+  /// Fraction of mass in the single most populated bucket (the paper's
+  /// ">50% of values in one power of ten" observation for Fig. 10).
+  [[nodiscard]] double peak_probability() const noexcept {
+    std::uint64_t best = 0;
+    for (auto c : counts_) best = std::max(best, c);
+    return total_ == 0 ? 0.0 : static_cast<double>(best) / static_cast<double>(total_);
+  }
+
+ private:
+  int lo_, hi_;
+  double zero_eps_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ratio helper: safe percentage.
+constexpr double pct(std::uint64_t part, std::uint64_t whole) noexcept {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace hauberk::common

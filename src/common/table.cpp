@@ -1,0 +1,46 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+namespace hauberk::common {
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct_cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+  return buf;
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      std::fprintf(out, "%-*s%s", static_cast<int>(widths[i]), c.c_str(),
+                   i + 1 < widths.size() ? "  " : "");
+    }
+    std::fputc('\n', out);
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  std::string rule(total > 2 ? total - 2 : total, '-');
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace hauberk::common

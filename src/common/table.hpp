@@ -1,0 +1,32 @@
+// Plain-text table printer used by the benchmark harnesses to emit the same
+// rows/series the paper's tables and figures report.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hauberk::common {
+
+/// Column-aligned ASCII table.  Rows are added as vectors of pre-formatted
+/// cells; print() right-pads each column to its widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience cell formatters.
+  static std::string num(double v, int precision = 2);
+  static std::string pct_cell(double v, int precision = 1);
+
+  void print(std::FILE* out = stdout) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hauberk::common

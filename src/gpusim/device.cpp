@@ -1,0 +1,721 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace hauberk::gpusim {
+
+using kir::BinOp;
+using kir::BuiltinVal;
+using kir::DType;
+using kir::Instr;
+using kir::OpCode;
+using kir::UnOp;
+
+const char* launch_status_name(LaunchStatus s) noexcept {
+  switch (s) {
+    case LaunchStatus::Ok: return "ok";
+    case LaunchStatus::CrashOutOfBounds: return "crash-oob";
+    case LaunchStatus::CrashSharedOutOfBounds: return "crash-shared-oob";
+    case LaunchStatus::CrashDivByZero: return "crash-divzero";
+    case LaunchStatus::CrashInvalidInstr: return "crash-invalid-instr";
+    case LaunchStatus::CrashBarrierDeadlock: return "crash-barrier-deadlock";
+    case LaunchStatus::Hang: return "hang";
+    case LaunchStatus::LaunchFailure: return "launch-failure";
+    case LaunchStatus::DeviceDisabled: return "device-disabled";
+  }
+  return "?";
+}
+
+Device::Device(DeviceProps props)
+    : props_(props),
+      mem_(std::make_unique<DeviceMemory>(props.memory_model, props.global_mem_words)) {}
+
+void Device::install_fault(const DeviceFaultModel& fm) {
+  fault_ = fm;
+  fault_op_counter_.store(0);
+  fault_injected_ops_.store(0);
+}
+
+void Device::clear_fault() {
+  fault_ = DeviceFaultModel{};
+  fault_op_counter_.store(0);
+  fault_injected_ops_.store(0);
+}
+
+namespace {
+
+constexpr std::uint32_t aux_op(std::uint32_t aux) noexcept { return aux & 0xffffu; }
+constexpr DType aux_type(std::uint32_t aux) noexcept {
+  return static_cast<DType>((aux >> 16) & 0xffu);
+}
+
+constexpr float as_f(std::uint32_t b) noexcept { return std::bit_cast<float>(b); }
+constexpr std::uint32_t f_bits(float v) noexcept { return std::bit_cast<std::uint32_t>(v); }
+constexpr std::int32_t as_i(std::uint32_t b) noexcept { return static_cast<std::int32_t>(b); }
+constexpr std::uint32_t i_bits(std::int32_t v) noexcept { return static_cast<std::uint32_t>(v); }
+
+/// Evaluate a binary op; `crash` set on integer division by zero.
+std::uint32_t eval_bin(BinOp op, DType t, std::uint32_t a, std::uint32_t b,
+                       bool& crash) noexcept {
+  if (t == DType::F32) {
+    const float x = as_f(a), y = as_f(b);
+    switch (op) {
+      case BinOp::Add: return f_bits(x + y);
+      case BinOp::Sub: return f_bits(x - y);
+      case BinOp::Mul: return f_bits(x * y);
+      case BinOp::Div: return f_bits(x / y);  // IEEE: /0 -> inf, no trap
+      case BinOp::Mod: return f_bits(std::fmod(x, y));
+      case BinOp::Min: return f_bits(std::fmin(x, y));
+      case BinOp::Max: return f_bits(std::fmax(x, y));
+      case BinOp::Lt: return x < y;
+      case BinOp::Le: return x <= y;
+      case BinOp::Gt: return x > y;
+      case BinOp::Ge: return x >= y;
+      case BinOp::Eq: return x == y;
+      case BinOp::Ne: return x != y;
+      case BinOp::LogicalAnd: return (x != 0.0f) && (y != 0.0f);
+      case BinOp::LogicalOr: return (x != 0.0f) || (y != 0.0f);
+      case BinOp::BitAnd: return a & b;
+      case BinOp::BitOr: return a | b;
+      case BinOp::BitXor: return a ^ b;
+      case BinOp::Shl: return a << (b & 31);
+      case BinOp::Shr: return a >> (b & 31);
+    }
+    return 0;
+  }
+  if (t == DType::PTR) {
+    // Pointer (unsigned word) arithmetic.
+    switch (op) {
+      case BinOp::Add: return a + b;
+      case BinOp::Sub: return a - b;
+      case BinOp::Mul: return a * b;
+      case BinOp::Lt: return a < b;
+      case BinOp::Le: return a <= b;
+      case BinOp::Gt: return a > b;
+      case BinOp::Ge: return a >= b;
+      case BinOp::Eq: return a == b;
+      case BinOp::Ne: return a != b;
+      case BinOp::Min: return a < b ? a : b;
+      case BinOp::Max: return a > b ? a : b;
+      case BinOp::BitAnd: return a & b;
+      case BinOp::BitOr: return a | b;
+      case BinOp::BitXor: return a ^ b;
+      case BinOp::Shl: return a << (b & 31);
+      case BinOp::Shr: return a >> (b & 31);
+      case BinOp::Div:
+        if (b == 0) { crash = true; return 0; }
+        return a / b;
+      case BinOp::Mod:
+        if (b == 0) { crash = true; return 0; }
+        return a % b;
+      case BinOp::LogicalAnd: return (a != 0) && (b != 0);
+      case BinOp::LogicalOr: return (a != 0) || (b != 0);
+    }
+    return 0;
+  }
+  // I32: signed, wraparound via 64-bit intermediates (defined overflow).
+  const std::int64_t x = as_i(a), y = as_i(b);
+  switch (op) {
+    case BinOp::Add: return i_bits(static_cast<std::int32_t>(x + y));
+    case BinOp::Sub: return i_bits(static_cast<std::int32_t>(x - y));
+    case BinOp::Mul: return i_bits(static_cast<std::int32_t>(x * y));
+    case BinOp::Div:
+      if (y == 0) { crash = true; return 0; }
+      return i_bits(static_cast<std::int32_t>(x / y));
+    case BinOp::Mod:
+      if (y == 0) { crash = true; return 0; }
+      return i_bits(static_cast<std::int32_t>(x % y));
+    case BinOp::Min: return i_bits(static_cast<std::int32_t>(x < y ? x : y));
+    case BinOp::Max: return i_bits(static_cast<std::int32_t>(x > y ? x : y));
+    case BinOp::BitAnd: return a & b;
+    case BinOp::BitOr: return a | b;
+    case BinOp::BitXor: return a ^ b;
+    case BinOp::Shl: return a << (b & 31);
+    case BinOp::Shr: return i_bits(as_i(a) >> (b & 31));  // arithmetic shift
+    case BinOp::Lt: return x < y;
+    case BinOp::Le: return x <= y;
+    case BinOp::Gt: return x > y;
+    case BinOp::Ge: return x >= y;
+    case BinOp::Eq: return x == y;
+    case BinOp::Ne: return x != y;
+    case BinOp::LogicalAnd: return (x != 0) && (y != 0);
+    case BinOp::LogicalOr: return (x != 0) || (y != 0);
+  }
+  return 0;
+}
+
+std::uint32_t eval_un(UnOp op, DType t, std::uint32_t a) noexcept {
+  if (t == DType::F32) {
+    const float x = as_f(a);
+    switch (op) {
+      case UnOp::Neg: return f_bits(-x);
+      case UnOp::LogicalNot: return x == 0.0f;
+      case UnOp::BitNot: return ~a;
+      case UnOp::Sqrt: return f_bits(std::sqrt(x));
+      case UnOp::Rsqrt: return f_bits(1.0f / std::sqrt(x));
+      case UnOp::Abs: return f_bits(std::fabs(x));
+      case UnOp::Exp: return f_bits(std::exp(x));
+      case UnOp::Log: return f_bits(std::log(x));
+      case UnOp::Sin: return f_bits(std::sin(x));
+      case UnOp::Cos: return f_bits(std::cos(x));
+      case UnOp::Floor: return f_bits(std::floor(x));
+      case UnOp::CastF32: return a;
+      case UnOp::CastI32: {
+        // CUDA-like saturating conversion; NaN -> 0.
+        if (std::isnan(x)) return 0;
+        if (x >= 2147483648.0f) return 0x7fffffffu;
+        if (x < -2147483648.0f) return 0x80000000u;
+        return i_bits(static_cast<std::int32_t>(x));
+      }
+    }
+    return 0;
+  }
+  // I32 / PTR source.
+  const std::int32_t x = as_i(a);
+  switch (op) {
+    case UnOp::Neg: return i_bits(-x);
+    case UnOp::LogicalNot: return a == 0;
+    case UnOp::BitNot: return ~a;
+    case UnOp::Abs: return i_bits(x < 0 ? -x : x);
+    case UnOp::CastF32:
+      return t == DType::PTR ? f_bits(static_cast<float>(a)) : f_bits(static_cast<float>(x));
+    case UnOp::CastI32: return a;
+    default:
+      // Transcendentals on integers: promote, compute, keep float bits
+      // (workloads never do this; defined for completeness).
+      return eval_un(op, DType::F32, f_bits(static_cast<float>(x)));
+  }
+}
+
+/// Per-instruction static cost including register-spill surcharge.
+std::uint32_t static_cost(const Instr& in, const CostModel& cm,
+                          const std::vector<bool>& spilled) {
+  std::uint32_t base = 0;
+  switch (in.op) {
+    case OpCode::Nop: base = 0; break;
+    case OpCode::Const:
+    case OpCode::Mov:
+    case OpCode::Builtin:
+    case OpCode::Select:
+    case OpCode::Jmp:
+    case OpCode::Jz:
+      base = cm.alu;
+      break;
+    case OpCode::Un: {
+      const auto op = static_cast<UnOp>(aux_op(in.aux));
+      switch (op) {
+        case UnOp::Sqrt: case UnOp::Rsqrt: case UnOp::Exp:
+        case UnOp::Log: case UnOp::Sin: case UnOp::Cos:
+          base = cm.sfu; break;
+        default:
+          base = aux_type(in.aux) == DType::F32 ? cm.fpu_addmul : cm.alu;
+      }
+      break;
+    }
+    case OpCode::Bin: {
+      const auto op = static_cast<BinOp>(aux_op(in.aux));
+      const bool f = aux_type(in.aux) == DType::F32;
+      if (op == BinOp::Div || op == BinOp::Mod) base = cm.fpu_div;
+      else base = f ? cm.fpu_addmul : cm.alu;
+      break;
+    }
+    case OpCode::LoadG: base = cm.load_global; break;
+    case OpCode::StoreG: base = cm.store_global; break;
+    case OpCode::LoadS: base = cm.load_shared; break;
+    case OpCode::StoreS: base = cm.store_shared; break;
+    case OpCode::AtomicAddG: base = cm.atomic_global; break;
+    case OpCode::Barrier: base = cm.barrier; break;
+    case OpCode::Halt: base = 0; break;
+    case OpCode::ChkXor: base = cm.chk_xor; break;
+    case OpCode::ChkValidate: base = cm.chk_validate; break;
+    case OpCode::DupCmp: base = cm.dup_cmp; break;
+    case OpCode::RangeCheck: base = cm.range_check; break;
+    case OpCode::EqualCheck: base = cm.equal_check; break;
+    // Measurement-only hooks are free: the paper's FT overhead numbers come
+    // from the FT binary, which contains no profiler/FI code.
+    case OpCode::ProfileVal:
+    case OpCode::CountExec:
+    case OpCode::FIHook:
+      return 0;
+  }
+  if (in.flags & kir::kInstrScatter) {
+    // R-Scatter duplicates execute in otherwise-idle issue slots/lanes and
+    // keep their data there too: discounted cost (rounded up — a duplicated
+    // instruction is never free), no spill surcharge.
+    return (base * cm.scatter_percent + 99) / 100;
+  }
+  if (in.flags & kir::kInstrHauberkDup)
+    base = (base * cm.hauberk_dup_percent + 99) / 100;  // spill surcharge still applies
+
+  // Spill surcharge: every access to a spilled register costs a
+  // local-memory round trip.
+  std::uint32_t spills = 0;
+  auto reg_operand = [&](std::uint16_t slot) {
+    if (spilled[slot]) ++spills;
+  };
+  switch (in.op) {
+    case OpCode::Const: case OpCode::Builtin:
+      reg_operand(in.dst); break;
+    case OpCode::Mov: case OpCode::Un:
+      reg_operand(in.dst); reg_operand(in.a); break;
+    case OpCode::Bin:
+      reg_operand(in.dst); reg_operand(in.a); reg_operand(in.b); break;
+    case OpCode::Select:
+      reg_operand(in.dst); reg_operand(in.a); reg_operand(in.b);
+      reg_operand(static_cast<std::uint16_t>(in.imm));
+      break;
+    case OpCode::LoadG: case OpCode::LoadS:
+      reg_operand(in.dst); reg_operand(in.a); break;
+    case OpCode::StoreG: case OpCode::StoreS: case OpCode::AtomicAddG:
+      reg_operand(in.a); reg_operand(in.b); break;
+    case OpCode::Jz: case OpCode::RangeCheck:
+      reg_operand(in.a); break;
+    case OpCode::ChkXor:
+      reg_operand(in.dst); reg_operand(in.a); break;
+    case OpCode::ChkValidate:
+      reg_operand(in.dst); break;
+    case OpCode::DupCmp: case OpCode::EqualCheck:
+      reg_operand(in.a); reg_operand(in.b); break;
+    default: break;
+  }
+  return base + spills * cm.spill;
+}
+
+enum class ThreadStop : std::uint8_t { Done, Barrier, Crash, Budget };
+
+/// Executes all threads of one block.
+class BlockExec {
+ public:
+  BlockExec(Device& dev, const kir::BytecodeProgram& prog, const LaunchConfig& cfg,
+            const LaunchOptions& opts, const std::vector<std::uint32_t>& costs,
+            std::uint32_t block_linear)
+      : dev_(dev), prog_(prog), cfg_(cfg), opts_(opts), costs_(costs),
+        block_linear_(block_linear),
+        sm_(block_linear % dev.props().num_sms),
+        bx_(block_linear % cfg.grid_x), by_(block_linear / cfg.grid_x),
+        threads_per_block_(cfg.block_x * cfg.block_y),
+        shared_(prog.shared_mem_words, 0u) {}
+
+  LaunchStatus run(std::span<const kir::Value> args);
+
+  std::uint64_t cycles = 0;
+  std::uint64_t loop_cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t simt_cycles = 0;
+  bool sdc = false;
+  std::vector<std::uint64_t> exec_counts;  ///< per-instruction, when profiling
+  std::vector<std::uint32_t> thread_counts;  ///< [thread][pc], when SIMT costing
+
+ private:
+  struct ThreadCtx {
+    std::uint32_t pc = 0;
+    std::uint64_t budget_used = 0;
+    std::uint32_t tx = 0, ty = 0;
+    std::uint32_t linear = 0;     // global linear thread id
+    std::uint32_t block_index = 0;  // index within the block
+    bool done = false;
+    std::uint32_t* regs = nullptr;
+  };
+
+  ThreadStop run_thread(ThreadCtx& t, LaunchStatus& crash_status);
+  void finish_simt_cost();
+  std::uint32_t builtin_value(const ThreadCtx& t, BuiltinVal b) const noexcept;
+  void maybe_hw_fault(std::uint32_t& bits, DType t) noexcept;
+
+  Device& dev_;
+  const kir::BytecodeProgram& prog_;
+  const LaunchConfig& cfg_;
+  const LaunchOptions& opts_;
+  const std::vector<std::uint32_t>& costs_;
+  std::uint32_t block_linear_, sm_, bx_, by_, threads_per_block_;
+  std::vector<std::uint32_t> shared_;
+};
+
+std::uint32_t BlockExec::builtin_value(const ThreadCtx& t, BuiltinVal b) const noexcept {
+  switch (b) {
+    case BuiltinVal::ThreadIdxX: return t.tx;
+    case BuiltinVal::ThreadIdxY: return t.ty;
+    case BuiltinVal::BlockIdxX: return bx_;
+    case BuiltinVal::BlockIdxY: return by_;
+    case BuiltinVal::BlockDimX: return cfg_.block_x;
+    case BuiltinVal::BlockDimY: return cfg_.block_y;
+    case BuiltinVal::GridDimX: return cfg_.grid_x;
+    case BuiltinVal::GridDimY: return cfg_.grid_y;
+    case BuiltinVal::ThreadLinear: return t.linear;
+  }
+  return 0;
+}
+
+void BlockExec::maybe_hw_fault(std::uint32_t& bits, DType t) noexcept {
+  // Slow path: only entered when a device fault model is installed.
+  const DeviceFaultModel& fm = dev_.fault_;
+  if (sm_ != fm.sm) return;
+  const bool is_fp = t == DType::F32;
+  if (fm.component == DeviceFaultModel::Component::ALU && is_fp) return;
+  if (fm.component == DeviceFaultModel::Component::FPU && !is_fp) return;
+  const std::uint64_t n = dev_.fault_op_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (fm.period > 1 && (n % fm.period) != 0) return;
+  if (fm.kind != DeviceFaultModel::Kind::Permanent && fm.duration_ops > 0) {
+    // Check-then-increment: the counter records *actual* injections so the
+    // fault expires after exactly duration_ops corruptions.  (A concurrent
+    // race could inject one extra op; fault experiments run deterministic
+    // single-block configurations where this cannot happen.)
+    if (dev_.fault_injected_ops_.load(std::memory_order_relaxed) >= fm.duration_ops) return;
+    dev_.fault_injected_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bits ^= fm.mask;
+}
+
+ThreadStop BlockExec::run_thread(ThreadCtx& t, LaunchStatus& crash_status) {
+  const Instr* code = prog_.code.data();
+  std::uint32_t* regs = t.regs;
+  DeviceMemory& mem = dev_.mem();
+  const bool hw_fault = dev_.has_fault();
+  std::uint64_t local_cycles = 0, local_loop = 0, local_instr = 0;
+
+  auto finish = [&] {
+    cycles += local_cycles;
+    loop_cycles += local_loop;
+    instructions += local_instr;
+    t.budget_used += local_instr;
+  };
+
+  for (;;) {
+    if (local_instr + t.budget_used > opts_.watchdog_instructions) {
+      finish();
+      return ThreadStop::Budget;
+    }
+    const Instr& in = code[t.pc];
+    const std::uint32_t c = costs_[t.pc];
+    local_cycles += c;
+    if (in.flags & kir::kInstrInLoop) local_loop += c;
+    ++local_instr;
+    if (!exec_counts.empty()) ++exec_counts[t.pc];
+    if (!thread_counts.empty())
+      ++thread_counts[static_cast<std::size_t>(t.block_index) * prog_.code.size() + t.pc];
+    ++t.pc;
+
+    switch (in.op) {
+      case OpCode::Nop:
+        break;
+      case OpCode::Const:
+        regs[in.dst] = in.imm;
+        break;
+      case OpCode::Mov:
+        regs[in.dst] = regs[in.a];
+        if (hw_fault && dev_.fault_.component == DeviceFaultModel::Component::RegisterFile)
+          maybe_hw_fault(regs[in.dst], DType::I32);
+        break;
+      case OpCode::Builtin:
+        regs[in.dst] = builtin_value(t, static_cast<BuiltinVal>(in.aux));
+        break;
+      case OpCode::Un: {
+        std::uint32_t r = eval_un(static_cast<UnOp>(aux_op(in.aux)), aux_type(in.aux), regs[in.a]);
+        if (hw_fault) maybe_hw_fault(r, aux_type(in.aux));
+        regs[in.dst] = r;
+        break;
+      }
+      case OpCode::Bin: {
+        bool crash = false;
+        std::uint32_t r = eval_bin(static_cast<BinOp>(aux_op(in.aux)), aux_type(in.aux),
+                                   regs[in.a], regs[in.b], crash);
+        if (crash) {
+          crash_status = LaunchStatus::CrashDivByZero;
+          finish();
+          return ThreadStop::Crash;
+        }
+        if (hw_fault) maybe_hw_fault(r, aux_type(in.aux));
+        regs[in.dst] = r;
+        break;
+      }
+      case OpCode::Select:
+        regs[in.dst] = regs[in.a] != 0 ? regs[in.b] : regs[static_cast<std::uint16_t>(in.imm)];
+        break;
+      case OpCode::LoadG:
+        if (!mem.load(regs[in.a], regs[in.dst])) {
+          crash_status = LaunchStatus::CrashOutOfBounds;
+          finish();
+          return ThreadStop::Crash;
+        }
+        break;
+      case OpCode::StoreG:
+        if (!mem.store(regs[in.a], regs[in.b])) {
+          crash_status = LaunchStatus::CrashOutOfBounds;
+          finish();
+          return ThreadStop::Crash;
+        }
+        break;
+      case OpCode::LoadS:
+        if (regs[in.a] >= shared_.size()) {
+          crash_status = LaunchStatus::CrashSharedOutOfBounds;
+          finish();
+          return ThreadStop::Crash;
+        }
+        regs[in.dst] = shared_[regs[in.a]];
+        break;
+      case OpCode::StoreS:
+        if (regs[in.a] >= shared_.size()) {
+          crash_status = LaunchStatus::CrashSharedOutOfBounds;
+          finish();
+          return ThreadStop::Crash;
+        }
+        shared_[regs[in.a]] = regs[in.b];
+        break;
+      case OpCode::AtomicAddG: {
+        std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
+        std::uint32_t* w = mem.word_ptr(regs[in.a]);
+        if (!w) {
+          crash_status = LaunchStatus::CrashOutOfBounds;
+          finish();
+          return ThreadStop::Crash;
+        }
+        if (aux_type(in.aux) == DType::F32)
+          *w = f_bits(as_f(*w) + as_f(regs[in.b]));
+        else
+          *w = i_bits(static_cast<std::int32_t>(
+              static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in.b])));
+        break;
+      }
+      case OpCode::Jmp:
+        t.pc = in.aux;
+        break;
+      case OpCode::Jz:
+        if (regs[in.a] == 0) t.pc = in.aux;
+        break;
+      case OpCode::Barrier:
+        finish();
+        return ThreadStop::Barrier;
+      case OpCode::Halt:
+        finish();
+        t.done = true;
+        return ThreadStop::Done;
+
+      case OpCode::ChkXor:
+        regs[in.dst] ^= regs[in.a];
+        break;
+      case OpCode::ChkValidate:
+        if (regs[in.dst] != 0) sdc = true;
+        break;
+      case OpCode::DupCmp:
+        if (regs[in.a] != regs[in.b]) sdc = true;
+        break;
+      case OpCode::RangeCheck:
+        if (opts_.hooks) {
+          const DType vt = prog_.detectors[in.aux].value_type;
+          if (opts_.hooks->check_range(static_cast<int>(in.aux), kir::Value{vt, regs[in.a]}))
+            sdc = true;
+        }
+        break;
+      case OpCode::EqualCheck:
+        if (regs[in.a] != regs[in.b]) {
+          sdc = true;
+          if (opts_.hooks) opts_.hooks->equal_check_failed(static_cast<int>(in.aux));
+        }
+        break;
+      case OpCode::ProfileVal:
+        if (opts_.hooks) {
+          const DType vt = prog_.detectors[in.aux].value_type;
+          opts_.hooks->profile_value(static_cast<int>(in.aux), kir::Value{vt, regs[in.a]});
+        }
+        break;
+      case OpCode::CountExec:
+        if (opts_.hooks) opts_.hooks->count_exec(in.aux, t.linear);
+        break;
+      case OpCode::FIHook:
+        if (opts_.hooks) opts_.hooks->fi_hook(in.aux, t.linear, regs[in.a]);
+        break;
+      default:
+        crash_status = LaunchStatus::CrashInvalidInstr;
+        finish();
+        return ThreadStop::Crash;
+    }
+  }
+}
+
+LaunchStatus BlockExec::run(std::span<const kir::Value> args) {
+  if (opts_.instr_exec_counts) exec_counts.assign(prog_.code.size(), 0);
+  if (opts_.simt_cost)
+    thread_counts.assign(static_cast<std::size_t>(threads_per_block_) * prog_.code.size(), 0);
+  const std::uint32_t slots = prog_.num_slots;
+  std::vector<std::uint32_t> reg_slab(
+      static_cast<std::size_t>(threads_per_block_) * slots, 0u);
+  std::vector<ThreadCtx> threads(threads_per_block_);
+
+  for (std::uint32_t i = 0; i < threads_per_block_; ++i) {
+    ThreadCtx& t = threads[i];
+    t.regs = reg_slab.data() + static_cast<std::size_t>(i) * slots;
+    t.tx = i % cfg_.block_x;
+    t.ty = i / cfg_.block_x;
+    t.linear = block_linear_ * threads_per_block_ + i;
+    t.block_index = i;
+    for (std::size_t p = 0; p < args.size(); ++p) t.regs[p] = args[p].bits;
+  }
+
+  for (;;) {
+    std::uint32_t done = 0, at_barrier = 0;
+    for (auto& t : threads) {
+      if (t.done) {
+        ++done;
+        continue;
+      }
+      LaunchStatus crash = LaunchStatus::Ok;
+      switch (run_thread(t, crash)) {
+        case ThreadStop::Done: ++done; break;
+        case ThreadStop::Barrier: ++at_barrier; break;
+        case ThreadStop::Crash: return crash;
+        case ThreadStop::Budget: return LaunchStatus::Hang;
+      }
+    }
+    if (done == threads_per_block_) {
+      finish_simt_cost();
+      return LaunchStatus::Ok;
+    }
+    if (at_barrier > 0 && done > 0) return LaunchStatus::CrashBarrierDeadlock;
+    // All non-done threads are at the barrier: release and continue.
+  }
+}
+
+void BlockExec::finish_simt_cost() {
+  if (thread_counts.empty()) return;
+  // Warp-serialized cost: for each warp, an instruction issues
+  // max-over-lanes(count) times.  For structured control flow this equals
+  // the classic SIMT stack cost: divergent branches serialize (per-path
+  // maxima add) and loops run to the warp's longest trip count.
+  const std::size_t n = prog_.code.size();
+  const std::uint32_t warp = dev_.props().warp_size;
+  for (std::uint32_t w0 = 0; w0 < threads_per_block_; w0 += warp) {
+    const std::uint32_t w1 = std::min(threads_per_block_, w0 + warp);
+    for (std::size_t pc = 0; pc < n; ++pc) {
+      std::uint32_t mx = 0;
+      for (std::uint32_t t = w0; t < w1; ++t)
+        mx = std::max(mx, thread_counts[static_cast<std::size_t>(t) * n + pc]);
+      simt_cycles += static_cast<std::uint64_t>(mx) * costs_[pc];
+    }
+  }
+}
+
+}  // namespace
+
+LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchConfig& cfg,
+                            std::span<const kir::Value> args, const LaunchOptions& opts) {
+  LaunchResult res;
+  if (disabled_) {
+    res.status = LaunchStatus::DeviceDisabled;
+    return res;
+  }
+  if (program.shared_mem_words > props_.shared_mem_words ||
+      args.size() != program.num_params) {
+    res.status = LaunchStatus::LaunchFailure;
+    return res;
+  }
+
+  // Register allocation model: when the kernel's register demand exceeds
+  // the per-thread budget, the *least frequently accessed* values are
+  // spilled to local memory (loop-nested accesses weighted heavily), as a
+  // real allocator would.  Every access to a spilled slot then pays
+  // CostModel::spill extra cycles.
+  std::vector<bool> spilled(program.num_slots, false);
+  if (program.num_slots > props_.regs_per_thread) {
+    std::vector<std::uint64_t> weight(program.num_slots, 0);
+    auto touch = [&](std::uint16_t slot, std::uint64_t w) { weight[slot] += w; };
+    for (const Instr& in : program.code) {
+      const std::uint64_t w = (in.flags & kir::kInstrInLoop) ? 64 : 1;
+      switch (in.op) {
+        case OpCode::Const: case OpCode::Builtin: touch(in.dst, w); break;
+        case OpCode::Mov: case OpCode::Un: case OpCode::LoadG: case OpCode::LoadS:
+          touch(in.dst, w); touch(in.a, w); break;
+        case OpCode::Bin: touch(in.dst, w); touch(in.a, w); touch(in.b, w); break;
+        case OpCode::Select:
+          touch(in.dst, w); touch(in.a, w); touch(in.b, w);
+          touch(static_cast<std::uint16_t>(in.imm), w); break;
+        case OpCode::StoreG: case OpCode::StoreS: case OpCode::AtomicAddG:
+          touch(in.a, w); touch(in.b, w); break;
+        case OpCode::Jz: case OpCode::RangeCheck: touch(in.a, w); break;
+        case OpCode::ChkXor: touch(in.dst, w); touch(in.a, w); break;
+        case OpCode::ChkValidate: touch(in.dst, w); break;
+        case OpCode::DupCmp: case OpCode::EqualCheck: touch(in.a, w); touch(in.b, w); break;
+        default: break;
+      }
+    }
+    std::vector<std::uint16_t> order(program.num_slots);
+    for (std::uint16_t s = 0; s < program.num_slots; ++s) order[s] = s;
+    std::sort(order.begin(), order.end(), [&](std::uint16_t a, std::uint16_t b) {
+      return weight[a] != weight[b] ? weight[a] < weight[b] : a < b;
+    });
+    const std::uint32_t to_spill = program.num_slots - props_.regs_per_thread;
+    for (std::uint32_t i = 0; i < to_spill; ++i) spilled[order[i]] = true;
+  }
+
+  // Precompute per-instruction cost (base + spill surcharge).
+  std::vector<std::uint32_t> costs(program.code.size());
+  for (std::size_t i = 0; i < program.code.size(); ++i)
+    costs[i] = static_cost(program.code[i], cost_, spilled);
+
+  const std::uint32_t num_blocks = cfg.grid_x * cfg.grid_y;
+  std::atomic<std::uint32_t> next_block{0};
+  std::atomic<std::uint64_t> cycles{0}, loop_cycles{0}, instructions{0}, simt_cycles{0};
+  std::atomic<bool> sdc{false};
+  std::atomic<int> bad_status{static_cast<int>(LaunchStatus::Ok)};
+  std::mutex profile_mu;
+  if (opts.instr_exec_counts) opts.instr_exec_counts->assign(program.code.size(), 0);
+
+  auto worker = [&] {
+    for (;;) {
+      // A kernel crash aborts the whole launch (the GPU runtime kills the grid).
+      if (bad_status.load(std::memory_order_relaxed) != static_cast<int>(LaunchStatus::Ok))
+        return;
+      const std::uint32_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_blocks) return;
+      BlockExec exec(*this, program, cfg, opts, costs, b);
+      const LaunchStatus st = exec.run(args);
+      cycles.fetch_add(exec.cycles, std::memory_order_relaxed);
+      loop_cycles.fetch_add(exec.loop_cycles, std::memory_order_relaxed);
+      instructions.fetch_add(exec.instructions, std::memory_order_relaxed);
+      simt_cycles.fetch_add(exec.simt_cycles, std::memory_order_relaxed);
+      if (exec.sdc) sdc.store(true, std::memory_order_relaxed);
+      if (opts.instr_exec_counts) {
+        std::lock_guard<std::mutex> lk(profile_mu);
+        for (std::size_t i = 0; i < exec.exec_counts.size(); ++i)
+          (*opts.instr_exec_counts)[i] += exec.exec_counts[i];
+      }
+      if (st != LaunchStatus::Ok) {
+        // Keep the most severe (first observed) failure; crash > hang.
+        int expected = static_cast<int>(LaunchStatus::Ok);
+        bad_status.compare_exchange_strong(expected, static_cast<int>(st));
+        return;  // this worker stops; others finish their current block
+      }
+    }
+  };
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  unsigned nw = opts.max_workers > 0 ? static_cast<unsigned>(opts.max_workers) : hw;
+  nw = std::min({nw, static_cast<unsigned>(num_blocks), static_cast<unsigned>(props_.num_sms)});
+  if (nw <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nw);
+    for (unsigned i = 0; i < nw; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  res.status = static_cast<LaunchStatus>(bad_status.load());
+  res.sdc_alarm = sdc.load();
+  res.cycles = cycles.load();
+  res.loop_cycles = loop_cycles.load();
+  res.instructions = instructions.load();
+  res.simt_cycles = simt_cycles.load();
+  res.threads = cfg.total_threads();
+  // The control-block delivery is a host-side per-launch cost; it is charged
+  // to the thread-cycle total only (simt_cycles measures kernel execution at
+  // warp granularity and would be distorted by a flat host-side constant).
+  if (opts.charge_control_block) res.cycles += cost_.control_block_per_launch;
+  return res;
+}
+
+}  // namespace hauberk::gpusim

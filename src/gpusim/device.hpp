@@ -1,0 +1,218 @@
+// The simulated GPGPU device: properties, cycle cost model, hardware fault
+// model, launch configuration/result types, and the Device facade.
+//
+// The device executes kernel bytecode over a CUDA-style grid of thread
+// blocks.  Blocks are scheduled across worker threads (one per simulated SM,
+// capped at host concurrency); threads within a block run to the next
+// barrier in turn.  All timing is a deterministic cycle model: each
+// instruction charges a cost from CostModel, attributed to loop or non-loop
+// source code (Fig. 4) and to R-Scatter duplicated code where applicable
+// (Fig. 13).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/memory.hpp"
+#include "kir/bytecode.hpp"
+#include "kir/value.hpp"
+
+namespace hauberk::gpusim {
+
+/// Hardware resource limits, loosely modeled on the paper's GT200-class
+/// device (Tesla S1070): 16 KiB shared memory per block and a per-thread
+/// register budget.  Exceeding shared memory is a launch (compile) failure —
+/// this is why TPACF cannot be built with R-Scatter (Section IX.A).
+/// Exceeding the register budget is legal but spills: each access to a
+/// spilled register charges CostModel::spill extra cycles (Section V.A).
+struct DeviceProps {
+  std::uint32_t num_sms = 30;
+  std::uint32_t warp_size = 32;
+  std::uint32_t regs_per_thread = 28;
+  std::uint32_t shared_mem_words = 4096;  // 16 KiB
+  std::uint32_t global_mem_words = 16u << 20;
+  MemoryModel memory_model = MemoryModel::FlatGpu;
+};
+
+/// Per-instruction cycle costs.  Values model relative throughput of a
+/// GT200-class part (FP32 MAD pipe, SFU transcendentals, uncoalesced-average
+/// global memory); absolute numbers are not calibrated — the paper's
+/// evaluation reasons about *relative* overhead.
+struct CostModel {
+  std::uint32_t alu = 1;            ///< integer/pointer ops, moves, branches
+  std::uint32_t fpu_addmul = 4;     ///< f32 add/sub/mul/min/max/compare
+  std::uint32_t fpu_div = 20;       ///< f32 div, i32 div/mod
+  std::uint32_t sfu = 16;           ///< sqrt/rsqrt/exp/log/sin/cos
+  std::uint32_t load_global = 24;   ///< coalesced-average access
+  std::uint32_t store_global = 24;
+  std::uint32_t load_shared = 4;
+  std::uint32_t store_shared = 4;
+  std::uint32_t atomic_global = 80;
+  std::uint32_t barrier = 8;
+  std::uint32_t chk_xor = 1;        ///< Hauberk checksum update (one XOR)
+  std::uint32_t dup_cmp = 2;        ///< compare + conditional set
+  std::uint32_t range_check = 36;   ///< FP value vs up to 3 ranges + CB access
+  std::uint32_t equal_check = 6;
+  std::uint32_t chk_validate = 12;
+  std::uint32_t spill = 8;          ///< extra per access to a spilled register
+  std::uint32_t scatter_percent = 85;  ///< cost of R-Scatter duplicated instrs (% of base)
+  /// Cost of Hauberk's non-loop duplicated computation (% of base): the
+  /// duplicate issues in the ILP slack of the original latency-bound
+  /// sequential code (this is what makes the paper's RPES overhead ~60%
+  /// despite a ~75% sequential share).
+  std::uint32_t hauberk_dup_percent = 75;
+  std::uint32_t control_block_per_launch = 2000;  ///< CPU<->GPU control block delivery
+};
+
+/// Simulated hardware fault in the device itself (used by the BIST/guardian
+/// recovery path, Section VI): corrupts results of matching operations.
+struct DeviceFaultModel {
+  enum class Kind { None, Transient, Intermittent, Permanent };
+  enum class Component { ALU, FPU, RegisterFile };
+
+  Kind kind = Kind::None;
+  Component component = Component::ALU;
+  std::uint32_t sm = 0;           ///< affected streaming multiprocessor
+  std::uint32_t mask = 1;         ///< error bits XORed into results
+  std::uint64_t period = 1;       ///< corrupt every `period`-th matching op
+  std::uint64_t duration_ops = 0; ///< Transient/Intermittent: stop after this many corruptions
+};
+
+enum class LaunchStatus : std::uint8_t {
+  Ok,
+  CrashOutOfBounds,      ///< invalid global memory access
+  CrashSharedOutOfBounds,
+  CrashDivByZero,        ///< integer division by zero
+  CrashInvalidInstr,     ///< undecodable instruction (code-segment fault)
+  CrashBarrierDeadlock,  ///< thread exited while others wait at a barrier
+  Hang,                  ///< per-thread watchdog budget exceeded
+  LaunchFailure,         ///< resource violation (e.g. shared memory too large)
+  DeviceDisabled,        ///< guardian disabled this device
+};
+
+[[nodiscard]] const char* launch_status_name(LaunchStatus s) noexcept;
+[[nodiscard]] constexpr bool is_crash(LaunchStatus s) noexcept {
+  return s != LaunchStatus::Ok && s != LaunchStatus::Hang;
+}
+
+struct LaunchResult {
+  LaunchStatus status = LaunchStatus::Ok;
+  bool sdc_alarm = false;          ///< any Hauberk detector set the SDC bit
+  std::uint64_t cycles = 0;        ///< modeled kernel time
+  std::uint64_t loop_cycles = 0;   ///< portion attributed to loop code (Fig. 4)
+  std::uint64_t instructions = 0;
+  std::uint64_t threads = 0;
+  /// SIMT warp-serialized cycles (filled when LaunchOptions::simt_cost):
+  /// per warp, an instruction costs once per *warp* execution, and divergent
+  /// paths serialize — sum over pc of cost[pc] * max-per-warp execution
+  /// count, which is exact for structured control flow.  Fault-free Hauberk
+  /// checks are warp-uniform, so simt_cycles shows they add no divergence
+  /// penalty (Section V.A step (iii)).
+  std::uint64_t simt_cycles = 0;
+};
+
+/// Callbacks from the interpreter into the Hauberk runtime (range checks,
+/// profiling) and the SWIFI injector.  Implementations must be thread-safe:
+/// blocks may execute on concurrent workers.
+class LaunchHooks {
+ public:
+  virtual ~LaunchHooks() = default;
+  /// Loop-detector range check; return true when the value is an outlier
+  /// (sets the kernel's SDC bit).  `detector` indexes program.detectors.
+  virtual bool check_range(int detector, kir::Value value) {
+    (void)detector; (void)value;
+    return false;
+  }
+  /// Iteration-count invariant failed (HauberkCheckEqual mismatch).
+  virtual void equal_check_failed(int detector) { (void)detector; }
+  /// Profiler-mode sample of a detector value.
+  virtual void profile_value(int detector, kir::Value value) { (void)detector; (void)value; }
+  /// Profiler-mode execution count of an FI site for one thread.
+  virtual void count_exec(std::uint32_t site_index, std::uint32_t thread_linear) {
+    (void)site_index; (void)thread_linear;
+  }
+  /// FI-mode hook: may corrupt `value` (the just-defined variable).
+  /// Returns true if a fault was injected (for activation accounting).
+  virtual bool fi_hook(std::uint32_t site_index, std::uint32_t thread_linear,
+                       std::uint32_t& value_bits) {
+    (void)site_index; (void)thread_linear; (void)value_bits;
+    return false;
+  }
+};
+
+struct LaunchConfig {
+  std::uint32_t grid_x = 1, grid_y = 1;
+  std::uint32_t block_x = 1, block_y = 1;
+  [[nodiscard]] std::uint64_t total_threads() const noexcept {
+    return static_cast<std::uint64_t>(grid_x) * grid_y * block_x * block_y;
+  }
+};
+
+struct LaunchOptions {
+  LaunchHooks* hooks = nullptr;
+  /// Per-thread instruction budget; exceeding it reports Hang (the
+  /// guardian's preemptive hang detection, Section VI(i), maps its
+  /// 10x-previous-time rule onto this budget).
+  std::uint64_t watchdog_instructions = 50'000'000;
+  int max_workers = 0;  ///< 0 = hardware concurrency
+  bool charge_control_block = false;  ///< add control-block delivery overhead
+  /// When non-null, resized to program.code.size() and filled with the
+  /// number of times each instruction executed (all threads summed) — the
+  /// basis for cycle-breakdown profiling (see bench_overhead_breakdown).
+  std::vector<std::uint64_t>* instr_exec_counts = nullptr;
+  /// Compute LaunchResult::simt_cycles (per-thread counting; slower).
+  bool simt_cost = false;
+};
+
+/// A simulated GPU (or CPU when props.memory_model == PagedCpu).
+class Device {
+ public:
+  explicit Device(DeviceProps props = {});
+
+  [[nodiscard]] const DeviceProps& props() const noexcept { return props_; }
+  [[nodiscard]] DeviceMemory& mem() noexcept { return *mem_; }
+  [[nodiscard]] const DeviceMemory& mem() const noexcept { return *mem_; }
+  [[nodiscard]] CostModel& cost_model() noexcept { return cost_; }
+
+  /// Reset device memory between program runs.
+  void reset_memory() { mem_->reset(); }
+
+  /// Execute a kernel.  Deterministic: result (including cycle counts) is
+  /// independent of worker scheduling.
+  LaunchResult launch(const kir::BytecodeProgram& program, const LaunchConfig& cfg,
+                      std::span<const kir::Value> args, const LaunchOptions& opts = {});
+
+  // Hardware fault model (BIST / guardian experiments).
+  void install_fault(const DeviceFaultModel& fm);
+  void clear_fault();
+  [[nodiscard]] bool has_fault() const noexcept {
+    return fault_.kind != DeviceFaultModel::Kind::None;
+  }
+  [[nodiscard]] const DeviceFaultModel& fault() const noexcept { return fault_; }
+
+  /// Guardian-controlled availability (Section VI: a faulty device is
+  /// disabled and periodically re-tested with exponential backoff).
+  void set_disabled(bool d) noexcept { disabled_ = d; }
+  [[nodiscard]] bool disabled() const noexcept { return disabled_; }
+
+  std::mutex& atomic_mutex() noexcept { return atomic_mu_; }
+
+  // Internal: fault-model bookkeeping shared by block executors.
+  DeviceFaultModel fault_{};
+  std::atomic<std::uint64_t> fault_op_counter_{0};
+  std::atomic<std::uint64_t> fault_injected_ops_{0};
+
+ private:
+  DeviceProps props_;
+  CostModel cost_;
+  std::unique_ptr<DeviceMemory> mem_;
+  std::mutex atomic_mu_;
+  bool disabled_ = false;
+};
+
+}  // namespace hauberk::gpusim

@@ -1,0 +1,86 @@
+#include "gpusim/memory.hpp"
+
+#include <algorithm>
+#include <new>
+#include <stdexcept>
+
+namespace hauberk::gpusim {
+
+namespace {
+/// PagedCpu placement: 4 KiB pages (1024 words) with a large gap between
+/// allocations so that bit-flipped addresses rarely stay inside a mapping.
+constexpr std::uint32_t kPageWords = 1024;
+constexpr std::uint32_t kGapWords = 257 * kPageWords;  // prime-ish page stride
+}  // namespace
+
+DeviceMemory::DeviceMemory(MemoryModel model, std::uint32_t capacity_words)
+    : model_(model), capacity_(capacity_words), words_(capacity_words, 0) {
+  // Start CPU placements away from address 0 so null-ish pointers fault.
+  next_base_ = model_ == MemoryModel::PagedCpu ? 16 * kPageWords : 0;
+}
+
+void DeviceMemory::reset() {
+  used_ = 0;
+  next_base_ = model_ == MemoryModel::PagedCpu ? 16 * kPageWords : 0;
+  extents_.clear();
+  extent_storage_.clear();
+  std::fill(words_.begin(), words_.end(), 0u);
+  for (auto& c : class_words_) c = 0;
+}
+
+std::uint32_t DeviceMemory::alloc(std::uint32_t words, AllocClass cls) {
+  if (words == 0) words = 1;
+  class_words_[static_cast<int>(cls)] += words;
+  if (model_ == MemoryModel::FlatGpu) {
+    if (used_ + words > capacity_) throw std::bad_alloc();
+    const std::uint32_t base = used_;
+    used_ += words;
+    return base;
+  }
+  // PagedCpu: virtual base on a page boundary with a gap; storage is packed.
+  if (used_ + words > capacity_) throw std::bad_alloc();
+  const std::uint32_t pages = (words + kPageWords - 1) / kPageWords;
+  const std::uint32_t base = next_base_;
+  next_base_ += pages * kPageWords + kGapWords;
+  extents_.push_back({base, words});
+  extent_storage_.push_back(used_);
+  used_ += words;
+  return base;
+}
+
+bool DeviceMemory::valid(std::uint32_t addr) const noexcept {
+  // FlatGpu: *no* page protection — the whole physical arena is accessible
+  // whether or not it was allocated (Section II.A cause (a)); only addresses
+  // beyond physical memory fault.
+  if (model_ == MemoryModel::FlatGpu) return addr < capacity_;
+  // Binary search the sorted extents (bases are strictly increasing).
+  auto it = std::upper_bound(extents_.begin(), extents_.end(), addr,
+                             [](std::uint32_t a, const Extent& e) { return a < e.base; });
+  if (it == extents_.begin()) return false;
+  --it;
+  return addr - it->base < it->size;
+}
+
+std::uint32_t DeviceMemory::index_of(std::uint32_t addr) const noexcept {
+  if (model_ == MemoryModel::FlatGpu) return addr;
+  auto it = std::upper_bound(extents_.begin(), extents_.end(), addr,
+                             [](std::uint32_t a, const Extent& e) { return a < e.base; });
+  --it;
+  return extent_storage_[static_cast<std::size_t>(it - extents_.begin())] + (addr - it->base);
+}
+
+void DeviceMemory::copy_in(std::uint32_t addr, std::span<const std::uint32_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!store(addr + static_cast<std::uint32_t>(i), data[i]))
+      throw std::out_of_range("DeviceMemory::copy_in: invalid address");
+  }
+}
+
+void DeviceMemory::copy_out(std::uint32_t addr, std::span<std::uint32_t> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!load(addr + static_cast<std::uint32_t>(i), out[i]))
+      throw std::out_of_range("DeviceMemory::copy_out: invalid address");
+  }
+}
+
+}  // namespace hauberk::gpusim

@@ -1,0 +1,107 @@
+// Simulated device memory.
+//
+// Two address-space models reproduce the paper's Section II.A cause (a) for
+// the GPU-vs-CPU sensitivity gap:
+//
+//  * FlatGpu — one contiguous word arena with *no page-granularity
+//    protection*: allocations are packed from address 0 and any address
+//    below the high-water mark is accessible.  A corrupted pointer therefore
+//    usually still lands in valid memory and silently reads/writes the wrong
+//    data (high SDC, low crash), exactly as on real GPUs of the paper's era.
+//
+//  * PagedCpu — allocations are placed on sparse 4 KiB-aligned bases with
+//    large unmapped gaps, and every access must fall inside a live
+//    allocation.  A corrupted pointer usually hits unmapped space and
+//    "segfaults" (high crash, low SDC), as on CPUs.
+//
+// Addresses are 32-bit *word* indices (each word is 32 bits), matching the
+// IR's PTR values.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hauberk::gpusim {
+
+enum class MemoryModel { FlatGpu, PagedCpu };
+
+/// Classification of one allocation, for the Fig. 2 footprint accounting.
+enum class AllocClass : std::uint8_t { F32Data, I32Data, PtrData, Other };
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(MemoryModel model = MemoryModel::FlatGpu,
+                        std::uint32_t capacity_words = 16u << 20);
+
+  /// Allocate `words` 32-bit words; returns the base word address.
+  /// Throws std::bad_alloc on exhaustion.
+  std::uint32_t alloc(std::uint32_t words, AllocClass cls = AllocClass::Other);
+
+  /// Release all allocations (arena reset between program runs).
+  void reset();
+
+  /// Raw access used by host-side code (always bounds-checked, throws).
+  void copy_in(std::uint32_t addr, std::span<const std::uint32_t> data);
+  void copy_out(std::uint32_t addr, std::span<std::uint32_t> out) const;
+
+  /// Device-side access used by the interpreter: returns false on an invalid
+  /// address (the GPU kernel crash / CPU segfault signal) instead of
+  /// throwing, keeping the interpreter hot path exception-free.
+  [[nodiscard]] bool load(std::uint32_t addr, std::uint32_t& out) const noexcept {
+    if (!valid(addr)) return false;
+    out = words_[index_of(addr)];
+    return true;
+  }
+  [[nodiscard]] bool store(std::uint32_t addr, std::uint32_t value) noexcept {
+    if (!valid(addr)) return false;
+    words_[index_of(addr)] = value;
+    return true;
+  }
+  /// Atomic read-modify-write word pointer for AtomicAddG (callers
+  /// synchronize via the device's atomic mutex); nullptr when invalid.
+  [[nodiscard]] std::uint32_t* word_ptr(std::uint32_t addr) noexcept {
+    if (!valid(addr)) return nullptr;
+    return &words_[index_of(addr)];
+  }
+
+  [[nodiscard]] bool valid(std::uint32_t addr) const noexcept;
+
+  /// Checkpoint support (CheCUDA-style, Section VI(i)): snapshot the live
+  /// portion of the arena and restore it later.  Allocation metadata is not
+  /// part of the image; callers snapshot and restore around launches of the
+  /// same program, where the allocation layout is unchanged.
+  [[nodiscard]] std::vector<std::uint32_t> image() const {
+    return {words_.begin(), words_.begin() + used_};
+  }
+  void restore(std::span<const std::uint32_t> img) {
+    const std::size_t n = img.size() < used_ ? img.size() : used_;
+    std::copy(img.begin(), img.begin() + static_cast<long>(n), words_.begin());
+  }
+
+  [[nodiscard]] MemoryModel model() const noexcept { return model_; }
+  [[nodiscard]] std::uint32_t used_words() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t allocated_bytes(AllocClass cls) const noexcept {
+    return 4ull * class_words_[static_cast<int>(cls)];
+  }
+
+ private:
+  struct Extent {
+    std::uint32_t base;
+    std::uint32_t size;
+  };
+
+  [[nodiscard]] std::uint32_t index_of(std::uint32_t addr) const noexcept;
+
+  MemoryModel model_;
+  std::uint32_t capacity_;
+  std::vector<std::uint32_t> words_;
+  std::uint32_t used_ = 0;           // FlatGpu high-water mark / PagedCpu storage cursor
+  std::uint32_t next_base_ = 0;      // PagedCpu virtual placement cursor
+  std::vector<Extent> extents_;      // PagedCpu live allocations (sorted by base)
+  std::vector<std::uint32_t> extent_storage_;  // PagedCpu: storage offset per extent
+  std::uint64_t class_words_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace hauberk::gpusim

@@ -1,0 +1,76 @@
+// On-line adaptive protection (Section VI(iii)): "this false alarm diagnosis
+// can calculate the false positive ratio.  If the current false positive
+// ratio of a Hauberk loop error detector is higher than a threshold (e.g.
+// 10%), the recovery engine increases the parameter alpha (e.g. by
+// multiplying 10).  If the false positive ratio is smaller than another
+// threshold (e.g. 5%), it reduces the alpha ... as far as alpha is larger
+// than or equal to 1."
+//
+// AdaptiveProtection is the long-running service view of Hauberk: it owns a
+// guardian, a configured control block and an AlphaController, runs incoming
+// jobs under protection, counts guardian-diagnosed false alarms over a
+// sliding window, and recalibrates alpha after every window.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "hauberk/recovery.hpp"
+
+namespace hauberk::core {
+
+class AdaptiveProtection {
+ public:
+  struct Config {
+    std::size_t window = 10;       ///< runs per recalibration window
+    double hi_threshold = 0.10;    ///< FP ratio above which alpha grows
+    double lo_threshold = 0.05;    ///< FP ratio below which alpha shrinks
+    double factor = 10.0;
+    GuardianConfig guardian;
+  };
+
+  explicit AdaptiveProtection(ControlBlock& cb) : AdaptiveProtection(cb, Config{}) {}
+  AdaptiveProtection(ControlBlock& cb, Config cfg)
+      : cb_(&cb), cfg_(cfg), guardian_(cfg.guardian),
+        alpha_(cfg.hi_threshold, cfg.lo_threshold, cfg.factor) {
+    cb_->set_alpha(alpha_.alpha());
+  }
+
+  /// Run one job under protection; updates the false-positive statistics
+  /// and, at window boundaries, the alpha configured into the control block.
+  RecoveryOutcome run(gpusim::Device& dev, gpusim::Device* spare,
+                      const kir::BytecodeProgram& ft_prog, KernelJob& job) {
+    auto out = guardian_.run_protected(dev, spare, ft_prog, job, *cb_);
+    recent_.push_back(out.verdict == RecoveryVerdict::FalseAlarm);
+    ++runs_;
+    false_alarms_ += recent_.back();
+    if (recent_.size() >= cfg_.window) {
+      const double ratio = window_fp_ratio();
+      alpha_.update(ratio);
+      cb_->set_alpha(alpha_.alpha());
+      recent_.clear();
+    }
+    return out;
+  }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_.alpha(); }
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+  [[nodiscard]] std::uint64_t total_false_alarms() const noexcept { return false_alarms_; }
+  [[nodiscard]] double window_fp_ratio() const noexcept {
+    if (recent_.empty()) return 0.0;
+    std::size_t fp = 0;
+    for (bool b : recent_) fp += b;
+    return static_cast<double>(fp) / static_cast<double>(recent_.size());
+  }
+
+ private:
+  ControlBlock* cb_;
+  Config cfg_;
+  Guardian guardian_;
+  AlphaController alpha_;
+  std::deque<bool> recent_;
+  std::uint64_t runs_ = 0;
+  std::uint64_t false_alarms_ = 0;
+};
+
+}  // namespace hauberk::core

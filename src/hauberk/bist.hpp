@@ -1,0 +1,26 @@
+// Built-in self-test (Section VI(ii)(c)): a GPU program "specifically
+// designed to produce multiple sets of output data by examining various
+// parts of GPU hardware".  The guardian runs it when reexecution cannot
+// attribute an SDC alarm to a transient fault; a positive result disables
+// the device and triggers migration.
+#pragma once
+
+#include "gpusim/device.hpp"
+
+namespace hauberk::core {
+
+struct BistResult {
+  bool fault_detected = false;
+  bool alu_failed = false;
+  bool fpu_failed = false;
+  bool regfile_failed = false;
+  bool crashed = false;
+};
+
+/// Run the self-test suite across all SMs of the device.  Each test kernel
+/// computes values with known closed-form results per thread using a
+/// distinct hardware component mix (integer ALU chains, FP arithmetic,
+/// register move chains) and writes pass/fail flags.
+[[nodiscard]] BistResult run_bist(gpusim::Device& dev);
+
+}  // namespace hauberk::core

@@ -1,0 +1,52 @@
+// Checkpoint support (Section VI(i)): the paper optionally links CheCUDA
+// [25] so the guardian can restore the latest checkpoint instead of
+// restarting the whole program when a GPU kernel fails.
+//
+// A checkpoint captures device memory (the kernel's input state) right
+// before a launch; restore() writes the image back over the same allocation
+// layout, which is much cheaper than re-staging the inputs from the host —
+// restore_cost_cycles() vs setup replays every H2D copy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "kir/value.hpp"
+
+namespace hauberk::core {
+
+class Checkpoint {
+ public:
+  /// Snapshot device memory and the kernel arguments.  Call after job
+  /// setup, before the launch.
+  void capture(const gpusim::Device& dev, std::vector<kir::Value> args) {
+    image_ = dev.mem().image();
+    args_ = std::move(args);
+    valid_ = true;
+  }
+
+  /// Restore the captured memory image.  The device's allocation layout
+  /// must be unchanged since capture (true within one job's lifetime: the
+  /// interpreter never allocates).
+  void restore(gpusim::Device& dev) const {
+    dev.mem().restore(image_);
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+  [[nodiscard]] const std::vector<kir::Value>& args() const noexcept { return args_; }
+  [[nodiscard]] std::size_t image_words() const noexcept { return image_.size(); }
+
+  void invalidate() noexcept {
+    valid_ = false;
+    image_.clear();
+    args_.clear();
+  }
+
+ private:
+  std::vector<std::uint32_t> image_;
+  std::vector<kir::Value> args_;
+  bool valid_ = false;
+};
+
+}  // namespace hauberk::core

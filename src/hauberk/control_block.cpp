@@ -1,0 +1,102 @@
+#include "hauberk/control_block.hpp"
+
+namespace hauberk::core {
+
+ControlBlock::ControlBlock(const kir::BytecodeProgram& program) {
+  detectors_.resize(program.detectors.size());
+  for (std::size_t i = 0; i < program.detectors.size(); ++i) detectors_[i].meta = program.detectors[i];
+  samples_.resize(program.detectors.size());
+  exec_counts_.resize(program.fi_sites.size());
+}
+
+void ControlBlock::set_ranges(int detector, const RangeSet& rs) {
+  auto& d = detectors_.at(static_cast<std::size_t>(detector));
+  d.ranges = rs;
+  d.configured = true;
+}
+
+void ControlBlock::set_alpha(double alpha) { alpha_ = alpha < 1.0 ? 1.0 : alpha; }
+
+void ControlBlock::configure_from_profile(
+    const std::vector<std::vector<double>>& samples_per_detector) {
+  for (std::size_t d = 0; d < detectors_.size() && d < samples_per_detector.size(); ++d) {
+    if (detectors_[d].meta.is_iteration_check) continue;  // exact invariant, no ranges
+    if (samples_per_detector[d].empty()) continue;
+    set_ranges(static_cast<int>(d), derive_ranges(samples_per_detector[d]));
+  }
+}
+
+void ControlBlock::reset_results() {
+  sdc_.store(false, std::memory_order_relaxed);
+  for (auto& d : detectors_) {
+    d.checks = 0;
+    d.violations = 0;
+    d.outliers.clear();
+  }
+}
+
+std::uint64_t ControlBlock::total_checks() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& d : detectors_) n += d.checks;
+  return n;
+}
+
+std::uint64_t ControlBlock::total_violations() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& d : detectors_) n += d.violations;
+  return n;
+}
+
+void ControlBlock::absorb_outliers() {
+  for (auto& d : detectors_) {
+    for (double v : d.outliers) d.ranges.absorb(v);
+    if (!d.outliers.empty()) d.configured = true;
+    d.outliers.clear();
+  }
+}
+
+bool ControlBlock::check_range(int detector, kir::Value value) {
+  // Hot-ish path: one check per protected loop per thread.  Counter updates
+  // and outlier recording go under the mutex; the range test itself is
+  // read-only on state immutable during the launch.
+  auto& d = detectors_[static_cast<std::size_t>(detector)];
+  const double v = value.as_double();
+  const bool ok = !d.configured || d.ranges.contains(v, alpha_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++d.checks;
+    if (!ok) {
+      ++d.violations;
+      if (d.outliers.size() < kMaxOutliers) d.outliers.push_back(v);
+    }
+  }
+  if (!ok) sdc_.store(true, std::memory_order_relaxed);
+  return !ok;
+}
+
+void ControlBlock::equal_check_failed(int detector) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& d = detectors_[static_cast<std::size_t>(detector)];
+  ++d.checks;
+  ++d.violations;
+  sdc_.store(true, std::memory_order_relaxed);
+}
+
+void ControlBlock::profile_value(int detector, kir::Value value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& s = samples_[static_cast<std::size_t>(detector)];
+  if (s.size() < kMaxSamples) s.push_back(value.as_double());
+}
+
+void ControlBlock::prepare_profiling(std::uint64_t total_threads) {
+  profile_threads_ = total_threads;
+  for (auto& c : exec_counts_) c.assign(total_threads, 0u);
+}
+
+void ControlBlock::count_exec(std::uint32_t site_index, std::uint32_t thread_linear) {
+  // Distinct threads write distinct cells; no synchronization needed.
+  auto& c = exec_counts_[site_index];
+  if (thread_linear < c.size()) ++c[thread_linear];
+}
+
+}  // namespace hauberk::core

@@ -1,0 +1,55 @@
+#include "hauberk/device_pool.hpp"
+
+namespace hauberk::core {
+
+DevicePool::DevicePool(std::size_t n, gpusim::DeviceProps props, double t_backoff_initial) {
+  devices_.reserve(n);
+  daemons_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    devices_.push_back(std::make_unique<gpusim::Device>(props));
+  for (std::size_t i = 0; i < n; ++i)
+    daemons_.emplace_back(*devices_[i], t_backoff_initial);
+}
+
+std::size_t DevicePool::healthy_count() const {
+  std::size_t n = 0;
+  for (const auto& d : devices_) n += !d->disabled();
+  return n;
+}
+
+gpusim::Device* DevicePool::acquire() {
+  for (std::size_t probe = 0; probe < devices_.size(); ++probe) {
+    gpusim::Device* d = devices_[(next_ + probe) % devices_.size()].get();
+    if (!d->disabled()) {
+      next_ = (next_ + probe + 1) % devices_.size();
+      return d;
+    }
+  }
+  return nullptr;
+}
+
+gpusim::Device* DevicePool::spare_for(const gpusim::Device* primary) {
+  for (auto& d : devices_)
+    if (d.get() != primary && !d->disabled()) return d.get();
+  return nullptr;
+}
+
+RecoveryOutcome DevicePool::run_protected(Guardian& guardian,
+                                          const kir::BytecodeProgram& ft_prog, KernelJob& job,
+                                          ControlBlock& cb) {
+  gpusim::Device* primary = acquire();
+  if (primary == nullptr) {
+    RecoveryOutcome out;
+    out.verdict = RecoveryVerdict::Unrecoverable;  // whole node unhealthy
+    return out;
+  }
+  return guardian.run_protected(*primary, spare_for(primary), ft_prog, job, cb);
+}
+
+int DevicePool::tick(double now) {
+  int reenabled = 0;
+  for (auto& daemon : daemons_) reenabled += daemon.tick(now);
+  return reenabled;
+}
+
+}  // namespace hauberk::core

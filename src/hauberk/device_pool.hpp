@@ -1,0 +1,51 @@
+// Node-level GPU management (Section VI(ii)(c)): when BIST confirms a
+// hardware fault, "the current GPU device is disabled and another device in
+// the node or cluster is used for reexecuting the current GPU program", and
+// "a daemon process is periodically running [BIST] on disabled GPU devices
+// with a time delay T_backoff ... doubled after every execution".
+//
+// DevicePool owns the node's simulated GPUs, hands healthy devices to the
+// guardian together with a migration spare, and drives one BackoffDaemon
+// per disabled device so intermittent-fault GPUs rejoin the pool once their
+// fault clears.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "hauberk/recovery.hpp"
+
+namespace hauberk::core {
+
+class DevicePool {
+ public:
+  explicit DevicePool(std::size_t n, gpusim::DeviceProps props = {},
+                      double t_backoff_initial = 1.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return devices_.size(); }
+  [[nodiscard]] gpusim::Device& device(std::size_t i) { return *devices_.at(i); }
+  [[nodiscard]] std::size_t healthy_count() const;
+
+  /// Next healthy device (round-robin), or nullptr when all are disabled.
+  [[nodiscard]] gpusim::Device* acquire();
+  /// A healthy device other than `primary`, or nullptr (the migration spare).
+  [[nodiscard]] gpusim::Device* spare_for(const gpusim::Device* primary);
+
+  /// Run one job under guardian supervision on the pool: picks a primary and
+  /// a spare; a device the guardian disables stays out of the pool until its
+  /// backoff daemon re-enables it.
+  RecoveryOutcome run_protected(Guardian& guardian, const kir::BytecodeProgram& ft_prog,
+                                KernelJob& job, ControlBlock& cb);
+
+  /// Advance the simulated clock: re-test disabled devices that are due.
+  /// Returns the number of devices re-enabled during this tick.
+  int tick(double now);
+
+ private:
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::vector<BackoffDaemon> daemons_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace hauberk::core

@@ -1,0 +1,80 @@
+#include "hauberk/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace hauberk::core {
+
+namespace {
+
+/// Adapts one pipeline stage to the guardian's KernelJob interface.  setup()
+/// rebuilds the stage's input state from scratch: re-stage all inputs, then
+/// replay the prerequisite stages fault-free.  The guardian's checkpoint
+/// makes diagnosis re-executions skip this replay (Section VI(i)).
+class StageJob final : public KernelJob {
+ public:
+  StageJob(PipelineJob& job, const std::vector<const kir::BytecodeProgram*>& baselines,
+           int stage)
+      : job_(&job), baselines_(&baselines), stage_(stage) {}
+
+  std::vector<kir::Value> setup(gpusim::Device& dev) override {
+    job_->stage_inputs(dev);
+    for (int s = 0; s < stage_; ++s) {
+      const auto args = job_->args(s);
+      const auto res = dev.launch(*(*baselines_)[static_cast<std::size_t>(s)], job_->config(s),
+                                  args);
+      if (res.status != gpusim::LaunchStatus::Ok)
+        throw std::runtime_error("pipeline: prerequisite stage replay failed");
+    }
+    return job_->args(stage_);
+  }
+
+  [[nodiscard]] gpusim::LaunchConfig config() const override { return job_->config(stage_); }
+
+  [[nodiscard]] ProgramOutput read_output(const gpusim::Device& dev) const override {
+    // Intermediate stages have no host-visible output of their own; the
+    // guardian's output-identity diagnosis compares the final product, so we
+    // surface the program output buffer at every stage.
+    return job_->read_output(dev);
+  }
+
+ private:
+  PipelineJob* job_;
+  const std::vector<const kir::BytecodeProgram*>* baselines_;
+  int stage_;
+};
+
+}  // namespace
+
+PipelineOutcome run_pipeline_protected(Guardian& guardian, gpusim::Device& dev,
+                                       gpusim::Device* spare,
+                                       const std::vector<PipelineStage>& stages,
+                                       const std::vector<const kir::BytecodeProgram*>& baselines,
+                                       PipelineJob& job) {
+  PipelineOutcome out;
+  if (stages.size() != baselines.size() ||
+      static_cast<int>(stages.size()) != job.num_stages())
+    throw std::invalid_argument("pipeline: stage count mismatch");
+
+  gpusim::Device* current = &dev;
+  for (int s = 0; s < job.num_stages(); ++s) {
+    StageJob stage_job(job, baselines, s);
+    auto r = guardian.run_protected(*current, spare,
+                                    *stages[static_cast<std::size_t>(s)].program, stage_job,
+                                    *stages[static_cast<std::size_t>(s)].cb);
+    out.total_executions += r.executions;
+    const bool ok = r.verdict != RecoveryVerdict::Unrecoverable &&
+                    r.verdict != RecoveryVerdict::UnsupportedSoftware;
+    // A migration moves the whole remaining pipeline to the spare device.
+    if (r.verdict == RecoveryVerdict::MigratedToSpare && spare != nullptr) {
+      current = spare;
+      spare = nullptr;
+    }
+    out.stages.push_back(std::move(r));
+    if (!ok) return out;
+  }
+  out.completed = true;
+  out.output = job.read_output(*current);
+  return out;
+}
+
+}  // namespace hauberk::core

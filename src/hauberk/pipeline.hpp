@@ -1,0 +1,62 @@
+// Multi-kernel GPU programs (Fig. 6): a GPU program interleaves CPU-side
+// code with one or more GPU kernel launches, and Hauberk's deferred checking
+// runs at each kernel's completion — the control block is copied back and
+// the recovery engine invoked per kernel (Table I's "[CPU] after GPU kernel
+// launch" row).
+//
+// A PipelineJob stages device memory once and exposes per-stage launch
+// information; stages consume earlier stages' device-resident outputs.
+// run_pipeline_protected() drives every stage through the guardian: on
+// failure or SDC alarm of stage k the guardian re-executes *that kernel*
+// from its input state (restored from the pre-launch checkpoint, or rebuilt
+// by replaying the earlier stages — the CheCUDA-vs-restart tradeoff of
+// Section VI(i)).
+#pragma once
+
+#include <vector>
+
+#include "hauberk/control_block.hpp"
+#include "hauberk/recovery.hpp"
+#include "kir/bytecode.hpp"
+
+namespace hauberk::core {
+
+class PipelineJob {
+ public:
+  virtual ~PipelineJob() = default;
+
+  /// Reset device memory and upload all program inputs.
+  virtual void stage_inputs(gpusim::Device& dev) = 0;
+
+  [[nodiscard]] virtual int num_stages() const = 0;
+
+  /// Launch arguments / geometry for one stage (valid after stage_inputs).
+  [[nodiscard]] virtual std::vector<kir::Value> args(int stage) const = 0;
+  [[nodiscard]] virtual gpusim::LaunchConfig config(int stage) const = 0;
+
+  /// The program's final output (valid after the last stage completed).
+  [[nodiscard]] virtual ProgramOutput read_output(const gpusim::Device& dev) const = 0;
+};
+
+/// One protected stage: its (FT-instrumented) program and control block.
+struct PipelineStage {
+  const kir::BytecodeProgram* program = nullptr;
+  ControlBlock* cb = nullptr;
+};
+
+struct PipelineOutcome {
+  bool completed = false;
+  ProgramOutput output;
+  std::vector<RecoveryOutcome> stages;  ///< per-stage guardian outcomes
+  int total_executions = 0;
+};
+
+/// Run all stages under guardian supervision.  `baseline_programs` are the
+/// uninstrumented stage kernels used when replaying prerequisite stages to
+/// rebuild a later stage's input state.
+[[nodiscard]] PipelineOutcome run_pipeline_protected(
+    Guardian& guardian, gpusim::Device& dev, gpusim::Device* spare,
+    const std::vector<PipelineStage>& stages,
+    const std::vector<const kir::BytecodeProgram*>& baseline_programs, PipelineJob& job);
+
+}  // namespace hauberk::core

@@ -1,0 +1,88 @@
+// Process-level guardian (Section VI(i), Fig. 6): the paper's guardian is a
+// *parent process* of the instrumented GPU program — a GPU kernel failure
+// can take the whole host process down under the conservative fail-stop
+// policy, so supervision must live outside the failure domain.  The OS
+// notifies the parent via SIGCHLD; the guardian also kills children that
+// exceed their time budget (preemptive hang detection) and restarts failed
+// runs.
+//
+// This class is the real POSIX implementation: fork(), a pipe for the
+// child's result blob (output digest + SDC flag), waitpid(), kill() on
+// timeout.  The in-process core::Guardian implements the same Fig. 11
+// diagnosis over the simulator; this one demonstrates the paper's actual
+// process architecture and is exercised by tests/test_posix_guardian.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace hauberk::core {
+
+/// What the supervised child reports back through the pipe on clean exit.
+struct ChildReport {
+  std::uint64_t output_digest = 0;  ///< FNV-1a over the program output words
+  std::uint8_t sdc_alarm = 0;       ///< Hauberk detectors raised the SDC bit
+  std::uint8_t ok = 0;              ///< report is valid
+};
+
+enum class ChildStatus : std::uint8_t {
+  CleanNoAlarm,   ///< exited 0, no SDC alarm
+  CleanWithAlarm, ///< exited 0, SDC alarm set (needs diagnosis)
+  Crashed,        ///< abnormal termination (signal / nonzero exit)
+  Hung,           ///< killed by the guardian's timeout
+};
+
+struct SupervisedRun {
+  ChildStatus status = ChildStatus::Crashed;
+  ChildReport report;
+  int wait_status = 0;   ///< raw waitpid status
+  bool killed = false;
+};
+
+struct ProcessOutcome {
+  /// Final Fig. 11-style verdict at the process level.
+  enum class Verdict : std::uint8_t {
+    Success,
+    FalseAlarmOrTransient,  ///< alarm diagnosed benign by reexecution
+    RecoveredByRestart,     ///< failure, restart succeeded
+    SdcSuspected,           ///< alarms with differing outputs (device diagnosis due)
+    Failed,                 ///< repeated failure
+  };
+  Verdict verdict = Verdict::Failed;
+  int executions = 0;
+  int restarts = 0;
+  SupervisedRun last;
+};
+
+[[nodiscard]] const char* process_verdict_name(ProcessOutcome::Verdict v) noexcept;
+
+class PosixGuardian {
+ public:
+  struct Config {
+    double timeout_seconds = 10.0;  ///< preemptive hang kill (paper: T x previous + interval)
+    int max_restarts = 2;           ///< restarts before giving up
+  };
+
+  PosixGuardian() = default;
+  explicit PosixGuardian(Config cfg) : cfg_(cfg) {}
+
+  /// Fork and run `child` once under supervision.  The child runs the GPU
+  /// program and fills the report (digest of its output, SDC flag); any
+  /// crash, nonzero exit, or timeout is classified.  The parent never shares
+  /// state with the child beyond the report pipe.
+  [[nodiscard]] SupervisedRun run_once(const std::function<ChildReport()>& child) const;
+
+  /// Full supervision loop: restart on failure up to max_restarts; on an SDC
+  /// alarm, reexecute and compare output digests (identical -> false alarm /
+  /// benign, differing -> SDC suspected, clean -> transient recovered).
+  [[nodiscard]] ProcessOutcome supervise(const std::function<ChildReport()>& child) const;
+
+  /// FNV-1a digest helper for child output buffers.
+  [[nodiscard]] static std::uint64_t digest(const void* data, std::size_t bytes) noexcept;
+
+ private:
+  Config cfg_{};
+};
+
+}  // namespace hauberk::core

@@ -1,0 +1,46 @@
+// The unit the recovery engine supervises: one GPU kernel launch together
+// with its host-side data environment (Fig. 6's "isolated code + input").
+//
+// A KernelJob knows how to (re)initialize device memory for a given dataset,
+// what launch geometry to use, and how to read the kernel's output back.
+// Because setup() is deterministic, re-executing a job reproduces the
+// golden computation — which is exactly what the guardian's reexecution
+// diagnosis relies on (Section VI(ii)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "kir/value.hpp"
+
+namespace hauberk::core {
+
+/// A kernel's output buffer copied back to the CPU.
+struct ProgramOutput {
+  kir::DType type = kir::DType::F32;
+  std::vector<std::uint32_t> words;
+
+  [[nodiscard]] double element(std::size_t i) const noexcept {
+    return kir::Value{type, words[i]}.as_double();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return words.size(); }
+
+  friend bool operator==(const ProgramOutput& a, const ProgramOutput& b) = default;
+};
+
+class KernelJob {
+ public:
+  virtual ~KernelJob() = default;
+
+  /// Reset + repopulate device memory; returns the kernel launch arguments.
+  virtual std::vector<kir::Value> setup(gpusim::Device& dev) = 0;
+
+  /// Launch geometry for this job.
+  [[nodiscard]] virtual gpusim::LaunchConfig config() const = 0;
+
+  /// Read the kernel's output back from device memory (valid after launch).
+  [[nodiscard]] virtual ProgramOutput read_output(const gpusim::Device& dev) const = 0;
+};
+
+}  // namespace hauberk::core

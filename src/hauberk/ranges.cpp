@@ -1,0 +1,154 @@
+#include "hauberk/ranges.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace hauberk::core {
+
+namespace {
+
+/// Smallest magnitude treated as distinguishable from zero when measuring
+/// value-space size (single-precision denormal floor).
+constexpr double kMagFloor = 1e-38;
+
+double decades(double lo_mag, double hi_mag) {
+  lo_mag = std::max(lo_mag, kMagFloor);
+  hi_mag = std::max(hi_mag, lo_mag);
+  return std::log10(hi_mag / lo_mag);
+}
+
+}  // namespace
+
+bool RangeSet::contains(double v, double alpha) const noexcept {
+  if (!std::isfinite(v)) return false;
+  if (alpha < 1.0) alpha = 1.0;
+  const double a = std::fabs(v);
+  if (a <= zero_eps * alpha && (has_zero || v == 0.0)) return true;
+  if (v > 0.0 && pos.valid) {
+    if (a >= pos.lo / alpha && a <= pos.hi * alpha) return true;
+  }
+  if (v < 0.0 && neg.valid) {
+    const double lo_mag = -neg.hi, hi_mag = -neg.lo;  // magnitudes
+    if (a >= lo_mag / alpha && a <= hi_mag * alpha) return true;
+  }
+  return false;
+}
+
+void RangeSet::absorb(double v) {
+  if (!std::isfinite(v)) return;
+  const double a = std::fabs(v);
+  if (a <= zero_eps) {
+    has_zero = true;
+    return;
+  }
+  if (v > 0.0) {
+    if (!pos.valid) {
+      pos = {true, v, v};
+    } else {
+      pos.lo = std::min(pos.lo, v);
+      pos.hi = std::max(pos.hi, v);
+    }
+  } else {
+    if (!neg.valid) {
+      neg = {true, v, v};
+    } else {
+      neg.lo = std::min(neg.lo, v);
+      neg.hi = std::max(neg.hi, v);
+    }
+  }
+}
+
+double RangeSet::space_decades() const noexcept {
+  double total = 0.0;
+  if (pos.valid) total += decades(pos.lo, pos.hi);
+  if (neg.valid) total += decades(-neg.hi, -neg.lo);
+  if (has_zero) total += decades(kMagFloor, zero_eps);
+  return total;
+}
+
+std::string RangeSet::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "{neg:%s[%g,%g] zero:%s(eps=%g) pos:%s[%g,%g]}",
+                neg.valid ? "" : "x", neg.lo, neg.hi, has_zero ? "" : "x", zero_eps,
+                pos.valid ? "" : "x", pos.lo, pos.hi);
+  return buf;
+}
+
+RangeSet derive_ranges_fixed_threshold(std::span<const double> samples, double threshold) {
+  RangeSet rs;
+  rs.zero_eps = threshold;
+  for (double v : samples) {
+    if (!std::isfinite(v)) continue;
+    const double a = std::fabs(v);
+    if (a <= threshold) {
+      rs.has_zero = true;
+    } else if (v > 0.0) {
+      if (!rs.pos.valid) rs.pos = {true, v, v};
+      else {
+        rs.pos.lo = std::min(rs.pos.lo, v);
+        rs.pos.hi = std::max(rs.pos.hi, v);
+      }
+    } else {
+      if (!rs.neg.valid) rs.neg = {true, v, v};
+      else {
+        rs.neg.lo = std::min(rs.neg.lo, v);
+        rs.neg.hi = std::max(rs.neg.hi, v);
+      }
+    }
+  }
+  return rs;
+}
+
+RangeSet derive_ranges(std::span<const double> samples) {
+  // Start from the paper's default threshold (1e-5) and greedily move it by
+  // factors of 10 while the total covered value space shrinks.
+  double t = 1e-5;
+  RangeSet best = derive_ranges_fixed_threshold(samples, t);
+  double best_space = best.space_decades();
+  for (int iter = 0; iter < 60; ++iter) {
+    bool improved = false;
+    for (const double cand : {t * 10.0, t * 0.1}) {
+      if (cand < 1e-30 || cand > 1e+30) continue;
+      RangeSet rs = derive_ranges_fixed_threshold(samples, cand);
+      const double space = rs.space_decades();
+      if (space < best_space - 1e-12) {
+        best = rs;
+        best_space = space;
+        t = cand;
+        improved = true;
+        break;  // greedy: follow the first improving direction
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+void save_ranges(std::ostream& os, std::span<const RangeSet> sets) {
+  os.precision(17);  // round-trippable doubles
+  os << "hauberk-ranges v1 " << sets.size() << "\n";
+  for (const auto& rs : sets) {
+    os << rs.neg.valid << ' ' << rs.neg.lo << ' ' << rs.neg.hi << ' ' << rs.has_zero << ' '
+       << rs.zero_eps << ' ' << rs.pos.valid << ' ' << rs.pos.lo << ' ' << rs.pos.hi << "\n";
+  }
+}
+
+std::vector<RangeSet> load_ranges(std::istream& is) {
+  std::string magic, version;
+  std::size_t n = 0;
+  is >> magic >> version >> n;
+  std::vector<RangeSet> out;
+  if (magic != "hauberk-ranges") return out;
+  out.resize(n);
+  for (auto& rs : out) {
+    is >> rs.neg.valid >> rs.neg.lo >> rs.neg.hi >> rs.has_zero >> rs.zero_eps >> rs.pos.valid >>
+        rs.pos.lo >> rs.pos.hi;
+  }
+  return out;
+}
+
+}  // namespace hauberk::core

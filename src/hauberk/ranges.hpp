@@ -1,0 +1,67 @@
+// Value-range model of the Hauberk loop error detector (Section V.B).
+//
+// The paper's measurement (Fig. 10) shows that FP variables typically
+// cluster around *three correlation points*: one negative, one near zero,
+// one positive.  The profiling algorithm therefore partitions observed
+// values by two symmetric thresholds (+/-t), derives a [min,max] range per
+// partition, and searches t over powers of ten to minimize the total covered
+// value space.  At run time a value is an outlier when it falls in none of
+// the (alpha-widened) ranges; alpha recalibration trades false positives for
+// false negatives (Section VI(iii), Fig. 16).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hauberk::core {
+
+/// One closed magnitude interval on one side of zero.
+struct Interval {
+  bool valid = false;
+  double lo = 0.0;  ///< smallest observed value (signed)
+  double hi = 0.0;  ///< largest observed value (signed)
+};
+
+/// Up to three correlation ranges: negative values, a zero band |v| <= zero_eps,
+/// and positive values.
+struct RangeSet {
+  Interval neg;     ///< both bounds negative
+  Interval pos;     ///< both bounds positive
+  bool has_zero = false;
+  double zero_eps = 1e-5;
+
+  /// Membership with alpha widening: each range's magnitude bounds are
+  /// widened to [min/alpha, max*alpha] (the paper widens positive bounds
+  /// multiplicatively; we apply the same rule to magnitudes on both sides).
+  [[nodiscard]] bool contains(double v, double alpha = 1.0) const noexcept;
+
+  /// On-line learning: absorb an observed legitimate value so future checks
+  /// accept it (Section VI: updated ranges stored after a false alarm).
+  void absorb(double v);
+
+  /// Total covered value space in decades, the objective minimized by the
+  /// threshold search.
+  [[nodiscard]] double space_decades() const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return !neg.valid && !pos.valid && !has_zero; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Derive a RangeSet from profiled samples using the paper's threshold
+/// search: start at t = 1e-5, move t by factors of 10 while the total value
+/// space shrinks.
+[[nodiscard]] RangeSet derive_ranges(std::span<const double> samples);
+
+/// Partition samples at a fixed threshold (exposed for tests/ablation).
+[[nodiscard]] RangeSet derive_ranges_fixed_threshold(std::span<const double> samples,
+                                                     double threshold);
+
+// Serialization (the paper's profiler stores value ranges to a file at
+// main() exit; the FT build loads them at main() entry).
+void save_ranges(std::ostream& os, std::span<const RangeSet> sets);
+[[nodiscard]] std::vector<RangeSet> load_ranges(std::istream& is);
+
+}  // namespace hauberk::core

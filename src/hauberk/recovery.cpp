@@ -1,0 +1,201 @@
+#include "hauberk/recovery.hpp"
+
+#include <algorithm>
+
+namespace hauberk::core {
+
+using gpusim::Device;
+using gpusim::LaunchOptions;
+using gpusim::LaunchResult;
+using gpusim::LaunchStatus;
+
+const char* recovery_verdict_name(RecoveryVerdict v) noexcept {
+  switch (v) {
+    case RecoveryVerdict::Success: return "success";
+    case RecoveryVerdict::FalseAlarm: return "false-alarm";
+    case RecoveryVerdict::TransientRecovered: return "transient-recovered";
+    case RecoveryVerdict::MigratedToSpare: return "migrated-to-spare";
+    case RecoveryVerdict::UnsupportedSoftware: return "unsupported-software";
+    case RecoveryVerdict::Unrecoverable: return "unrecoverable";
+  }
+  return "?";
+}
+
+Guardian::Guardian(GuardianConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.identical)
+    cfg_.identical = [](const ProgramOutput& a, const ProgramOutput& b) { return a == b; };
+}
+
+std::uint64_t Guardian::watchdog_budget() const noexcept {
+  // Preemptive hang detection: kill when the kernel runs hang_factor times
+  // longer than its previous execution AND longer than the absolute floor.
+  if (prev_cycles_ == 0) return cfg_.hang_floor;
+  const double scaled = static_cast<double>(prev_cycles_) * cfg_.hang_factor;
+  return std::max(cfg_.hang_floor, static_cast<std::uint64_t>(scaled));
+}
+
+Guardian::ExecResult Guardian::execute_once(Device& dev, const kir::BytecodeProgram& prog,
+                                            KernelJob& job, ControlBlock& cb) {
+  // CheCUDA-style recovery: a checkpoint is taken before the first launch;
+  // re-executions on the same device restore the image instead of replaying
+  // the host-side setup (Section VI(i)).
+  ExecResult r;
+  std::vector<kir::Value> args;
+  if (cfg_.use_checkpoint && checkpoint_.valid() && checkpoint_dev_ == &dev) {
+    checkpoint_.restore(dev);
+    args = checkpoint_.args();
+    r.from_checkpoint = true;
+  } else {
+    args = job.setup(dev);
+    if (cfg_.use_checkpoint) {
+      checkpoint_.capture(dev, args);
+      checkpoint_dev_ = &dev;
+    }
+  }
+  cb.reset_results();
+  LaunchOptions opts;
+  opts.hooks = &cb;
+  opts.watchdog_instructions = watchdog_budget();
+  opts.charge_control_block = true;
+  r.launch = dev.launch(prog, job.config(), args, opts);
+  if (r.launch.status == LaunchStatus::Ok) {
+    r.output = job.read_output(dev);
+    prev_cycles_ = std::max<std::uint64_t>(1, r.launch.instructions / std::max<std::uint64_t>(1, r.launch.threads));
+    // Budget is per-thread; remember per-thread instruction scale.
+  }
+  return r;
+}
+
+RecoveryOutcome Guardian::run_protected(Device& dev, Device* spare,
+                                        const kir::BytecodeProgram& ft_prog, KernelJob& job,
+                                        ControlBlock& cb) {
+  RecoveryOutcome out;
+  checkpoint_.invalidate();  // a new job: never reuse a previous job's image
+  checkpoint_dev_ = nullptr;
+
+  auto run_failure_path = [&](Device& d) -> bool {
+    // Returns true when the failure persisted (caller escalates to BIST).
+    for (int attempt = 1; attempt < cfg_.max_restarts; ++attempt) {
+      ++out.restarts;
+      auto r = execute_once(d, ft_prog, job, cb);
+      ++out.executions;
+      out.checkpoint_restores += r.from_checkpoint;
+      out.last_result = r.launch;
+      if (r.launch.status == LaunchStatus::Ok) {
+        out.output = std::move(r.output);
+        return false;
+      }
+    }
+    return true;
+  };
+
+  auto escalate_bist = [&](RecoveryVerdict healthy_verdict) {
+    out.bist_ran = true;
+    // BIST resets device memory, destroying the checkpointed layout.
+    checkpoint_.invalidate();
+    checkpoint_dev_ = nullptr;
+    const BistResult b = run_bist(dev);
+    if (b.fault_detected) {
+      // Disable the faulty device; migrate to a spare when available.
+      dev.set_disabled(true);
+      out.device_disabled = true;
+      if (spare != nullptr && !spare->disabled()) {
+        auto r = execute_once(*spare, ft_prog, job, cb);
+        ++out.executions;
+        out.last_result = r.launch;
+        if (r.launch.status == LaunchStatus::Ok) {
+          out.output = std::move(r.output);
+          out.verdict = RecoveryVerdict::MigratedToSpare;
+          return;
+        }
+      }
+      out.verdict = RecoveryVerdict::Unrecoverable;
+    } else {
+      // Healthy hardware: the program has a bug or is nondeterministic.
+      out.verdict = healthy_verdict;
+    }
+  };
+
+  // --- first execution ---
+  auto first = execute_once(dev, ft_prog, job, cb);
+  ++out.executions;
+  out.checkpoint_restores += first.from_checkpoint;
+  out.last_result = first.launch;
+
+  if (first.launch.status != LaunchStatus::Ok) {
+    // Kernel failure: guardian restarts; repeated failure => device diagnosis.
+    if (!run_failure_path(dev)) {
+      out.verdict = RecoveryVerdict::Success;
+      return out;
+    }
+    escalate_bist(RecoveryVerdict::UnsupportedSoftware);
+    return out;
+  }
+
+  const bool alarm1 = first.launch.sdc_alarm || cb.sdc_detected();
+  if (!alarm1) {
+    out.verdict = RecoveryVerdict::Success;
+    out.output = std::move(first.output);
+    return out;
+  }
+
+  // --- SDC alarm: diagnose by reexecution (assume false positive first) ---
+  // Preserve the first run's recorded outliers for potential on-line learning.
+  std::vector<std::vector<double>> outliers1;
+  for (const auto& d : cb.detectors()) outliers1.push_back(d.outliers);
+
+  auto second = execute_once(dev, ft_prog, job, cb);
+  ++out.executions;
+  out.checkpoint_restores += second.from_checkpoint;
+  out.last_result = second.launch;
+
+  if (second.launch.status != LaunchStatus::Ok) {
+    if (!run_failure_path(dev)) {
+      out.verdict = RecoveryVerdict::TransientRecovered;
+      return out;
+    }
+    escalate_bist(RecoveryVerdict::UnsupportedSoftware);
+    return out;
+  }
+
+  const bool alarm2 = second.launch.sdc_alarm || cb.sdc_detected();
+  if (!alarm2) {
+    // Alarm disappeared: transient or short intermittent fault; take the
+    // reexecution's output.
+    out.verdict = RecoveryVerdict::TransientRecovered;
+    out.output = std::move(second.output);
+    return out;
+  }
+
+  if (cfg_.identical(first.output, second.output)) {
+    // Both executions alarm with identical outputs: false positive.
+    // On-line learning: absorb the outliers into the value ranges.
+    for (std::size_t d = 0; d < cb.detectors().size() && d < outliers1.size(); ++d)
+      for (double v : outliers1[d]) cb.detectors()[d].ranges.absorb(v);
+    cb.absorb_outliers();
+    out.verdict = RecoveryVerdict::FalseAlarm;
+    out.output = std::move(second.output);
+    return out;
+  }
+
+  // Alarms with differing outputs: suspect long intermittent/permanent fault.
+  escalate_bist(RecoveryVerdict::UnsupportedSoftware);
+  if (out.verdict == RecoveryVerdict::UnsupportedSoftware) out.output = std::move(second.output);
+  return out;
+}
+
+bool BackoffDaemon::tick(double now) {
+  if (!dev_->disabled()) return false;
+  if (now < next_due_) return false;
+  ++bist_runs_;
+  // Temporarily enable the device so the self-test can launch on it.
+  dev_->set_disabled(false);
+  const BistResult b = run_bist(*dev_);
+  if (!b.fault_detected) return true;  // healthy again: leave it enabled
+  dev_->set_disabled(true);
+  backoff_ *= 2.0;  // exponential backoff between diagnosis attempts
+  next_due_ = now + backoff_;
+  return false;
+}
+
+}  // namespace hauberk::core

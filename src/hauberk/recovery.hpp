@@ -1,0 +1,142 @@
+// Retry-based error recovery (Section VI, Fig. 11).
+//
+// The guardian supervises instrumented GPU program runs:
+//  * restarts on kernel failure; two failures of the same kernel on the same
+//    input trigger BIST device diagnosis;
+//  * preemptive hang detection: a kernel running longer than hang_factor x
+//    its previous execution time AND longer than an absolute floor is
+//    killed (mapped onto the interpreter's per-thread watchdog);
+//  * SDC alarms are diagnosed by reexecution: identical outputs => false
+//    alarm (ranges updated, on-line learning); clean second run => transient
+//    fault; differing outputs => BIST; a detected hardware fault disables
+//    the device and migrates the job to a spare;
+//  * a backoff daemon periodically re-tests disabled devices with doubling
+//    T_backoff and re-enables them once the (intermittent) fault clears.
+//
+// AlphaController implements Section VI(iii): the range-widening factor
+// alpha is multiplied by 10 when the observed false-positive ratio exceeds
+// 10% and divided by 10 (floor 1) when it drops below 5%.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "hauberk/bist.hpp"
+#include "hauberk/checkpoint.hpp"
+#include "hauberk/control_block.hpp"
+#include "hauberk/program.hpp"
+#include "kir/bytecode.hpp"
+
+namespace hauberk::core {
+
+struct GuardianConfig {
+  double hang_factor = 10.0;          ///< T: multiple of previous execution time
+  std::uint64_t hang_floor = 20'000'000;  ///< absolute watchdog floor (instructions)
+  int max_restarts = 2;               ///< failures of same kernel+input before BIST
+  bool use_checkpoint = true;         ///< restore memory image instead of full re-setup
+  /// Output-identity predicate for false-alarm diagnosis.  Defaults to exact
+  /// equality (deterministic programs); nondeterministic programs supply a
+  /// tolerance comparator (paper: within 2x the correctness requirement).
+  std::function<bool(const ProgramOutput&, const ProgramOutput&)> identical;
+};
+
+enum class RecoveryVerdict : std::uint8_t {
+  Success,            ///< clean run, no alarm
+  FalseAlarm,         ///< alarm on both runs, identical outputs; ranges updated
+  TransientRecovered, ///< alarm then clean reexecution; second output taken
+  MigratedToSpare,    ///< BIST found a device fault; job re-ran on the spare
+  UnsupportedSoftware,///< differing outputs but healthy device (bug/nondeterminism)
+  Unrecoverable,      ///< repeated failure and no spare available
+};
+
+[[nodiscard]] const char* recovery_verdict_name(RecoveryVerdict v) noexcept;
+
+struct RecoveryOutcome {
+  RecoveryVerdict verdict = RecoveryVerdict::Success;
+  ProgramOutput output;
+  gpusim::LaunchResult last_result;
+  int executions = 0;
+  int restarts = 0;
+  bool bist_ran = false;
+  bool device_disabled = false;
+  int checkpoint_restores = 0;  ///< re-executions served from the checkpoint
+};
+
+class Guardian {
+ public:
+  explicit Guardian(GuardianConfig cfg = {});
+
+  /// Run one job under full Fig. 11 supervision.  `spare` may be null (no
+  /// migration target).  The control block must be configured (ranges) for
+  /// the FT program.
+  RecoveryOutcome run_protected(gpusim::Device& dev, gpusim::Device* spare,
+                                const kir::BytecodeProgram& ft_prog, KernelJob& job,
+                                ControlBlock& cb);
+
+  [[nodiscard]] std::uint64_t previous_cycles() const noexcept { return prev_cycles_; }
+
+ private:
+  struct ExecResult {
+    gpusim::LaunchResult launch;
+    ProgramOutput output;
+    bool from_checkpoint = false;
+  };
+  ExecResult execute_once(gpusim::Device& dev, const kir::BytecodeProgram& prog, KernelJob& job,
+                          ControlBlock& cb);
+  [[nodiscard]] std::uint64_t watchdog_budget() const noexcept;
+
+  GuardianConfig cfg_;
+  std::uint64_t prev_cycles_ = 0;  ///< previous instruction count (hang baseline)
+  Checkpoint checkpoint_;          ///< pre-launch memory image (Section VI(i))
+  gpusim::Device* checkpoint_dev_ = nullptr;  ///< device the image belongs to
+};
+
+/// Section VI(iii): adaptive control of the range-widening factor.
+class AlphaController {
+ public:
+  AlphaController(double hi_threshold = 0.10, double lo_threshold = 0.05, double factor = 10.0)
+      : hi_(hi_threshold), lo_(lo_threshold), factor_(factor) {}
+
+  /// Feed the false-positive ratio observed since the last update.
+  void update(double false_positive_ratio) {
+    if (false_positive_ratio > hi_) {
+      alpha_ *= factor_;
+    } else if (false_positive_ratio < lo_ && alpha_ / factor_ >= 1.0) {
+      alpha_ /= factor_;
+    }
+  }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  void set_alpha(double a) noexcept { alpha_ = a < 1.0 ? 1.0 : a; }
+
+ private:
+  double hi_, lo_, factor_;
+  double alpha_ = 1.0;
+};
+
+/// Periodically re-tests a disabled device with exponentially growing delay
+/// and re-enables it once BIST passes (Section VI(ii)(c)).  Time is a
+/// simulated clock advanced by the caller.
+class BackoffDaemon {
+ public:
+  explicit BackoffDaemon(gpusim::Device& dev, double t_backoff_initial = 1.0)
+      : dev_(&dev), backoff_(t_backoff_initial) {}
+
+  /// Advance simulated time; runs BIST when due.  Returns true if the device
+  /// was re-enabled during this tick.
+  bool tick(double now);
+
+  [[nodiscard]] double current_backoff() const noexcept { return backoff_; }
+  [[nodiscard]] int bist_runs() const noexcept { return bist_runs_; }
+
+ private:
+  gpusim::Device* dev_;
+  double backoff_;
+  double next_due_ = 0.0;
+  int bist_runs_ = 0;
+};
+
+}  // namespace hauberk::core

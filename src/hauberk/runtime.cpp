@@ -1,0 +1,68 @@
+#include "hauberk/runtime.hpp"
+
+#include <stdexcept>
+
+namespace hauberk::core {
+
+using gpusim::Device;
+using gpusim::LaunchOptions;
+using gpusim::LaunchStatus;
+
+KernelVariants build_variants(const kir::Kernel& source, TranslateOptions opt) {
+  KernelVariants v;
+  v.source = kir::clone_kernel(source);
+  v.baseline = kir::lower(source);
+
+  opt.mode = LibMode::Profiler;
+  v.profiler = kir::lower(translate(source, opt, &v.profiler_report));
+
+  opt.mode = LibMode::FT;
+  v.ft_source = translate(source, opt, &v.ft_report);
+  v.ft = kir::lower(v.ft_source);
+
+  opt.mode = LibMode::FI;
+  v.fi = kir::lower(translate(source, opt, &v.fi_report));
+
+  opt.mode = LibMode::FIFT;
+  TranslateReport fift_rep;
+  v.fift = kir::lower(translate(source, opt, &fift_rep));
+  return v;
+}
+
+ProfileData profile(Device& dev, const KernelVariants& v, std::vector<KernelJob*> training_jobs) {
+  ProfileData pd;
+  pd.samples.resize(v.profiler.detectors.size());
+
+  for (KernelJob* job : training_jobs) {
+    ControlBlock cb(v.profiler);
+    const auto cfg = job->config();
+    cb.prepare_profiling(cfg.total_threads());
+    const auto args = job->setup(dev);
+    LaunchOptions opts;
+    opts.hooks = &cb;
+    const auto res = dev.launch(v.profiler, cfg, args, opts);
+    if (res.status != LaunchStatus::Ok)
+      throw std::runtime_error("hauberk profile: training run failed: " +
+                               std::string(gpusim::launch_status_name(res.status)));
+    pd.golden.push_back(job->read_output(dev));
+    // Merge detector samples.
+    const auto& s = cb.profiled_samples();
+    if (pd.samples.size() < s.size()) pd.samples.resize(s.size());
+    for (std::size_t d = 0; d < s.size(); ++d)
+      pd.samples[d].insert(pd.samples[d].end(), s[d].begin(), s[d].end());
+    // Execution counts from the most recent job drive FI planning.
+    pd.exec_counts = cb.exec_counts();
+    pd.total_threads = cfg.total_threads();
+  }
+  return pd;
+}
+
+std::unique_ptr<ControlBlock> make_configured_control_block(const kir::BytecodeProgram& ft_prog,
+                                                            const ProfileData& pd, double alpha) {
+  auto cb = std::make_unique<ControlBlock>(ft_prog);
+  cb->configure_from_profile(pd.samples);
+  cb->set_alpha(alpha);
+  return cb;
+}
+
+}  // namespace hauberk::core

@@ -1,0 +1,59 @@
+// The Hauberk framework driver (Fig. 7): from one kernel source, build the
+// five program variants (baseline / profiler / FT / FI / FI&FT), run the
+// profiler over training jobs to derive value ranges, golden outputs and
+// fault-injection targets, and configure control blocks for FT runs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "hauberk/control_block.hpp"
+#include "hauberk/program.hpp"
+#include "hauberk/translator.hpp"
+#include "kir/bytecode.hpp"
+
+namespace hauberk::core {
+
+/// The five compiled variants of one GPU kernel (Fig. 7).
+struct KernelVariants {
+  kir::Kernel source;            ///< original AST (for inspection/printing)
+  kir::Kernel ft_source;         ///< instrumented FT AST (translator output)
+  kir::BytecodeProgram baseline;
+  kir::BytecodeProgram profiler;
+  kir::BytecodeProgram ft;
+  kir::BytecodeProgram fi;
+  kir::BytecodeProgram fift;
+  TranslateReport ft_report;
+  TranslateReport profiler_report;
+  TranslateReport fi_report;
+};
+
+/// Compile all five variants.  `opt` controls Maxvar and which detector
+/// families are enabled; its `mode` field is ignored.
+[[nodiscard]] KernelVariants build_variants(const kir::Kernel& source,
+                                            TranslateOptions opt = {});
+
+/// Result of running the profiler variant over one or more training jobs.
+struct ProfileData {
+  /// Per-detector samples (indexed by detector id), accumulated over runs.
+  std::vector<std::vector<double>> samples;
+  /// Per-FI-site total execution counts and per-thread counts from the last
+  /// profiled job (FI target derivation).
+  std::vector<std::vector<std::uint32_t>> exec_counts;
+  /// Golden outputs, one per profiled job.
+  std::vector<ProgramOutput> golden;
+  std::uint64_t total_threads = 0;
+};
+
+/// Run the profiler binary over training jobs, accumulating detector value
+/// samples and golden outputs.  Jobs run fault-free.
+[[nodiscard]] ProfileData profile(gpusim::Device& dev, const KernelVariants& v,
+                                  std::vector<KernelJob*> training_jobs);
+
+/// Build a control block for the FT/FI&FT program configured with ranges
+/// derived from profile data.
+[[nodiscard]] std::unique_ptr<ControlBlock> make_configured_control_block(
+    const kir::BytecodeProgram& ft_prog, const ProfileData& pd, double alpha = 1.0);
+
+}  // namespace hauberk::core

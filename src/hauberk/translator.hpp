@@ -1,0 +1,71 @@
+// The Hauberk source-to-source translator (Fig. 7, Table I).
+//
+// Given a kernel AST, produces an instrumented kernel for one of the four
+// library modes:
+//
+//  * Profiler — inserts loop accumulators/counters that feed ProfileValue
+//    statements (value-range profiling, Section V.B) and CountExec hooks
+//    after every virtual-variable definition (FI target derivation).
+//  * FT — fault tolerance: non-loop duplication + shared-checksum detectors
+//    (Section V.A, Fig. 8(c)) and loop accumulation-based range checking +
+//    iteration-count invariants (Section V.B).
+//  * FI — inserts a fault-injection hook after every definition (Fig. 12).
+//  * FIFT — FT instrumentation plus FI hooks, used to measure the detection
+//    coverage of the placed detectors (Fig. 14).
+//
+// Baseline detectors from the related-work comparison (R-Naive, R-Scatter)
+// live in src/swifi/baselines.*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kir/analysis.hpp"
+#include "kir/ast.hpp"
+
+namespace hauberk::core {
+
+enum class LibMode : std::uint8_t { None, Profiler, FT, FI, FIFT };
+
+[[nodiscard]] const char* lib_mode_name(LibMode m) noexcept;
+
+struct TranslateOptions {
+  LibMode mode = LibMode::FT;
+  /// Maximum protected variables per loop (Maxvar, Section V.B); counts
+  /// self-accumulating variables.
+  int maxvar = 1;
+  /// Enable the non-loop detectors (disable to build Hauberk-L only).
+  bool protect_nonloop = true;
+  /// Enable the loop detectors (disable to build Hauberk-NL only).
+  bool protect_loop = true;
+  /// Give FI hooks to loop iterators (emulates SM-scheduler/control faults;
+  /// source of the loop-hang failures of Section IX.B).
+  bool fi_target_iterators = true;
+  /// Ablation: use the naive variable-granularity duplication of Fig. 8(b)
+  /// (shadow variable alive until the last use, compared there) instead of
+  /// Hauberk's checksum-based scheme of Fig. 8(c).
+  bool naive_duplication = false;
+};
+
+/// One placed loop detector, for reporting and tests.
+struct LoopDetectorInfo {
+  std::uint32_t loop_id = 0;
+  kir::VarId var = kir::kInvalidVar;
+  int value_detector = -1;
+  int iter_detector = -1;  ///< -1 when the trip count was not derivable
+  bool self_accumulating = false;
+};
+
+struct TranslateReport {
+  int nonloop_protected = 0;   ///< virtual variables covered by dup+checksum
+  int params_protected = 0;
+  std::vector<LoopDetectorInfo> loop_detectors;
+  int fi_sites = 0;
+  double transform_seconds = 0.0;  ///< Section IX.D instrumentation time
+};
+
+/// Instrument `input` according to `opt`.  The input kernel is not modified.
+[[nodiscard]] kir::Kernel translate(const kir::Kernel& input, const TranslateOptions& opt,
+                                    TranslateReport* report = nullptr);
+
+}  // namespace hauberk::core

@@ -1,0 +1,372 @@
+#include "kir/analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace hauberk::kir {
+
+// ---------------------------------------------------------------------------
+// Expression helpers
+// ---------------------------------------------------------------------------
+
+bool Analysis::expr_reads(const ExprPtr& e, VarId v) {
+  if (!e) return false;
+  if (e->kind == ExprKind::VarRef) return e->var == v;
+  return expr_reads(e->a, v) || expr_reads(e->b, v) || expr_reads(e->c, v);
+}
+
+void Analysis::collect_reads(const ExprPtr& e, std::set<VarId>& out) {
+  if (!e) return;
+  if (e->kind == ExprKind::VarRef) out.insert(e->var);
+  collect_reads(e->a, out);
+  collect_reads(e->b, out);
+  collect_reads(e->c, out);
+}
+
+void Analysis::count_nodes(const ExprPtr& e, int& ops, int& loads) {
+  if (!e) return;
+  switch (e->kind) {
+    case ExprKind::Unary:
+    case ExprKind::Binary:
+    case ExprKind::Select:
+      ++ops;
+      break;
+    case ExprKind::LoadGlobal:
+    case ExprKind::LoadShared:
+      ++loads;
+      break;
+    default:
+      break;
+  }
+  count_nodes(e->a, ops, loads);
+  count_nodes(e->b, ops, loads);
+  count_nodes(e->c, ops, loads);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel scan
+// ---------------------------------------------------------------------------
+
+Analysis::Analysis(const Kernel& kernel) : kernel_(&kernel) {
+  facts_.resize(kernel.vars.size());
+  for (VarId v = 0; v < facts_.size(); ++v) facts_[v].var = v;
+  loops_.resize(kernel.num_loops);
+  scan(kernel.body, 0, kNoLoop);
+}
+
+void Analysis::note_use(const ExprPtr& e) {
+  std::set<VarId> reads;
+  collect_reads(e, reads);
+  for (VarId v : reads)
+    for (std::uint32_t l : loop_stack_) facts_[v].loops_using.insert(l);
+}
+
+void Analysis::scan(const StmtList& body, int depth, std::uint32_t loop) {
+  for (const auto& s : body) scan_stmt(s, depth, loop);
+}
+
+void Analysis::scan_stmt(const StmtPtr& s, int depth, std::uint32_t loop) {
+  switch (s->kind) {
+    case StmtKind::Let: {
+      VarFacts& f = facts_[s->var];
+      f.def_depth = depth;
+      f.def_loop = loop;
+      note_use(s->value);
+      for (std::uint32_t l : loop_stack_) loops_[l].lets_inside.push_back(s->var);
+      break;
+    }
+    case StmtKind::Assign: {
+      VarFacts& f = facts_[s->var];
+      if (depth > 0) f.assigned_in_loop = true;
+      note_use(s->value);
+      for (std::uint32_t l : loop_stack_) {
+        loops_[l].assigns_inside.push_back(s->var);
+        f.loops_assigning.insert(l);
+      }
+      break;
+    }
+    case StmtKind::StoreGlobal:
+    case StmtKind::StoreShared:
+    case StmtKind::AtomicAddGlobal:
+      note_use(s->addr);
+      note_use(s->value);
+      break;
+    case StmtKind::For: {
+      LoopNode& ln = loops_[s->loop_id];
+      ln.id = s->loop_id;
+      ln.stmt = s.get();
+      ln.parent = loop;
+      ln.depth = depth + 1;
+      ln.is_for = true;
+      ln.iterator = s->var;
+      facts_[s->var].is_loop_iterator = true;
+      facts_[s->var].def_depth = depth + 1;
+      facts_[s->var].def_loop = s->loop_id;
+      note_use(s->init);  // evaluated once, outside the loop body
+      loop_stack_.push_back(s->loop_id);
+      note_use(s->limit);  // re-evaluated every iteration
+      note_use(s->step);
+      scan(s->body, depth + 1, s->loop_id);
+      loop_stack_.pop_back();
+      break;
+    }
+    case StmtKind::While: {
+      LoopNode& ln = loops_[s->loop_id];
+      ln.id = s->loop_id;
+      ln.stmt = s.get();
+      ln.parent = loop;
+      ln.depth = depth + 1;
+      ln.is_for = false;
+      loop_stack_.push_back(s->loop_id);
+      note_use(s->value);
+      scan(s->body, depth + 1, s->loop_id);
+      loop_stack_.pop_back();
+      break;
+    }
+    case StmtKind::If:
+      note_use(s->value);
+      scan(s->body, depth, loop);
+      scan(s->else_body, depth, loop);
+      break;
+    case StmtKind::Barrier:
+      break;
+    default:
+      // Instrumentation statements: record their reads so later passes see
+      // accurate use information when re-analyzing instrumented kernels.
+      note_use(s->value);
+      note_use(s->rhs);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loop dataflow (Fig. 9)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Visit Let/Assign statements inside a loop body (recursing into nested
+/// control flow), invoking fn(stmt).
+void for_each_def(const StmtList& body, const std::function<void(const Stmt&)>& fn) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::Let:
+      case StmtKind::Assign:
+        fn(*s);
+        break;
+      case StmtKind::For:
+      case StmtKind::While:
+      case StmtKind::If:
+        for_each_def(s->body, fn);
+        for_each_def(s->else_body, fn);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void for_each_store(const StmtList& body, const std::function<void(const Stmt&)>& fn) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::StoreGlobal:
+      case StmtKind::StoreShared:
+      case StmtKind::AtomicAddGlobal:
+        fn(*s);
+        break;
+      case StmtKind::For:
+      case StmtKind::While:
+      case StmtKind::If:
+        for_each_store(s->body, fn);
+        for_each_store(s->else_body, fn);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+LoopDataflow Analysis::loop_dataflow(std::uint32_t loop_id) const {
+  const LoopNode& ln = loops_.at(loop_id);
+  LoopDataflow df;
+  df.loop_id = loop_id;
+
+  // Loop vars: defined or re-defined anywhere inside the loop.
+  std::set<VarId> loop_vars(ln.lets_inside.begin(), ln.lets_inside.end());
+  loop_vars.insert(ln.assigns_inside.begin(), ln.assigns_inside.end());
+  df.loop_vars.assign(loop_vars.begin(), loop_vars.end());
+
+  for_each_def(ln.stmt->body, [&](const Stmt& s) {
+    std::set<VarId> reads;
+    collect_reads(s.value, reads);
+    for (VarId r : reads)
+      if (loop_vars.count(r) && r != s.var) df.uses[s.var].insert(r);
+    int ops = 0, loads = 0;
+    count_nodes(s.value, ops, loads);
+    df.op_nodes[s.var] += ops;
+    df.load_nodes[s.var] += loads;
+  });
+
+  // Outputs: stored to memory inside the loop, or live after the loop
+  // (defined outside but updated inside => read by later code by construction).
+  std::set<VarId> outs;
+  for_each_store(ln.stmt->body, [&](const Stmt& s) {
+    std::set<VarId> reads;
+    collect_reads(s.value, reads);
+    collect_reads(s.addr, reads);
+    for (VarId r : reads)
+      if (loop_vars.count(r)) outs.insert(r);
+  });
+  for (VarId v : ln.assigns_inside)
+    if (!std::count(ln.lets_inside.begin(), ln.lets_inside.end(), v)) outs.insert(v);
+  df.outputs.assign(outs.begin(), outs.end());
+  return df;
+}
+
+std::set<VarId> LoopDataflow::backward_set(VarId v) const {
+  std::set<VarId> seen{v};
+  std::vector<VarId> work{v};
+  while (!work.empty()) {
+    VarId cur = work.back();
+    work.pop_back();
+    auto it = uses.find(cur);
+    if (it == uses.end()) continue;
+    for (VarId u : it->second)
+      if (seen.insert(u).second) work.push_back(u);
+  }
+  return seen;
+}
+
+std::set<VarId> LoopDataflow::forward_set(VarId v) const {
+  // Reverse reachability: all w with v in backward_set(w).
+  std::set<VarId> out;
+  for (VarId w : loop_vars)
+    if (w != v && backward_set(w).count(v)) out.insert(w);
+  return out;
+}
+
+int LoopDataflow::cbd(VarId v) const {
+  const auto closure = backward_set(v);
+  int total = static_cast<int>(closure.size()) - 1;  // other loop vars feeding v
+  for (VarId w : closure) {
+    auto oit = op_nodes.find(w);
+    if (oit != op_nodes.end()) total += oit->second;
+    auto lit = load_nodes.find(w);
+    if (lit != load_nodes.end()) total += lit->second;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Self-accumulators, trip counts, protection plan
+// ---------------------------------------------------------------------------
+
+std::set<VarId> Analysis::self_accumulators(std::uint32_t loop_id) const {
+  const LoopNode& ln = loops_.at(loop_id);
+  std::set<VarId> lets(ln.lets_inside.begin(), ln.lets_inside.end());
+  std::set<VarId> out;
+  for_each_def(ln.stmt->body, [&](const Stmt& s) {
+    if (s.kind != StmtKind::Assign) return;
+    if (lets.count(s.var)) return;  // must be defined outside the loop
+    const ExprPtr& e = s.value;
+    if (e->kind != ExprKind::Binary) return;
+    if (e->bin != BinOp::Add && e->bin != BinOp::Sub) return;
+    const bool lhs_self = e->a && e->a->kind == ExprKind::VarRef && e->a->var == s.var;
+    const bool rhs_self =
+        e->b && e->b->kind == ExprKind::VarRef && e->b->var == s.var && e->bin == BinOp::Add;
+    if (lhs_self || rhs_self) out.insert(s.var);
+  });
+  return out;
+}
+
+ExprPtr Analysis::derive_trip_count(std::uint32_t loop_id) const {
+  const LoopNode& ln = loops_.at(loop_id);
+  if (!ln.is_for) return nullptr;  // while loops: count not statically derivable
+  const Stmt& s = *ln.stmt;
+
+  // Bounds must not depend on state mutated inside the loop, and must be
+  // side-effect free (no loads of memory the loop may write; we conservatively
+  // reject loads entirely).
+  std::set<VarId> mutated(ln.assigns_inside.begin(), ln.assigns_inside.end());
+  mutated.insert(ln.lets_inside.begin(), ln.lets_inside.end());
+  mutated.insert(s.var);
+  auto ok = [&](const ExprPtr& e) {
+    int ops = 0, loads = 0;
+    count_nodes(e, ops, loads);
+    if (loads != 0) return false;
+    std::set<VarId> reads;
+    collect_reads(e, reads);
+    for (VarId r : reads)
+      if (mutated.count(r)) return false;
+    return true;
+  };
+  if (!ok(s.init) || !ok(s.limit) || !ok(s.step)) return nullptr;
+
+  // trip = max(0, (limit - init + step - 1) / step); with the common step==1
+  // constant this simplifies to max(0, limit - init).
+  const ExprPtr zero = Expr::make_const(Value::i32(0));
+  ExprPtr span = Expr::make_binary(BinOp::Sub, clone_expr(s.limit), clone_expr(s.init));
+  const bool unit_step = s.step->kind == ExprKind::Const && s.step->constant.as_i32() == 1;
+  if (!unit_step) {
+    ExprPtr adj = Expr::make_binary(
+        BinOp::Sub, clone_expr(s.step), Expr::make_const(Value::i32(1)));
+    span = Expr::make_binary(BinOp::Add, std::move(span), std::move(adj));
+    span = Expr::make_binary(BinOp::Div, std::move(span), clone_expr(s.step));
+  }
+  return Expr::make_binary(BinOp::Max, zero, std::move(span));
+}
+
+LoopProtectionPlan Analysis::plan_loop_protection(std::uint32_t loop_id, int maxvar) const {
+  LoopProtectionPlan plan;
+  plan.loop_id = loop_id;
+  plan.trip_count = derive_trip_count(loop_id);
+
+  const LoopDataflow df = loop_dataflow(loop_id);
+  const std::set<VarId> sa = self_accumulators(loop_id);
+
+  // Candidate set: loop vars, excluding loop iterators (covered by the
+  // iteration-count invariant) and pointer-typed variables (range checking a
+  // pointer value is meaningless).
+  std::set<VarId> remaining;
+  for (VarId v : df.loop_vars) {
+    if (facts_[v].is_loop_iterator) continue;
+    if (kernel_->vars[v].type == DType::PTR) continue;
+    remaining.insert(v);
+  }
+
+  auto take = [&](VarId v) {
+    plan.selected.push_back(v);
+    remaining.erase(v);
+    // Exclude variables with forward dataflow dependency to the selected one
+    // (their errors propagate into it, so they are already covered).
+    for (VarId w : df.backward_set(v)) remaining.erase(w);
+  };
+
+  // Step 1: self-accumulating variables first (no in-loop code needed).
+  for (VarId v : sa) {
+    if (static_cast<int>(plan.selected.size()) >= maxvar) break;
+    if (!remaining.count(v)) continue;
+    plan.self_accumulating.insert(v);
+    take(v);
+  }
+
+  // Step 2: repeatedly pick the remaining variable with the largest
+  // cumulative backward dataflow dependency.
+  while (static_cast<int>(plan.selected.size()) < maxvar && !remaining.empty()) {
+    VarId best = kInvalidVar;
+    int best_cbd = -1;
+    for (VarId v : remaining) {
+      const int c = df.cbd(v);
+      if (c > best_cbd || (c == best_cbd && v < best)) {
+        best = v;
+        best_cbd = c;
+      }
+    }
+    take(best);
+  }
+  return plan;
+}
+
+}  // namespace hauberk::kir

@@ -1,0 +1,125 @@
+// Static analyses over kernel ASTs used by the Hauberk translator:
+//
+//  * virtual-variable enumeration with loop-depth of each definition,
+//  * loop structure (nesting, iterators, variables defined inside),
+//  * the per-loop dataflow graph of Fig. 9 and the *cumulative backward
+//    dataflow dependency* metric used to select loop-protected variables
+//    (Section V.B step (i)),
+//  * self-accumulating variable detection (e.g. `energy += x`),
+//  * loop trip-count derivation (Section V.B step (iv): the iteration count
+//    is treated as a program invariant when it can be derived, including the
+//    two-condition `min(A, B)` form).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kir/ast.hpp"
+
+namespace hauberk::kir {
+
+inline constexpr std::uint32_t kNoLoop = 0xffffffffu;
+
+/// Where a virtual variable is introduced and whether loops re-define it.
+struct VarFacts {
+  VarId var = kInvalidVar;
+  int def_depth = 0;                   ///< loop depth of the Let (0 = non-loop code)
+  std::uint32_t def_loop = kNoLoop;    ///< innermost loop containing the Let
+  bool assigned_in_loop = false;       ///< some Assign to it sits inside a loop
+  bool is_loop_iterator = false;
+  std::set<std::uint32_t> loops_using;     ///< loops whose bodies read the variable
+  std::set<std::uint32_t> loops_assigning; ///< loops whose bodies write the variable
+};
+
+struct LoopNode {
+  std::uint32_t id = 0;
+  const Stmt* stmt = nullptr;   ///< the For/While statement
+  std::uint32_t parent = kNoLoop;
+  int depth = 1;                ///< 1 = top-level loop
+  bool is_for = false;
+  VarId iterator = kInvalidVar;  ///< For only
+  std::vector<VarId> lets_inside;    ///< Lets anywhere inside (incl. nested loops)
+  std::vector<VarId> assigns_inside; ///< Assign targets anywhere inside
+};
+
+/// Dataflow graph of one loop body (Fig. 9).  Nodes are the virtual
+/// variables defined inside the loop; per-definition operation/load counts
+/// model the paper's temporary variables and memory-load nodes.
+struct LoopDataflow {
+  std::uint32_t loop_id = 0;
+  std::vector<VarId> loop_vars;               ///< variables defined inside the loop
+  std::map<VarId, std::set<VarId>> uses;      ///< def -> loop vars it reads (direct)
+  std::map<VarId, int> op_nodes;              ///< def -> # operator (temp) nodes in its RHS(s)
+  std::map<VarId, int> load_nodes;            ///< def -> # memory-load nodes in its RHS(s)
+  std::vector<VarId> outputs;                 ///< live after loop or stored to memory
+
+  /// Cumulative backward dataflow dependency (Section V.B): number of
+  /// loop-defined variables + temporaries + memory loads backward-reachable
+  /// from `v`, excluding constants and variables protected by non-loop
+  /// detectors (i.e. defined outside the loop).
+  [[nodiscard]] int cbd(VarId v) const;
+
+  /// All loop vars backward-reachable from v (including v).
+  [[nodiscard]] std::set<VarId> backward_set(VarId v) const;
+  /// All loop vars forward-reachable from v (vars whose computation uses v).
+  [[nodiscard]] std::set<VarId> forward_set(VarId v) const;
+};
+
+/// Result of the loop-protection selection algorithm (Section V.B step (i)).
+struct LoopProtectionPlan {
+  std::uint32_t loop_id = 0;
+  std::vector<VarId> selected;     ///< in selection order; self-accumulators first
+  std::set<VarId> self_accumulating;
+  /// Trip count expression evaluable *before* the loop, when derivable.
+  ExprPtr trip_count;
+};
+
+/// Whole-kernel analysis.  Construct once per kernel; facts are immutable.
+class Analysis {
+ public:
+  explicit Analysis(const Kernel& kernel);
+
+  [[nodiscard]] const Kernel& kernel() const { return *kernel_; }
+  [[nodiscard]] const std::vector<LoopNode>& loops() const { return loops_; }
+  [[nodiscard]] const LoopNode& loop(std::uint32_t id) const { return loops_.at(id); }
+  [[nodiscard]] const VarFacts& facts(VarId v) const { return facts_.at(v); }
+  [[nodiscard]] const std::vector<VarFacts>& all_facts() const { return facts_; }
+
+  /// Dataflow graph of the body of one loop.
+  [[nodiscard]] LoopDataflow loop_dataflow(std::uint32_t loop_id) const;
+
+  /// Self-accumulating variables of a loop: variables defined outside the
+  /// loop whose Assign inside the loop has the form v = v + X / v = v - X /
+  /// v = X + v (Section V.B step (ii) skips the accumulator for these).
+  [[nodiscard]] std::set<VarId> self_accumulators(std::uint32_t loop_id) const;
+
+  /// Derive the loop trip count as an expression evaluable before the loop,
+  /// or nullptr when not derivable (While loops; bounds mutated inside).
+  [[nodiscard]] ExprPtr derive_trip_count(std::uint32_t loop_id) const;
+
+  /// Full protection plan for one loop with the given Maxvar budget.
+  [[nodiscard]] LoopProtectionPlan plan_loop_protection(std::uint32_t loop_id, int maxvar) const;
+
+  /// True if expression reads variable v anywhere.
+  static bool expr_reads(const ExprPtr& e, VarId v);
+  /// Collect all variables read by an expression.
+  static void collect_reads(const ExprPtr& e, std::set<VarId>& out);
+  /// Count operator nodes (Unary/Binary/Select) and load nodes in a tree.
+  static void count_nodes(const ExprPtr& e, int& ops, int& loads);
+
+ private:
+  void scan(const StmtList& body, int depth, std::uint32_t loop);
+  void scan_stmt(const StmtPtr& s, int depth, std::uint32_t loop);
+  void note_use(const ExprPtr& e);
+
+  const Kernel* kernel_;
+  std::vector<VarFacts> facts_;
+  std::vector<LoopNode> loops_;
+  std::vector<std::uint32_t> loop_stack_;  ///< loops enclosing the current scan point
+};
+
+}  // namespace hauberk::kir

@@ -1,0 +1,236 @@
+#include "kir/ast.hpp"
+
+#include <cstdio>
+
+namespace hauberk::kir {
+
+std::string Value::to_string() const {
+  char buf[48];
+  switch (type) {
+    case DType::F32: std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(as_f32())); break;
+    case DType::I32: std::snprintf(buf, sizeof(buf), "%d", as_i32()); break;
+    case DType::PTR: std::snprintf(buf, sizeof(buf), "@%u", as_ptr()); break;
+  }
+  return buf;
+}
+
+namespace {
+
+/// Result type of a binary operation given its operand types.
+DType binary_result_type(BinOp op, DType a, DType b) {
+  switch (op) {
+    case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+    case BinOp::Eq: case BinOp::Ne: case BinOp::LogicalAnd: case BinOp::LogicalOr:
+      return DType::I32;
+    default:
+      break;
+  }
+  // Pointer arithmetic: ptr +/- int yields ptr; ptr - ptr yields int.
+  if (a == DType::PTR || b == DType::PTR) {
+    if (op == BinOp::Sub && a == DType::PTR && b == DType::PTR) return DType::I32;
+    return DType::PTR;
+  }
+  if (a == DType::F32 || b == DType::F32) return DType::F32;
+  return DType::I32;
+}
+
+DType unary_result_type(UnOp op, DType a) {
+  switch (op) {
+    case UnOp::CastF32: return DType::F32;
+    case UnOp::CastI32: return DType::I32;
+    case UnOp::LogicalNot: return DType::I32;
+    default: return a;
+  }
+}
+
+}  // namespace
+
+ExprPtr Expr::make_const(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Const;
+  e->type = v.type;
+  e->constant = v;
+  return e;
+}
+
+ExprPtr Expr::make_var(VarId id, DType t) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::VarRef;
+  e->type = t;
+  e->var = id;
+  return e;
+}
+
+ExprPtr Expr::make_param(std::uint32_t index, DType t) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::ParamRef;
+  e->type = t;
+  e->param = index;
+  return e;
+}
+
+ExprPtr Expr::make_builtin(BuiltinVal b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Builtin;
+  e->type = DType::I32;
+  e->builtin = b;
+  return e;
+}
+
+ExprPtr Expr::make_load_global(ExprPtr addr, DType loaded) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::LoadGlobal;
+  e->type = loaded;
+  e->a = std::move(addr);
+  return e;
+}
+
+ExprPtr Expr::make_load_shared(ExprPtr index, DType loaded) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::LoadShared;
+  e->type = loaded;
+  e->a = std::move(index);
+  return e;
+}
+
+ExprPtr Expr::make_unary(UnOp op, ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Unary;
+  e->type = unary_result_type(op, a->type);
+  e->un = op;
+  e->a = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::make_binary(BinOp op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Binary;
+  e->type = binary_result_type(op, a->type, b->type);
+  e->bin = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::make_select(ExprPtr cond, ExprPtr then_v, ExprPtr else_v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Select;
+  e->type = then_v->type;
+  e->a = std::move(cond);
+  e->b = std::move(then_v);
+  e->c = std::move(else_v);
+  return e;
+}
+
+ExprPtr clone_expr(const ExprPtr& e) {
+  // Expr nodes are immutable, so sharing the subtree is a valid deep copy.
+  // A physically distinct copy is made anyway so instrumentation metadata
+  // attached later (if any) never aliases; this keeps the translator honest
+  // about "duplicating the computation" (Fig. 8(c)).
+  if (!e) return nullptr;
+  auto n = std::make_shared<Expr>(*e);
+  n->a = clone_expr(e->a);
+  n->b = clone_expr(e->b);
+  n->c = clone_expr(e->c);
+  return n;
+}
+
+StmtPtr Stmt::let(VarId v, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::Let;
+  s->var = v;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::assign(VarId v, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::Assign;
+  s->var = v;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::store_global(ExprPtr addr, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::StoreGlobal;
+  s->addr = std::move(addr);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::store_shared(ExprPtr addr, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::StoreShared;
+  s->addr = std::move(addr);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::atomic_add(ExprPtr addr, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::AtomicAddGlobal;
+  s->addr = std::move(addr);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::for_loop(VarId iter, ExprPtr init, ExprPtr limit, ExprPtr step, StmtList body,
+                       std::uint32_t loop_id) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::For;
+  s->var = iter;
+  s->init = std::move(init);
+  s->limit = std::move(limit);
+  s->step = std::move(step);
+  s->body = std::move(body);
+  s->loop_id = loop_id;
+  return s;
+}
+
+StmtPtr Stmt::while_loop(ExprPtr cond, StmtList body, std::uint32_t loop_id) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::While;
+  s->value = std::move(cond);
+  s->body = std::move(body);
+  s->loop_id = loop_id;
+  return s;
+}
+
+StmtPtr Stmt::if_stmt(ExprPtr cond, StmtList then_body, StmtList else_body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::If;
+  s->value = std::move(cond);
+  s->body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr Stmt::barrier() {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::Barrier;
+  return s;
+}
+
+StmtPtr clone_stmt(const StmtPtr& s) {
+  if (!s) return nullptr;
+  auto n = std::make_shared<Stmt>(*s);
+  n->body = clone_stmts(s->body);
+  n->else_body = clone_stmts(s->else_body);
+  return n;
+}
+
+StmtList clone_stmts(const StmtList& body) {
+  StmtList out;
+  out.reserve(body.size());
+  for (const auto& s : body) out.push_back(clone_stmt(s));
+  return out;
+}
+
+Kernel clone_kernel(const Kernel& k) {
+  Kernel n = k;
+  n.body = clone_stmts(k.body);
+  return n;
+}
+
+}  // namespace hauberk::kir

@@ -1,0 +1,200 @@
+// Abstract syntax tree of the kernel IR.
+//
+// Hauberk is a source-to-source translator (an extension of CETUS in the
+// paper, Fig. 7).  Because we cannot parse CUDA C++ here, workloads are
+// authored against this small AST via the builder DSL; the Hauberk
+// translator (src/hauberk/translator.*) performs the Table I transformations
+// on this AST, and the lowering pass (src/kir/lower.*) compiles it to
+// bytecode executed by the simulated GPU (src/gpusim).
+//
+// Terminology follows the paper: a *virtual variable* is a subset of the
+// live range of program state with one definition and multiple uses
+// (Section V.A).  In this IR every `Let` introduces a virtual variable;
+// `Assign` re-defines an existing one (e.g. self-accumulating variables).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kir/value.hpp"
+
+namespace hauberk::kir {
+
+using VarId = std::uint32_t;
+inline constexpr VarId kInvalidVar = 0xffffffffu;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  Const,       ///< literal value
+  VarRef,      ///< read of a virtual variable
+  ParamRef,    ///< read of a kernel parameter
+  Builtin,     ///< thread/block index or dimension
+  LoadGlobal,  ///< global-memory load, operand a = word address (PTR)
+  LoadShared,  ///< shared-memory load, operand a = word index (I32)
+  Unary,       ///< unary op on a
+  Binary,      ///< binary op on a, b
+  Select,      ///< a ? b : c (branchless select)
+};
+
+enum class BuiltinVal : std::uint8_t {
+  ThreadIdxX, ThreadIdxY, BlockIdxX, BlockIdxY,
+  BlockDimX, BlockDimY, GridDimX, GridDimY,
+  ThreadLinear,  ///< global linear thread id (convenience)
+};
+
+enum class UnOp : std::uint8_t {
+  Neg, LogicalNot, BitNot,
+  Sqrt, Rsqrt, Abs, Exp, Log, Sin, Cos, Floor,
+  CastF32,  ///< i32 -> f32
+  CastI32,  ///< f32 -> i32 (truncating)
+};
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Mod, Min, Max,
+  BitAnd, BitOr, BitXor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LogicalAnd, LogicalOr,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A single fat node; which fields are meaningful depends on `kind`.
+/// Nodes are immutable after construction so subtrees can be shared and
+/// cloned freely by the translator.
+struct Expr {
+  ExprKind kind = ExprKind::Const;
+  DType type = DType::I32;
+
+  Value constant{};              // Const
+  VarId var = kInvalidVar;       // VarRef
+  std::uint32_t param = 0;       // ParamRef
+  BuiltinVal builtin{};          // Builtin
+  UnOp un{};                     // Unary
+  BinOp bin{};                   // Binary
+  ExprPtr a, b, c;               // operands
+
+  static ExprPtr make_const(Value v);
+  static ExprPtr make_var(VarId id, DType t);
+  static ExprPtr make_param(std::uint32_t index, DType t);
+  static ExprPtr make_builtin(BuiltinVal b);
+  static ExprPtr make_load_global(ExprPtr addr, DType loaded);
+  static ExprPtr make_load_shared(ExprPtr index, DType loaded);
+  static ExprPtr make_unary(UnOp op, ExprPtr a);
+  static ExprPtr make_binary(BinOp op, ExprPtr a, ExprPtr b);
+  static ExprPtr make_select(ExprPtr cond, ExprPtr then_v, ExprPtr else_v);
+};
+
+/// Deep copy of an expression tree (used when the translator duplicates a
+/// virtual variable's defining computation, Fig. 8(c) step (ii)).
+ExprPtr clone_expr(const ExprPtr& e);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Let,          ///< define a new virtual variable: var = value
+  Assign,       ///< re-define an existing variable: var = value
+  StoreGlobal,  ///< [addr] = value
+  StoreShared,  ///< shared[addr] = value
+  AtomicAddGlobal,  ///< atomic [addr] += value
+  For,          ///< for (var = init; var < limit; var += step) body
+  While,        ///< while (cond) body          (cond stored in `value`)
+  If,           ///< if (cond) body else else_body
+  Barrier,      ///< __syncthreads()
+
+  // --- statements inserted by the Hauberk translator (Table I) ---
+  ChecksumXor,      ///< checksum ^= bits(value)                 [FT]
+  ChecksumValidate, ///< if (checksum != 0) set SDC bit          [FT]
+  DupCheck,         ///< recompute `value`; if != var set SDC    [FT]
+  RangeCheck,       ///< HauberkCheckRange(cb, det, value)       [FT]
+  EqualCheck,       ///< HauberkCheckEqual(cb, det, value, rhs)  [FT]
+  ProfileValue,     ///< record sample of `value` for detector   [Profiler]
+  CountExec,        ///< bump execution counter of FI site       [Profiler]
+  FIHook,           ///< fault-injection hook for variable       [FI]
+};
+
+/// Hardware component exercised by the statement preceding an FI hook
+/// (Section VII: the translator statically derives the components from the
+/// operation types).
+enum class HwComponent : std::uint8_t { ALU, FPU, RegisterFile, Scheduler, Memory };
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+struct Stmt {
+  StmtKind kind;
+
+  VarId var = kInvalidVar;  ///< Let/Assign target; For iterator; DupCheck/FIHook subject
+  ExprPtr value;            ///< RHS / While- or If-condition / checked value
+  ExprPtr addr;             ///< Store/AtomicAdd address
+  ExprPtr rhs;              ///< EqualCheck second operand
+  ExprPtr init, limit, step;  ///< For bounds
+  StmtList body, else_body;
+
+  int detector_id = -1;          ///< RangeCheck/EqualCheck/ProfileValue
+  std::uint32_t site = 0;        ///< FIHook/CountExec site id
+  HwComponent hw = HwComponent::ALU;  ///< FIHook component tag
+  std::uint32_t loop_id = 0;     ///< unique id of For/While loops
+  std::uint8_t extra_flags = 0;  ///< OR'ed into emitted instruction flags (e.g. R-Scatter)
+  std::string label;             ///< detector name carried into DetectorMeta
+  bool hauberk_internal = false; ///< inserted by instrumentation; never re-instrumented
+  bool fi_dead_window = false;   ///< FIHook/CountExec placed after the last use
+
+  static StmtPtr let(VarId v, ExprPtr value);
+  static StmtPtr assign(VarId v, ExprPtr value);
+  static StmtPtr store_global(ExprPtr addr, ExprPtr value);
+  static StmtPtr store_shared(ExprPtr addr, ExprPtr value);
+  static StmtPtr atomic_add(ExprPtr addr, ExprPtr value);
+  static StmtPtr for_loop(VarId iter, ExprPtr init, ExprPtr limit, ExprPtr step, StmtList body,
+                          std::uint32_t loop_id);
+  static StmtPtr while_loop(ExprPtr cond, StmtList body, std::uint32_t loop_id);
+  static StmtPtr if_stmt(ExprPtr cond, StmtList then_body, StmtList else_body = {});
+  static StmtPtr barrier();
+};
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+struct KernelParam {
+  std::string name;
+  DType type;
+};
+
+struct VarInfo {
+  std::string name;
+  DType type;
+  /// R-Scatter shadow variable: lives in otherwise-idle register lanes, so
+  /// it is slot-allocated after all ordinary variables and its accesses are
+  /// exempt from the spill surcharge.
+  bool scatter_shadow = false;
+};
+
+/// A GPU kernel: entry function callable from the CPU-side code.
+struct Kernel {
+  std::string name;
+  std::vector<KernelParam> params;
+  std::vector<VarInfo> vars;  ///< indexed by VarId
+  StmtList body;
+  std::uint32_t shared_mem_words = 0;
+  std::uint32_t num_loops = 0;  ///< loop ids are [0, num_loops)
+
+  [[nodiscard]] DType var_type(VarId v) const { return vars.at(v).type; }
+  [[nodiscard]] const std::string& var_name(VarId v) const { return vars.at(v).name; }
+};
+
+/// Deep copy of a kernel (statement trees are copied; expression subtrees are
+/// shared, which is safe because Expr is immutable).
+Kernel clone_kernel(const Kernel& k);
+StmtPtr clone_stmt(const StmtPtr& s);
+StmtList clone_stmts(const StmtList& body);
+
+}  // namespace hauberk::kir

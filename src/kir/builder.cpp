@@ -1,0 +1,204 @@
+#include "kir/builder.hpp"
+
+#include <stdexcept>
+
+namespace hauberk::kir {
+
+namespace {
+
+/// Promote I32 to F32 when mixed with F32 in arithmetic, as C does.
+void promote(ExprPtr& a, ExprPtr& b) {
+  if (a->type == DType::F32 && b->type == DType::I32)
+    b = Expr::make_unary(UnOp::CastF32, b);
+  else if (a->type == DType::I32 && b->type == DType::F32)
+    a = Expr::make_unary(UnOp::CastF32, a);
+}
+
+ExprH bin(BinOp op, ExprH a, ExprH b) {
+  ExprPtr x = a.node(), y = b.node();
+  // No promotion for pointer arithmetic or bitwise/shift ops.
+  switch (op) {
+    case BinOp::BitAnd: case BinOp::BitOr: case BinOp::BitXor:
+    case BinOp::Shl: case BinOp::Shr:
+      break;
+    default:
+      if (x->type != DType::PTR && y->type != DType::PTR) promote(x, y);
+  }
+  return ExprH(Expr::make_binary(op, std::move(x), std::move(y)));
+}
+
+}  // namespace
+
+ExprH f32c(float v) { return ExprH(Expr::make_const(Value::f32(v))); }
+ExprH i32c(std::int32_t v) { return ExprH(Expr::make_const(Value::i32(v))); }
+
+ExprH operator+(ExprH a, ExprH b) { return bin(BinOp::Add, a, b); }
+ExprH operator-(ExprH a, ExprH b) { return bin(BinOp::Sub, a, b); }
+ExprH operator*(ExprH a, ExprH b) { return bin(BinOp::Mul, a, b); }
+ExprH operator/(ExprH a, ExprH b) { return bin(BinOp::Div, a, b); }
+ExprH operator%(ExprH a, ExprH b) { return bin(BinOp::Mod, a, b); }
+ExprH operator-(ExprH a) { return ExprH(Expr::make_unary(UnOp::Neg, a.node())); }
+ExprH operator<(ExprH a, ExprH b) { return bin(BinOp::Lt, a, b); }
+ExprH operator<=(ExprH a, ExprH b) { return bin(BinOp::Le, a, b); }
+ExprH operator>(ExprH a, ExprH b) { return bin(BinOp::Gt, a, b); }
+ExprH operator>=(ExprH a, ExprH b) { return bin(BinOp::Ge, a, b); }
+ExprH operator==(ExprH a, ExprH b) { return bin(BinOp::Eq, a, b); }
+ExprH operator!=(ExprH a, ExprH b) { return bin(BinOp::Ne, a, b); }
+ExprH operator&&(ExprH a, ExprH b) { return bin(BinOp::LogicalAnd, a, b); }
+ExprH operator||(ExprH a, ExprH b) { return bin(BinOp::LogicalOr, a, b); }
+ExprH operator&(ExprH a, ExprH b) { return bin(BinOp::BitAnd, a, b); }
+ExprH operator|(ExprH a, ExprH b) { return bin(BinOp::BitOr, a, b); }
+ExprH operator^(ExprH a, ExprH b) { return bin(BinOp::BitXor, a, b); }
+ExprH operator<<(ExprH a, ExprH b) { return bin(BinOp::Shl, a, b); }
+ExprH operator>>(ExprH a, ExprH b) { return bin(BinOp::Shr, a, b); }
+
+ExprH sqrt_(ExprH a) { return ExprH(Expr::make_unary(UnOp::Sqrt, a.node())); }
+ExprH rsqrt_(ExprH a) { return ExprH(Expr::make_unary(UnOp::Rsqrt, a.node())); }
+ExprH abs_(ExprH a) { return ExprH(Expr::make_unary(UnOp::Abs, a.node())); }
+ExprH exp_(ExprH a) { return ExprH(Expr::make_unary(UnOp::Exp, a.node())); }
+ExprH log_(ExprH a) { return ExprH(Expr::make_unary(UnOp::Log, a.node())); }
+ExprH sin_(ExprH a) { return ExprH(Expr::make_unary(UnOp::Sin, a.node())); }
+ExprH cos_(ExprH a) { return ExprH(Expr::make_unary(UnOp::Cos, a.node())); }
+ExprH floor_(ExprH a) { return ExprH(Expr::make_unary(UnOp::Floor, a.node())); }
+ExprH min_(ExprH a, ExprH b) { return bin(BinOp::Min, a, b); }
+ExprH max_(ExprH a, ExprH b) { return bin(BinOp::Max, a, b); }
+ExprH to_f32(ExprH a) { return ExprH(Expr::make_unary(UnOp::CastF32, a.node())); }
+ExprH to_i32(ExprH a) { return ExprH(Expr::make_unary(UnOp::CastI32, a.node())); }
+ExprH select_(ExprH cond, ExprH then_v, ExprH else_v) {
+  ExprPtr t = then_v.node(), e = else_v.node();
+  promote(t, e);
+  return ExprH(Expr::make_select(cond.node(), std::move(t), std::move(e)));
+}
+
+KernelBuilder::KernelBuilder(std::string name, std::uint32_t shared_mem_words) {
+  kernel_.name = std::move(name);
+  kernel_.shared_mem_words = shared_mem_words;
+  scopes_.push_back(&kernel_.body);
+}
+
+ExprH KernelBuilder::param_f32(const std::string& name) {
+  kernel_.params.push_back({name, DType::F32});
+  return ExprH(Expr::make_param(static_cast<std::uint32_t>(kernel_.params.size() - 1), DType::F32));
+}
+
+ExprH KernelBuilder::param_i32(const std::string& name) {
+  kernel_.params.push_back({name, DType::I32});
+  return ExprH(Expr::make_param(static_cast<std::uint32_t>(kernel_.params.size() - 1), DType::I32));
+}
+
+ExprH KernelBuilder::param_ptr(const std::string& name) {
+  kernel_.params.push_back({name, DType::PTR});
+  return ExprH(Expr::make_param(static_cast<std::uint32_t>(kernel_.params.size() - 1), DType::PTR));
+}
+
+ExprH KernelBuilder::tid_x() const { return ExprH(Expr::make_builtin(BuiltinVal::ThreadIdxX)); }
+ExprH KernelBuilder::tid_y() const { return ExprH(Expr::make_builtin(BuiltinVal::ThreadIdxY)); }
+ExprH KernelBuilder::bid_x() const { return ExprH(Expr::make_builtin(BuiltinVal::BlockIdxX)); }
+ExprH KernelBuilder::bid_y() const { return ExprH(Expr::make_builtin(BuiltinVal::BlockIdxY)); }
+ExprH KernelBuilder::bdim_x() const { return ExprH(Expr::make_builtin(BuiltinVal::BlockDimX)); }
+ExprH KernelBuilder::bdim_y() const { return ExprH(Expr::make_builtin(BuiltinVal::BlockDimY)); }
+ExprH KernelBuilder::gdim_x() const { return ExprH(Expr::make_builtin(BuiltinVal::GridDimX)); }
+ExprH KernelBuilder::gdim_y() const { return ExprH(Expr::make_builtin(BuiltinVal::GridDimY)); }
+ExprH KernelBuilder::thread_linear() const {
+  return ExprH(Expr::make_builtin(BuiltinVal::ThreadLinear));
+}
+
+ExprH KernelBuilder::load_f32(ExprH addr) const {
+  return ExprH(Expr::make_load_global(addr.node(), DType::F32));
+}
+ExprH KernelBuilder::load_i32(ExprH addr) const {
+  return ExprH(Expr::make_load_global(addr.node(), DType::I32));
+}
+ExprH KernelBuilder::load_ptr(ExprH addr) const {
+  return ExprH(Expr::make_load_global(addr.node(), DType::PTR));
+}
+ExprH KernelBuilder::shload_f32(ExprH index) const {
+  return ExprH(Expr::make_load_shared(index.node(), DType::F32));
+}
+ExprH KernelBuilder::shload_i32(ExprH index) const {
+  return ExprH(Expr::make_load_shared(index.node(), DType::I32));
+}
+
+void KernelBuilder::store(ExprH addr, ExprH value) {
+  scope()->push_back(Stmt::store_global(addr.node(), value.node()));
+}
+void KernelBuilder::shstore(ExprH index, ExprH value) {
+  scope()->push_back(Stmt::store_shared(index.node(), value.node()));
+}
+void KernelBuilder::atomic_add(ExprH addr, ExprH value) {
+  scope()->push_back(Stmt::atomic_add(addr.node(), value.node()));
+}
+
+VarId KernelBuilder::declare_var(const std::string& name, DType t) {
+  kernel_.vars.push_back({name, t});
+  return static_cast<VarId>(kernel_.vars.size() - 1);
+}
+
+ExprH KernelBuilder::let(const std::string& name, ExprH value) {
+  const VarId v = declare_var(name, value.type());
+  scope()->push_back(Stmt::let(v, value.node()));
+  return ExprH(Expr::make_var(v, value.type()));
+}
+
+void KernelBuilder::assign(ExprH var_ref, ExprH value) {
+  const VarId v = var_ref.var_id();
+  if (v == kInvalidVar) throw std::logic_error("assign target must be a variable reference");
+  ExprPtr rhs = value.node();
+  if (kernel_.vars[v].type == DType::F32 && rhs->type == DType::I32)
+    rhs = Expr::make_unary(UnOp::CastF32, rhs);
+  scope()->push_back(Stmt::assign(v, std::move(rhs)));
+}
+
+void KernelBuilder::for_loop(const std::string& iter_name, ExprH lo, ExprH hi,
+                             const std::function<void(ExprH)>& body) {
+  for_loop_step(iter_name, lo, hi, i32c(1), body);
+}
+
+void KernelBuilder::for_loop_step(const std::string& iter_name, ExprH lo, ExprH hi, ExprH step,
+                                  const std::function<void(ExprH)>& body) {
+  const VarId iter = declare_var(iter_name, DType::I32);
+  auto s = Stmt::for_loop(iter, lo.node(), hi.node(), step.node(), {}, kernel_.num_loops++);
+  push_scope(&s->body);
+  body(ExprH(Expr::make_var(iter, DType::I32)));
+  pop_scope();
+  scope()->push_back(std::move(s));
+}
+
+void KernelBuilder::while_loop(const std::function<ExprH()>& cond,
+                               const std::function<void()>& body) {
+  auto s = Stmt::while_loop(cond().node(), {}, kernel_.num_loops++);
+  push_scope(&s->body);
+  body();
+  pop_scope();
+  scope()->push_back(std::move(s));
+}
+
+void KernelBuilder::if_then(ExprH cond, const std::function<void()>& then_body) {
+  auto s = Stmt::if_stmt(cond.node(), {});
+  push_scope(&s->body);
+  then_body();
+  pop_scope();
+  scope()->push_back(std::move(s));
+}
+
+void KernelBuilder::if_then_else(ExprH cond, const std::function<void()>& then_body,
+                                 const std::function<void()>& else_body) {
+  auto s = Stmt::if_stmt(cond.node(), {}, {});
+  push_scope(&s->body);
+  then_body();
+  pop_scope();
+  push_scope(&s->else_body);
+  else_body();
+  pop_scope();
+  scope()->push_back(std::move(s));
+}
+
+void KernelBuilder::barrier() { scope()->push_back(Stmt::barrier()); }
+
+Kernel KernelBuilder::build() {
+  if (built_) throw std::logic_error("KernelBuilder::build() called twice");
+  built_ = true;
+  return std::move(kernel_);
+}
+
+}  // namespace hauberk::kir

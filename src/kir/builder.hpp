@@ -1,0 +1,153 @@
+// Fluent builder DSL for authoring kernels in the kernel IR.
+//
+// Workloads write kernels in a style close to CUDA C++:
+//
+//   KernelBuilder kb("cp_kernel");
+//   auto atoms = kb.param_ptr("atominfo");
+//   auto n     = kb.param_i32("numatoms");
+//   auto energy = kb.let("energy", kb.f32c(0.0f));
+//   kb.for_loop("atomid", kb.i32c(0), n, [&](ExprH atomid) {
+//     auto dx = kb.let("dx", kb.load_f32(atoms + atomid * kb.i32c(4)) - coorx);
+//     ...
+//     kb.assign(energy, energy + q * rsqrt_(r2));
+//   });
+//
+// Implicit numeric promotion: when an I32 and an F32 meet in an arithmetic
+// operator, the I32 side is cast to F32 (as C would).  Pointer arithmetic is
+// word-granular: ptr + i32 offsets by 32-bit words.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kir/ast.hpp"
+
+namespace hauberk::kir {
+
+/// Lightweight handle around an immutable expression node.
+class ExprH {
+ public:
+  ExprH() = default;
+  explicit ExprH(ExprPtr e) : e_(std::move(e)) {}
+
+  [[nodiscard]] const ExprPtr& node() const { return e_; }
+  [[nodiscard]] DType type() const { return e_->type; }
+  [[nodiscard]] bool valid() const { return e_ != nullptr; }
+
+  /// VarId if this is a variable reference; kInvalidVar otherwise.
+  [[nodiscard]] VarId var_id() const {
+    return e_ && e_->kind == ExprKind::VarRef ? e_->var : kInvalidVar;
+  }
+
+ private:
+  ExprPtr e_;
+};
+
+// --- literals ---
+ExprH f32c(float v);
+ExprH i32c(std::int32_t v);
+
+// --- operator sugar (promotion rules in builder.cpp) ---
+ExprH operator+(ExprH a, ExprH b);
+ExprH operator-(ExprH a, ExprH b);
+ExprH operator*(ExprH a, ExprH b);
+ExprH operator/(ExprH a, ExprH b);
+ExprH operator%(ExprH a, ExprH b);
+ExprH operator-(ExprH a);
+ExprH operator<(ExprH a, ExprH b);
+ExprH operator<=(ExprH a, ExprH b);
+ExprH operator>(ExprH a, ExprH b);
+ExprH operator>=(ExprH a, ExprH b);
+ExprH operator==(ExprH a, ExprH b);
+ExprH operator!=(ExprH a, ExprH b);
+ExprH operator&&(ExprH a, ExprH b);
+ExprH operator||(ExprH a, ExprH b);
+ExprH operator&(ExprH a, ExprH b);
+ExprH operator|(ExprH a, ExprH b);
+ExprH operator^(ExprH a, ExprH b);
+ExprH operator<<(ExprH a, ExprH b);
+ExprH operator>>(ExprH a, ExprH b);
+
+// --- intrinsics ---
+ExprH sqrt_(ExprH a);
+ExprH rsqrt_(ExprH a);
+ExprH abs_(ExprH a);
+ExprH exp_(ExprH a);
+ExprH log_(ExprH a);
+ExprH sin_(ExprH a);
+ExprH cos_(ExprH a);
+ExprH floor_(ExprH a);
+ExprH min_(ExprH a, ExprH b);
+ExprH max_(ExprH a, ExprH b);
+ExprH to_f32(ExprH a);
+ExprH to_i32(ExprH a);
+ExprH select_(ExprH cond, ExprH then_v, ExprH else_v);
+
+/// Builds one kernel.  Statement-emitting member functions append to the
+/// innermost open scope (loop/if bodies open nested scopes).
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name, std::uint32_t shared_mem_words = 0);
+
+  // Parameters (declaration order defines the launch-argument order).
+  ExprH param_f32(const std::string& name);
+  ExprH param_i32(const std::string& name);
+  ExprH param_ptr(const std::string& name);
+
+  // Builtins.
+  ExprH tid_x() const;
+  ExprH tid_y() const;
+  ExprH bid_x() const;
+  ExprH bid_y() const;
+  ExprH bdim_x() const;
+  ExprH bdim_y() const;
+  ExprH gdim_x() const;
+  ExprH gdim_y() const;
+  ExprH thread_linear() const;
+
+  // Memory access.
+  ExprH load_f32(ExprH addr) const;
+  ExprH load_i32(ExprH addr) const;
+  ExprH load_ptr(ExprH addr) const;
+  ExprH shload_f32(ExprH index) const;
+  ExprH shload_i32(ExprH index) const;
+  void store(ExprH addr, ExprH value);
+  void shstore(ExprH index, ExprH value);
+  void atomic_add(ExprH addr, ExprH value);
+
+  // Variables.
+  ExprH let(const std::string& name, ExprH value);
+  void assign(ExprH var_ref, ExprH value);
+
+  // Control flow.  for_loop iterates var from `lo` (inclusive) to `hi`
+  // (exclusive) with step 1 unless given.
+  void for_loop(const std::string& iter_name, ExprH lo, ExprH hi,
+                const std::function<void(ExprH)>& body);
+  void for_loop_step(const std::string& iter_name, ExprH lo, ExprH hi, ExprH step,
+                     const std::function<void(ExprH)>& body);
+  void while_loop(const std::function<ExprH()>& cond, const std::function<void()>& body);
+  void if_then(ExprH cond, const std::function<void()>& then_body);
+  void if_then_else(ExprH cond, const std::function<void()>& then_body,
+                    const std::function<void()>& else_body);
+  void barrier();
+
+  /// Declare a variable without emitting a Let (used for loop iterators and
+  /// by instrumentation passes).
+  VarId declare_var(const std::string& name, DType t);
+
+  [[nodiscard]] Kernel build();
+
+ private:
+  StmtList* scope() { return scopes_.back(); }
+  void push_scope(StmtList* s) { scopes_.push_back(s); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  Kernel kernel_;
+  std::vector<StmtList*> scopes_;
+  bool built_ = false;
+};
+
+}  // namespace hauberk::kir

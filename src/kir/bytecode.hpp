@@ -1,0 +1,122 @@
+// Register-slot bytecode: the compiled form of a kernel.
+//
+// The AST is what the Hauberk translator instruments (its "source code");
+// the bytecode is what the simulated GPU executes (its "SASS").  Lowering
+// assigns every kernel parameter and virtual variable a fixed register slot
+// and compiles expressions into temporaries above them.  The slot count is
+// the kernel's register demand: when it exceeds the device's registers per
+// thread, the highest slots are modeled as spilled to memory (Section V.A's
+// register-pressure discussion; this is what makes naive duplication and the
+// Hauberk-NL pass measurably more expensive in register-tight kernels).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kir/ast.hpp"
+
+namespace hauberk::kir {
+
+enum class OpCode : std::uint8_t {
+  Nop = 0,
+  Const,        ///< dst <- imm
+  Mov,          ///< dst <- a
+  Builtin,      ///< dst <- builtin(aux)
+  Un,           ///< dst <- unop(aux) a
+  Bin,          ///< dst <- binop(aux) a, b
+  Select,       ///< dst <- a ? b : c(imm slot)
+  LoadG,        ///< dst <- global[a]
+  StoreG,       ///< global[a] <- b
+  LoadS,        ///< dst <- shared[a]
+  StoreS,       ///< shared[a] <- b
+  AtomicAddG,   ///< global[a] += b (atomic)
+  Jmp,          ///< pc <- aux
+  Jz,           ///< if (a == 0) pc <- aux
+  Barrier,      ///< __syncthreads
+  Halt,         ///< end of kernel
+
+  // Hauberk runtime library calls (FT):
+  ChkXor,       ///< checksum ^= bits(a)
+  ChkValidate,  ///< if (checksum != 0) cb->sdc = true
+  DupCmp,       ///< if (bits(a) != bits(b)) cb->sdc = true
+  RangeCheck,   ///< HauberkCheckRange(cb, det=aux, value=a)
+  EqualCheck,   ///< HauberkCheckEqual(cb, det=aux, a, b)
+
+  // Hauberk profiler library calls:
+  ProfileVal,   ///< record sample(det=aux, value=a)
+  CountExec,    ///< bump execution count of site aux
+
+  // Hauberk fault injection library call:
+  FIHook,       ///< maybe corrupt slot a according to the injection plan (site aux)
+};
+
+/// Instruction flag bits.
+enum : std::uint8_t {
+  kInstrInLoop = 1u << 0,      ///< executes inside a source-level loop
+  kInstrScatter = 1u << 1,     ///< added by R-Scatter duplication (cost-modeled separately)
+  kInstrHauberkDup = 1u << 2,  ///< Hauberk non-loop duplicate: fills ILP slack of the
+                               ///< latency-bound sequential code it shadows
+  kInstrDetectorAux = 1u << 3, ///< loop-detector bookkeeping (accumulator/counter adds,
+                               ///< post-loop guards) inserted by the translator
+};
+
+struct Instr {
+  OpCode op = OpCode::Nop;
+  std::uint8_t flags = 0;
+  std::uint16_t dst = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t aux = 0;  ///< op-specific: UnOp/BinOp/BuiltinVal/jump target/detector/site
+  std::uint32_t imm = 0;  ///< Const bits; Select else-slot
+};
+
+/// Fault-injection site metadata (one per FIHook, Fig. 12: identifier,
+/// pointer to state, data type, and hardware components used).
+struct FISite {
+  std::uint32_t site_id = 0;
+  VarId var = kInvalidVar;
+  std::uint16_t slot = 0;
+  DType type = DType::I32;
+  HwComponent hw = HwComponent::ALU;
+  bool in_loop = false;
+  /// Late-window hook: placed after the variable's last use, modeling the
+  /// paper's time-random injections that land after the value is dead.
+  bool dead_window = false;
+  std::string var_name;
+};
+
+/// Metadata for a loop/range detector (accumulator value check or iteration
+/// count check) referenced by RangeCheck/EqualCheck/ProfileVal `aux`.
+struct DetectorMeta {
+  int id = -1;
+  std::string name;       ///< protected variable name
+  DType value_type = DType::F32;
+  bool is_iteration_check = false;
+};
+
+struct BytecodeProgram {
+  std::string name;
+  std::vector<Instr> code;
+  std::vector<DType> slot_types;   ///< static type of every register slot
+  std::uint16_t num_params = 0;    ///< params occupy slots [0, num_params)
+  std::uint16_t num_named = 0;     ///< named vars occupy [num_params, num_params+num_named)
+  std::uint16_t num_slots = 0;     ///< total including temporaries
+  std::vector<std::uint16_t> var_slot;  ///< VarId -> slot
+  std::vector<FISite> fi_sites;
+  std::vector<DetectorMeta> detectors;
+  std::uint32_t shared_mem_words = 0;
+
+  /// Register demand reported to the launch engine; slots at or above the
+  /// device's register budget are modeled as spilled.
+  [[nodiscard]] std::uint16_t register_demand() const noexcept { return num_slots; }
+};
+
+/// Compile a kernel AST to bytecode.  Throws std::runtime_error on malformed
+/// kernels (e.g. unsupported statement nesting).
+BytecodeProgram lower(const Kernel& kernel);
+
+/// Disassemble for debugging/tests.
+std::string disassemble(const BytecodeProgram& p);
+
+}  // namespace hauberk::kir

@@ -1,0 +1,218 @@
+#include "kir/printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hauberk::kir {
+
+namespace {
+
+const char* binop_str(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+    case BinOp::BitAnd: return "&";
+    case BinOp::BitOr: return "|";
+    case BinOp::BitXor: return "^";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::LogicalAnd: return "&&";
+    case BinOp::LogicalOr: return "||";
+  }
+  return "?";
+}
+
+const char* unop_str(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return "-";
+    case UnOp::LogicalNot: return "!";
+    case UnOp::BitNot: return "~";
+    case UnOp::Sqrt: return "sqrtf";
+    case UnOp::Rsqrt: return "rsqrtf";
+    case UnOp::Abs: return "fabsf";
+    case UnOp::Exp: return "expf";
+    case UnOp::Log: return "logf";
+    case UnOp::Sin: return "sinf";
+    case UnOp::Cos: return "cosf";
+    case UnOp::Floor: return "floorf";
+    case UnOp::CastF32: return "(float)";
+    case UnOp::CastI32: return "(int)";
+  }
+  return "?";
+}
+
+const char* builtin_str(BuiltinVal b) {
+  switch (b) {
+    case BuiltinVal::ThreadIdxX: return "threadIdx.x";
+    case BuiltinVal::ThreadIdxY: return "threadIdx.y";
+    case BuiltinVal::BlockIdxX: return "blockIdx.x";
+    case BuiltinVal::BlockIdxY: return "blockIdx.y";
+    case BuiltinVal::BlockDimX: return "blockDim.x";
+    case BuiltinVal::BlockDimY: return "blockDim.y";
+    case BuiltinVal::GridDimX: return "gridDim.x";
+    case BuiltinVal::GridDimY: return "gridDim.y";
+    case BuiltinVal::ThreadLinear: return "tid";
+  }
+  return "?";
+}
+
+void indent(std::string& out, int n) { out.append(static_cast<std::size_t>(n) * 2, ' '); }
+
+void print_stmts(const StmtList& body, const Kernel& k, std::string& out, int depth);
+
+}  // namespace
+
+std::string print_expr(const ExprPtr& e, const Kernel& k) {
+  if (!e) return "<null>";
+  switch (e->kind) {
+    case ExprKind::Const: return e->constant.to_string();
+    case ExprKind::VarRef: return k.vars[e->var].name;
+    case ExprKind::ParamRef: return k.params[e->param].name;
+    case ExprKind::Builtin: return builtin_str(e->builtin);
+    case ExprKind::LoadGlobal: return "mem[" + print_expr(e->a, k) + "]";
+    case ExprKind::LoadShared: return "shared[" + print_expr(e->a, k) + "]";
+    case ExprKind::Unary: return std::string(unop_str(e->un)) + "(" + print_expr(e->a, k) + ")";
+    case ExprKind::Binary: {
+      if (e->bin == BinOp::Min || e->bin == BinOp::Max)
+        return std::string(binop_str(e->bin)) + "(" + print_expr(e->a, k) + ", " +
+               print_expr(e->b, k) + ")";
+      return "(" + print_expr(e->a, k) + " " + binop_str(e->bin) + " " + print_expr(e->b, k) + ")";
+    }
+    case ExprKind::Select:
+      return "(" + print_expr(e->a, k) + " ? " + print_expr(e->b, k) + " : " +
+             print_expr(e->c, k) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+void print_stmt(const Stmt& s, const Kernel& k, std::string& out, int depth) {
+  indent(out, depth);
+  switch (s.kind) {
+    case StmtKind::Let:
+      out += std::string(dtype_name(k.vars[s.var].type)) + " " + k.vars[s.var].name + " = " +
+             print_expr(s.value, k) + ";\n";
+      break;
+    case StmtKind::Assign:
+      out += k.vars[s.var].name + " = " + print_expr(s.value, k) + ";\n";
+      break;
+    case StmtKind::StoreGlobal:
+      out += "mem[" + print_expr(s.addr, k) + "] = " + print_expr(s.value, k) + ";\n";
+      break;
+    case StmtKind::StoreShared:
+      out += "shared[" + print_expr(s.addr, k) + "] = " + print_expr(s.value, k) + ";\n";
+      break;
+    case StmtKind::AtomicAddGlobal:
+      out += "atomicAdd(mem + " + print_expr(s.addr, k) + ", " + print_expr(s.value, k) + ");\n";
+      break;
+    case StmtKind::For:
+      out += "for (" + k.vars[s.var].name + " = " + print_expr(s.init, k) + "; " +
+             k.vars[s.var].name + " < " + print_expr(s.limit, k) + "; " + k.vars[s.var].name +
+             " += " + print_expr(s.step, k) + ") {\n";
+      print_stmts(s.body, k, out, depth + 1);
+      indent(out, depth);
+      out += "}\n";
+      break;
+    case StmtKind::While:
+      out += "while (" + print_expr(s.value, k) + ") {\n";
+      print_stmts(s.body, k, out, depth + 1);
+      indent(out, depth);
+      out += "}\n";
+      break;
+    case StmtKind::If:
+      out += "if (" + print_expr(s.value, k) + ") {\n";
+      print_stmts(s.body, k, out, depth + 1);
+      if (!s.else_body.empty()) {
+        indent(out, depth);
+        out += "} else {\n";
+        print_stmts(s.else_body, k, out, depth + 1);
+      }
+      indent(out, depth);
+      out += "}\n";
+      break;
+    case StmtKind::Barrier:
+      out += "__syncthreads();\n";
+      break;
+    case StmtKind::ChecksumXor:
+      out += "chksum ^= bits(" + print_expr(s.value, k) + ");   // Hauberk\n";
+      break;
+    case StmtKind::ChecksumValidate:
+      out += "if (chksum != 0) cb->sdc = 1;   // Hauberk\n";
+      break;
+    case StmtKind::DupCheck:
+      out += "if (" + print_expr(s.value, k) + " != " + k.vars[s.var].name +
+             ") cb->sdc = 1;   // Hauberk dup-check\n";
+      break;
+    case StmtKind::RangeCheck:
+      out += "HauberkCheckRange(cb, " + std::to_string(s.detector_id) + ", " +
+             print_expr(s.value, k) + ");\n";
+      break;
+    case StmtKind::EqualCheck:
+      out += "HauberkCheckEqual(cb, " + std::to_string(s.detector_id) + ", " +
+             print_expr(s.value, k) + ", " + print_expr(s.rhs, k) + ");\n";
+      break;
+    case StmtKind::ProfileValue:
+      out += "HauberkProfile(cb, " + std::to_string(s.detector_id) + ", " +
+             print_expr(s.value, k) + ");\n";
+      break;
+    case StmtKind::CountExec:
+      out += "HauberkCountExec(cb, site=" + std::to_string(s.site) + ");\n";
+      break;
+    case StmtKind::FIHook:
+      out += "HauberkFIHook(cb, site=" + std::to_string(s.site) + ", &" +
+             (s.var != kInvalidVar ? k.vars[s.var].name : std::string("<none>")) + ");\n";
+      break;
+  }
+}
+
+void print_stmts(const StmtList& body, const Kernel& k, std::string& out, int depth) {
+  for (const auto& s : body) print_stmt(*s, k, out, depth);
+}
+
+}  // namespace
+
+std::string print_kernel(const Kernel& k) {
+  std::string out = "__global__ void " + k.name + "(";
+  for (std::size_t i = 0; i < k.params.size(); ++i) {
+    if (i) out += ", ";
+    out += std::string(dtype_name(k.params[i].type)) + " " + k.params[i].name;
+  }
+  out += ") {\n";
+  print_stmts(k.body, k, out, 1);
+  out += "}\n";
+  return out;
+}
+
+std::string print_loop_dataflow(const Kernel& k, const LoopDataflow& df) {
+  std::string out = "dataflow graph of loop " + std::to_string(df.loop_id) + ":\n";
+  char buf[256];
+  for (VarId v : df.loop_vars) {
+    const bool is_out =
+        std::count(df.outputs.begin(), df.outputs.end(), v) != 0;
+    int ops = 0, loads = 0;
+    if (auto it = df.op_nodes.find(v); it != df.op_nodes.end()) ops = it->second;
+    if (auto it = df.load_nodes.find(v); it != df.load_nodes.end()) loads = it->second;
+    std::string deps;
+    if (auto it = df.uses.find(v); it != df.uses.end())
+      for (VarId u : it->second) deps += (deps.empty() ? "" : ", ") + k.vars[u].name;
+    std::snprintf(buf, sizeof(buf), "  %-14s cbd=%-3d ops=%-3d loads=%-2d %s <- [%s]\n",
+                  k.vars[v].name.c_str(), df.cbd(v), ops, loads, is_out ? "OUTPUT" : "      ",
+                  deps.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hauberk::kir

@@ -1,0 +1,20 @@
+// Pretty-printers for kernels and loop dataflow graphs.
+//
+// `print_kernel` renders the AST in a C-like syntax so instrumented kernels
+// can be inspected (the analogue of reading the Hauberk translator's output
+// source).  `print_loop_dataflow` renders the Fig. 9 style graph with the
+// cumulative backward dataflow dependency of every node.
+#pragma once
+
+#include <string>
+
+#include "kir/analysis.hpp"
+#include "kir/ast.hpp"
+
+namespace hauberk::kir {
+
+std::string print_expr(const ExprPtr& e, const Kernel& k);
+std::string print_kernel(const Kernel& k);
+std::string print_loop_dataflow(const Kernel& k, const LoopDataflow& df);
+
+}  // namespace hauberk::kir

@@ -1,0 +1,70 @@
+// 32-bit typed values of the kernel IR.
+//
+// The paper's SWIFI tool mutates architecture-visible state: 32-bit registers
+// and memory words holding float, integer, or pointer data (Section VII).
+// We therefore represent every runtime value as a raw 32-bit word plus a
+// static type tag, so a fault mask can be XORed into the representation of
+// any value exactly as the paper's FI library does.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace hauberk::kir {
+
+/// The three data classes the paper distinguishes (Fig. 1): floating point,
+/// integer, and pointer.  Pointers are 32-bit word addresses into simulated
+/// device memory.
+enum class DType : std::uint8_t { F32 = 0, I32 = 1, PTR = 2 };
+
+[[nodiscard]] constexpr const char* dtype_name(DType t) noexcept {
+  switch (t) {
+    case DType::F32: return "f32";
+    case DType::I32: return "i32";
+    case DType::PTR: return "ptr";
+  }
+  return "?";
+}
+
+/// A typed 32-bit value.  The bit pattern is authoritative; accessors
+/// reinterpret it.  This mirrors a GPU register: the hardware stores bits,
+/// the instruction decides the interpretation.
+struct Value {
+  DType type = DType::I32;
+  std::uint32_t bits = 0;
+
+  [[nodiscard]] static constexpr Value f32(float v) noexcept {
+    return {DType::F32, std::bit_cast<std::uint32_t>(v)};
+  }
+  [[nodiscard]] static constexpr Value i32(std::int32_t v) noexcept {
+    return {DType::I32, static_cast<std::uint32_t>(v)};
+  }
+  [[nodiscard]] static constexpr Value ptr(std::uint32_t addr) noexcept {
+    return {DType::PTR, addr};
+  }
+
+  [[nodiscard]] constexpr float as_f32() const noexcept { return std::bit_cast<float>(bits); }
+  [[nodiscard]] constexpr std::int32_t as_i32() const noexcept {
+    return static_cast<std::int32_t>(bits);
+  }
+  [[nodiscard]] constexpr std::uint32_t as_ptr() const noexcept { return bits; }
+
+  /// Numeric view used by detectors and outcome classification.
+  [[nodiscard]] double as_double() const noexcept {
+    switch (type) {
+      case DType::F32: return static_cast<double>(as_f32());
+      case DType::I32: return static_cast<double>(as_i32());
+      case DType::PTR: return static_cast<double>(bits);
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Value& a, const Value& b) noexcept {
+    return a.type == b.type && a.bits == b.bits;
+  }
+};
+
+}  // namespace hauberk::kir

@@ -1,0 +1,153 @@
+#include "swifi/baselines.hpp"
+
+#include <map>
+#include <set>
+
+#include "kir/analysis.hpp"
+
+namespace hauberk::swifi {
+
+using namespace hauberk::kir;
+
+RNaiveResult run_r_naive(gpusim::Device& dev, const BytecodeProgram& program,
+                         core::KernelJob& job, const gpusim::LaunchOptions& opts) {
+  RNaiveResult r;
+  auto args = job.setup(dev);
+  r.first = dev.launch(program, job.config(), args, opts);
+  if (r.first.status != gpusim::LaunchStatus::Ok) {
+    r.total_cycles = r.first.cycles;
+    return r;
+  }
+  r.output = job.read_output(dev);
+
+  args = job.setup(dev);  // second copy of the input data
+  r.second = dev.launch(program, job.config(), args, opts);
+  r.total_cycles = r.first.cycles + r.second.cycles;
+  if (r.second.status != gpusim::LaunchStatus::Ok) return r;
+
+  const auto out2 = job.read_output(dev);
+  r.completed = true;
+  r.mismatch = out2.words != r.output.words;
+  // CPU-side word-by-word output comparison (and the extra D2H copy).
+  r.total_cycles += out2.words.size() * 2;
+  return r;
+}
+
+namespace {
+
+/// Clone an expression substituting variable reads through `shadow_of`
+/// (reads of un-shadowed variables — parameters, iterators — stay shared,
+/// matching R-Scatter's reuse of unduplicated state).
+ExprPtr clone_subst(const ExprPtr& e, const std::map<VarId, VarId>& shadow_of) {
+  if (!e) return nullptr;
+  auto n = std::make_shared<Expr>(*e);
+  if (n->kind == ExprKind::VarRef) {
+    auto it = shadow_of.find(n->var);
+    if (it != shadow_of.end()) n->var = it->second;
+  }
+  n->a = clone_subst(e->a, shadow_of);
+  n->b = clone_subst(e->b, shadow_of);
+  n->c = clone_subst(e->c, shadow_of);
+  return n;
+}
+
+class ScatterPass {
+ public:
+  explicit ScatterPass(Kernel& k) : k_(&k) {}
+
+  int run() {
+    process(k_->body);
+    return duplicated_;
+  }
+
+ private:
+  void process(StmtList& list) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      StmtPtr s = list[i];
+      switch (s->kind) {
+        case StmtKind::Let:
+        case StmtKind::Assign: {
+          // Duplicate the computation into the shadow variable.
+          VarId sh;
+          auto it = shadow_.find(s->var);
+          if (it == shadow_.end()) {
+            k_->vars.push_back(
+                {k_->vars[s->var].name + "__dup", k_->vars[s->var].type, /*scatter_shadow=*/true});
+            sh = static_cast<VarId>(k_->vars.size() - 1);
+            shadow_[s->var] = sh;
+          } else {
+            sh = it->second;
+          }
+          auto dup = s->kind == StmtKind::Let
+                         ? Stmt::let(sh, clone_subst(s->value, shadow_))
+                         : Stmt::assign(sh, clone_subst(s->value, shadow_));
+          dup->extra_flags = kInstrScatter;
+          dup->hauberk_internal = true;
+          list.insert(list.begin() + static_cast<long>(i) + 1, std::move(dup));
+          ++i;
+          ++duplicated_;
+          break;
+        }
+        case StmtKind::StoreGlobal:
+        case StmtKind::StoreShared:
+        case StmtKind::AtomicAddGlobal: {
+          // Compare original vs shadow value before committing to memory.
+          std::set<VarId> reads;
+          kir::Analysis::collect_reads(s->value, reads);
+          StmtList checks;
+          for (VarId v : reads) {
+            auto it = shadow_.find(v);
+            if (it == shadow_.end()) continue;
+            auto chk = std::make_shared<Stmt>();
+            chk->kind = StmtKind::DupCheck;
+            chk->var = v;
+            chk->value = Expr::make_var(it->second, k_->vars[v].type);
+            chk->extra_flags = kInstrScatter;
+            chk->hauberk_internal = true;
+            checks.push_back(std::move(chk));
+          }
+          list.insert(list.begin() + static_cast<long>(i), checks.begin(), checks.end());
+          i += checks.size();
+          break;
+        }
+        case StmtKind::For:
+        case StmtKind::While:
+          process(s->body);
+          break;
+        case StmtKind::If:
+          process(s->body);
+          process(s->else_body);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  Kernel* k_;
+  std::map<VarId, VarId> shadow_;
+  int duplicated_ = 0;
+};
+
+}  // namespace
+
+ScatterKernel make_r_scatter(const Kernel& source, const gpusim::DeviceProps& props) {
+  ScatterKernel out;
+  // R-Scatter duplicates the GPU-resident data; a kernel already using more
+  // than half of the shared memory cannot host the duplicate (Section IX.A).
+  const std::uint32_t doubled_shared = source.shared_mem_words * 2;
+  if (doubled_shared > props.shared_mem_words) {
+    out.compiles = false;
+    out.reason = "shared memory exceeded: " + std::to_string(doubled_shared * 4) +
+                 " bytes needed, " + std::to_string(props.shared_mem_words * 4) + " available";
+    return out;
+  }
+  out.kernel = clone_kernel(source);
+  out.kernel.shared_mem_words = doubled_shared;
+  ScatterPass pass(out.kernel);
+  out.duplicated_defs = pass.run();
+  out.compiles = true;
+  return out;
+}
+
+}  // namespace hauberk::swifi

@@ -1,0 +1,57 @@
+// Baseline error-detection techniques the paper compares against (Sections
+// III and IX.A):
+//
+//  * R-Naive — software temporal redundancy: execute the kernel twice with
+//    independent copies of the data and compare outputs on the CPU.  ~100%
+//    kernel-time overhead and doubled CPU memory.
+//
+//  * R-Scatter — optimized full duplication exploiting data-level
+//    parallelism: every computation statement is duplicated into shadow
+//    variables inside the kernel and compared before memory writes.
+//    Duplicated instructions compete for the same (already saturated)
+//    hardware resources, so they run at CostModel::scatter_percent of full
+//    cost, and duplicated shared-memory data means kernels using more than
+//    half the shared memory — TPACF — cannot be compiled at all.
+#pragma once
+
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "hauberk/program.hpp"
+#include "kir/ast.hpp"
+#include "kir/bytecode.hpp"
+
+namespace hauberk::swifi {
+
+// --- R-Naive ---
+
+struct RNaiveResult {
+  gpusim::LaunchResult first;
+  gpusim::LaunchResult second;
+  bool completed = false;       ///< both executions finished
+  bool mismatch = false;        ///< outputs differ => error detected
+  std::uint64_t total_cycles = 0;  ///< modeled cost incl. compare/copy overhead
+  core::ProgramOutput output;   ///< first execution's output
+};
+
+/// Execute the kernel twice (full re-setup in between, i.e. two copies of
+/// the data) and compare the outputs.
+[[nodiscard]] RNaiveResult run_r_naive(gpusim::Device& dev, const kir::BytecodeProgram& program,
+                                       core::KernelJob& job,
+                                       const gpusim::LaunchOptions& opts = {});
+
+// --- R-Scatter ---
+
+struct ScatterKernel {
+  bool compiles = false;
+  std::string reason;       ///< why compilation failed (resource exhaustion)
+  kir::Kernel kernel;       ///< instrumented source (valid when compiles)
+  int duplicated_defs = 0;
+};
+
+/// Apply R-Scatter duplication to a kernel; fails when doubling the shared
+/// memory footprint exceeds the device limit.
+[[nodiscard]] ScatterKernel make_r_scatter(const kir::Kernel& source,
+                                           const gpusim::DeviceProps& props);
+
+}  // namespace hauberk::swifi

@@ -1,0 +1,245 @@
+#include "swifi/campaign.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "swifi/injector.hpp"
+
+namespace hauberk::swifi {
+
+using gpusim::Device;
+using gpusim::LaunchOptions;
+using gpusim::LaunchStatus;
+
+const char* outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Failure: return "failure";
+    case Outcome::Masked: return "masked";
+    case Outcome::DetectedMasked: return "detected&masked";
+    case Outcome::Detected: return "detected";
+    case Outcome::Undetected: return "undetected";
+    case Outcome::NotActivated: return "not-activated";
+  }
+  return "?";
+}
+
+void OutcomeCounts::add(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Failure: ++failure; break;
+    case Outcome::Masked: ++masked; break;
+    case Outcome::DetectedMasked: ++detected_masked; break;
+    case Outcome::Detected: ++detected; break;
+    case Outcome::Undetected: ++undetected; break;
+    case Outcome::NotActivated: ++not_activated; break;
+  }
+}
+
+GoldenRun golden_run(Device& dev, const kir::BytecodeProgram& program, core::KernelJob& job,
+                     core::ControlBlock* cb) {
+  const auto args = job.setup(dev);
+  if (cb) cb->reset_results();
+  LaunchOptions opts;
+  opts.hooks = cb;
+  const auto res = dev.launch(program, job.config(), args, opts);
+  if (res.status != LaunchStatus::Ok)
+    throw std::runtime_error("swifi golden run failed: " +
+                             std::string(gpusim::launch_status_name(res.status)));
+  GoldenRun g;
+  g.output = job.read_output(dev);
+  g.per_thread_instructions =
+      res.instructions / std::max<std::uint64_t>(1, res.threads);
+  return g;
+}
+
+std::vector<FaultSpec> plan_faults(const kir::BytecodeProgram& fi_program,
+                                   const core::ProfileData& profile, const PlanOptions& opt) {
+  common::Rng rng = common::Rng::fork(opt.seed, 0xFA017);
+
+  // Candidate sites: executed at least once and passing the filters.
+  struct Candidate {
+    std::uint32_t site_index;
+    std::vector<std::uint32_t> threads;  ///< threads that execute the site
+  };
+  std::vector<Candidate> candidates;
+  for (std::uint32_t si = 0; si < fi_program.fi_sites.size(); ++si) {
+    const kir::FISite& site = fi_program.fi_sites[si];
+    if (opt.type_filter && site.type != *opt.type_filter) continue;
+    if (opt.hw_filter && site.hw != *opt.hw_filter) continue;
+    if (si >= profile.exec_counts.size()) continue;
+    Candidate c;
+    c.site_index = si;
+    const auto& counts = profile.exec_counts[si];
+    for (std::uint32_t t = 0; t < counts.size(); ++t)
+      if (counts[t] > 0) c.threads.push_back(t);
+    if (!c.threads.empty()) candidates.push_back(std::move(c));
+  }
+
+  // Sample up to max_vars distinct sites.
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  if (static_cast<int>(candidates.size()) > opt.max_vars)
+    candidates.resize(static_cast<std::size_t>(opt.max_vars));
+
+  std::vector<FaultSpec> specs;
+  specs.reserve(candidates.size() * static_cast<std::size_t>(opt.masks_per_var));
+  for (const Candidate& c : candidates) {
+    const kir::FISite& site = fi_program.fi_sites[c.site_index];
+    for (int m = 0; m < opt.masks_per_var; ++m) {
+      FaultSpec s;
+      s.site_id = site.site_id;
+      s.var = site.var;
+      s.type = site.type;
+      s.hw = site.hw;
+      s.thread = c.threads[rng.next_below(c.threads.size())];
+      const std::uint32_t max_occ = profile.exec_counts[c.site_index][s.thread];
+      s.occurrence = 1 + static_cast<std::uint32_t>(rng.next_below(max_occ));
+      s.mask = common::random_mask(rng, opt.error_bits);
+      specs.push_back(s);
+    }
+  }
+  return specs;
+}
+
+namespace {
+
+Outcome classify(const gpusim::LaunchResult& res, bool alarm, const core::ProgramOutput& out,
+                 const core::ProgramOutput& golden, const workloads::Requirement& req) {
+  if (res.status != LaunchStatus::Ok) return Outcome::Failure;
+  const bool correct = req.satisfied(out, golden);
+  if (alarm) return correct ? Outcome::DetectedMasked : Outcome::Detected;
+  return correct ? Outcome::Masked : Outcome::Undetected;
+}
+
+}  // namespace
+
+Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::KernelJob& job,
+                      core::ControlBlock* cb, const FaultSpec& spec,
+                      const core::ProgramOutput& golden, const workloads::Requirement& req,
+                      std::uint64_t watchdog_instructions) {
+  InjectingHooks hooks(program, cb);
+  hooks.arm(spec);
+  const auto args = job.setup(dev);
+  if (cb) cb->reset_results();
+  LaunchOptions opts;
+  opts.hooks = &hooks;
+  opts.watchdog_instructions = watchdog_instructions;
+  const auto res = dev.launch(program, job.config(), args, opts);
+  if (!hooks.activated() && res.status == LaunchStatus::Ok) return Outcome::NotActivated;
+  if (res.status != LaunchStatus::Ok) return Outcome::Failure;
+  const auto out = job.read_output(dev);
+  const bool alarm = res.sdc_alarm || (cb && cb->sdc_detected());
+  return classify(res, alarm, out, golden, req);
+}
+
+CampaignResult run_campaign(Device& dev, const kir::BytecodeProgram& program,
+                            core::KernelJob& job, core::ControlBlock* cb,
+                            const std::vector<FaultSpec>& specs,
+                            const workloads::Requirement& req, const CampaignConfig& cfg) {
+  const GoldenRun gold = golden_run(dev, program, job, cb);
+  const std::uint64_t watchdog =
+      std::max(cfg.hang_floor,
+               static_cast<std::uint64_t>(static_cast<double>(gold.per_thread_instructions) *
+                                          cfg.hang_factor));
+  CampaignResult result;
+  result.per_fault.reserve(specs.size());
+  for (const FaultSpec& spec : specs) {
+    const Outcome o = run_one_fault(dev, program, job, cb, spec, gold.output, req, watchdog);
+    result.counts.add(o);
+    result.per_fault.push_back(o);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Memory / code faults
+// ---------------------------------------------------------------------------
+
+Outcome run_one_memory_fault(Device& dev, const kir::BytecodeProgram& program,
+                             core::KernelJob& job, common::Rng& rng, std::uint32_t mask,
+                             const core::ProgramOutput& golden,
+                             const workloads::Requirement& req,
+                             std::uint64_t watchdog_instructions) {
+  const auto args = job.setup(dev);
+  // Corrupt one random live word of device memory ("data segment" fault).
+  const std::uint32_t used = dev.mem().used_words();
+  if (used == 0) return Outcome::NotActivated;
+  // Addresses in PagedCpu mode are sparse; walk allocations via image().
+  auto img = dev.mem().image();
+  const std::uint32_t idx = static_cast<std::uint32_t>(rng.next_below(img.size()));
+  img[idx] ^= mask;
+  dev.mem().restore(img);
+
+  LaunchOptions opts;
+  opts.watchdog_instructions = watchdog_instructions;
+  const auto res = dev.launch(program, job.config(), args, opts);
+  if (res.status != LaunchStatus::Ok) return Outcome::Failure;
+  const auto out = job.read_output(dev);
+  return classify(res, res.sdc_alarm, out, golden, req);
+}
+
+bool validate_program(const kir::BytecodeProgram& p) {
+  const auto max_op = static_cast<std::uint8_t>(kir::OpCode::FIHook);
+  for (const kir::Instr& in : p.code) {
+    if (static_cast<std::uint8_t>(in.op) > max_op) return false;
+    if (in.dst >= p.num_slots || in.a >= p.num_slots || in.b >= p.num_slots) return false;
+    switch (in.op) {
+      case kir::OpCode::Jmp:
+      case kir::OpCode::Jz:
+        if (in.aux > p.code.size()) return false;
+        break;
+      case kir::OpCode::Un:
+        if ((in.aux & 0xffffu) > static_cast<std::uint32_t>(kir::UnOp::CastI32)) return false;
+        if (((in.aux >> 16) & 0xffu) > 2) return false;
+        break;
+      case kir::OpCode::Bin:
+        if ((in.aux & 0xffffu) > static_cast<std::uint32_t>(kir::BinOp::LogicalOr)) return false;
+        if (((in.aux >> 16) & 0xffu) > 2) return false;
+        break;
+      case kir::OpCode::Builtin:
+        if (in.aux > static_cast<std::uint32_t>(kir::BuiltinVal::ThreadLinear)) return false;
+        break;
+      case kir::OpCode::Select:
+        if (in.imm >= p.num_slots) return false;
+        break;
+      case kir::OpCode::FIHook:
+      case kir::OpCode::CountExec:
+        if (in.aux >= p.fi_sites.size()) return false;
+        break;
+      case kir::OpCode::RangeCheck:
+      case kir::OpCode::EqualCheck:
+      case kir::OpCode::ProfileVal:
+        if (in.aux >= p.detectors.size()) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+Outcome run_one_code_fault(Device& dev, const kir::BytecodeProgram& program,
+                           core::KernelJob& job, common::Rng& rng,
+                           const core::ProgramOutput& golden,
+                           const workloads::Requirement& req,
+                           std::uint64_t watchdog_instructions) {
+  kir::BytecodeProgram mutant = program;
+  if (mutant.code.empty()) return Outcome::NotActivated;
+  const std::size_t instr = rng.next_below(mutant.code.size());
+  const int bit = static_cast<int>(rng.next_below(sizeof(kir::Instr) * 8));
+  auto* bytes = reinterpret_cast<unsigned char*>(&mutant.code[instr]);
+  bytes[bit / 8] = static_cast<unsigned char>(bytes[bit / 8] ^ (1u << (bit % 8)));
+
+  // An undecodable mutant traps at fetch: illegal-instruction failure.
+  if (!validate_program(mutant)) return Outcome::Failure;
+
+  const auto args = job.setup(dev);
+  LaunchOptions opts;
+  opts.watchdog_instructions = watchdog_instructions;
+  const auto res = dev.launch(mutant, job.config(), args, opts);
+  if (res.status != LaunchStatus::Ok) return Outcome::Failure;
+  const auto out = job.read_output(dev);
+  return classify(res, res.sdc_alarm, out, golden, req);
+}
+
+}  // namespace hauberk::swifi

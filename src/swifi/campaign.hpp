@@ -1,0 +1,103 @@
+// Fault-injection campaign harness (Sections VII/VIII): plans fault targets
+// from profiler execution counts, runs one experiment per fault, and
+// classifies outcomes against the golden run and the program's correctness
+// requirement.  Also provides the memory-word and code-segment fault modes
+// used for the Fig. 1 CPU-program rows.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "hauberk/control_block.hpp"
+#include "hauberk/program.hpp"
+#include "hauberk/runtime.hpp"
+#include "swifi/fault.hpp"
+#include "workloads/workload.hpp"
+
+namespace hauberk::swifi {
+
+struct PlanOptions {
+  int max_vars = 20;       ///< virtual variables targeted (paper: 20-50)
+  int masks_per_var = 10;  ///< error masks per variable (paper: 50)
+  int error_bits = 1;      ///< popcount of each mask (Fig. 14: 1/3/6/10/15)
+  std::uint64_t seed = 1;
+  /// Restrict targets to one data class (Fig. 1's pointer/integer/FP rows).
+  std::optional<kir::DType> type_filter;
+  /// Restrict targets to a hardware component.
+  std::optional<kir::HwComponent> hw_filter;
+};
+
+/// Derive fault specs from the FI program's site table and the profiler's
+/// per-site per-thread execution counts.
+[[nodiscard]] std::vector<FaultSpec> plan_faults(const kir::BytecodeProgram& fi_program,
+                                                 const core::ProfileData& profile,
+                                                 const PlanOptions& opt);
+
+struct CampaignConfig {
+  /// Watchdog budget as a multiple of the fault-free per-thread instruction
+  /// count (the guardian's hang rule applied to injection runs).
+  double hang_factor = 10.0;
+  std::uint64_t hang_floor = 1'000'000;
+};
+
+struct CampaignResult {
+  OutcomeCounts counts;
+  std::vector<Outcome> per_fault;
+};
+
+/// Run one injection experiment.  `cb` may be null (FI without FT).
+[[nodiscard]] Outcome run_one_fault(gpusim::Device& dev, const kir::BytecodeProgram& program,
+                                    core::KernelJob& job, core::ControlBlock* cb,
+                                    const FaultSpec& spec,
+                                    const core::ProgramOutput& golden,
+                                    const workloads::Requirement& req,
+                                    std::uint64_t watchdog_instructions);
+
+/// Run a whole campaign: one launch per spec against a shared golden run.
+[[nodiscard]] CampaignResult run_campaign(gpusim::Device& dev,
+                                          const kir::BytecodeProgram& program,
+                                          core::KernelJob& job, core::ControlBlock* cb,
+                                          const std::vector<FaultSpec>& specs,
+                                          const workloads::Requirement& req,
+                                          const CampaignConfig& cfg = {});
+
+// ---------------------------------------------------------------------------
+// Memory-data and code-segment faults (Fig. 1 CPU rows)
+// ---------------------------------------------------------------------------
+
+/// Flip `mask` into a uniformly chosen live memory word after job setup,
+/// then run and classify.
+[[nodiscard]] Outcome run_one_memory_fault(gpusim::Device& dev,
+                                           const kir::BytecodeProgram& program,
+                                           core::KernelJob& job, common::Rng& rng,
+                                           std::uint32_t mask,
+                                           const core::ProgramOutput& golden,
+                                           const workloads::Requirement& req,
+                                           std::uint64_t watchdog_instructions);
+
+/// Flip one random bit in one random instruction encoding ("code segment"
+/// fault).  Structurally invalid mutants are classified as Failure without
+/// execution (illegal-instruction trap).
+[[nodiscard]] Outcome run_one_code_fault(gpusim::Device& dev,
+                                         const kir::BytecodeProgram& program,
+                                         core::KernelJob& job, common::Rng& rng,
+                                         const core::ProgramOutput& golden,
+                                         const workloads::Requirement& req,
+                                         std::uint64_t watchdog_instructions);
+
+/// Structural validity check used by code-fault experiments: register
+/// indices in range, opcodes decodable, jump targets inside the program.
+[[nodiscard]] bool validate_program(const kir::BytecodeProgram& p);
+
+/// Fault-free run to obtain the golden output and the watchdog baseline.
+struct GoldenRun {
+  core::ProgramOutput output;
+  std::uint64_t per_thread_instructions = 0;
+};
+[[nodiscard]] GoldenRun golden_run(gpusim::Device& dev, const kir::BytecodeProgram& program,
+                                   core::KernelJob& job, core::ControlBlock* cb = nullptr);
+
+}  // namespace hauberk::swifi

@@ -1,0 +1,69 @@
+// Fault model of the SWIFI toolset (Section VII).
+//
+// A FaultSpec names one architecture-state corruption: which FI site (i.e.
+// which virtual-variable definition), which thread, which dynamic occurrence
+// of that definition in that thread, and the error mask to XOR in.  Faults
+// are planned from profiler execution counts and injected through the
+// FIHook instructions the translator placed (Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "kir/ast.hpp"
+#include "kir/bytecode.hpp"
+
+namespace hauberk::swifi {
+
+struct FaultSpec {
+  std::uint32_t site_id = 0;     ///< FISite::site_id in the FI program
+  std::uint32_t thread = 0;      ///< global linear thread id
+  std::uint32_t occurrence = 1;  ///< 1-based dynamic execution index in that thread
+  std::uint32_t mask = 1;        ///< error bits XORed into the defined value
+
+  // Descriptive metadata (copied from the site for reporting).
+  kir::VarId var = kir::kInvalidVar;
+  kir::DType type = kir::DType::I32;
+  kir::HwComponent hw = kir::HwComponent::ALU;
+};
+
+/// Fault-injection experiment outcome, the five classes of Section VIII plus
+/// NotActivated (the planned fault never triggered — excluded from ratios).
+enum class Outcome : std::uint8_t {
+  Failure,         ///< kernel crash, or hang caught by the guardian watchdog
+  Masked,          ///< output satisfies the correctness requirement, no alarm
+  DetectedMasked,  ///< alarm raised but output still satisfies the requirement
+  Detected,        ///< alarm raised and output violates the requirement
+  Undetected,      ///< output violates the requirement with no alarm (SDC!)
+  NotActivated,
+};
+
+[[nodiscard]] const char* outcome_name(Outcome o) noexcept;
+
+/// Aggregated campaign counts.
+struct OutcomeCounts {
+  std::uint64_t failure = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t detected_masked = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t undetected = 0;
+  std::uint64_t not_activated = 0;
+
+  void add(Outcome o) noexcept;
+  [[nodiscard]] std::uint64_t activated() const noexcept {
+    return failure + masked + detected_masked + detected + undetected;
+  }
+  /// Error detection coverage: probability a fault is detected or masked
+  /// (Section VIII: 1 - undetected ratio).
+  [[nodiscard]] double coverage() const noexcept {
+    const auto n = activated();
+    return n == 0 ? 1.0 : 1.0 - static_cast<double>(undetected) / static_cast<double>(n);
+  }
+  [[nodiscard]] double ratio(std::uint64_t part) const noexcept {
+    const auto n = activated();
+    return n == 0 ? 0.0 : static_cast<double>(part) / static_cast<double>(n);
+  }
+};
+
+}  // namespace hauberk::swifi

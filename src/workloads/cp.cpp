@@ -1,0 +1,134 @@
+// CP — coulombic potential (Parboil).  Each thread computes the electric
+// potential of two neighboring grid points by summing contributions of all
+// atoms; the two energy variables are the self-accumulating outputs of the
+// Fig. 9 dataflow example ("energyx1"/"energyx2").
+#include <cmath>
+
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+struct Sizes {
+  std::int32_t width, threads, atoms;
+};
+
+Sizes sizes_for(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return {4, 16, 16};
+    case Scale::Small: return {8, 64, 96};
+    case Scale::Medium: return {16, 256, 384};
+  }
+  return {8, 64, 96};
+}
+
+constexpr float kSpacing = 0.5f;
+
+class CpWorkload final : public Workload {
+ public:
+  std::string name() const override { return "CP"; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("cp_kernel");
+    auto atominfo = kb.param_ptr("atominfo");  // 4 words per atom: x, y, z, q
+    auto numatoms = kb.param_i32("numatoms");
+    auto out = kb.param_ptr("energyout");      // 2 floats per thread
+    auto spacing = kb.param_f32("gridspacing");
+    auto width = kb.param_i32("width");
+
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto coorx = kb.let("coorx", to_f32(tid % width) * spacing);
+    auto coory = kb.let("coory", to_f32(tid / width) * spacing);
+    auto energyx1 = kb.let("energyx1", f32c(0.0f));
+    auto energyx2 = kb.let("energyx2", f32c(0.0f));
+
+    kb.for_loop("atomid", i32c(0), numatoms, [&](ExprH atomid) {
+      auto base = kb.let("abase", atominfo + atomid * i32c(4));
+      auto dx1 = kb.let("dx1", kb.load_f32(base) - coorx);
+      auto dy = kb.let("dy", kb.load_f32(base + i32c(1)) - coory);
+      auto dz = kb.let("dz", kb.load_f32(base + i32c(2)));
+      auto dyz2 = kb.let("dyz2", dy * dy + dz * dz + f32c(0.05f));
+      auto q = kb.let("q", kb.load_f32(base + i32c(3)));
+      auto dx2 = kb.let("dx2", dx1 + spacing);
+      kb.assign(energyx1, energyx1 + q * rsqrt_(dx1 * dx1 + dyz2));
+      kb.assign(energyx2, energyx2 + q * rsqrt_(dx2 * dx2 + dyz2));
+    });
+
+    kb.store(out + tid * i32c(2), energyx1);
+    kb.store(out + tid * i32c(2) + i32c(1), energyx2);
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    const Sizes sz = sizes_for(scale);
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = sz.atoms;
+    ds.threads = sz.threads;
+    ds.scale = static_cast<float>(sz.width);
+    common::Rng rng = common::Rng::fork(seed, 0xC0);
+    ds.fa.resize(static_cast<std::size_t>(sz.atoms) * 4);
+    const float extent = static_cast<float>(sz.width) * kSpacing;
+    for (std::int32_t a = 0; a < sz.atoms; ++a) {
+      ds.fa[4 * a + 0] = static_cast<float>(rng.uniform(0.0, extent));
+      ds.fa[4 * a + 1] = static_cast<float>(rng.uniform(0.0, extent));
+      ds.fa[4 * a + 2] = static_cast<float>(rng.uniform(0.1, 2.0));
+      ds.fa[4 * a + 3] = static_cast<float>(rng.uniform(-5.0, 5.0));
+    }
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(2);
+    bufs[0] = {d::words_of(ds.fa), gpusim::AllocClass::F32Data};
+    bufs[1] = {std::vector<std::uint32_t>(static_cast<std::size_t>(ds.threads) * 2, 0u),
+               gpusim::AllocClass::F32Data};
+    std::vector<BufferJob::Arg> args = {
+        BufferJob::Arg::buf(0), BufferJob::Arg::val(Value::i32(ds.n)), BufferJob::Arg::buf(1),
+        BufferJob::Arg::val(Value::f32(kSpacing)),
+        BufferJob::Arg::val(Value::i32(static_cast<std::int32_t>(ds.scale)))};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), d::grid1d(ds.threads),
+                                       /*output_buffer=*/1, DType::F32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    const auto width = static_cast<std::int32_t>(ds.scale);
+    std::vector<double> out(static_cast<std::size_t>(ds.threads) * 2);
+    for (std::int32_t tid = 0; tid < ds.threads; ++tid) {
+      const float coorx = static_cast<float>(tid % width) * kSpacing;
+      const float coory = static_cast<float>(tid / width) * kSpacing;
+      float e1 = 0.0f, e2 = 0.0f;
+      for (std::int32_t a = 0; a < ds.n; ++a) {
+        const float dx1 = ds.fa[4 * a] - coorx;
+        const float dy = ds.fa[4 * a + 1] - coory;
+        const float dz = ds.fa[4 * a + 2];
+        const float dyz2 = dy * dy + dz * dz + 0.05f;
+        const float q = ds.fa[4 * a + 3];
+        const float dx2 = dx1 + kSpacing;
+        e1 += q * d::rsqrtf_ref(dx1 * dx1 + dyz2);
+        e2 += q * d::rsqrtf_ref(dx2 * dx2 + dyz2);
+      }
+      out[2 * static_cast<std::size_t>(tid)] = e1;
+      out[2 * static_cast<std::size_t>(tid) + 1] = e2;
+    }
+    return out;
+  }
+
+  Requirement requirement() const override {
+    Requirement r;
+    r.kind = Requirement::Kind::GlobalRel;
+    r.global_rel = 1e-4;
+    r.rel = 0.005;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cp() { return std::make_unique<CpWorkload>(); }
+
+}  // namespace hauberk::workloads

@@ -1,0 +1,301 @@
+// CPU reference programs for the Fig. 1 comparison rows.
+//
+// The paper contrasts GPU error sensitivity against CPU programs (data from
+// [14]): CPUs show *low* SDC and *high* crash ratios because page-granularity
+// memory protection converts most address corruptions into faults.  These
+// two programs (a blocked matrix multiply and a byte histogram) run on a
+// Device configured with MemoryModel::PagedCpu and are attacked through
+// three channels: stack (virtual-variable FI hooks), data (memory-word
+// flips) and code (instruction-encoding flips) — the x-axis categories of
+// the paper's CPU rows.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+// --- matrix multiply -------------------------------------------------------
+
+std::int32_t matmul_n(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return 8;
+    case Scale::Small: return 16;
+    case Scale::Medium: return 32;
+  }
+  return 16;
+}
+
+class CpuMatmul final : public Workload {
+ public:
+  std::string name() const override { return "cpu-matmul"; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("cpu_matmul");
+    auto a = kb.param_ptr("A");
+    auto b = kb.param_ptr("B");
+    auto c = kb.param_ptr("C");
+    auto n = kb.param_i32("n");
+
+    auto tid = kb.let("tid", kb.thread_linear());  // one row per "thread"
+    kb.for_loop("j", i32c(0), n, [&](ExprH j) {
+      auto acc = kb.let("acc", f32c(0.0f));
+      kb.for_loop("k", i32c(0), n, [&](ExprH k) {
+        auto av = kb.let("av", kb.load_f32(a + tid * n + k));
+        auto bv = kb.let("bv", kb.load_f32(b + k * n + j));
+        kb.assign(acc, acc + av * bv);
+      });
+      kb.store(c + tid * n + j, acc);
+    });
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = matmul_n(scale);
+    ds.threads = ds.n;  // one row per thread
+    common::Rng rng = common::Rng::fork(seed, 0x3A7);
+    ds.fa.resize(static_cast<std::size_t>(ds.n) * ds.n);
+    ds.fb.resize(ds.fa.size());
+    for (auto& v : ds.fa) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : ds.fb) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(3);
+    bufs[0] = {d::words_of(ds.fa), gpusim::AllocClass::F32Data};
+    bufs[1] = {d::words_of(ds.fb), gpusim::AllocClass::F32Data};
+    bufs[2] = {std::vector<std::uint32_t>(ds.fa.size(), 0u), gpusim::AllocClass::F32Data};
+    std::vector<BufferJob::Arg> args = {BufferJob::Arg::buf(0), BufferJob::Arg::buf(1),
+                                        BufferJob::Arg::buf(2),
+                                        BufferJob::Arg::val(Value::i32(ds.n))};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), d::grid1d(ds.threads),
+                                       /*output_buffer=*/2, DType::F32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    const std::int32_t n = ds.n;
+    std::vector<double> out(static_cast<std::size_t>(n) * n);
+    for (std::int32_t i = 0; i < n; ++i)
+      for (std::int32_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (std::int32_t k = 0; k < n; ++k) acc += ds.fa[i * n + k] * ds.fb[k * n + j];
+        out[static_cast<std::size_t>(i) * n + j] = acc;
+      }
+    return out;
+  }
+
+  Requirement requirement() const override {
+    Requirement r;
+    r.kind = Requirement::Kind::GlobalRel;
+    r.global_rel = 1e-4;
+    r.rel = 0.005;
+    return r;
+  }
+};
+
+// --- byte histogram ---------------------------------------------------------
+
+std::int32_t hist_len(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return 256;
+    case Scale::Small: return 2048;
+    case Scale::Medium: return 8192;
+  }
+  return 2048;
+}
+
+class CpuHistogram final : public Workload {
+ public:
+  std::string name() const override { return "cpu-histogram"; }
+  bool is_integer_program() const override { return true; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("cpu_histogram");
+    auto data = kb.param_ptr("data");
+    auto len = kb.param_i32("len");
+    auto hist = kb.param_ptr("hist");  // 16 bins
+    kb.for_loop("i", i32c(0), len, [&](ExprH i) {
+      auto v = kb.let("v", kb.load_i32(data + i));
+      auto bin = kb.let("bin", (v >> i32c(4)) & i32c(15));
+      auto slot = kb.let("hslot", hist + bin);
+      kb.store(slot, kb.load_i32(slot) + i32c(1));
+    });
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = hist_len(scale);
+    ds.threads = 1;  // sequential CPU program
+    common::Rng rng = common::Rng::fork(seed, 0x4157);
+    ds.ia.resize(static_cast<std::size_t>(ds.n));
+    for (auto& v : ds.ia) v = static_cast<std::int32_t>(rng.next_below(256));
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(2);
+    bufs[0] = {d::words_of(ds.ia), gpusim::AllocClass::I32Data};
+    bufs[1] = {std::vector<std::uint32_t>(16, 0u), gpusim::AllocClass::I32Data};
+    std::vector<BufferJob::Arg> args = {BufferJob::Arg::buf(0),
+                                        BufferJob::Arg::val(Value::i32(ds.n)),
+                                        BufferJob::Arg::buf(1)};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args),
+                                       gpusim::LaunchConfig{1, 1, 1, 1},
+                                       /*output_buffer=*/1, DType::I32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    std::vector<double> hist(16, 0.0);
+    for (std::int32_t v : ds.ia) hist[static_cast<std::size_t>((v >> 4) & 15)] += 1.0;
+    return hist;
+  }
+
+  Requirement requirement() const override {
+    // A couple of miscounted elements is tolerable for the sampled
+    // statistics this histogram feeds (the CPU rows of Fig. 1 model
+    // system-style code, not bit-exact numerics).
+    Requirement r;
+    r.kind = Requirement::Kind::AbsRel;
+    r.abs_floor = 2.0;
+    r.rel = 0.02;
+    return r;
+  }
+};
+
+// --- linked-list traversal --------------------------------------------------
+//
+// The pointer-chasing program: kernel-style code whose state is dominated by
+// pointers, as in the OS measurements the paper cites for its CPU rows.  A
+// corrupted node pointer almost always leaves the mapped pages and faults.
+
+std::int32_t list_len(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return 64;
+    case Scale::Small: return 400;
+    case Scale::Medium: return 2000;
+  }
+  return 400;
+}
+
+class CpuLinkedList final : public Workload {
+ public:
+  std::string name() const override { return "cpu-linkedlist"; }
+  bool is_integer_program() const override { return true; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("cpu_linkedlist");
+    auto head = kb.param_ptr("head");
+    auto nnodes = kb.param_i32("nnodes");
+    auto out = kb.param_ptr("out");
+
+    // Each node is [value, next]; next == 0 terminates (address 0 is
+    // unmapped on the paged-CPU device, so following a corrupt pointer
+    // faults like a real list walk would).
+    auto sum = kb.let("sum", i32c(0));
+    auto cur = kb.let("cur", head);
+    auto steps = kb.let("steps", i32c(0));
+    kb.while_loop(
+        [&] { return (cur != ExprH(Expr::make_const(Value::ptr(0)))) && (steps < nnodes); },
+        [&] {
+          kb.assign(sum, sum + kb.load_i32(cur));
+          kb.assign(cur, kb.load_ptr(cur + i32c(1)));
+          kb.assign(steps, steps + i32c(1));
+        });
+    kb.store(out, sum);
+    kb.store(out + i32c(1), steps);
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = list_len(scale);
+    ds.threads = 1;
+    common::Rng rng = common::Rng::fork(seed, 0x115D);
+    // Node values; links are materialized by make_job (device addresses).
+    ds.ia.resize(static_cast<std::size_t>(ds.n));
+    for (auto& v : ds.ia) v = static_cast<std::int32_t>(rng.next_below(1000));
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    // The node buffer is linked in allocation order; next pointers are
+    // patched with real device addresses at setup time.
+    class ListJob final : public core::KernelJob {
+     public:
+      explicit ListJob(const Dataset& ds) : values_(ds.ia) {}
+
+      std::vector<kir::Value> setup(gpusim::Device& dev) override {
+        dev.reset_memory();
+        const auto n = static_cast<std::uint32_t>(values_.size());
+        const std::uint32_t nodes = dev.mem().alloc(2 * n, gpusim::AllocClass::PtrData);
+        out_ = dev.mem().alloc(2, gpusim::AllocClass::I32Data);
+        std::vector<std::uint32_t> words(2 * n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          words[2 * i] = static_cast<std::uint32_t>(values_[i]);
+          words[2 * i + 1] = i + 1 < n ? nodes + 2 * (i + 1) : 0u;
+        }
+        dev.mem().copy_in(nodes, words);
+        return {kir::Value::ptr(nodes), kir::Value::i32(static_cast<std::int32_t>(n)),
+                kir::Value::ptr(out_)};
+      }
+      gpusim::LaunchConfig config() const override { return {1, 1, 1, 1}; }
+      core::ProgramOutput read_output(const gpusim::Device& dev) const override {
+        core::ProgramOutput out;
+        out.type = kir::DType::I32;
+        out.words.resize(2);
+        dev.mem().copy_out(out_, out.words);
+        return out;
+      }
+
+     private:
+      std::vector<std::int32_t> values_;
+      std::uint32_t out_ = 0;
+    };
+    return std::make_unique<ListJob>(ds);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    double sum = 0;
+    for (std::int32_t v : ds.ia) sum += v;
+    return {sum, static_cast<double>(ds.ia.size())};
+  }
+
+  Requirement requirement() const override {
+    // Tolerate a single corrupted node value relative to the full sum.
+    Requirement r;
+    r.kind = Requirement::Kind::AbsRel;
+    r.abs_floor = 4.0;
+    r.rel = 0.02;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cpu_matmul() { return std::make_unique<CpuMatmul>(); }
+std::unique_ptr<Workload> make_cpu_histogram() { return std::make_unique<CpuHistogram>(); }
+
+std::unique_ptr<Workload> make_cpu_linkedlist() { return std::make_unique<CpuLinkedList>(); }
+
+std::vector<std::unique_ptr<Workload>> cpu_suite() {
+  // The Fig. 1 CPU rows model the control/pointer-dominated system code of
+  // the paper's reference [14] (OS measurements): the pointer-chasing and
+  // histogram programs.  The FP-dense matmul is available separately but is
+  // not representative of that code class.
+  std::vector<std::unique_ptr<Workload>> v;
+  v.push_back(make_cpu_histogram());
+  v.push_back(make_cpu_linkedlist());
+  return v;
+}
+
+}  // namespace hauberk::workloads

@@ -1,0 +1,40 @@
+// Shared helpers for workload implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kir/builder.hpp"
+#include "workloads/workload.hpp"
+
+namespace hauberk::workloads::detail {
+
+/// Encode typed host arrays as device words.
+inline std::vector<std::uint32_t> words_of(const std::vector<float>& v) {
+  std::vector<std::uint32_t> w(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) w[i] = kir::Value::f32(v[i]).bits;
+  return w;
+}
+inline std::vector<std::uint32_t> words_of(const std::vector<std::int32_t>& v) {
+  std::vector<std::uint32_t> w(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) w[i] = static_cast<std::uint32_t>(v[i]);
+  return w;
+}
+
+/// Launch geometry for `threads` one-dimensional worker threads.
+inline gpusim::LaunchConfig grid1d(std::int32_t threads, std::uint32_t block = 32) {
+  gpusim::LaunchConfig cfg;
+  cfg.block_x = static_cast<std::uint32_t>(threads) < block
+                    ? static_cast<std::uint32_t>(threads)
+                    : block;
+  cfg.grid_x = (static_cast<std::uint32_t>(threads) + cfg.block_x - 1) / cfg.block_x;
+  return cfg;
+}
+
+/// Single-precision reciprocal square root exactly as the interpreter
+/// evaluates UnOp::Rsqrt (golden implementations must match bit-for-bit).
+inline float rsqrtf_ref(float x) { return 1.0f / std::sqrt(x); }
+
+}  // namespace hauberk::workloads::detail

@@ -1,0 +1,121 @@
+#include "workloads/histo_eq.hpp"
+
+#include "kir/builder.hpp"
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+
+std::vector<std::int32_t> HistoEq::make_image(std::uint64_t seed, std::int32_t pixels) {
+  common::Rng rng = common::Rng::fork(seed, 0x4157E);
+  std::vector<std::int32_t> img(static_cast<std::size_t>(pixels));
+  for (auto& v : img) {
+    // Skewed toward dark: square a uniform sample.
+    const double u = rng.next_double();
+    v = static_cast<std::int32_t>(u * u * 255.0);
+  }
+  return img;
+}
+
+std::vector<Kernel> HistoEq::build_kernels() {
+  std::vector<Kernel> ks;
+
+  {  // stage 0: histogram
+    KernelBuilder kb("histo_hist");
+    auto img = kb.param_ptr("image");
+    auto n = kb.param_i32("n");
+    auto hist = kb.param_ptr("hist");
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto stride = kb.let("stride", kb.bdim_x() * kb.gdim_x());
+    kb.for_loop_step("i", tid, n, stride, [&](ExprH i) {
+      auto v = kb.let("pix", kb.load_i32(img + i));
+      auto bin = kb.let("bin", v >> i32c(2));  // 256 intensities -> 64 bins
+      kb.atomic_add(hist + bin, i32c(1));
+    });
+    ks.push_back(kb.build());
+  }
+
+  {  // stage 1: inclusive scan of the histogram into the CDF (single thread)
+    KernelBuilder kb("histo_scan");
+    auto hist = kb.param_ptr("hist");
+    auto cdf = kb.param_ptr("cdf");
+    kb.if_then(kb.thread_linear() == i32c(0), [&] {
+      auto run = kb.let("running", i32c(0));
+      kb.for_loop("b", i32c(0), i32c(kBins), [&](ExprH b) {
+        kb.assign(run, run + kb.load_i32(hist + b));
+        kb.store(cdf + b, run);
+      });
+    });
+    ks.push_back(kb.build());
+  }
+
+  {  // stage 2: remap pixels through the CDF
+    KernelBuilder kb("histo_remap");
+    auto img = kb.param_ptr("image");
+    auto n = kb.param_i32("n");
+    auto cdf = kb.param_ptr("cdf");
+    auto out = kb.param_ptr("out");
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto stride = kb.let("stride", kb.bdim_x() * kb.gdim_x());
+    kb.for_loop_step("i", tid, n, stride, [&](ExprH i) {
+      auto v = kb.let("pix2", kb.load_i32(img + i));
+      auto c = kb.let("c", kb.load_i32(cdf + (v >> i32c(2))));
+      kb.store(out + i, c * i32c(255) / n);
+    });
+    ks.push_back(kb.build());
+  }
+  return ks;
+}
+
+std::vector<std::int32_t> HistoEq::golden(const std::vector<std::int32_t>& image) {
+  std::vector<std::int32_t> hist(kBins, 0);
+  for (std::int32_t v : image) ++hist[static_cast<std::size_t>(v >> 2)];
+  std::vector<std::int32_t> cdf(kBins, 0);
+  std::int32_t run = 0;
+  for (std::int32_t b = 0; b < kBins; ++b) {
+    run += hist[static_cast<std::size_t>(b)];
+    cdf[static_cast<std::size_t>(b)] = run;
+  }
+  const auto n = static_cast<std::int32_t>(image.size());
+  std::vector<std::int32_t> out(image.size());
+  for (std::size_t i = 0; i < image.size(); ++i)
+    out[i] = cdf[static_cast<std::size_t>(image[i] >> 2)] * 255 / n;
+  return out;
+}
+
+void HistoEq::Job::stage_inputs(gpusim::Device& dev) {
+  dev.reset_memory();
+  const auto n = static_cast<std::uint32_t>(image_.size());
+  img_ = dev.mem().alloc(n, gpusim::AllocClass::I32Data);
+  hist_ = dev.mem().alloc(kBins, gpusim::AllocClass::I32Data);
+  cdf_ = dev.mem().alloc(kBins, gpusim::AllocClass::I32Data);
+  out_ = dev.mem().alloc(n, gpusim::AllocClass::I32Data);
+  dev.mem().copy_in(img_, detail::words_of(image_));
+}
+
+std::vector<kir::Value> HistoEq::Job::args(int stage) const {
+  const auto n = static_cast<std::int32_t>(image_.size());
+  switch (stage) {
+    case 0: return {kir::Value::ptr(img_), kir::Value::i32(n), kir::Value::ptr(hist_)};
+    case 1: return {kir::Value::ptr(hist_), kir::Value::ptr(cdf_)};
+    default:
+      return {kir::Value::ptr(img_), kir::Value::i32(n), kir::Value::ptr(cdf_),
+              kir::Value::ptr(out_)};
+  }
+}
+
+gpusim::LaunchConfig HistoEq::Job::config(int stage) const {
+  if (stage == 1) return {1, 1, 1, 1};
+  return detail::grid1d(64);
+}
+
+core::ProgramOutput HistoEq::Job::read_output(const gpusim::Device& dev) const {
+  core::ProgramOutput o;
+  o.type = kir::DType::I32;
+  o.words.resize(image_.size());
+  dev.mem().copy_out(out_, o.words);
+  return o;
+}
+
+}  // namespace hauberk::workloads

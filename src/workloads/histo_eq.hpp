@@ -1,0 +1,53 @@
+// HISTO-EQ — a multi-kernel GPU program (histogram equalization), in the
+// style of Parboil's HISTO: three dependent kernels sharing device-resident
+// state, used to exercise Hauberk's per-kernel protection of multi-kernel
+// programs (core::PipelineJob / run_pipeline_protected):
+//
+//   stage 0  histogram: threads stride over the image, atomically counting
+//            intensities into 64 bins;
+//   stage 1  scan: a single thread builds the cumulative distribution;
+//   stage 2  remap: threads rewrite each pixel through the CDF.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hauberk/pipeline.hpp"
+#include "kir/ast.hpp"
+
+namespace hauberk::workloads {
+
+class HistoEq {
+ public:
+  static constexpr int kStages = 3;
+  static constexpr std::int32_t kBins = 64;
+
+  /// Image of `pixels` random 8-bit intensities (skewed toward dark values
+  /// so equalization visibly changes the image).
+  static std::vector<std::int32_t> make_image(std::uint64_t seed, std::int32_t pixels);
+
+  /// The three kernels, in stage order.
+  static std::vector<kir::Kernel> build_kernels();
+
+  /// Native reference: the equalized image.
+  static std::vector<std::int32_t> golden(const std::vector<std::int32_t>& image);
+
+  class Job final : public core::PipelineJob {
+   public:
+    explicit Job(std::vector<std::int32_t> image) : image_(std::move(image)) {}
+
+    void stage_inputs(gpusim::Device& dev) override;
+    [[nodiscard]] int num_stages() const override { return kStages; }
+    [[nodiscard]] std::vector<kir::Value> args(int stage) const override;
+    [[nodiscard]] gpusim::LaunchConfig config(int stage) const override;
+    [[nodiscard]] core::ProgramOutput read_output(const gpusim::Device& dev) const override;
+
+   private:
+    std::vector<std::int32_t> image_;
+    std::uint32_t img_ = 0, hist_ = 0, cdf_ = 0, out_ = 0;
+  };
+};
+
+}  // namespace hauberk::workloads

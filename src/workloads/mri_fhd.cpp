@@ -1,0 +1,142 @@
+// MRI-FHD (Parboil): computation of F^H d for MRI reconstruction.  Per
+// voxel, the kernel accumulates the real/imaginary parts of a product of
+// k-space trajectory data and the rho vector.  Because the output involves
+// multiplication of *different input vectors whose magnitudes vary across
+// datasets*, its accumulated averages span several decades — this is the
+// program whose range detectors stay imprecise in Fig. 16 (~30% false
+// positives at alpha=1) and need alpha recalibration.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+struct Sizes {
+  std::int32_t voxels, ksamples;
+};
+
+Sizes sizes_for(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return {16, 24};
+    case Scale::Small: return {64, 80};
+    case Scale::Medium: return {256, 256};
+  }
+  return {64, 80};
+}
+
+constexpr float kPi2 = 6.2831853f;
+
+class MriFhdWorkload final : public Workload {
+ public:
+  std::string name() const override { return "MRI-FHD"; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("mrifhd_kernel");
+    auto ktraj = kb.param_ptr("ktraj");   // 3 words per sample: kx, ky, kz
+    auto rho = kb.param_ptr("rho");       // 2 words per sample: rRho, iRho
+    auto nk = kb.param_i32("numk");
+    auto xdata = kb.param_ptr("xdata");   // 3 words per voxel
+    auto out = kb.param_ptr("fhd");       // 2 floats per voxel
+
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto xbase = kb.let("xbase", xdata + tid * i32c(3));
+    auto x = kb.let("x", kb.load_f32(xbase));
+    auto y = kb.let("y", kb.load_f32(xbase + i32c(1)));
+    auto z = kb.let("z", kb.load_f32(xbase + i32c(2)));
+    auto rfhd = kb.let("rFhD", f32c(0.0f));
+    auto ifhd = kb.let("iFhD", f32c(0.0f));
+
+    kb.for_loop("k", i32c(0), nk, [&](ExprH k) {
+      auto kb3 = kb.let("kb3", ktraj + k * i32c(3));
+      auto exp_arg = kb.let("expArg", f32c(kPi2) * (kb.load_f32(kb3) * x +
+                                                    kb.load_f32(kb3 + i32c(1)) * y +
+                                                    kb.load_f32(kb3 + i32c(2)) * z));
+      auto cos_a = kb.let("cosArg", cos_(exp_arg));
+      auto sin_a = kb.let("sinArg", sin_(exp_arg));
+      auto rb = kb.let("rbase", rho + k * i32c(2));
+      auto r_rho = kb.let("rRho", kb.load_f32(rb));
+      auto i_rho = kb.let("iRho", kb.load_f32(rb + i32c(1)));
+      kb.assign(rfhd, rfhd + (r_rho * cos_a - i_rho * sin_a));
+      kb.assign(ifhd, ifhd + (i_rho * cos_a + r_rho * sin_a));
+    });
+
+    kb.store(out + tid * i32c(2), rfhd);
+    kb.store(out + tid * i32c(2) + i32c(1), ifhd);
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    const Sizes sz = sizes_for(scale);
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = sz.ksamples;
+    ds.threads = sz.voxels;
+    common::Rng rng = common::Rng::fork(seed, 0xFD);
+    // Per-dataset rho magnitude: log-normal across datasets (this is what
+    // makes profiled ranges dataset-sensitive).
+    const double log_scale = rng.normal() * 1.5;
+    ds.scale = static_cast<float>(std::pow(10.0, log_scale));
+    ds.fa.resize(static_cast<std::size_t>(sz.ksamples) * 3);  // trajectory
+    for (std::size_t i = 0; i < ds.fa.size(); ++i)
+      ds.fa[i] = static_cast<float>(rng.uniform(-0.5, 0.5));
+    ds.fb.resize(static_cast<std::size_t>(sz.ksamples) * 2);  // rho
+    for (std::size_t i = 0; i < ds.fb.size(); ++i)
+      ds.fb[i] = static_cast<float>(rng.uniform(-1.0, 1.0)) * ds.scale;
+    ds.fc.resize(static_cast<std::size_t>(sz.voxels) * 3);    // voxels
+    for (std::size_t i = 0; i < ds.fc.size(); ++i)
+      ds.fc[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(4);
+    bufs[0] = {d::words_of(ds.fa), gpusim::AllocClass::F32Data};
+    bufs[1] = {d::words_of(ds.fb), gpusim::AllocClass::F32Data};
+    bufs[2] = {d::words_of(ds.fc), gpusim::AllocClass::F32Data};
+    bufs[3] = {std::vector<std::uint32_t>(static_cast<std::size_t>(ds.threads) * 2, 0u),
+               gpusim::AllocClass::F32Data};
+    std::vector<BufferJob::Arg> args = {
+        BufferJob::Arg::buf(0), BufferJob::Arg::buf(1), BufferJob::Arg::val(Value::i32(ds.n)),
+        BufferJob::Arg::buf(2), BufferJob::Arg::buf(3)};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), d::grid1d(ds.threads),
+                                       /*output_buffer=*/3, DType::F32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    std::vector<double> out(static_cast<std::size_t>(ds.threads) * 2);
+    for (std::int32_t tid = 0; tid < ds.threads; ++tid) {
+      const float x = ds.fc[3 * tid], y = ds.fc[3 * tid + 1], z = ds.fc[3 * tid + 2];
+      float rfhd = 0.0f, ifhd = 0.0f;
+      for (std::int32_t k = 0; k < ds.n; ++k) {
+        const float exp_arg =
+            kPi2 * (ds.fa[3 * k] * x + ds.fa[3 * k + 1] * y + ds.fa[3 * k + 2] * z);
+        const float ca = std::cos(exp_arg), sa = std::sin(exp_arg);
+        const float rr = ds.fb[2 * k], ir = ds.fb[2 * k + 1];
+        rfhd += (rr * ca - ir * sa);
+        ifhd += (ir * ca + rr * sa);
+      }
+      out[2 * static_cast<std::size_t>(tid)] = rfhd;
+      out[2 * static_cast<std::size_t>(tid) + 1] = ifhd;
+    }
+    return out;
+  }
+
+  Requirement requirement() const override {
+    Requirement r;
+    r.kind = Requirement::Kind::GlobalRel;
+    r.global_rel = 1e-4;
+    r.rel = 0.002;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_mri_fhd() { return std::make_unique<MriFhdWorkload>(); }
+
+}  // namespace hauberk::workloads

@@ -1,0 +1,133 @@
+// MRI-Q (Parboil): computation of the Q matrix for non-Cartesian MRI
+// reconstruction.  Each thread owns one voxel and accumulates the real and
+// imaginary Q components over all k-space samples.  This is the program
+// whose variable value distributions the paper plots in Fig. 10.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+struct Sizes {
+  std::int32_t voxels, ksamples;
+};
+
+Sizes sizes_for(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return {16, 24};
+    case Scale::Small: return {64, 80};
+    case Scale::Medium: return {256, 256};
+  }
+  return {64, 80};
+}
+
+constexpr float kPi2 = 6.2831853f;
+
+class MriQWorkload final : public Workload {
+ public:
+  std::string name() const override { return "MRI-Q"; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("mriq_kernel");
+    auto kdata = kb.param_ptr("kdata");  // 4 words per sample: kx, ky, kz, phiMag
+    auto nk = kb.param_i32("numk");
+    auto xdata = kb.param_ptr("xdata");  // 3 words per voxel: x, y, z
+    auto out = kb.param_ptr("qout");     // 2 floats per voxel: Qr, Qi
+
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto xbase = kb.let("xbase", xdata + tid * i32c(3));
+    auto x = kb.let("x", kb.load_f32(xbase));
+    auto y = kb.let("y", kb.load_f32(xbase + i32c(1)));
+    auto z = kb.let("z", kb.load_f32(xbase + i32c(2)));
+    auto qr = kb.let("Qr", f32c(0.0f));
+    auto qi = kb.let("Qi", f32c(0.0f));
+
+    kb.for_loop("k", i32c(0), nk, [&](ExprH k) {
+      auto base = kb.let("kbase", kdata + k * i32c(4));
+      auto exp_arg = kb.let("expArg", f32c(kPi2) * (kb.load_f32(base) * x +
+                                                    kb.load_f32(base + i32c(1)) * y +
+                                                    kb.load_f32(base + i32c(2)) * z));
+      auto phi = kb.let("phiMag", kb.load_f32(base + i32c(3)));
+      kb.assign(qr, qr + phi * cos_(exp_arg));
+      kb.assign(qi, qi + phi * sin_(exp_arg));
+    });
+
+    kb.store(out + tid * i32c(2), qr);
+    kb.store(out + tid * i32c(2) + i32c(1), qi);
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    const Sizes sz = sizes_for(scale);
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = sz.ksamples;
+    ds.threads = sz.voxels;
+    common::Rng rng = common::Rng::fork(seed, 0x3141);
+    ds.fa.resize(static_cast<std::size_t>(sz.ksamples) * 4);  // k-space samples
+    for (std::int32_t k = 0; k < sz.ksamples; ++k) {
+      ds.fa[4 * k + 0] = static_cast<float>(rng.uniform(-0.5, 0.5));
+      ds.fa[4 * k + 1] = static_cast<float>(rng.uniform(-0.5, 0.5));
+      ds.fa[4 * k + 2] = static_cast<float>(rng.uniform(-0.5, 0.5));
+      ds.fa[4 * k + 3] = static_cast<float>(rng.uniform(0.0, 2.0));  // phiMag
+    }
+    ds.fb.resize(static_cast<std::size_t>(sz.voxels) * 3);  // voxel coordinates
+    for (std::int32_t v = 0; v < sz.voxels; ++v) {
+      ds.fb[3 * v + 0] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      ds.fb[3 * v + 1] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      ds.fb[3 * v + 2] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(3);
+    bufs[0] = {d::words_of(ds.fa), gpusim::AllocClass::F32Data};
+    bufs[1] = {d::words_of(ds.fb), gpusim::AllocClass::F32Data};
+    bufs[2] = {std::vector<std::uint32_t>(static_cast<std::size_t>(ds.threads) * 2, 0u),
+               gpusim::AllocClass::F32Data};
+    std::vector<BufferJob::Arg> args = {
+        BufferJob::Arg::buf(0), BufferJob::Arg::val(Value::i32(ds.n)), BufferJob::Arg::buf(1),
+        BufferJob::Arg::buf(2)};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), d::grid1d(ds.threads),
+                                       /*output_buffer=*/2, DType::F32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    std::vector<double> out(static_cast<std::size_t>(ds.threads) * 2);
+    for (std::int32_t tid = 0; tid < ds.threads; ++tid) {
+      const float x = ds.fb[3 * tid], y = ds.fb[3 * tid + 1], z = ds.fb[3 * tid + 2];
+      float qr = 0.0f, qi = 0.0f;
+      for (std::int32_t k = 0; k < ds.n; ++k) {
+        const float exp_arg =
+            kPi2 * (ds.fa[4 * k] * x + ds.fa[4 * k + 1] * y + ds.fa[4 * k + 2] * z);
+        const float phi = ds.fa[4 * k + 3];
+        qr += phi * std::cos(exp_arg);
+        qi += phi * std::sin(exp_arg);
+      }
+      out[2 * static_cast<std::size_t>(tid)] = qr;
+      out[2 * static_cast<std::size_t>(tid) + 1] = qi;
+    }
+    return out;
+  }
+
+  Requirement requirement() const override {
+    // Paper: Max{1e-4 * Max|GR|, 0.2% * |GRi|}.
+    Requirement r;
+    r.kind = Requirement::Kind::GlobalRel;
+    r.global_rel = 1e-4;
+    r.rel = 0.002;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_mri_q() { return std::make_unique<MriQWorkload>(); }
+
+}  // namespace hauberk::workloads

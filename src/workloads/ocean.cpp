@@ -1,0 +1,118 @@
+// Ocean-flow simulation (GPU SDK style): per-pixel superposition of
+// directional sine waves rendering a height-field frame.  One of the two 3D
+// graphics programs of Section II: a single-bit fault corrupts at most one
+// pixel of one frame (not user-noticeable, Fig. 3(a)); an intermittent fault
+// corrupting thousands of values produces the prominent stripe of Fig. 3(b).
+#include <cmath>
+
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+constexpr std::int32_t kWaves = 8;
+
+std::int32_t frame_side(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return 8;
+    case Scale::Small: return 32;
+    case Scale::Medium: return 64;
+  }
+  return 32;
+}
+
+class OceanWorkload final : public Workload {
+ public:
+  std::string name() const override { return "ocean-flow"; }
+  bool is_graphics() const override { return true; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("ocean_kernel");
+    auto waves = kb.param_ptr("waves");  // 4 words per wave: kx, ky, amp, phase
+    auto nwaves = kb.param_i32("nwaves");
+    auto frame = kb.param_ptr("frame");  // width*width intensities
+    auto width = kb.param_i32("width");
+    auto time = kb.param_f32("t");
+
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto px = kb.let("px", to_f32(tid % width));
+    auto py = kb.let("py", to_f32(tid / width));
+    auto h = kb.let("height", f32c(0.0f));
+    kb.for_loop("w", i32c(0), nwaves, [&](ExprH w) {
+      auto base = kb.let("wbase", waves + w * i32c(4));
+      auto phase = kb.let("phase", kb.load_f32(base) * px + kb.load_f32(base + i32c(1)) * py +
+                                       kb.load_f32(base + i32c(3)) + time);
+      kb.assign(h, h + kb.load_f32(base + i32c(2)) * sin_(phase));
+    });
+    // Normalized intensity in [0,1].
+    kb.store(frame + tid, h * f32c(0.5f) + f32c(0.5f));
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = kWaves;
+    const std::int32_t side = frame_side(scale);
+    ds.threads = side * side;
+    ds.scale = static_cast<float>(side);
+    common::Rng rng = common::Rng::fork(seed, 0x0CEA);
+    ds.fa.resize(kWaves * 4);
+    for (std::int32_t w = 0; w < kWaves; ++w) {
+      ds.fa[4 * w + 0] = static_cast<float>(rng.uniform(0.05, 0.6));   // kx
+      ds.fa[4 * w + 1] = static_cast<float>(rng.uniform(0.05, 0.6));   // ky
+      ds.fa[4 * w + 2] = 1.0f / static_cast<float>(kWaves);            // amp (sums to 1)
+      ds.fa[4 * w + 3] = static_cast<float>(rng.uniform(0.0, 6.28));   // phase
+    }
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(2);
+    bufs[0] = {d::words_of(ds.fa), gpusim::AllocClass::F32Data};
+    bufs[1] = {std::vector<std::uint32_t>(static_cast<std::size_t>(ds.threads), 0u),
+               gpusim::AllocClass::F32Data};
+    std::vector<BufferJob::Arg> args = {
+        BufferJob::Arg::buf(0), BufferJob::Arg::val(Value::i32(ds.n)), BufferJob::Arg::buf(1),
+        BufferJob::Arg::val(Value::i32(static_cast<std::int32_t>(ds.scale))),
+        BufferJob::Arg::val(Value::f32(0.0f))};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), d::grid1d(ds.threads),
+                                       /*output_buffer=*/1, DType::F32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    const auto width = static_cast<std::int32_t>(ds.scale);
+    std::vector<double> out(static_cast<std::size_t>(ds.threads));
+    for (std::int32_t tid = 0; tid < ds.threads; ++tid) {
+      const float px = static_cast<float>(tid % width);
+      const float py = static_cast<float>(tid / width);
+      float h = 0.0f;
+      for (std::int32_t w = 0; w < ds.n; ++w) {
+        const float phase = ds.fa[4 * w] * px + ds.fa[4 * w + 1] * py + ds.fa[4 * w + 3] + 0.0f;
+        h += ds.fa[4 * w + 2] * std::sin(phase);
+      }
+      out[static_cast<std::size_t>(tid)] = h * 0.5f + 0.5f;
+    }
+    return out;
+  }
+
+  Requirement requirement() const override {
+    // SDC = user-noticeable corruption of the rendered frame: more than
+    // frac of the pixels shifted by a visible intensity step.
+    Requirement r;
+    r.kind = Requirement::Kind::GraphicsFrame;
+    r.pixel_delta = 4.0 / 255.0;
+    r.frac = 0.001;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ocean() { return std::make_unique<OceanWorkload>(); }
+
+}  // namespace hauberk::workloads

@@ -1,0 +1,143 @@
+// PNS — Petri net simulation (Parboil).  The suite's integer program: each
+// thread simulates an independent stochastic Petri net (three places, three
+// transitions in a cycle) using an LCG random stream, counting fired
+// transitions and final markings.  Because the program input merely
+// parameterizes a *fixed simulation model*, its value-range detectors
+// converge after a handful of training sets (Fig. 16), and the protected
+// integer accumulator makes Hauberk-L's overhead the smallest of the suite
+// (Section IX.A).
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+struct Sizes {
+  std::int32_t threads, steps;
+};
+
+Sizes sizes_for(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return {16, 40};
+    case Scale::Small: return {64, 320};
+    case Scale::Medium: return {256, 768};
+  }
+  return {64, 320};
+}
+
+class PnsWorkload final : public Workload {
+ public:
+  std::string name() const override { return "PNS"; }
+  bool is_integer_program() const override { return true; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("pns_kernel");
+    auto seeds = kb.param_ptr("seeds");   // 1 word per thread
+    auto steps = kb.param_i32("steps");
+    auto init0 = kb.param_i32("m0");      // initial marking of place 0
+    auto out = kb.param_ptr("out");       // 2 ints per thread: fired, marking2
+
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto s = kb.let("lcg", kb.load_i32(seeds + tid));
+    auto p0 = kb.let("p0", init0);
+    auto p1 = kb.let("p1", i32c(3));
+    auto p2 = kb.let("p2", i32c(0));
+    auto fired = kb.let("fired", i32c(0));
+
+    kb.for_loop("t", i32c(0), steps, [&](ExprH) {
+      kb.assign(s, s * i32c(1103515245) + i32c(12345));
+      auto r = kb.let("r", (s >> i32c(16)) & i32c(3));
+      kb.if_then_else(
+          (r == i32c(0)) && (p0 > i32c(0)),
+          [&] {
+            kb.assign(p0, p0 - i32c(1));
+            kb.assign(p1, p1 + i32c(1));
+            kb.assign(fired, fired + i32c(1));
+          },
+          [&] {
+            kb.if_then_else(
+                (r == i32c(1)) && (p1 > i32c(0)),
+                [&] {
+                  kb.assign(p1, p1 - i32c(1));
+                  kb.assign(p2, p2 + i32c(1));
+                  kb.assign(fired, fired + i32c(1));
+                },
+                [&] {
+                  kb.if_then((r == i32c(2)) && (p2 > i32c(0)), [&] {
+                    kb.assign(p2, p2 - i32c(1));
+                    kb.assign(p0, p0 + i32c(1));
+                    kb.assign(fired, fired + i32c(1));
+                  });
+                });
+          });
+    });
+
+    kb.store(out + tid * i32c(2), fired);
+    kb.store(out + tid * i32c(2) + i32c(1), p2);
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    const Sizes sz = sizes_for(scale);
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = sz.steps;
+    ds.threads = sz.threads;
+    common::Rng rng = common::Rng::fork(seed, 0x9195);
+    ds.ia.resize(static_cast<std::size_t>(sz.threads));
+    for (auto& v : ds.ia) v = static_cast<std::int32_t>(rng.next_u32() & 0x7fffffff);
+    // The "simulation model parameter": initial marking, a small integer.
+    ds.scale = static_cast<float>(6 + rng.uniform_int(0, 4));
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(2);
+    bufs[0] = {d::words_of(ds.ia), gpusim::AllocClass::I32Data};
+    bufs[1] = {std::vector<std::uint32_t>(static_cast<std::size_t>(ds.threads) * 2, 0u),
+               gpusim::AllocClass::I32Data};
+    std::vector<BufferJob::Arg> args = {
+        BufferJob::Arg::buf(0), BufferJob::Arg::val(Value::i32(ds.n)),
+        BufferJob::Arg::val(Value::i32(static_cast<std::int32_t>(ds.scale))),
+        BufferJob::Arg::buf(1)};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), d::grid1d(ds.threads),
+                                       /*output_buffer=*/1, DType::I32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    std::vector<double> out(static_cast<std::size_t>(ds.threads) * 2);
+    for (std::int32_t tid = 0; tid < ds.threads; ++tid) {
+      std::int32_t s = ds.ia[static_cast<std::size_t>(tid)];
+      std::int32_t p0 = static_cast<std::int32_t>(ds.scale), p1 = 3, p2 = 0, fired = 0;
+      for (std::int32_t t = 0; t < ds.n; ++t) {
+        s = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(s) * 1103515245 + 12345);
+        const std::int32_t r = (s >> 16) & 3;
+        if (r == 0 && p0 > 0) { --p0; ++p1; ++fired; }
+        else if (r == 1 && p1 > 0) { --p1; ++p2; ++fired; }
+        else if (r == 2 && p2 > 0) { --p2; ++p0; ++fired; }
+      }
+      out[2 * static_cast<std::size_t>(tid)] = fired;
+      out[2 * static_cast<std::size_t>(tid) + 1] = p2;
+    }
+    return out;
+  }
+
+  Requirement requirement() const override {
+    // Paper: Max{0.01, 1% * |GRi|}.
+    Requirement r;
+    r.kind = Requirement::Kind::AbsRel;
+    r.abs_floor = 0.01;
+    r.rel = 0.01;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_pns() { return std::make_unique<PnsWorkload>(); }
+
+}  // namespace hauberk::workloads

@@ -1,0 +1,151 @@
+// Ray-trace (GPU SDK style): per-pixel primary-ray sphere intersection with
+// Lambert shading, written branchlessly with selects as a GPU ray tracer
+// would be.  The second 3D graphics program of Section II.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+constexpr std::int32_t kSpheres = 6;
+
+std::int32_t frame_side(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return 8;
+    case Scale::Small: return 32;
+    case Scale::Medium: return 64;
+  }
+  return 32;
+}
+
+class RaytraceWorkload final : public Workload {
+ public:
+  std::string name() const override { return "ray-trace"; }
+  bool is_graphics() const override { return true; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("raytrace_kernel");
+    auto spheres = kb.param_ptr("spheres");  // 4 words per sphere: cx, cy, cz, r
+    auto nspheres = kb.param_i32("nspheres");
+    auto frame = kb.param_ptr("frame");
+    auto width = kb.param_i32("width");
+
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto fw = kb.let("fw", to_f32(width));
+    // Primary ray through the pixel: origin 0, direction (dx, dy, 1)/|.|.
+    auto dx = kb.let("dx", (to_f32(tid % width) / fw - f32c(0.5f)) * f32c(1.6f));
+    auto dy = kb.let("dy", (to_f32(tid / width) / fw - f32c(0.5f)) * f32c(1.6f));
+    auto inv_len = kb.let("invlen", rsqrt_(dx * dx + dy * dy + f32c(1.0f)));
+    auto rx = kb.let("rx", dx * inv_len);
+    auto ry = kb.let("ry", dy * inv_len);
+    auto rz = kb.let("rz", inv_len);
+
+    auto t_best = kb.let("t_best", f32c(1.0e30f));
+    auto shade = kb.let("shade", f32c(0.1f));  // background intensity
+
+    kb.for_loop("s", i32c(0), nspheres, [&](ExprH s) {
+      auto base = kb.let("sbase", spheres + s * i32c(4));
+      auto cx = kb.let("cx", kb.load_f32(base));
+      auto cy = kb.let("cy", kb.load_f32(base + i32c(1)));
+      auto cz = kb.let("cz", kb.load_f32(base + i32c(2)));
+      auto rad = kb.let("rad", kb.load_f32(base + i32c(3)));
+      auto b = kb.let("b", rx * cx + ry * cy + rz * cz);
+      auto c2 = kb.let("c2", cx * cx + cy * cy + cz * cz - rad * rad);
+      auto disc = kb.let("disc", b * b - c2);
+      auto thit = kb.let("thit", b - sqrt_(max_(disc, f32c(0.0f))));
+      auto closer = kb.let("closer", (disc > f32c(0.0f)) && (thit > f32c(0.1f)) &&
+                                         (thit < t_best));
+      // Lambert shading at the hit point against a fixed light direction.
+      auto nx = kb.let("nx", (rx * thit - cx) / rad);
+      auto ny = kb.let("ny", (ry * thit - cy) / rad);
+      auto nz = kb.let("nz", (rz * thit - cz) / rad);
+      auto lambert = kb.let("lambert",
+                            max_(nx * f32c(0.57f) + ny * f32c(0.57f) - nz * f32c(0.57f),
+                                 f32c(0.0f)) * f32c(0.85f) + f32c(0.1f));
+      kb.assign(t_best, select_(closer, thit, t_best));
+      kb.assign(shade, select_(closer, lambert, shade));
+    });
+    kb.store(frame + tid, shade);
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = kSpheres;
+    const std::int32_t side = frame_side(scale);
+    ds.threads = side * side;
+    ds.scale = static_cast<float>(side);
+    common::Rng rng = common::Rng::fork(seed, 0x7247);
+    ds.fa.resize(kSpheres * 4);
+    for (std::int32_t s = 0; s < kSpheres; ++s) {
+      ds.fa[4 * s + 0] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      ds.fa[4 * s + 1] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      ds.fa[4 * s + 2] = static_cast<float>(rng.uniform(3.0, 7.0));
+      ds.fa[4 * s + 3] = static_cast<float>(rng.uniform(0.4, 1.1));
+    }
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(2);
+    bufs[0] = {d::words_of(ds.fa), gpusim::AllocClass::F32Data};
+    bufs[1] = {std::vector<std::uint32_t>(static_cast<std::size_t>(ds.threads), 0u),
+               gpusim::AllocClass::F32Data};
+    std::vector<BufferJob::Arg> args = {
+        BufferJob::Arg::buf(0), BufferJob::Arg::val(Value::i32(ds.n)), BufferJob::Arg::buf(1),
+        BufferJob::Arg::val(Value::i32(static_cast<std::int32_t>(ds.scale)))};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), d::grid1d(ds.threads),
+                                       /*output_buffer=*/1, DType::F32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    const auto width = static_cast<std::int32_t>(ds.scale);
+    std::vector<double> out(static_cast<std::size_t>(ds.threads));
+    for (std::int32_t tid = 0; tid < ds.threads; ++tid) {
+      const float fw = static_cast<float>(width);
+      const float dx = (static_cast<float>(tid % width) / fw - 0.5f) * 1.6f;
+      const float dy = (static_cast<float>(tid / width) / fw - 0.5f) * 1.6f;
+      const float inv_len = d::rsqrtf_ref(dx * dx + dy * dy + 1.0f);
+      const float rx = dx * inv_len, ry = dy * inv_len, rz = inv_len;
+      float t_best = 1.0e30f, shade = 0.1f;
+      for (std::int32_t s = 0; s < ds.n; ++s) {
+        const float cx = ds.fa[4 * s], cy = ds.fa[4 * s + 1], cz = ds.fa[4 * s + 2];
+        const float rad = ds.fa[4 * s + 3];
+        const float b = rx * cx + ry * cy + rz * cz;
+        const float c2 = cx * cx + cy * cy + cz * cz - rad * rad;
+        const float disc = b * b - c2;
+        const float thit = b - std::sqrt(std::fmax(disc, 0.0f));
+        const bool closer = disc > 0.0f && thit > 0.1f && thit < t_best;
+        const float nx = (rx * thit - cx) / rad;
+        const float ny = (ry * thit - cy) / rad;
+        const float nz = (rz * thit - cz) / rad;
+        const float lambert =
+            std::fmax(nx * 0.57f + ny * 0.57f - nz * 0.57f, 0.0f) * 0.85f + 0.1f;
+        t_best = closer ? thit : t_best;
+        shade = closer ? lambert : shade;
+      }
+      out[static_cast<std::size_t>(tid)] = shade;
+    }
+    return out;
+  }
+
+  Requirement requirement() const override {
+    Requirement r;
+    r.kind = Requirement::Kind::GraphicsFrame;
+    r.pixel_delta = 4.0 / 255.0;
+    r.frac = 0.001;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_raytrace() { return std::make_unique<RaytraceWorkload>(); }
+
+}  // namespace hauberk::workloads

@@ -1,0 +1,145 @@
+// RPES — Rys polynomial equation solver (Parboil).  Two-electron repulsion
+// integral evaluation: a large straight-line section computes quadrature
+// roots/weights from shell-pair parameters, followed by a short loop
+// accumulating the integral over the roots.  Unique in the suite: ~75% of
+// GPU time is *sequential (non-loop) code* (Section IX.A), which makes it
+// the Hauberk-NL overhead outlier of Fig. 13 — and the program the Parboil
+// maintainers later dropped for being an inefficient GPU citizen.
+#include <cmath>
+#include <string>
+
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+struct Sizes {
+  std::int32_t threads, roots;
+};
+
+Sizes sizes_for(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return {16, 4};
+    case Scale::Small: return {64, 6};
+    case Scale::Medium: return {256, 8};
+  }
+  return {64, 6};
+}
+
+/// Number of unrolled "quadrature setup" stages in the sequential section.
+constexpr int kStages = 18;
+
+class RpesWorkload final : public Workload {
+ public:
+  std::string name() const override { return "RPES"; }
+
+  Kernel build_kernel(Scale scale) const override {
+    const Sizes sz = sizes_for(scale);
+    KernelBuilder kb("rpes_kernel");
+    auto pairs = kb.param_ptr("shellpairs");  // 4 words per thread: a, b, p, q
+    auto out = kb.param_ptr("integrals");     // 1 float per thread
+    auto nroots = kb.param_i32("nroots");
+
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto base = kb.let("pbase", pairs + tid * i32c(4));
+    auto ea = kb.let("ea", kb.load_f32(base));
+    auto eb = kb.let("eb", kb.load_f32(base + i32c(1)));
+    auto pp = kb.let("pp", kb.load_f32(base + i32c(2)));
+    auto qq = kb.let("qq", kb.load_f32(base + i32c(3)));
+
+    // --- sequential quadrature setup: a long chain of dependent stages ---
+    // (stands in for the Rys root/weight polynomial evaluation; each stage
+    // mixes transcendental, divide and multiply-add work).
+    auto rho = kb.let("rho", ea * eb / (ea + eb + f32c(0.1f)));
+    auto tpar = kb.let("T", rho * (pp - qq) * (pp - qq));
+    ExprH u = kb.let("u0", exp_(-tpar * f32c(0.125f)) + f32c(0.5f));
+    for (int j = 1; j <= kStages; ++j) {
+      // u_{j} = sqrt(|u_{j-1}|) * c1 + u_{j-1} / (c2 + u_{j-1}^2)
+      const float c1 = 0.9f + 0.01f * static_cast<float>(j);
+      const float c2 = 1.5f + 0.05f * static_cast<float>(j);
+      u = kb.let("u" + std::to_string(j),
+                 sqrt_(abs_(u)) * f32c(c1) + u / (f32c(c2) + u * u));
+    }
+    auto wgt = kb.let("weight", u / (f32c(1.0f) + tpar));
+
+    // --- the (short) root loop: accumulate the integral ---
+    auto integral = kb.let("integral", f32c(0.0f));
+    kb.for_loop("root", i32c(0), nroots, [&](ExprH root) {
+      auto x = kb.let("xr", to_f32(root + i32c(1)) * wgt);
+      auto term = kb.let("term", x / (x * x + rho + f32c(0.3f)));
+      kb.assign(integral, integral + term * wgt);
+    });
+
+    kb.store(out + tid, integral);
+    (void)sz;
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    const Sizes sz = sizes_for(scale);
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = sz.roots;
+    ds.threads = sz.threads;
+    common::Rng rng = common::Rng::fork(seed, 0xE5);
+    ds.fa.resize(static_cast<std::size_t>(sz.threads) * 4);
+    for (std::size_t i = 0; i < ds.fa.size(); ++i)
+      ds.fa[i] = static_cast<float>(rng.uniform(0.2, 3.0));
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(2);
+    bufs[0] = {d::words_of(ds.fa), gpusim::AllocClass::F32Data};
+    bufs[1] = {std::vector<std::uint32_t>(static_cast<std::size_t>(ds.threads), 0u),
+               gpusim::AllocClass::F32Data};
+    std::vector<BufferJob::Arg> args = {BufferJob::Arg::buf(0), BufferJob::Arg::buf(1),
+                                        BufferJob::Arg::val(Value::i32(ds.n))};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), d::grid1d(ds.threads),
+                                       /*output_buffer=*/1, DType::F32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    std::vector<double> out(static_cast<std::size_t>(ds.threads));
+    for (std::int32_t tid = 0; tid < ds.threads; ++tid) {
+      const float ea = ds.fa[4 * tid], eb = ds.fa[4 * tid + 1];
+      const float pp = ds.fa[4 * tid + 2], qq = ds.fa[4 * tid + 3];
+      const float rho = ea * eb / (ea + eb + 0.1f);
+      const float tpar = rho * (pp - qq) * (pp - qq);
+      float u = std::exp(-tpar * 0.125f) + 0.5f;
+      for (int j = 1; j <= kStages; ++j) {
+        const float c1 = 0.9f + 0.01f * static_cast<float>(j);
+        const float c2 = 1.5f + 0.05f * static_cast<float>(j);
+        u = std::sqrt(std::fabs(u)) * c1 + u / (c2 + u * u);
+      }
+      const float wgt = u / (1.0f + tpar);
+      float integral = 0.0f;
+      for (std::int32_t root = 0; root < ds.n; ++root) {
+        const float x = static_cast<float>(root + 1) * wgt;
+        const float term = x / (x * x + rho + 0.3f);
+        integral += term * wgt;
+      }
+      out[static_cast<std::size_t>(tid)] = integral;
+    }
+    return out;
+  }
+
+  Requirement requirement() const override {
+    // Paper: 2% * |GRi| + 1e-9.
+    Requirement r;
+    r.kind = Requirement::Kind::RelPlusEps;
+    r.rel = 0.02;
+    r.eps = 1e-9;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_rpes() { return std::make_unique<RpesWorkload>(); }
+
+}  // namespace hauberk::workloads

@@ -1,0 +1,154 @@
+// SAD — sum of absolute differences (Parboil).  The video-encoding integer
+// program: each thread computes the SAD of one 4x4 macroblock of the
+// current frame against a 3x3 search window in the reference frame and
+// reports the best (minimum) SAD and its position.  Integer outputs with an
+// *exact* correctness requirement, which is why its detected-&-masked ratio
+// is the lowest in Fig. 14.
+#include <cstdlib>
+
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+struct Sizes {
+  std::int32_t blocks_x, blocks_y;  ///< macroblock grid; threads = bx*by
+};
+
+Sizes sizes_for(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return {4, 4};
+    case Scale::Small: return {8, 8};
+    case Scale::Medium: return {16, 16};
+  }
+  return {8, 8};
+}
+
+/// Frame width in pixels for a macroblock grid (2px margin for the search).
+std::int32_t frame_width(const Sizes& sz) { return sz.blocks_x * 4 + 4; }
+std::int32_t frame_height(const Sizes& sz) { return sz.blocks_y * 4 + 4; }
+
+class SadWorkload final : public Workload {
+ public:
+  std::string name() const override { return "SAD"; }
+  bool is_integer_program() const override { return true; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("sad_kernel");
+    auto cur = kb.param_ptr("cur_frame");   // width*height ints (pixels)
+    auto ref = kb.param_ptr("ref_frame");
+    auto width = kb.param_i32("width");
+    auto blocks_x = kb.param_i32("blocks_x");
+    auto out = kb.param_ptr("out");         // 2 ints per thread: best SAD, best pos
+
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto bx = kb.let("bx", (tid % blocks_x) * i32c(4) + i32c(2));  // +2: search margin
+    auto by = kb.let("by", (tid / blocks_x) * i32c(4) + i32c(2));
+    auto best = kb.let("best", i32c(0x7fffffff));
+    auto bestpos = kb.let("bestpos", i32c(-1));
+
+    kb.for_loop("pos", i32c(0), i32c(9), [&](ExprH pos) {
+      auto ox = kb.let("ox", pos % i32c(3) - i32c(1));
+      auto oy = kb.let("oy", pos / i32c(3) - i32c(1));
+      auto sad = kb.let("sad", i32c(0));
+      kb.for_loop("y", i32c(0), i32c(4), [&](ExprH y) {
+        kb.for_loop("x", i32c(0), i32c(4), [&](ExprH x) {
+          auto c = kb.let("c", kb.load_i32(cur + (by + y) * width + bx + x));
+          auto r = kb.let("r", kb.load_i32(ref + (by + y + oy) * width + bx + x + ox));
+          kb.assign(sad, sad + abs_(c - r));
+        });
+      });
+      kb.if_then(sad < best, [&] {
+        kb.assign(best, sad);
+        kb.assign(bestpos, pos);
+      });
+    });
+
+    kb.store(out + tid * i32c(2), best);
+    kb.store(out + tid * i32c(2) + i32c(1), bestpos);
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    const Sizes sz = sizes_for(scale);
+    Dataset ds;
+    ds.seed = seed;
+    ds.threads = sz.blocks_x * sz.blocks_y;
+    ds.n = sz.blocks_x;
+    const std::int32_t w = frame_width(sz), h = frame_height(sz);
+    ds.scale = static_cast<float>(w);
+    common::Rng rng = common::Rng::fork(seed, 0x5ad);
+    ds.ia.resize(static_cast<std::size_t>(w) * h * 2);  // cur frame then ref frame
+    for (std::size_t i = 0; i < ds.ia.size() / 2; ++i)
+      ds.ia[i] = static_cast<std::int32_t>(rng.next_below(256));
+    // Reference frame: the current frame shifted by (1,0) plus noise, so a
+    // non-trivial best motion vector exists.
+    for (std::int32_t y = 0; y < h; ++y)
+      for (std::int32_t x = 0; x < w; ++x) {
+        const std::int32_t sx = x + 1 < w ? x + 1 : x;
+        std::int32_t v = ds.ia[static_cast<std::size_t>(y) * w + sx];
+        if (rng.next_below(8) == 0) v = (v + static_cast<std::int32_t>(rng.next_below(32))) & 255;
+        ds.ia[static_cast<std::size_t>(w) * h + static_cast<std::size_t>(y) * w + x] = v;
+      }
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    const auto w = static_cast<std::size_t>(ds.scale);
+    const std::size_t frame = ds.ia.size() / 2;
+    std::vector<std::int32_t> cur(ds.ia.begin(), ds.ia.begin() + static_cast<long>(frame));
+    std::vector<std::int32_t> ref(ds.ia.begin() + static_cast<long>(frame), ds.ia.end());
+    std::vector<BufferJob::Buffer> bufs(3);
+    bufs[0] = {d::words_of(cur), gpusim::AllocClass::I32Data};
+    bufs[1] = {d::words_of(ref), gpusim::AllocClass::I32Data};
+    bufs[2] = {std::vector<std::uint32_t>(static_cast<std::size_t>(ds.threads) * 2, 0u),
+               gpusim::AllocClass::I32Data};
+    std::vector<BufferJob::Arg> args = {
+        BufferJob::Arg::buf(0), BufferJob::Arg::buf(1),
+        BufferJob::Arg::val(Value::i32(static_cast<std::int32_t>(w))),
+        BufferJob::Arg::val(Value::i32(ds.n)), BufferJob::Arg::buf(2)};
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), d::grid1d(ds.threads),
+                                       /*output_buffer=*/2, DType::I32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    const auto w = static_cast<std::int32_t>(ds.scale);
+    const std::size_t frame = ds.ia.size() / 2;
+    const std::int32_t* cur = ds.ia.data();
+    const std::int32_t* ref = ds.ia.data() + frame;
+    std::vector<double> out(static_cast<std::size_t>(ds.threads) * 2);
+    for (std::int32_t tid = 0; tid < ds.threads; ++tid) {
+      const std::int32_t bx = (tid % ds.n) * 4 + 2;
+      const std::int32_t by = (tid / ds.n) * 4 + 2;
+      std::int32_t best = 0x7fffffff, bestpos = -1;
+      for (std::int32_t pos = 0; pos < 9; ++pos) {
+        const std::int32_t ox = pos % 3 - 1, oy = pos / 3 - 1;
+        std::int32_t sad = 0;
+        for (std::int32_t y = 0; y < 4; ++y)
+          for (std::int32_t x = 0; x < 4; ++x)
+            sad += std::abs(cur[(by + y) * w + bx + x] - ref[(by + y + oy) * w + bx + x + ox]);
+        if (sad < best) { best = sad; bestpos = pos; }
+      }
+      out[2 * static_cast<std::size_t>(tid)] = best;
+      out[2 * static_cast<std::size_t>(tid) + 1] = bestpos;
+    }
+    return out;
+  }
+
+  Requirement requirement() const override {
+    // Integer program: "does not allow value errors in the output".
+    Requirement r;
+    r.kind = Requirement::Kind::Exact;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_sad() { return std::make_unique<SadWorkload>(); }
+
+}  // namespace hauberk::workloads

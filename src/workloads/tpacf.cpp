@@ -1,0 +1,183 @@
+// TPACF — two-point angular correlation function (Parboil).  Blocks cache
+// galaxy coordinates in shared memory, each thread histograms the angular
+// separation (dot product) of its assigned points against all cached points
+// into per-thread-group shared sub-histograms, and the block flushes the
+// sub-histograms to the global histogram with atomics.
+//
+// Two paper-relevant details are reproduced deliberately:
+//  * the kernel uses well over half of the device's 16 KiB shared memory,
+//    so R-Scatter's duplication cannot compile it (Section IX.A);
+//  * the sub-histogram update is a write-and-read-back *retry loop*; when a
+//    fault corrupts the write-address copy, the read-back never observes the
+//    expected value and the loop never terminates — the hang failure mode
+//    of Section IX.B that only the guardian's preemptive detection catches.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+
+namespace hauberk::workloads {
+
+using namespace hauberk::kir;
+namespace d = detail;
+
+namespace {
+
+constexpr std::int32_t kCachePoints = 128;             // shared coord cache capacity
+constexpr std::int32_t kCacheWords = kCachePoints * 3; // 384 words
+constexpr std::int32_t kBins = 256;                    // allocated bins (8 sub-copies)
+constexpr std::int32_t kSub = 8;
+constexpr std::uint32_t kSharedWords = kCacheWords + kBins * kSub;  // 2432 words (~9.5 KiB)
+constexpr std::int32_t kThresholds = 8;                // used bins: 0..8
+constexpr std::int32_t kBinsUsed = kThresholds + 1;
+
+std::int32_t points_for(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return 24;
+    case Scale::Small: return 96;
+    case Scale::Medium: return 128;
+  }
+  return 96;
+}
+
+std::vector<float> thresholds() {
+  // Descending dot-product thresholds; bin = #thresholds greater than dot.
+  std::vector<float> t(kThresholds);
+  for (std::int32_t i = 0; i < kThresholds; ++i)
+    t[static_cast<std::size_t>(i)] = 0.9f - 0.25f * static_cast<float>(i);
+  return t;
+}
+
+class TpacfWorkload final : public Workload {
+ public:
+  std::string name() const override { return "TPACF"; }
+
+  Kernel build_kernel(Scale) const override {
+    KernelBuilder kb("tpacf_kernel", kSharedWords);
+    auto data = kb.param_ptr("galaxies");  // 3 words per point
+    auto npoints = kb.param_i32("npoints");
+    auto binb = kb.param_ptr("binb");      // kThresholds descending thresholds
+    auto hist = kb.param_ptr("hist");      // kBinsUsed global bins (int)
+
+    auto tidx = kb.let("tidx", kb.tid_x());
+    auto gtid = kb.let("gtid", kb.thread_linear());
+    auto nthreads = kb.let("nthreads", kb.bdim_x() * kb.gdim_x());
+
+    // Phase 0: clear this block's sub-histograms.
+    kb.for_loop_step("cb", ExprH(tidx), i32c(kBins * kSub), kb.bdim_x(), [&](ExprH cbi) {
+      kb.shstore(cbi + i32c(kCacheWords), i32c(0));
+    });
+    // Phase 1: cooperative load of the coordinate cache.
+    kb.for_loop_step("ci", ExprH(tidx), min_(npoints, i32c(kCachePoints)), kb.bdim_x(),
+                     [&](ExprH ci) {
+                       auto src = kb.let("src", data + ci * i32c(3));
+                       kb.shstore(ci * i32c(3), kb.load_f32(src));
+                       kb.shstore(ci * i32c(3) + i32c(1), kb.load_f32(src + i32c(1)));
+                       kb.shstore(ci * i32c(3) + i32c(2), kb.load_f32(src + i32c(2)));
+                     });
+    kb.barrier();
+
+    // Phase 2: histogram my points against all cached points.
+    kb.for_loop_step("i", ExprH(gtid), npoints, ExprH(nthreads), [&](ExprH i) {
+      auto xb = kb.let("xb", data + i * i32c(3));
+      auto xi = kb.let("xi", kb.load_f32(xb));
+      auto yi = kb.let("yi", kb.load_f32(xb + i32c(1)));
+      auto zi = kb.let("zi", kb.load_f32(xb + i32c(2)));
+      kb.for_loop("j", i32c(0), min_(npoints, i32c(kCachePoints)), [&](ExprH j) {
+        auto dot = kb.let("dot", kb.shload_f32(j * i32c(3)) * xi +
+                                     kb.shload_f32(j * i32c(3) + i32c(1)) * yi +
+                                     kb.shload_f32(j * i32c(3) + i32c(2)) * zi);
+        // Branchless bin search over the descending thresholds.
+        ExprH acc = i32c(0);
+        for (std::int32_t t = 0; t < kThresholds; ++t)
+          acc = acc + (dot < kb.load_f32(binb + i32c(t)));
+        auto bin = kb.let("bin", acc);
+        auto slot = kb.let("slot", i32c(kCacheWords) + bin * i32c(kSub) +
+                                       (tidx & i32c(kSub - 1)));
+        // Write-retry update (guards against inter-thread overwrites on real
+        // hardware).  `waddr` is the corruptible address copy.
+        auto cur = kb.let("cur", kb.shload_i32(slot));
+        auto want = kb.let("want", cur + i32c(1));
+        auto waddr = kb.let("waddr", slot + i32c(0));
+        kb.shstore(waddr, want);
+        kb.while_loop([&] { return kb.shload_i32(slot) != want; },
+                      [&] { kb.shstore(waddr, want); });
+      });
+    });
+    kb.barrier();
+
+    // Phase 3: flush sub-histograms to the global histogram.
+    kb.for_loop_step("b", ExprH(tidx), i32c(kBinsUsed), kb.bdim_x(), [&](ExprH b) {
+      auto tot = kb.let("tot", i32c(0));
+      kb.for_loop("s", i32c(0), i32c(kSub), [&](ExprH s) {
+        kb.assign(tot, tot + kb.shload_i32(i32c(kCacheWords) + b * i32c(kSub) + s));
+      });
+      kb.atomic_add(hist + b, tot);
+    });
+    return kb.build();
+  }
+
+  Dataset make_dataset(std::uint64_t seed, Scale scale) const override {
+    Dataset ds;
+    ds.seed = seed;
+    ds.n = points_for(scale);
+    ds.threads = 64;
+    common::Rng rng = common::Rng::fork(seed, 0x79ACF);
+    ds.fa.resize(static_cast<std::size_t>(ds.n) * 3);
+    for (std::int32_t p = 0; p < ds.n; ++p) {
+      // Unit vectors on the sphere (galaxy angular positions).
+      double x, y, z, n2;
+      do {
+        x = rng.uniform(-1.0, 1.0);
+        y = rng.uniform(-1.0, 1.0);
+        z = rng.uniform(-1.0, 1.0);
+        n2 = x * x + y * y + z * z;
+      } while (n2 < 1e-4 || n2 > 1.0);
+      const double inv = 1.0 / std::sqrt(n2);
+      ds.fa[3 * p + 0] = static_cast<float>(x * inv);
+      ds.fa[3 * p + 1] = static_cast<float>(y * inv);
+      ds.fa[3 * p + 2] = static_cast<float>(z * inv);
+    }
+    ds.fb = thresholds();
+    return ds;
+  }
+
+  std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const override {
+    std::vector<BufferJob::Buffer> bufs(3);
+    bufs[0] = {d::words_of(ds.fa), gpusim::AllocClass::F32Data};
+    bufs[1] = {d::words_of(ds.fb), gpusim::AllocClass::F32Data};
+    bufs[2] = {std::vector<std::uint32_t>(kBinsUsed, 0u), gpusim::AllocClass::I32Data};
+    std::vector<BufferJob::Arg> args = {BufferJob::Arg::buf(0),
+                                        BufferJob::Arg::val(Value::i32(ds.n)),
+                                        BufferJob::Arg::buf(1), BufferJob::Arg::buf(2)};
+    gpusim::LaunchConfig cfg = d::grid1d(ds.threads);
+    return std::make_unique<BufferJob>(std::move(bufs), std::move(args), cfg,
+                                       /*output_buffer=*/2, DType::I32);
+  }
+
+  std::vector<double> golden_native(const Dataset& ds) const override {
+    const auto th = thresholds();
+    std::vector<double> hist(kBinsUsed, 0.0);
+    const std::int32_t cached = ds.n < kCachePoints ? ds.n : kCachePoints;
+    for (std::int32_t i = 0; i < ds.n; ++i)
+      for (std::int32_t j = 0; j < cached; ++j) {
+        const float dot = ds.fa[3 * j] * ds.fa[3 * i] + ds.fa[3 * j + 1] * ds.fa[3 * i + 1] +
+                          ds.fa[3 * j + 2] * ds.fa[3 * i + 2];
+        std::int32_t bin = 0;
+        for (std::int32_t t = 0; t < kThresholds; ++t) bin += dot < th[static_cast<std::size_t>(t)];
+        hist[static_cast<std::size_t>(bin)] += 1.0;
+      }
+    return hist;
+  }
+
+  Requirement requirement() const override {
+    Requirement r;
+    r.kind = Requirement::Kind::Exact;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_tpacf() { return std::make_unique<TpacfWorkload>(); }
+
+}  // namespace hauberk::workloads

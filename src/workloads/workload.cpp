@@ -1,0 +1,110 @@
+#include "workloads/workload.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hauberk::workloads {
+
+bool Requirement::satisfied(const core::ProgramOutput& out,
+                            const core::ProgramOutput& gold) const {
+  if (out.size() != gold.size()) return false;
+
+  if (kind == Kind::Exact) return out.words == gold.words;
+
+  if (kind == Kind::GraphicsFrame) {
+    // "User-noticeable corruption in video output data" (Section II.A):
+    // count pixels whose normalized intensity moved noticeably.
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double d = std::fabs(out.element(i) - gold.element(i));
+      if (!(d <= pixel_delta)) ++bad;  // NaN counts as corrupted
+    }
+    return static_cast<double>(bad) <= frac * static_cast<double>(out.size());
+  }
+
+  double max_abs_gold = 0.0;
+  if (kind == Kind::GlobalRel) {
+    for (std::size_t i = 0; i < gold.size(); ++i)
+      max_abs_gold = std::max(max_abs_gold, std::fabs(gold.element(i)));
+  }
+
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double g = gold.element(i);
+    const double d = std::fabs(out.element(i) - g);
+    double tol = 0.0;
+    switch (kind) {
+      case Kind::AbsRel: tol = std::max(abs_floor, rel * std::fabs(g)); break;
+      case Kind::RelPlusEps: tol = rel * std::fabs(g) + eps; break;
+      case Kind::GlobalRel: tol = std::max(global_rel * max_abs_gold, rel * std::fabs(g)); break;
+      default: break;
+    }
+    if (!(d <= tol)) return false;  // NaN compares false => violation
+  }
+  return true;
+}
+
+std::string Requirement::to_string() const {
+  char buf[128];
+  switch (kind) {
+    case Kind::Exact: return "exact";
+    case Kind::AbsRel:
+      std::snprintf(buf, sizeof(buf), "max{%g, %g%%|GRi|}", abs_floor, rel * 100);
+      return buf;
+    case Kind::RelPlusEps:
+      std::snprintf(buf, sizeof(buf), "%g%%|GRi| + %g", rel * 100, eps);
+      return buf;
+    case Kind::GlobalRel:
+      std::snprintf(buf, sizeof(buf), "max{%gMax|GR|, %g%%|GRi|}", global_rel, rel * 100);
+      return buf;
+    case Kind::GraphicsFrame:
+      std::snprintf(buf, sizeof(buf), "<%g%% pixels off by >%g", frac * 100, pixel_delta);
+      return buf;
+  }
+  return "?";
+}
+
+std::vector<kir::Value> BufferJob::setup(gpusim::Device& dev) {
+  dev.reset_memory();
+  addrs_.resize(buffers_.size());
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
+    addrs_[i] = dev.mem().alloc(static_cast<std::uint32_t>(buffers_[i].data.size()),
+                                buffers_[i].cls);
+    dev.mem().copy_in(addrs_[i], buffers_[i].data);
+  }
+  std::vector<kir::Value> args;
+  args.reserve(args_.size());
+  for (const Arg& a : args_)
+    args.push_back(a.is_buffer ? kir::Value::ptr(addrs_[static_cast<std::size_t>(a.buffer)])
+                               : a.scalar);
+  return args;
+}
+
+core::ProgramOutput BufferJob::read_output(const gpusim::Device& dev) const {
+  core::ProgramOutput out;
+  out.type = output_type_;
+  const auto& buf = buffers_[static_cast<std::size_t>(output_buffer_)];
+  out.words.resize(buf.data.size());
+  dev.mem().copy_out(addrs_[static_cast<std::size_t>(output_buffer_)], out.words);
+  return out;
+}
+
+std::vector<std::unique_ptr<Workload>> hpc_suite() {
+  std::vector<std::unique_ptr<Workload>> v;
+  v.push_back(make_cp());
+  v.push_back(make_mri_fhd());
+  v.push_back(make_mri_q());
+  v.push_back(make_pns());
+  v.push_back(make_rpes());
+  v.push_back(make_sad());
+  v.push_back(make_tpacf());
+  return v;
+}
+
+std::vector<std::unique_ptr<Workload>> graphics_suite() {
+  std::vector<std::unique_ptr<Workload>> v;
+  v.push_back(make_ocean());
+  v.push_back(make_raytrace());
+  return v;
+}
+
+}  // namespace hauberk::workloads

@@ -1,0 +1,144 @@
+// Benchmark workloads: re-implementations of the seven Parboil programs the
+// paper evaluates (CP, MRI-FHD, MRI-Q, PNS, RPES, SAD, TPACF) plus the two
+// graphics programs (ocean-flow, ray-trace) used for Figs. 1 and 3.
+//
+// Each workload provides:
+//  * the GPU kernel authored in the kernel IR (the "CUDA source" that the
+//    Hauberk translator instruments),
+//  * a deterministic dataset generator (52 distinct datasets per program are
+//    needed for the Fig. 16 false-positive study),
+//  * a KernelJob that stages the dataset into device memory,
+//  * a native C++ golden implementation used to validate the simulator,
+//  * the paper's per-program output-correctness requirement (Section IX.B
+//    quotes PNS, RPES and MRI-Q's exact formulas).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "hauberk/program.hpp"
+#include "kir/ast.hpp"
+
+namespace hauberk::workloads {
+
+/// Problem size tier: Tiny for unit tests, Small for fault-injection
+/// campaigns, Medium for performance benches.
+enum class Scale { Tiny, Small, Medium };
+
+/// Output correctness requirement.  An output violating it is an SDC error.
+struct Requirement {
+  enum class Kind {
+    Exact,         ///< any difference violates (integer programs, e.g. SAD)
+    AbsRel,        ///< |d| <= max(abs_floor, rel*|GRi|)            (PNS)
+    RelPlusEps,    ///< |d| <= rel*|GRi| + eps                      (RPES)
+    GlobalRel,     ///< |d| <= max(global_rel*max|GR|, rel*|GRi|)   (MRI-Q)
+    GraphicsFrame, ///< user-noticeable corruption: fraction of pixels whose
+                   ///< intensity moves more than pixel_delta exceeds frac
+  };
+  Kind kind = Kind::Exact;
+  double abs_floor = 0.0;
+  double rel = 0.0;
+  double eps = 0.0;
+  double global_rel = 0.0;
+  double pixel_delta = 1.0 / 255.0;
+  double frac = 0.0005;
+
+  /// Does `out` satisfy the requirement against the golden run `gold`?
+  [[nodiscard]] bool satisfied(const core::ProgramOutput& out,
+                               const core::ProgramOutput& gold) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A generated input dataset.  Field meaning is workload-specific.
+struct Dataset {
+  std::uint64_t seed = 0;
+  std::vector<float> fa, fb, fc, fd;
+  std::vector<std::int32_t> ia;
+  std::int32_t n = 0;       ///< main element count (atoms, samples, steps, ...)
+  std::int32_t threads = 0; ///< output elements / worker threads
+  float scale = 1.0f;       ///< workload-specific magnitude knob
+};
+
+/// KernelJob staging a Dataset into device memory.  Buffers are re-allocated
+/// and re-filled on every setup() (deterministic re-execution).
+class BufferJob final : public core::KernelJob {
+ public:
+  struct Buffer {
+    std::vector<std::uint32_t> data;  ///< initial contents (word-encoded)
+    gpusim::AllocClass cls = gpusim::AllocClass::F32Data;
+  };
+  /// An argument is either a scalar value or a pointer to buffer[index].
+  struct Arg {
+    bool is_buffer = false;
+    int buffer = -1;
+    kir::Value scalar{};
+    static Arg buf(int index) { return {true, index, {}}; }
+    static Arg val(kir::Value v) { return {false, -1, v}; }
+  };
+
+  BufferJob(std::vector<Buffer> buffers, std::vector<Arg> args, gpusim::LaunchConfig cfg,
+            int output_buffer, kir::DType output_type)
+      : buffers_(std::move(buffers)), args_(std::move(args)), cfg_(cfg),
+        output_buffer_(output_buffer), output_type_(output_type) {}
+
+  std::vector<kir::Value> setup(gpusim::Device& dev) override;
+  [[nodiscard]] gpusim::LaunchConfig config() const override { return cfg_; }
+  [[nodiscard]] core::ProgramOutput read_output(const gpusim::Device& dev) const override;
+
+ private:
+  std::vector<Buffer> buffers_;
+  std::vector<Arg> args_;
+  gpusim::LaunchConfig cfg_;
+  int output_buffer_;
+  kir::DType output_type_;
+  std::vector<std::uint32_t> addrs_;  ///< buffer base addresses (valid after setup)
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual bool is_integer_program() const { return false; }
+  [[nodiscard]] virtual bool is_graphics() const { return false; }
+
+  /// The GPU kernel source.
+  [[nodiscard]] virtual kir::Kernel build_kernel(Scale scale) const = 0;
+
+  /// Deterministic dataset; distinct seeds give distinct datasets.
+  [[nodiscard]] virtual Dataset make_dataset(std::uint64_t seed, Scale scale) const = 0;
+
+  /// Stage a dataset for execution.
+  [[nodiscard]] virtual std::unique_ptr<core::KernelJob> make_job(const Dataset& ds) const = 0;
+
+  /// Native reference implementation (validates the simulator in tests).
+  [[nodiscard]] virtual std::vector<double> golden_native(const Dataset& ds) const = 0;
+
+  [[nodiscard]] virtual Requirement requirement() const = 0;
+};
+
+// Factories (one per benchmark program).
+std::unique_ptr<Workload> make_cp();
+std::unique_ptr<Workload> make_mri_q();
+std::unique_ptr<Workload> make_mri_fhd();
+std::unique_ptr<Workload> make_pns();
+std::unique_ptr<Workload> make_rpes();
+std::unique_ptr<Workload> make_sad();
+std::unique_ptr<Workload> make_tpacf();
+std::unique_ptr<Workload> make_ocean();
+std::unique_ptr<Workload> make_raytrace();
+std::unique_ptr<Workload> make_cpu_matmul();
+std::unique_ptr<Workload> make_cpu_histogram();
+std::unique_ptr<Workload> make_cpu_linkedlist();
+
+/// The paper's seven-program HPC suite, in Fig. 4/13/14 order.
+std::vector<std::unique_ptr<Workload>> hpc_suite();
+/// The two 3D-graphics programs (Figs. 1 and 3).
+std::vector<std::unique_ptr<Workload>> graphics_suite();
+/// CPU reference programs (Fig. 1 bottom rows; run on a PagedCpu device).
+std::vector<std::unique_ptr<Workload>> cpu_suite();
+
+}  // namespace hauberk::workloads

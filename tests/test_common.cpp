@@ -1,0 +1,192 @@
+// Unit tests for src/common: RNG determinism, bit utilities, statistics.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+
+#include "common/bitops.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace hc = hauberk::common;
+
+TEST(Rng, DeterministicFromSeed) {
+  hc::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  hc::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  hc::Rng a = hc::Rng::fork(7, 0);
+  hc::Rng b = hc::Rng::fork(7, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  hc::Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_below(7);
+    EXPECT_LT(v, 7u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  hc::Rng r(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  hc::Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  hc::Rng r(12);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  hc::Rng r(13);
+  hc::RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+// --- bitops ---
+
+class RandomMaskPopcount : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMaskPopcount, HasExactPopcount) {
+  const int bits = GetParam();
+  hc::Rng r(100 + static_cast<std::uint64_t>(bits));
+  for (int i = 0; i < 500; ++i) {
+    const auto m = hc::random_mask(r, bits);
+    EXPECT_EQ(std::popcount(m), bits) << "mask=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperErrorBitCounts, RandomMaskPopcount,
+                         ::testing::Values(1, 3, 6, 10, 15, 32));
+
+TEST(Bitops, MaskZeroBitsIsZero) {
+  hc::Rng r(5);
+  EXPECT_EQ(hc::random_mask(r, 0), 0u);
+}
+
+TEST(Bitops, MasksVary) {
+  hc::Rng r(6);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(hc::random_mask(r, 3));
+  EXPECT_GT(seen.size(), 50u);
+}
+
+TEST(Bitops, ApplyMaskTwiceIsIdentity) {
+  hc::Rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t w = r.next_u32();
+    const std::uint32_t m = hc::random_mask(r, 6);
+    EXPECT_EQ(hc::apply_mask(hc::apply_mask(w, m), m), w);
+  }
+}
+
+TEST(Bitops, FloatBitsRoundTrip) {
+  EXPECT_EQ(hc::bits_f32(hc::f32_bits(3.25f)), 3.25f);
+  EXPECT_EQ(hc::bits_f32(hc::f32_bits(-0.0f)), -0.0f);
+}
+
+TEST(Bitops, MagnitudeDecadeBasics) {
+  EXPECT_EQ(hc::magnitude_decade(1000.0, -15, 15), 3);
+  EXPECT_EQ(hc::magnitude_decade(-999.0, -15, 15), 2);
+  EXPECT_EQ(hc::magnitude_decade(0.0, -15, 15), -15);
+  EXPECT_EQ(hc::magnitude_decade(1e30, -15, 15), 15);
+  EXPECT_EQ(hc::magnitude_decade(std::numeric_limits<double>::infinity(), -15, 15), 15);
+}
+
+// --- stats ---
+
+TEST(RunningStats, MeanAndVariance) {
+  hc::RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(DecadeHistogram, BucketsSignedDecades) {
+  hc::DecadeHistogram h(-3, 3, 1e-5);
+  h.add(150.0);    // decade 2, positive
+  h.add(-0.02);    // decade -2, negative
+  h.add(1e-9);     // zero band
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(h.bucket_index(100.0)), 1u);
+  EXPECT_EQ(h.count(h.bucket_index(-0.05)), 1u);
+  EXPECT_EQ(h.count(h.bucket_index(0.0)), 1u);
+}
+
+TEST(DecadeHistogram, LabelsAreReadable) {
+  hc::DecadeHistogram h(-2, 2);
+  EXPECT_EQ(h.bucket_label(h.bucket_index(0.0)), "0");
+  EXPECT_EQ(h.bucket_label(h.bucket_index(150.0)), "1.0E+02");
+  EXPECT_EQ(h.bucket_label(h.bucket_index(-150.0)), "-1.0E+02");
+}
+
+TEST(DecadeHistogram, PeakProbability) {
+  hc::DecadeHistogram h(-3, 3);
+  for (int i = 0; i < 8; ++i) h.add(10.0);
+  h.add(1e3);
+  h.add(-1.0);
+  EXPECT_DOUBLE_EQ(h.peak_probability(), 0.8);
+}
+
+TEST(Pct, SafeOnZeroDenominator) {
+  EXPECT_EQ(hc::pct(1, 0), 0.0);
+  EXPECT_EQ(hc::pct(1, 4), 25.0);
+}
+
+// --- cli ---
+
+TEST(CliArgs, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=2.5", "--n", "17", "--flag", "--seed=0x10"};
+  hc::CliArgs args(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0), 2.5);
+  EXPECT_EQ(args.get_int("n", 0), 17);
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get_u64("seed", 0), 16u);
+  EXPECT_EQ(args.get_int("missing", -1), -1);
+}
+
+// --- table (smoke) ---
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(hc::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(hc::Table::pct_cell(12.345, 1), "12.3%");
+}

@@ -1,0 +1,170 @@
+// Unit tests for the Hauberk control block: detector configuration, per-
+// launch result lifecycle, outlier recording, on-line learning, profiling
+// storage, and thread-safety under concurrent detector callbacks.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hauberk/control_block.hpp"
+#include "kir/bytecode.hpp"
+
+using namespace hauberk;
+using namespace hauberk::core;
+
+namespace {
+
+/// A bytecode program skeleton with `n` detectors and `s` FI sites.
+kir::BytecodeProgram skeleton(int n_detectors, int n_sites = 2) {
+  kir::BytecodeProgram p;
+  p.name = "skel";
+  for (int d = 0; d < n_detectors; ++d) {
+    kir::DetectorMeta m;
+    m.id = d;
+    m.name = "det" + std::to_string(d);
+    m.value_type = kir::DType::F32;
+    p.detectors.push_back(m);
+  }
+  for (int s = 0; s < n_sites; ++s) {
+    kir::FISite site;
+    site.site_id = static_cast<std::uint32_t>(s);
+    p.fi_sites.push_back(site);
+  }
+  return p;
+}
+
+RangeSet pos_range(double lo, double hi) {
+  RangeSet rs;
+  rs.pos = {true, lo, hi};
+  return rs;
+}
+
+}  // namespace
+
+TEST(ControlBlock, UnconfiguredDetectorAcceptsEverything) {
+  ControlBlock cb(skeleton(1));
+  EXPECT_FALSE(cb.check_range(0, kir::Value::f32(1e30f)));
+  EXPECT_FALSE(cb.sdc_detected());
+  EXPECT_EQ(cb.detectors()[0].checks, 1u);
+  EXPECT_EQ(cb.detectors()[0].violations, 0u);
+}
+
+TEST(ControlBlock, ConfiguredDetectorFlagsOutliers) {
+  ControlBlock cb(skeleton(1));
+  cb.set_ranges(0, pos_range(1.0, 10.0));
+  EXPECT_FALSE(cb.check_range(0, kir::Value::f32(5.0f)));
+  EXPECT_TRUE(cb.check_range(0, kir::Value::f32(100.0f)));
+  EXPECT_TRUE(cb.sdc_detected());
+  EXPECT_EQ(cb.detectors()[0].violations, 1u);
+  ASSERT_EQ(cb.detectors()[0].outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(cb.detectors()[0].outliers[0], 100.0);
+}
+
+TEST(ControlBlock, AlphaWidensAcceptance) {
+  ControlBlock cb(skeleton(1));
+  cb.set_ranges(0, pos_range(1.0, 10.0));
+  cb.set_alpha(100.0);
+  EXPECT_FALSE(cb.check_range(0, kir::Value::f32(500.0f)));  // 10 * 100 covers it
+  EXPECT_TRUE(cb.check_range(0, kir::Value::f32(1e6f)));
+}
+
+TEST(ControlBlock, ResetClearsResultsButKeepsConfiguration) {
+  ControlBlock cb(skeleton(1));
+  cb.set_ranges(0, pos_range(1.0, 10.0));
+  (void)cb.check_range(0, kir::Value::f32(100.0f));
+  ASSERT_TRUE(cb.sdc_detected());
+  cb.reset_results();
+  EXPECT_FALSE(cb.sdc_detected());
+  EXPECT_EQ(cb.total_checks(), 0u);
+  EXPECT_TRUE(cb.detectors()[0].configured);
+  EXPECT_TRUE(cb.check_range(0, kir::Value::f32(100.0f)));  // still configured
+}
+
+TEST(ControlBlock, AbsorbOutliersLearnsThem) {
+  ControlBlock cb(skeleton(1));
+  cb.set_ranges(0, pos_range(1.0, 10.0));
+  (void)cb.check_range(0, kir::Value::f32(100.0f));
+  cb.absorb_outliers();
+  cb.reset_results();
+  EXPECT_FALSE(cb.check_range(0, kir::Value::f32(100.0f)))
+      << "on-line learning must accept the absorbed value";
+}
+
+TEST(ControlBlock, OutlierRecordingIsCapped) {
+  ControlBlock cb(skeleton(1));
+  cb.set_ranges(0, pos_range(1.0, 2.0));
+  for (int i = 0; i < 1000; ++i) (void)cb.check_range(0, kir::Value::f32(1e9f));
+  EXPECT_EQ(cb.detectors()[0].violations, 1000u);
+  EXPECT_LE(cb.detectors()[0].outliers.size(), ControlBlock::kMaxOutliers);
+}
+
+TEST(ControlBlock, EqualCheckFailureSetsSdc) {
+  ControlBlock cb(skeleton(2));
+  cb.equal_check_failed(1);
+  EXPECT_TRUE(cb.sdc_detected());
+  EXPECT_EQ(cb.detectors()[1].violations, 1u);
+  EXPECT_EQ(cb.detectors()[0].violations, 0u);
+}
+
+TEST(ControlBlock, IterationCheckDetectorSkippedByRangeConfiguration) {
+  auto p = skeleton(2);
+  p.detectors[1].is_iteration_check = true;
+  ControlBlock cb(p);
+  std::vector<std::vector<double>> samples{{1.0, 2.0}, {5.0, 5.0}};
+  cb.configure_from_profile(samples);
+  EXPECT_TRUE(cb.detectors()[0].configured);
+  EXPECT_FALSE(cb.detectors()[1].configured) << "exact invariants need no ranges";
+}
+
+TEST(ControlBlock, ProfilingCollectsSamplesAndExecCounts) {
+  ControlBlock cb(skeleton(1, /*sites=*/3));
+  cb.prepare_profiling(/*threads=*/4);
+  cb.profile_value(0, kir::Value::f32(2.5f));
+  cb.profile_value(0, kir::Value::f32(-1.0f));
+  cb.count_exec(1, 0);
+  cb.count_exec(1, 0);
+  cb.count_exec(2, 3);
+  ASSERT_EQ(cb.profiled_samples()[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(cb.profiled_samples()[0][1], -1.0);
+  EXPECT_EQ(cb.exec_counts()[1][0], 2u);
+  EXPECT_EQ(cb.exec_counts()[2][3], 1u);
+  EXPECT_EQ(cb.exec_counts()[0][0], 0u);
+}
+
+TEST(ControlBlock, CountExecIgnoresOutOfRangeThreads) {
+  ControlBlock cb(skeleton(1, 1));
+  cb.prepare_profiling(2);
+  cb.count_exec(0, 99);  // beyond the prepared thread count: must not crash
+  EXPECT_EQ(cb.exec_counts()[0][0], 0u);
+}
+
+TEST(ControlBlock, ConcurrentChecksAreSafeAndCounted) {
+  ControlBlock cb(skeleton(1));
+  cb.set_ranges(0, pos_range(1.0, 10.0));
+  constexpr int kThreads = 4, kPer = 2000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&cb] {
+      for (int i = 0; i < kPer; ++i) {
+        (void)cb.check_range(0, kir::Value::f32(5.0f));
+        (void)cb.check_range(0, kir::Value::f32(50.0f));
+      }
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(cb.total_checks(), static_cast<std::uint64_t>(kThreads) * kPer * 2);
+  EXPECT_EQ(cb.total_violations(), static_cast<std::uint64_t>(kThreads) * kPer);
+  EXPECT_TRUE(cb.sdc_detected());
+}
+
+TEST(ControlBlock, ConfigureFromProfileSkipsEmptySampleSets) {
+  ControlBlock cb(skeleton(2));
+  std::vector<std::vector<double>> samples{{}, {3.0, 4.0}};
+  cb.configure_from_profile(samples);
+  EXPECT_FALSE(cb.detectors()[0].configured);
+  EXPECT_TRUE(cb.detectors()[1].configured);
+}
+
+TEST(ControlBlock, AlphaFlooredAtOne) {
+  ControlBlock cb(skeleton(1));
+  cb.set_alpha(0.01);
+  EXPECT_DOUBLE_EQ(cb.alpha(), 1.0);
+}

@@ -1,0 +1,120 @@
+// Tests for node-level device management: acquisition, migration across the
+// pool, disabled-device quarantine, and daemon-driven re-enablement.
+#include <gtest/gtest.h>
+
+#include "hauberk/device_pool.hpp"
+#include "hauberk/runtime.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using namespace hauberk::core;
+
+namespace {
+
+struct PoolFx {
+  std::unique_ptr<workloads::Workload> w = workloads::make_cp();
+  KernelVariants v{build_variants(w->build_kernel(workloads::Scale::Tiny))};
+  workloads::Dataset ds = w->make_dataset(51, workloads::Scale::Tiny);
+  std::unique_ptr<KernelJob> job = w->make_job(ds);
+  DevicePool pool{3};
+  std::unique_ptr<ControlBlock> cb;
+
+  PoolFx() {
+    // Profile on device 0 to configure detectors.
+    auto pd = profile(pool.device(0), v, {job.get()});
+    cb = make_configured_control_block(v.ft, pd);
+  }
+};
+
+gpusim::DeviceFaultModel permanent_fpu_fault() {
+  gpusim::DeviceFaultModel fm;
+  fm.kind = gpusim::DeviceFaultModel::Kind::Permanent;
+  fm.component = gpusim::DeviceFaultModel::Component::FPU;
+  fm.mask = 0x7fc00000;
+  fm.period = 97;
+  return fm;
+}
+
+}  // namespace
+
+TEST(DevicePool, RoundRobinAcquisitionSkipsDisabled) {
+  DevicePool pool(3);
+  EXPECT_EQ(pool.healthy_count(), 3u);
+  gpusim::Device* a = pool.acquire();
+  gpusim::Device* b = pool.acquire();
+  EXPECT_NE(a, b);
+  pool.device(2).set_disabled(true);
+  EXPECT_EQ(pool.healthy_count(), 2u);
+  for (int i = 0; i < 6; ++i) EXPECT_NE(pool.acquire(), &pool.device(2));
+}
+
+TEST(DevicePool, AcquireReturnsNullWhenAllDisabled) {
+  DevicePool pool(2);
+  pool.device(0).set_disabled(true);
+  pool.device(1).set_disabled(true);
+  EXPECT_EQ(pool.acquire(), nullptr);
+}
+
+TEST(DevicePool, SpareIsNeverThePrimary) {
+  DevicePool pool(2);
+  gpusim::Device* p = pool.acquire();
+  gpusim::Device* s = pool.spare_for(p);
+  ASSERT_NE(s, nullptr);
+  EXPECT_NE(s, p);
+  // With only one healthy device there is no spare.
+  s->set_disabled(true);
+  EXPECT_EQ(pool.spare_for(p), nullptr);
+}
+
+TEST(DevicePool, HealthyRunSucceeds) {
+  PoolFx fx;
+  Guardian g;
+  const auto out = fx.pool.run_protected(g, fx.v.ft, *fx.job, *fx.cb);
+  EXPECT_EQ(out.verdict, RecoveryVerdict::Success);
+  EXPECT_EQ(fx.pool.healthy_count(), 3u);
+}
+
+TEST(DevicePool, FaultyPrimaryMigratesAndIsQuarantined) {
+  PoolFx fx;
+  fx.pool.device(0).install_fault(permanent_fpu_fault());
+  Guardian g;
+  const auto out = fx.pool.run_protected(g, fx.v.ft, *fx.job, *fx.cb);
+  EXPECT_EQ(out.verdict, RecoveryVerdict::MigratedToSpare);
+  EXPECT_TRUE(fx.pool.device(0).disabled());
+  EXPECT_EQ(fx.pool.healthy_count(), 2u);
+
+  // Subsequent jobs avoid the quarantined device entirely.
+  const auto again = fx.pool.run_protected(g, fx.v.ft, *fx.job, *fx.cb);
+  EXPECT_EQ(again.verdict, RecoveryVerdict::Success);
+  EXPECT_EQ(fx.pool.healthy_count(), 2u);
+}
+
+TEST(DevicePool, WholeNodeUnhealthyIsUnrecoverable) {
+  PoolFx fx;
+  for (std::size_t i = 0; i < fx.pool.size(); ++i) fx.pool.device(i).set_disabled(true);
+  Guardian g;
+  const auto out = fx.pool.run_protected(g, fx.v.ft, *fx.job, *fx.cb);
+  EXPECT_EQ(out.verdict, RecoveryVerdict::Unrecoverable);
+}
+
+TEST(DevicePool, TickReenablesRecoveredDevices) {
+  PoolFx fx;
+  fx.pool.device(0).install_fault(permanent_fpu_fault());
+  Guardian g;
+  (void)fx.pool.run_protected(g, fx.v.ft, *fx.job, *fx.cb);
+  ASSERT_TRUE(fx.pool.device(0).disabled());
+
+  // Fault persists: ticks keep it quarantined with doubling backoff.
+  EXPECT_EQ(fx.pool.tick(0.0), 0);
+  EXPECT_EQ(fx.pool.tick(2.5), 0);
+  EXPECT_EQ(fx.pool.healthy_count(), 2u);
+
+  // The (intermittent) fault clears; a later tick re-admits the device.
+  fx.pool.device(0).clear_fault();
+  EXPECT_EQ(fx.pool.tick(100.0), 1);
+  EXPECT_EQ(fx.pool.healthy_count(), 3u);
+
+  // The recovered device serves jobs again.
+  const auto out = fx.pool.run_protected(g, fx.v.ft, *fx.job, *fx.cb);
+  EXPECT_EQ(out.verdict, RecoveryVerdict::Success);
+}

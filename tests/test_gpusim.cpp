@@ -1,0 +1,534 @@
+// Unit tests for the simulated GPU: memory models, interpreter semantics,
+// crash/hang detection, barriers/atomics, cost attribution, fault model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/device.hpp"
+#include "kir/builder.hpp"
+#include "kir/bytecode.hpp"
+
+using namespace hauberk::gpusim;
+using namespace hauberk::kir;
+
+namespace {
+
+DeviceProps small_props() {
+  DeviceProps p;
+  p.global_mem_words = 1u << 20;
+  return p;
+}
+
+float f32_of(std::uint32_t bits) { return Value{DType::F32, bits}.as_f32(); }
+
+}  // namespace
+
+// --- memory ---
+
+TEST(Memory, FlatGpuPacksFromZero) {
+  DeviceMemory m(MemoryModel::FlatGpu, 1024);
+  EXPECT_EQ(m.alloc(16), 0u);
+  EXPECT_EQ(m.alloc(16), 16u);
+  EXPECT_TRUE(m.valid(31));
+  // No page protection: unallocated-but-physical addresses are accessible.
+  EXPECT_TRUE(m.valid(32));
+  EXPECT_FALSE(m.valid(1024));
+}
+
+TEST(Memory, FlatGpuCorruptedPointerOftenStaysValid) {
+  // The GPU has no page protection: any address below the high-water mark is
+  // accessible, so small-bit corruptions of a pointer stay "valid".
+  DeviceMemory m(MemoryModel::FlatGpu, 1u << 20);
+  const std::uint32_t base = m.alloc(1u << 16);
+  EXPECT_TRUE(m.valid(base + 5));
+  EXPECT_TRUE(m.valid((base + 5) ^ (1u << 10)));   // low-bit flip: still in arena
+  EXPECT_TRUE(m.valid((base + 5) ^ (1u << 19)));   // still within physical memory
+  EXPECT_FALSE(m.valid((base + 5) ^ (1u << 30)));  // beyond physical memory
+}
+
+TEST(Memory, PagedCpuRejectsBetweenAllocations) {
+  DeviceMemory m(MemoryModel::PagedCpu, 1u << 20);
+  const std::uint32_t a = m.alloc(100);
+  const std::uint32_t b = m.alloc(100);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(m.valid(a));
+  EXPECT_TRUE(m.valid(a + 99));
+  EXPECT_FALSE(m.valid(a + 100));   // past end of allocation
+  EXPECT_FALSE(m.valid(0));         // null page unmapped
+  EXPECT_FALSE(m.valid(a - 1));
+}
+
+TEST(Memory, PagedCpuStoresAndLoads) {
+  DeviceMemory m(MemoryModel::PagedCpu, 1u << 20);
+  const std::uint32_t a = m.alloc(4);
+  const std::uint32_t b = m.alloc(4);
+  std::uint32_t data[4] = {1, 2, 3, 4};
+  m.copy_in(a, data);
+  m.copy_in(b, data);
+  std::uint32_t out[4] = {};
+  m.copy_out(b, out);
+  EXPECT_EQ(out[2], 3u);
+}
+
+TEST(Memory, CopyOutOfBoundsThrows) {
+  DeviceMemory m(MemoryModel::FlatGpu, 64);
+  (void)m.alloc(8);
+  std::uint32_t buf[16] = {};
+  // Host copies beyond physical memory fault.
+  EXPECT_THROW(m.copy_out(56, std::span<std::uint32_t>(buf, 16)), std::out_of_range);
+}
+
+TEST(Memory, FootprintAccounting) {
+  DeviceMemory m(MemoryModel::FlatGpu, 1024);
+  (void)m.alloc(100, AllocClass::F32Data);
+  (void)m.alloc(10, AllocClass::I32Data);
+  EXPECT_EQ(m.allocated_bytes(AllocClass::F32Data), 400u);
+  EXPECT_EQ(m.allocated_bytes(AllocClass::I32Data), 40u);
+  m.reset();
+  EXPECT_EQ(m.allocated_bytes(AllocClass::F32Data), 0u);
+}
+
+// --- basic execution ---
+
+TEST(Exec, SaxpyMatchesNative) {
+  constexpr int n = 256;
+  KernelBuilder kb("saxpy");
+  auto a = kb.param_f32("a");
+  auto x = kb.param_ptr("x");
+  auto y = kb.param_ptr("y");
+  auto i = kb.thread_linear();
+  kb.store(y + i, a * kb.load_f32(x + i) + kb.load_f32(y + i));
+  auto prog = lower(kb.build());
+
+  Device dev(small_props());
+  const auto xa = dev.mem().alloc(n, AllocClass::F32Data);
+  const auto ya = dev.mem().alloc(n, AllocClass::F32Data);
+  std::vector<std::uint32_t> xs(n), ys(n);
+  for (int k = 0; k < n; ++k) {
+    xs[k] = Value::f32(static_cast<float>(k)).bits;
+    ys[k] = Value::f32(1.0f).bits;
+  }
+  dev.mem().copy_in(xa, xs);
+  dev.mem().copy_in(ya, ys);
+
+  const Value args[] = {Value::f32(2.0f), Value::ptr(xa), Value::ptr(ya)};
+  LaunchConfig cfg{4, 1, 64, 1};
+  auto res = dev.launch(prog, cfg, args);
+  ASSERT_EQ(res.status, LaunchStatus::Ok);
+  EXPECT_EQ(res.threads, 256u);
+
+  std::vector<std::uint32_t> out(n);
+  dev.mem().copy_out(ya, out);
+  for (int k = 0; k < n; ++k)
+    EXPECT_EQ(f32_of(out[k]), 2.0f * static_cast<float>(k) + 1.0f);
+}
+
+TEST(Exec, LoopSumMatchesClosedForm) {
+  KernelBuilder kb("sum");
+  auto n = kb.param_i32("n");
+  auto out = kb.param_ptr("out");
+  auto acc = kb.let("acc", i32c(0));
+  kb.for_loop("i", i32c(0), n, [&](ExprH i) { kb.assign(acc, acc + i); });
+  kb.store(out + kb.thread_linear(), acc);
+  auto prog = lower(kb.build());
+
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1, AllocClass::I32Data);
+  const Value args[] = {Value::i32(100), Value::ptr(oa)};
+  auto res = dev.launch(prog, LaunchConfig{}, args);
+  ASSERT_EQ(res.status, LaunchStatus::Ok);
+  std::uint32_t result = 0;
+  dev.mem().copy_out(oa, std::span<std::uint32_t>(&result, 1));
+  EXPECT_EQ(static_cast<std::int32_t>(result), 4950);
+}
+
+TEST(Exec, IfElseBothBranches) {
+  KernelBuilder kb("branch");
+  auto out = kb.param_ptr("out");
+  auto i = kb.thread_linear();
+  kb.if_then_else((i % i32c(2)) == i32c(0),
+                  [&] { kb.store(out + i, i32c(7)); },
+                  [&] { kb.store(out + i, i32c(9)); });
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(8, AllocClass::I32Data);
+  const Value args[] = {Value::ptr(oa)};
+  auto res = dev.launch(prog, LaunchConfig{1, 1, 8, 1}, args);
+  ASSERT_EQ(res.status, LaunchStatus::Ok);
+  std::vector<std::uint32_t> vals(8);
+  dev.mem().copy_out(oa, vals);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(vals[k], (k % 2 == 0) ? 7u : 9u);
+}
+
+TEST(Exec, WhileLoopRuns) {
+  KernelBuilder kb("wh");
+  auto out = kb.param_ptr("out");
+  auto i = kb.let("i", i32c(0));
+  kb.while_loop([&] { return i < i32c(10); }, [&] { kb.assign(i, i + i32c(3)); });
+  kb.store(out, i);
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1, AllocClass::I32Data);
+  const Value args[] = {Value::ptr(oa)};
+  ASSERT_EQ(dev.launch(prog, LaunchConfig{}, args).status, LaunchStatus::Ok);
+  std::uint32_t result = 0;
+  dev.mem().copy_out(oa, std::span<std::uint32_t>(&result, 1));
+  EXPECT_EQ(result, 12u);
+}
+
+TEST(Exec, SelectIsBranchless) {
+  KernelBuilder kb("sel");
+  auto out = kb.param_ptr("out");
+  auto i = kb.thread_linear();
+  kb.store(out + i, select_(i < i32c(2), f32c(1.5f), f32c(-2.5f)));
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(4, AllocClass::F32Data);
+  const Value args[] = {Value::ptr(oa)};
+  ASSERT_EQ(dev.launch(prog, LaunchConfig{1, 1, 4, 1}, args).status, LaunchStatus::Ok);
+  std::vector<std::uint32_t> vals(4);
+  dev.mem().copy_out(oa, vals);
+  EXPECT_EQ(f32_of(vals[0]), 1.5f);
+  EXPECT_EQ(f32_of(vals[3]), -2.5f);
+}
+
+// --- crashes / hangs ---
+
+TEST(Exec, OutOfBoundsLoadCrashes) {
+  KernelBuilder kb("oob");
+  auto out = kb.param_ptr("out");
+  kb.store(out, kb.load_f32(ExprH(Expr::make_const(Value::ptr(0xffff0000u)))));
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1);
+  const Value args[] = {Value::ptr(oa)};
+  EXPECT_EQ(dev.launch(prog, LaunchConfig{}, args).status, LaunchStatus::CrashOutOfBounds);
+}
+
+TEST(Exec, IntegerDivByZeroCrashes) {
+  KernelBuilder kb("div0");
+  auto out = kb.param_ptr("out");
+  auto z = kb.param_i32("z");
+  kb.store(out, i32c(1) / z);
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1);
+  const Value args[] = {Value::ptr(oa), Value::i32(0)};
+  EXPECT_EQ(dev.launch(prog, LaunchConfig{}, args).status, LaunchStatus::CrashDivByZero);
+}
+
+TEST(Exec, FloatDivByZeroDoesNotCrash) {
+  // Observation 2's mechanism: FP div-by-zero yields infinity, no exception.
+  KernelBuilder kb("fdiv0");
+  auto out = kb.param_ptr("out");
+  kb.store(out, f32c(1.0f) / f32c(0.0f));
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1);
+  const Value args[] = {Value::ptr(oa)};
+  ASSERT_EQ(dev.launch(prog, LaunchConfig{}, args).status, LaunchStatus::Ok);
+  std::uint32_t result = 0;
+  dev.mem().copy_out(oa, std::span<std::uint32_t>(&result, 1));
+  EXPECT_TRUE(std::isinf(f32_of(result)));
+}
+
+TEST(Exec, InfiniteLoopReportsHang) {
+  KernelBuilder kb("hang");
+  auto i = kb.let("i", i32c(0));
+  kb.while_loop([&] { return i >= i32c(0); }, [&] { kb.assign(i, i | i32c(0)); });
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  LaunchOptions opts;
+  opts.watchdog_instructions = 10000;
+  EXPECT_EQ(dev.launch(prog, LaunchConfig{}, {}, opts).status, LaunchStatus::Hang);
+}
+
+TEST(Exec, SharedMemoryOverLimitFailsLaunch) {
+  KernelBuilder kb("bigshared", /*shared_mem_words=*/1u << 20);
+  kb.shstore(i32c(0), i32c(1));
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  EXPECT_EQ(dev.launch(prog, LaunchConfig{}, {}).status, LaunchStatus::LaunchFailure);
+}
+
+TEST(Exec, WrongArgCountFailsLaunch) {
+  KernelBuilder kb("args");
+  (void)kb.param_i32("n");
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  EXPECT_EQ(dev.launch(prog, LaunchConfig{}, {}).status, LaunchStatus::LaunchFailure);
+}
+
+TEST(Exec, DisabledDeviceRefusesLaunch) {
+  KernelBuilder kb("nop2");
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  dev.set_disabled(true);
+  EXPECT_EQ(dev.launch(prog, LaunchConfig{}, {}).status, LaunchStatus::DeviceDisabled);
+}
+
+// --- shared memory + barrier + atomics ---
+
+TEST(Exec, SharedMemoryReductionWithBarrier) {
+  constexpr std::uint32_t kThreads = 32;
+  KernelBuilder kb("reduce", kThreads);
+  auto out = kb.param_ptr("out");
+  auto t = kb.tid_x();
+  kb.shstore(t, t * i32c(2));
+  kb.barrier();
+  kb.if_then(t == i32c(0), [&] {
+    auto acc = kb.let("acc", i32c(0));
+    kb.for_loop("i", i32c(0), i32c(kThreads),
+                [&](ExprH i) { kb.assign(acc, acc + kb.shload_i32(i)); });
+    kb.store(out, acc);
+  });
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1, AllocClass::I32Data);
+  const Value args[] = {Value::ptr(oa)};
+  ASSERT_EQ(dev.launch(prog, LaunchConfig{1, 1, kThreads, 1}, args).status, LaunchStatus::Ok);
+  std::uint32_t result = 0;
+  dev.mem().copy_out(oa, std::span<std::uint32_t>(&result, 1));
+  EXPECT_EQ(result, 2u * (kThreads * (kThreads - 1) / 2));
+}
+
+TEST(Exec, AtomicAddAccumulatesAcrossBlocks) {
+  KernelBuilder kb("atom");
+  auto out = kb.param_ptr("out");
+  kb.atomic_add(out, i32c(1));
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1, AllocClass::I32Data);
+  const Value args[] = {Value::ptr(oa)};
+  ASSERT_EQ(dev.launch(prog, LaunchConfig{16, 1, 32, 1}, args).status, LaunchStatus::Ok);
+  std::uint32_t result = 0;
+  dev.mem().copy_out(oa, std::span<std::uint32_t>(&result, 1));
+  EXPECT_EQ(result, 16u * 32u);
+}
+
+// --- cost model / attribution ---
+
+TEST(Cost, LoopCyclesDominateLoopHeavyKernel) {
+  KernelBuilder kb("loopy");
+  auto n = kb.param_i32("n");
+  auto out = kb.param_ptr("out");
+  auto acc = kb.let("acc", f32c(0.0f));
+  kb.for_loop("i", i32c(0), n, [&](ExprH i) { kb.assign(acc, acc + to_f32(i) * f32c(0.5f)); });
+  kb.store(out, acc);
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1);
+  const Value args[] = {Value::i32(1000), Value::ptr(oa)};
+  auto res = dev.launch(prog, LaunchConfig{}, args);
+  ASSERT_EQ(res.status, LaunchStatus::Ok);
+  EXPECT_GT(res.loop_cycles, res.cycles * 95 / 100);
+  EXPECT_LE(res.loop_cycles, res.cycles);
+}
+
+TEST(Cost, DeterministicAcrossRuns) {
+  KernelBuilder kb("det");
+  auto n = kb.param_i32("n");
+  auto acc = kb.let("acc", f32c(1.0f));
+  kb.for_loop("i", i32c(0), n, [&](ExprH) { kb.assign(acc, acc * f32c(1.0001f)); });
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const Value args[] = {Value::i32(5000)};
+  auto r1 = dev.launch(prog, LaunchConfig{8, 1, 32, 1}, args);
+  auto r2 = dev.launch(prog, LaunchConfig{8, 1, 32, 1}, args);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.instructions, r2.instructions);
+}
+
+TEST(Cost, RegisterSpillIncreasesCycles) {
+  // Same kernel, tighter register budget => spill surcharges => more cycles.
+  KernelBuilder kb("spill");
+  auto n = kb.param_i32("n");
+  auto out = kb.param_ptr("out");
+  std::vector<ExprH> vars;
+  for (int v = 0; v < 30; ++v)
+    vars.push_back(kb.let("v" + std::to_string(v), f32c(static_cast<float>(v))));
+  auto acc = kb.let("acc", f32c(0.0f));
+  kb.for_loop("i", i32c(0), n, [&](ExprH) {
+    for (auto& v : vars) kb.assign(acc, acc + v);
+  });
+  kb.store(out, acc);
+  auto prog = lower(kb.build());
+
+  DeviceProps loose = small_props();
+  loose.regs_per_thread = 64;
+  DeviceProps tight = small_props();
+  tight.regs_per_thread = 16;
+  Device d1(loose), d2(tight);
+  const auto o1 = d1.mem().alloc(1);
+  const auto o2 = d2.mem().alloc(1);
+  const Value a1[] = {Value::i32(100), Value::ptr(o1)};
+  const Value a2[] = {Value::i32(100), Value::ptr(o2)};
+  auto r1 = d1.launch(prog, LaunchConfig{}, a1);
+  auto r2 = d2.launch(prog, LaunchConfig{}, a2);
+  ASSERT_EQ(r1.status, LaunchStatus::Ok);
+  ASSERT_EQ(r2.status, LaunchStatus::Ok);
+  EXPECT_GT(r2.cycles, r1.cycles);
+}
+
+TEST(Cost, ControlBlockChargeAdded) {
+  KernelBuilder kb("cb");
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  LaunchOptions plain, charged;
+  charged.charge_control_block = true;
+  auto r1 = dev.launch(prog, LaunchConfig{}, {}, plain);
+  auto r2 = dev.launch(prog, LaunchConfig{}, {}, charged);
+  EXPECT_EQ(r2.cycles - r1.cycles, dev.cost_model().control_block_per_launch);
+}
+
+// --- device fault model (BIST substrate) ---
+
+TEST(FaultModel, PermanentAluFaultCorruptsIntegerResults) {
+  KernelBuilder kb("alu");
+  auto out = kb.param_ptr("out");
+  kb.store(out, i32c(40) + i32c(2));
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(2, AllocClass::I32Data);
+  const Value args[] = {Value::ptr(oa)};
+
+  DeviceFaultModel fm;
+  fm.kind = DeviceFaultModel::Kind::Permanent;
+  fm.component = DeviceFaultModel::Component::ALU;
+  fm.sm = 0;
+  fm.mask = 1u << 4;
+  dev.install_fault(fm);
+  ASSERT_EQ(dev.launch(prog, LaunchConfig{}, args).status, LaunchStatus::Ok);
+  std::uint32_t result = 0;
+  dev.mem().copy_out(oa, std::span<std::uint32_t>(&result, 1));
+  EXPECT_NE(result, 42u);  // corrupted
+
+  dev.clear_fault();
+  ASSERT_EQ(dev.launch(prog, LaunchConfig{}, args).status, LaunchStatus::Ok);
+  dev.mem().copy_out(oa, std::span<std::uint32_t>(&result, 1));
+  EXPECT_EQ(result, 42u);  // healthy again
+}
+
+TEST(FaultModel, TransientFaultStopsAfterDuration) {
+  KernelBuilder kb("trans");
+  auto n = kb.param_i32("n");
+  auto out = kb.param_ptr("out");
+  auto acc = kb.let("acc", i32c(0));
+  kb.for_loop("i", i32c(0), n, [&](ExprH) { kb.assign(acc, acc + i32c(0)); });
+  kb.store(out, acc);
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1, AllocClass::I32Data);
+  const Value args[] = {Value::i32(1000), Value::ptr(oa)};
+
+  DeviceFaultModel fm;
+  fm.kind = DeviceFaultModel::Kind::Transient;
+  fm.component = DeviceFaultModel::Component::ALU;
+  fm.mask = 0xff;
+  fm.duration_ops = 1;  // exactly one corrupted op
+  dev.install_fault(fm);
+  ASSERT_EQ(dev.launch(prog, LaunchConfig{}, args).status, LaunchStatus::Ok);
+  EXPECT_EQ(dev.fault_injected_ops_.load(), 1u);
+}
+
+TEST(Profiling, InstructionExecutionCountsSumToTotal) {
+  KernelBuilder kb("prof");
+  auto n = kb.param_i32("n");
+  auto out = kb.param_ptr("out");
+  auto acc = kb.let("acc", i32c(0));
+  kb.for_loop("i", i32c(0), n, [&](ExprH i) { kb.assign(acc, acc + i); });
+  kb.store(out, acc);
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const auto oa = dev.mem().alloc(1, AllocClass::I32Data);
+  const Value args[] = {Value::i32(50), Value::ptr(oa)};
+  std::vector<std::uint64_t> counts;
+  LaunchOptions opts;
+  opts.instr_exec_counts = &counts;
+  const auto res = dev.launch(prog, LaunchConfig{2, 1, 8, 1}, args, opts);
+  ASSERT_EQ(res.status, LaunchStatus::Ok);
+  ASSERT_EQ(counts.size(), prog.code.size());
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, res.instructions);
+  // The Halt instruction runs exactly once per thread.
+  EXPECT_EQ(counts.back(), 16u);
+}
+
+TEST(Profiling, CountsAreDeterministicAcrossWorkers) {
+  KernelBuilder kb("prof2");
+  auto n = kb.param_i32("n");
+  auto acc = kb.let("acc", f32c(0.0f));
+  kb.for_loop("i", i32c(0), n, [&](ExprH) { kb.assign(acc, acc + f32c(0.5f)); });
+  auto prog = lower(kb.build());
+  const Value args[] = {Value::i32(30)};
+  std::vector<std::uint64_t> c1, c2;
+  for (auto* c : {&c1, &c2}) {
+    Device dev(small_props());
+    LaunchOptions opts;
+    opts.instr_exec_counts = c;
+    opts.max_workers = c == &c1 ? 1 : 4;
+    ASSERT_EQ(dev.launch(prog, LaunchConfig{8, 1, 16, 1}, args, opts).status,
+              LaunchStatus::Ok);
+  }
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(SimtCost, UniformKernelCostsOneWarpIssuePerInstruction) {
+  // 32 threads executing identical paths: warp cost = thread cost / 32.
+  KernelBuilder kb("uni");
+  auto n = kb.param_i32("n");
+  auto acc = kb.let("acc", f32c(0.0f));
+  kb.for_loop("i", i32c(0), n, [&](ExprH) { kb.assign(acc, acc + f32c(1.0f)); });
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  const Value args[] = {Value::i32(40)};
+  LaunchOptions opts;
+  opts.simt_cost = true;
+  const auto res = dev.launch(prog, LaunchConfig{1, 1, 32, 1}, args, opts);
+  ASSERT_EQ(res.status, LaunchStatus::Ok);
+  EXPECT_EQ(res.simt_cycles * 32, res.cycles);
+}
+
+TEST(SimtCost, DivergentTripCountsSerializeToWarpMaximum) {
+  // Thread t iterates t times: per-thread cycles sum ~ Sum(t); warp cost of
+  // the loop body ~ max(t) = 31 iterations.
+  KernelBuilder kb("tri");
+  auto acc = kb.let("acc", i32c(0));
+  kb.for_loop("i", i32c(0), kb.thread_linear(), [&](ExprH) { kb.assign(acc, acc + i32c(1)); });
+  auto prog = lower(kb.build());
+  Device dev(small_props());
+  LaunchOptions opts;
+  opts.simt_cost = true;
+  const auto res = dev.launch(prog, LaunchConfig{1, 1, 32, 1}, {}, opts);
+  ASSERT_EQ(res.status, LaunchStatus::Ok);
+  // Average trip is 15.5, max is 31: warp cost must be roughly twice the
+  // per-thread average (sum/32), not equal to it.
+  EXPECT_GT(res.simt_cycles * 32, res.cycles * 3 / 2);
+}
+
+TEST(SimtCost, IfElseDivergenceChargesBothPaths) {
+  auto build = [](bool divergent) {
+    KernelBuilder kb("d");
+    auto tid = kb.let("tid", kb.thread_linear());
+    auto sel = kb.let("sel", divergent ? (tid & i32c(1)) : i32c(0));
+    auto acc = kb.let("acc", f32c(0.0f));
+    kb.for_loop("i", i32c(0), i32c(32), [&](ExprH) {
+      kb.if_then_else(sel == i32c(0), [&] { kb.assign(acc, acc + f32c(1.0f)); },
+                      [&] { kb.assign(acc, acc + f32c(2.0f)); });
+    });
+    return lower(kb.build());
+  };
+  Device dev(small_props());
+  LaunchOptions opts;
+  opts.simt_cost = true;
+  const auto uni = dev.launch(build(false), LaunchConfig{1, 1, 32, 1}, {}, opts);
+  const auto div = dev.launch(build(true), LaunchConfig{1, 1, 32, 1}, {}, opts);
+  ASSERT_EQ(uni.status, LaunchStatus::Ok);
+  ASSERT_EQ(div.status, LaunchStatus::Ok);
+  EXPECT_GT(div.simt_cycles, uni.simt_cycles * 120 / 100)
+      << "divergent warps must serialize both branch paths";
+  EXPECT_NEAR(static_cast<double>(div.cycles), static_cast<double>(uni.cycles),
+              static_cast<double>(uni.cycles) * 0.05)
+      << "per-thread cost is divergence-blind";
+}

@@ -1,0 +1,421 @@
+// Unit tests for the kernel IR: builder, analysis (virtual variables, loop
+// dataflow, CBD, self-accumulators, trip counts), lowering, and printing.
+#include <gtest/gtest.h>
+
+#include "kir/analysis.hpp"
+#include "kir/ast.hpp"
+#include "kir/builder.hpp"
+#include "kir/bytecode.hpp"
+#include "kir/printer.hpp"
+
+using namespace hauberk::kir;
+
+namespace {
+
+/// A miniature coulombic-potential style kernel modeled on Fig. 9: a loop
+/// over atoms accumulating two energies, with non-loop setup code.
+struct CpLike {
+  Kernel kernel;
+  VarId energy1 = kInvalidVar, energy2 = kInvalidVar, dy = kInvalidVar;
+
+  static CpLike make() {
+    CpLike r;
+    KernelBuilder kb("cp_like");
+    auto atoms = kb.param_ptr("atominfo");   // 4 words per atom: x, y, z, q
+    auto numatoms = kb.param_i32("numatoms");
+    auto out = kb.param_ptr("energyout");
+    auto spacing = kb.param_f32("gridspacing");
+
+    auto coorx = kb.let("coorx", to_f32(kb.tid_x()) * spacing);
+    auto coory = kb.let("coory", to_f32(kb.bid_x()) * spacing);
+    auto e1 = kb.let("energyx1", f32c(0.0f));
+    auto e2 = kb.let("energyx2", f32c(0.0f));
+    kb.for_loop("atomid", i32c(0), numatoms, [&](ExprH atomid) {
+      auto base = kb.let("abase", atoms + atomid * i32c(4));
+      auto dx1 = kb.let("dx1", kb.load_f32(base) - coorx);
+      auto dy = kb.let("dy", kb.load_f32(base + i32c(1)) - coory);
+      auto dz2 = kb.let("dyz2", dy * dy + kb.load_f32(base + i32c(2)));
+      auto q = kb.let("q", kb.load_f32(base + i32c(3)));
+      auto dx2 = kb.let("dx2", dx1 + spacing);
+      auto r1 = kb.let("r1", q * rsqrt_(dx1 * dx1 + dz2));
+      auto r2 = kb.let("r2", q * rsqrt_(dx2 * dx2 + dz2));
+      kb.assign(e1, e1 + r1);
+      kb.assign(e2, e2 + r2);
+      r.dy = dy.var_id();
+    });
+    kb.store(out + kb.tid_x(), e1);
+    kb.store(out + kb.tid_x() + i32c(1024), e2);
+    r.energy1 = e1.var_id();
+    r.energy2 = e2.var_id();
+    r.kernel = kb.build();
+    return r;
+  }
+};
+
+}  // namespace
+
+// --- value / expr basics ---
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value::f32(2.5f).as_f32(), 2.5f);
+  EXPECT_EQ(Value::i32(-7).as_i32(), -7);
+  EXPECT_EQ(Value::ptr(123).as_ptr(), 123u);
+  EXPECT_EQ(Value::i32(-7).as_double(), -7.0);
+}
+
+TEST(Builder, TypePromotionIntToFloat) {
+  auto e = (i32c(2) + f32c(1.5f));
+  EXPECT_EQ(e.type(), DType::F32);
+}
+
+TEST(Builder, ComparisonYieldsInt) {
+  auto e = (f32c(1.0f) < f32c(2.0f));
+  EXPECT_EQ(e.type(), DType::I32);
+}
+
+TEST(Builder, PointerArithmeticStaysPointer) {
+  KernelBuilder kb("k");
+  auto p = kb.param_ptr("p");
+  EXPECT_EQ((p + i32c(4)).type(), DType::PTR);
+}
+
+TEST(Builder, AssignToNonVarThrows) {
+  KernelBuilder kb("k");
+  EXPECT_THROW(kb.assign(f32c(1.0f), f32c(2.0f)), std::logic_error);
+}
+
+TEST(Builder, BuildTwiceThrows) {
+  KernelBuilder kb("k");
+  (void)kb.build();
+  EXPECT_THROW((void)kb.build(), std::logic_error);
+}
+
+TEST(CloneExpr, ProducesEqualButDistinctTree) {
+  auto e = (f32c(1.0f) + f32c(2.0f)).node();
+  auto c = clone_expr(e);
+  EXPECT_NE(e.get(), c.get());
+  EXPECT_NE(e->a.get(), c->a.get());
+  EXPECT_EQ(c->bin, BinOp::Add);
+}
+
+// --- analysis ---
+
+TEST(Analysis, NonLoopVarsHaveDepthZero) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  EXPECT_EQ(an.facts(cp.energy1).def_depth, 0);
+  EXPECT_EQ(an.facts(cp.energy2).def_depth, 0);
+  EXPECT_TRUE(an.facts(cp.energy1).assigned_in_loop);
+}
+
+TEST(Analysis, LoopVarsHaveDepthOne) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  EXPECT_EQ(an.facts(cp.dy).def_depth, 1);
+  EXPECT_EQ(an.facts(cp.dy).def_loop, 0u);
+}
+
+TEST(Analysis, LoopStructure) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  ASSERT_EQ(an.loops().size(), 1u);
+  const LoopNode& ln = an.loop(0);
+  EXPECT_TRUE(ln.is_for);
+  EXPECT_EQ(ln.depth, 1);
+  EXPECT_EQ(ln.parent, kNoLoop);
+  EXPECT_FALSE(ln.lets_inside.empty());
+}
+
+TEST(Analysis, SelfAccumulatorsDetected) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  auto sa = an.self_accumulators(0);
+  EXPECT_TRUE(sa.count(cp.energy1));
+  EXPECT_TRUE(sa.count(cp.energy2));
+  EXPECT_FALSE(sa.count(cp.dy));
+}
+
+TEST(Analysis, TripCountDerivableForSimpleFor) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  auto trip = an.derive_trip_count(0);
+  ASSERT_NE(trip, nullptr);
+  // max(0, numatoms - 0)
+  EXPECT_EQ(trip->kind, ExprKind::Binary);
+  EXPECT_EQ(trip->bin, BinOp::Max);
+}
+
+TEST(Analysis, TripCountNotDerivableForWhile) {
+  KernelBuilder kb("w");
+  auto n = kb.param_i32("n");
+  auto i = kb.let("i", i32c(0));
+  kb.while_loop([&] { return i < n; }, [&] { kb.assign(i, i + i32c(1)); });
+  Kernel k = kb.build();
+  Analysis an(k);
+  EXPECT_EQ(an.derive_trip_count(0), nullptr);
+}
+
+TEST(Analysis, TripCountNotDerivableWhenBoundMutated) {
+  KernelBuilder kb("m");
+  auto n = kb.let("n", i32c(10));
+  kb.for_loop("i", i32c(0), ExprH(Expr::make_var(n.var_id(), DType::I32)),
+              [&](ExprH) { kb.assign(n, n - i32c(1)); });
+  Kernel k = kb.build();
+  Analysis an(k);
+  EXPECT_EQ(an.derive_trip_count(0), nullptr);
+}
+
+TEST(Analysis, TripCountWithMinLimit) {
+  // for (i = 0; i < min(A, B); i++): the paper's two-condition loop form.
+  KernelBuilder kb("mn");
+  auto a = kb.param_i32("A");
+  auto b = kb.param_i32("B");
+  kb.for_loop("i", i32c(0), min_(a, b), [&](ExprH) {});
+  Kernel k = kb.build();
+  Analysis an(k);
+  ASSERT_NE(an.derive_trip_count(0), nullptr);
+}
+
+TEST(LoopDataflow, Fig9StyleSelection) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  LoopDataflow df = an.loop_dataflow(0);
+
+  // Both energies are loop outputs.
+  EXPECT_NE(std::count(df.outputs.begin(), df.outputs.end(), cp.energy1), 0);
+  EXPECT_NE(std::count(df.outputs.begin(), df.outputs.end(), cp.energy2), 0);
+
+  // energyx2 has a strictly larger cumulative backward dependency than
+  // energyx1 (dx2 adds one more op to its chain), mirroring Fig. 9's 13 > 12.
+  EXPECT_GT(df.cbd(cp.energy2), df.cbd(cp.energy1));
+
+  // dy feeds both energies.
+  auto fwd = df.forward_set(cp.dy);
+  EXPECT_TRUE(fwd.count(cp.energy1));
+  EXPECT_TRUE(fwd.count(cp.energy2));
+}
+
+TEST(LoopDataflow, BackwardSetIncludesChain) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  LoopDataflow df = an.loop_dataflow(0);
+  auto back = df.backward_set(cp.energy2);
+  EXPECT_TRUE(back.count(cp.dy));
+  EXPECT_TRUE(back.count(cp.energy2));
+}
+
+TEST(ProtectionPlan, SelfAccumulatorsSelectedFirstWithoutExtraCode) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  auto plan = an.plan_loop_protection(0, 1);
+  ASSERT_EQ(plan.selected.size(), 1u);
+  // A self-accumulating variable must be preferred (Section V.B step (i)).
+  EXPECT_TRUE(plan.self_accumulating.count(plan.selected[0]));
+  ASSERT_NE(plan.trip_count, nullptr);
+}
+
+TEST(ProtectionPlan, MaxvarTwoProtectsIndependentVars) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  auto plan = an.plan_loop_protection(0, 2);
+  EXPECT_EQ(plan.selected.size(), 2u);
+  EXPECT_NE(plan.selected[0], plan.selected[1]);
+}
+
+TEST(ProtectionPlan, ExcludesIteratorAndPointers) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  auto plan = an.plan_loop_protection(0, 100);
+  for (VarId v : plan.selected) {
+    EXPECT_FALSE(an.facts(v).is_loop_iterator) << cp.kernel.vars[v].name;
+    EXPECT_NE(cp.kernel.vars[v].type, DType::PTR) << cp.kernel.vars[v].name;
+  }
+}
+
+// --- lowering ---
+
+TEST(Lower, ProducesHaltTerminatedCode) {
+  auto cp = CpLike::make();
+  auto p = lower(cp.kernel);
+  ASSERT_FALSE(p.code.empty());
+  EXPECT_EQ(p.code.back().op, OpCode::Halt);
+  EXPECT_EQ(p.num_params, 4u);
+  EXPECT_GT(p.num_slots, p.num_params + p.num_named);
+}
+
+TEST(Lower, LoopInstructionsAreFlagged) {
+  auto cp = CpLike::make();
+  auto p = lower(cp.kernel);
+  int in_loop = 0, outside = 0;
+  for (const auto& in : p.code)
+    ((in.flags & kInstrInLoop) ? in_loop : outside)++;
+  EXPECT_GT(in_loop, 10);
+  EXPECT_GT(outside, 5);
+}
+
+TEST(Lower, TempSlotsAreReused) {
+  // Register demand must track expression *depth*, not expression size:
+  // a long sum chain (((a+b)+c)+... must not allocate one temp per term.
+  KernelBuilder kb("chain");
+  auto x = kb.param_f32("x");
+  ExprH acc = f32c(0.0f);
+  for (int i = 0; i < 40; ++i) acc = acc + x;
+  kb.let("y", acc);
+  Kernel k = kb.build();
+  auto p = lower(k);
+  EXPECT_LT(p.num_slots, 10u);
+}
+
+TEST(Lower, DisassembleMentionsKernelName) {
+  auto cp = CpLike::make();
+  auto p = lower(cp.kernel);
+  EXPECT_NE(disassemble(p).find("cp_like"), std::string::npos);
+}
+
+// --- printer ---
+
+TEST(Printer, KernelRoundTripMentionsConstructs) {
+  auto cp = CpLike::make();
+  const std::string s = print_kernel(cp.kernel);
+  EXPECT_NE(s.find("for ("), std::string::npos);
+  EXPECT_NE(s.find("energyx2"), std::string::npos);
+  EXPECT_NE(s.find("rsqrtf"), std::string::npos);
+}
+
+TEST(Printer, DataflowGraphShowsCbd) {
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  const std::string s = print_loop_dataflow(cp.kernel, an.loop_dataflow(0));
+  EXPECT_NE(s.find("cbd="), std::string::npos);
+  EXPECT_NE(s.find("OUTPUT"), std::string::npos);
+}
+
+TEST(CloneKernel, DeepCopiesStatements) {
+  auto cp = CpLike::make();
+  Kernel c = clone_kernel(cp.kernel);
+  ASSERT_EQ(c.body.size(), cp.kernel.body.size());
+  EXPECT_NE(c.body[0].get(), cp.kernel.body[0].get());
+  // Mutating the clone must not affect the original.
+  c.body.clear();
+  EXPECT_FALSE(cp.kernel.body.empty());
+}
+
+// --- deeper analysis properties ---
+
+TEST(Analysis, NestedLoopStructureAndMembership) {
+  KernelBuilder kb("nested");
+  auto n = kb.param_i32("n");
+  auto acc = kb.let("acc", i32c(0));
+  VarId inner_var = kInvalidVar;
+  kb.for_loop("i", i32c(0), n, [&](ExprH i) {
+    kb.for_loop("j", i32c(0), n, [&](ExprH j) {
+      auto x = kb.let("x", i * j);
+      inner_var = x.var_id();
+      kb.assign(acc, acc + x);
+    });
+  });
+  Kernel k = kb.build();
+  Analysis an(k);
+  ASSERT_EQ(an.loops().size(), 2u);
+  const LoopNode& outer = an.loop(0);
+  const LoopNode& inner = an.loop(1);
+  EXPECT_EQ(outer.parent, kNoLoop);
+  EXPECT_EQ(inner.parent, 0u);
+  EXPECT_EQ(inner.depth, 2);
+  // The inner Let belongs to both loops' bodies.
+  EXPECT_NE(std::count(outer.lets_inside.begin(), outer.lets_inside.end(), inner_var), 0);
+  EXPECT_NE(std::count(inner.lets_inside.begin(), inner.lets_inside.end(), inner_var), 0);
+}
+
+TEST(Analysis, StridedLoopTripCountDerivable) {
+  // for (i = tid; i < n; i += stride): the grid-strided idiom.
+  KernelBuilder kb("stride");
+  auto n = kb.param_i32("n");
+  auto tid = kb.let("tid", kb.thread_linear());
+  auto stride = kb.let("stride", kb.bdim_x() * kb.gdim_x());
+  auto acc = kb.let("acc", f32c(0.0f));
+  kb.for_loop_step("i", tid, n, stride, [&](ExprH) { kb.assign(acc, acc + f32c(1.0f)); });
+  Kernel k = kb.build();
+  Analysis an(k);
+  ASSERT_NE(an.derive_trip_count(0), nullptr);
+}
+
+TEST(Analysis, SelfAccumulatorRequiresTopLevelAddOrSub) {
+  KernelBuilder kb("sa");
+  auto n = kb.param_i32("n");
+  auto mul = kb.let("mul", f32c(1.0f));
+  auto add = kb.let("add", f32c(0.0f));
+  auto scaled = kb.let("scaled", f32c(0.0f));
+  kb.for_loop("i", i32c(0), n, [&](ExprH) {
+    kb.assign(mul, mul * f32c(1.01f));            // multiplicative: not self-acc
+    kb.assign(add, add + f32c(2.0f));             // additive: self-acc
+    kb.assign(scaled, scaled * f32c(0.5f) + f32c(1.0f));  // affine: not self-acc
+  });
+  Kernel k = kb.build();
+  Analysis an(k);
+  const auto sa = an.self_accumulators(0);
+  EXPECT_FALSE(sa.count(mul.var_id()));
+  EXPECT_TRUE(sa.count(add.var_id()));
+  EXPECT_FALSE(sa.count(scaled.var_id()));
+}
+
+TEST(LoopDataflow, CbdGrowsWithDependencyChainLength) {
+  // Property: appending one more dependent definition to a chain strictly
+  // increases the chain head's CBD.
+  auto build = [](int chain) {
+    KernelBuilder kb("chain");
+    auto n = kb.param_i32("n");
+    auto out = kb.param_ptr("out");
+    VarId head = kInvalidVar;
+    kb.for_loop("i", i32c(0), n, [&](ExprH i) {
+      ExprH cur = kb.let("c0", to_f32(i) + f32c(1.0f));
+      for (int c = 1; c < chain; ++c)
+        cur = kb.let("c" + std::to_string(c), cur * f32c(1.5f));
+      auto sink = kb.let("sink", cur + f32c(0.25f));
+      head = sink.var_id();
+      kb.store(out + i, sink);
+    });
+    Kernel k = kb.build();
+    Analysis an(k);
+    return an.loop_dataflow(0).cbd(head);
+  };
+  int prev = build(1);
+  for (int chain = 2; chain <= 5; ++chain) {
+    const int cur = build(chain);
+    EXPECT_GT(cur, prev) << "chain " << chain;
+    prev = cur;
+  }
+}
+
+TEST(ProtectionPlan, SelectionCoversForwardDependents) {
+  // Once a variable is selected, everything feeding it must be excluded
+  // from later selections (they are already covered).
+  auto cp = CpLike::make();
+  Analysis an(cp.kernel);
+  auto plan = an.plan_loop_protection(0, 3);
+  LoopDataflow df = an.loop_dataflow(0);
+  for (std::size_t a = 0; a < plan.selected.size(); ++a) {
+    const auto back = df.backward_set(plan.selected[a]);
+    for (std::size_t b = a + 1; b < plan.selected.size(); ++b)
+      EXPECT_FALSE(back.count(plan.selected[b]))
+          << cp.kernel.vars[plan.selected[b]].name << " feeds "
+          << cp.kernel.vars[plan.selected[a]].name;
+  }
+}
+
+TEST(Analysis, WhileLoopBodyVariablesAreLoopVars) {
+  KernelBuilder kb("wh2");
+  auto n = kb.param_i32("n");
+  auto i = kb.let("i", i32c(0));
+  VarId tmp = kInvalidVar;
+  kb.while_loop([&] { return i < n; }, [&] {
+    auto t = kb.let("t", i * i32c(3));
+    tmp = t.var_id();
+    kb.assign(i, i + i32c(1));
+  });
+  Kernel k = kb.build();
+  Analysis an(k);
+  const auto df = an.loop_dataflow(0);
+  EXPECT_NE(std::count(df.loop_vars.begin(), df.loop_vars.end(), tmp), 0);
+  EXPECT_EQ(an.derive_trip_count(0), nullptr);
+}

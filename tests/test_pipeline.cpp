@@ -1,0 +1,158 @@
+// Tests for multi-kernel program protection: the HISTO-EQ three-stage
+// pipeline under baseline execution, Hauberk FT instrumentation, and the
+// guardian's per-kernel recovery.
+#include <gtest/gtest.h>
+
+#include "hauberk/pipeline.hpp"
+#include "hauberk/runtime.hpp"
+#include "workloads/histo_eq.hpp"
+
+using namespace hauberk;
+using namespace hauberk::core;
+using workloads::HistoEq;
+
+namespace {
+
+struct PipelineFx {
+  std::vector<kir::Kernel> kernels = HistoEq::build_kernels();
+  std::vector<KernelVariants> variants;
+  std::vector<std::int32_t> image = HistoEq::make_image(11, 512);
+  HistoEq::Job job{image};
+  std::vector<std::unique_ptr<ControlBlock>> cbs;
+  std::vector<PipelineStage> ft_stages;
+  std::vector<const kir::BytecodeProgram*> baselines;
+
+  PipelineFx() {
+    for (const auto& k : kernels) variants.push_back(build_variants(k));
+    for (auto& v : variants) {
+      cbs.push_back(std::make_unique<ControlBlock>(v.ft));
+      ft_stages.push_back({&v.ft, cbs.back().get()});
+      baselines.push_back(&v.baseline);
+    }
+  }
+};
+
+std::vector<std::int32_t> as_ints(const ProgramOutput& o) {
+  std::vector<std::int32_t> v(o.words.size());
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<std::int32_t>(o.words[i]);
+  return v;
+}
+
+}  // namespace
+
+TEST(HistoEq, BaselinePipelineMatchesNativeGolden) {
+  PipelineFx fx;
+  gpusim::Device dev;
+  fx.job.stage_inputs(dev);
+  for (int s = 0; s < HistoEq::kStages; ++s) {
+    const auto args = fx.job.args(s);
+    const auto res = dev.launch(fx.variants[static_cast<std::size_t>(s)].baseline,
+                                fx.job.config(s), args);
+    ASSERT_EQ(res.status, gpusim::LaunchStatus::Ok) << "stage " << s;
+  }
+  EXPECT_EQ(as_ints(fx.job.read_output(dev)), HistoEq::golden(fx.image));
+}
+
+TEST(HistoEq, EqualizationActuallyFlattensTheHistogram) {
+  // Sanity of the workload itself: the input is dark-skewed; after
+  // equalization the output must use the bright half of the range.
+  PipelineFx fx;
+  const auto out = HistoEq::golden(fx.image);
+  std::int32_t in_max = 0, out_max = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    in_max = std::max(in_max, fx.image[i]);
+    out_max = std::max(out_max, out[i]);
+  }
+  EXPECT_GE(out_max, 250);
+  EXPECT_GT(out_max, in_max - 5);
+}
+
+TEST(Pipeline, ProtectedRunCompletesWithoutAlarms) {
+  PipelineFx fx;
+  gpusim::Device dev;
+  Guardian guardian;
+  const auto out =
+      run_pipeline_protected(guardian, dev, nullptr, fx.ft_stages, fx.baselines, fx.job);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(static_cast<int>(out.stages.size()), HistoEq::kStages);
+  for (const auto& s : out.stages) EXPECT_EQ(s.verdict, RecoveryVerdict::Success);
+  EXPECT_EQ(as_ints(out.output), HistoEq::golden(fx.image));
+  EXPECT_EQ(out.total_executions, HistoEq::kStages);
+}
+
+TEST(Pipeline, TransientFaultMidPipelineIsRecovered) {
+  PipelineFx fx;
+  gpusim::Device dev;
+  // Configure loop detectors so a wrecked accumulator is caught.
+  for (std::size_t s = 0; s < fx.variants.size(); ++s) {
+    gpusim::Device clean;
+    HistoEq::Job job2{fx.image};
+    // Profile stage s on a clean device: stage inputs + replay prerequisites.
+    job2.stage_inputs(clean);
+    for (std::size_t p = 0; p < s; ++p) {
+      const auto args = job2.args(static_cast<int>(p));
+      ASSERT_EQ(clean.launch(fx.variants[p].baseline, job2.config(static_cast<int>(p)), args)
+                    .status,
+                gpusim::LaunchStatus::Ok);
+    }
+    ControlBlock prof_cb(fx.variants[s].profiler);
+    prof_cb.prepare_profiling(job2.config(static_cast<int>(s)).total_threads());
+    const auto args = job2.args(static_cast<int>(s));
+    gpusim::LaunchOptions opts;
+    opts.hooks = &prof_cb;
+    ASSERT_EQ(
+        clean.launch(fx.variants[s].profiler, job2.config(static_cast<int>(s)), args, opts)
+            .status,
+        gpusim::LaunchStatus::Ok);
+    fx.cbs[s]->configure_from_profile(prof_cb.profiled_samples());
+  }
+
+  // A transient ALU fault that corrupts a handful of early operations.
+  // Low-order bits only: wrecks computed values (bins, counts) without
+  // pushing addresses beyond physical memory, so the failure manifests as
+  // an SDC alarm rather than repeated crashes.
+  gpusim::DeviceFaultModel fm;
+  fm.kind = gpusim::DeviceFaultModel::Kind::Transient;
+  fm.component = gpusim::DeviceFaultModel::Component::ALU;
+  fm.mask = 0x00003f00;
+  fm.duration_ops = 20;
+  dev.install_fault(fm);
+
+  Guardian guardian;
+  const auto out =
+      run_pipeline_protected(guardian, dev, nullptr, fx.ft_stages, fx.baselines, fx.job);
+  ASSERT_TRUE(out.completed);
+  // The final product must be correct despite the fault.
+  EXPECT_EQ(as_ints(out.output), HistoEq::golden(fx.image));
+}
+
+TEST(Pipeline, StageCountMismatchIsRejected) {
+  PipelineFx fx;
+  gpusim::Device dev;
+  Guardian guardian;
+  auto stages = fx.ft_stages;
+  stages.pop_back();
+  auto baselines = fx.baselines;
+  EXPECT_THROW(
+      (void)run_pipeline_protected(guardian, dev, nullptr, stages, baselines, fx.job),
+      std::invalid_argument);
+}
+
+TEST(Pipeline, CheckpointServesStageReexecutions) {
+  // Force an alarm in stage 2 (tight ranges): the diagnosis reexecution must
+  // come from the checkpoint, not from a full re-stage + replay.
+  PipelineFx fx;
+  gpusim::Device dev;
+  for (auto& d : fx.cbs[2]->detectors()) {
+    if (d.meta.is_iteration_check) continue;
+    d.ranges.pos = {true, 1e20, 2e20};
+    d.configured = true;
+  }
+  Guardian guardian;
+  const auto out =
+      run_pipeline_protected(guardian, dev, nullptr, fx.ft_stages, fx.baselines, fx.job);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.stages[2].verdict, RecoveryVerdict::FalseAlarm);
+  EXPECT_GE(out.stages[2].checkpoint_restores, 1);
+  EXPECT_EQ(as_ints(out.output), HistoEq::golden(fx.image));
+}

@@ -1,0 +1,154 @@
+// Tests for the fork-based process guardian (Section VI(i)): real child
+// processes crashing, hanging and raising SDC alarms, supervised through
+// pipes, waitpid and kill — the paper's actual guardian architecture.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+#include "hauberk/posix_guardian.hpp"
+#include "hauberk/runtime.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using core::ChildReport;
+using core::ChildStatus;
+using core::PosixGuardian;
+using core::ProcessOutcome;
+
+namespace {
+
+PosixGuardian fast_guardian(double timeout = 2.0, int restarts = 2) {
+  PosixGuardian::Config cfg;
+  cfg.timeout_seconds = timeout;
+  cfg.max_restarts = restarts;
+  return PosixGuardian(cfg);
+}
+
+ChildReport ok_report(std::uint64_t digest, bool alarm = false) {
+  ChildReport r;
+  r.output_digest = digest;
+  r.sdc_alarm = alarm;
+  return r;
+}
+
+}  // namespace
+
+TEST(PosixGuardian, CleanChildIsSuccess) {
+  const auto g = fast_guardian();
+  const auto run = g.run_once([] { return ok_report(42); });
+  EXPECT_EQ(run.status, ChildStatus::CleanNoAlarm);
+  EXPECT_EQ(run.report.output_digest, 42u);
+  EXPECT_FALSE(run.killed);
+}
+
+TEST(PosixGuardian, CrashingChildDetectedViaWaitStatus) {
+  const auto g = fast_guardian();
+  const auto run = g.run_once([]() -> ChildReport {
+    std::abort();  // SIGABRT in the child only
+  });
+  EXPECT_EQ(run.status, ChildStatus::Crashed);
+  EXPECT_TRUE(WIFSIGNALED(run.wait_status));
+}
+
+TEST(PosixGuardian, ExitingNonzeroIsACrash) {
+  const auto g = fast_guardian();
+  const auto run = g.run_once([]() -> ChildReport { _exit(3); });
+  EXPECT_EQ(run.status, ChildStatus::Crashed);
+  ASSERT_TRUE(WIFEXITED(run.wait_status));
+  EXPECT_EQ(WEXITSTATUS(run.wait_status), 3);
+}
+
+TEST(PosixGuardian, HangingChildKilledByTimeout) {
+  const auto g = fast_guardian(/*timeout=*/0.3);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto run = g.run_once([]() -> ChildReport {
+    for (;;) {}  // livelock in the child
+  });
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_EQ(run.status, ChildStatus::Hung);
+  EXPECT_TRUE(run.killed);
+  EXPECT_LT(secs, 5.0) << "guardian must kill promptly, not wait forever";
+}
+
+TEST(PosixGuardian, AlarmWithIdenticalOutputsIsFalseAlarm) {
+  const auto g = fast_guardian();
+  const auto out = g.supervise([] { return ok_report(7, /*alarm=*/true); });
+  EXPECT_EQ(out.verdict, ProcessOutcome::Verdict::FalseAlarmOrTransient);
+  EXPECT_EQ(out.executions, 2);
+}
+
+TEST(PosixGuardian, AlarmWithDifferingOutputsIsSdcSuspected) {
+  // Deterministically different digest per execution via a file-less channel:
+  // the child derives its digest from its own pid (differs every fork).
+  const auto g = fast_guardian();
+  const auto out = g.supervise([] {
+    return ok_report(static_cast<std::uint64_t>(getpid()), /*alarm=*/true);
+  });
+  EXPECT_EQ(out.verdict, ProcessOutcome::Verdict::SdcSuspected);
+}
+
+TEST(PosixGuardian, SupervisionSurvivesOneCrashViaRestart) {
+  // The fault is "transient": it only strikes the first child.  Model it
+  // with a PID-parity-free mechanism: a temp file records prior attempts.
+  const std::string flag = "/tmp/hauberk_pg_restart_flag";
+  std::remove(flag.c_str());
+  const auto g = fast_guardian();
+  const auto out = g.supervise([&]() -> ChildReport {
+    if (FILE* f = std::fopen(flag.c_str(), "r")) {
+      std::fclose(f);
+      return ok_report(99);  // second attempt succeeds
+    }
+    std::fclose(std::fopen(flag.c_str(), "w"));
+    std::abort();  // first attempt crashes (after leaving the marker)
+  });
+  std::remove(flag.c_str());
+  EXPECT_EQ(out.verdict, ProcessOutcome::Verdict::RecoveredByRestart);
+  EXPECT_GE(out.restarts, 1);
+  EXPECT_EQ(out.last.report.output_digest, 99u);
+}
+
+TEST(PosixGuardian, PersistentCrashExhaustsRestarts) {
+  const auto g = fast_guardian(/*timeout=*/2.0, /*restarts=*/2);
+  const auto out = g.supervise([]() -> ChildReport { std::abort(); });
+  EXPECT_EQ(out.verdict, ProcessOutcome::Verdict::Failed);
+  EXPECT_EQ(out.executions, 3);  // initial + 2 restarts
+  EXPECT_EQ(out.restarts, 2);
+}
+
+TEST(PosixGuardian, DigestIsStableAndSensitive) {
+  const std::uint32_t a[3] = {1, 2, 3};
+  const std::uint32_t b[3] = {1, 2, 4};
+  EXPECT_EQ(PosixGuardian::digest(a, sizeof(a)), PosixGuardian::digest(a, sizeof(a)));
+  EXPECT_NE(PosixGuardian::digest(a, sizeof(a)), PosixGuardian::digest(b, sizeof(b)));
+}
+
+TEST(PosixGuardian, SupervisesARealSimulatedGpuProgram) {
+  // End-to-end: the child runs the CP program on the simulated GPU, digests
+  // its output, and reports through the pipe.
+  auto w = workloads::make_cp();
+  const auto prog = kir::lower(w->build_kernel(workloads::Scale::Tiny));
+  const auto ds = w->make_dataset(17, workloads::Scale::Tiny);
+
+  const auto g = fast_guardian(/*timeout=*/10.0);
+  auto child = [&]() -> ChildReport {
+    gpusim::Device dev;
+    auto job = w->make_job(ds);
+    const auto args = job->setup(dev);
+    const auto res = dev.launch(prog, job->config(), args);
+    if (res.status != gpusim::LaunchStatus::Ok) _exit(2);  // crash semantics
+    const auto out = job->read_output(dev);
+    ChildReport r;
+    r.output_digest = PosixGuardian::digest(out.words.data(), out.words.size() * 4);
+    r.sdc_alarm = res.sdc_alarm;
+    return r;
+  };
+  const auto out = g.supervise(child);
+  EXPECT_EQ(out.verdict, ProcessOutcome::Verdict::Success);
+  EXPECT_NE(out.last.report.output_digest, 0u);
+
+  // Determinism across forks: two supervised runs agree on the digest.
+  const auto out2 = g.supervise(child);
+  EXPECT_EQ(out2.last.report.output_digest, out.last.report.output_digest);
+}

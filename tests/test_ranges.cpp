@@ -1,0 +1,176 @@
+// Unit tests for the value-range model (Section V.B / VI(iii)): three
+// correlation points, threshold search, alpha widening, on-line learning,
+// serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "hauberk/ranges.hpp"
+
+using namespace hauberk::core;
+
+namespace {
+
+std::vector<double> three_cluster_samples(std::size_t n_per) {
+  // The Fig. 10 FP pattern: negative cluster, near-zero cluster, positive
+  // cluster with similar magnitudes.
+  hauberk::common::Rng rng(77);
+  std::vector<double> s;
+  for (std::size_t i = 0; i < n_per; ++i) {
+    s.push_back(rng.uniform(-200.0, -50.0));
+    s.push_back(rng.uniform(-1e-9, 1e-9));
+    s.push_back(rng.uniform(40.0, 180.0));
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(RangeSet, EmptyByDefault) {
+  RangeSet rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_FALSE(rs.contains(1.0));
+}
+
+TEST(RangeSet, DeriveThreeCorrelationPoints) {
+  auto s = three_cluster_samples(200);
+  RangeSet rs = derive_ranges(s);
+  EXPECT_TRUE(rs.neg.valid);
+  EXPECT_TRUE(rs.pos.valid);
+  EXPECT_TRUE(rs.has_zero);
+  EXPECT_LE(rs.neg.lo, -50.0);
+  EXPECT_GE(rs.pos.hi, 40.0);
+}
+
+TEST(RangeSet, DerivedRangesContainAllSamples) {
+  auto s = three_cluster_samples(200);
+  RangeSet rs = derive_ranges(s);
+  for (double v : s) EXPECT_TRUE(rs.contains(v)) << v;
+}
+
+TEST(RangeSet, OutliersRejected) {
+  auto s = three_cluster_samples(200);
+  RangeSet rs = derive_ranges(s);
+  EXPECT_FALSE(rs.contains(1e8));
+  EXPECT_FALSE(rs.contains(-1e8));
+  EXPECT_FALSE(rs.contains(0.5));  // between zero band and positive cluster
+  EXPECT_FALSE(rs.contains(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(rs.contains(std::nan("")));
+}
+
+TEST(RangeSet, ThresholdSearchShrinksSpaceVsNaiveThreshold) {
+  // Zero cluster sits at ~1e-9; the default 1e-5 threshold over-covers the
+  // zero band by four decades, so the search must move the threshold down.
+  auto s = three_cluster_samples(200);
+  RangeSet searched = derive_ranges(s);
+  RangeSet fixed = derive_ranges_fixed_threshold(s, 1e-5);
+  EXPECT_LT(searched.space_decades(), fixed.space_decades());
+  EXPECT_LT(searched.zero_eps, 1e-5);
+}
+
+TEST(RangeSet, AlphaWidensAcceptance) {
+  RangeSet rs;
+  rs.pos = {true, 10.0, 100.0};
+  EXPECT_FALSE(rs.contains(500.0, 1.0));
+  EXPECT_TRUE(rs.contains(500.0, 10.0));    // hi*alpha = 1000
+  EXPECT_FALSE(rs.contains(0.5, 1.0));
+  EXPECT_TRUE(rs.contains(0.5, 100.0));     // lo/alpha = 0.1
+}
+
+TEST(RangeSet, AlphaWidensNegativeRangeByMagnitude) {
+  RangeSet rs;
+  rs.neg = {true, -100.0, -10.0};
+  EXPECT_FALSE(rs.contains(-500.0, 1.0));
+  EXPECT_TRUE(rs.contains(-500.0, 10.0));
+  EXPECT_FALSE(rs.contains(-1.0, 1.0));
+  EXPECT_TRUE(rs.contains(-1.0, 100.0));
+}
+
+TEST(RangeSet, AlphaBelowOneClamped) {
+  RangeSet rs;
+  rs.pos = {true, 10.0, 100.0};
+  EXPECT_TRUE(rs.contains(50.0, 0.001));  // treated as alpha = 1
+}
+
+TEST(RangeSet, AbsorbExtendsRanges) {
+  RangeSet rs = derive_ranges_fixed_threshold(std::vector<double>{5.0, 7.0}, 1e-5);
+  EXPECT_FALSE(rs.contains(20.0));
+  rs.absorb(20.0);
+  EXPECT_TRUE(rs.contains(20.0));
+  EXPECT_FALSE(rs.contains(-3.0));
+  rs.absorb(-3.0);
+  EXPECT_TRUE(rs.contains(-3.0));
+  rs.absorb(0.0);
+  EXPECT_TRUE(rs.contains(0.0));
+}
+
+TEST(RangeSet, AbsorbIgnoresNonFinite) {
+  RangeSet rs;
+  rs.absorb(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(rs.empty());
+}
+
+TEST(RangeSet, IntegerStyleSamples) {
+  // Integer detectors reuse the same machinery (Fig. 10(a)).
+  std::vector<double> s;
+  for (int i = 0; i < 100; ++i) s.push_back(100.0 + i);
+  RangeSet rs = derive_ranges(s);
+  EXPECT_TRUE(rs.contains(150.0));
+  EXPECT_FALSE(rs.contains(1e7));
+  EXPECT_FALSE(rs.neg.valid);
+}
+
+TEST(RangeSet, SingleValueSamples) {
+  std::vector<double> s{42.0};
+  RangeSet rs = derive_ranges(s);
+  EXPECT_TRUE(rs.contains(42.0));
+  EXPECT_FALSE(rs.contains(43.5));
+  EXPECT_TRUE(rs.contains(43.5, 2.0));
+}
+
+TEST(RangeSet, SaveLoadRoundTrip) {
+  auto s = three_cluster_samples(50);
+  std::vector<RangeSet> sets{derive_ranges(s), RangeSet{}};
+  sets[1].pos = {true, 1.5, 2.5};
+  std::stringstream ss;
+  save_ranges(ss, sets);
+  auto loaded = load_ranges(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].neg.valid, sets[0].neg.valid);
+  EXPECT_DOUBLE_EQ(loaded[0].pos.hi, sets[0].pos.hi);
+  EXPECT_DOUBLE_EQ(loaded[1].pos.lo, 1.5);
+  EXPECT_EQ(loaded[1].has_zero, false);
+}
+
+TEST(RangeSet, LoadRejectsGarbage) {
+  std::stringstream ss("not-a-range-file 1 2");
+  EXPECT_TRUE(load_ranges(ss).empty());
+}
+
+TEST(RangeSet, SpaceDecadesMonotonicInWidth) {
+  RangeSet narrow, wide;
+  narrow.pos = {true, 10.0, 20.0};
+  wide.pos = {true, 1.0, 1000.0};
+  EXPECT_LT(narrow.space_decades(), wide.space_decades());
+}
+
+// Property-style sweep: for random sample sets, derived ranges always accept
+// every training sample at alpha 1 (no false positive on training data).
+class DeriveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeriveProperty, TrainingSamplesAlwaysAccepted) {
+  hauberk::common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> s;
+  const int n = 1 + static_cast<int>(rng.next_below(300));
+  for (int i = 0; i < n; ++i) {
+    const double mag = std::pow(10.0, rng.uniform(-12.0, 12.0));
+    s.push_back(rng.next_below(2) ? mag : -mag);
+  }
+  RangeSet rs = derive_ranges(s);
+  for (double v : s) EXPECT_TRUE(rs.contains(v)) << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeriveProperty, ::testing::Range(0, 12));

@@ -1,0 +1,286 @@
+// Tests for the recovery engine: guardian FSM (Fig. 11), BIST, backoff
+// daemon, alpha controller, and hang detection — including the TPACF
+// write-retry livelock of Section IX.B.
+#include <gtest/gtest.h>
+
+#include "hauberk/bist.hpp"
+#include "hauberk/recovery.hpp"
+#include "hauberk/runtime.hpp"
+#include "kir/builder.hpp"
+#include "swifi/campaign.hpp"
+#include "swifi/injector.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using namespace hauberk::core;
+using namespace hauberk::workloads;
+
+namespace {
+
+struct Fx {
+  std::unique_ptr<Workload> w;
+  KernelVariants v;
+  Dataset ds;
+  std::unique_ptr<KernelJob> job;
+  gpusim::Device dev;
+  ProfileData pd;
+  std::unique_ptr<ControlBlock> cb;
+
+  explicit Fx(std::unique_ptr<Workload> wl)
+      : w(std::move(wl)),
+        v(build_variants(w->build_kernel(Scale::Tiny))),
+        ds(w->make_dataset(41, Scale::Tiny)),
+        job(w->make_job(ds)) {
+    pd = profile(dev, v, {job.get()});
+    cb = make_configured_control_block(v.ft, pd);
+  }
+};
+
+}  // namespace
+
+// --- BIST ---
+
+TEST(Bist, PassesOnHealthyDevice) {
+  gpusim::Device dev;
+  const BistResult r = run_bist(dev);
+  EXPECT_FALSE(r.fault_detected);
+}
+
+TEST(Bist, DetectsPermanentAluFault) {
+  gpusim::Device dev;
+  gpusim::DeviceFaultModel fm;
+  fm.kind = gpusim::DeviceFaultModel::Kind::Permanent;
+  fm.component = gpusim::DeviceFaultModel::Component::ALU;
+  fm.mask = 0x10;
+  dev.install_fault(fm);
+  const BistResult r = run_bist(dev);
+  EXPECT_TRUE(r.fault_detected);
+  EXPECT_TRUE(r.alu_failed);
+}
+
+TEST(Bist, DetectsPermanentFpuFault) {
+  gpusim::Device dev;
+  gpusim::DeviceFaultModel fm;
+  fm.kind = gpusim::DeviceFaultModel::Kind::Permanent;
+  fm.component = gpusim::DeviceFaultModel::Component::FPU;
+  fm.mask = 0x00400000;
+  dev.install_fault(fm);
+  const BistResult r = run_bist(dev);
+  EXPECT_TRUE(r.fault_detected);
+  EXPECT_TRUE(r.fpu_failed);
+  EXPECT_FALSE(r.alu_failed);
+}
+
+TEST(Bist, DetectsRegisterFileFault) {
+  gpusim::Device dev;
+  gpusim::DeviceFaultModel fm;
+  fm.kind = gpusim::DeviceFaultModel::Kind::Permanent;
+  fm.component = gpusim::DeviceFaultModel::Component::RegisterFile;
+  fm.mask = 0x1;
+  dev.install_fault(fm);
+  EXPECT_TRUE(run_bist(dev).regfile_failed);
+}
+
+// --- guardian: Fig. 11 paths ---
+
+TEST(Guardian, CleanRunIsSuccess) {
+  Fx f(make_cp());
+  Guardian g;
+  const auto out = g.run_protected(f.dev, nullptr, f.v.ft, *f.job, *f.cb);
+  EXPECT_EQ(out.verdict, RecoveryVerdict::Success);
+  EXPECT_EQ(out.executions, 1);
+  EXPECT_FALSE(out.bist_ran);
+  EXPECT_FALSE(out.output.words.empty());
+}
+
+TEST(Guardian, MisconfiguredRangesDiagnosedAsFalseAlarmAndLearned) {
+  Fx f(make_cp());
+  // Force a false positive: configure absurdly tight ranges.
+  for (auto& d : f.cb->detectors()) {
+    if (d.meta.is_iteration_check) continue;
+    d.ranges = RangeSet{};
+    d.ranges.pos = {true, 1e20, 2e20};
+    d.configured = true;
+  }
+  Guardian g;
+  const auto out = g.run_protected(f.dev, nullptr, f.v.ft, *f.job, *f.cb);
+  EXPECT_EQ(out.verdict, RecoveryVerdict::FalseAlarm);
+  EXPECT_EQ(out.executions, 2);  // original + diagnosis reexecution
+
+  // On-line learning: the absorbed outliers make the next run clean.
+  const auto again = g.run_protected(f.dev, nullptr, f.v.ft, *f.job, *f.cb);
+  EXPECT_EQ(again.verdict, RecoveryVerdict::Success);
+}
+
+TEST(Guardian, IntermittentDeviceFaultMigratesToSpare) {
+  Fx f(make_cp());
+  // An intermittent FPU fault that corrupts on an odd period: the two
+  // diagnosis executions see different corruption, outputs differ => BIST
+  // => disable + migrate.
+  gpusim::DeviceFaultModel fm;
+  fm.kind = gpusim::DeviceFaultModel::Kind::Permanent;
+  fm.component = gpusim::DeviceFaultModel::Component::FPU;
+  fm.mask = 0x7fc00000;  // exponent wreckage => range detectors fire
+  fm.period = 97;
+  f.dev.install_fault(fm);
+  gpusim::Device spare;
+  Guardian g;
+  const auto out = g.run_protected(f.dev, &spare, f.v.ft, *f.job, *f.cb);
+  EXPECT_EQ(out.verdict, RecoveryVerdict::MigratedToSpare);
+  EXPECT_TRUE(out.bist_ran);
+  EXPECT_TRUE(out.device_disabled);
+  EXPECT_TRUE(f.dev.disabled());
+  // The migrated output is the fault-free computation.
+  auto args = f.job->setup(spare);
+  const auto clean = spare.launch(f.v.baseline, f.job->config(), args);
+  ASSERT_EQ(clean.status, gpusim::LaunchStatus::Ok);
+  EXPECT_EQ(out.output.words, f.job->read_output(spare).words);
+}
+
+TEST(Guardian, TransientFaultRecoveredByReexecution) {
+  Fx f(make_cp());
+  // Transient: corrupts a bounded number of FPU ops, then disappears.  The
+  // first run alarms; the reexecution is clean => TransientRecovered.
+  gpusim::DeviceFaultModel fm;
+  fm.kind = gpusim::DeviceFaultModel::Kind::Transient;
+  fm.component = gpusim::DeviceFaultModel::Component::FPU;
+  fm.mask = 0x7fc00000;
+  fm.duration_ops = 40;
+  f.dev.install_fault(fm);
+  Guardian g;
+  const auto out = g.run_protected(f.dev, nullptr, f.v.ft, *f.job, *f.cb);
+  EXPECT_EQ(out.verdict, RecoveryVerdict::TransientRecovered);
+  EXPECT_EQ(out.executions, 2);
+}
+
+TEST(Guardian, HangDetectedAndSurvivedWithRestart) {
+  // Corrupt a TPACF write-retry address via fault injection: the kernel
+  // livelocks; the guardian's watchdog kills and restarts it (Section IX.B —
+  // the failure R-Naive and R-Scatter cannot handle).
+  auto w = make_tpacf();
+  auto v = build_variants(w->build_kernel(Scale::Tiny));
+  const auto ds = w->make_dataset(42, Scale::Tiny);
+  auto job = w->make_job(ds);
+  gpusim::Device dev;
+  auto pd = profile(dev, v, {job.get()});
+  auto cb = make_configured_control_block(v.fift, pd);
+
+  // Find the waddr site.
+  const kir::FISite* waddr_site = nullptr;
+  std::uint32_t waddr_index = 0;
+  for (std::uint32_t i = 0; i < v.fift.fi_sites.size(); ++i)
+    if (v.fift.fi_sites[i].var_name == "waddr" && !v.fift.fi_sites[i].dead_window) {
+      waddr_site = &v.fift.fi_sites[i];
+      waddr_index = i;
+    }
+  ASSERT_NE(waddr_site, nullptr);
+
+  // Pick a thread that executes it.
+  std::uint32_t thread = 0;
+  for (std::uint32_t t = 0; t < pd.exec_counts[waddr_index].size(); ++t)
+    if (pd.exec_counts[waddr_index][t] > 0) thread = t;
+
+  swifi::FaultSpec spec;
+  spec.site_id = waddr_site->site_id;
+  spec.thread = thread;
+  spec.occurrence = 1;
+  spec.mask = 1u << 9;  // push the write address into an aliasing slot
+  swifi::InjectingHooks hooks(v.fift, cb.get());
+  hooks.arm(spec);
+
+  auto args = job->setup(dev);
+  gpusim::LaunchOptions opts;
+  opts.hooks = &hooks;
+  opts.watchdog_instructions = 2'000'000;
+  const auto res = dev.launch(v.fift, job->config(), args, opts);
+  // Either the corrupted address aliases a live slot (livelock -> Hang) or
+  // leaves shared memory (crash); both are Failure-class and caught.
+  EXPECT_NE(res.status, gpusim::LaunchStatus::Ok);
+
+  // The guardian restarts it (fault is one-shot => restart succeeds).
+  Guardian g;
+  const auto out = g.run_protected(dev, nullptr, v.ft, *job, *cb);
+  EXPECT_EQ(out.verdict, RecoveryVerdict::Success);
+}
+
+TEST(Guardian, RepeatedFailureWithHealthyDeviceIsUnsupportedSoftware) {
+  // A kernel that always crashes (div by zero) on a healthy device.
+  kir::KernelBuilder kb("always_crash");
+  auto z = kb.param_i32("z");
+  auto out = kb.param_ptr("out");
+  kb.store(out, kir::i32c(1) / z);
+  auto prog = kir::lower(kb.build());
+
+  struct CrashJob : KernelJob {
+    std::uint32_t addr = 0;
+    std::vector<kir::Value> setup(gpusim::Device& dev) override {
+      dev.reset_memory();
+      addr = dev.mem().alloc(1);
+      return {kir::Value::i32(0), kir::Value::ptr(addr)};
+    }
+    gpusim::LaunchConfig config() const override { return {}; }
+    ProgramOutput read_output(const gpusim::Device&) const override { return {}; }
+  } job;
+
+  ControlBlock cb(prog);
+  gpusim::Device dev;
+  Guardian g;
+  const auto out2 = g.run_protected(dev, nullptr, prog, job, cb);
+  EXPECT_EQ(out2.verdict, RecoveryVerdict::UnsupportedSoftware);
+  EXPECT_TRUE(out2.bist_ran);
+  EXPECT_FALSE(dev.disabled());
+}
+
+// --- backoff daemon ---
+
+TEST(BackoffDaemon, ReenablesDeviceOnceFaultClears) {
+  gpusim::Device dev;
+  gpusim::DeviceFaultModel fm;
+  fm.kind = gpusim::DeviceFaultModel::Kind::Permanent;
+  fm.component = gpusim::DeviceFaultModel::Component::ALU;
+  fm.mask = 0x4;
+  dev.install_fault(fm);
+  dev.set_disabled(true);
+
+  BackoffDaemon daemon(dev, 1.0);
+  EXPECT_FALSE(daemon.tick(0.0));  // fault still present
+  EXPECT_FALSE(daemon.tick(0.5));  // before backoff expires: no BIST run
+  EXPECT_EQ(daemon.bist_runs(), 1);
+  EXPECT_FALSE(daemon.tick(2.5));  // due again, still faulty
+  EXPECT_EQ(daemon.bist_runs(), 2);
+  EXPECT_GT(daemon.current_backoff(), 2.0);  // doubled twice
+
+  dev.clear_fault();  // the intermittent fault goes away
+  EXPECT_FALSE(daemon.tick(3.0));  // not due yet (backoff grew)
+  EXPECT_TRUE(daemon.tick(100.0));
+  EXPECT_FALSE(dev.disabled());
+}
+
+// --- alpha controller (Section VI(iii)) ---
+
+TEST(AlphaController, IncreasesOnHighFalsePositiveRatio) {
+  AlphaController ac;
+  EXPECT_DOUBLE_EQ(ac.alpha(), 1.0);
+  ac.update(0.30);
+  EXPECT_DOUBLE_EQ(ac.alpha(), 10.0);
+  ac.update(0.15);
+  EXPECT_DOUBLE_EQ(ac.alpha(), 100.0);
+}
+
+TEST(AlphaController, DecreasesOnLowRatioWithFloorOne) {
+  AlphaController ac;
+  ac.set_alpha(100.0);
+  ac.update(0.01);
+  EXPECT_DOUBLE_EQ(ac.alpha(), 10.0);
+  ac.update(0.01);
+  EXPECT_DOUBLE_EQ(ac.alpha(), 1.0);
+  ac.update(0.0);
+  EXPECT_DOUBLE_EQ(ac.alpha(), 1.0);  // never below 1
+}
+
+TEST(AlphaController, StableInHysteresisBand) {
+  AlphaController ac;
+  ac.set_alpha(10.0);
+  ac.update(0.07);  // between 5% and 10%
+  EXPECT_DOUBLE_EQ(ac.alpha(), 10.0);
+}

@@ -1,0 +1,322 @@
+// Tests for the SWIFI fault injector: spec planning, activation, outcome
+// classification, memory/code faults, and the R-Naive/R-Scatter baselines.
+#include <gtest/gtest.h>
+
+#include "hauberk/runtime.hpp"
+#include "kir/builder.hpp"
+#include "swifi/baselines.hpp"
+#include "swifi/campaign.hpp"
+#include "swifi/injector.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using namespace hauberk::swifi;
+using namespace hauberk::workloads;
+using core::ProfileData;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Workload> w;
+  core::KernelVariants v;
+  Dataset ds;
+  std::unique_ptr<core::KernelJob> job;
+  gpusim::Device dev;
+  ProfileData pd;
+
+  explicit Fixture(std::unique_ptr<Workload> wl, std::uint64_t seed = 21)
+      : w(std::move(wl)),
+        v(core::build_variants(w->build_kernel(Scale::Tiny))),
+        ds(w->make_dataset(seed, Scale::Tiny)),
+        job(w->make_job(ds)) {
+    pd = core::profile(dev, v, {job.get()});
+  }
+};
+
+}  // namespace
+
+TEST(PlanFaults, RespectsBudgetsAndDeterminism) {
+  Fixture f(make_cp());
+  PlanOptions opt;
+  opt.max_vars = 5;
+  opt.masks_per_var = 4;
+  opt.seed = 3;
+  auto specs = plan_faults(f.v.fi, f.pd, opt);
+  EXPECT_EQ(specs.size(), 20u);
+  auto specs2 = plan_faults(f.v.fi, f.pd, opt);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].site_id, specs2[i].site_id);
+    EXPECT_EQ(specs[i].mask, specs2[i].mask);
+    EXPECT_EQ(specs[i].thread, specs2[i].thread);
+  }
+}
+
+TEST(PlanFaults, TypeFilterRestrictsTargets) {
+  Fixture f(make_cp());
+  PlanOptions opt;
+  opt.type_filter = kir::DType::F32;
+  for (const auto& s : plan_faults(f.v.fi, f.pd, opt)) EXPECT_EQ(s.type, kir::DType::F32);
+  opt.type_filter = kir::DType::PTR;
+  auto ptr_specs = plan_faults(f.v.fi, f.pd, opt);
+  EXPECT_FALSE(ptr_specs.empty()) << "CP has pointer-typed virtual variables (abase)";
+  for (const auto& s : ptr_specs) EXPECT_EQ(s.type, kir::DType::PTR);
+}
+
+TEST(PlanFaults, ErrorBitsControlMaskPopcount) {
+  Fixture f(make_mri_q());
+  for (int bits : {1, 3, 6, 10, 15}) {
+    PlanOptions opt;
+    opt.error_bits = bits;
+    opt.max_vars = 3;
+    opt.masks_per_var = 3;
+    for (const auto& s : plan_faults(f.v.fi, f.pd, opt))
+      EXPECT_EQ(std::popcount(s.mask), bits);
+  }
+}
+
+TEST(PlanFaults, OccurrenceWithinProfiledCount) {
+  Fixture f(make_pns());
+  PlanOptions opt;
+  opt.max_vars = 50;
+  opt.masks_per_var = 2;
+  for (const auto& s : plan_faults(f.v.fi, f.pd, opt)) {
+    EXPECT_GE(s.occurrence, 1u);
+    // occurrence must not exceed the profiled execution count for the thread
+    bool found = false;
+    for (std::uint32_t si = 0; si < f.v.fi.fi_sites.size(); ++si) {
+      if (f.v.fi.fi_sites[si].site_id != s.site_id) continue;
+      found = true;
+      ASSERT_LT(s.thread, f.pd.exec_counts[si].size());
+      EXPECT_LE(s.occurrence, f.pd.exec_counts[si][s.thread]);
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Injection, PlannedFaultsActuallyActivate) {
+  Fixture f(make_cp());
+  PlanOptions opt;
+  opt.max_vars = 8;
+  opt.masks_per_var = 2;
+  const auto specs = plan_faults(f.v.fi, f.pd, opt);
+  const auto gold = golden_run(f.dev, f.v.fi, *f.job);
+  int activated = 0;
+  for (const auto& spec : specs) {
+    const Outcome o = run_one_fault(f.dev, f.v.fi, *f.job, nullptr, spec, gold.output,
+                                    f.w->requirement(), 10'000'000);
+    activated += o != Outcome::NotActivated;
+  }
+  // Every planned fault targets a profiled execution => all must activate.
+  EXPECT_EQ(activated, static_cast<int>(specs.size()));
+}
+
+TEST(Injection, ZeroMaskIsAlwaysMasked) {
+  Fixture f(make_cp());
+  PlanOptions opt;
+  opt.max_vars = 4;
+  opt.masks_per_var = 1;
+  auto specs = plan_faults(f.v.fi, f.pd, opt);
+  const auto gold = golden_run(f.dev, f.v.fi, *f.job);
+  for (auto& spec : specs) {
+    spec.mask = 0;  // XOR with zero: fault has no effect
+    const Outcome o = run_one_fault(f.dev, f.v.fi, *f.job, nullptr, spec, gold.output,
+                                    f.w->requirement(), 10'000'000);
+    EXPECT_EQ(o, Outcome::Masked);
+  }
+}
+
+TEST(Injection, CampaignProducesAllCountsConsistently) {
+  Fixture f(make_mri_q());
+  PlanOptions opt;
+  opt.max_vars = 10;
+  opt.masks_per_var = 5;
+  const auto specs = plan_faults(f.v.fi, f.pd, opt);
+  const auto res = run_campaign(f.dev, f.v.fi, *f.job, nullptr, specs, f.w->requirement());
+  EXPECT_EQ(res.per_fault.size(), specs.size());
+  EXPECT_EQ(res.counts.activated() + res.counts.not_activated, specs.size());
+  // Without detectors there can be no detected outcomes.
+  EXPECT_EQ(res.counts.detected, 0u);
+  EXPECT_EQ(res.counts.detected_masked, 0u);
+}
+
+TEST(Injection, FtDetectorsConvertUndetectedToDetected) {
+  // The core claim: FI&FT coverage > plain-FI coverage.
+  Fixture f(make_cp());
+  PlanOptions opt;
+  opt.max_vars = 12;
+  opt.masks_per_var = 6;
+  opt.seed = 5;
+  opt.error_bits = 6;
+  const auto fi_specs = plan_faults(f.v.fi, f.pd, opt);
+  const auto fi = run_campaign(f.dev, f.v.fi, *f.job, nullptr, fi_specs, f.w->requirement());
+
+  auto cb = core::make_configured_control_block(f.v.fift, f.pd);
+  const auto fift_specs = plan_faults(f.v.fift, f.pd, opt);
+  const auto fift =
+      run_campaign(f.dev, f.v.fift, *f.job, cb.get(), fift_specs, f.w->requirement());
+
+  EXPECT_GT(fift.counts.detected + fift.counts.detected_masked, 0u)
+      << "Hauberk detectors must catch some injected faults";
+  EXPECT_GE(fift.counts.coverage(), fi.counts.coverage());
+}
+
+TEST(Outcome, CountsArithmetic) {
+  OutcomeCounts c;
+  c.add(Outcome::Failure);
+  c.add(Outcome::Masked);
+  c.add(Outcome::Undetected);
+  c.add(Outcome::Undetected);
+  c.add(Outcome::NotActivated);
+  EXPECT_EQ(c.activated(), 4u);
+  EXPECT_DOUBLE_EQ(c.coverage(), 0.5);
+  EXPECT_DOUBLE_EQ(c.ratio(c.failure), 0.25);
+}
+
+// --- memory & code faults (CPU rows of Fig. 1) ---
+
+TEST(MemoryFault, RunsAndClassifies) {
+  Fixture f(make_sad());
+  const auto gold = golden_run(f.dev, f.v.baseline, *f.job);
+  common::Rng rng(4);
+  OutcomeCounts counts;
+  for (int i = 0; i < 30; ++i)
+    counts.add(run_one_memory_fault(f.dev, f.v.baseline, *f.job, rng, 1u << (i % 32),
+                                    gold.output, f.w->requirement(), 10'000'000));
+  EXPECT_EQ(counts.activated(), 30u);
+}
+
+TEST(CodeFault, InvalidMutantsAreFailures) {
+  Fixture f(make_pns());
+  kir::BytecodeProgram mutant = f.v.baseline;
+  mutant.code[0].op = static_cast<kir::OpCode>(200);
+  EXPECT_FALSE(validate_program(mutant));
+  EXPECT_TRUE(validate_program(f.v.baseline));
+}
+
+TEST(CodeFault, CampaignMostlyCrashesOrMasks) {
+  Fixture f(make_pns());
+  const auto gold = golden_run(f.dev, f.v.baseline, *f.job);
+  common::Rng rng(9);
+  OutcomeCounts counts;
+  for (int i = 0; i < 60; ++i)
+    counts.add(run_one_code_fault(f.dev, f.v.baseline, *f.job, rng, gold.output,
+                                  f.w->requirement(), 5'000'000));
+  EXPECT_EQ(counts.activated(), 60u);
+  EXPECT_GT(counts.failure, 0u) << "bit flips in encodings must produce illegal instructions";
+}
+
+// --- baselines ---
+
+TEST(RNaive, DetectsNothingFaultFreeAndDoublesCycles) {
+  Fixture f(make_mri_q());
+  auto single_args = f.job->setup(f.dev);
+  const auto single = f.dev.launch(f.v.baseline, f.job->config(), single_args);
+  ASSERT_EQ(single.status, gpusim::LaunchStatus::Ok);
+
+  const auto rn = run_r_naive(f.dev, f.v.baseline, *f.job);
+  EXPECT_TRUE(rn.completed);
+  EXPECT_FALSE(rn.mismatch);
+  EXPECT_GE(rn.total_cycles, 2 * single.cycles);
+  EXPECT_LT(rn.total_cycles, 2 * single.cycles + 100000);
+}
+
+TEST(RNaive, DetectsDeviceFaultViaMismatch) {
+  Fixture f(make_cp());
+  gpusim::DeviceFaultModel fm;
+  fm.kind = gpusim::DeviceFaultModel::Kind::Intermittent;
+  fm.component = gpusim::DeviceFaultModel::Component::FPU;
+  fm.mask = 0x7f000000;
+  fm.period = 101;          // corrupts different ops across the two runs
+  fm.duration_ops = 1u << 30;
+  f.dev.install_fault(fm);
+  const auto rn = run_r_naive(f.dev, f.v.baseline, *f.job);
+  ASSERT_TRUE(rn.completed);
+  EXPECT_TRUE(rn.mismatch);
+}
+
+TEST(RScatter, CompilesForMostProgramsButNotTpacf) {
+  gpusim::DeviceProps props;
+  for (const auto& w : hpc_suite()) {
+    const auto sk = make_r_scatter(w->build_kernel(Scale::Tiny), props);
+    if (w->name() == "TPACF") {
+      EXPECT_FALSE(sk.compiles) << "TPACF uses >half shared memory (Section IX.A)";
+      EXPECT_NE(sk.reason.find("shared memory"), std::string::npos);
+    } else {
+      EXPECT_TRUE(sk.compiles) << w->name();
+      EXPECT_GT(sk.duplicated_defs, 0) << w->name();
+    }
+  }
+}
+
+TEST(RScatter, InstrumentedKernelPreservesSemantics) {
+  auto w = make_cp();
+  const auto ds = w->make_dataset(31, Scale::Tiny);
+  gpusim::Device dev;
+  auto job = w->make_job(ds);
+  const auto base_prog = kir::lower(w->build_kernel(Scale::Tiny));
+  auto args = job->setup(dev);
+  const auto base = dev.launch(base_prog, job->config(), args);
+  ASSERT_EQ(base.status, gpusim::LaunchStatus::Ok);
+  const auto base_out = job->read_output(dev);
+
+  const auto sk = make_r_scatter(w->build_kernel(Scale::Tiny), dev.props());
+  ASSERT_TRUE(sk.compiles);
+  const auto scat_prog = kir::lower(sk.kernel);
+  args = job->setup(dev);
+  const auto scat = dev.launch(scat_prog, job->config(), args);
+  ASSERT_EQ(scat.status, gpusim::LaunchStatus::Ok);
+  EXPECT_FALSE(scat.sdc_alarm);
+  EXPECT_EQ(job->read_output(dev).words, base_out.words);
+  // Scatter-duplicated work is cheaper than 2x but clearly above 1x.
+  EXPECT_GT(scat.cycles, base.cycles * 140 / 100);
+  EXPECT_LT(scat.cycles, base.cycles * 215 / 100);
+}
+
+TEST(Injection, Footnote1FpFaultCanCrashViaDataflowToAddress) {
+  // Paper footnote 1: "if there is a data-flow from an FP variable to an
+  // integer or a pointer variable (e.g., FP data is used to calculate a
+  // memory address), a corrupted FP value can propagate to a control data
+  // and cause a failure."  Build exactly that kernel and corrupt the FP
+  // variable with a high-exponent mask: the saturating float->int cast
+  // produces a huge offset and the access faults.
+  kir::KernelBuilder kb("footnote1");
+  auto data = kb.param_ptr("data");
+  auto out = kb.param_ptr("out");
+  auto scale = kb.param_f32("scale");
+  auto fpos = kb.let("fpos", scale * kir::to_f32(kb.thread_linear()));  // FP index
+  auto idx = kb.let("idx", kir::to_i32(fpos));                          // FP -> int
+  kb.store(out + kb.thread_linear(), kb.load_f32(data + idx));          // int -> address
+
+  core::TranslateOptions topt;
+  topt.mode = core::LibMode::FI;
+  const auto fi_prog = kir::lower(core::translate(kb.build(), topt));
+
+  gpusim::Device dev;
+  const auto da = dev.mem().alloc(64, gpusim::AllocClass::F32Data);
+  const auto oa = dev.mem().alloc(32, gpusim::AllocClass::F32Data);
+  const kir::Value args[] = {kir::Value::ptr(da), kir::Value::ptr(oa), kir::Value::f32(1.5f)};
+
+  // Locate fpos's live-window FI site.
+  std::uint32_t site_id = 0;
+  bool found = false;
+  for (const auto& s : fi_prog.fi_sites)
+    if (s.var_name == "fpos" && !s.dead_window) {
+      site_id = s.site_id;
+      found = true;
+    }
+  ASSERT_TRUE(found);
+
+  FaultSpec spec;
+  spec.site_id = site_id;
+  spec.thread = 3;
+  spec.occurrence = 1;
+  spec.mask = 0x3f800000;  // exponent wreckage: fpos becomes astronomically large
+  InjectingHooks hooks(fi_prog, nullptr);
+  hooks.arm(spec);
+  gpusim::LaunchOptions opts;
+  opts.hooks = &hooks;
+  const auto res = dev.launch(fi_prog, gpusim::LaunchConfig{1, 1, 8, 1}, args, opts);
+  EXPECT_TRUE(hooks.activated());
+  EXPECT_EQ(res.status, gpusim::LaunchStatus::CrashOutOfBounds)
+      << "the corrupted FP value must propagate to the address and fault";
+}

@@ -1,0 +1,235 @@
+// Workload validation: every benchmark kernel, run fault-free on the
+// simulated GPU, must reproduce its native golden implementation; datasets
+// must be deterministic per seed and distinct across seeds; correctness
+// requirements must accept the golden run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/device.hpp"
+#include "kir/analysis.hpp"
+#include "kir/bytecode.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using namespace hauberk::workloads;
+
+namespace {
+
+std::vector<std::unique_ptr<Workload>> all_workloads() {
+  auto v = hpc_suite();
+  for (auto& g : graphics_suite()) v.push_back(std::move(g));
+  return v;
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> n;
+  for (const auto& w : all_workloads()) n.push_back(w->name());
+  return n;
+}
+
+std::unique_ptr<Workload> by_name(const std::string& name) {
+  for (auto& w : all_workloads())
+    if (w->name() == name) return std::move(w);
+  return nullptr;
+}
+
+core::ProgramOutput run_baseline(Workload& w, const Dataset& ds, gpusim::Device& dev) {
+  const auto prog = kir::lower(w.build_kernel(Scale::Tiny));
+  auto job = w.make_job(ds);
+  const auto args = job->setup(dev);
+  const auto res = dev.launch(prog, job->config(), args);
+  EXPECT_EQ(res.status, gpusim::LaunchStatus::Ok) << w.name();
+  return job->read_output(dev);
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string> {};
+
+}  // namespace
+
+TEST_P(WorkloadSuite, SimulatorMatchesNativeGolden) {
+  auto w = by_name(GetParam());
+  ASSERT_NE(w, nullptr);
+  const Dataset ds = w->make_dataset(1, Scale::Tiny);
+  gpusim::Device dev;
+  const auto out = run_baseline(*w, ds, dev);
+  const auto gold = w->golden_native(ds);
+  ASSERT_EQ(out.size(), gold.size()) << w->name();
+  for (std::size_t i = 0; i < gold.size(); ++i) {
+    const double g = gold[i];
+    const double tol = w->is_integer_program() ? 0.0 : 1e-4 * std::max(1.0, std::fabs(g));
+    EXPECT_NEAR(out.element(i), g, tol) << w->name() << " element " << i;
+  }
+}
+
+TEST_P(WorkloadSuite, GoldenRunSatisfiesRequirement) {
+  auto w = by_name(GetParam());
+  const Dataset ds = w->make_dataset(2, Scale::Tiny);
+  gpusim::Device dev;
+  const auto out = run_baseline(*w, ds, dev);
+  EXPECT_TRUE(w->requirement().satisfied(out, out));
+}
+
+TEST_P(WorkloadSuite, DatasetsDeterministicPerSeed) {
+  auto w = by_name(GetParam());
+  const Dataset a = w->make_dataset(7, Scale::Tiny);
+  const Dataset b = w->make_dataset(7, Scale::Tiny);
+  EXPECT_EQ(a.fa, b.fa);
+  EXPECT_EQ(a.ia, b.ia);
+  EXPECT_EQ(a.n, b.n);
+}
+
+TEST_P(WorkloadSuite, DatasetsDistinctAcrossSeeds) {
+  auto w = by_name(GetParam());
+  const Dataset a = w->make_dataset(7, Scale::Tiny);
+  const Dataset b = w->make_dataset(8, Scale::Tiny);
+  EXPECT_TRUE(a.fa != b.fa || a.ia != b.ia);
+}
+
+TEST_P(WorkloadSuite, KernelHasAtLeastOneLoop) {
+  auto w = by_name(GetParam());
+  const auto k = w->build_kernel(Scale::Tiny);
+  EXPECT_GT(k.num_loops, 0u) << w->name();
+}
+
+TEST_P(WorkloadSuite, ScalesIncreaseWork) {
+  auto w = by_name(GetParam());
+  const Dataset tiny = w->make_dataset(1, Scale::Tiny);
+  const Dataset small = w->make_dataset(1, Scale::Small);
+  EXPECT_LE(tiny.threads, small.threads);
+  EXPECT_LE(tiny.n, small.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, WorkloadSuite, ::testing::ValuesIn(all_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+// --- program-specific structural facts the paper relies on ---
+
+TEST(Tpacf, UsesMoreThanHalfOfSharedMemory) {
+  auto w = make_tpacf();
+  const auto k = w->build_kernel(Scale::Small);
+  gpusim::DeviceProps props;
+  EXPECT_GT(k.shared_mem_words * 2, props.shared_mem_words)
+      << "TPACF must exceed shared memory when duplicated (R-Scatter failure)";
+  EXPECT_LE(k.shared_mem_words, props.shared_mem_words);
+}
+
+TEST(Cp, EnergyVariablesAreSelfAccumulating) {
+  auto w = make_cp();
+  const auto k = w->build_kernel(Scale::Tiny);
+  kir::Analysis an(k);
+  ASSERT_EQ(an.loops().size(), 1u);
+  const auto sa = an.self_accumulators(0);
+  EXPECT_EQ(sa.size(), 2u);  // energyx1, energyx2
+}
+
+TEST(Pns, IsIntegerProgram) {
+  EXPECT_TRUE(make_pns()->is_integer_program());
+  EXPECT_TRUE(make_sad()->is_integer_program());
+  EXPECT_FALSE(make_cp()->is_integer_program());
+}
+
+TEST(Graphics, FlaggedAsGraphics) {
+  EXPECT_TRUE(make_ocean()->is_graphics());
+  EXPECT_TRUE(make_raytrace()->is_graphics());
+  EXPECT_FALSE(make_mri_q()->is_graphics());
+}
+
+TEST(Requirement, GraphicsToleratesOneCorruptPixel) {
+  // Observation: a transient fault corrupting one pixel of one frame is not
+  // user-noticeable (Fig. 3(a)).
+  auto w = make_ocean();
+  const Dataset ds = w->make_dataset(3, Scale::Small);
+  gpusim::Device dev;
+  auto out = run_baseline(*w, ds, dev);
+  auto corrupted = out;
+  corrupted.words[5] ^= 0x00400000u;  // flip an exponent bit of one pixel
+  EXPECT_TRUE(w->requirement().satisfied(corrupted, out));
+}
+
+TEST(Requirement, GraphicsRejectsStripeCorruption) {
+  // An intermittent fault corrupting thousands of values is noticeable
+  // (Fig. 3(b)).
+  auto w = make_ocean();
+  const Dataset ds = w->make_dataset(3, Scale::Small);
+  gpusim::Device dev;
+  auto out = run_baseline(*w, ds, dev);
+  auto corrupted = out;
+  for (std::size_t i = 0; i < corrupted.words.size() / 4; ++i)
+    corrupted.words[i * 2] ^= 0x00400000u;
+  EXPECT_FALSE(w->requirement().satisfied(corrupted, out));
+}
+
+TEST(Requirement, ExactRejectsAnyChange) {
+  Requirement r;
+  r.kind = Requirement::Kind::Exact;
+  core::ProgramOutput a{kir::DType::I32, {1, 2, 3}};
+  auto b = a;
+  EXPECT_TRUE(r.satisfied(a, b));
+  b.words[1] ^= 1;
+  EXPECT_FALSE(r.satisfied(a, b));
+}
+
+TEST(Requirement, AbsRelFloor) {
+  Requirement r;  // PNS: Max{0.01, 1%|GRi|}
+  r.kind = Requirement::Kind::AbsRel;
+  r.abs_floor = 0.01;
+  r.rel = 0.01;
+  core::ProgramOutput gold{kir::DType::F32, {kir::Value::f32(100.0f).bits}};
+  core::ProgramOutput ok{kir::DType::F32, {kir::Value::f32(100.9f).bits}};
+  core::ProgramOutput bad{kir::DType::F32, {kir::Value::f32(102.0f).bits}};
+  EXPECT_TRUE(r.satisfied(ok, gold));
+  EXPECT_FALSE(r.satisfied(bad, gold));
+}
+
+TEST(Requirement, NaNOutputViolates) {
+  Requirement r;
+  r.kind = Requirement::Kind::RelPlusEps;
+  r.rel = 0.02;
+  r.eps = 1e-9;
+  core::ProgramOutput gold{kir::DType::F32, {kir::Value::f32(1.0f).bits}};
+  core::ProgramOutput bad{kir::DType::F32, {kir::Value::f32(std::nanf("")).bits}};
+  EXPECT_FALSE(r.satisfied(bad, gold));
+}
+
+TEST(MriFhd, DatasetScaleVariesAcrossSeeds) {
+  // The property behind its Fig. 16 false-positive persistence.
+  auto w = make_mri_fhd();
+  double min_s = 1e30, max_s = -1e30;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto ds = w->make_dataset(seed, Scale::Tiny);
+    min_s = std::min(min_s, static_cast<double>(ds.scale));
+    max_s = std::max(max_s, static_cast<double>(ds.scale));
+  }
+  EXPECT_GT(max_s / min_s, 100.0);  // spans > 2 decades
+}
+
+TEST(Tpacf, HistogramTotalEqualsPairCount) {
+  auto w = make_tpacf();
+  const Dataset ds = w->make_dataset(5, Scale::Tiny);
+  gpusim::Device dev;
+  const auto out = run_baseline(*w, ds, dev);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    total += static_cast<std::int32_t>(out.words[i]);
+  EXPECT_EQ(total, static_cast<std::int64_t>(ds.n) * ds.n);
+}
+
+TEST_P(WorkloadSuite, MediumScaleRunsClean) {
+  // Larger problem sizes must not trip resource limits, watchdogs or
+  // address-space assumptions (grids get wider, datasets larger).
+  auto w = by_name(GetParam());
+  const Dataset ds = w->make_dataset(3, Scale::Medium);
+  gpusim::Device dev;
+  const auto prog = kir::lower(w->build_kernel(Scale::Medium));
+  auto job = w->make_job(ds);
+  const auto args = job->setup(dev);
+  const auto res = dev.launch(prog, job->config(), args);
+  EXPECT_EQ(res.status, gpusim::LaunchStatus::Ok) << w->name();
+  EXPECT_GT(res.threads, 0u);
+}
