@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dup.dir/bench_ablation_dup.cpp.o"
+  "CMakeFiles/bench_ablation_dup.dir/bench_ablation_dup.cpp.o.d"
+  "bench_ablation_dup"
+  "bench_ablation_dup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

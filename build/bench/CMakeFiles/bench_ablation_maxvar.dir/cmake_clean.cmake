@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_maxvar.dir/bench_ablation_maxvar.cpp.o"
+  "CMakeFiles/bench_ablation_maxvar.dir/bench_ablation_maxvar.cpp.o.d"
+  "bench_ablation_maxvar"
+  "bench_ablation_maxvar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maxvar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ranges.dir/bench_ablation_ranges.cpp.o"
+  "CMakeFiles/bench_ablation_ranges.dir/bench_ablation_ranges.cpp.o.d"
+  "bench_ablation_ranges"
+  "bench_ablation_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_memsize.dir/bench_fig02_memsize.cpp.o"
+  "CMakeFiles/bench_fig02_memsize.dir/bench_fig02_memsize.cpp.o.d"
+  "bench_fig02_memsize"
+  "bench_fig02_memsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_memsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_graphics.dir/bench_fig03_graphics.cpp.o"
+  "CMakeFiles/bench_fig03_graphics.dir/bench_fig03_graphics.cpp.o.d"
+  "bench_fig03_graphics"
+  "bench_fig03_graphics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_graphics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

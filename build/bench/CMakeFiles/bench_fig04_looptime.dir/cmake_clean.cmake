@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_looptime.dir/bench_fig04_looptime.cpp.o"
+  "CMakeFiles/bench_fig04_looptime.dir/bench_fig04_looptime.cpp.o.d"
+  "bench_fig04_looptime"
+  "bench_fig04_looptime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_looptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_valueranges.cpp" "bench/CMakeFiles/bench_fig10_valueranges.dir/bench_fig10_valueranges.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_valueranges.dir/bench_fig10_valueranges.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swifi/CMakeFiles/hauberk_swifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hauberk_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hauberk/CMakeFiles/hauberk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hauberk_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/hauberk_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hauberk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

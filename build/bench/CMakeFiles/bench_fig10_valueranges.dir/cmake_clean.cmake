@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_valueranges.dir/bench_fig10_valueranges.cpp.o"
+  "CMakeFiles/bench_fig10_valueranges.dir/bench_fig10_valueranges.cpp.o.d"
+  "bench_fig10_valueranges"
+  "bench_fig10_valueranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_valueranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_bitflip.dir/bench_fig15_bitflip.cpp.o"
+  "CMakeFiles/bench_fig15_bitflip.dir/bench_fig15_bitflip.cpp.o.d"
+  "bench_fig15_bitflip"
+  "bench_fig15_bitflip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_bitflip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_falsepos.dir/bench_fig16_falsepos.cpp.o"
+  "CMakeFiles/bench_fig16_falsepos.dir/bench_fig16_falsepos.cpp.o.d"
+  "bench_fig16_falsepos"
+  "bench_fig16_falsepos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_falsepos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instr_time.dir/bench_instr_time.cpp.o"
+  "CMakeFiles/bench_instr_time.dir/bench_instr_time.cpp.o.d"
+  "bench_instr_time"
+  "bench_instr_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instr_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

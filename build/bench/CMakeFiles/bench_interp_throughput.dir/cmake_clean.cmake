@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interp_throughput.dir/bench_interp_throughput.cpp.o"
+  "CMakeFiles/bench_interp_throughput.dir/bench_interp_throughput.cpp.o.d"
+  "bench_interp_throughput"
+  "bench_interp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_breakdown.dir/bench_overhead_breakdown.cpp.o"
+  "CMakeFiles/bench_overhead_breakdown.dir/bench_overhead_breakdown.cpp.o.d"
+  "bench_overhead_breakdown"
+  "bench_overhead_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_check_costmodel "/root/repo/build/bench/bench_ablation_costmodel" "--scale=small")
+set_tests_properties(bench_check_costmodel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_check_fig04 "/root/repo/build/bench/bench_fig04_looptime" "--scale=small")
+set_tests_properties(bench_check_fig04 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_check_fig02 "/root/repo/build/bench/bench_fig02_memsize" "--scale=small")
+set_tests_properties(bench_check_fig02 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_check_divergence "/root/repo/build/bench/bench_divergence" "--scale=small")
+set_tests_properties(bench_check_divergence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller.dir/controller.cpp.o"
+  "CMakeFiles/controller.dir/controller.cpp.o.d"
+  "controller"
+  "controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

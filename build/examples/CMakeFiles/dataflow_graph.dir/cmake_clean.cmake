@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_graph.dir/dataflow_graph.cpp.o"
+  "CMakeFiles/dataflow_graph.dir/dataflow_graph.cpp.o.d"
+  "dataflow_graph"
+  "dataflow_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

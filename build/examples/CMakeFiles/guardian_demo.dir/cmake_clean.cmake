@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardian_demo.dir/guardian_demo.cpp.o"
+  "CMakeFiles/guardian_demo.dir/guardian_demo.cpp.o.d"
+  "guardian_demo"
+  "guardian_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardian_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

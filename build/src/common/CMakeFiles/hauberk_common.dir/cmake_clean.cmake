@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hauberk_common.dir/bitops.cpp.o"
+  "CMakeFiles/hauberk_common.dir/bitops.cpp.o.d"
+  "CMakeFiles/hauberk_common.dir/cli.cpp.o"
+  "CMakeFiles/hauberk_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hauberk_common.dir/rng.cpp.o"
+  "CMakeFiles/hauberk_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hauberk_common.dir/stats.cpp.o"
+  "CMakeFiles/hauberk_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hauberk_common.dir/table.cpp.o"
+  "CMakeFiles/hauberk_common.dir/table.cpp.o.d"
+  "libhauberk_common.a"
+  "libhauberk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hauberk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hauberk_gpusim.dir/device.cpp.o"
+  "CMakeFiles/hauberk_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/hauberk_gpusim.dir/memory.cpp.o"
+  "CMakeFiles/hauberk_gpusim.dir/memory.cpp.o.d"
+  "libhauberk_gpusim.a"
+  "libhauberk_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hauberk_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

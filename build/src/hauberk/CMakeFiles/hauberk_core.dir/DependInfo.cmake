@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hauberk/bist.cpp" "src/hauberk/CMakeFiles/hauberk_core.dir/bist.cpp.o" "gcc" "src/hauberk/CMakeFiles/hauberk_core.dir/bist.cpp.o.d"
+  "/root/repo/src/hauberk/control_block.cpp" "src/hauberk/CMakeFiles/hauberk_core.dir/control_block.cpp.o" "gcc" "src/hauberk/CMakeFiles/hauberk_core.dir/control_block.cpp.o.d"
+  "/root/repo/src/hauberk/device_pool.cpp" "src/hauberk/CMakeFiles/hauberk_core.dir/device_pool.cpp.o" "gcc" "src/hauberk/CMakeFiles/hauberk_core.dir/device_pool.cpp.o.d"
+  "/root/repo/src/hauberk/pipeline.cpp" "src/hauberk/CMakeFiles/hauberk_core.dir/pipeline.cpp.o" "gcc" "src/hauberk/CMakeFiles/hauberk_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/hauberk/posix_guardian.cpp" "src/hauberk/CMakeFiles/hauberk_core.dir/posix_guardian.cpp.o" "gcc" "src/hauberk/CMakeFiles/hauberk_core.dir/posix_guardian.cpp.o.d"
+  "/root/repo/src/hauberk/ranges.cpp" "src/hauberk/CMakeFiles/hauberk_core.dir/ranges.cpp.o" "gcc" "src/hauberk/CMakeFiles/hauberk_core.dir/ranges.cpp.o.d"
+  "/root/repo/src/hauberk/recovery.cpp" "src/hauberk/CMakeFiles/hauberk_core.dir/recovery.cpp.o" "gcc" "src/hauberk/CMakeFiles/hauberk_core.dir/recovery.cpp.o.d"
+  "/root/repo/src/hauberk/runtime.cpp" "src/hauberk/CMakeFiles/hauberk_core.dir/runtime.cpp.o" "gcc" "src/hauberk/CMakeFiles/hauberk_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/hauberk/translator.cpp" "src/hauberk/CMakeFiles/hauberk_core.dir/translator.cpp.o" "gcc" "src/hauberk/CMakeFiles/hauberk_core.dir/translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kir/CMakeFiles/hauberk_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hauberk_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hauberk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hauberk_core.dir/bist.cpp.o"
+  "CMakeFiles/hauberk_core.dir/bist.cpp.o.d"
+  "CMakeFiles/hauberk_core.dir/control_block.cpp.o"
+  "CMakeFiles/hauberk_core.dir/control_block.cpp.o.d"
+  "CMakeFiles/hauberk_core.dir/device_pool.cpp.o"
+  "CMakeFiles/hauberk_core.dir/device_pool.cpp.o.d"
+  "CMakeFiles/hauberk_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hauberk_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hauberk_core.dir/posix_guardian.cpp.o"
+  "CMakeFiles/hauberk_core.dir/posix_guardian.cpp.o.d"
+  "CMakeFiles/hauberk_core.dir/ranges.cpp.o"
+  "CMakeFiles/hauberk_core.dir/ranges.cpp.o.d"
+  "CMakeFiles/hauberk_core.dir/recovery.cpp.o"
+  "CMakeFiles/hauberk_core.dir/recovery.cpp.o.d"
+  "CMakeFiles/hauberk_core.dir/runtime.cpp.o"
+  "CMakeFiles/hauberk_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/hauberk_core.dir/translator.cpp.o"
+  "CMakeFiles/hauberk_core.dir/translator.cpp.o.d"
+  "libhauberk_core.a"
+  "libhauberk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hauberk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

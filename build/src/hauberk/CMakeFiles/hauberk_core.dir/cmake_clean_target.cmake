@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhauberk_core.a"
+)

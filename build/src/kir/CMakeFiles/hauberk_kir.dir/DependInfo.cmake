@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kir/analysis.cpp" "src/kir/CMakeFiles/hauberk_kir.dir/analysis.cpp.o" "gcc" "src/kir/CMakeFiles/hauberk_kir.dir/analysis.cpp.o.d"
+  "/root/repo/src/kir/ast.cpp" "src/kir/CMakeFiles/hauberk_kir.dir/ast.cpp.o" "gcc" "src/kir/CMakeFiles/hauberk_kir.dir/ast.cpp.o.d"
+  "/root/repo/src/kir/builder.cpp" "src/kir/CMakeFiles/hauberk_kir.dir/builder.cpp.o" "gcc" "src/kir/CMakeFiles/hauberk_kir.dir/builder.cpp.o.d"
+  "/root/repo/src/kir/lower.cpp" "src/kir/CMakeFiles/hauberk_kir.dir/lower.cpp.o" "gcc" "src/kir/CMakeFiles/hauberk_kir.dir/lower.cpp.o.d"
+  "/root/repo/src/kir/printer.cpp" "src/kir/CMakeFiles/hauberk_kir.dir/printer.cpp.o" "gcc" "src/kir/CMakeFiles/hauberk_kir.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hauberk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

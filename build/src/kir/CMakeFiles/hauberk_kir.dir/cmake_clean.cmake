@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hauberk_kir.dir/analysis.cpp.o"
+  "CMakeFiles/hauberk_kir.dir/analysis.cpp.o.d"
+  "CMakeFiles/hauberk_kir.dir/ast.cpp.o"
+  "CMakeFiles/hauberk_kir.dir/ast.cpp.o.d"
+  "CMakeFiles/hauberk_kir.dir/builder.cpp.o"
+  "CMakeFiles/hauberk_kir.dir/builder.cpp.o.d"
+  "CMakeFiles/hauberk_kir.dir/lower.cpp.o"
+  "CMakeFiles/hauberk_kir.dir/lower.cpp.o.d"
+  "CMakeFiles/hauberk_kir.dir/printer.cpp.o"
+  "CMakeFiles/hauberk_kir.dir/printer.cpp.o.d"
+  "libhauberk_kir.a"
+  "libhauberk_kir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hauberk_kir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

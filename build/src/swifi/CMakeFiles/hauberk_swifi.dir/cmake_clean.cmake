@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hauberk_swifi.dir/baselines.cpp.o"
+  "CMakeFiles/hauberk_swifi.dir/baselines.cpp.o.d"
+  "CMakeFiles/hauberk_swifi.dir/campaign.cpp.o"
+  "CMakeFiles/hauberk_swifi.dir/campaign.cpp.o.d"
+  "libhauberk_swifi.a"
+  "libhauberk_swifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hauberk_swifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

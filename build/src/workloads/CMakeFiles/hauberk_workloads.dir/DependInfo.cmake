@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cp.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/cp.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/cp.cpp.o.d"
+  "/root/repo/src/workloads/cpu_programs.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/cpu_programs.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/cpu_programs.cpp.o.d"
+  "/root/repo/src/workloads/histo_eq.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/histo_eq.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/histo_eq.cpp.o.d"
+  "/root/repo/src/workloads/mri_fhd.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/mri_fhd.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/mri_fhd.cpp.o.d"
+  "/root/repo/src/workloads/mri_q.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/mri_q.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/mri_q.cpp.o.d"
+  "/root/repo/src/workloads/ocean.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/ocean.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/ocean.cpp.o.d"
+  "/root/repo/src/workloads/pns.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/pns.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/pns.cpp.o.d"
+  "/root/repo/src/workloads/raytrace.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/raytrace.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/raytrace.cpp.o.d"
+  "/root/repo/src/workloads/rpes.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/rpes.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/rpes.cpp.o.d"
+  "/root/repo/src/workloads/sad.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/sad.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/sad.cpp.o.d"
+  "/root/repo/src/workloads/tpacf.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/tpacf.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/tpacf.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/hauberk_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/hauberk_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hauberk/CMakeFiles/hauberk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hauberk_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/hauberk_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hauberk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hauberk_workloads.dir/cp.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/cp.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/cpu_programs.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/cpu_programs.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/histo_eq.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/histo_eq.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/mri_fhd.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/mri_fhd.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/mri_q.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/mri_q.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/ocean.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/ocean.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/pns.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/pns.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/raytrace.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/raytrace.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/rpes.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/rpes.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/sad.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/sad.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/tpacf.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/tpacf.cpp.o.d"
+  "CMakeFiles/hauberk_workloads.dir/workload.cpp.o"
+  "CMakeFiles/hauberk_workloads.dir/workload.cpp.o.d"
+  "libhauberk_workloads.a"
+  "libhauberk_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hauberk_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bytecode.dir/test_bytecode.cpp.o"
+  "CMakeFiles/test_bytecode.dir/test_bytecode.cpp.o.d"
+  "test_bytecode"
+  "test_bytecode.pdb"
+  "test_bytecode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

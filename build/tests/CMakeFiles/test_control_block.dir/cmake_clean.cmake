@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_block.dir/test_control_block.cpp.o"
+  "CMakeFiles/test_control_block.dir/test_control_block.cpp.o.d"
+  "test_control_block"
+  "test_control_block.pdb"
+  "test_control_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_pool.dir/test_device_pool.cpp.o"
+  "CMakeFiles/test_device_pool.dir/test_device_pool.cpp.o.d"
+  "test_device_pool"
+  "test_device_pool.pdb"
+  "test_device_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posix_guardian.dir/test_posix_guardian.cpp.o"
+  "CMakeFiles/test_posix_guardian.dir/test_posix_guardian.cpp.o.d"
+  "test_posix_guardian"
+  "test_posix_guardian.pdb"
+  "test_posix_guardian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posix_guardian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

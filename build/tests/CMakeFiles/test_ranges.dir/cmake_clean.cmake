@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranges.dir/test_ranges.cpp.o"
+  "CMakeFiles/test_ranges.dir/test_ranges.cpp.o.d"
+  "test_ranges"
+  "test_ranges.pdb"
+  "test_ranges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

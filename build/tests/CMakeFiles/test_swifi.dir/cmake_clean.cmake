@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swifi.dir/test_swifi.cpp.o"
+  "CMakeFiles/test_swifi.dir/test_swifi.cpp.o.d"
+  "test_swifi"
+  "test_swifi.pdb"
+  "test_swifi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
