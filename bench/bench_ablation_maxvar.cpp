@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   const int max_vars = static_cast<int>(args.get_int("vars", 16));
   const int masks = static_cast<int>(args.get_int("masks", 8));
+  swifi::CampaignExecutor ex(workers_from(args));
 
   print_header("Ablation: Maxvar (protected variables per loop) vs coverage & overhead");
   common::Table t({"Program", "Maxvar", "Loop detectors", "Overhead", "Coverage", "Undetected"});
@@ -36,7 +37,6 @@ int main(int argc, char** argv) {
       opt.maxvar = maxvar;
       auto v = core::build_variants(src, opt);
       const auto pd = core::profile(dev, v, {job.get()});
-      auto cb = core::make_configured_control_block(v.fift, pd);
 
       // Overhead of the FT build.
       const auto ft_args = job->setup(dev);
@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
       popt.error_bits = 3;
       popt.seed = seed + 7;
       const auto specs = swifi::plan_faults(v.fift, pd, popt);
-      const auto res =
-          swifi::run_campaign(dev, v.fift, *job, cb.get(), specs, w->requirement());
+      const auto res = ex.run(v.fift, context_factory(*w, ds, {}, &v.fift, &pd), specs,
+                              w->requirement());
 
       t.add_row({w->name(), std::to_string(maxvar),
                  std::to_string(v.ft_report.loop_detectors.size()),

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   const int max_vars = static_cast<int>(args.get_int("vars", 20));
   const int masks = static_cast<int>(args.get_int("masks", 10));
+  swifi::CampaignExecutor ex(workers_from(args));
 
   print_header("Ablation: 3-correlation-point ranges vs single min/max interval");
   common::Table t({"Program", "Model", "Value space (decades)", "Escape rate", "Coverage",
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
     const auto specs = swifi::plan_faults(ctx.variants.fift, ctx.profile, popt);
 
     for (int model = 0; model < 2; ++model) {
-      core::ControlBlock cb(ctx.variants.fift);
+      std::vector<std::pair<int, core::RangeSet>> sets;
       double space = 0, escapes = 0;
       int nd = 0;
       for (std::size_t d = 0; d < ctx.profile.samples.size(); ++d) {
@@ -78,10 +79,18 @@ int main(int argc, char** argv) {
         space += rs.space_decades();
         escapes += escape_rate(rs);
         ++nd;
-        cb.set_ranges(static_cast<int>(d), rs);
+        sets.emplace_back(static_cast<int>(d), rs);
       }
-      const auto res = swifi::run_campaign(*ctx.device, ctx.variants.fift, *ctx.job, &cb,
-                                           specs, ctx.workload->requirement());
+      // Each campaign worker rebuilds the same model-specific control block.
+      const auto factory = [&ctx, &sets] {
+        swifi::WorkerContext wc;
+        wc.device = std::make_unique<gpusim::Device>();
+        wc.job = ctx.workload->make_job(ctx.dataset);
+        wc.cb = std::make_unique<core::ControlBlock>(ctx.variants.fift);
+        for (const auto& [d, rs] : sets) wc.cb->set_ranges(d, rs);
+        return wc;
+      };
+      const auto res = ex.run(ctx.variants.fift, factory, specs, ctx.workload->requirement());
       t.add_row({ctx.workload->name(), model == 0 ? "3-point" : "single-interval",
                  common::Table::num(space, 1),
                  common::Table::pct_cell(nd ? escapes / nd : 0.0),

@@ -1,0 +1,122 @@
+// Campaign-engine throughput: trials/second of the sequential run_campaign
+// baseline versus the parallel CampaignExecutor at increasing worker counts,
+// plus the effect of the device's launch-plan cache (spill analysis and the
+// per-instruction cost vector are computed once per program instead of once
+// per launch).
+//
+// The worker sweep reports speedup relative to the sequential baseline; on a
+// single-core host the parallel engine matches the baseline (within pool
+// overhead) and the gains appear with the cores.  Outcomes are checked to be
+// identical across all engines before anything is printed.
+//
+// Knobs: --program (default CP), --vars (default 16), --masks (default 8),
+// --workers-list=1,2,4,0 (0 = hardware concurrency).
+#include <chrono>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+
+namespace {
+
+template <typename Fn>
+double seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::vector<int> parse_list(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) out.push_back(std::atoi(tok.c_str()));
+  return out;
+}
+
+bool same_outcomes(const swifi::CampaignResult& a, const swifi::CampaignResult& b) {
+  return a.per_fault == b.per_fault;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const std::string name = args.get("program", "CP");
+  const int max_vars = static_cast<int>(args.get_int("vars", 16));
+  const int masks = static_cast<int>(args.get_int("masks", 8));
+  const auto worker_list = parse_list(args.get("workers-list", "1,2,4,0"));
+
+  std::unique_ptr<workloads::Workload> w;
+  for (auto& cand : workloads::hpc_suite())
+    if (cand->name() == name) w = std::move(cand);
+  if (!w) {
+    std::fprintf(stderr, "unknown program '%s'\n", name.c_str());
+    return 1;
+  }
+
+  auto ctx = make_context(std::move(w), seed, scale);
+  swifi::PlanOptions opt;
+  opt.max_vars = max_vars;
+  opt.masks_per_var = masks;
+  opt.error_bits = 3;
+  opt.seed = seed + 7;
+  const auto specs = swifi::plan_faults(ctx.variants.fift, ctx.profile, opt);
+  const auto n = static_cast<double>(specs.size());
+  const auto factory = context_factory(*ctx.workload, ctx.dataset, {}, &ctx.variants.fift,
+                                       &ctx.profile);
+
+  print_header("Campaign throughput: sequential baseline vs parallel executor");
+  std::printf("program %s, %zu trials, host concurrency %u\n", ctx.workload->name().c_str(),
+              specs.size(), common::WorkerPool::default_workers());
+
+  // Sequential baseline: run_campaign on one device (launch-plan cache on).
+  swifi::CampaignResult base_res;
+  const double base_s = seconds([&] {
+    base_res = swifi::run_campaign(*ctx.device, ctx.variants.fift, *ctx.job, ctx.cb.get(),
+                                   specs, ctx.workload->requirement());
+  });
+
+  common::Table t({"Engine", "Workers", "Seconds", "Trials/sec", "Speedup"});
+  t.add_row({"run_campaign", "1", common::Table::num(base_s, 3),
+             common::Table::num(n / base_s, 1), "1.00x"});
+
+  bool deterministic = true;
+  for (const int workers : worker_list) {
+    swifi::CampaignExecutor ex(workers);
+    swifi::CampaignResult res;
+    const double s = seconds(
+        [&] { res = ex.run(ctx.variants.fift, factory, specs, ctx.workload->requirement()); });
+    deterministic = deterministic && same_outcomes(base_res, res);
+    t.add_row({"executor", std::to_string(ex.workers()), common::Table::num(s, 3),
+               common::Table::num(n / s, 1),
+               common::Table::num(base_s / s, 2) + "x"});
+  }
+  t.print();
+  std::printf("\noutcome determinism across engines and worker counts: %s\n",
+              deterministic ? "OK (bitwise identical)" : "MISMATCH (bug!)");
+
+  // Launch-plan cache ablation: same sequential campaign with the cache off.
+  {
+    gpusim::Device cold;
+    cold.set_plan_cache_enabled(false);
+    auto job = ctx.workload->make_job(ctx.dataset);
+    swifi::CampaignResult res;
+    const double cold_s = seconds([&] {
+      res = swifi::run_campaign(cold, ctx.variants.fift, *job, ctx.cb.get(), specs,
+                                ctx.workload->requirement());
+    });
+    deterministic = deterministic && same_outcomes(base_res, res);
+    std::printf("\nlaunch-plan cache: on %.3fs (hits %llu, misses %llu) vs off %.3fs "
+                "-> %.2fx, outcomes %s\n",
+                base_s, static_cast<unsigned long long>(ctx.device->plan_cache_hits()),
+                static_cast<unsigned long long>(ctx.device->plan_cache_misses()), cold_s,
+                cold_s / base_s, same_outcomes(base_res, res) ? "identical" : "MISMATCH");
+  }
+  return deterministic ? 0 : 1;
+}

@@ -21,6 +21,7 @@
 #include "gpusim/device.hpp"
 #include "hauberk/runtime.hpp"
 #include "swifi/campaign.hpp"
+#include "swifi/executor.hpp"
 #include "workloads/workload.hpp"
 
 namespace hauberk::bench {
@@ -30,6 +31,30 @@ inline workloads::Scale scale_from(const common::CliArgs& args) {
   if (s == "tiny") return workloads::Scale::Tiny;
   if (s == "medium") return workloads::Scale::Medium;
   return workloads::Scale::Small;
+}
+
+/// Campaign workers from --workers (0 = hardware concurrency); outcomes are
+/// identical for every value, only wall-clock changes.
+inline int workers_from(const common::CliArgs& args) {
+  return static_cast<int>(args.get_int("workers", 0));
+}
+
+/// WorkerContextFactory over a prepared workload + dataset: every campaign
+/// worker gets a private device and staged job, and — when `fift` and
+/// `profile` are given — its own identically configured control block.
+inline swifi::WorkerContextFactory context_factory(const workloads::Workload& w,
+                                                   const workloads::Dataset& ds,
+                                                   gpusim::DeviceProps props = {},
+                                                   const kir::BytecodeProgram* fift = nullptr,
+                                                   const core::ProfileData* profile = nullptr,
+                                                   double alpha = 1.0) {
+  return [&w, &ds, props, fift, profile, alpha] {
+    swifi::WorkerContext ctx;
+    ctx.device = std::make_unique<gpusim::Device>(props);
+    ctx.job = w.make_job(ds);
+    if (fift && profile) ctx.cb = core::make_configured_control_block(*fift, *profile, alpha);
+    return ctx;
+  };
 }
 
 /// One workload prepared for experiments: variants compiled, dataset staged,

@@ -10,7 +10,8 @@
 //   Graphics: no single-bit SDC (per the frame-corruption requirement).
 //   CPU: SDC < ~2.3%, crash-dominated.
 //
-// Knobs: --vars (per program, default 20), --masks (per var, default 10).
+// Knobs: --vars (per program, default 20), --masks (per var, default 10),
+// --workers (campaign workers, 0 = hardware concurrency; default 0).
 #include "bench_common.hpp"
 #include "common/bitops.hpp"
 #include "swifi/injector.hpp"
@@ -33,7 +34,8 @@ struct RowAccum {
   }
 };
 
-OutcomeCounts gpu_campaign(const std::vector<std::unique_ptr<workloads::Workload>>& suite,
+OutcomeCounts gpu_campaign(swifi::CampaignExecutor& ex,
+                           const std::vector<std::unique_ptr<workloads::Workload>>& suite,
                            kir::DType type, workloads::Scale scale, std::uint64_t seed,
                            int max_vars, int masks) {
   OutcomeCounts total;
@@ -51,7 +53,7 @@ OutcomeCounts gpu_campaign(const std::vector<std::unique_ptr<workloads::Workload
     opt.type_filter = type;
     const auto specs = swifi::plan_faults(v.fi, pd, opt);
     // Sensitivity of the *baseline* program: FI build without detectors.
-    const auto res = swifi::run_campaign(dev, v.fi, *job, nullptr, specs, w->requirement());
+    const auto res = ex.run(v.fi, bench::context_factory(*w, ds), specs, w->requirement());
     total.failure += res.counts.failure;
     total.masked += res.counts.masked;
     total.undetected += res.counts.undetected;
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   const int max_vars = static_cast<int>(args.get_int("vars", 20));
   const int masks = static_cast<int>(args.get_int("masks", 10));
+  swifi::CampaignExecutor ex(workers_from(args));
 
   print_header("Fig. 1: error sensitivity by program type and corrupted state (single-bit)");
   common::Table t({"Program class", "State", "Faults", "Crash/Hang", "SDC", "Not manifested"});
@@ -80,12 +83,14 @@ int main(int argc, char** argv) {
 
   double hpc_sdc[3] = {0, 0, 0};
   for (int i = 0; i < 3; ++i) {
-    RowAccum r{gpu_campaign(workloads::hpc_suite(), kTypes[i].type, scale, seed, max_vars, masks)};
+    RowAccum r{gpu_campaign(ex, workloads::hpc_suite(), kTypes[i].type, scale, seed, max_vars,
+                            masks)};
     hpc_sdc[i] = 100.0 * r.counts.ratio(r.counts.undetected);
     r.print_row(t, "GPU HPC", kTypes[i].name);
   }
   for (const auto& kt : kTypes) {
-    RowAccum r{gpu_campaign(workloads::graphics_suite(), kt.type, scale, seed, max_vars, masks)};
+    RowAccum r{gpu_campaign(ex, workloads::graphics_suite(), kt.type, scale, seed, max_vars,
+                            masks)};
     r.print_row(t, "GPU Graphics", kt.name);
   }
 
@@ -93,6 +98,10 @@ int main(int argc, char** argv) {
   gpusim::DeviceProps cpu_props;
   cpu_props.memory_model = gpusim::MemoryModel::PagedCpu;
   cpu_props.num_sms = 1;
+  // Generous watchdog matching the legacy sequential harness (paged CPU
+  // programs have much higher per-thread counts than the derived floor).
+  swifi::CampaignConfig cpu_cfg;
+  cpu_cfg.hang_floor = 50'000'000;
   {
     // Stack: faults in local (virtual) variables via FI hooks.
     OutcomeCounts total;
@@ -107,7 +116,8 @@ int main(int argc, char** argv) {
       opt.masks_per_var = masks;
       opt.seed = seed + 29;
       const auto specs = swifi::plan_faults(v.fi, pd, opt);
-      const auto res = swifi::run_campaign(dev, v.fi, *job, nullptr, specs, w->requirement());
+      const auto res =
+          ex.run(v.fi, bench::context_factory(*w, ds, cpu_props), specs, w->requirement());
       total.failure += res.counts.failure;
       total.masked += res.counts.masked;
       total.undetected += res.counts.undetected;
@@ -115,20 +125,17 @@ int main(int argc, char** argv) {
     RowAccum{total}.print_row(t, "CPU", "Stack");
   }
   {
-    // Data: random live memory-word flips.
+    // Data: random live memory-word flips (trial i draws from fork(seed, i)).
     OutcomeCounts total;
     for (const auto& w : workloads::cpu_suite()) {
-      gpusim::Device dev(cpu_props);
       auto v = core::build_variants(w->build_kernel(scale));
       const auto ds = w->make_dataset(seed, scale);
-      auto job = w->make_job(ds);
-      const auto gold = swifi::golden_run(dev, v.baseline, *job);
-      common::Rng rng(seed + 31);
-      common::Rng mask_rng(seed + 37);
-      for (int i = 0; i < max_vars * masks; ++i)
-        total.add(swifi::run_one_memory_fault(dev, v.baseline, *job, rng,
-                                              common::random_mask(mask_rng, 1), gold.output,
-                                              w->requirement(), 50'000'000));
+      const auto res =
+          ex.run_memory_faults(v.baseline, bench::context_factory(*w, ds, cpu_props),
+                               seed + 31, max_vars * masks, 1, w->requirement(), cpu_cfg);
+      total.failure += res.counts.failure;
+      total.masked += res.counts.masked;
+      total.undetected += res.counts.undetected;
     }
     RowAccum{total}.print_row(t, "CPU", "Data");
   }
@@ -136,15 +143,14 @@ int main(int argc, char** argv) {
     // Code: instruction-encoding bit flips.
     OutcomeCounts total;
     for (const auto& w : workloads::cpu_suite()) {
-      gpusim::Device dev(cpu_props);
       auto v = core::build_variants(w->build_kernel(scale));
       const auto ds = w->make_dataset(seed, scale);
-      auto job = w->make_job(ds);
-      const auto gold = swifi::golden_run(dev, v.baseline, *job);
-      common::Rng rng(seed + 41);
-      for (int i = 0; i < max_vars * masks; ++i)
-        total.add(swifi::run_one_code_fault(dev, v.baseline, *job, rng, gold.output,
-                                            w->requirement(), 50'000'000));
+      const auto res = ex.run_code_faults(v.baseline, bench::context_factory(*w, ds, cpu_props),
+                                          seed + 41, max_vars * masks, w->requirement(),
+                                          cpu_cfg);
+      total.failure += res.counts.failure;
+      total.masked += res.counts.masked;
+      total.undetected += res.counts.undetected;
     }
     RowAccum{total}.print_row(t, "CPU", "Code");
   }

@@ -7,7 +7,8 @@
 // escape); for single-bit errors 35.6% masked, 11.0% failure, 21.4%
 // detected, 22.2% detected&masked, 9.8% undetected SDC.
 //
-// Knobs: --vars (default 20), --masks (default 10), --bits=1,3,6,10,15.
+// Knobs: --vars (default 20), --masks (default 10), --bits=1,3,6,10,15,
+// --workers (campaign workers, 0 = hardware concurrency; default 0).
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   const int max_vars = static_cast<int>(args.get_int("vars", 20));
   const int masks = static_cast<int>(args.get_int("masks", 10));
   const auto bits_list = parse_bits(args.get("bits", "1,3,6,10,15"));
+  swifi::CampaignExecutor ex(workers_from(args));
 
   print_header("Fig. 14: Hauberk error detection coverage (FI&FT, train == test)");
   common::Table t({"Program", "Bits", "Failure", "Masked", "Det&Masked", "Detected",
@@ -52,9 +54,10 @@ int main(int argc, char** argv) {
       opt.error_bits = bits;
       opt.seed = seed + static_cast<std::uint64_t>(bits) * 1000;
       const auto specs = swifi::plan_faults(ctx.variants.fift, ctx.profile, opt);
-      const auto res = swifi::run_campaign(*ctx.device, ctx.variants.fift, *ctx.job,
-                                           ctx.cb.get(), specs,
-                                           ctx.workload->requirement());
+      const auto res = ex.run(ctx.variants.fift,
+                              context_factory(*ctx.workload, ctx.dataset, {},
+                                              &ctx.variants.fift, &ctx.profile),
+                              specs, ctx.workload->requirement());
       const auto& c = res.counts;
       t.add_row({ctx.workload->name(), std::to_string(bits),
                  common::Table::pct_cell(100.0 * c.ratio(c.failure)),

@@ -9,7 +9,8 @@
 // training, 2 held out for testing; repeated --repeats times (default 10).
 // A false positive is a fault-free test run that raises an SDC alarm.
 //
-// Knobs: --repeats, --datasets (default 52).
+// Knobs: --repeats, --datasets (default 52), --workers (campaign workers for
+// the IX.C coverage sweep, 0 = hardware concurrency; default 0).
 #include <map>
 
 #include "bench_common.hpp"
@@ -100,8 +101,12 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
       common::Rng rng = common::Rng::fork(seed, static_cast<std::uint64_t>(r) * 977 + 5);
       std::shuffle(order.begin(), order.end(), rng);
-      for (int n : kTrainCounts)
+      for (int n : kTrainCounts) {
+        // Skip train counts the shuffled order cannot supply (train + 2 held
+        // out) instead of reading past it when --datasets is small.
+        if (n + 2 > static_cast<int>(order.size())) continue;
         fp[n] += false_positive_ratio(pd, order, n, alpha, /*tests=*/2, dev);
+      }
     }
     for (auto& [n, v] : fp) v = 100.0 * v / repeats;
     return fp;
@@ -112,6 +117,7 @@ int main(int argc, char** argv) {
     std::vector<std::map<int, double>> fps;
     for (auto& pd : programs) fps.push_back(sweep(pd, 1.0));
     for (int n : kTrainCounts) {
+      if (n + 2 > n_datasets) continue;  // sweep skipped this count
       t.add_row({std::to_string(n), common::Table::pct_cell(fps[0][n]),
                  common::Table::pct_cell(fps[1][n]), common::Table::pct_cell(fps[2][n]),
                  common::Table::pct_cell(fps[3][n])});
@@ -129,6 +135,7 @@ int main(int argc, char** argv) {
     std::map<double, std::map<int, double>> by_alpha;
     for (double alpha : {1.0, 2.0, 10.0, 100.0}) by_alpha[alpha] = sweep(programs[1], alpha);
     for (int n : kTrainCounts) {
+      if (n + 2 > n_datasets) continue;  // sweep skipped this count
       t.add_row({std::to_string(n), common::Table::pct_cell(by_alpha[1.0][n]),
                  common::Table::pct_cell(by_alpha[2.0][n]),
                  common::Table::pct_cell(by_alpha[10.0][n]),
@@ -147,16 +154,18 @@ int main(int argc, char** argv) {
     gpusim::Device dev;
     auto job = pd.w->make_job(pd.datasets[0]);
     auto prof = core::profile(dev, pd.variants, {job.get()});
+    swifi::CampaignExecutor ex(workers_from(args));
     for (double alpha : {1.0, 1000.0, 10000.0, 100000.0}) {
-      auto cb = core::make_configured_control_block(pd.variants.fift, prof, alpha);
       swifi::PlanOptions opt;
       opt.max_vars = 20;
       opt.masks_per_var = 10;
       opt.error_bits = 1;
       opt.seed = seed + 3;
       const auto specs = swifi::plan_faults(pd.variants.fift, prof, opt);
-      const auto res = swifi::run_campaign(dev, pd.variants.fift, *job, cb.get(), specs,
-                                           pd.w->requirement());
+      const auto res = ex.run(pd.variants.fift,
+                              context_factory(*pd.w, pd.datasets[0], {}, &pd.variants.fift,
+                                              &prof, alpha),
+                              specs, pd.w->requirement());
       t.add_row({common::Table::num(alpha, 0),
                  common::Table::pct_cell(100.0 * res.counts.coverage()),
                  common::Table::pct_cell(100.0 * res.counts.ratio(res.counts.undetected))});

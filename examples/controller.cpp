@@ -9,12 +9,14 @@
 //   Hauberk FI&FT        -> Hauberk detection coverage
 //
 // Usage: controller [--program=CP] [--scale=small] [--ranges=/tmp/cp.ranges]
+//        [--workers=N]   (campaign workers for steps 4/5; 0 = hw concurrency)
 #include <cstdio>
 #include <fstream>
 
 #include "common/cli.hpp"
 #include "hauberk/runtime.hpp"
 #include "swifi/campaign.hpp"
+#include "swifi/executor.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hauberk;
@@ -64,13 +66,18 @@ int main(int argc, char** argv) {
               profile.golden.empty() ? 0 : profile.golden[0].size(), ranges_path.c_str());
 
   // 3. FT binary: protected performance (ranges loaded back from the file).
-  auto cb = std::make_unique<core::ControlBlock>(v.fift);
+  std::vector<core::RangeSet> loaded;
   {
     std::ifstream in(ranges_path);
-    const auto sets = core::load_ranges(in);
-    for (std::size_t d = 0; d < sets.size(); ++d)
-      if (!sets[d].empty()) cb->set_ranges(static_cast<int>(d), sets[d]);
+    loaded = core::load_ranges(in);
   }
+  const auto make_loaded_cb = [&] {
+    auto c = std::make_unique<core::ControlBlock>(v.fift);
+    for (std::size_t d = 0; d < loaded.size(); ++d)
+      if (!loaded[d].empty()) c->set_ranges(static_cast<int>(d), loaded[d]);
+    return c;
+  };
+  auto cb = make_loaded_cb();
   auto fargs = job->setup(dev);
   gpusim::LaunchOptions fopts;
   fopts.hooks = cb.get();
@@ -82,24 +89,41 @@ int main(int argc, char** argv) {
                   static_cast<double>(base.cycles),
               ft.sdc_alarm || cb->sdc_detected() ? "YES (bad!)" : "no");
 
-  // 4. FI binary: baseline error sensitivity.
+  // 4. FI binary: baseline error sensitivity (trials spread across workers).
+  swifi::CampaignExecutor ex(static_cast<int>(args.get_int("workers", 0)));
   swifi::PlanOptions popt;
   popt.max_vars = static_cast<int>(args.get_int("vars", 20));
   popt.masks_per_var = static_cast<int>(args.get_int("masks", 10));
   popt.seed = args.get_u64("seed", 1) + 5;
   const auto fi_specs = swifi::plan_faults(v.fi, profile, popt);
-  const auto fi = swifi::run_campaign(dev, v.fi, *job, nullptr, fi_specs, w->requirement());
+  const auto fi = ex.run(
+      v.fi,
+      [&] {
+        swifi::WorkerContext ctx;
+        ctx.device = std::make_unique<gpusim::Device>();
+        ctx.job = w->make_job(ds);
+        return ctx;
+      },
+      fi_specs, w->requirement());
   std::printf("[4] FI:         %llu faults -> %.1f%% failure, %.1f%% SDC, %.1f%% masked\n",
               static_cast<unsigned long long>(fi.counts.activated()),
               100.0 * fi.counts.ratio(fi.counts.failure),
               100.0 * fi.counts.ratio(fi.counts.undetected),
               100.0 * fi.counts.ratio(fi.counts.masked));
 
-  // 5. FI&FT binary: Hauberk detection coverage.
+  // 5. FI&FT binary: Hauberk detection coverage (each worker reloads the
+  // stored ranges into its own control block).
   const auto fift_specs = swifi::plan_faults(v.fift, profile, popt);
-  cb->reset_results();
-  const auto fift =
-      swifi::run_campaign(dev, v.fift, *job, cb.get(), fift_specs, w->requirement());
+  const auto fift = ex.run(
+      v.fift,
+      [&] {
+        swifi::WorkerContext ctx;
+        ctx.device = std::make_unique<gpusim::Device>();
+        ctx.job = w->make_job(ds);
+        ctx.cb = make_loaded_cb();
+        return ctx;
+      },
+      fift_specs, w->requirement());
   std::printf("[5] FI&FT:      %llu faults -> coverage %.1f%% "
               "(%.1f%% detected, %.1f%% detected&masked, %.1f%% undetected)\n",
               static_cast<unsigned long long>(fift.counts.activated()),

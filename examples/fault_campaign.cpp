@@ -5,11 +5,13 @@
 // Usage:
 //   fault_campaign --program=MRI-Q [--bits=1] [--vars=20] [--masks=10]
 //                  [--protected] [--scale=tiny|small|medium] [--seed=N]
+//                  [--workers=N]   (campaign workers; 0 = hardware concurrency)
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "hauberk/runtime.hpp"
 #include "swifi/campaign.hpp"
+#include "swifi/executor.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hauberk;
@@ -46,15 +48,22 @@ int main(int argc, char** argv) {
   opt.seed = args.get_u64("seed", 1) + 99;
 
   const auto& prog = use_ft ? v.fift : v.fi;
-  std::unique_ptr<core::ControlBlock> cb;
-  if (use_ft) cb = core::make_configured_control_block(v.fift, profile);
-
   const auto specs = swifi::plan_faults(prog, profile, opt);
-  std::printf("program %s (%s), %d-bit faults, %zu experiments, detectors %s\n",
+  swifi::CampaignExecutor ex(static_cast<int>(args.get_int("workers", 0)));
+  std::printf("program %s (%s), %d-bit faults, %zu experiments, detectors %s, %d workers\n",
               w->name().c_str(), w->requirement().to_string().c_str(), bits, specs.size(),
-              use_ft ? "ON (Hauberk FT)" : "off (baseline sensitivity)");
+              use_ft ? "ON (Hauberk FT)" : "off (baseline sensitivity)", ex.workers());
 
-  const auto res = swifi::run_campaign(dev, prog, *job, cb.get(), specs, w->requirement());
+  const auto res = ex.run(
+      prog,
+      [&] {
+        swifi::WorkerContext ctx;
+        ctx.device = std::make_unique<gpusim::Device>();
+        ctx.job = w->make_job(ds);
+        if (use_ft) ctx.cb = core::make_configured_control_block(v.fift, profile);
+        return ctx;
+      },
+      specs, w->requirement());
   const auto& c = res.counts;
   const auto pct = [&](std::uint64_t x) { return 100.0 * c.ratio(x); };
   std::printf("\n  failure (crash/hang) : %5.1f%%\n", pct(c.failure));

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/worker_pool.hpp"
+
 namespace hauberk::gpusim {
 
 using kir::BinOp;
@@ -33,6 +35,8 @@ const char* launch_status_name(LaunchStatus s) noexcept {
 Device::Device(DeviceProps props)
     : props_(props),
       mem_(std::make_unique<DeviceMemory>(props.memory_model, props.global_mem_words)) {}
+
+Device::~Device() = default;  // out of line: WorkerPool is incomplete in the header
 
 void Device::install_fault(const DeviceFaultModel& fm) {
   fault_ = fm;
@@ -598,28 +602,50 @@ void BlockExec::finish_simt_cost() {
   }
 }
 
-}  // namespace
+/// Order-dependent 64-bit combiner for the launch-plan fingerprint.
+constexpr std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 29);
+}
 
-LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchConfig& cfg,
-                            std::span<const kir::Value> args, const LaunchOptions& opts) {
-  LaunchResult res;
-  if (disabled_) {
-    res.status = LaunchStatus::DeviceDisabled;
-    return res;
+/// Fingerprint of everything the spill analysis and cost vector depend on:
+/// the instruction stream, the slot count, the register budget, and the
+/// cost model.  Hashed field-by-field (never raw struct bytes, which would
+/// include indeterminate padding).
+std::uint64_t plan_fingerprint(const kir::BytecodeProgram& program, const CostModel& cm,
+                               std::uint32_t regs_per_thread) noexcept {
+  std::uint64_t h = fp_mix(0x48415542ULL, program.code.size());
+  h = fp_mix(h, program.num_slots);
+  h = fp_mix(h, regs_per_thread);
+  for (const Instr& in : program.code) {
+    h = fp_mix(h, (static_cast<std::uint64_t>(in.op) << 56) |
+                      (static_cast<std::uint64_t>(in.flags) << 48) |
+                      (static_cast<std::uint64_t>(in.dst) << 32) |
+                      (static_cast<std::uint64_t>(in.a) << 16) | in.b);
+    h = fp_mix(h, (static_cast<std::uint64_t>(in.aux) << 32) | in.imm);
   }
-  if (program.shared_mem_words > props_.shared_mem_words ||
-      args.size() != program.num_params) {
-    res.status = LaunchStatus::LaunchFailure;
-    return res;
-  }
+  for (std::uint32_t v : {cm.alu, cm.fpu_addmul, cm.fpu_div, cm.sfu, cm.load_global,
+                          cm.store_global, cm.load_shared, cm.store_shared, cm.atomic_global,
+                          cm.barrier, cm.chk_xor, cm.dup_cmp, cm.range_check, cm.equal_check,
+                          cm.chk_validate, cm.spill, cm.scatter_percent,
+                          cm.hauberk_dup_percent, cm.control_block_per_launch})
+    h = fp_mix(h, v);
+  return h;
+}
 
+/// The uncached plan computation: register-spill analysis plus the
+/// per-instruction cost vector.
+std::vector<std::uint32_t> compute_launch_costs(const kir::BytecodeProgram& program,
+                                                const CostModel& cm,
+                                                std::uint32_t regs_per_thread) {
   // Register allocation model: when the kernel's register demand exceeds
   // the per-thread budget, the *least frequently accessed* values are
   // spilled to local memory (loop-nested accesses weighted heavily), as a
   // real allocator would.  Every access to a spilled slot then pays
   // CostModel::spill extra cycles.
   std::vector<bool> spilled(program.num_slots, false);
-  if (program.num_slots > props_.regs_per_thread) {
+  if (program.num_slots > regs_per_thread) {
     std::vector<std::uint64_t> weight(program.num_slots, 0);
     auto touch = [&](std::uint16_t slot, std::uint64_t w) { weight[slot] += w; };
     for (const Instr& in : program.code) {
@@ -646,14 +672,64 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
     std::sort(order.begin(), order.end(), [&](std::uint16_t a, std::uint16_t b) {
       return weight[a] != weight[b] ? weight[a] < weight[b] : a < b;
     });
-    const std::uint32_t to_spill = program.num_slots - props_.regs_per_thread;
+    const std::uint32_t to_spill = program.num_slots - regs_per_thread;
     for (std::uint32_t i = 0; i < to_spill; ++i) spilled[order[i]] = true;
   }
 
   // Precompute per-instruction cost (base + spill surcharge).
   std::vector<std::uint32_t> costs(program.code.size());
   for (std::size_t i = 0; i < program.code.size(); ++i)
-    costs[i] = static_cost(program.code[i], cost_, spilled);
+    costs[i] = static_cost(program.code[i], cm, spilled);
+  return costs;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<std::uint32_t>> Device::launch_plan(
+    const kir::BytecodeProgram& program) {
+  if (!plan_cache_enabled_) {
+    plan_misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::make_shared<const std::vector<std::uint32_t>>(
+        compute_launch_costs(program, cost_, props_.regs_per_thread));
+  }
+  const std::uint64_t key = plan_fingerprint(program, cost_, props_.regs_per_thread);
+  {
+    std::lock_guard<std::mutex> lk(plan_mu_);
+    for (auto it = plan_cache_.begin(); it != plan_cache_.end(); ++it) {
+      if (it->key == key && it->code_size == program.code.size()) {
+        plan_hits_.fetch_add(1, std::memory_order_relaxed);
+        PlanEntry hit = *it;
+        plan_cache_.erase(it);
+        plan_cache_.push_back(hit);  // LRU: refresh
+        return hit.costs;
+      }
+    }
+  }
+  plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto costs = std::make_shared<const std::vector<std::uint32_t>>(
+      compute_launch_costs(program, cost_, props_.regs_per_thread));
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  if (plan_cache_.size() >= kPlanCacheCapacity)
+    plan_cache_.erase(plan_cache_.begin());  // evict least recently used
+  plan_cache_.push_back(PlanEntry{key, program.code.size(), costs});
+  return costs;
+}
+
+LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchConfig& cfg,
+                            std::span<const kir::Value> args, const LaunchOptions& opts) {
+  LaunchResult res;
+  if (disabled_) {
+    res.status = LaunchStatus::DeviceDisabled;
+    return res;
+  }
+  if (program.shared_mem_words > props_.shared_mem_words ||
+      args.size() != program.num_params) {
+    res.status = LaunchStatus::LaunchFailure;
+    return res;
+  }
+
+  const auto plan = launch_plan(program);
+  const std::vector<std::uint32_t>& costs = *plan;
 
   const std::uint32_t num_blocks = cfg.grid_x * cfg.grid_y;
   std::atomic<std::uint32_t> next_block{0};
@@ -691,17 +767,20 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
     }
   };
 
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
+  const unsigned hw = common::WorkerPool::default_workers();
   unsigned nw = opts.max_workers > 0 ? static_cast<unsigned>(opts.max_workers) : hw;
   nw = std::min({nw, static_cast<unsigned>(num_blocks), static_cast<unsigned>(props_.num_sms)});
   if (nw <= 1) {
     worker();
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(nw);
-    for (unsigned i = 0; i < nw; ++i) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
+    // Reusable pool: created once, then fed every subsequent multi-worker
+    // launch (the former per-launch spawn/join dominated small kernels).
+    // The mutex also serializes concurrent multi-worker launches, which is
+    // safe because workers claim blocks from this launch's own counter.
+    std::lock_guard<std::mutex> lk(launch_pool_mu_);
+    if (!launch_pool_ || launch_pool_->size() < nw)
+      launch_pool_ = std::make_unique<common::WorkerPool>(std::max(nw, hw));
+    launch_pool_->run(nw, [&](unsigned) { worker(); });
   }
 
   res.status = static_cast<LaunchStatus>(bad_status.load());

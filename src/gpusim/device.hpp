@@ -22,6 +22,10 @@
 #include "kir/bytecode.hpp"
 #include "kir/value.hpp"
 
+namespace hauberk::common {
+class WorkerPool;
+}
+
 namespace hauberk::gpusim {
 
 /// Hardware resource limits, loosely modeled on the paper's GT200-class
@@ -173,6 +177,7 @@ struct LaunchOptions {
 class Device {
  public:
   explicit Device(DeviceProps props = {});
+  ~Device();
 
   [[nodiscard]] const DeviceProps& props() const noexcept { return props_; }
   [[nodiscard]] DeviceMemory& mem() noexcept { return *mem_; }
@@ -202,17 +207,55 @@ class Device {
 
   std::mutex& atomic_mutex() noexcept { return atomic_mu_; }
 
+  // --- launch-plan cache ---
+  // The spill analysis and per-instruction cost vector depend only on the
+  // program, the cost model, and the register budget, yet a SWIFI campaign
+  // launches the same program thousands of times.  The device therefore
+  // caches recent plans keyed by a fingerprint of those inputs; mutating
+  // cost_model() simply changes the fingerprint, so stale entries can never
+  // be served.
+  void set_plan_cache_enabled(bool on) noexcept { plan_cache_enabled_ = on; }
+  [[nodiscard]] bool plan_cache_enabled() const noexcept { return plan_cache_enabled_; }
+  [[nodiscard]] std::uint64_t plan_cache_hits() const noexcept {
+    return plan_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t plan_cache_misses() const noexcept {
+    return plan_misses_.load(std::memory_order_relaxed);
+  }
+
   // Internal: fault-model bookkeeping shared by block executors.
   DeviceFaultModel fault_{};
   std::atomic<std::uint64_t> fault_op_counter_{0};
   std::atomic<std::uint64_t> fault_injected_ops_{0};
 
  private:
+  struct PlanEntry {
+    std::uint64_t key = 0;
+    std::size_t code_size = 0;  ///< cheap secondary check against hash collisions
+    std::shared_ptr<const std::vector<std::uint32_t>> costs;
+  };
+  static constexpr std::size_t kPlanCacheCapacity = 16;
+
+  /// Spill analysis + cost vector for one launch, served from the cache
+  /// when possible.  The shared_ptr keeps a plan alive across eviction.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint32_t>> launch_plan(
+      const kir::BytecodeProgram& program);
+
   DeviceProps props_;
   CostModel cost_;
   std::unique_ptr<DeviceMemory> mem_;
   std::mutex atomic_mu_;
   bool disabled_ = false;
+
+  bool plan_cache_enabled_ = true;
+  std::vector<PlanEntry> plan_cache_;  ///< LRU order: most recent at the back
+  std::mutex plan_mu_;
+  std::atomic<std::uint64_t> plan_hits_{0}, plan_misses_{0};
+
+  /// Reusable block-execution pool, created on the first multi-worker
+  /// launch; replaces the former per-launch std::thread spawn/join.
+  std::unique_ptr<common::WorkerPool> launch_pool_;
+  std::mutex launch_pool_mu_;
 };
 
 }  // namespace hauberk::gpusim

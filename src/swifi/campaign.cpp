@@ -37,11 +37,12 @@ void OutcomeCounts::add(Outcome o) noexcept {
 }
 
 GoldenRun golden_run(Device& dev, const kir::BytecodeProgram& program, core::KernelJob& job,
-                     core::ControlBlock* cb) {
+                     core::ControlBlock* cb, int launch_workers) {
   const auto args = job.setup(dev);
   if (cb) cb->reset_results();
   LaunchOptions opts;
   opts.hooks = cb;
+  opts.max_workers = launch_workers;
   const auto res = dev.launch(program, job.config(), args, opts);
   if (res.status != LaunchStatus::Ok)
     throw std::runtime_error("swifi golden run failed: " +
@@ -116,7 +117,7 @@ Outcome classify(const gpusim::LaunchResult& res, bool alarm, const core::Progra
 Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::KernelJob& job,
                       core::ControlBlock* cb, const FaultSpec& spec,
                       const core::ProgramOutput& golden, const workloads::Requirement& req,
-                      std::uint64_t watchdog_instructions) {
+                      std::uint64_t watchdog_instructions, int launch_workers) {
   InjectingHooks hooks(program, cb);
   hooks.arm(spec);
   const auto args = job.setup(dev);
@@ -124,6 +125,7 @@ Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::Ke
   LaunchOptions opts;
   opts.hooks = &hooks;
   opts.watchdog_instructions = watchdog_instructions;
+  opts.max_workers = launch_workers;
   const auto res = dev.launch(program, job.config(), args, opts);
   if (!hooks.activated() && res.status == LaunchStatus::Ok) return Outcome::NotActivated;
   if (res.status != LaunchStatus::Ok) return Outcome::Failure;
@@ -132,19 +134,23 @@ Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::Ke
   return classify(res, alarm, out, golden, req);
 }
 
+std::uint64_t campaign_watchdog(const GoldenRun& gold, const CampaignConfig& cfg) noexcept {
+  return std::max(cfg.hang_floor,
+                  static_cast<std::uint64_t>(
+                      static_cast<double>(gold.per_thread_instructions) * cfg.hang_factor));
+}
+
 CampaignResult run_campaign(Device& dev, const kir::BytecodeProgram& program,
                             core::KernelJob& job, core::ControlBlock* cb,
                             const std::vector<FaultSpec>& specs,
                             const workloads::Requirement& req, const CampaignConfig& cfg) {
-  const GoldenRun gold = golden_run(dev, program, job, cb);
-  const std::uint64_t watchdog =
-      std::max(cfg.hang_floor,
-               static_cast<std::uint64_t>(static_cast<double>(gold.per_thread_instructions) *
-                                          cfg.hang_factor));
+  const GoldenRun gold = golden_run(dev, program, job, cb, cfg.launch_workers);
+  const std::uint64_t watchdog = campaign_watchdog(gold, cfg);
   CampaignResult result;
   result.per_fault.reserve(specs.size());
   for (const FaultSpec& spec : specs) {
-    const Outcome o = run_one_fault(dev, program, job, cb, spec, gold.output, req, watchdog);
+    const Outcome o = run_one_fault(dev, program, job, cb, spec, gold.output, req, watchdog,
+                                    cfg.launch_workers);
     result.counts.add(o);
     result.per_fault.push_back(o);
   }
@@ -159,7 +165,7 @@ Outcome run_one_memory_fault(Device& dev, const kir::BytecodeProgram& program,
                              core::KernelJob& job, common::Rng& rng, std::uint32_t mask,
                              const core::ProgramOutput& golden,
                              const workloads::Requirement& req,
-                             std::uint64_t watchdog_instructions) {
+                             std::uint64_t watchdog_instructions, int launch_workers) {
   const auto args = job.setup(dev);
   // Corrupt one random live word of device memory ("data segment" fault).
   const std::uint32_t used = dev.mem().used_words();
@@ -172,6 +178,7 @@ Outcome run_one_memory_fault(Device& dev, const kir::BytecodeProgram& program,
 
   LaunchOptions opts;
   opts.watchdog_instructions = watchdog_instructions;
+  opts.max_workers = launch_workers;
   const auto res = dev.launch(program, job.config(), args, opts);
   if (res.status != LaunchStatus::Ok) return Outcome::Failure;
   const auto out = job.read_output(dev);
@@ -186,7 +193,10 @@ bool validate_program(const kir::BytecodeProgram& p) {
     switch (in.op) {
       case kir::OpCode::Jmp:
       case kir::OpCode::Jz:
-        if (in.aux > p.code.size()) return false;
+        // A target of exactly code.size() would make the interpreter fetch
+        // past the end (the last real instruction is the Halt at size()-1),
+        // so it is as undecodable as any other out-of-range target.
+        if (in.aux >= p.code.size()) return false;
         break;
       case kir::OpCode::Un:
         if ((in.aux & 0xffffu) > static_cast<std::uint32_t>(kir::UnOp::CastI32)) return false;
@@ -222,7 +232,7 @@ Outcome run_one_code_fault(Device& dev, const kir::BytecodeProgram& program,
                            core::KernelJob& job, common::Rng& rng,
                            const core::ProgramOutput& golden,
                            const workloads::Requirement& req,
-                           std::uint64_t watchdog_instructions) {
+                           std::uint64_t watchdog_instructions, int launch_workers) {
   kir::BytecodeProgram mutant = program;
   if (mutant.code.empty()) return Outcome::NotActivated;
   const std::size_t instr = rng.next_below(mutant.code.size());
@@ -236,6 +246,7 @@ Outcome run_one_code_fault(Device& dev, const kir::BytecodeProgram& program,
   const auto args = job.setup(dev);
   LaunchOptions opts;
   opts.watchdog_instructions = watchdog_instructions;
+  opts.max_workers = launch_workers;
   const auto res = dev.launch(mutant, job.config(), args, opts);
   if (res.status != LaunchStatus::Ok) return Outcome::Failure;
   const auto out = job.read_output(dev);

@@ -41,6 +41,11 @@ struct CampaignConfig {
   /// count (the guardian's hang rule applied to injection runs).
   double hang_factor = 10.0;
   std::uint64_t hang_floor = 1'000'000;
+  /// Block-level workers per trial launch.  Campaigns parallelize across
+  /// trials (see swifi/executor.hpp), so each individual launch defaults to
+  /// a single worker: no per-launch pool churn, and no core oversubscription
+  /// when campaign workers saturate the host.  0 = hardware concurrency.
+  int launch_workers = 1;
 };
 
 struct CampaignResult {
@@ -49,14 +54,19 @@ struct CampaignResult {
 };
 
 /// Run one injection experiment.  `cb` may be null (FI without FT).
+/// `launch_workers` caps block-level workers of the trial launch (0 = hw).
 [[nodiscard]] Outcome run_one_fault(gpusim::Device& dev, const kir::BytecodeProgram& program,
                                     core::KernelJob& job, core::ControlBlock* cb,
                                     const FaultSpec& spec,
                                     const core::ProgramOutput& golden,
                                     const workloads::Requirement& req,
-                                    std::uint64_t watchdog_instructions);
+                                    std::uint64_t watchdog_instructions,
+                                    int launch_workers = 0);
 
-/// Run a whole campaign: one launch per spec against a shared golden run.
+/// Run a whole campaign on one device: one launch per spec against a shared
+/// golden run, trials strictly in spec order.  This is the single-worker
+/// path; CampaignExecutor (swifi/executor.hpp) runs the same trials across
+/// a worker pool with bitwise-identical results.
 [[nodiscard]] CampaignResult run_campaign(gpusim::Device& dev,
                                           const kir::BytecodeProgram& program,
                                           core::KernelJob& job, core::ControlBlock* cb,
@@ -76,7 +86,8 @@ struct CampaignResult {
                                            std::uint32_t mask,
                                            const core::ProgramOutput& golden,
                                            const workloads::Requirement& req,
-                                           std::uint64_t watchdog_instructions);
+                                           std::uint64_t watchdog_instructions,
+                                           int launch_workers = 0);
 
 /// Flip one random bit in one random instruction encoding ("code segment"
 /// fault).  Structurally invalid mutants are classified as Failure without
@@ -86,7 +97,8 @@ struct CampaignResult {
                                          core::KernelJob& job, common::Rng& rng,
                                          const core::ProgramOutput& golden,
                                          const workloads::Requirement& req,
-                                         std::uint64_t watchdog_instructions);
+                                         std::uint64_t watchdog_instructions,
+                                         int launch_workers = 0);
 
 /// Structural validity check used by code-fault experiments: register
 /// indices in range, opcodes decodable, jump targets inside the program.
@@ -98,6 +110,11 @@ struct GoldenRun {
   std::uint64_t per_thread_instructions = 0;
 };
 [[nodiscard]] GoldenRun golden_run(gpusim::Device& dev, const kir::BytecodeProgram& program,
-                                   core::KernelJob& job, core::ControlBlock* cb = nullptr);
+                                   core::KernelJob& job, core::ControlBlock* cb = nullptr,
+                                   int launch_workers = 0);
+
+/// Watchdog budget for injection runs derived from the golden run.
+[[nodiscard]] std::uint64_t campaign_watchdog(const GoldenRun& gold,
+                                              const CampaignConfig& cfg) noexcept;
 
 }  // namespace hauberk::swifi

@@ -1,0 +1,111 @@
+#include "swifi/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace hauberk::swifi {
+
+CampaignExecutor::CampaignExecutor(int workers)
+    : pool_(workers > 0 ? static_cast<unsigned>(workers)
+                        : common::WorkerPool::default_workers()) {}
+
+CampaignExecutor::~CampaignExecutor() = default;
+
+int CampaignExecutor::workers() const noexcept { return static_cast<int>(pool_.size()); }
+
+CampaignResult CampaignExecutor::run_trials(
+    const kir::BytecodeProgram& program, const WorkerContextFactory& make_context,
+    std::size_t trial_count, const CampaignConfig& cfg,
+    const std::function<Outcome(WorkerContext&, const GoldenRun&, std::uint64_t, std::size_t)>&
+        trial) {
+  // Never build more contexts than there are trials to hand out.
+  const std::size_t nw =
+      std::min<std::size_t>(pool_.size(), std::max<std::size_t>(trial_count, 1));
+  std::vector<WorkerContext> ctxs;
+  ctxs.reserve(nw);
+  for (std::size_t i = 0; i < nw; ++i) {
+    ctxs.push_back(make_context());
+    if (!ctxs.back().device || !ctxs.back().job)
+      throw std::invalid_argument(
+          "swifi: WorkerContextFactory must provide a device and a job");
+  }
+
+  // One golden run serves every trial; run_one_* re-stage memory themselves.
+  const GoldenRun gold =
+      golden_run(*ctxs[0].device, program, *ctxs[0].job, ctxs[0].cb.get(), cfg.launch_workers);
+  const std::uint64_t watchdog = campaign_watchdog(gold, cfg);
+
+  CampaignResult result;
+  result.per_fault.resize(trial_count);
+  if (trial_count == 0) return result;
+
+  // Dynamic index distribution: workers race for the next trial, but each
+  // outcome lands at its own index, so the vector (and the counts reduced
+  // from it below) never depend on scheduling or worker count.
+  std::atomic<std::size_t> next{0};
+  pool_.run(static_cast<unsigned>(nw), [&](unsigned w) {
+    WorkerContext& ctx = ctxs[w];
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trial_count) return;
+      result.per_fault[i] = trial(ctx, gold, watchdog, i);
+    }
+  });
+
+  for (const Outcome o : result.per_fault) result.counts.add(o);
+  return result;
+}
+
+CampaignResult CampaignExecutor::run(const kir::BytecodeProgram& program,
+                                     const WorkerContextFactory& make_context,
+                                     const std::vector<FaultSpec>& specs,
+                                     const workloads::Requirement& req,
+                                     const CampaignConfig& cfg) {
+  return run_trials(program, make_context, specs.size(), cfg,
+                    [&](WorkerContext& ctx, const GoldenRun& gold, std::uint64_t watchdog,
+                        std::size_t i) {
+                      return run_one_fault(*ctx.device, program, *ctx.job, ctx.cb.get(),
+                                           specs[i], gold.output, req, watchdog,
+                                           cfg.launch_workers);
+                    });
+}
+
+CampaignResult CampaignExecutor::run_memory_faults(const kir::BytecodeProgram& program,
+                                                   const WorkerContextFactory& make_context,
+                                                   std::uint64_t seed, int trials,
+                                                   int error_bits,
+                                                   const workloads::Requirement& req,
+                                                   const CampaignConfig& cfg) {
+  const std::size_t n = trials > 0 ? static_cast<std::size_t>(trials) : 0;
+  return run_trials(program, make_context, n, cfg,
+                    [&](WorkerContext& ctx, const GoldenRun& gold, std::uint64_t watchdog,
+                        std::size_t i) {
+                      common::Rng rng = common::Rng::fork(seed, i);
+                      const std::uint32_t mask = common::random_mask(rng, error_bits);
+                      return run_one_memory_fault(*ctx.device, program, *ctx.job, rng, mask,
+                                                  gold.output, req, watchdog,
+                                                  cfg.launch_workers);
+                    });
+}
+
+CampaignResult CampaignExecutor::run_code_faults(const kir::BytecodeProgram& program,
+                                                 const WorkerContextFactory& make_context,
+                                                 std::uint64_t seed, int trials,
+                                                 const workloads::Requirement& req,
+                                                 const CampaignConfig& cfg) {
+  const std::size_t n = trials > 0 ? static_cast<std::size_t>(trials) : 0;
+  return run_trials(program, make_context, n, cfg,
+                    [&](WorkerContext& ctx, const GoldenRun& gold, std::uint64_t watchdog,
+                        std::size_t i) {
+                      common::Rng rng = common::Rng::fork(seed, i);
+                      return run_one_code_fault(*ctx.device, program, *ctx.job, rng,
+                                                gold.output, req, watchdog,
+                                                cfg.launch_workers);
+                    });
+}
+
+}  // namespace hauberk::swifi

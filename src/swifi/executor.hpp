@@ -1,0 +1,102 @@
+// Parallel SWIFI campaign engine.
+//
+// A campaign is thousands of independent fault-injection trials: each trial
+// re-stages device memory via its job's setup(), launches once, and
+// classifies the outcome against a shared golden run.  Trials never share
+// mutable state, so the executor runs them concurrently across a persistent
+// pool of campaign workers, each owning a private simulated Device (plus its
+// own KernelJob staging and ControlBlock clone).  The parallelism is
+// inverted relative to a single launch: trial launches run with one
+// block-worker (CampaignConfig::launch_workers = 1 — no nested pool churn,
+// no core oversubscription) while campaign workers scale to hardware
+// concurrency.
+//
+// Determinism guarantee: results are bitwise identical for every worker
+// count.  Outcomes are written into per_fault by trial index, OutcomeCounts
+// is reduced from that vector afterwards, and any per-trial randomness is
+// forked from (seed, trial_index) rather than drawn from a shared stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/worker_pool.hpp"
+#include "gpusim/device.hpp"
+#include "hauberk/control_block.hpp"
+#include "hauberk/program.hpp"
+#include "swifi/campaign.hpp"
+#include "workloads/workload.hpp"
+
+namespace hauberk::swifi {
+
+/// Private per-worker resources for one campaign: a device plus the job
+/// staged onto it and (optionally) a control block for the FI&FT build.
+struct WorkerContext {
+  std::unique_ptr<gpusim::Device> device;
+  std::unique_ptr<core::KernelJob> job;
+  std::unique_ptr<core::ControlBlock> cb;  ///< may be null (FI without FT)
+};
+
+/// Builds one worker's context.  Must be deterministic and
+/// worker-independent: every invocation has to stage the same dataset and
+/// configure identical detector ranges, or worker counts would change
+/// outcomes (the executor never tells the factory which worker it serves).
+using WorkerContextFactory = std::function<WorkerContext()>;
+
+/// Persistent campaign engine.  Construct once, reuse across campaigns:
+/// the worker threads survive between run() calls, only the per-campaign
+/// contexts are rebuilt (programs, datasets and detector configurations
+/// change between campaigns; threads need not).
+class CampaignExecutor {
+ public:
+  /// `workers` == 0 selects hardware concurrency.
+  explicit CampaignExecutor(int workers = 0);
+  ~CampaignExecutor();
+  CampaignExecutor(const CampaignExecutor&) = delete;
+  CampaignExecutor& operator=(const CampaignExecutor&) = delete;
+
+  [[nodiscard]] int workers() const noexcept;
+
+  /// Run a planned-fault campaign (the run_campaign trial semantics, fanned
+  /// out across workers).  Equivalent to run_campaign on one device: same
+  /// per_fault vector, same counts, for any worker count.
+  [[nodiscard]] CampaignResult run(const kir::BytecodeProgram& program,
+                                   const WorkerContextFactory& make_context,
+                                   const std::vector<FaultSpec>& specs,
+                                   const workloads::Requirement& req,
+                                   const CampaignConfig& cfg = {});
+
+  /// Memory-word fault campaign (Fig. 1 CPU "Data" rows): `trials`
+  /// experiments against the baseline program; trial i draws its mask and
+  /// word position from an RNG forked from (seed, i).
+  [[nodiscard]] CampaignResult run_memory_faults(const kir::BytecodeProgram& program,
+                                                 const WorkerContextFactory& make_context,
+                                                 std::uint64_t seed, int trials,
+                                                 int error_bits,
+                                                 const workloads::Requirement& req,
+                                                 const CampaignConfig& cfg = {});
+
+  /// Code-segment fault campaign (Fig. 1 CPU "Code" rows): trial i flips an
+  /// encoding bit chosen by an RNG forked from (seed, i).
+  [[nodiscard]] CampaignResult run_code_faults(const kir::BytecodeProgram& program,
+                                               const WorkerContextFactory& make_context,
+                                               std::uint64_t seed, int trials,
+                                               const workloads::Requirement& req,
+                                               const CampaignConfig& cfg = {});
+
+ private:
+  /// Shared fan-out: builds one context per participating worker, runs the
+  /// golden run on the first, then distributes trial indices dynamically.
+  /// `trial(ctx, gold, watchdog, index)` must be pure per index.
+  [[nodiscard]] CampaignResult run_trials(
+      const kir::BytecodeProgram& program, const WorkerContextFactory& make_context,
+      std::size_t trial_count, const CampaignConfig& cfg,
+      const std::function<Outcome(WorkerContext&, const GoldenRun&, std::uint64_t,
+                                  std::size_t)>& trial);
+
+  common::WorkerPool pool_;
+};
+
+}  // namespace hauberk::swifi

@@ -1,0 +1,156 @@
+// Determinism tests for the parallel campaign engine (swifi/executor.hpp):
+// identical seeds and specs must produce bitwise-identical per-fault
+// outcomes and counts for every worker count, and the executor must agree
+// exactly with the single-device run_campaign path.
+#include <gtest/gtest.h>
+
+#include "hauberk/runtime.hpp"
+#include "swifi/campaign.hpp"
+#include "swifi/executor.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using namespace hauberk::swifi;
+using namespace hauberk::workloads;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Workload> w;
+  core::KernelVariants v;
+  Dataset ds;
+  core::ProfileData pd;
+
+  explicit Fixture(std::unique_ptr<Workload> wl, std::uint64_t seed = 21)
+      : w(std::move(wl)),
+        v(core::build_variants(w->build_kernel(Scale::Tiny))),
+        ds(w->make_dataset(seed, Scale::Tiny)) {
+    gpusim::Device dev;
+    auto job = w->make_job(ds);
+    pd = core::profile(dev, v, {job.get()});
+  }
+
+  /// Every invocation stages the same dataset and (optionally) an
+  /// identically configured control block — the factory contract.
+  [[nodiscard]] WorkerContextFactory factory(bool with_cb) const {
+    return [this, with_cb] {
+      WorkerContext ctx;
+      ctx.device = std::make_unique<gpusim::Device>();
+      ctx.job = w->make_job(ds);
+      if (with_cb) ctx.cb = core::make_configured_control_block(v.fift, pd);
+      return ctx;
+    };
+  }
+};
+
+void expect_same_result(const CampaignResult& a, const CampaignResult& b, const char* what) {
+  ASSERT_EQ(a.per_fault.size(), b.per_fault.size()) << what;
+  for (std::size_t i = 0; i < a.per_fault.size(); ++i)
+    EXPECT_EQ(a.per_fault[i], b.per_fault[i]) << what << " trial " << i;
+  EXPECT_EQ(a.counts.failure, b.counts.failure) << what;
+  EXPECT_EQ(a.counts.masked, b.counts.masked) << what;
+  EXPECT_EQ(a.counts.detected_masked, b.counts.detected_masked) << what;
+  EXPECT_EQ(a.counts.detected, b.counts.detected) << what;
+  EXPECT_EQ(a.counts.undetected, b.counts.undetected) << what;
+  EXPECT_EQ(a.counts.not_activated, b.counts.not_activated) << what;
+}
+
+}  // namespace
+
+TEST(CampaignExecutor, PlannedCampaignInvariantAcrossWorkerCounts) {
+  Fixture f(make_cp());
+  PlanOptions opt;
+  opt.max_vars = 8;
+  opt.masks_per_var = 4;
+  opt.seed = 7;
+  const auto specs = plan_faults(f.v.fi, f.pd, opt);
+  ASSERT_FALSE(specs.empty());
+
+  CampaignExecutor one(1);
+  const auto base = one.run(f.v.fi, f.factory(false), specs, f.w->requirement());
+  EXPECT_EQ(base.per_fault.size(), specs.size());
+  for (const int workers : {2, 8}) {
+    CampaignExecutor ex(workers);
+    EXPECT_EQ(ex.workers(), workers);
+    const auto res = ex.run(f.v.fi, f.factory(false), specs, f.w->requirement());
+    expect_same_result(base, res, "planned FI campaign");
+  }
+}
+
+TEST(CampaignExecutor, MatchesSingleDeviceRunCampaign) {
+  Fixture f(make_mri_q());
+  PlanOptions opt;
+  opt.max_vars = 6;
+  opt.masks_per_var = 4;
+  const auto specs = plan_faults(f.v.fi, f.pd, opt);
+
+  gpusim::Device dev;
+  auto job = f.w->make_job(f.ds);
+  const auto serial = run_campaign(dev, f.v.fi, *job, nullptr, specs, f.w->requirement());
+
+  CampaignExecutor ex(4);
+  const auto parallel = ex.run(f.v.fi, f.factory(false), specs, f.w->requirement());
+  expect_same_result(serial, parallel, "run_campaign vs executor");
+}
+
+TEST(CampaignExecutor, FiFtCampaignWithControlBlockInvariant) {
+  Fixture f(make_cp());
+  PlanOptions opt;
+  opt.max_vars = 8;
+  opt.masks_per_var = 4;
+  opt.error_bits = 6;
+  opt.seed = 5;
+  const auto specs = plan_faults(f.v.fift, f.pd, opt);
+  ASSERT_FALSE(specs.empty());
+
+  CampaignExecutor one(1);
+  const auto base = one.run(f.v.fift, f.factory(true), specs, f.w->requirement());
+  EXPECT_GT(base.counts.detected + base.counts.detected_masked, 0u)
+      << "detectors must fire so the invariance check covers detected outcomes";
+  for (const int workers : {2, 8}) {
+    CampaignExecutor ex(workers);
+    const auto res = ex.run(f.v.fift, f.factory(true), specs, f.w->requirement());
+    expect_same_result(base, res, "FI&FT campaign");
+  }
+}
+
+TEST(CampaignExecutor, MemoryFaultCampaignInvariant) {
+  Fixture f(make_sad());
+  CampaignExecutor one(1);
+  const auto base =
+      one.run_memory_faults(f.v.baseline, f.factory(false), 11, 40, 3, f.w->requirement());
+  EXPECT_EQ(base.per_fault.size(), 40u);
+  for (const int workers : {2, 8}) {
+    CampaignExecutor ex(workers);
+    const auto res =
+        ex.run_memory_faults(f.v.baseline, f.factory(false), 11, 40, 3, f.w->requirement());
+    expect_same_result(base, res, "memory-fault campaign");
+  }
+}
+
+TEST(CampaignExecutor, CodeFaultCampaignInvariant) {
+  Fixture f(make_pns());
+  CampaignExecutor one(1);
+  const auto base = one.run_code_faults(f.v.baseline, f.factory(false), 9, 50, f.w->requirement());
+  EXPECT_EQ(base.per_fault.size(), 50u);
+  EXPECT_GT(base.counts.failure, 0u);
+  for (const int workers : {2, 8}) {
+    CampaignExecutor ex(workers);
+    const auto res =
+        ex.run_code_faults(f.v.baseline, f.factory(false), 9, 50, f.w->requirement());
+    expect_same_result(base, res, "code-fault campaign");
+  }
+}
+
+TEST(CampaignExecutor, EmptySpecsYieldEmptyResult) {
+  Fixture f(make_cp());
+  CampaignExecutor ex(2);
+  const auto res = ex.run(f.v.fi, f.factory(false), {}, f.w->requirement());
+  EXPECT_TRUE(res.per_fault.empty());
+  EXPECT_EQ(res.counts.activated() + res.counts.not_activated, 0u);
+}
+
+TEST(CampaignExecutor, ZeroWorkersSelectsHardwareConcurrency) {
+  CampaignExecutor ex;
+  EXPECT_GE(ex.workers(), 1);
+}

@@ -193,6 +193,20 @@ TEST(CodeFault, InvalidMutantsAreFailures) {
   EXPECT_TRUE(validate_program(f.v.baseline));
 }
 
+TEST(CodeFault, JumpTargetAtProgramEndIsInvalid) {
+  // Regression: a branch target of exactly code.size() used to pass
+  // validation, but the interpreter then fetches one past the final Halt.
+  Fixture f(make_pns());
+  for (const kir::OpCode op : {kir::OpCode::Jmp, kir::OpCode::Jz}) {
+    kir::BytecodeProgram mutant = f.v.baseline;
+    mutant.code[0].op = op;
+    mutant.code[0].aux = static_cast<std::uint32_t>(mutant.code.size());
+    EXPECT_FALSE(validate_program(mutant)) << "target == code.size() is out of range";
+    mutant.code[0].aux = static_cast<std::uint32_t>(mutant.code.size() - 1);
+    EXPECT_TRUE(validate_program(mutant)) << "target of the final Halt is still in range";
+  }
+}
+
 TEST(CodeFault, CampaignMostlyCrashesOrMasks) {
   Fixture f(make_pns());
   const auto gold = golden_run(f.dev, f.v.baseline, *f.job);
