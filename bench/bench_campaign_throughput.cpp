@@ -101,6 +101,26 @@ int main(int argc, char** argv) {
   std::printf("\noutcome determinism across engines and worker counts: %s\n",
               deterministic ? "OK (bitwise identical)" : "MISMATCH (bug!)");
 
+  // Interpreter-engine comparison: the same sequential campaign on the
+  // reference switch interpreter (the baseline above runs the predecoded
+  // fast engine, the campaign default).
+  {
+    swifi::CampaignConfig rcfg;
+    rcfg.engine = gpusim::ExecEngine::Reference;
+    gpusim::Device refdev;
+    auto job = ctx.workload->make_job(ctx.dataset);
+    swifi::CampaignResult res;
+    const double ref_s = seconds([&] {
+      res = swifi::run_campaign(refdev, ctx.variants.fift, *job, ctx.cb.get(), specs,
+                                ctx.workload->requirement(), rcfg);
+    });
+    deterministic = deterministic && same_outcomes(base_res, res);
+    std::printf("\ninterpreter engine: fast %.3fs (%.1f trials/s) vs reference %.3fs "
+                "(%.1f trials/s) -> %.2fx, outcomes %s\n",
+                base_s, n / base_s, ref_s, n / ref_s, ref_s / base_s,
+                same_outcomes(base_res, res) ? "identical" : "MISMATCH");
+  }
+
   // Launch-plan cache ablation: same sequential campaign with the cache off.
   {
     gpusim::Device cold;

@@ -53,9 +53,35 @@ void BM_FtInstrumented(benchmark::State& state) {
   state.SetLabel(f.w->name());
 }
 
+/// Engine comparison: the predecoded fast engine vs the reference switch
+/// interpreter on the same workload (arg1: 0 = fast, 1 = reference).  The
+/// items/sec ratio between the two rows is the fast path's speedup; the
+/// engines are pinned bitwise-identical by test_differential_fuzz.
+void BM_Engine(benchmark::State& state) {
+  Fx f(static_cast<int>(state.range(0)));
+  const bool fast = state.range(1) == 0;
+  f.dev.set_engine(fast ? gpusim::ExecEngine::Fast : gpusim::ExecEngine::Reference);
+  // Job setup (allocation + host->device copies) is hoisted out of the timed
+  // loop: this benchmark isolates *interpreter* throughput, and trip counts
+  // in these kernels come from params, so relaunching over stale buffers
+  // executes the same instruction stream.
+  const auto args = f.job->setup(f.dev);
+  std::uint64_t instr = 0;
+  for (auto _ : state) {
+    const auto res = f.dev.launch(f.v.baseline, f.job->config(), args);
+    if (res.status != gpusim::LaunchStatus::Ok) state.SkipWithError("launch failed");
+    instr += res.instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instr));
+  state.SetLabel(f.w->name() + (fast ? "/fast" : "/reference"));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Baseline)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FtInstrumented)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Engine)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 6, 1), {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

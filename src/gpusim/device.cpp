@@ -17,6 +17,14 @@ using kir::Instr;
 using kir::OpCode;
 using kir::UnOp;
 
+const char* exec_engine_name(ExecEngine e) noexcept {
+  switch (e) {
+    case ExecEngine::Fast: return "fast";
+    case ExecEngine::Reference: return "reference";
+  }
+  return "?";
+}
+
 const char* launch_status_name(LaunchStatus s) noexcept {
   switch (s) {
     case LaunchStatus::Ok: return "ok";
@@ -62,19 +70,66 @@ constexpr std::uint32_t f_bits(float v) noexcept { return std::bit_cast<std::uin
 constexpr std::int32_t as_i(std::uint32_t b) noexcept { return static_cast<std::int32_t>(b); }
 constexpr std::uint32_t i_bits(std::int32_t v) noexcept { return static_cast<std::uint32_t>(v); }
 
+/// CUDA-like saturating f32 -> i32 conversion; NaN -> 0.  Shared by the
+/// reference evaluator and the fast engine's F2I handler so the two can
+/// never drift.
+inline std::uint32_t f2i_sat(std::uint32_t a) noexcept {
+  const float x = as_f(a);
+  if (std::isnan(x)) return 0;
+  if (x >= 2147483648.0f) return 0x7fffffffu;
+  if (x < -2147483648.0f) return 0x80000000u;
+  return i_bits(static_cast<std::int32_t>(x));
+}
+
+/// fmin/fmax tie-breaking on (-0.0, +0.0) is not pinned by IEEE 754, and the
+/// compiler may expand the builtin differently at different call sites (the
+/// differential fuzzer caught exactly this: fmin(-0.0f, +0.0f) returning a
+/// different zero in the fast engine than in eval_bin).  Forcing every
+/// engine through these single out-of-line bodies makes the choice —
+/// whatever it is — bitwise identical everywhere.
+[[gnu::noinline]] std::uint32_t fmin_bits(std::uint32_t a, std::uint32_t b) noexcept {
+  return f_bits(std::fmin(as_f(a), as_f(b)));
+}
+[[gnu::noinline]] std::uint32_t fmax_bits(std::uint32_t a, std::uint32_t b) noexcept {
+  return f_bits(std::fmax(as_f(a), as_f(b)));
+}
+
+/// f32 arithmetic shared by both engines.  x86 float ops propagate the
+/// *first* NaN operand's payload, and GCC may legally commute a float
+/// add/mul per call site — so the same `x + y` source can return a
+/// different NaN payload in the fast engine than in eval_bin (the fuzzer
+/// caught this through a float atomicAdd onto a stored integer that
+/// happened to be a NaN bit pattern).  Canonicalizing every NaN result
+/// removes the operand-order dependence while staying inlinable.
+inline std::uint32_t canon_f(float r) noexcept {
+  return r != r ? 0x7fc00000u : f_bits(r);
+}
+inline std::uint32_t fadd_bits(std::uint32_t a, std::uint32_t b) noexcept {
+  return canon_f(as_f(a) + as_f(b));
+}
+inline std::uint32_t fsub_bits(std::uint32_t a, std::uint32_t b) noexcept {
+  return canon_f(as_f(a) - as_f(b));
+}
+inline std::uint32_t fmul_bits(std::uint32_t a, std::uint32_t b) noexcept {
+  return canon_f(as_f(a) * as_f(b));
+}
+inline std::uint32_t fdiv_bits(std::uint32_t a, std::uint32_t b) noexcept {
+  return canon_f(as_f(a) / as_f(b));  // IEEE: /0 -> inf, no trap
+}
+
 /// Evaluate a binary op; `crash` set on integer division by zero.
 std::uint32_t eval_bin(BinOp op, DType t, std::uint32_t a, std::uint32_t b,
                        bool& crash) noexcept {
   if (t == DType::F32) {
     const float x = as_f(a), y = as_f(b);
     switch (op) {
-      case BinOp::Add: return f_bits(x + y);
-      case BinOp::Sub: return f_bits(x - y);
-      case BinOp::Mul: return f_bits(x * y);
-      case BinOp::Div: return f_bits(x / y);  // IEEE: /0 -> inf, no trap
+      case BinOp::Add: return fadd_bits(a, b);
+      case BinOp::Sub: return fsub_bits(a, b);
+      case BinOp::Mul: return fmul_bits(a, b);
+      case BinOp::Div: return fdiv_bits(a, b);
       case BinOp::Mod: return f_bits(std::fmod(x, y));
-      case BinOp::Min: return f_bits(std::fmin(x, y));
-      case BinOp::Max: return f_bits(std::fmax(x, y));
+      case BinOp::Min: return fmin_bits(a, b);
+      case BinOp::Max: return fmax_bits(a, b);
       case BinOp::Lt: return x < y;
       case BinOp::Le: return x <= y;
       case BinOp::Gt: return x > y;
@@ -168,13 +223,7 @@ std::uint32_t eval_un(UnOp op, DType t, std::uint32_t a) noexcept {
       case UnOp::Cos: return f_bits(std::cos(x));
       case UnOp::Floor: return f_bits(std::floor(x));
       case UnOp::CastF32: return a;
-      case UnOp::CastI32: {
-        // CUDA-like saturating conversion; NaN -> 0.
-        if (std::isnan(x)) return 0;
-        if (x >= 2147483648.0f) return 0x7fffffffu;
-        if (x < -2147483648.0f) return 0x80000000u;
-        return i_bits(static_cast<std::int32_t>(x));
-      }
+      case UnOp::CastI32: return f2i_sat(a);
     }
     return 0;
   }
@@ -296,8 +345,9 @@ class BlockExec {
  public:
   BlockExec(Device& dev, const kir::BytecodeProgram& prog, const LaunchConfig& cfg,
             const LaunchOptions& opts, const std::vector<std::uint32_t>& costs,
-            std::uint32_t block_linear)
+            const kir::DecodedProgram* decoded, std::uint32_t block_linear)
       : dev_(dev), prog_(prog), cfg_(cfg), opts_(opts), costs_(costs),
+        dec_(decoded ? decoded->code.data() : nullptr),
         block_linear_(block_linear),
         sm_(block_linear % dev.props().num_sms),
         bx_(block_linear % cfg.grid_x), by_(block_linear / cfg.grid_x),
@@ -326,6 +376,9 @@ class BlockExec {
   };
 
   ThreadStop run_thread(ThreadCtx& t, LaunchStatus& crash_status);
+  template <bool kCounts, bool kSimt, bool kHwFault>
+  ThreadStop run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status);
+  ThreadStop step_thread(ThreadCtx& t, LaunchStatus& crash_status);
   void finish_simt_cost();
   std::uint32_t builtin_value(const ThreadCtx& t, BuiltinVal b) const noexcept;
   void maybe_hw_fault(std::uint32_t& bits, DType t) noexcept;
@@ -335,8 +388,10 @@ class BlockExec {
   const LaunchConfig& cfg_;
   const LaunchOptions& opts_;
   const std::vector<std::uint32_t>& costs_;
+  const kir::DecodedInstr* dec_;  ///< fast-engine stream; nullptr -> reference
   std::uint32_t block_linear_, sm_, bx_, by_, threads_per_block_;
   std::vector<std::uint32_t> shared_;
+  int fast_mode_ = -1;  ///< run(): -1 reference, else fast specialization index
 };
 
 std::uint32_t BlockExec::builtin_value(const ThreadCtx& t, BuiltinVal b) const noexcept {
@@ -478,7 +533,7 @@ ThreadStop BlockExec::run_thread(ThreadCtx& t, LaunchStatus& crash_status) {
           return ThreadStop::Crash;
         }
         if (aux_type(in.aux) == DType::F32)
-          *w = f_bits(as_f(*w) + as_f(regs[in.b]));
+          *w = fadd_bits(*w, regs[in.b]);
         else
           *w = i_bits(static_cast<std::int32_t>(
               static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in.b])));
@@ -540,10 +595,316 @@ ThreadStop BlockExec::run_thread(ThreadCtx& t, LaunchStatus& crash_status) {
   }
 }
 
+/// The predecoded fast path.  Same observable semantics as run_thread,
+/// instruction for instruction: identical watchdog test, identical cost
+/// accounting order (cost charged, then loop attribution, then pc++), and
+/// identical crash/barrier/halt stop points.  Speed comes from three
+/// sources, none of which may change behavior:
+///
+///  1. the kir::DecodedInstr stream has the (op, type) dispatch pre-resolved
+///     and the per-pc cost/loop-cost pre-folded, so the hot loop is one
+///     dense switch with no aux decoding or cost-vector lookup;
+///  2. the profiling / SIMT-counting / hardware-fault checks are template
+///     parameters, so the common uninstrumented launch compiles to a loop
+///     with none of those branches;
+///  3. FlatGpu global accesses use the hoisted arena span (valid() ==
+///     addr < span.size(), addr == index — see DeviceMemory::flat_arena)
+///     instead of the out-of-line load()/store() calls.
+///
+/// Any (op, type) case whose bit-level behavior is not provably shared with
+/// the reference falls back to the same eval_un/eval_bin the reference
+/// calls (UnGeneric/BinGeneric), so the engines cannot drift there either.
+template <bool kCounts, bool kSimt, bool kHwFault>
+ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) {
+  using kir::DecodedOp;
+  const kir::DecodedInstr* const code = dec_;
+  std::uint32_t* const regs = t.regs;
+  DeviceMemory& mem = dev_.mem();
+  const std::span<std::uint32_t> arena = mem.flat_arena();
+  std::uint32_t* const gmem = arena.data();       // null for PagedCpu
+  const auto gsize = static_cast<std::uint32_t>(arena.size());
+  const auto ssize = static_cast<std::uint32_t>(shared_.size());
+  const std::uint64_t watchdog = opts_.watchdog_instructions;
+  [[maybe_unused]] const std::size_t n_instr = prog_.code.size();
+  std::uint64_t local_cycles = 0, local_loop = 0, local_instr = 0;
+
+  auto finish = [&] {
+    cycles += local_cycles;
+    loop_cycles += local_loop;
+    instructions += local_instr;
+    t.budget_used += local_instr;
+  };
+
+// Handler macros keep the ~70 type-resolved cases at one line apiece.
+// FAST_SET mirrors the reference Un/Bin tail exactly: optional hardware
+// fault on the result bits (typed by the *original* operand DType carried
+// in DecodedInstr::t, so the ALU-vs-FPU component filter matches), then the
+// register write.
+#define FAST_SET(expr)                                                      \
+  {                                                                         \
+    std::uint32_t r_ = (expr);                                              \
+    if constexpr (kHwFault) maybe_hw_fault(r_, static_cast<DType>(in.t));   \
+    regs[in.dst] = r_;                                                      \
+  }                                                                         \
+  break
+#define FAST_CRASH(st)          \
+  {                             \
+    crash_status = (st);        \
+    finish();                   \
+    return ThreadStop::Crash;   \
+  }
+
+  for (;;) {
+    if (local_instr + t.budget_used > watchdog) {
+      finish();
+      return ThreadStop::Budget;
+    }
+    const kir::DecodedInstr& in = code[t.pc];
+    local_cycles += in.cost;
+    local_loop += in.loop_cost;
+    ++local_instr;
+    if constexpr (kCounts) ++exec_counts[t.pc];
+    if constexpr (kSimt)
+      ++thread_counts[static_cast<std::size_t>(t.block_index) * n_instr + t.pc];
+    ++t.pc;
+
+    switch (in.op) {
+      case DecodedOp::Nop:
+        break;
+      case DecodedOp::Const:
+        regs[in.dst] = in.imm;
+        break;
+      case DecodedOp::Mov:
+        regs[in.dst] = regs[in.a];
+        if constexpr (kHwFault) {
+          if (dev_.fault_.component == DeviceFaultModel::Component::RegisterFile)
+            maybe_hw_fault(regs[in.dst], DType::I32);
+        }
+        break;
+      case DecodedOp::Builtin:
+        regs[in.dst] = builtin_value(t, static_cast<BuiltinVal>(in.aux));
+        break;
+      case DecodedOp::Select:
+        regs[in.dst] = regs[in.a] != 0 ? regs[in.b] : regs[static_cast<std::uint16_t>(in.imm)];
+        break;
+
+      // --- unary, type-resolved ---
+      case DecodedOp::NegF: FAST_SET(f_bits(-as_f(regs[in.a])));
+      case DecodedOp::NegI: FAST_SET(i_bits(-as_i(regs[in.a])));
+      case DecodedOp::NotF: FAST_SET(as_f(regs[in.a]) == 0.0f);
+      case DecodedOp::NotW: FAST_SET(regs[in.a] == 0);
+      case DecodedOp::BitNot: FAST_SET(~regs[in.a]);
+      case DecodedOp::AbsF: FAST_SET(f_bits(std::fabs(as_f(regs[in.a]))));
+      case DecodedOp::AbsI: {
+        const std::int32_t x = as_i(regs[in.a]);
+        FAST_SET(i_bits(x < 0 ? -x : x));
+      }
+      case DecodedOp::SqrtF: FAST_SET(f_bits(std::sqrt(as_f(regs[in.a]))));
+      case DecodedOp::RsqrtF: FAST_SET(f_bits(1.0f / std::sqrt(as_f(regs[in.a]))));
+      case DecodedOp::ExpF: FAST_SET(f_bits(std::exp(as_f(regs[in.a]))));
+      case DecodedOp::LogF: FAST_SET(f_bits(std::log(as_f(regs[in.a]))));
+      case DecodedOp::SinF: FAST_SET(f_bits(std::sin(as_f(regs[in.a]))));
+      case DecodedOp::CosF: FAST_SET(f_bits(std::cos(as_f(regs[in.a]))));
+      case DecodedOp::FloorF: FAST_SET(f_bits(std::floor(as_f(regs[in.a]))));
+      case DecodedOp::I2F: FAST_SET(f_bits(static_cast<float>(as_i(regs[in.a]))));
+      case DecodedOp::P2F: FAST_SET(f_bits(static_cast<float>(regs[in.a])));
+      case DecodedOp::F2I: FAST_SET(f2i_sat(regs[in.a]));
+      case DecodedOp::CopyA: FAST_SET(regs[in.a]);
+      case DecodedOp::UnGeneric:
+        FAST_SET(eval_un(static_cast<UnOp>(aux_op(in.aux)), aux_type(in.aux), regs[in.a]));
+
+      // --- binary, type-resolved ---
+      case DecodedOp::AddF: FAST_SET(fadd_bits(regs[in.a], regs[in.b]));
+      case DecodedOp::SubF: FAST_SET(fsub_bits(regs[in.a], regs[in.b]));
+      case DecodedOp::MulF: FAST_SET(fmul_bits(regs[in.a], regs[in.b]));
+      case DecodedOp::DivF: FAST_SET(fdiv_bits(regs[in.a], regs[in.b]));
+      case DecodedOp::MinF: FAST_SET(fmin_bits(regs[in.a], regs[in.b]));
+      case DecodedOp::MaxF: FAST_SET(fmax_bits(regs[in.a], regs[in.b]));
+      case DecodedOp::LtF: FAST_SET(as_f(regs[in.a]) < as_f(regs[in.b]));
+      case DecodedOp::LeF: FAST_SET(as_f(regs[in.a]) <= as_f(regs[in.b]));
+      case DecodedOp::GtF: FAST_SET(as_f(regs[in.a]) > as_f(regs[in.b]));
+      case DecodedOp::GeF: FAST_SET(as_f(regs[in.a]) >= as_f(regs[in.b]));
+      case DecodedOp::EqF: FAST_SET(as_f(regs[in.a]) == as_f(regs[in.b]));
+      case DecodedOp::NeF: FAST_SET(as_f(regs[in.a]) != as_f(regs[in.b]));
+      case DecodedOp::AddW: FAST_SET(regs[in.a] + regs[in.b]);
+      case DecodedOp::SubW: FAST_SET(regs[in.a] - regs[in.b]);
+      case DecodedOp::MulW: FAST_SET(regs[in.a] * regs[in.b]);
+      case DecodedOp::DivI: {
+        const std::int64_t x = as_i(regs[in.a]), y = as_i(regs[in.b]);
+        if (y == 0) FAST_CRASH(LaunchStatus::CrashDivByZero);
+        FAST_SET(i_bits(static_cast<std::int32_t>(x / y)));
+      }
+      case DecodedOp::ModI: {
+        const std::int64_t x = as_i(regs[in.a]), y = as_i(regs[in.b]);
+        if (y == 0) FAST_CRASH(LaunchStatus::CrashDivByZero);
+        FAST_SET(i_bits(static_cast<std::int32_t>(x % y)));
+      }
+      case DecodedOp::DivU:
+        if (regs[in.b] == 0) FAST_CRASH(LaunchStatus::CrashDivByZero);
+        FAST_SET(regs[in.a] / regs[in.b]);
+      case DecodedOp::ModU:
+        if (regs[in.b] == 0) FAST_CRASH(LaunchStatus::CrashDivByZero);
+        FAST_SET(regs[in.a] % regs[in.b]);
+      case DecodedOp::MinI: FAST_SET(as_i(regs[in.a]) < as_i(regs[in.b]) ? regs[in.a] : regs[in.b]);
+      case DecodedOp::MaxI: FAST_SET(as_i(regs[in.a]) > as_i(regs[in.b]) ? regs[in.a] : regs[in.b]);
+      case DecodedOp::MinU: FAST_SET(regs[in.a] < regs[in.b] ? regs[in.a] : regs[in.b]);
+      case DecodedOp::MaxU: FAST_SET(regs[in.a] > regs[in.b] ? regs[in.a] : regs[in.b]);
+      case DecodedOp::LtI: FAST_SET(as_i(regs[in.a]) < as_i(regs[in.b]));
+      case DecodedOp::LeI: FAST_SET(as_i(regs[in.a]) <= as_i(regs[in.b]));
+      case DecodedOp::GtI: FAST_SET(as_i(regs[in.a]) > as_i(regs[in.b]));
+      case DecodedOp::GeI: FAST_SET(as_i(regs[in.a]) >= as_i(regs[in.b]));
+      case DecodedOp::LtU: FAST_SET(regs[in.a] < regs[in.b]);
+      case DecodedOp::LeU: FAST_SET(regs[in.a] <= regs[in.b]);
+      case DecodedOp::GtU: FAST_SET(regs[in.a] > regs[in.b]);
+      case DecodedOp::GeU: FAST_SET(regs[in.a] >= regs[in.b]);
+      case DecodedOp::EqW: FAST_SET(regs[in.a] == regs[in.b]);
+      case DecodedOp::NeW: FAST_SET(regs[in.a] != regs[in.b]);
+      case DecodedOp::AndB: FAST_SET(regs[in.a] & regs[in.b]);
+      case DecodedOp::OrB: FAST_SET(regs[in.a] | regs[in.b]);
+      case DecodedOp::XorB: FAST_SET(regs[in.a] ^ regs[in.b]);
+      case DecodedOp::ShlB: FAST_SET(regs[in.a] << (regs[in.b] & 31));
+      case DecodedOp::ShrL: FAST_SET(regs[in.a] >> (regs[in.b] & 31));
+      case DecodedOp::ShrA: FAST_SET(i_bits(as_i(regs[in.a]) >> (regs[in.b] & 31)));
+      case DecodedOp::LAndW: FAST_SET((regs[in.a] != 0) && (regs[in.b] != 0));
+      case DecodedOp::LOrW: FAST_SET((regs[in.a] != 0) || (regs[in.b] != 0));
+      case DecodedOp::BinGeneric: {
+        bool crash = false;
+        const std::uint32_t r = eval_bin(static_cast<BinOp>(aux_op(in.aux)), aux_type(in.aux),
+                                         regs[in.a], regs[in.b], crash);
+        if (crash) FAST_CRASH(LaunchStatus::CrashDivByZero);
+        FAST_SET(r);
+      }
+
+      // --- memory ---
+      case DecodedOp::LoadG: {
+        const std::uint32_t addr = regs[in.a];
+        if (gmem) {
+          if (addr >= gsize) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+          regs[in.dst] = gmem[addr];
+        } else if (!mem.load(addr, regs[in.dst])) {
+          FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+        }
+        break;
+      }
+      case DecodedOp::StoreG: {
+        const std::uint32_t addr = regs[in.a];
+        if (gmem) {
+          if (addr >= gsize) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+          gmem[addr] = regs[in.b];
+        } else if (!mem.store(addr, regs[in.b])) {
+          FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+        }
+        break;
+      }
+      case DecodedOp::LoadS:
+        if (regs[in.a] >= ssize) FAST_CRASH(LaunchStatus::CrashSharedOutOfBounds);
+        regs[in.dst] = shared_[regs[in.a]];
+        break;
+      case DecodedOp::StoreS:
+        if (regs[in.a] >= ssize) FAST_CRASH(LaunchStatus::CrashSharedOutOfBounds);
+        shared_[regs[in.a]] = regs[in.b];
+        break;
+      case DecodedOp::AtomicAddF: {
+        std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
+        std::uint32_t* const w = gmem ? (regs[in.a] < gsize ? gmem + regs[in.a] : nullptr)
+                                      : mem.word_ptr(regs[in.a]);
+        if (!w) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+        *w = fadd_bits(*w, regs[in.b]);
+        break;
+      }
+      case DecodedOp::AtomicAddI: {
+        std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
+        std::uint32_t* const w = gmem ? (regs[in.a] < gsize ? gmem + regs[in.a] : nullptr)
+                                      : mem.word_ptr(regs[in.a]);
+        if (!w) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+        *w = i_bits(static_cast<std::int32_t>(
+            static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in.b])));
+        break;
+      }
+
+      // --- control flow ---
+      case DecodedOp::Jmp:
+        t.pc = in.aux;
+        break;
+      case DecodedOp::Jz:
+        if (regs[in.a] == 0) t.pc = in.aux;
+        break;
+      case DecodedOp::Barrier:
+        finish();
+        return ThreadStop::Barrier;
+      case DecodedOp::Halt:
+        finish();
+        t.done = true;
+        return ThreadStop::Done;
+
+      // --- Hauberk detectors / instrumentation hooks ---
+      case DecodedOp::ChkXor:
+        regs[in.dst] ^= regs[in.a];
+        break;
+      case DecodedOp::ChkValidate:
+        if (regs[in.dst] != 0) sdc = true;
+        break;
+      case DecodedOp::DupCmp:
+        if (regs[in.a] != regs[in.b]) sdc = true;
+        break;
+      case DecodedOp::RangeCheck:
+        if (opts_.hooks &&
+            opts_.hooks->check_range(static_cast<int>(in.aux),
+                                     kir::Value{static_cast<DType>(in.t), regs[in.a]}))
+          sdc = true;
+        break;
+      case DecodedOp::EqualCheck:
+        if (regs[in.a] != regs[in.b]) {
+          sdc = true;
+          if (opts_.hooks) opts_.hooks->equal_check_failed(static_cast<int>(in.aux));
+        }
+        break;
+      case DecodedOp::ProfileVal:
+        if (opts_.hooks)
+          opts_.hooks->profile_value(static_cast<int>(in.aux),
+                                     kir::Value{static_cast<DType>(in.t), regs[in.a]});
+        break;
+      case DecodedOp::CountExec:
+        if (opts_.hooks) opts_.hooks->count_exec(in.aux, t.linear);
+        break;
+      case DecodedOp::FIHook:
+        if (opts_.hooks) opts_.hooks->fi_hook(in.aux, t.linear, regs[in.a]);
+        break;
+
+      case DecodedOp::Invalid:
+      default:
+        FAST_CRASH(LaunchStatus::CrashInvalidInstr);
+    }
+  }
+#undef FAST_SET
+#undef FAST_CRASH
+}
+
+/// Engine dispatch for one thread time-slice: mode -1 is the reference
+/// switch interpreter; modes 0..7 select the fast-path specialization on
+/// (exec-count profiling, SIMT thread counting, hardware fault installed)
+/// so the common uninstrumented launch pays for none of those checks.
+ThreadStop BlockExec::step_thread(ThreadCtx& t, LaunchStatus& crash_status) {
+  switch (fast_mode_) {
+    case 0: return run_thread_fast<false, false, false>(t, crash_status);
+    case 1: return run_thread_fast<true, false, false>(t, crash_status);
+    case 2: return run_thread_fast<false, true, false>(t, crash_status);
+    case 3: return run_thread_fast<true, true, false>(t, crash_status);
+    case 4: return run_thread_fast<false, false, true>(t, crash_status);
+    case 5: return run_thread_fast<true, false, true>(t, crash_status);
+    case 6: return run_thread_fast<false, true, true>(t, crash_status);
+    case 7: return run_thread_fast<true, true, true>(t, crash_status);
+    default: return run_thread(t, crash_status);
+  }
+}
+
 LaunchStatus BlockExec::run(std::span<const kir::Value> args) {
   if (opts_.instr_exec_counts) exec_counts.assign(prog_.code.size(), 0);
   if (opts_.simt_cost)
     thread_counts.assign(static_cast<std::size_t>(threads_per_block_) * prog_.code.size(), 0);
+  fast_mode_ = dec_ ? ((exec_counts.empty() ? 0 : 1) | (thread_counts.empty() ? 0 : 2) |
+                       (dev_.has_fault() ? 4 : 0))
+                    : -1;
   const std::uint32_t slots = prog_.num_slots;
   std::vector<std::uint32_t> reg_slab(
       static_cast<std::size_t>(threads_per_block_) * slots, 0u);
@@ -567,7 +928,7 @@ LaunchStatus BlockExec::run(std::span<const kir::Value> args) {
         continue;
       }
       LaunchStatus crash = LaunchStatus::Ok;
-      switch (run_thread(t, crash)) {
+      switch (step_thread(t, crash)) {
         case ThreadStop::Done: ++done; break;
         case ThreadStop::Barrier: ++at_barrier; break;
         case ThreadStop::Crash: return crash;
@@ -685,12 +1046,21 @@ std::vector<std::uint32_t> compute_launch_costs(const kir::BytecodeProgram& prog
 
 }  // namespace
 
-std::shared_ptr<const std::vector<std::uint32_t>> Device::launch_plan(
+std::shared_ptr<const Device::LaunchPlan> Device::launch_plan(
     const kir::BytecodeProgram& program) {
+  // The decoded stream is always built alongside the cost vector: decoding
+  // is a single O(n) pass (trivial next to the spill analysis) and keeping
+  // both in one cached plan means flipping set_engine() between launches
+  // never invalidates or misses the cache.
+  auto build = [&] {
+    auto plan = std::make_shared<LaunchPlan>();
+    plan->costs = compute_launch_costs(program, cost_, props_.regs_per_thread);
+    plan->decoded = kir::decode_program(program, plan->costs);
+    return std::shared_ptr<const LaunchPlan>(std::move(plan));
+  };
   if (!plan_cache_enabled_) {
     plan_misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::make_shared<const std::vector<std::uint32_t>>(
-        compute_launch_costs(program, cost_, props_.regs_per_thread));
+    return build();
   }
   const std::uint64_t key = plan_fingerprint(program, cost_, props_.regs_per_thread);
   {
@@ -701,18 +1071,17 @@ std::shared_ptr<const std::vector<std::uint32_t>> Device::launch_plan(
         PlanEntry hit = *it;
         plan_cache_.erase(it);
         plan_cache_.push_back(hit);  // LRU: refresh
-        return hit.costs;
+        return hit.plan;
       }
     }
   }
   plan_misses_.fetch_add(1, std::memory_order_relaxed);
-  auto costs = std::make_shared<const std::vector<std::uint32_t>>(
-      compute_launch_costs(program, cost_, props_.regs_per_thread));
+  auto plan = build();
   std::lock_guard<std::mutex> lk(plan_mu_);
   if (plan_cache_.size() >= kPlanCacheCapacity)
     plan_cache_.erase(plan_cache_.begin());  // evict least recently used
-  plan_cache_.push_back(PlanEntry{key, program.code.size(), costs});
-  return costs;
+  plan_cache_.push_back(PlanEntry{key, program.code.size(), plan});
+  return plan;
 }
 
 LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchConfig& cfg,
@@ -729,7 +1098,9 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
   }
 
   const auto plan = launch_plan(program);
-  const std::vector<std::uint32_t>& costs = *plan;
+  const std::vector<std::uint32_t>& costs = plan->costs;
+  const kir::DecodedProgram* decoded =
+      engine_ == ExecEngine::Fast ? &plan->decoded : nullptr;
 
   const std::uint32_t num_blocks = cfg.grid_x * cfg.grid_y;
   std::atomic<std::uint32_t> next_block{0};
@@ -746,7 +1117,7 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
         return;
       const std::uint32_t b = next_block.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_blocks) return;
-      BlockExec exec(*this, program, cfg, opts, costs, b);
+      BlockExec exec(*this, program, cfg, opts, costs, decoded, b);
       const LaunchStatus st = exec.run(args);
       cycles.fetch_add(exec.cycles, std::memory_order_relaxed);
       loop_cycles.fetch_add(exec.loop_cycles, std::memory_order_relaxed);

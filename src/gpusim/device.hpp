@@ -100,6 +100,25 @@ enum class LaunchStatus : std::uint8_t {
 };
 
 [[nodiscard]] const char* launch_status_name(LaunchStatus s) noexcept;
+
+/// Interpreter engine selection.
+///
+///  * Fast — predecoded warp-interpreter path: runs threads over the
+///    kir::DecodedProgram stream cached with the launch plan (flat
+///    type-resolved opcodes, costs pre-folded, per-launch invariants such as
+///    memory bounds and profiling/fault modes hoisted out of the dispatch
+///    loop).  The default.
+///  * Reference — the original switch interpreter over raw bytecode, kept as
+///    the behavioral oracle.
+///
+/// The two engines are bitwise identical on every observable: registers,
+/// memory, cycle/instruction counts, SIMT cost, crash/hang status, detector
+/// verdicts, and FI outcomes.  tests/test_differential_fuzz.cpp holds this
+/// guarantee in place with a seeded program generator; any divergence is a
+/// bug in the fast engine, never an accepted tradeoff.
+enum class ExecEngine : std::uint8_t { Fast, Reference };
+
+[[nodiscard]] const char* exec_engine_name(ExecEngine e) noexcept;
 [[nodiscard]] constexpr bool is_crash(LaunchStatus s) noexcept {
   return s != LaunchStatus::Ok && s != LaunchStatus::Hang;
 }
@@ -207,6 +226,11 @@ class Device {
 
   std::mutex& atomic_mutex() noexcept { return atomic_mu_; }
 
+  /// Interpreter engine (see ExecEngine).  Takes effect on the next launch;
+  /// results are bitwise identical either way, only wall-clock changes.
+  void set_engine(ExecEngine e) noexcept { engine_ = e; }
+  [[nodiscard]] ExecEngine engine() const noexcept { return engine_; }
+
   // --- launch-plan cache ---
   // The spill analysis and per-instruction cost vector depend only on the
   // program, the cost model, and the register budget, yet a SWIFI campaign
@@ -229,16 +253,25 @@ class Device {
   std::atomic<std::uint64_t> fault_injected_ops_{0};
 
  private:
+  /// Everything derived from (program, cost model, register budget) that a
+  /// launch needs: the per-instruction cost vector (reference engine, SIMT
+  /// costing) and the predecoded instruction stream with those costs folded
+  /// in (fast engine).
+  struct LaunchPlan {
+    std::vector<std::uint32_t> costs;
+    kir::DecodedProgram decoded;
+  };
   struct PlanEntry {
     std::uint64_t key = 0;
     std::size_t code_size = 0;  ///< cheap secondary check against hash collisions
-    std::shared_ptr<const std::vector<std::uint32_t>> costs;
+    std::shared_ptr<const LaunchPlan> plan;
   };
   static constexpr std::size_t kPlanCacheCapacity = 16;
 
-  /// Spill analysis + cost vector for one launch, served from the cache
-  /// when possible.  The shared_ptr keeps a plan alive across eviction.
-  [[nodiscard]] std::shared_ptr<const std::vector<std::uint32_t>> launch_plan(
+  /// Spill analysis + cost vector + predecoded stream for one launch, served
+  /// from the cache when possible.  The shared_ptr keeps a plan alive across
+  /// eviction.
+  [[nodiscard]] std::shared_ptr<const LaunchPlan> launch_plan(
       const kir::BytecodeProgram& program);
 
   DeviceProps props_;
@@ -246,6 +279,7 @@ class Device {
   std::unique_ptr<DeviceMemory> mem_;
   std::mutex atomic_mu_;
   bool disabled_ = false;
+  ExecEngine engine_ = ExecEngine::Fast;
 
   bool plan_cache_enabled_ = true;
   std::vector<PlanEntry> plan_cache_;  ///< LRU order: most recent at the back

@@ -68,6 +68,16 @@ class DeviceMemory {
 
   [[nodiscard]] bool valid(std::uint32_t addr) const noexcept;
 
+  /// Fast-path view for the predecoded interpreter: when the model uses flat
+  /// addressing (FlatGpu: addr == storage index, valid() == addr < capacity)
+  /// the whole physical arena, so loads/stores reduce to one bounds compare
+  /// and one indexed access.  Empty for PagedCpu, whose extent lookup has no
+  /// such shortcut — callers must fall back to load()/store().
+  [[nodiscard]] std::span<std::uint32_t> flat_arena() noexcept {
+    return model_ == MemoryModel::FlatGpu ? std::span<std::uint32_t>(words_)
+                                          : std::span<std::uint32_t>{};
+  }
+
   /// Checkpoint support (CheCUDA-style, Section VI(i)): snapshot the live
   /// portion of the arena and restore it later.  Allocation metadata is not
   /// part of the image; callers snapshot and restore around launches of the

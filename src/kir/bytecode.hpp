@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -118,5 +119,101 @@ BytecodeProgram lower(const Kernel& kernel);
 
 /// Disassemble for debugging/tests.
 std::string disassemble(const BytecodeProgram& p);
+
+// ---------------------------------------------------------------------------
+// Predecoded execution form
+// ---------------------------------------------------------------------------
+//
+// The interpreter's reference engine re-derives everything per executed
+// instruction: it switches on OpCode, unpacks the operator and operand type
+// from `aux`, branches on the flag byte for loop attribution, and indexes a
+// separate cost vector.  A SWIFI campaign executes the same few hundred
+// instructions billions of times, so the fast engine instead runs over this
+// predecoded stream where all of that is resolved once per program:
+//
+//  * `DecodedOp` is a flat opcode with the operator *and* operand type folded
+//    in (`Bin(aux=Add,F32)` becomes `AddF`); combinations whose bit-level
+//    semantics coincide share one entry (e.g. i32/ptr add both wrap mod 2^32
+//    and decode to `AddW`), and anything rare falls back to `UnGeneric` /
+//    `BinGeneric`, which re-dispatch exactly like the reference engine.
+//  * the per-execution cycle cost (including spill surcharge and duplication
+//    discounts) and its loop-attributed share are pre-folded into each
+//    instruction, so the hot loop charges both with unconditional adds.
+//  * detector operand types (RangeCheck/ProfileVal) are pre-resolved from
+//    DetectorMeta into the `t` byte.
+//
+// The stream is position-stable: decoded[pc] corresponds to code[pc], so
+// jump targets, execution-count profiles, and SIMT cost vectors carry over
+// unchanged, and a mid-kernel crash happens at the same pc with the same
+// partial side effects as the reference engine.
+enum class DecodedOp : std::uint8_t {
+  Nop = 0,
+  Const,     ///< dst <- imm
+  Mov,       ///< dst <- a
+  Builtin,   ///< dst <- builtin(aux)
+  Select,    ///< dst <- a ? b : slot(imm)
+
+  // Unary, type-resolved.
+  NegF, NegI, NotF, NotW, BitNot, AbsF, AbsI,
+  SqrtF, RsqrtF, ExpF, LogF, SinF, CosF, FloorF,
+  I2F,       ///< CastF32 of a signed i32
+  P2F,       ///< CastF32 of an unsigned ptr word
+  F2I,       ///< CastI32 of an f32 (saturating, NaN -> 0)
+  CopyA,     ///< identity cast: dst <- a
+  UnGeneric, ///< anything else: unpack aux, call the reference evaluator
+
+  // Binary, type-resolved.  W = bitwise-identical for i32 and ptr.
+  AddF, SubF, MulF, DivF, MinF, MaxF,
+  LtF, LeF, GtF, GeF, EqF, NeF,
+  AddW, SubW, MulW,
+  DivI, ModI, DivU, ModU,
+  MinI, MaxI, MinU, MaxU,
+  LtI, LeI, GtI, GeI,
+  LtU, LeU, GtU, GeU,
+  EqW, NeW,
+  AndB, OrB, XorB, ShlB, ShrL, ShrA,
+  LAndW, LOrW,
+  BinGeneric,
+
+  // Memory.
+  LoadG, StoreG, LoadS, StoreS,
+  AtomicAddF, AtomicAddI,
+
+  // Control.
+  Jmp, Jz, Barrier, Halt,
+
+  // Hauberk runtime / profiler / FI library calls.
+  ChkXor, ChkValidate, DupCmp, RangeCheck, EqualCheck,
+  ProfileVal, CountExec, FIHook,
+
+  Invalid,   ///< undecodable encoding (code-segment fault)
+};
+
+/// One predecoded instruction (24 bytes).  `cost`/`loop_cost` are the
+/// pre-folded cycle charges; `t` is the operand DType where the handler
+/// still needs one at run time (hardware-fault typing, detector values).
+struct DecodedInstr {
+  DecodedOp op = DecodedOp::Invalid;
+  std::uint8_t t = 0;      ///< static_cast<DType>: fault/detector value type
+  std::uint16_t dst = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t aux = 0;   ///< jump target / builtin / detector / site / packed op
+  std::uint32_t imm = 0;   ///< Const bits; Select else-slot
+  std::uint32_t cost = 0;      ///< cycles charged per execution
+  std::uint32_t loop_cost = 0; ///< == cost when the source line is in a loop, else 0
+};
+
+struct DecodedProgram {
+  std::vector<DecodedInstr> code;  ///< 1:1 with BytecodeProgram::code
+};
+
+/// Predecode `p` against a per-instruction cost vector (one entry per
+/// instruction, as produced by the device's launch-plan analysis).  Never
+/// fails: undecodable encodings become DecodedOp::Invalid, which the fast
+/// engine reports as a code-segment crash exactly like the reference
+/// engine's default case.
+DecodedProgram decode_program(const BytecodeProgram& p,
+                              std::span<const std::uint32_t> costs);
 
 }  // namespace hauberk::kir

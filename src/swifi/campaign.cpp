@@ -144,6 +144,7 @@ CampaignResult run_campaign(Device& dev, const kir::BytecodeProgram& program,
                             core::KernelJob& job, core::ControlBlock* cb,
                             const std::vector<FaultSpec>& specs,
                             const workloads::Requirement& req, const CampaignConfig& cfg) {
+  dev.set_engine(cfg.engine);
   const GoldenRun gold = golden_run(dev, program, job, cb, cfg.launch_workers);
   const std::uint64_t watchdog = campaign_watchdog(gold, cfg);
   CampaignResult result;

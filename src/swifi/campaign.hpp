@@ -46,6 +46,10 @@ struct CampaignConfig {
   /// a single worker: no per-launch pool churn, and no core oversubscription
   /// when campaign workers saturate the host.  0 = hardware concurrency.
   int launch_workers = 1;
+  /// Interpreter engine for every campaign device (golden run and trials
+  /// alike).  Engines are bitwise identical, so this only changes campaign
+  /// wall-clock; Reference exists as the oracle for differential testing.
+  gpusim::ExecEngine engine = gpusim::ExecEngine::Fast;
 };
 
 struct CampaignResult {

@@ -1,0 +1,471 @@
+// Differential fuzzer for the two interpreter engines (gpusim::ExecEngine).
+//
+// A seeded generator builds random kernels over the builder DSL — arithmetic
+// of all three types, loads/stores (mostly in-bounds, occasionally wild),
+// shared memory, atomics, nested loops, divergent branches, barriers (some
+// deliberately deadlocking), division by zero and intentional hangs — lowers
+// them, and runs each program through the fast predecoded engine and the
+// reference switch interpreter.  Every observable must match bitwise:
+// status, SDC alarm, cycle/loop-cycle/instruction/SIMT totals, the entire
+// device memory image (which covers partial state of crashed runs), and the
+// per-instruction execution profile.  A subset is additionally run through
+// the Hauberk FT translator (detector semantics) and through memory-fault
+// campaigns with 1 vs N workers on both engines.
+//
+// Reproducing a failure: every divergence report starts with the program
+// index and the kernel pretty-printed by kir::print_kernel.  Environment
+// knobs: HAUBERK_FUZZ_PROGRAMS overrides the program count (CI smoke uses
+// ~200, local soaks 1000+); HAUBERK_FUZZ_SEED overrides the campaign seed;
+// HAUBERK_FUZZ_DUMP_DIR additionally writes each failing program to
+// <dir>/fuzz_<index>.kir so CI can upload them as artifacts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "hauberk/control_block.hpp"
+#include "hauberk/translator.hpp"
+#include "kir/builder.hpp"
+#include "kir/bytecode.hpp"
+#include "kir/printer.hpp"
+#include "swifi/executor.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using namespace hauberk::kir;
+using hauberk::common::Rng;
+
+namespace {
+
+constexpr std::uint32_t kBufWords = 64;  // in/out buffers; power of two for masking
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v && *v ? std::strtoull(v, nullptr, 0) : fallback;  // base 0: 0x… works
+}
+
+// ---------------------------------------------------------------------------
+// Random program generation
+// ---------------------------------------------------------------------------
+
+struct FuzzProgram {
+  Kernel kernel;
+  gpusim::LaunchConfig cfg;
+  gpusim::MemoryModel mem_model = gpusim::MemoryModel::FlatGpu;
+};
+
+/// Grows one random kernel with the fixed signature (out: ptr, in: ptr,
+/// n: i32).  All choices are drawn from the supplied Rng, so a (seed, index)
+/// pair fully reproduces a program.
+class ProgramGen {
+ public:
+  explicit ProgramGen(Rng& rng) : rng_(rng) {}
+
+  FuzzProgram gen() {
+    FuzzProgram fp;
+    shared_words_ = pick_of<std::uint32_t>({0, 0, 16, 32});
+    KernelBuilder kb("fuzz", shared_words_);
+    ExprH out = kb.param_ptr("out");
+    ExprH in = kb.param_ptr("in");
+    ExprH n = kb.param_i32("n");
+    ptrs_ = {out, in};
+    i32s_ = {n, kb.thread_linear(), kb.tid_x(), kb.bid_x(), kb.bdim_x(),
+             i32c(0), i32c(1), i32c(7), i32c(-3), i32c(1000000007)};
+    f32s_ = {f32c(0.0f), f32c(1.5f), f32c(-3.25f), f32c(1e30f),
+             f32c(std::numeric_limits<float>::infinity()), f32c(0.125f)};
+    mutable_f32_.clear();
+    mutable_i32_.clear();
+
+    const int stmts = 4 + static_cast<int>(rng_.next_below(18));
+    for (int s = 0; s < stmts; ++s) statement(kb, 0);
+    // Always end with at least one observable store so "everything masked"
+    // programs still differentiate engine output state.
+    kb.store(safe_addr(), f32_expr());
+
+    fp.kernel = kb.build();
+    fp.cfg.grid_x = 1 + static_cast<std::uint32_t>(rng_.next_below(2));
+    fp.cfg.block_x = pick_of<std::uint32_t>({1, 4, 8, 32});
+    fp.cfg.block_y = chance(10) ? 2 : 1;
+    fp.mem_model = chance(10) ? gpusim::MemoryModel::PagedCpu
+                              : gpusim::MemoryModel::FlatGpu;
+    return fp;
+  }
+
+ private:
+  bool chance(unsigned percent) { return rng_.next_below(100) < percent; }
+
+  template <typename T>
+  T pick_of(std::initializer_list<T> opts) {
+    return *(opts.begin() + rng_.next_below(opts.size()));
+  }
+  ExprH pick(const std::vector<ExprH>& pool) {
+    return pool[rng_.next_below(pool.size())];
+  }
+
+  ExprH i32_expr() {
+    ExprH a = pick(i32s_);
+    switch (rng_.next_below(12)) {
+      case 0: return a + pick(i32s_);
+      case 1: return a - pick(i32s_);
+      case 2: return a * pick(i32s_);
+      case 3: return a / pick(i32s_);  // may divide by zero: both engines crash
+      case 4: return a % pick(i32s_);
+      case 5: return a & pick(i32s_);
+      case 6: return a | pick(i32s_);
+      case 7: return a ^ pick(i32s_);
+      case 8: return a << pick(i32s_);
+      case 9: return a >> pick(i32s_);
+      case 10: return -a;
+      default: return a;
+    }
+  }
+
+  ExprH f32_expr() {
+    ExprH a = pick(f32s_);
+    switch (rng_.next_below(14)) {
+      case 0: return a + pick(f32s_);
+      case 1: return a - pick(f32s_);
+      case 2: return a * pick(f32s_);
+      case 3: return a / pick(f32s_);        // /0 -> inf, no trap
+      case 4: return a % pick(f32s_);        // fmod: BinGeneric path
+      case 5: return sqrt_(a);               // negative -> NaN
+      case 6: return min_(a, pick(f32s_));
+      case 7: return max_(a, pick(f32s_));
+      case 8: return abs_(a);
+      case 9: return sin_(a);
+      case 10: return to_f32(pick(i32s_));
+      case 11: return select_(cond_expr(), a, pick(f32s_));
+      case 12: return -a;
+      default: return a;
+    }
+  }
+
+  ExprH cond_expr() {
+    if (chance(50)) {
+      ExprH a = pick(i32s_), b = pick(i32s_);
+      switch (rng_.next_below(6)) {
+        case 0: return a < b;
+        case 1: return a <= b;
+        case 2: return a > b;
+        case 3: return a == b;
+        case 4: return a != b;
+        default: return (a < b) && (b != i32c(0));
+      }
+    }
+    ExprH a = pick(f32s_), b = pick(f32s_);  // NaN/-0.0 compare semantics
+    return chance(50) ? (a < b) : (a == b);
+  }
+
+  /// In-bounds address: base + (i32 & (kBufWords-1)).  A masked non-negative
+  /// word offset always lands inside the 64-word buffer.
+  ExprH safe_addr() {
+    return pick(ptrs_) + (i32_expr() & i32c(kBufWords - 1));
+  }
+  /// Occasionally wild: raw offsets may go far out of bounds (or negative,
+  /// wrapping to huge) — the engines must agree on the crash.
+  ExprH addr() { return chance(8) ? pick(ptrs_) + i32_expr() : safe_addr(); }
+
+  void statement(KernelBuilder& kb, int depth) {
+    const std::uint64_t roll = rng_.next_below(100);
+    if (roll < 22) {  // new f32 variable
+      ExprH v = kb.let("f" + std::to_string(serial_++), f32_expr());
+      f32s_.push_back(v);
+      mutable_f32_.push_back(v);
+    } else if (roll < 38) {  // new i32 variable
+      ExprH v = kb.let("i" + std::to_string(serial_++), i32_expr());
+      i32s_.push_back(v);
+      mutable_i32_.push_back(v);
+    } else if (roll < 50) {  // reassignment
+      if (!mutable_f32_.empty() && chance(50))
+        kb.assign(pick(mutable_f32_), f32_expr());
+      else if (!mutable_i32_.empty())
+        kb.assign(pick(mutable_i32_), i32_expr());
+    } else if (roll < 62) {  // global store
+      kb.store(addr(), chance(60) ? f32_expr() : i32_expr());
+    } else if (roll < 68) {  // shared memory
+      if (shared_words_ > 0) {
+        ExprH idx = i32_expr() & i32c(static_cast<std::int32_t>(shared_words_ - 1));
+        if (chance(50)) {
+          kb.shstore(idx, f32_expr());
+        } else {
+          ExprH v = kb.let("s" + std::to_string(serial_++), kb.shload_f32(idx));
+          f32s_.push_back(v);
+        }
+      }
+    } else if (roll < 74) {  // atomic accumulation
+      kb.atomic_add(safe_addr(), f32_expr());
+    } else if (roll < 84 && depth < 2) {  // branch
+      if (chance(60)) {
+        kb.if_then_else(
+            cond_expr(), [&] { statement(kb, depth + 1); },
+            [&] { statement(kb, depth + 1); });
+      } else {
+        kb.if_then(cond_expr(), [&] {
+          statement(kb, depth + 1);
+          // Rare divergent barrier: threads skipping the branch leave the
+          // others waiting -> CrashBarrierDeadlock on both engines.
+          if (chance(6)) kb.barrier();
+        });
+      }
+    } else if (roll < 92 && depth < 2) {  // counted loop
+      const auto trip = static_cast<std::int32_t>(1 + rng_.next_below(5));
+      kb.for_loop("k" + std::to_string(serial_++), i32c(0), i32c(trip),
+                  [&](ExprH it) {
+                    i32s_.push_back(it);
+                    statement(kb, depth + 1);
+                    if (chance(30)) statement(kb, depth + 1);
+                  });
+    } else if (roll < 95 && depth < 2) {  // while loop, occasionally infinite
+      ExprH c = kb.let("w" + std::to_string(serial_++), i32c(0));
+      const bool hang = chance(4);  // watchdog Hang must match too
+      const auto lim = static_cast<std::int32_t>(1 + rng_.next_below(4));
+      kb.while_loop([&, c] { return hang ? (c >= i32c(0)) : (c < i32c(lim)); },
+                    [&, c] {
+                      statement(kb, depth + 1);
+                      kb.assign(c, c + i32c(1));
+                    });
+    } else if (roll < 97) {
+      kb.barrier();  // uniform barrier at this nesting level
+    } else {  // integer division hazard in a fresh variable
+      ExprH v = kb.let("d" + std::to_string(serial_++), pick(i32s_) / i32_expr());
+      i32s_.push_back(v);
+    }
+  }
+
+  Rng& rng_;
+  std::uint32_t shared_words_ = 0;
+  int serial_ = 0;
+  std::vector<ExprH> ptrs_, i32s_, f32s_;
+  std::vector<ExprH> mutable_f32_, mutable_i32_;
+};
+
+// ---------------------------------------------------------------------------
+// Differential harness
+// ---------------------------------------------------------------------------
+
+/// Everything one engine run exposes; compared field-for-field.
+struct EngineRun {
+  gpusim::LaunchResult res;
+  std::vector<std::uint32_t> mem;           ///< full live arena, incl. crashes
+  std::vector<std::uint64_t> exec_counts;   ///< per-pc execution profile
+  bool cb_sdc = false;
+  std::uint64_t cb_checks = 0, cb_violations = 0;
+};
+
+/// Deterministic input staging shared by both engines.
+void stage_input(std::vector<std::uint32_t>& words, std::uint64_t salt) {
+  Rng r = Rng::fork(salt, 0xdeadbeef);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    // Alternate float-looking and integer-looking patterns.
+    words[i] = (i % 3 == 0) ? Value::f32(r.next_float() * 8.0f - 4.0f).bits
+                            : r.next_u32();
+  }
+}
+
+EngineRun run_engine(const BytecodeProgram& prog, const FuzzProgram& fp,
+                     gpusim::ExecEngine engine, std::uint64_t salt,
+                     bool with_cb) {
+  gpusim::DeviceProps props;
+  props.global_mem_words = 1u << 16;
+  props.memory_model = fp.mem_model;
+  gpusim::Device dev(props);
+  dev.set_engine(engine);
+
+  const std::uint32_t out_a = dev.mem().alloc(kBufWords, gpusim::AllocClass::F32Data);
+  const std::uint32_t in_a = dev.mem().alloc(kBufWords, gpusim::AllocClass::F32Data);
+  std::vector<std::uint32_t> input(kBufWords);
+  stage_input(input, salt);
+  dev.mem().copy_in(in_a, input);
+
+  const Value args[] = {Value::ptr(out_a), Value::ptr(in_a),
+                        Value::i32(kBufWords)};
+  core::ControlBlock cb(prog);
+  gpusim::LaunchOptions opts;
+  opts.watchdog_instructions = 10'000;
+  opts.max_workers = 1;
+  opts.simt_cost = true;
+  opts.hooks = with_cb ? &cb : nullptr;
+  EngineRun r;
+  std::vector<std::uint64_t> counts;
+  opts.instr_exec_counts = &counts;
+  r.res = dev.launch(prog, fp.cfg, args, opts);
+  r.mem = dev.mem().image();
+  r.exec_counts = std::move(counts);
+  if (with_cb) {
+    r.cb_sdc = cb.sdc_detected();
+    r.cb_checks = cb.total_checks();
+    r.cb_violations = cb.total_violations();
+  }
+  return r;
+}
+
+/// Compares one program's runs; on divergence reports the pretty-printed
+/// kernel and (when HAUBERK_FUZZ_DUMP_DIR is set) writes it to disk.
+void expect_identical(const EngineRun& fast, const EngineRun& ref,
+                      const FuzzProgram& fp, std::size_t index,
+                      const char* phase) {
+  const bool same = fast.res.status == ref.res.status &&
+                    fast.res.sdc_alarm == ref.res.sdc_alarm &&
+                    fast.res.cycles == ref.res.cycles &&
+                    fast.res.loop_cycles == ref.res.loop_cycles &&
+                    fast.res.instructions == ref.res.instructions &&
+                    fast.res.simt_cycles == ref.res.simt_cycles &&
+                    fast.mem == ref.mem && fast.exec_counts == ref.exec_counts &&
+                    fast.cb_sdc == ref.cb_sdc && fast.cb_checks == ref.cb_checks &&
+                    fast.cb_violations == ref.cb_violations;
+  if (same) return;
+
+  std::string mem_diff;
+  for (std::size_t w = 0; w < fast.mem.size() && w < ref.mem.size(); ++w) {
+    if (fast.mem[w] != ref.mem[w]) {
+      mem_diff += "\n  word " + std::to_string(w) + ": fast=0x" +
+                  std::to_string(fast.mem[w]) + " ref=0x" + std::to_string(ref.mem[w]);
+      if (mem_diff.size() > 400) break;
+    }
+  }
+  const std::string dump = print_kernel(fp.kernel);
+  ADD_FAILURE() << "engine divergence at program " << index << " (" << phase
+                << ")\n"
+                << "  fast: status=" << gpusim::launch_status_name(fast.res.status)
+                << " cycles=" << fast.res.cycles
+                << " instr=" << fast.res.instructions
+                << " simt=" << fast.res.simt_cycles << " sdc=" << fast.res.sdc_alarm
+                << "\n  ref:  status=" << gpusim::launch_status_name(ref.res.status)
+                << " cycles=" << ref.res.cycles << " instr=" << ref.res.instructions
+                << " simt=" << ref.res.simt_cycles << " sdc=" << ref.res.sdc_alarm
+                << "\n  mem equal=" << (fast.mem == ref.mem)
+                << " profile equal=" << (fast.exec_counts == ref.exec_counts)
+                << mem_diff
+                << "\n--- program ---\n"
+                << dump;
+  if (const char* dir = std::getenv("HAUBERK_FUZZ_DUMP_DIR"); dir && *dir) {
+    std::ofstream f(std::string(dir) + "/fuzz_" + std::to_string(index) + ".kir");
+    f << "# phase: " << phase << "\n" << dump;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialFuzz, FastEngineMatchesReferenceEverywhere) {
+  const std::uint64_t seed = env_u64("HAUBERK_FUZZ_SEED", 0xfa57'0001);
+  const auto programs =
+      static_cast<std::size_t>(env_u64("HAUBERK_FUZZ_PROGRAMS", 400));
+
+  std::size_t ok = 0, crash = 0, hang = 0, ft_checked = 0;
+  for (std::size_t i = 0; i < programs; ++i) {
+    Rng rng = Rng::fork(seed, i);
+    ProgramGen gen(rng);
+    const FuzzProgram fp = gen.gen();
+    const BytecodeProgram prog = lower(fp.kernel);
+
+    const EngineRun fast = run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false);
+    const EngineRun ref =
+        run_engine(prog, fp, gpusim::ExecEngine::Reference, i, false);
+    expect_identical(fast, ref, fp, i, "baseline");
+
+    switch (fast.res.status) {
+      case gpusim::LaunchStatus::Ok: ++ok; break;
+      case gpusim::LaunchStatus::Hang: ++hang; break;
+      default: ++crash; break;
+    }
+
+    // FT differential on a slice of the clean programs: detectors, checksum
+    // code, and the hook-driven control block must agree too.
+    if (fast.res.status == gpusim::LaunchStatus::Ok && i % 7 == 0) {
+      try {
+        core::TranslateOptions topt;
+        topt.mode = core::LibMode::FT;
+        const BytecodeProgram ft = lower(core::translate(fp.kernel, topt));
+        const EngineRun ffast = run_engine(ft, fp, gpusim::ExecEngine::Fast, i, true);
+        const EngineRun fref =
+            run_engine(ft, fp, gpusim::ExecEngine::Reference, i, true);
+        expect_identical(ffast, fref, fp, i, "ft");
+        ++ft_checked;
+      } catch (const std::exception&) {
+        // The translator may reject exotic generated kernels; that is not an
+        // engine-equivalence concern.
+      }
+    }
+    if (::testing::Test::HasFailure()) break;  // first divergence is enough
+  }
+
+  // The generator must actually exercise the interesting regions; a fuzzer
+  // that only produces clean runs proves much less.
+  EXPECT_GT(ok, programs / 4) << "generator produces too few clean programs";
+  EXPECT_GT(crash, 0u) << "generator never crashed a kernel";
+  EXPECT_GT(ft_checked, 0u) << "no FT-instrumented program was compared";
+  (void)hang;  // hangs are seed-dependent; equality is asserted per program
+}
+
+TEST(DifferentialFuzz, CampaignsAgreeAcrossEnginesAndWorkerCounts) {
+  // Memory-fault campaigns over generated programs: the (engine x workers)
+  // matrix must yield bitwise-identical per-trial outcomes.
+  const std::uint64_t seed = env_u64("HAUBERK_FUZZ_SEED", 0xfa57'0002);
+  using workloads::BufferJob;
+
+  std::size_t campaigns = 0;
+  for (std::size_t i = 0; campaigns < 3 && i < 64; ++i) {
+    Rng rng = Rng::fork(seed, 1'000'000 + i);
+    ProgramGen gen(rng);
+    FuzzProgram fp = gen.gen();
+    fp.mem_model = gpusim::MemoryModel::FlatGpu;
+    const BytecodeProgram prog = lower(fp.kernel);
+
+    // Only campaign on programs whose golden run completes.
+    if (run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false).res.status !=
+        gpusim::LaunchStatus::Ok)
+      continue;
+    ++campaigns;
+
+    std::vector<std::uint32_t> input(kBufWords);
+    stage_input(input, i);
+    auto factory = [&fp, input] {
+      swifi::WorkerContext ctx;
+      gpusim::DeviceProps props;
+      props.global_mem_words = 1u << 16;
+      props.memory_model = fp.mem_model;
+      ctx.device = std::make_unique<gpusim::Device>(props);
+      std::vector<BufferJob::Buffer> bufs(2);
+      bufs[0].data.assign(kBufWords, 0u);  // out
+      bufs[1].data = input;                // in
+      ctx.job = std::make_unique<BufferJob>(
+          std::move(bufs),
+          std::vector<BufferJob::Arg>{BufferJob::Arg::buf(0), BufferJob::Arg::buf(1),
+                                      BufferJob::Arg::val(Value::i32(kBufWords))},
+          fp.cfg, /*output_buffer=*/0, DType::F32);
+      return ctx;
+    };
+
+    const workloads::Requirement req{};  // Exact
+    swifi::CampaignConfig ccfg;
+    ccfg.hang_floor = 20'000;
+
+    swifi::CampaignExecutor one(1);
+    const auto base = one.run_memory_faults(prog, factory, seed + i, 40, 2, req, ccfg);
+    ASSERT_EQ(base.per_fault.size(), 40u);
+
+    for (const int workers : {2, 8}) {
+      swifi::CampaignExecutor ex(workers);
+      const auto res = ex.run_memory_faults(prog, factory, seed + i, 40, 2, req, ccfg);
+      ASSERT_EQ(res.per_fault, base.per_fault)
+          << "worker count " << workers << " diverged on fuzz program " << i;
+    }
+    swifi::CampaignConfig rcfg = ccfg;
+    rcfg.engine = gpusim::ExecEngine::Reference;
+    swifi::CampaignExecutor ref_ex(4);
+    const auto ref = ref_ex.run_memory_faults(prog, factory, seed + i, 40, 2, req, rcfg);
+    ASSERT_EQ(ref.per_fault, base.per_fault)
+        << "reference-engine campaign diverged on fuzz program " << i;
+  }
+  EXPECT_EQ(campaigns, 3u) << "not enough clean fuzz programs for campaigns";
+}

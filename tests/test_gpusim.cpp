@@ -370,6 +370,75 @@ TEST(Cost, RegisterSpillIncreasesCycles) {
   EXPECT_GT(r2.cycles, r1.cycles);
 }
 
+namespace {
+
+/// Hand-assembled program exercising every detector opcode exactly once
+/// (plus two Consts and two ChkXors), with values chosen so no check fires.
+/// Fields: {op, flags, dst, a, b, aux, imm}.
+BytecodeProgram detector_program() {
+  BytecodeProgram p;
+  p.name = "detops";
+  p.num_slots = 2;
+  p.slot_types = {DType::I32, DType::I32};
+  p.detectors.push_back({0, "acc", DType::F32, false});
+  p.code = {
+      {OpCode::Const, 0, 0, 0, 0, 0, 0},     // slot0 = 0 (checksum accumulator)
+      {OpCode::Const, 0, 1, 0, 0, 0, 5},     // slot1 = 5 (checked value)
+      {OpCode::ChkXor, 0, 0, 1, 0, 0, 0},    // slot0 ^= slot1  -> 5
+      {OpCode::ChkXor, 0, 0, 1, 0, 0, 0},    // slot0 ^= slot1  -> 0
+      {OpCode::ChkValidate, 0, 0, 0, 0, 0, 0},  // slot0 == 0: checksum intact
+      {OpCode::DupCmp, 0, 0, 1, 1, 0, 0},       // slot1 == slot1: duplicates agree
+      {OpCode::RangeCheck, 0, 0, 1, 0, 0, 0},   // detector 0 (no hooks -> no-op)
+      {OpCode::EqualCheck, 0, 0, 1, 1, 0, 0},   // equal: no violation
+      {OpCode::Halt, 0, 0, 0, 0, 0, 0},
+  };
+  return p;
+}
+
+}  // namespace
+
+TEST(Cost, DetectorOpcodeCyclesMatchCostModelOnBothEngines) {
+  // Pins the per-opcode charge of the Hauberk detector instructions
+  // (Table I's runtime overhead mechanism) to the cost model, on both the
+  // predecoded fast engine and the reference switch interpreter.
+  const auto prog = detector_program();
+  for (const auto engine : {ExecEngine::Fast, ExecEngine::Reference}) {
+    Device dev(small_props());
+    dev.set_engine(engine);
+    const CostModel& cm = dev.cost_model();
+    const std::uint64_t expected = 2ull * cm.alu            // two Consts
+                                   + 2ull * cm.chk_xor      // checksum updates
+                                   + cm.chk_validate + cm.dup_cmp + cm.range_check +
+                                   cm.equal_check;          // Halt is free
+    const auto res = dev.launch(prog, LaunchConfig{}, {});
+    ASSERT_EQ(res.status, LaunchStatus::Ok) << exec_engine_name(engine);
+    EXPECT_EQ(res.cycles, expected) << exec_engine_name(engine);
+    EXPECT_EQ(res.instructions, prog.code.size()) << exec_engine_name(engine);
+    EXPECT_FALSE(res.sdc_alarm) << exec_engine_name(engine);
+  }
+}
+
+TEST(Cost, DetectorSdcBitRaisesAlarmIdenticallyOnBothEngines) {
+  // A mismatching duplicate pair must set the launch's SDC alarm with the
+  // same cycle total on both engines (the check itself costs dup_cmp either
+  // way; only the alarm bit differs from the clean program).
+  auto prog = detector_program();
+  prog.code[1].imm = 7;            // slot1 = 7
+  prog.code[5] = {OpCode::DupCmp, 0, 0, 0, 1, 0, 0};  // slot0(0) != slot1(7)
+  // Re-point ChkValidate at the still-zero slot0 so only DupCmp fires.
+  std::uint64_t cycles[2] = {0, 0};
+  int i = 0;
+  for (const auto engine : {ExecEngine::Fast, ExecEngine::Reference}) {
+    Device dev(small_props());
+    dev.set_engine(engine);
+    const auto res = dev.launch(prog, LaunchConfig{}, {});
+    ASSERT_EQ(res.status, LaunchStatus::Ok) << exec_engine_name(engine);
+    EXPECT_TRUE(res.sdc_alarm) << exec_engine_name(engine);
+    cycles[i++] = res.cycles;
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+}
+
 TEST(Cost, ControlBlockChargeAdded) {
   KernelBuilder kb("cb");
   auto prog = lower(kb.build());

@@ -3,9 +3,13 @@
 // end-to-end profile -> configure -> detect pipeline.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <span>
+
 #include "gpusim/device.hpp"
 #include "hauberk/runtime.hpp"
 #include "hauberk/translator.hpp"
+#include "kir/builder.hpp"
 #include "kir/printer.hpp"
 #include "workloads/workload.hpp"
 
@@ -255,6 +259,140 @@ TEST(Translator, InputKernelIsNotMutated) {
   (void)translate(k, opt);
   EXPECT_EQ(k.body.size(), body);
   EXPECT_EQ(k.vars.size(), vars);
+}
+
+// --- degenerate-kernel edge cases (each run on both interpreter engines) ---
+
+namespace {
+
+/// Kernels with no protectable structure must still translate, lower, and
+/// execute cleanly in every library mode.
+void expect_transparent_on_both_engines(const kir::Kernel& k, const gpusim::LaunchConfig& cfg) {
+  auto v = build_variants(k);
+  for (const auto engine : {gpusim::ExecEngine::Fast, gpusim::ExecEngine::Reference}) {
+    const char* en = gpusim::exec_engine_name(engine);
+    gpusim::Device dev;
+    dev.set_engine(engine);
+    const auto base = dev.launch(v.baseline, cfg, {});
+    ASSERT_EQ(base.status, gpusim::LaunchStatus::Ok) << k.name << " baseline (" << en << ")";
+    ControlBlock cb(v.ft);
+    gpusim::LaunchOptions opts;
+    opts.hooks = &cb;
+    const auto ft = dev.launch(v.ft, cfg, {}, opts);
+    ASSERT_EQ(ft.status, gpusim::LaunchStatus::Ok) << k.name << " FT (" << en << ")";
+    EXPECT_FALSE(ft.sdc_alarm) << k.name << " (" << en << ")";
+    EXPECT_FALSE(cb.sdc_detected()) << k.name << " (" << en << ")";
+  }
+}
+
+}  // namespace
+
+TEST(TranslatorEdge, EmptyKernelTranslatesAndRuns) {
+  kir::KernelBuilder kb("empty");
+  const auto k = kb.build();
+  TranslateReport rep;
+  TranslateOptions opt;
+  opt.mode = LibMode::FT;
+  const auto ft = translate(k, opt, &rep);
+  EXPECT_TRUE(rep.loop_detectors.empty());
+  EXPECT_EQ(rep.params_protected, 0);
+  EXPECT_GE(ft.body.size(), k.body.size());  // checksum scaffolding may still appear
+  expect_transparent_on_both_engines(k, gpusim::LaunchConfig{});
+}
+
+TEST(TranslatorEdge, SingleInstructionKernelKeepsItsOneEffect) {
+  kir::KernelBuilder kb("one");
+  auto out = kb.param_ptr("out");
+  kb.store(out, kir::f32c(3.5f));
+  const auto k = kb.build();
+  auto v = build_variants(k);
+  EXPECT_EQ(v.ft_report.params_protected, 1);
+  for (const auto engine : {gpusim::ExecEngine::Fast, gpusim::ExecEngine::Reference}) {
+    gpusim::Device dev;
+    dev.set_engine(engine);
+    const auto oa = dev.mem().alloc(1, gpusim::AllocClass::F32Data);
+    const kir::Value args[] = {kir::Value::ptr(oa)};
+    ControlBlock cb(v.ft);
+    gpusim::LaunchOptions opts;
+    opts.hooks = &cb;
+    ASSERT_EQ(dev.launch(v.ft, gpusim::LaunchConfig{}, args, opts).status,
+              gpusim::LaunchStatus::Ok);
+    std::uint32_t word = 0;
+    dev.mem().copy_out(oa, std::span<std::uint32_t>(&word, 1));
+    EXPECT_EQ(word, kir::Value::f32(3.5f).bits) << gpusim::exec_engine_name(engine);
+    EXPECT_FALSE(cb.sdc_detected());
+  }
+}
+
+TEST(TranslatorEdge, BarrierOnlyKernelSurvivesEveryMode) {
+  kir::KernelBuilder kb("barriers");
+  kb.barrier();
+  kb.barrier();
+  const auto k = kb.build();
+  auto v = build_variants(k);
+  // No data flow: nothing to duplicate or range-check, but the barriers must
+  // survive translation in every variant so warp synchronization is intact.
+  for (const kir::BytecodeProgram* p : {&v.baseline, &v.ft, &v.profiler, &v.fi, &v.fift}) {
+    int barriers = 0;
+    for (const auto& in : p->code)
+      if (in.op == kir::OpCode::Barrier) ++barriers;
+    EXPECT_EQ(barriers, 2) << p->name;
+  }
+  for (const auto engine : {gpusim::ExecEngine::Fast, gpusim::ExecEngine::Reference}) {
+    gpusim::Device dev;
+    dev.set_engine(engine);
+    const auto res = dev.launch(v.ft, gpusim::LaunchConfig{2, 1, 32, 1}, {});
+    ASSERT_EQ(res.status, gpusim::LaunchStatus::Ok) << gpusim::exec_engine_name(engine);
+    EXPECT_EQ(res.threads, 64u);
+    EXPECT_FALSE(res.sdc_alarm);
+  }
+}
+
+TEST(TranslatorEdge, MaxDepthNestedLoopsAreInstrumentedTransparently) {
+  // Six levels of nesting: the translator protects the outermost loop only
+  // (inner loops belong to its dataflow graph), and the duplicated +
+  // checksummed FT build must still compute the exact same result.
+  constexpr int kDepth = 6;
+  kir::KernelBuilder kb("deep");
+  auto out = kb.param_ptr("out");
+  auto acc = kb.let("acc", kir::f32c(0.0f));
+  std::function<void(int)> nest = [&](int d) {
+    if (d == 0) {
+      kb.assign(acc, acc + kir::f32c(1.0f));
+      return;
+    }
+    kb.for_loop("i" + std::to_string(d), kir::i32c(0), kir::i32c(2),
+                [&](kir::ExprH) { nest(d - 1); });
+  };
+  nest(kDepth);
+  kb.store(out, acc);
+
+  auto v = build_variants(kb.build());
+  ASSERT_FALSE(v.ft_report.loop_detectors.empty());
+  for (const auto engine : {gpusim::ExecEngine::Fast, gpusim::ExecEngine::Reference}) {
+    const char* en = gpusim::exec_engine_name(engine);
+    gpusim::Device dev;
+    dev.set_engine(engine);
+    const auto oa = dev.mem().alloc(1, gpusim::AllocClass::F32Data);
+    const kir::Value args[] = {kir::Value::ptr(oa)};
+    ASSERT_EQ(dev.launch(v.baseline, gpusim::LaunchConfig{}, args).status,
+              gpusim::LaunchStatus::Ok);
+    std::uint32_t base_word = 0;
+    dev.mem().copy_out(oa, std::span<std::uint32_t>(&base_word, 1));
+    EXPECT_EQ(base_word, kir::Value::f32(64.0f).bits) << en;  // 2^6 inner trips
+
+    ControlBlock cb(v.ft);
+    gpusim::LaunchOptions opts;
+    opts.hooks = &cb;
+    const auto ft = dev.launch(v.ft, gpusim::LaunchConfig{}, args, opts);
+    ASSERT_EQ(ft.status, gpusim::LaunchStatus::Ok) << en;
+    std::uint32_t ft_word = 0;
+    dev.mem().copy_out(oa, std::span<std::uint32_t>(&ft_word, 1));
+    EXPECT_EQ(ft_word, base_word) << "nested-loop FT instrumentation changed semantics (" << en
+                                  << ")";
+    EXPECT_FALSE(ft.sdc_alarm) << en;
+    EXPECT_GT(cb.total_checks(), 0u) << en;
+  }
 }
 
 TEST(Translator, ParamsProtectedByChecksumOnly) {
