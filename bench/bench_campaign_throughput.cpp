@@ -10,7 +10,11 @@
 // identical across all engines before anything is printed.
 //
 // Knobs: --program (default CP), --vars (default 16), --masks (default 8),
-// --workers-list=1,2,4,0 (0 = hardware concurrency).
+// --workers-list=1,2,4,0 (0 = hardware concurrency), --sanitize (run the
+// baseline/executor/cache campaigns under the sanitizer engine — measures
+// the shadow's overhead; the reference-engine row stays unsanitized and its
+// outcome comparison is skipped, since sanitized trials may legitimately
+// reclassify).
 #include <chrono>
 #include <sstream>
 
@@ -51,6 +55,9 @@ int main(int argc, char** argv) {
   const int max_vars = static_cast<int>(args.get_int("vars", 16));
   const int masks = static_cast<int>(args.get_int("masks", 8));
   const auto worker_list = parse_list(args.get("workers-list", "1,2,4,0"));
+  const bool sanitize = args.has("sanitize");
+  swifi::CampaignConfig cfg;
+  cfg.sanitize = sanitize;
 
   std::unique_ptr<workloads::Workload> w;
   for (auto& cand : workloads::hpc_suite())
@@ -72,14 +79,15 @@ int main(int argc, char** argv) {
                                        &ctx.profile);
 
   print_header("Campaign throughput: sequential baseline vs parallel executor");
-  std::printf("program %s, %zu trials, host concurrency %u\n", ctx.workload->name().c_str(),
-              specs.size(), common::WorkerPool::default_workers());
+  std::printf("program %s, %zu trials, host concurrency %u%s\n", ctx.workload->name().c_str(),
+              specs.size(), common::WorkerPool::default_workers(),
+              sanitize ? ", sanitizer ON" : "");
 
   // Sequential baseline: run_campaign on one device (launch-plan cache on).
   swifi::CampaignResult base_res;
   const double base_s = seconds([&] {
     base_res = swifi::run_campaign(*ctx.device, ctx.variants.fift, *ctx.job, ctx.cb.get(),
-                                   specs, ctx.workload->requirement());
+                                   specs, ctx.workload->requirement(), cfg);
   });
 
   common::Table t({"Engine", "Workers", "Seconds", "Trials/sec", "Speedup"});
@@ -90,8 +98,9 @@ int main(int argc, char** argv) {
   for (const int workers : worker_list) {
     swifi::CampaignExecutor ex(workers);
     swifi::CampaignResult res;
-    const double s = seconds(
-        [&] { res = ex.run(ctx.variants.fift, factory, specs, ctx.workload->requirement()); });
+    const double s = seconds([&] {
+      res = ex.run(ctx.variants.fift, factory, specs, ctx.workload->requirement(), cfg);
+    });
     deterministic = deterministic && same_outcomes(base_res, res);
     t.add_row({"executor", std::to_string(ex.workers()), common::Table::num(s, 3),
                common::Table::num(n / s, 1),
@@ -114,11 +123,13 @@ int main(int argc, char** argv) {
       res = swifi::run_campaign(refdev, ctx.variants.fift, *job, ctx.cb.get(), specs,
                                 ctx.workload->requirement(), rcfg);
     });
-    deterministic = deterministic && same_outcomes(base_res, res);
-    std::printf("\ninterpreter engine: fast %.3fs (%.1f trials/s) vs reference %.3fs "
+    if (!sanitize) deterministic = deterministic && same_outcomes(base_res, res);
+    std::printf("\ninterpreter engine: %s %.3fs (%.1f trials/s) vs reference %.3fs "
                 "(%.1f trials/s) -> %.2fx, outcomes %s\n",
-                base_s, n / base_s, ref_s, n / ref_s, ref_s / base_s,
-                same_outcomes(base_res, res) ? "identical" : "MISMATCH");
+                sanitize ? "sanitizer" : "fast", base_s, n / base_s, ref_s, n / ref_s,
+                ref_s / base_s,
+                sanitize ? "not compared (sanitized trials may reclassify)"
+                         : same_outcomes(base_res, res) ? "identical" : "MISMATCH");
   }
 
   // Launch-plan cache ablation: same sequential campaign with the cache off.
@@ -129,7 +140,7 @@ int main(int argc, char** argv) {
     swifi::CampaignResult res;
     const double cold_s = seconds([&] {
       res = swifi::run_campaign(cold, ctx.variants.fift, *job, ctx.cb.get(), specs,
-                                ctx.workload->requirement());
+                                ctx.workload->requirement(), cfg);
     });
     deterministic = deterministic && same_outcomes(base_res, res);
     std::printf("\nlaunch-plan cache: on %.3fs (hits %llu, misses %llu) vs off %.3fs "

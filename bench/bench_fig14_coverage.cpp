@@ -8,7 +8,9 @@
 // detected, 22.2% detected&masked, 9.8% undetected SDC.
 //
 // Knobs: --vars (default 20), --masks (default 10), --bits=1,3,6,10,15,
-// --workers (campaign workers, 0 = hardware concurrency; default 0).
+// --workers (campaign workers, 0 = hardware concurrency; default 0),
+// --sanitize (run trials under the sanitizer engine and add Race /
+// Divergence outcome columns).
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -36,11 +38,17 @@ int main(int argc, char** argv) {
   const int max_vars = static_cast<int>(args.get_int("vars", 20));
   const int masks = static_cast<int>(args.get_int("masks", 10));
   const auto bits_list = parse_bits(args.get("bits", "1,3,6,10,15"));
+  const bool sanitize = args.has("sanitize");
   swifi::CampaignExecutor ex(workers_from(args));
 
   print_header("Fig. 14: Hauberk error detection coverage (FI&FT, train == test)");
-  common::Table t({"Program", "Bits", "Failure", "Masked", "Det&Masked", "Detected",
-                   "Undetected", "Coverage"});
+  std::vector<std::string> cols{"Program", "Bits", "Failure", "Masked", "Det&Masked",
+                                "Detected", "Undetected", "Coverage"};
+  if (sanitize) {
+    cols.insert(cols.end() - 1, "Race");
+    cols.insert(cols.end() - 1, "Divergence");
+  }
+  common::Table t(cols);
 
   std::map<int, OutcomeCounts> per_bits_total;
   OutcomeCounts grand;
@@ -54,29 +62,40 @@ int main(int argc, char** argv) {
       opt.error_bits = bits;
       opt.seed = seed + static_cast<std::uint64_t>(bits) * 1000;
       const auto specs = swifi::plan_faults(ctx.variants.fift, ctx.profile, opt);
+      swifi::CampaignConfig ccfg;
+      ccfg.sanitize = sanitize;
       const auto res = ex.run(ctx.variants.fift,
                               context_factory(*ctx.workload, ctx.dataset, {},
                                               &ctx.variants.fift, &ctx.profile),
-                              specs, ctx.workload->requirement());
+                              specs, ctx.workload->requirement(), ccfg);
       const auto& c = res.counts;
-      t.add_row({ctx.workload->name(), std::to_string(bits),
-                 common::Table::pct_cell(100.0 * c.ratio(c.failure)),
-                 common::Table::pct_cell(100.0 * c.ratio(c.masked)),
-                 common::Table::pct_cell(100.0 * c.ratio(c.detected_masked)),
-                 common::Table::pct_cell(100.0 * c.ratio(c.detected)),
-                 common::Table::pct_cell(100.0 * c.ratio(c.undetected)),
-                 common::Table::pct_cell(100.0 * c.coverage())});
+      std::vector<std::string> row{ctx.workload->name(), std::to_string(bits),
+                                   common::Table::pct_cell(100.0 * c.ratio(c.failure)),
+                                   common::Table::pct_cell(100.0 * c.ratio(c.masked)),
+                                   common::Table::pct_cell(100.0 * c.ratio(c.detected_masked)),
+                                   common::Table::pct_cell(100.0 * c.ratio(c.detected)),
+                                   common::Table::pct_cell(100.0 * c.ratio(c.undetected))};
+      if (sanitize) {
+        row.push_back(common::Table::pct_cell(100.0 * c.ratio(c.race_detected)));
+        row.push_back(common::Table::pct_cell(100.0 * c.ratio(c.barrier_divergence)));
+      }
+      row.push_back(common::Table::pct_cell(100.0 * c.coverage()));
+      t.add_row(std::move(row));
       auto& pb = per_bits_total[bits];
       pb.failure += c.failure;
       pb.masked += c.masked;
       pb.detected_masked += c.detected_masked;
       pb.detected += c.detected;
       pb.undetected += c.undetected;
+      pb.race_detected += c.race_detected;
+      pb.barrier_divergence += c.barrier_divergence;
       grand.failure += c.failure;
       grand.masked += c.masked;
       grand.detected_masked += c.detected_masked;
       grand.detected += c.detected;
       grand.undetected += c.undetected;
+      grand.race_detected += c.race_detected;
+      grand.barrier_divergence += c.barrier_divergence;
     }
   }
   t.print();

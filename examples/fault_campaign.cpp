@@ -6,6 +6,9 @@
 //   fault_campaign --program=MRI-Q [--bits=1] [--vars=20] [--masks=10]
 //                  [--protected] [--scale=tiny|small|medium] [--seed=N]
 //                  [--workers=N]   (campaign workers; 0 = hardware concurrency)
+//                  [--sanitize]    (run trials under the sanitizer engine:
+//                                   races / barrier divergence become their
+//                                   own outcome classes)
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -21,6 +24,7 @@ int main(int argc, char** argv) {
   const std::string name = args.get("program", "CP");
   const int bits = static_cast<int>(args.get_int("bits", 1));
   const bool use_ft = args.has("protected");
+  const bool sanitize = args.has("sanitize");
   const auto scale = args.get("scale", "small") == "tiny" ? workloads::Scale::Tiny
                                                           : workloads::Scale::Small;
 
@@ -50,10 +54,13 @@ int main(int argc, char** argv) {
   const auto& prog = use_ft ? v.fift : v.fi;
   const auto specs = swifi::plan_faults(prog, profile, opt);
   swifi::CampaignExecutor ex(static_cast<int>(args.get_int("workers", 0)));
-  std::printf("program %s (%s), %d-bit faults, %zu experiments, detectors %s, %d workers\n",
+  std::printf("program %s (%s), %d-bit faults, %zu experiments, detectors %s, %d workers%s\n",
               w->name().c_str(), w->requirement().to_string().c_str(), bits, specs.size(),
-              use_ft ? "ON (Hauberk FT)" : "off (baseline sensitivity)", ex.workers());
+              use_ft ? "ON (Hauberk FT)" : "off (baseline sensitivity)", ex.workers(),
+              sanitize ? ", sanitizer ON" : "");
 
+  swifi::CampaignConfig cfg;
+  cfg.sanitize = sanitize;
   const auto res = ex.run(
       prog,
       [&] {
@@ -63,7 +70,7 @@ int main(int argc, char** argv) {
         if (use_ft) ctx.cb = core::make_configured_control_block(v.fift, profile);
         return ctx;
       },
-      specs, w->requirement());
+      specs, w->requirement(), cfg);
   const auto& c = res.counts;
   const auto pct = [&](std::uint64_t x) { return 100.0 * c.ratio(x); };
   std::printf("\n  failure (crash/hang) : %5.1f%%\n", pct(c.failure));
@@ -71,6 +78,10 @@ int main(int argc, char** argv) {
   std::printf("  detected & masked    : %5.1f%%\n", pct(c.detected_masked));
   std::printf("  detected             : %5.1f%%\n", pct(c.detected));
   std::printf("  undetected SDC       : %5.1f%%\n", pct(c.undetected));
+  if (sanitize) {
+    std::printf("  race detected        : %5.1f%%\n", pct(c.race_detected));
+    std::printf("  barrier divergence   : %5.1f%%\n", pct(c.barrier_divergence));
+  }
   std::printf("  -------------------------------\n");
   std::printf("  detection coverage   : %5.1f%%\n", 100.0 * c.coverage());
   if (c.not_activated)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
@@ -21,6 +22,7 @@ const char* exec_engine_name(ExecEngine e) noexcept {
   switch (e) {
     case ExecEngine::Fast: return "fast";
     case ExecEngine::Reference: return "reference";
+    case ExecEngine::Sanitizer: return "sanitizer";
   }
   return "?";
 }
@@ -345,14 +347,21 @@ class BlockExec {
  public:
   BlockExec(Device& dev, const kir::BytecodeProgram& prog, const LaunchConfig& cfg,
             const LaunchOptions& opts, const std::vector<std::uint32_t>& costs,
-            const kir::DecodedProgram* decoded, std::uint32_t block_linear)
+            const kir::DecodedProgram& decoded, ExecEngine engine,
+            std::uint32_t block_linear, std::vector<SanitizerReport>* report_sink)
       : dev_(dev), prog_(prog), cfg_(cfg), opts_(opts), costs_(costs),
-        dec_(decoded ? decoded->code.data() : nullptr),
+        dec_(engine != ExecEngine::Reference ? decoded.code.data() : nullptr),
+        sites_(decoded.sanitizer_sites.data()),
         block_linear_(block_linear),
         sm_(block_linear % dev.props().num_sms),
         bx_(block_linear % cfg.grid_x), by_(block_linear / cfg.grid_x),
         threads_per_block_(cfg.block_x * cfg.block_y),
-        shared_(prog.shared_mem_words, 0u) {}
+        shared_(prog.shared_mem_words, 0u) {
+    if (report_sink)
+      shadow_ = std::make_unique<SharedShadow>(
+          static_cast<std::uint32_t>(shared_.size()), dev.props().warp_size,
+          block_linear, *report_sink);
+  }
 
   LaunchStatus run(std::span<const kir::Value> args);
 
@@ -363,6 +372,12 @@ class BlockExec {
   bool sdc = false;
   std::vector<std::uint64_t> exec_counts;  ///< per-instruction, when profiling
   std::vector<std::uint32_t> thread_counts;  ///< [thread][pc], when SIMT costing
+  std::int64_t deadlock_pc = -1;    ///< barrier pc on CrashBarrierDeadlock
+  std::int64_t deadlock_site = -1;  ///< its sanitizer site id
+
+  [[nodiscard]] std::uint64_t sanitizer_dropped() const noexcept {
+    return shadow_ ? shadow_->dropped() : 0;
+  }
 
  private:
   struct ThreadCtx {
@@ -371,17 +386,22 @@ class BlockExec {
     std::uint32_t tx = 0, ty = 0;
     std::uint32_t linear = 0;     // global linear thread id
     std::uint32_t block_index = 0;  // index within the block
+    std::uint32_t barrier_pc = 0;   // pc of the barrier this thread last stopped at
     bool done = false;
     std::uint32_t* regs = nullptr;
   };
 
   ThreadStop run_thread(ThreadCtx& t, LaunchStatus& crash_status);
-  template <bool kCounts, bool kSimt, bool kHwFault>
+  template <bool kCounts, bool kSimt, bool kHwFault, bool kSanitize>
   ThreadStop run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status);
   ThreadStop step_thread(ThreadCtx& t, LaunchStatus& crash_status);
   void finish_simt_cost();
   std::uint32_t builtin_value(const ThreadCtx& t, BuiltinVal b) const noexcept;
   void maybe_hw_fault(std::uint32_t& bits, DType t) noexcept;
+  [[nodiscard]] std::int64_t site_of(std::uint32_t pc) const noexcept {
+    const std::uint32_t s = sites_[pc];
+    return s == kir::kNoSite ? -1 : static_cast<std::int64_t>(s);
+  }
 
   Device& dev_;
   const kir::BytecodeProgram& prog_;
@@ -389,8 +409,11 @@ class BlockExec {
   const LaunchOptions& opts_;
   const std::vector<std::uint32_t>& costs_;
   const kir::DecodedInstr* dec_;  ///< fast-engine stream; nullptr -> reference
+  const std::uint32_t* sites_;    ///< per-pc sanitizer site ids (all engines)
   std::uint32_t block_linear_, sm_, bx_, by_, threads_per_block_;
   std::vector<std::uint32_t> shared_;
+  std::unique_ptr<SharedShadow> shadow_;  ///< non-null only under ExecEngine::Sanitizer
+  std::uint32_t epoch_ = 0;  ///< barrier epoch, bumped at every successful release
   int fast_mode_ = -1;  ///< run(): -1 reference, else fast specialization index
 };
 
@@ -546,6 +569,7 @@ ThreadStop BlockExec::run_thread(ThreadCtx& t, LaunchStatus& crash_status) {
         if (regs[in.a] == 0) t.pc = in.aux;
         break;
       case OpCode::Barrier:
+        t.barrier_pc = t.pc - 1;
         finish();
         return ThreadStop::Barrier;
       case OpCode::Halt:
@@ -614,7 +638,12 @@ ThreadStop BlockExec::run_thread(ThreadCtx& t, LaunchStatus& crash_status) {
 /// Any (op, type) case whose bit-level behavior is not provably shared with
 /// the reference falls back to the same eval_un/eval_bin the reference
 /// calls (UnGeneric/BinGeneric), so the engines cannot drift there either.
-template <bool kCounts, bool kSimt, bool kHwFault>
+///
+/// kSanitize layers the shared-memory shadow (gpusim/sanitizer.hpp) on the
+/// LoadS/StoreS cases.  The shadow only *observes* — register writes, crash
+/// points and cost accounting are untouched — which is what makes the
+/// sanitizer engine bitwise identical to the others on every observable.
+template <bool kCounts, bool kSimt, bool kHwFault, bool kSanitize>
 ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) {
   using kir::DecodedOp;
   const kir::DecodedInstr* const code = dec_;
@@ -796,14 +825,30 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
         }
         break;
       }
-      case DecodedOp::LoadS:
-        if (regs[in.a] >= ssize) FAST_CRASH(LaunchStatus::CrashSharedOutOfBounds);
-        regs[in.dst] = shared_[regs[in.a]];
+      case DecodedOp::LoadS: {
+        const std::uint32_t addr = regs[in.a];
+        if (addr >= ssize) {
+          if constexpr (kSanitize)
+            shadow_->on_oob(t.pc - 1, sites_[t.pc - 1], t.block_index, addr, epoch_);
+          FAST_CRASH(LaunchStatus::CrashSharedOutOfBounds);
+        }
+        if constexpr (kSanitize)
+          shadow_->on_load(t.pc - 1, sites_[t.pc - 1], t.block_index, addr, epoch_);
+        regs[in.dst] = shared_[addr];
         break;
-      case DecodedOp::StoreS:
-        if (regs[in.a] >= ssize) FAST_CRASH(LaunchStatus::CrashSharedOutOfBounds);
-        shared_[regs[in.a]] = regs[in.b];
+      }
+      case DecodedOp::StoreS: {
+        const std::uint32_t addr = regs[in.a];
+        if (addr >= ssize) {
+          if constexpr (kSanitize)
+            shadow_->on_oob(t.pc - 1, sites_[t.pc - 1], t.block_index, addr, epoch_);
+          FAST_CRASH(LaunchStatus::CrashSharedOutOfBounds);
+        }
+        if constexpr (kSanitize)
+          shadow_->on_store(t.pc - 1, sites_[t.pc - 1], t.block_index, addr, epoch_);
+        shared_[addr] = regs[in.b];
         break;
+      }
       case DecodedOp::AtomicAddF: {
         std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
         std::uint32_t* const w = gmem ? (regs[in.a] < gsize ? gmem + regs[in.a] : nullptr)
@@ -830,6 +875,7 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
         if (regs[in.a] == 0) t.pc = in.aux;
         break;
       case DecodedOp::Barrier:
+        t.barrier_pc = t.pc - 1;
         finish();
         return ThreadStop::Barrier;
       case DecodedOp::Halt:
@@ -881,19 +927,28 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
 }
 
 /// Engine dispatch for one thread time-slice: mode -1 is the reference
-/// switch interpreter; modes 0..7 select the fast-path specialization on
-/// (exec-count profiling, SIMT thread counting, hardware fault installed)
-/// so the common uninstrumented launch pays for none of those checks.
+/// switch interpreter; modes 0..15 select the fast-path specialization on
+/// (exec-count profiling, SIMT thread counting, hardware fault installed,
+/// sanitizer shadow) so the common uninstrumented launch pays for none of
+/// those checks.
 ThreadStop BlockExec::step_thread(ThreadCtx& t, LaunchStatus& crash_status) {
   switch (fast_mode_) {
-    case 0: return run_thread_fast<false, false, false>(t, crash_status);
-    case 1: return run_thread_fast<true, false, false>(t, crash_status);
-    case 2: return run_thread_fast<false, true, false>(t, crash_status);
-    case 3: return run_thread_fast<true, true, false>(t, crash_status);
-    case 4: return run_thread_fast<false, false, true>(t, crash_status);
-    case 5: return run_thread_fast<true, false, true>(t, crash_status);
-    case 6: return run_thread_fast<false, true, true>(t, crash_status);
-    case 7: return run_thread_fast<true, true, true>(t, crash_status);
+    case 0: return run_thread_fast<false, false, false, false>(t, crash_status);
+    case 1: return run_thread_fast<true, false, false, false>(t, crash_status);
+    case 2: return run_thread_fast<false, true, false, false>(t, crash_status);
+    case 3: return run_thread_fast<true, true, false, false>(t, crash_status);
+    case 4: return run_thread_fast<false, false, true, false>(t, crash_status);
+    case 5: return run_thread_fast<true, false, true, false>(t, crash_status);
+    case 6: return run_thread_fast<false, true, true, false>(t, crash_status);
+    case 7: return run_thread_fast<true, true, true, false>(t, crash_status);
+    case 8: return run_thread_fast<false, false, false, true>(t, crash_status);
+    case 9: return run_thread_fast<true, false, false, true>(t, crash_status);
+    case 10: return run_thread_fast<false, true, false, true>(t, crash_status);
+    case 11: return run_thread_fast<true, true, false, true>(t, crash_status);
+    case 12: return run_thread_fast<false, false, true, true>(t, crash_status);
+    case 13: return run_thread_fast<true, false, true, true>(t, crash_status);
+    case 14: return run_thread_fast<false, true, true, true>(t, crash_status);
+    case 15: return run_thread_fast<true, true, true, true>(t, crash_status);
     default: return run_thread(t, crash_status);
   }
 }
@@ -903,7 +958,7 @@ LaunchStatus BlockExec::run(std::span<const kir::Value> args) {
   if (opts_.simt_cost)
     thread_counts.assign(static_cast<std::size_t>(threads_per_block_) * prog_.code.size(), 0);
   fast_mode_ = dec_ ? ((exec_counts.empty() ? 0 : 1) | (thread_counts.empty() ? 0 : 2) |
-                       (dev_.has_fault() ? 4 : 0))
+                       (dev_.has_fault() ? 4 : 0) | (shadow_ ? 8 : 0))
                     : -1;
   const std::uint32_t slots = prog_.num_slots;
   std::vector<std::uint32_t> reg_slab(
@@ -939,8 +994,38 @@ LaunchStatus BlockExec::run(std::span<const kir::Value> args) {
       finish_simt_cost();
       return LaunchStatus::Ok;
     }
-    if (at_barrier > 0 && done > 0) return LaunchStatus::CrashBarrierDeadlock;
-    // All non-done threads are at the barrier: release and continue.
+    if (at_barrier > 0 && done > 0) {
+      // Barrier deadlock: some threads exited while peers wait at a
+      // __syncthreads.  Diagnose with the first waiter's barrier site (all
+      // non-done threads are waiters — crash/budget stops returned above).
+      const ThreadCtx* waiter = nullptr;
+      const ThreadCtx* exited = nullptr;
+      for (const auto& t : threads) {
+        if (t.done) { if (!exited) exited = &t; }
+        else if (!waiter) { waiter = &t; }
+      }
+      deadlock_pc = waiter->barrier_pc;
+      deadlock_site = site_of(waiter->barrier_pc);
+      if (shadow_)
+        shadow_->on_divergence(waiter->barrier_pc, sites_[waiter->barrier_pc],
+                               SanitizerReport::kNoPc, waiter->block_index,
+                               exited->block_index, epoch_);
+      return LaunchStatus::CrashBarrierDeadlock;
+    }
+    // All non-done threads are at the barrier: release and continue.  Before
+    // releasing, the sanitizer checks the waiters actually sit at the *same*
+    // barrier site — releasing threads from different __syncthreads sites is
+    // divergence real hardware would deadlock or corrupt on.
+    if (shadow_) {
+      const ThreadCtx* first = nullptr;
+      for (const auto& t : threads) {
+        if (!first) { first = &t; continue; }
+        if (t.barrier_pc != first->barrier_pc)
+          shadow_->on_divergence(t.barrier_pc, sites_[t.barrier_pc], first->barrier_pc,
+                                 t.block_index, first->block_index, epoch_);
+      }
+    }
+    ++epoch_;
   }
 }
 
@@ -1099,16 +1184,22 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
 
   const auto plan = launch_plan(program);
   const std::vector<std::uint32_t>& costs = plan->costs;
-  const kir::DecodedProgram* decoded =
-      engine_ == ExecEngine::Fast ? &plan->decoded : nullptr;
+  const bool sanitize = engine_ == ExecEngine::Sanitizer;
 
   const std::uint32_t num_blocks = cfg.grid_x * cfg.grid_y;
   std::atomic<std::uint32_t> next_block{0};
   std::atomic<std::uint64_t> cycles{0}, loop_cycles{0}, instructions{0}, simt_cycles{0};
+  std::atomic<std::uint64_t> reports_dropped{0};
   std::atomic<bool> sdc{false};
   std::atomic<int> bad_status{static_cast<int>(LaunchStatus::Ok)};
   std::mutex profile_mu;
   if (opts.instr_exec_counts) opts.instr_exec_counts->assign(program.code.size(), 0);
+  // Per-block report sinks, flattened in block order after the join, so the
+  // sanitizer's report stream does not depend on worker scheduling.
+  std::vector<std::vector<SanitizerReport>> block_reports(sanitize ? num_blocks : 0);
+  // Deadlock diagnostics from the block whose failure won the status race;
+  // written only by the CAS winner, read after the pool join (synchronized).
+  std::int64_t deadlock_pc = -1, deadlock_site = -1;
 
   auto worker = [&] {
     for (;;) {
@@ -1117,12 +1208,14 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
         return;
       const std::uint32_t b = next_block.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_blocks) return;
-      BlockExec exec(*this, program, cfg, opts, costs, decoded, b);
+      BlockExec exec(*this, program, cfg, opts, costs, plan->decoded, engine_, b,
+                     sanitize ? &block_reports[b] : nullptr);
       const LaunchStatus st = exec.run(args);
       cycles.fetch_add(exec.cycles, std::memory_order_relaxed);
       loop_cycles.fetch_add(exec.loop_cycles, std::memory_order_relaxed);
       instructions.fetch_add(exec.instructions, std::memory_order_relaxed);
       simt_cycles.fetch_add(exec.simt_cycles, std::memory_order_relaxed);
+      reports_dropped.fetch_add(exec.sanitizer_dropped(), std::memory_order_relaxed);
       if (exec.sdc) sdc.store(true, std::memory_order_relaxed);
       if (opts.instr_exec_counts) {
         std::lock_guard<std::mutex> lk(profile_mu);
@@ -1132,7 +1225,10 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
       if (st != LaunchStatus::Ok) {
         // Keep the most severe (first observed) failure; crash > hang.
         int expected = static_cast<int>(LaunchStatus::Ok);
-        bad_status.compare_exchange_strong(expected, static_cast<int>(st));
+        if (bad_status.compare_exchange_strong(expected, static_cast<int>(st))) {
+          deadlock_pc = exec.deadlock_pc;
+          deadlock_site = exec.deadlock_site;
+        }
         return;  // this worker stops; others finish their current block
       }
     }
@@ -1156,6 +1252,16 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
 
   res.status = static_cast<LaunchStatus>(bad_status.load());
   res.sdc_alarm = sdc.load();
+  res.deadlock_pc = deadlock_pc;
+  res.deadlock_site = deadlock_site;
+  if (sanitize) {
+    std::size_t total = 0;
+    for (const auto& v : block_reports) total += v.size();
+    res.sanitizer_reports.reserve(total);
+    for (const auto& v : block_reports)
+      res.sanitizer_reports.insert(res.sanitizer_reports.end(), v.begin(), v.end());
+    res.sanitizer_reports_dropped = reports_dropped.load();
+  }
   res.cycles = cycles.load();
   res.loop_cycles = loop_cycles.load();
   res.instructions = instructions.load();

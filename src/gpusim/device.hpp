@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "gpusim/memory.hpp"
+#include "gpusim/sanitizer.hpp"
 #include "kir/bytecode.hpp"
 #include "kir/value.hpp"
 
@@ -110,13 +111,18 @@ enum class LaunchStatus : std::uint8_t {
 ///    loop).  The default.
 ///  * Reference — the original switch interpreter over raw bytecode, kept as
 ///    the behavioral oracle.
+///  * Sanitizer — the fast path with shared-memory shadow instrumentation
+///    (racecheck analog, see gpusim/sanitizer.hpp): detects WW/RW races
+///    between barrier epochs, barrier divergence, out-of-bounds and
+///    uninitialized shared reads, and fills LaunchResult::sanitizer_reports.
+///    Opt-in and diagnostic-only: it adds observations, never behavior.
 ///
-/// The two engines are bitwise identical on every observable: registers,
+/// All engines are bitwise identical on every observable: registers,
 /// memory, cycle/instruction counts, SIMT cost, crash/hang status, detector
 /// verdicts, and FI outcomes.  tests/test_differential_fuzz.cpp holds this
 /// guarantee in place with a seeded program generator; any divergence is a
-/// bug in the fast engine, never an accepted tradeoff.
-enum class ExecEngine : std::uint8_t { Fast, Reference };
+/// bug in the fast/sanitizer engine, never an accepted tradeoff.
+enum class ExecEngine : std::uint8_t { Fast, Reference, Sanitizer };
 
 [[nodiscard]] const char* exec_engine_name(ExecEngine e) noexcept;
 [[nodiscard]] constexpr bool is_crash(LaunchStatus s) noexcept {
@@ -137,6 +143,22 @@ struct LaunchResult {
   /// checks are warp-uniform, so simt_cycles shows they add no divergence
   /// penalty (Section V.A step (iii)).
   std::uint64_t simt_cycles = 0;
+
+  /// CrashBarrierDeadlock diagnostics (any engine): the pc of the barrier
+  /// the waiting threads were stuck at and its dense sanitizer site id
+  /// (kir::DecodedProgram::sanitizer_sites); -1 when the launch did not
+  /// deadlock.  With multiple launch workers the fields come from the block
+  /// whose failure won the status race, same as `status` itself.
+  std::int64_t deadlock_pc = -1;
+  std::int64_t deadlock_site = -1;
+
+  /// ExecEngine::Sanitizer findings, concatenated per block in block order
+  /// (deterministic and worker-count-invariant for crash-free launches and
+  /// for single-worker launches, the campaign configuration).  Always empty
+  /// on the other engines.
+  std::vector<SanitizerReport> sanitizer_reports;
+  /// Reports suppressed by the per-block cap (SharedShadow::kMaxReportsPerBlock).
+  std::uint64_t sanitizer_reports_dropped = 0;
 };
 
 /// Callbacks from the interpreter into the Hauberk runtime (range checks,

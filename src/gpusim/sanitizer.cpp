@@ -1,0 +1,49 @@
+#include "gpusim/sanitizer.hpp"
+
+#include <cstdio>
+
+namespace hauberk::gpusim {
+
+const char* hazard_kind_name(HazardKind k) noexcept {
+  switch (k) {
+    case HazardKind::WriteWrite: return "write-write-race";
+    case HazardKind::ReadWrite: return "read-write-race";
+    case HazardKind::BarrierDivergence: return "barrier-divergence";
+    case HazardKind::SharedOutOfBounds: return "shared-out-of-bounds";
+    case HazardKind::UninitSharedRead: return "uninit-shared-read";
+  }
+  return "?";
+}
+
+std::string sanitizer_report_to_string(const SanitizerReport& r) {
+  char buf[192];
+  if (r.kind == HazardKind::BarrierDivergence) {
+    if (r.other_pc == SanitizerReport::kNoPc) {
+      std::snprintf(buf, sizeof buf,
+                    "%s: block %u thread %u waits at barrier pc %u (site %u) while "
+                    "thread %u exited, epoch %u",
+                    hazard_kind_name(r.kind), r.block, r.thread, r.pc, r.site,
+                    r.other_thread, r.epoch);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "%s: block %u thread %u at barrier pc %u (site %u) vs thread %u "
+                    "at barrier pc %u, epoch %u",
+                    hazard_kind_name(r.kind), r.block, r.thread, r.pc, r.site,
+                    r.other_thread, r.other_pc, r.epoch);
+    }
+  } else if (r.other_thread == SanitizerReport::kNoThread) {
+    std::snprintf(buf, sizeof buf,
+                  "%s: block %u thread %u pc %u (site %u) shared word %u, epoch %u",
+                  hazard_kind_name(r.kind), r.block, r.thread, r.pc, r.site, r.addr,
+                  r.epoch);
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "%s: block %u shared word %u, thread %u pc %u (site %u) conflicts "
+                  "with thread %u pc %u, epoch %u",
+                  hazard_kind_name(r.kind), r.block, r.addr, r.thread, r.pc, r.site,
+                  r.other_thread, r.other_pc, r.epoch);
+  }
+  return buf;
+}
+
+}  // namespace hauberk::gpusim

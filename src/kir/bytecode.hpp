@@ -204,8 +204,25 @@ struct DecodedInstr {
   std::uint32_t loop_cost = 0; ///< == cost when the source line is in a loop, else 0
 };
 
+/// Marker for instructions that are not sanitizer sites.
+inline constexpr std::uint32_t kNoSite = 0xffffffffu;
+
 struct DecodedProgram {
   std::vector<DecodedInstr> code;  ///< 1:1 with BytecodeProgram::code
+
+  /// Per-instruction sanitizer site ids, 1:1 with `code`: every Barrier,
+  /// LoadS and StoreS instruction gets a dense ordinal (assigned in pc
+  /// order), everything else holds kNoSite.  Site ids give sanitizer
+  /// reports and the barrier-deadlock diagnostic a stable, program-relative
+  /// identity that survives recompilation of unrelated code (unlike raw
+  /// pcs, which shift whenever instrumentation is added upstream).
+  std::vector<std::uint32_t> sanitizer_sites;
+  std::uint32_t num_sites = 0;          ///< total dense site ids assigned
+  std::uint32_t num_barrier_sites = 0;  ///< how many of them are barriers
+
+  [[nodiscard]] std::uint32_t site_of(std::uint32_t pc) const noexcept {
+    return pc < sanitizer_sites.size() ? sanitizer_sites[pc] : kNoSite;
+  }
 };
 
 /// Predecode `p` against a per-instruction cost vector (one entry per

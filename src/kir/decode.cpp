@@ -117,6 +117,20 @@ DecodedProgram decode_program(const BytecodeProgram& p,
                               std::span<const std::uint32_t> costs) {
   DecodedProgram d;
   d.code.resize(p.code.size());
+  d.sanitizer_sites.assign(p.code.size(), kNoSite);
+  for (std::size_t pc = 0; pc < p.code.size(); ++pc) {
+    switch (p.code[pc].op) {
+      case OpCode::Barrier:
+        ++d.num_barrier_sites;
+        [[fallthrough]];
+      case OpCode::LoadS:
+      case OpCode::StoreS:
+        d.sanitizer_sites[pc] = d.num_sites++;
+        break;
+      default:
+        break;
+    }
+  }
   for (std::size_t pc = 0; pc < p.code.size(); ++pc) {
     const Instr& in = p.code[pc];
     DecodedInstr& out = d.code[pc];

@@ -21,6 +21,8 @@ const char* outcome_name(Outcome o) noexcept {
     case Outcome::Detected: return "detected";
     case Outcome::Undetected: return "undetected";
     case Outcome::NotActivated: return "not-activated";
+    case Outcome::RaceDetected: return "race-detected";
+    case Outcome::BarrierDivergence: return "barrier-divergence";
   }
   return "?";
 }
@@ -33,6 +35,8 @@ void OutcomeCounts::add(Outcome o) noexcept {
     case Outcome::Detected: ++detected; break;
     case Outcome::Undetected: ++undetected; break;
     case Outcome::NotActivated: ++not_activated; break;
+    case Outcome::RaceDetected: ++race_detected; break;
+    case Outcome::BarrierDivergence: ++barrier_divergence; break;
   }
 }
 
@@ -112,6 +116,24 @@ Outcome classify(const gpusim::LaunchResult& res, bool alarm, const core::Progra
   return correct ? Outcome::Masked : Outcome::Undetected;
 }
 
+/// Sanitizer-based reclassification: when the trial ran under
+/// ExecEngine::Sanitizer, faults that turned the kernel racy or broke
+/// barrier uniformity are reported as their own outcome classes instead of
+/// disappearing into Failure (or worse, Masked).  Out-of-bounds reports do
+/// not reclassify — the crash status already names those precisely.
+std::optional<Outcome> sanitizer_outcome(const Device& dev, const gpusim::LaunchResult& res) {
+  if (dev.engine() != gpusim::ExecEngine::Sanitizer) return std::nullopt;
+  bool divergence = res.status == LaunchStatus::CrashBarrierDeadlock;
+  bool race = false;
+  for (const auto& r : res.sanitizer_reports) {
+    if (r.kind == gpusim::HazardKind::BarrierDivergence) divergence = true;
+    else if (r.kind != gpusim::HazardKind::SharedOutOfBounds) race = true;
+  }
+  if (divergence) return Outcome::BarrierDivergence;
+  if (race) return Outcome::RaceDetected;
+  return std::nullopt;
+}
+
 }  // namespace
 
 Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::KernelJob& job,
@@ -128,6 +150,7 @@ Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::Ke
   opts.max_workers = launch_workers;
   const auto res = dev.launch(program, job.config(), args, opts);
   if (!hooks.activated() && res.status == LaunchStatus::Ok) return Outcome::NotActivated;
+  if (const auto so = sanitizer_outcome(dev, res)) return *so;
   if (res.status != LaunchStatus::Ok) return Outcome::Failure;
   const auto out = job.read_output(dev);
   const bool alarm = res.sdc_alarm || (cb && cb->sdc_detected());
@@ -144,7 +167,7 @@ CampaignResult run_campaign(Device& dev, const kir::BytecodeProgram& program,
                             core::KernelJob& job, core::ControlBlock* cb,
                             const std::vector<FaultSpec>& specs,
                             const workloads::Requirement& req, const CampaignConfig& cfg) {
-  dev.set_engine(cfg.engine);
+  dev.set_engine(cfg.effective_engine());
   const GoldenRun gold = golden_run(dev, program, job, cb, cfg.launch_workers);
   const std::uint64_t watchdog = campaign_watchdog(gold, cfg);
   CampaignResult result;
@@ -181,6 +204,7 @@ Outcome run_one_memory_fault(Device& dev, const kir::BytecodeProgram& program,
   opts.watchdog_instructions = watchdog_instructions;
   opts.max_workers = launch_workers;
   const auto res = dev.launch(program, job.config(), args, opts);
+  if (const auto so = sanitizer_outcome(dev, res)) return *so;
   if (res.status != LaunchStatus::Ok) return Outcome::Failure;
   const auto out = job.read_output(dev);
   return classify(res, res.sdc_alarm, out, golden, req);
@@ -249,6 +273,7 @@ Outcome run_one_code_fault(Device& dev, const kir::BytecodeProgram& program,
   opts.watchdog_instructions = watchdog_instructions;
   opts.max_workers = launch_workers;
   const auto res = dev.launch(mutant, job.config(), args, opts);
+  if (const auto so = sanitizer_outcome(dev, res)) return *so;
   if (res.status != LaunchStatus::Ok) return Outcome::Failure;
   const auto out = job.read_output(dev);
   return classify(res, res.sdc_alarm, out, golden, req);

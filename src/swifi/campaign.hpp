@@ -50,6 +50,15 @@ struct CampaignConfig {
   /// alike).  Engines are bitwise identical, so this only changes campaign
   /// wall-clock; Reference exists as the oracle for differential testing.
   gpusim::ExecEngine engine = gpusim::ExecEngine::Fast;
+  /// Run trials under ExecEngine::Sanitizer (overrides `engine`): identical
+  /// observables, but trials whose fault induced a shared-memory race or
+  /// barrier divergence reclassify as Outcome::RaceDetected /
+  /// Outcome::BarrierDivergence instead of Failure/other classes.
+  bool sanitize = false;
+
+  [[nodiscard]] gpusim::ExecEngine effective_engine() const noexcept {
+    return sanitize ? gpusim::ExecEngine::Sanitizer : engine;
+  }
 };
 
 struct CampaignResult {

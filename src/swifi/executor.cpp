@@ -32,7 +32,7 @@ CampaignResult CampaignExecutor::run_trials(
     if (!ctxs.back().device || !ctxs.back().job)
       throw std::invalid_argument(
           "swifi: WorkerContextFactory must provide a device and a job");
-    ctxs.back().device->set_engine(cfg.engine);
+    ctxs.back().device->set_engine(cfg.effective_engine());
   }
 
   // One golden run serves every trial; run_one_* re-stage memory themselves.

@@ -30,6 +30,10 @@ struct FaultSpec {
 
 /// Fault-injection experiment outcome, the five classes of Section VIII plus
 /// NotActivated (the planned fault never triggered — excluded from ratios).
+/// Campaigns run with CampaignConfig::sanitize split two sanitizer-visible
+/// classes out of Failure: RaceDetected (the fault turned the kernel racy)
+/// and BarrierDivergence (the fault broke barrier uniformity).  With the
+/// sanitizer off, those trials classify exactly as before.
 enum class Outcome : std::uint8_t {
   Failure,         ///< kernel crash, or hang caught by the guardian watchdog
   Masked,          ///< output satisfies the correctness requirement, no alarm
@@ -37,6 +41,8 @@ enum class Outcome : std::uint8_t {
   Detected,        ///< alarm raised and output violates the requirement
   Undetected,      ///< output violates the requirement with no alarm (SDC!)
   NotActivated,
+  RaceDetected,       ///< sanitizer saw a shared-memory race (WW/RW or uninit read)
+  BarrierDivergence,  ///< sanitizer saw divergent/abandoned barriers
 };
 
 [[nodiscard]] const char* outcome_name(Outcome o) noexcept;
@@ -49,10 +55,13 @@ struct OutcomeCounts {
   std::uint64_t detected = 0;
   std::uint64_t undetected = 0;
   std::uint64_t not_activated = 0;
+  std::uint64_t race_detected = 0;
+  std::uint64_t barrier_divergence = 0;
 
   void add(Outcome o) noexcept;
   [[nodiscard]] std::uint64_t activated() const noexcept {
-    return failure + masked + detected_masked + detected + undetected;
+    return failure + masked + detected_masked + detected + undetected +
+           race_detected + barrier_divergence;
   }
   /// Error detection coverage: probability a fault is detected or masked
   /// (Section VIII: 1 - undetected ratio).

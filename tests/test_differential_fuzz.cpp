@@ -1,4 +1,4 @@
-// Differential fuzzer for the two interpreter engines (gpusim::ExecEngine).
+// Differential fuzzer for the interpreter engines (gpusim::ExecEngine).
 //
 // A seeded generator builds random kernels over the builder DSL — arithmetic
 // of all three types, loads/stores (mostly in-bounds, occasionally wild),
@@ -11,6 +11,12 @@
 // per-instruction execution profile.  A subset is additionally run through
 // the Hauberk FT translator (detector semantics) and through memory-fault
 // campaigns with 1 vs N workers on both engines.
+//
+// A second generator mode (racy) skews the distribution toward shared-memory
+// conflicts and divergent barriers on a small-warp device; those programs
+// additionally run on ExecEngine::Sanitizer, which must agree with the other
+// two engines on every observable while being the only one that emits
+// deterministic hazard reports.
 //
 // Reproducing a failure: every divergence report starts with the program
 // index and the kernel pretty-printed by kir::print_kernel.  Environment
@@ -58,18 +64,23 @@ struct FuzzProgram {
   Kernel kernel;
   gpusim::LaunchConfig cfg;
   gpusim::MemoryModel mem_model = gpusim::MemoryModel::FlatGpu;
+  std::uint32_t warp_size = 32;
 };
 
 /// Grows one random kernel with the fixed signature (out: ptr, in: ptr,
 /// n: i32).  All choices are drawn from the supplied Rng, so a (seed, index)
-/// pair fully reproduces a program.
+/// pair fully reproduces a program.  In `racy` mode every program has shared
+/// memory, blocks span several 4-thread warps, and the statement mix is
+/// skewed toward conflicting shared accesses and divergent barriers — food
+/// for the sanitizer engine.
 class ProgramGen {
  public:
-  explicit ProgramGen(Rng& rng) : rng_(rng) {}
+  explicit ProgramGen(Rng& rng, bool racy = false) : rng_(rng), racy_(racy) {}
 
   FuzzProgram gen() {
     FuzzProgram fp;
-    shared_words_ = pick_of<std::uint32_t>({0, 0, 16, 32});
+    shared_words_ = racy_ ? pick_of<std::uint32_t>({16, 32})
+                          : pick_of<std::uint32_t>({0, 0, 16, 32});
     KernelBuilder kb("fuzz", shared_words_);
     ExprH out = kb.param_ptr("out");
     ExprH in = kb.param_ptr("in");
@@ -90,10 +101,12 @@ class ProgramGen {
 
     fp.kernel = kb.build();
     fp.cfg.grid_x = 1 + static_cast<std::uint32_t>(rng_.next_below(2));
-    fp.cfg.block_x = pick_of<std::uint32_t>({1, 4, 8, 32});
-    fp.cfg.block_y = chance(10) ? 2 : 1;
-    fp.mem_model = chance(10) ? gpusim::MemoryModel::PagedCpu
-                              : gpusim::MemoryModel::FlatGpu;
+    fp.cfg.block_x = racy_ ? pick_of<std::uint32_t>({8, 16, 32})
+                           : pick_of<std::uint32_t>({1, 4, 8, 32});
+    fp.cfg.block_y = (!racy_ && chance(10)) ? 2 : 1;
+    fp.mem_model = (!racy_ && chance(10)) ? gpusim::MemoryModel::PagedCpu
+                                          : gpusim::MemoryModel::FlatGpu;
+    if (racy_) fp.warp_size = 4;  // cross-warp hazards inside one block
     return fp;
   }
 
@@ -171,7 +184,34 @@ class ProgramGen {
   /// wrapping to huge) — the engines must agree on the crash.
   ExprH addr() { return chance(8) ? pick(ptrs_) + i32_expr() : safe_addr(); }
 
+  /// Hazard-biased statement for racy mode: shared accesses through
+  /// colliding indices (tiny constants or low tid bits, so threads of
+  /// *different* warps touch the same word inside one epoch) and barriers
+  /// that only part of the block executes.
+  void racy_statement(KernelBuilder& kb, int depth) {
+    ExprH idx = chance(60)
+                    ? i32c(static_cast<std::int32_t>(rng_.next_below(4)))
+                    : (kb.tid_x() & i32c(3));
+    const std::uint64_t roll = rng_.next_below(10);
+    if (roll < 4) {
+      kb.shstore(idx, f32_expr());
+    } else if (roll < 7) {  // may read uninitialized or racing words
+      ExprH v = kb.let("r" + std::to_string(serial_++), kb.shload_f32(idx));
+      f32s_.push_back(v);
+    } else if (roll < 8 || depth >= 2) {
+      kb.barrier();
+    } else if (roll < 9) {  // exit divergence: non-takers leave waiters stuck
+      kb.if_then(cond_expr(), [&] { kb.barrier(); });
+    } else {  // two distinct barrier sites in one release
+      kb.if_then_else(cond_expr(), [&] { kb.barrier(); }, [&] { kb.barrier(); });
+    }
+  }
+
   void statement(KernelBuilder& kb, int depth) {
+    if (racy_ && chance(30)) {
+      racy_statement(kb, depth);
+      return;
+    }
     const std::uint64_t roll = rng_.next_below(100);
     if (roll < 22) {  // new f32 variable
       ExprH v = kb.let("f" + std::to_string(serial_++), f32_expr());
@@ -239,6 +279,7 @@ class ProgramGen {
   }
 
   Rng& rng_;
+  bool racy_ = false;
   std::uint32_t shared_words_ = 0;
   int serial_ = 0;
   std::vector<ExprH> ptrs_, i32s_, f32s_;
@@ -274,6 +315,7 @@ EngineRun run_engine(const BytecodeProgram& prog, const FuzzProgram& fp,
   gpusim::DeviceProps props;
   props.global_mem_words = 1u << 16;
   props.memory_model = fp.mem_model;
+  props.warp_size = fp.warp_size;
   gpusim::Device dev(props);
   dev.set_engine(engine);
 
@@ -316,6 +358,8 @@ void expect_identical(const EngineRun& fast, const EngineRun& ref,
                     fast.res.loop_cycles == ref.res.loop_cycles &&
                     fast.res.instructions == ref.res.instructions &&
                     fast.res.simt_cycles == ref.res.simt_cycles &&
+                    fast.res.deadlock_pc == ref.res.deadlock_pc &&
+                    fast.res.deadlock_site == ref.res.deadlock_site &&
                     fast.mem == ref.mem && fast.exec_counts == ref.exec_counts &&
                     fast.cb_sdc == ref.cb_sdc && fast.cb_checks == ref.cb_checks &&
                     fast.cb_violations == ref.cb_violations;
@@ -407,6 +451,55 @@ TEST(DifferentialFuzz, FastEngineMatchesReferenceEverywhere) {
   (void)hang;  // hangs are seed-dependent; equality is asserted per program
 }
 
+TEST(DifferentialFuzz, SanitizerAgreesOnRacyPrograms) {
+  // Racy-mode corpus: the sanitizer engine must be a perfect bystander —
+  // bitwise identical to Fast and Reference on every observable — while its
+  // hazard reports are (a) absent on the other engines and (b) bitwise
+  // reproducible across runs.  The corpus as a whole must actually tickle
+  // both hazard families, or the generator has gone stale.
+  const std::uint64_t seed = env_u64("HAUBERK_FUZZ_SEED", 0xfa57'0003);
+  const auto programs =
+      static_cast<std::size_t>(env_u64("HAUBERK_FUZZ_PROGRAMS", 400)) / 2;
+
+  std::size_t with_race = 0, with_divergence = 0;
+  for (std::size_t i = 0; i < programs; ++i) {
+    Rng rng = Rng::fork(seed, i);
+    ProgramGen gen(rng, /*racy=*/true);
+    const FuzzProgram fp = gen.gen();
+    const BytecodeProgram prog = lower(fp.kernel);
+
+    const EngineRun fast = run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false);
+    const EngineRun ref =
+        run_engine(prog, fp, gpusim::ExecEngine::Reference, i, false);
+    const EngineRun san =
+        run_engine(prog, fp, gpusim::ExecEngine::Sanitizer, i, false);
+    expect_identical(fast, ref, fp, i, "racy baseline");
+    expect_identical(fast, san, fp, i, "racy sanitizer");
+
+    ASSERT_TRUE(fast.res.sanitizer_reports.empty());
+    ASSERT_TRUE(ref.res.sanitizer_reports.empty());
+    const EngineRun again =
+        run_engine(prog, fp, gpusim::ExecEngine::Sanitizer, i, false);
+    ASSERT_EQ(san.res.sanitizer_reports, again.res.sanitizer_reports)
+        << "sanitizer reports not reproducible on fuzz program " << i;
+    ASSERT_EQ(san.res.sanitizer_reports_dropped,
+              again.res.sanitizer_reports_dropped);
+
+    bool race = false, divergence = false;
+    for (const auto& r : san.res.sanitizer_reports) {
+      if (r.kind == gpusim::HazardKind::WriteWrite ||
+          r.kind == gpusim::HazardKind::ReadWrite)
+        race = true;
+      if (r.kind == gpusim::HazardKind::BarrierDivergence) divergence = true;
+    }
+    with_race += race;
+    with_divergence += divergence;
+    if (::testing::Test::HasFailure()) break;
+  }
+  EXPECT_GT(with_race, 0u) << "racy generator never produced a shared race";
+  EXPECT_GT(with_divergence, 0u) << "racy generator never diverged a barrier";
+}
+
 TEST(DifferentialFuzz, CampaignsAgreeAcrossEnginesAndWorkerCounts) {
   // Memory-fault campaigns over generated programs: the (engine x workers)
   // matrix must yield bitwise-identical per-trial outcomes.
@@ -468,4 +561,79 @@ TEST(DifferentialFuzz, CampaignsAgreeAcrossEnginesAndWorkerCounts) {
         << "reference-engine campaign diverged on fuzz program " << i;
   }
   EXPECT_EQ(campaigns, 3u) << "not enough clean fuzz programs for campaigns";
+}
+
+TEST(DifferentialFuzz, SanitizedCampaignsDeterministicAcrossWorkers) {
+  // CampaignConfig::sanitize over racy fuzz programs: per-trial outcomes are
+  // worker-count invariant, and against the unsanitized campaign each trial
+  // either keeps its outcome or is reclassified into a sanitizer class.
+  const std::uint64_t seed = env_u64("HAUBERK_FUZZ_SEED", 0xfa57'0004);
+  using workloads::BufferJob;
+
+  std::size_t campaigns = 0, reclassified = 0;
+  for (std::size_t i = 0; campaigns < 3 && i < 64; ++i) {
+    Rng rng = Rng::fork(seed, 2'000'000 + i);
+    ProgramGen gen(rng, /*racy=*/true);
+    const FuzzProgram fp = gen.gen();
+    const BytecodeProgram prog = lower(fp.kernel);
+
+    // Only campaign on programs whose golden run completes (divergent
+    // barriers in the corpus make many of them deadlock outright).
+    if (run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false).res.status !=
+        gpusim::LaunchStatus::Ok)
+      continue;
+    ++campaigns;
+
+    std::vector<std::uint32_t> input(kBufWords);
+    stage_input(input, i);
+    auto factory = [&fp, input] {
+      swifi::WorkerContext ctx;
+      gpusim::DeviceProps props;
+      props.global_mem_words = 1u << 16;
+      props.memory_model = fp.mem_model;
+      props.warp_size = fp.warp_size;
+      ctx.device = std::make_unique<gpusim::Device>(props);
+      std::vector<BufferJob::Buffer> bufs(2);
+      bufs[0].data.assign(kBufWords, 0u);  // out
+      bufs[1].data = input;                // in
+      ctx.job = std::make_unique<BufferJob>(
+          std::move(bufs),
+          std::vector<BufferJob::Arg>{BufferJob::Arg::buf(0), BufferJob::Arg::buf(1),
+                                      BufferJob::Arg::val(Value::i32(kBufWords))},
+          fp.cfg, /*output_buffer=*/0, DType::F32);
+      return ctx;
+    };
+
+    const workloads::Requirement req{};  // Exact
+    swifi::CampaignConfig plain;
+    plain.hang_floor = 20'000;
+    swifi::CampaignConfig sanitized = plain;
+    sanitized.sanitize = true;
+
+    swifi::CampaignExecutor one(1);
+    const auto off = one.run_memory_faults(prog, factory, seed + i, 40, 2, req, plain);
+    const auto on = one.run_memory_faults(prog, factory, seed + i, 40, 2, req, sanitized);
+    ASSERT_EQ(off.per_fault.size(), on.per_fault.size());
+    for (std::size_t t = 0; t < on.per_fault.size(); ++t) {
+      if (on.per_fault[t] == swifi::Outcome::RaceDetected ||
+          on.per_fault[t] == swifi::Outcome::BarrierDivergence)
+        ++reclassified;
+      else
+        ASSERT_EQ(on.per_fault[t], off.per_fault[t])
+            << "sanitize flag changed a non-hazard outcome, program " << i
+            << " trial " << t;
+    }
+
+    for (const int workers : {2, 8}) {
+      swifi::CampaignExecutor ex(workers);
+      const auto res =
+          ex.run_memory_faults(prog, factory, seed + i, 40, 2, req, sanitized);
+      ASSERT_EQ(res.per_fault, on.per_fault)
+          << "sanitized campaign with " << workers
+          << " workers diverged on fuzz program " << i;
+    }
+  }
+  EXPECT_EQ(campaigns, 3u) << "not enough clean racy programs for campaigns";
+  EXPECT_GT(reclassified, 0u)
+      << "no trial was ever reclassified as race/divergence";
 }
