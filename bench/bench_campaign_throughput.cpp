@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   const int max_vars = static_cast<int>(args.get_int("vars", 16));
   const int masks = static_cast<int>(args.get_int("masks", 8));
   const auto worker_list = parse_list(args.get("workers-list", "1,2,4,0"));
-  const bool sanitize = args.has("sanitize");
+  const bool sanitize = campaign_flags_from(args).sanitize;
   swifi::CampaignConfig cfg;
   cfg.sanitize = sanitize;
 
@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   }
 
   auto ctx = make_context(std::move(w), seed, scale);
+  cfg.pipeline = swifi::PipelineSpec::from_report(ctx.variants.fift_report);
   swifi::PlanOptions opt;
   opt.max_vars = max_vars;
   opt.masks_per_var = masks;
@@ -130,6 +131,19 @@ int main(int argc, char** argv) {
                 ref_s / base_s,
                 sanitize ? "not compared (sanitized trials may reclassify)"
                          : same_outcomes(base_res, res) ? "identical" : "MISMATCH");
+  }
+
+  // Campaign-startup cost: the instrumentation (pass pipeline) time that
+  // precedes any trial, with the analysis-cache behavior behind it.  The
+  // full translation-throughput sweep lives in bench_translate_time.
+  {
+    const auto& rep = ctx.variants.fift_report;
+    std::printf("\ncampaign startup: pipeline '%s' instrumented in %.3fms "
+                "(analysis cache: %llu hits / %llu misses, %.0f%% hit rate)\n",
+                rep.pipeline.c_str(), rep.transform_seconds * 1e3,
+                static_cast<unsigned long long>(rep.analysis_cache.hits),
+                static_cast<unsigned long long>(rep.analysis_cache.misses),
+                100.0 * rep.analysis_cache.hit_rate());
   }
 
   // Launch-plan cache ablation: same sequential campaign with the cache off.

@@ -34,9 +34,22 @@ inline workloads::Scale scale_from(const common::CliArgs& args) {
 }
 
 /// Campaign workers from --workers (0 = hardware concurrency); outcomes are
-/// identical for every value, only wall-clock changes.
+/// identical for every value, only wall-clock changes.  Parsing and range
+/// validation are shared with every SWIFI tool via common::parse_campaign_flags.
 inline int workers_from(const common::CliArgs& args) {
-  return static_cast<int>(args.get_int("workers", 0));
+  return common::parse_campaign_flags(args).workers;
+}
+
+/// All shared campaign flags (--workers / --sanitize / --datasets) at once.
+inline common::CampaignFlags campaign_flags_from(const common::CliArgs& args,
+                                                 int default_datasets = 1) {
+  return common::parse_campaign_flags(args, default_datasets);
+}
+
+/// Print accumulated flag diagnostics to stderr; returns true if any.
+inline bool report_flag_errors(const common::CliArgs& args) {
+  for (const auto& e : args.errors()) std::fprintf(stderr, "error: %s\n", e.c_str());
+  return !args.ok();
 }
 
 /// WorkerContextFactory over a prepared workload + dataset: every campaign

@@ -38,8 +38,9 @@ int main(int argc, char** argv) {
   const int max_vars = static_cast<int>(args.get_int("vars", 20));
   const int masks = static_cast<int>(args.get_int("masks", 10));
   const auto bits_list = parse_bits(args.get("bits", "1,3,6,10,15"));
-  const bool sanitize = args.has("sanitize");
-  swifi::CampaignExecutor ex(workers_from(args));
+  const auto flags = campaign_flags_from(args);
+  const bool sanitize = flags.sanitize;
+  swifi::CampaignExecutor ex(flags.workers);
 
   print_header("Fig. 14: Hauberk error detection coverage (FI&FT, train == test)");
   std::vector<std::string> cols{"Program", "Bits", "Failure", "Masked", "Det&Masked",

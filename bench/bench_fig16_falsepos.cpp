@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   const auto scale = scale_from(args);
   const int repeats = static_cast<int>(args.get_int("repeats", 10));
-  const int n_datasets = static_cast<int>(args.get_int("datasets", 52));
+  const int n_datasets = campaign_flags_from(args, /*default_datasets=*/52).datasets;
   const std::uint64_t seed = args.get_u64("seed", 1);
 
   print_header("Fig. 16 (left): false positive ratio vs. number of training sets (alpha=1)");

@@ -90,12 +90,14 @@ int main(int argc, char** argv) {
               ft.sdc_alarm || cb->sdc_detected() ? "YES (bad!)" : "no");
 
   // 4. FI binary: baseline error sensitivity (trials spread across workers).
-  swifi::CampaignExecutor ex(static_cast<int>(args.get_int("workers", 0)));
+  swifi::CampaignExecutor ex(common::parse_campaign_flags(args).workers);
   swifi::PlanOptions popt;
   popt.max_vars = static_cast<int>(args.get_int("vars", 20));
   popt.masks_per_var = static_cast<int>(args.get_int("masks", 10));
   popt.seed = args.get_u64("seed", 1) + 5;
   const auto fi_specs = swifi::plan_faults(v.fi, profile, popt);
+  swifi::CampaignConfig fi_cfg;
+  fi_cfg.pipeline = swifi::PipelineSpec::from_report(v.fi_report);
   const auto fi = ex.run(
       v.fi,
       [&] {
@@ -104,7 +106,7 @@ int main(int argc, char** argv) {
         ctx.job = w->make_job(ds);
         return ctx;
       },
-      fi_specs, w->requirement());
+      fi_specs, w->requirement(), fi_cfg);
   std::printf("[4] FI:         %llu faults -> %.1f%% failure, %.1f%% SDC, %.1f%% masked\n",
               static_cast<unsigned long long>(fi.counts.activated()),
               100.0 * fi.counts.ratio(fi.counts.failure),
@@ -114,6 +116,8 @@ int main(int argc, char** argv) {
   // 5. FI&FT binary: Hauberk detection coverage (each worker reloads the
   // stored ranges into its own control block).
   const auto fift_specs = swifi::plan_faults(v.fift, profile, popt);
+  swifi::CampaignConfig fift_cfg;
+  fift_cfg.pipeline = swifi::PipelineSpec::from_report(v.fift_report);
   const auto fift = ex.run(
       v.fift,
       [&] {
@@ -123,7 +127,7 @@ int main(int argc, char** argv) {
         ctx.cb = make_loaded_cb();
         return ctx;
       },
-      fift_specs, w->requirement());
+      fift_specs, w->requirement(), fift_cfg);
   std::printf("[5] FI&FT:      %llu faults -> coverage %.1f%% "
               "(%.1f%% detected, %.1f%% detected&masked, %.1f%% undetected)\n",
               static_cast<unsigned long long>(fift.counts.activated()),

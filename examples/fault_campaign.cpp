@@ -21,12 +21,21 @@ using namespace hauberk;
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
+  for (const auto& f : args.unknown_flags({"program", "bits", "vars", "masks", "protected",
+                                           "scale", "seed", "workers", "sanitize"})) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
+    return 2;
+  }
   const std::string name = args.get("program", "CP");
   const int bits = static_cast<int>(args.get_int("bits", 1));
   const bool use_ft = args.has("protected");
-  const bool sanitize = args.has("sanitize");
+  const auto flags = common::parse_campaign_flags(args);
   const auto scale = args.get("scale", "small") == "tiny" ? workloads::Scale::Tiny
                                                           : workloads::Scale::Small;
+  if (!args.ok()) {
+    for (const auto& e : args.errors()) std::fprintf(stderr, "error: %s\n", e.c_str());
+    return 2;
+  }
 
   std::unique_ptr<workloads::Workload> w;
   for (auto& cand : workloads::hpc_suite())
@@ -52,15 +61,17 @@ int main(int argc, char** argv) {
   opt.seed = args.get_u64("seed", 1) + 99;
 
   const auto& prog = use_ft ? v.fift : v.fi;
+  const auto& prog_report = use_ft ? v.fift_report : v.fi_report;
   const auto specs = swifi::plan_faults(prog, profile, opt);
-  swifi::CampaignExecutor ex(static_cast<int>(args.get_int("workers", 0)));
+  swifi::CampaignExecutor ex(flags.workers);
   std::printf("program %s (%s), %d-bit faults, %zu experiments, detectors %s, %d workers%s\n",
               w->name().c_str(), w->requirement().to_string().c_str(), bits, specs.size(),
               use_ft ? "ON (Hauberk FT)" : "off (baseline sensitivity)", ex.workers(),
-              sanitize ? ", sanitizer ON" : "");
+              flags.sanitize ? ", sanitizer ON" : "");
 
   swifi::CampaignConfig cfg;
-  cfg.sanitize = sanitize;
+  cfg.sanitize = flags.sanitize;
+  cfg.pipeline = swifi::PipelineSpec::from_report(prog_report);
   const auto res = ex.run(
       prog,
       [&] {
@@ -71,6 +82,8 @@ int main(int argc, char** argv) {
         return ctx;
       },
       specs, w->requirement(), cfg);
+  std::printf("instrumentation pipeline: %s (remark digest %016llx)\n",
+              res.pipeline.c_str(), static_cast<unsigned long long>(res.remark_digest));
   const auto& c = res.counts;
   const auto pct = [&](std::uint64_t x) { return 100.0 * c.ratio(x); };
   std::printf("\n  failure (crash/hang) : %5.1f%%\n", pct(c.failure));
@@ -78,7 +91,7 @@ int main(int argc, char** argv) {
   std::printf("  detected & masked    : %5.1f%%\n", pct(c.detected_masked));
   std::printf("  detected             : %5.1f%%\n", pct(c.detected));
   std::printf("  undetected SDC       : %5.1f%%\n", pct(c.undetected));
-  if (sanitize) {
+  if (flags.sanitize) {
     std::printf("  race detected        : %5.1f%%\n", pct(c.race_detected));
     std::printf("  barrier divergence   : %5.1f%%\n", pct(c.barrier_divergence));
   }

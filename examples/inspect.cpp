@@ -4,9 +4,20 @@
 //
 // Usage:
 //   inspect --program=CP [--what=source|ft|disasm|dataflow|sites|stats|all]
+//   inspect --program=CP --print-passes [--mode=ft] [--maxvar=N] [--naive]
+//   inspect --program=CP --dump-passes=DIR [--mode=ft]
+//
+// --print-passes shows the pass pipeline composed for the selected library
+// mode plus the structured remarks each pass emitted (detector placed or
+// skipped and why, Maxvar evictions) and the analysis-cache behavior;
+// --dump-passes additionally writes the kernel IR before the first pass and
+// after every pass to DIR, for before/after diffing of one transformation.
 #include <cstdio>
+#include <fstream>
+#include <string_view>
 
 #include "common/cli.hpp"
+#include "hauberk/passes/pass_manager.hpp"
 #include "hauberk/runtime.hpp"
 #include "kir/printer.hpp"
 #include "workloads/workload.hpp"
@@ -14,6 +25,64 @@
 using namespace hauberk;
 
 namespace {
+
+core::LibMode mode_from(const std::string& s) {
+  if (s == "baseline" || s == "none") return core::LibMode::None;
+  if (s == "profiler") return core::LibMode::Profiler;
+  if (s == "fi") return core::LibMode::FI;
+  if (s == "fift" || s == "fi+ft") return core::LibMode::FIFT;
+  return core::LibMode::FT;
+}
+
+/// The --print-passes / --dump-passes mode: compose the pipeline, run it
+/// with a trace observer, and report passes, remarks and cache stats.
+int inspect_passes(const kir::Kernel& kernel, const common::CliArgs& args) {
+  core::TranslateOptions opt;
+  opt.mode = mode_from(args.get("mode", "ft"));
+  opt.maxvar = static_cast<int>(args.get_int("maxvar", 1));
+  opt.naive_duplication = args.has("naive");
+  opt.protect_loop = !args.has("no-loop");
+  opt.protect_nonloop = !args.has("no-nonloop");
+
+  const core::PassPipeline pipe = core::pipeline_for(opt.mode, opt);
+  std::printf("pipeline '%s' for kernel '%s':\n", pipe.name().c_str(), kernel.name.c_str());
+  int n = 0;
+  for (const auto& pn : pipe.pass_names()) std::printf("  %2d. %s\n", ++n, pn.c_str());
+
+  const std::string dump_dir = args.get("dump-passes", "");
+  int stage = 0;
+  core::PassTraceFn trace;
+  if (!dump_dir.empty()) {
+    trace = [&](std::string_view st, const kir::Kernel& k, bool mutated) {
+      const std::string path =
+          dump_dir + "/" + (stage < 10 ? "0" : "") + std::to_string(stage) + "_" +
+          std::string(st) + ".kir";
+      ++stage;
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+      }
+      out << kir::print_kernel(k);
+      std::printf("  wrote %s%s\n", path.c_str(), mutated ? "  (pass mutated the AST)" : "");
+    };
+    std::printf("\nper-pass kernel dumps:\n");
+  }
+
+  core::TranslateReport rep;
+  core::PassContext ctx(kir::clone_kernel(kernel), opt, rep);
+  core::PassManager(std::move(trace)).run(pipe, ctx);
+
+  std::printf("\nremarks (%zu):\n%s", rep.remarks.size(), core::format_remarks(rep).c_str());
+  std::printf("\nanalysis cache: %llu hits, %llu misses, %llu invalidations (%.0f%% hit rate)\n",
+              static_cast<unsigned long long>(rep.analysis_cache.hits),
+              static_cast<unsigned long long>(rep.analysis_cache.misses),
+              static_cast<unsigned long long>(rep.analysis_cache.invalidations),
+              100.0 * rep.analysis_cache.hit_rate());
+  std::printf("remark digest: %016llx\n",
+              static_cast<unsigned long long>(core::remark_digest(rep)));
+  return 0;
+}
 
 void print_sites(const kir::BytecodeProgram& p) {
   std::printf("FI sites (%zu):\n", p.fi_sites.size());
@@ -70,6 +139,7 @@ int main(int argc, char** argv) {
   }
 
   const auto kernel = w->build_kernel(workloads::Scale::Small);
+  if (args.has("print-passes") || args.has("dump-passes")) return inspect_passes(kernel, args);
   const auto v = core::build_variants(kernel);
   const bool all = what == "all";
 

@@ -1,0 +1,255 @@
+// Translator golden-equivalence harness.
+//
+// Hashes the instrumented bytecode the Hauberk translator produces for every
+// workload (7 Parboil + 2 graphics + 3 CPU programs) across all four library
+// modes and the Maxvar / naive-duplication / Hauberk-L / Hauberk-NL ablation
+// axes, and compares the digests against a checked-in golden file.  Any
+// refactor of the translator (e.g. the pass-manager decomposition) must keep
+// every digest bit-identical; a drifting configuration fails the check and
+// its instrumented KIR source + disassembly are dumped for inspection.
+//
+// Usage:
+//   translator_digest --print                 print all digests to stdout
+//   translator_digest --update=FILE           (re)write the golden file
+//   translator_digest --check=FILE            compare against FILE; exit 1 on
+//                                             drift [--dump-dir=DIR]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "hauberk/translator.hpp"
+#include "kir/bytecode.hpp"
+#include "kir/printer.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+
+namespace {
+
+// --- FNV-1a over every semantically meaningful field of the bytecode ---
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ull;
+    }
+  }
+  template <typename T>
+  void pod(T v) {
+    bytes(&v, sizeof v);
+  }
+  void str(const std::string& s) {
+    pod<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+};
+
+std::uint64_t program_digest(const kir::BytecodeProgram& p) {
+  Fnv f;
+  f.str(p.name);
+  f.pod(p.num_params);
+  f.pod(p.num_named);
+  f.pod(p.num_slots);
+  f.pod(p.shared_mem_words);
+  f.pod<std::uint32_t>(static_cast<std::uint32_t>(p.code.size()));
+  for (const auto& in : p.code) {
+    f.pod(static_cast<std::uint8_t>(in.op));
+    f.pod(in.flags);
+    f.pod(in.dst);
+    f.pod(in.a);
+    f.pod(in.b);
+    f.pod(in.aux);
+    f.pod(in.imm);
+  }
+  for (const auto t : p.slot_types) f.pod(static_cast<std::uint8_t>(t));
+  for (const auto s : p.var_slot) f.pod(s);
+  f.pod<std::uint32_t>(static_cast<std::uint32_t>(p.fi_sites.size()));
+  for (const auto& s : p.fi_sites) {
+    f.pod(s.site_id);
+    f.pod(s.var);
+    f.pod(s.slot);
+    f.pod(static_cast<std::uint8_t>(s.type));
+    f.pod(static_cast<std::uint8_t>(s.hw));
+    f.pod(static_cast<std::uint8_t>(s.in_loop));
+    f.pod(static_cast<std::uint8_t>(s.dead_window));
+    f.str(s.var_name);
+  }
+  f.pod<std::uint32_t>(static_cast<std::uint32_t>(p.detectors.size()));
+  for (const auto& d : p.detectors) {
+    f.pod(d.id);
+    f.str(d.name);
+    f.pod(static_cast<std::uint8_t>(d.value_type));
+    f.pod(static_cast<std::uint8_t>(d.is_iteration_check));
+  }
+  return f.h;
+}
+
+// --- the configuration matrix ---
+
+struct Config {
+  std::string name;
+  core::TranslateOptions opt;
+};
+
+std::vector<Config> configs() {
+  std::vector<Config> out;
+  const struct {
+    core::LibMode mode;
+    const char* tag;
+  } modes[] = {{core::LibMode::Profiler, "profiler"},
+               {core::LibMode::FT, "ft"},
+               {core::LibMode::FI, "fi"},
+               {core::LibMode::FIFT, "fift"}};
+  for (const auto& m : modes) {
+    for (const int maxvar : {1, 2}) {
+      for (const bool naive : {false, true}) {
+        Config c;
+        c.opt.mode = m.mode;
+        c.opt.maxvar = maxvar;
+        c.opt.naive_duplication = naive;
+        c.name = std::string(m.tag) + ".maxvar" + std::to_string(maxvar) +
+                 (naive ? ".naive" : "");
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  // Hauberk-L (loop detectors only) and Hauberk-NL (non-loop only) ablations.
+  Config l;
+  l.opt.mode = core::LibMode::FT;
+  l.opt.protect_nonloop = false;
+  l.name = "ft.hauberk-l";
+  out.push_back(std::move(l));
+  Config nl;
+  nl.opt.mode = core::LibMode::FT;
+  nl.opt.protect_loop = false;
+  nl.name = "ft.hauberk-nl";
+  out.push_back(std::move(nl));
+  return out;
+}
+
+std::vector<std::unique_ptr<workloads::Workload>> all_workloads() {
+  std::vector<std::unique_ptr<workloads::Workload>> out;
+  for (auto& w : workloads::hpc_suite()) out.push_back(std::move(w));
+  for (auto& w : workloads::graphics_suite()) out.push_back(std::move(w));
+  for (auto& w : workloads::cpu_suite()) out.push_back(std::move(w));
+  out.push_back(workloads::make_cpu_matmul());  // not in cpu_suite (Fig. 1 code class)
+  return out;
+}
+
+struct Entry {
+  std::string workload, config;
+  std::uint64_t digest = 0;
+  kir::Kernel instrumented;  ///< kept for drift dumps
+};
+
+std::vector<Entry> compute_all() {
+  std::vector<Entry> out;
+  const auto cfgs = configs();
+  for (const auto& w : all_workloads()) {
+    const auto kernel = w->build_kernel(workloads::Scale::Small);
+    for (const auto& c : cfgs) {
+      Entry e;
+      e.workload = w->name();
+      e.config = c.name;
+      e.instrumented = core::translate(kernel, c.opt);
+      e.digest = program_digest(kir::lower(e.instrumented));
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+std::string line_of(const Entry& e) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-12s %-24s %016llx", e.workload.c_str(), e.config.c_str(),
+                static_cast<unsigned long long>(e.digest));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto entries = compute_all();
+
+  if (args.has("print") || (!args.has("check") && !args.has("update"))) {
+    for (const auto& e : entries) std::printf("%s\n", line_of(e).c_str());
+    return 0;
+  }
+
+  if (args.has("update")) {
+    const std::string path = args.get("update");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << "# Instrumented-bytecode digests: workload, translator config, FNV-1a64.\n"
+           "# Regenerate with: translator_digest --update=tests/golden/translator_digests.txt\n";
+    for (const auto& e : entries) out << line_of(e) << "\n";
+    std::printf("wrote %zu digests to %s\n", entries.size(), path.c_str());
+    return 0;
+  }
+
+  // --check mode.
+  const std::string path = args.get("check");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read golden file %s\n", path.c_str());
+    return 1;
+  }
+  std::map<std::string, std::uint64_t> golden;  // "workload config" -> digest
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string w, c, h;
+    if (!(ls >> w >> c >> h)) continue;
+    golden[w + " " + c] = std::strtoull(h.c_str(), nullptr, 16);
+  }
+
+  const std::string dump_dir = args.get("dump-dir", "");
+  int drift = 0, missing = 0;
+  for (const auto& e : entries) {
+    const auto it = golden.find(e.workload + " " + e.config);
+    if (it == golden.end()) {
+      std::fprintf(stderr, "MISSING golden entry: %s %s\n", e.workload.c_str(),
+                   e.config.c_str());
+      ++missing;
+      continue;
+    }
+    if (it->second != e.digest) {
+      std::fprintf(stderr, "DRIFT %s %s: golden %016llx, got %016llx\n", e.workload.c_str(),
+                   e.config.c_str(), static_cast<unsigned long long>(it->second),
+                   static_cast<unsigned long long>(e.digest));
+      ++drift;
+      if (!dump_dir.empty()) {
+        std::string base = dump_dir + "/" + e.workload + "." + e.config;
+        for (auto& ch : base)
+          if (ch == ' ' || ch == '+') ch = '_';
+        std::ofstream ks(base + ".kir");
+        ks << kir::print_kernel(e.instrumented);
+        std::ofstream ds(base + ".disasm");
+        ds << kir::disassemble(kir::lower(e.instrumented));
+      }
+    }
+  }
+  if (golden.size() != entries.size())
+    std::fprintf(stderr, "note: golden file has %zu entries, harness computed %zu\n",
+                 golden.size(), entries.size());
+  if (drift || missing) {
+    std::fprintf(stderr, "translator drift: %d mismatches, %d missing (of %zu)\n", drift,
+                 missing, entries.size());
+    return 1;
+  }
+  std::printf("all %zu instrumented-bytecode digests match %s\n", entries.size(), path.c_str());
+  return 0;
+}

@@ -1,7 +1,7 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
-#include <string_view>
 
 namespace hauberk::common {
 
@@ -27,19 +27,87 @@ std::string CliArgs::get(const std::string& name, const std::string& def) const 
   return it == kv_.end() ? def : it->second;
 }
 
+namespace {
+
+/// Strict full-string numeric parse; *end must reach the terminator.
+template <typename T, typename Fn>
+bool parse_full(const std::string& text, Fn fn, T& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = static_cast<T>(fn(text.c_str(), &end));
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
 std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
   auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+  if (it == kv_.end()) return def;
+  std::int64_t v;
+  if (!parse_full(it->second, [](const char* s, char** e) { return std::strtoll(s, e, 0); },
+                  v)) {
+    errors_.push_back("--" + name + ": invalid integer '" + it->second + "'");
+    return def;
+  }
+  return v;
 }
 
 std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t def) const {
   auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+  if (it == kv_.end()) return def;
+  std::uint64_t v;
+  if (!parse_full(it->second, [](const char* s, char** e) { return std::strtoull(s, e, 0); },
+                  v)) {
+    errors_.push_back("--" + name + ": invalid integer '" + it->second + "'");
+    return def;
+  }
+  return v;
 }
 
 double CliArgs::get_double(const std::string& name, double def) const {
   auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == kv_.end()) return def;
+  double v;
+  if (!parse_full(it->second, [](const char* s, char** e) { return std::strtod(s, e); }, v)) {
+    errors_.push_back("--" + name + ": invalid number '" + it->second + "'");
+    return def;
+  }
+  return v;
+}
+
+std::vector<std::string> CliArgs::unknown_flags(
+    std::initializer_list<std::string_view> known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : kv_) {
+    bool found = false;
+    for (std::string_view k : known)
+      if (name == k) {
+        found = true;
+        break;
+      }
+    if (!found) out.push_back(name);
+  }
+  return out;
+}
+
+CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
+  CampaignFlags f;
+  const auto workers = args.get_int("workers", 0);
+  if (workers < 0) {
+    args.note_error("--workers: must be >= 0 (got " + std::to_string(workers) + ")");
+  } else {
+    f.workers = static_cast<int>(workers);
+  }
+  f.sanitize = args.has("sanitize");
+  const auto datasets = args.get_int("datasets", default_datasets);
+  if (datasets < 1) {
+    args.note_error("--datasets: must be >= 1 (got " + std::to_string(datasets) + ")");
+    f.datasets = default_datasets;
+  } else {
+    f.datasets = static_cast<int>(datasets);
+  }
+  return f;
 }
 
 }  // namespace hauberk::common

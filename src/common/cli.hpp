@@ -1,10 +1,18 @@
 // Minimal command-line flag parsing for the benchmark harnesses and example
 // programs: `--name=value` / `--name value` / bare `--flag` forms.
+//
+// Typed getters parse strictly: a malformed value (e.g. `--workers=abc`)
+// returns the default and records a diagnostic retrievable via errors(), so
+// tools can fail fast instead of silently running with a zeroed knob.
+// unknown_flags() lets a tool reject typos against its known-flag list.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace hauberk::common {
 
@@ -18,8 +26,37 @@ class CliArgs {
   [[nodiscard]] double get_double(const std::string& name, double def) const;
   [[nodiscard]] std::uint64_t get_u64(const std::string& name, std::uint64_t def) const;
 
+  /// Flags that were passed but are not in `known` (typo detection).
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      std::initializer_list<std::string_view> known) const;
+
+  /// Diagnostics accumulated by the typed getters (malformed values).
+  [[nodiscard]] const std::vector<std::string>& errors() const noexcept { return errors_; }
+  [[nodiscard]] bool ok() const noexcept { return errors_.empty(); }
+
+  /// Record a tool-side validation failure in the same diagnostics stream
+  /// (e.g. an out-of-range value for a flag that parsed fine).
+  void note_error(std::string msg) const { errors_.push_back(std::move(msg)); }
+
  private:
   std::map<std::string, std::string> kv_;
+  mutable std::vector<std::string> errors_;  ///< filled lazily by const getters
 };
+
+/// The campaign-control flags shared by every SWIFI-running tool
+/// (fault_campaign, controller, and the bench harnesses):
+///   --workers=N    campaign workers (0 = hardware concurrency)
+///   --sanitize     run trials under the sanitizer engine
+///   --datasets=N   independent datasets per experiment
+struct CampaignFlags {
+  int workers = 0;
+  bool sanitize = false;
+  int datasets = 1;
+};
+
+/// Parse the shared campaign flags, validating ranges: negative --workers or
+/// --datasets < 1 record an error on `args` and fall back to the default.
+[[nodiscard]] CampaignFlags parse_campaign_flags(const CliArgs& args,
+                                                 int default_datasets = 1);
 
 }  // namespace hauberk::common

@@ -1,0 +1,531 @@
+#include "hauberk/passes/instrument.hpp"
+
+#include "kir/bytecode.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hauberk::core::passes {
+
+using namespace hauberk::kir;
+
+// ---------------------------------------------------------------------------
+// Shared AST helpers (declared in pass.hpp)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool expr_uses(const ExprPtr& e, VarId v) { return Analysis::expr_reads(e, v); }
+
+ExprPtr var_ref(const Kernel& k, VarId v) { return Expr::make_var(v, k.vars[v].type); }
+
+StmtPtr make_checksum_xor(const Kernel& k, VarId v) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::ChecksumXor;
+  s->value = var_ref(k, v);
+  return internal(std::move(s));
+}
+
+StmtPtr make_checksum_xor_param(const Kernel& k, std::uint32_t p) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::ChecksumXor;
+  s->value = Expr::make_param(p, k.params[p].type);
+  return internal(std::move(s));
+}
+
+/// The paper statically derives the hardware components a statement
+/// exercises from its operation types (Section VII(i)).
+HwComponent hw_of_def(const Kernel& k, const Stmt& s) {
+  int ops = 0, loads = 0;
+  Analysis::count_nodes(s.value, ops, loads);
+  if (ops == 0 && loads > 0) return HwComponent::Memory;
+  return k.vars[s.var].type == DType::F32 ? HwComponent::FPU : HwComponent::ALU;
+}
+
+std::string quoted(const Kernel& k, VarId v) { return "'" + k.vars[v].name + "'"; }
+
+}  // namespace
+
+std::pair<StmtList*, std::size_t> locate(StmtList& body, const Stmt* target) {
+  std::pair<StmtList*, std::size_t> found{nullptr, 0};
+  std::function<bool(StmtList&)> search = [&](StmtList& list) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].get() == target) {
+        found = {&list, i};
+        return true;
+      }
+      if (search(list[i]->body) || search(list[i]->else_body)) return true;
+    }
+    return false;
+  };
+  if (!search(body)) throw std::logic_error("translator: statement vanished");
+  return found;
+}
+
+bool stmt_uses(const StmtPtr& s, VarId v) {
+  if (s->hauberk_internal) return false;
+  if (expr_uses(s->value, v) || expr_uses(s->addr, v) || expr_uses(s->rhs, v) ||
+      expr_uses(s->init, v) || expr_uses(s->limit, v) || expr_uses(s->step, v))
+    return true;
+  for (const auto& c : s->body)
+    if (stmt_uses(c, v)) return true;
+  for (const auto& c : s->else_body)
+    if (stmt_uses(c, v)) return true;
+  return false;
+}
+
+bool stmt_redefines(const StmtPtr& s, VarId v) {
+  if (s->hauberk_internal) return false;
+  if ((s->kind == StmtKind::Assign || s->kind == StmtKind::Let) && s->var == v) return true;
+  if (s->kind == StmtKind::For && s->var == v) return true;
+  for (const auto& c : s->body)
+    if (stmt_redefines(c, v)) return true;
+  for (const auto& c : s->else_body)
+    if (stmt_redefines(c, v)) return true;
+  return false;
+}
+
+StmtPtr internal(StmtPtr s) {
+  s->hauberk_internal = true;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// SiteEnumerationPass
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void enumerate_sites(PassContext& ctx, const StmtList& body) {
+  for (const auto& s : body) {
+    if (s->hauberk_internal) continue;
+    switch (s->kind) {
+      case StmtKind::Let:
+      case StmtKind::Assign: {
+        ctx.sites.push_back(
+            {ctx.next_site++, s.get(), s->var, hw_of_def(ctx.kernel, *s), false, false});
+        ctx.sites.push_back(
+            {ctx.next_site++, s.get(), s->var, HwComponent::RegisterFile, false, true});
+        break;
+      }
+      case StmtKind::For:
+        if (ctx.opt->fi_target_iterators)
+          ctx.sites.push_back(
+              {ctx.next_site++, s.get(), s->var, HwComponent::Scheduler, true, false});
+        enumerate_sites(ctx, s->body);
+        break;
+      case StmtKind::While:
+        enumerate_sites(ctx, s->body);
+        break;
+      case StmtKind::If:
+        enumerate_sites(ctx, s->body);
+        enumerate_sites(ctx, s->else_body);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+bool SiteEnumerationPass::run(PassContext& ctx) {
+  enumerate_sites(ctx, ctx.kernel.body);
+  ctx.remark(name(), "enumerated " + std::to_string(ctx.sites.size()) + " fault sites");
+  return false;  // analysis only
+}
+
+// ---------------------------------------------------------------------------
+// LoopAccumulatorPass (Section V.B scaffolding)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Insert `accum += p` after every (non-internal) definition of p inside the
+/// loop body, recursing into nested control flow.
+void add_accumulation(const Kernel& k, StmtList& body, VarId p, VarId accum) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    StmtPtr s = body[i];
+    if (s->hauberk_internal) continue;
+    if ((s->kind == StmtKind::Let || s->kind == StmtKind::Assign) && s->var == p) {
+      auto add = internal(Stmt::assign(
+          accum, Expr::make_binary(BinOp::Add, var_ref(k, accum), var_ref(k, p))));
+      add->extra_flags = kInstrDetectorAux;
+      body.insert(body.begin() + static_cast<long>(i) + 1, std::move(add));
+      ++i;
+    } else if (s->kind == StmtKind::For || s->kind == StmtKind::While ||
+               s->kind == StmtKind::If) {
+      add_accumulation(k, s->body, p, accum);
+      add_accumulation(k, s->else_body, p, accum);
+    }
+  }
+}
+
+}  // namespace
+
+bool LoopAccumulatorPass::run(PassContext& ctx) {
+  const Analysis& an = ctx.am.analysis();
+  bool mutated = false;
+  // Instrument each top-level loop (the paper's translator treats each
+  // outermost loop of the kernel as one protection target; nested loops are
+  // part of the outer loop's dataflow graph).
+  for (const auto& ln : an.loops()) {
+    if (ln.parent != kNoLoop) continue;
+    const LoopProtectionPlan& plan = ctx.am.loop_plan(ln.id, ctx.opt->maxvar);
+    if (plan.selected.empty()) {
+      ctx.remark(name(), "loop " + std::to_string(ln.id) +
+                             ": no protectable variables; skipped",
+                 ln.id);
+      continue;
+    }
+
+    auto [list, idx] = locate(ctx.kernel.body, ln.stmt);
+    StmtPtr loop_stmt = (*list)[idx];
+
+    // Shared accumulation counter (one per loop; the paper merges counters
+    // with identical control paths).
+    const VarId counter = ctx.declare("__hbk_iter" + std::to_string(ln.id), DType::I32);
+    auto counter_init = internal(Stmt::let(counter, Expr::make_const(Value::i32(0))));
+    counter_init->extra_flags = kInstrDetectorAux;
+    list->insert(list->begin() + static_cast<long>(idx), std::move(counter_init));
+    ++idx;  // loop statement shifted right
+    // counter++ as the last statement of the loop body: counts iterations
+    // and doubles as the loop-control-flow error detector.
+    auto counter_inc = internal(Stmt::assign(
+        counter, Expr::make_binary(BinOp::Add, var_ref(ctx.kernel, counter),
+                                   Expr::make_const(Value::i32(1)))));
+    counter_inc->extra_flags = kInstrDetectorAux;
+    loop_stmt->body.push_back(std::move(counter_inc));
+
+    LoopProtectProduct prod;
+    prod.loop_id = ln.id;
+    prod.loop_stmt = ln.stmt;
+    prod.counter = counter;
+    prod.trip_count = plan.trip_count;  // shared_ptr copy outlives the cache
+
+    for (VarId p : plan.selected) {
+      LoopProtectProduct::Var pv;
+      pv.var = p;
+      pv.self_accumulating = plan.self_accumulating.count(p) != 0;
+      if (pv.self_accumulating) {
+        // The protected variable is its own accumulator; no in-loop code.
+        ctx.remark(name(),
+                   "loop " + std::to_string(ln.id) + ": " + quoted(ctx.kernel, p) +
+                       " is self-accumulating; no in-loop accumulation needed",
+                   ln.id, p);
+      } else {
+        pv.accum = ctx.declare("__hbk_acc_" + ctx.kernel.vars[p].name,
+                               ctx.kernel.vars[p].type);
+        const Value zero = ctx.kernel.vars[p].type == DType::F32 ? Value::f32(0.0f)
+                                                                 : Value::i32(0);
+        auto accum_init = internal(Stmt::let(pv.accum, Expr::make_const(zero)));
+        accum_init->extra_flags = kInstrDetectorAux;
+        list->insert(list->begin() + static_cast<long>(idx), std::move(accum_init));
+        ++idx;
+        // accumulator += p right after every definition of p in the loop.
+        add_accumulation(ctx.kernel, loop_stmt->body, p, pv.accum);
+        ctx.remark(name(),
+                   "loop " + std::to_string(ln.id) + ": accumulator " +
+                       quoted(ctx.kernel, pv.accum) + " inserted for " +
+                       quoted(ctx.kernel, p),
+                   ln.id, p);
+      }
+      prod.vars.push_back(pv);
+    }
+    for (VarId w : plan.covered)
+      ctx.remark(name(),
+                 "loop " + std::to_string(ln.id) + ": " + quoted(ctx.kernel, w) +
+                     " covered by backward dependency of a selected variable",
+                 ln.id, w);
+    for (VarId w : plan.evicted)
+      ctx.remark(name(),
+                 "loop " + std::to_string(ln.id) + ": " + quoted(ctx.kernel, w) +
+                     " evicted by Maxvar budget (maxvar=" +
+                     std::to_string(ctx.opt->maxvar) + ")",
+                 ln.id, w);
+    ctx.loop_products.push_back(std::move(prod));
+    mutated = true;
+  }
+  return mutated;
+}
+
+// ---------------------------------------------------------------------------
+// LoopCheckPass (Section V.B detectors)
+// ---------------------------------------------------------------------------
+
+bool LoopCheckPass::run(PassContext& ctx) {
+  bool mutated = false;
+  for (const LoopProtectProduct& prod : ctx.loop_products) {
+    auto [list, idx] = locate(ctx.kernel.body, prod.loop_stmt);
+    std::size_t insert_after = idx;  // position after the loop for checks
+
+    for (const LoopProtectProduct::Var& pv : prod.vars) {
+      LoopDetectorInfo info;
+      info.loop_id = prod.loop_id;
+      info.var = pv.var;
+      info.value_detector = ctx.next_detector++;
+      info.self_accumulating = pv.self_accumulating;
+
+      const DType pt = ctx.kernel.vars[pv.var].type;
+      // averaged value = accumulated / counter (promoted for FP).
+      ExprPtr checked = var_ref(ctx.kernel, pv.self_accumulating ? pv.var : pv.accum);
+      ExprPtr cnt = var_ref(ctx.kernel, prod.counter);
+      if (pt == DType::F32) cnt = Expr::make_unary(UnOp::CastF32, std::move(cnt));
+      ExprPtr avg = Expr::make_binary(BinOp::Div, std::move(checked), std::move(cnt));
+
+      // if (counter > 0) Check/Profile(avg)  -- guards division by zero
+      // when the loop body never ran.
+      auto chk = std::make_shared<Stmt>();
+      chk->kind = profile_mode_ ? StmtKind::ProfileValue : StmtKind::RangeCheck;
+      chk->detector_id = info.value_detector;
+      chk->value = std::move(avg);
+      chk->label = ctx.kernel.vars[pv.var].name;
+      auto guard = Stmt::if_stmt(
+          Expr::make_binary(BinOp::Gt, var_ref(ctx.kernel, prod.counter),
+                            Expr::make_const(Value::i32(0))),
+          {internal(std::move(chk))});
+      guard->extra_flags = kInstrDetectorAux;
+      list->insert(list->begin() + static_cast<long>(insert_after) + 1,
+                   internal(std::move(guard)));
+      ++insert_after;
+      mutated = true;
+
+      ctx.report->loop_detectors.push_back(info);
+      ctx.remark(name(),
+                 "loop " + std::to_string(prod.loop_id) + ": " +
+                     (profile_mode_ ? "profile hook" : "range check") + " placed on " +
+                     quoted(ctx.kernel, pv.var) + " (detector " +
+                     std::to_string(info.value_detector) + ")",
+                 prod.loop_id, pv.var, info.value_detector);
+    }
+
+    // Iteration-count invariant (HauberkCheckEqual): emitted once per loop
+    // when the trip count is derivable.  The detector id is allocated in
+    // every mode so Profiler and FT detector id spaces stay aligned.
+    if (prod.trip_count) {
+      const int iter_det = ctx.next_detector++;
+      for (auto& d : ctx.report->loop_detectors)
+        if (d.loop_id == prod.loop_id) d.iter_detector = iter_det;
+      if (!profile_mode_) {
+        auto eq = std::make_shared<Stmt>();
+        eq->kind = StmtKind::EqualCheck;
+        eq->detector_id = iter_det;
+        eq->value = var_ref(ctx.kernel, prod.counter);
+        eq->rhs = clone_expr(prod.trip_count);
+        eq->label = "__iter_check_loop" + std::to_string(prod.loop_id);
+        list->insert(list->begin() + static_cast<long>(insert_after) + 1,
+                     internal(std::move(eq)));
+        mutated = true;
+      }
+      ctx.remark(name(),
+                 "loop " + std::to_string(prod.loop_id) +
+                     (profile_mode_
+                          ? ": iteration-count detector id reserved (profile mode)"
+                          : ": iteration-count invariant placed") +
+                     " (detector " + std::to_string(iter_det) + ")",
+                 prod.loop_id, kInvalidVar, iter_det);
+    } else {
+      ctx.remark(name(),
+                 "loop " + std::to_string(prod.loop_id) +
+                     ": trip count not derivable; iteration-count invariant skipped",
+                 prod.loop_id);
+    }
+  }
+  return mutated;
+}
+
+// ---------------------------------------------------------------------------
+// Non-loop protection (Section V.A)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared body of the Fig. 8(b)/(c) scope walk; `naive` selects the scheme.
+/// Returns the number of statements inserted.
+std::size_t protect_scope(PassContext& ctx, StmtList& list, bool naive,
+                          std::string_view pass_name) {
+  Kernel& k = ctx.kernel;
+  std::size_t total_inserted = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    StmtPtr s = list[i];
+    if (s->hauberk_internal) continue;
+    if (s->kind == StmtKind::If) {
+      total_inserted += protect_scope(ctx, s->body, naive, pass_name);
+      total_inserted += protect_scope(ctx, s->else_body, naive, pass_name);
+      continue;
+    }
+    if (s->kind != StmtKind::Let && s->kind != StmtKind::Assign) continue;
+
+    const VarId v = s->var;
+    // A self-referencing update (v = f(v)) cannot be re-computed after the
+    // fact — the paper treats the updated value as a fresh virtual
+    // variable; we keep the checksum protection and skip the duplication.
+    const bool self_ref = s->kind == StmtKind::Assign && expr_uses(s->value, v);
+    StmtList inserted;
+    VarId shadow = kInvalidVar;
+    if (naive) {
+      // Fig. 8(b): keep the duplicate in a *named* shadow register that
+      // stays live until the last use — the register-pressure-heavy scheme
+      // the paper rejects.  No checksum in this scheme.
+      if (!self_ref) {
+        shadow = ctx.declare(k.vars[v].name + "__shadow", k.vars[v].type);
+        auto dup_def = Stmt::let(shadow, clone_expr(s->value));
+        internal(dup_def);
+        inserted.push_back(std::move(dup_def));
+        ctx.remark(pass_name,
+                   "shadow " + quoted(k, shadow) + " placed for " + quoted(k, v),
+                   0xffffffffu, v);
+      } else {
+        ctx.remark(pass_name,
+                   quoted(k, v) + " is self-referencing; shadow duplication skipped",
+                   0xffffffffu, v);
+      }
+    } else {
+      // Step (i): first checksum update right after the definition.
+      // Step (ii)+(iii): duplicated computation + immediate comparison.
+      inserted.push_back(make_checksum_xor(k, v));
+      if (!self_ref) {
+        auto dup = std::make_shared<Stmt>();
+        dup->kind = StmtKind::DupCheck;
+        dup->var = v;
+        dup->value = clone_expr(s->value);
+        dup->extra_flags = kInstrHauberkDup;
+        inserted.push_back(internal(std::move(dup)));
+        ctx.remark(pass_name, "checksum + duplicated computation placed for " + quoted(k, v),
+                   0xffffffffu, v);
+      } else {
+        ctx.remark(pass_name,
+                   quoted(k, v) + " is self-referencing; checksum only (no duplication)",
+                   0xffffffffu, v);
+      }
+    }
+    list.insert(list.begin() + static_cast<long>(i) + 1, inserted.begin(), inserted.end());
+    ++ctx.report->nonloop_protected;
+    total_inserted += inserted.size();
+    const std::size_t after_dup = i + inserted.size();
+
+    // Step (iv): second checksum update.  Scan the remainder of the scope:
+    //  - v re-defined (Assign, or a loop that assigns it): close *before*
+    //    that statement (the paper's "uncovered window" case);
+    //  - otherwise after the last statement using v;
+    //  - no later use: immediately after the dup-check.
+    std::size_t close_before = list.size() + 1;  // sentinel: not found
+    std::size_t last_use = after_dup;
+    for (std::size_t j = after_dup + 1; j < list.size(); ++j) {
+      if (stmt_redefines(list[j], v)) {
+        close_before = j;
+        break;
+      }
+      if (stmt_uses(list[j], v)) last_use = j;
+    }
+    const std::size_t pos = close_before <= list.size() ? close_before : last_use + 1;
+    if (naive) {
+      if (shadow != kInvalidVar) {
+        // Compare original and shadow after the last use (Fig. 8(b)).
+        auto chk = std::make_shared<Stmt>();
+        chk->kind = StmtKind::DupCheck;
+        chk->var = v;
+        chk->value = var_ref(k, shadow);
+        list.insert(list.begin() + static_cast<long>(pos), internal(std::move(chk)));
+        ++total_inserted;
+      }
+    } else {
+      list.insert(list.begin() + static_cast<long>(pos), make_checksum_xor(k, v));
+      ++total_inserted;
+    }
+    i = after_dup;  // continue after the dup of this definition
+  }
+  return total_inserted;
+}
+
+}  // namespace
+
+bool NonLoopChecksumPass::run(PassContext& ctx) {
+  Kernel& k = ctx.kernel;
+  // (i) parameters: checksum-only protection at kernel entry and exit.
+  StmtList entry;
+  for (std::uint32_t p = 0; p < k.params.size(); ++p)
+    entry.push_back(make_checksum_xor_param(k, p));
+  k.body.insert(k.body.begin(), entry.begin(), entry.end());
+  ctx.report->params_protected = static_cast<int>(k.params.size());
+  ctx.remark(name(), "protected " + std::to_string(k.params.size()) +
+                         " parameters with entry/exit checksums");
+
+  // (ii) virtual variables defined in non-loop code, in every depth-0 scope.
+  protect_scope(ctx, k.body, /*naive=*/false, name());
+
+  // (iii) close parameter windows and validate at kernel exit.
+  for (std::uint32_t p = 0; p < k.params.size(); ++p)
+    k.body.push_back(make_checksum_xor_param(k, p));
+  auto validate = std::make_shared<Stmt>();
+  validate->kind = StmtKind::ChecksumValidate;
+  k.body.push_back(internal(std::move(validate)));
+  return true;  // the exit ChecksumValidate is emitted unconditionally
+}
+
+bool NaiveDuplicationPass::run(PassContext& ctx) {
+  // The Fig. 8(b) ablation has no checksum and leaves parameters unprotected.
+  return protect_scope(ctx, ctx.kernel.body, /*naive=*/true, name()) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Hook insertion (FI, Fig. 12 / profiler CountExec)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t insert_hooks(PassContext& ctx, StmtKind kind) {
+  for (const FiSitePlan& site : ctx.sites) {
+    auto [list, idx] = locate(ctx.kernel.body, site.stmt);
+    auto hook = std::make_shared<Stmt>();
+    hook->kind = kind;
+    hook->site = site.id;
+    hook->var = site.var;
+    hook->hw = site.hw;
+    internal(hook);
+    hook->fi_dead_window = site.late;
+    if (site.is_iterator) {
+      // Hook at the top of the loop body (fires once per iteration).
+      (*list)[idx]->body.insert((*list)[idx]->body.begin(), std::move(hook));
+    } else if (site.late) {
+      // After the last statement using the variable in its own list.
+      std::size_t pos = idx;
+      for (std::size_t j = idx + 1; j < list->size(); ++j)
+        if (stmt_uses((*list)[j], site.var)) pos = j;
+      list->insert(list->begin() + static_cast<long>(pos) + 1, std::move(hook));
+    } else {
+      list->insert(list->begin() + static_cast<long>(idx) + 1, std::move(hook));
+    }
+  }
+  return ctx.sites.size();
+}
+
+}  // namespace
+
+bool FIHookPass::run(PassContext& ctx) {
+  const std::size_t n = insert_hooks(ctx, StmtKind::FIHook);
+  ctx.remark(name(), "inserted " + std::to_string(n) + " fault-injection hooks");
+  return n > 0;
+}
+
+bool CountExecPass::run(PassContext& ctx) {
+  const std::size_t n = insert_hooks(ctx, StmtKind::CountExec);
+  ctx.remark(name(), "inserted " + std::to_string(n) + " execution-count hooks");
+  return n > 0;
+}
+
+// ---------------------------------------------------------------------------
+// ControlLayoutPass
+// ---------------------------------------------------------------------------
+
+bool ControlLayoutPass::run(PassContext& ctx) {
+  ctx.report->fi_sites = static_cast<int>(ctx.sites.size());
+  ctx.remark(name(), "layout finalized: " + std::to_string(ctx.sites.size()) +
+                         " fi sites, " + std::to_string(ctx.next_detector) +
+                         " detectors");
+  return false;
+}
+
+}  // namespace hauberk::core::passes

@@ -1,0 +1,100 @@
+// The discrete Hauberk instrumentation passes (Table I).
+//
+// Each pass transliterates one transformation of the paper's translator:
+//
+//   SiteEnumerationPass   — Fig. 12 fault-site enumeration (Section VII)
+//   LoopAccumulatorPass   — loop accumulators + shared iteration counters
+//                           (Section V.B; plans via the cached Fig. 9 graph)
+//   LoopCheckPass         — range checks / profile hooks + iteration-count
+//                           invariants over the accumulator products
+//   NonLoopChecksumPass   — Fig. 8(c) duplication + shared checksum
+//   NaiveDuplicationPass  — Fig. 8(b) shadow-variable ablation (swappable
+//                           with NonLoopChecksumPass in a pipeline)
+//   FIHookPass            — FI hook after every enumerated site (Fig. 12)
+//   CountExecPass         — profiler execution-count hooks at the same sites
+//   ControlLayoutPass     — finalizes the control-block facing report fields
+//
+// Composition into LibMode pipelines happens in pass_manager.hpp
+// (pipeline_for); the passes themselves are mode-agnostic and individually
+// testable.
+#pragma once
+
+#include "hauberk/passes/pass.hpp"
+
+namespace hauberk::core::passes {
+
+/// Enumerate fault-injection sites over the pristine kernel.  Runs first in
+/// every pipeline so Profiler and FI builds agree on site ids; never mutates.
+class SiteEnumerationPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "site-enum"; }
+  bool run(PassContext& ctx) override;
+};
+
+/// Insert the per-loop iteration counter and per-variable accumulators for
+/// every top-level loop whose protection plan (Maxvar-budgeted, cached in the
+/// AnalysisManager) selects at least one variable.  Records a
+/// LoopProtectProduct per instrumented loop for LoopCheckPass.
+class LoopAccumulatorPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "loop-accum"; }
+  bool run(PassContext& ctx) override;
+};
+
+/// Place the post-loop detectors over the accumulator products: one guarded
+/// RangeCheck (or ProfileValue in profile mode) per protected variable, plus
+/// the iteration-count EqualCheck when the trip count is derivable.  Detector
+/// ids are allocated here, in product order, identically in both modes so the
+/// Profiler and FT detector id spaces stay aligned.
+class LoopCheckPass final : public Pass {
+ public:
+  explicit LoopCheckPass(bool profile_mode) : profile_mode_(profile_mode) {}
+  [[nodiscard]] std::string_view name() const override {
+    return profile_mode_ ? "loop-profile" : "loop-check";
+  }
+  bool run(PassContext& ctx) override;
+
+ private:
+  bool profile_mode_;
+};
+
+/// Non-loop protection, Fig. 8(c): parameter checksums at entry/exit,
+/// per-definition duplicated computation + immediate comparison, checksum
+/// window closed at the last use, one ChecksumValidate at kernel exit.
+class NonLoopChecksumPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "nonloop-checksum"; }
+  bool run(PassContext& ctx) override;
+};
+
+/// Non-loop protection ablation, Fig. 8(b): named shadow registers alive
+/// until the last use, compared there; no checksum, parameters unprotected.
+class NaiveDuplicationPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "nonloop-naive-dup"; }
+  bool run(PassContext& ctx) override;
+};
+
+/// Insert a FIHook at every enumerated site (Fig. 12).
+class FIHookPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "fi-hooks"; }
+  bool run(PassContext& ctx) override;
+};
+
+/// Insert a CountExec profiler hook at every enumerated site.
+class CountExecPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "count-exec"; }
+  bool run(PassContext& ctx) override;
+};
+
+/// Terminal pass of every pipeline: publishes the control-block facing
+/// summary (fi_sites) into the report.  Never mutates.
+class ControlLayoutPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "control-layout"; }
+  bool run(PassContext& ctx) override;
+};
+
+}  // namespace hauberk::core::passes

@@ -1,0 +1,125 @@
+// The Hauberk instrumentation pass framework.
+//
+// The paper's translator is a CETUS pass pipeline (Fig. 7); this layer gives
+// the reproduction the same shape.  Each Table I transformation is one
+// discrete Pass over the kernel AST; a PassContext carries the kernel being
+// instrumented, the TranslateOptions/TranslateReport pair, the shared
+// kir::AnalysisManager cache, and the cross-pass products (enumerated FI
+// sites, loop-protection products, detector/site id counters).  Passes
+// report whether they mutated the AST so the pass manager can invalidate the
+// analysis cache exactly when needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hauberk/translator.hpp"
+#include "kir/analysis_manager.hpp"
+#include "kir/ast.hpp"
+
+namespace hauberk::core {
+
+/// One enumerated fault-injection site (Fig. 12).  Enumeration happens on
+/// the pristine kernel so Profiler and FI builds of the same kernel agree on
+/// site ids (Section VII); the Stmt pointers stay valid across passes
+/// because instrumentation inserts statements but never replaces them.
+struct FiSitePlan {
+  std::uint32_t id = 0;
+  const kir::Stmt* stmt = nullptr;  ///< the definition statement (or For for iterators)
+  kir::VarId var = kir::kInvalidVar;
+  kir::HwComponent hw = kir::HwComponent::ALU;
+  bool is_iterator = false;
+  /// Late-window site: the hook goes after the variable's last use in the
+  /// definition's statement list, approximating the paper's time-random
+  /// injections over a variable's whole lifetime (faults striking after
+  /// the last use are architecturally masked).
+  bool late = false;
+};
+
+/// Per-loop product of the accumulator pass, consumed by the check pass:
+/// which variables were planned for protection and the scaffolding variables
+/// inserted for them.  Captured while the kernel was pristine, so the check
+/// pass never re-runs analyses over the mutated AST.
+struct LoopProtectProduct {
+  std::uint32_t loop_id = 0;
+  const kir::Stmt* loop_stmt = nullptr;
+  kir::VarId counter = kir::kInvalidVar;  ///< shared iteration counter
+  kir::ExprPtr trip_count;                ///< derivable trip count, or null
+  struct Var {
+    kir::VarId var = kir::kInvalidVar;
+    kir::VarId accum = kir::kInvalidVar;  ///< kInvalidVar for self-accumulators
+    bool self_accumulating = false;
+  };
+  std::vector<Var> vars;  ///< in selection order
+};
+
+/// Mutable state threaded through one pipeline run.
+struct PassContext {
+  PassContext(kir::Kernel k, const TranslateOptions& o, TranslateReport& r)
+      : kernel(std::move(k)), opt(&o), report(&r), am(kernel) {}
+
+  PassContext(const PassContext&) = delete;
+  PassContext& operator=(const PassContext&) = delete;
+
+  kir::Kernel kernel;           ///< instrumented in place
+  const TranslateOptions* opt;
+  TranslateReport* report;
+  kir::AnalysisManager am;      ///< bound to `kernel`
+
+  // Cross-pass products.
+  std::vector<FiSitePlan> sites;
+  std::vector<LoopProtectProduct> loop_products;
+  std::uint32_t next_site = 0;
+  int next_detector = 0;
+
+  /// Append a structured remark attributed to `pass`.
+  void remark(std::string_view pass, std::string message,
+              std::uint32_t loop_id = 0xffffffffu, kir::VarId var = kir::kInvalidVar,
+              int detector = -1) {
+    report->remarks.push_back(
+        {std::string(pass), std::move(message), loop_id, var, detector});
+  }
+
+  /// Declare a fresh translator-internal variable.
+  kir::VarId declare(const std::string& name, kir::DType t) {
+    kernel.vars.push_back({name, t});
+    return static_cast<kir::VarId>(kernel.vars.size() - 1);
+  }
+};
+
+/// One instrumentation pass.  Passes are stateless between runs — all
+/// per-run state lives in the PassContext — so a PassPipeline can be reused
+/// across kernels and shared between threads.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Perform the transformation.  Returns true iff the kernel AST was
+  /// mutated (the pass manager then invalidates cached analyses).
+  virtual bool run(PassContext& ctx) = 0;
+};
+
+namespace passes {
+
+/// Locate the statement list and index currently holding `target` inside
+/// `body` (searched recursively).  Throws std::logic_error if absent.
+[[nodiscard]] std::pair<kir::StmtList*, std::size_t> locate(kir::StmtList& body,
+                                                            const kir::Stmt* target);
+
+/// Does the statement (recursively) read variable v?  Hauberk-internal
+/// statements are ignored: instrumentation never extends a variable's
+/// semantic live range.
+[[nodiscard]] bool stmt_uses(const kir::StmtPtr& s, kir::VarId v);
+
+/// Does the statement (a loop or conditional subtree) re-define v?
+[[nodiscard]] bool stmt_redefines(const kir::StmtPtr& s, kir::VarId v);
+
+/// Mark a statement as translator-inserted and return it.
+kir::StmtPtr internal(kir::StmtPtr s);
+
+}  // namespace passes
+
+}  // namespace hauberk::core

@@ -1,0 +1,87 @@
+#include "hauberk/passes/pass_manager.hpp"
+
+#include <algorithm>
+
+#include "hauberk/passes/instrument.hpp"
+
+namespace hauberk::core {
+
+bool PassPipeline::remove(std::string_view pass_name) {
+  const auto before = passes_.size();
+  passes_.erase(std::remove_if(passes_.begin(), passes_.end(),
+                               [&](const std::shared_ptr<Pass>& p) {
+                                 return p->name() == pass_name;
+                               }),
+                passes_.end());
+  return passes_.size() != before;
+}
+
+bool PassPipeline::insert_before(std::string_view before, std::shared_ptr<Pass> pass) {
+  for (auto it = passes_.begin(); it != passes_.end(); ++it) {
+    if ((*it)->name() == before) {
+      passes_.insert(it, std::move(pass));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PassPipeline::has(std::string_view pass_name) const noexcept {
+  return std::any_of(passes_.begin(), passes_.end(), [&](const std::shared_ptr<Pass>& p) {
+    return p->name() == pass_name;
+  });
+}
+
+std::vector<std::string> PassPipeline::pass_names() const {
+  std::vector<std::string> out;
+  out.reserve(passes_.size());
+  for (const auto& p : passes_) out.emplace_back(p->name());
+  return out;
+}
+
+void PassManager::run(const PassPipeline& pipeline, PassContext& ctx) const {
+  if (trace_) trace_("input", ctx.kernel, false);
+  for (const auto& pass : pipeline.passes()) {
+    const bool mutated = pass->run(ctx);
+    if (mutated) ctx.am.invalidate();
+    if (trace_) trace_(pass->name(), ctx.kernel, mutated);
+  }
+  ctx.report->pipeline = pipeline.name();
+  ctx.report->analysis_cache = ctx.am.stats();
+}
+
+PassPipeline pipeline_for(LibMode mode, const TranslateOptions& opt) {
+  using namespace passes;
+  const bool want_ft = mode == LibMode::FT || mode == LibMode::FIFT;
+  const bool want_profile = mode == LibMode::Profiler;
+
+  std::string name = lib_mode_name(mode);
+  if (want_ft || want_profile) {
+    if (!opt.protect_loop && !(want_ft && opt.protect_nonloop))
+      name += ".noprotect";
+    else if (want_ft && !opt.protect_nonloop)
+      name += ".hauberk-l";  // loop detectors only
+    else if (!opt.protect_loop)
+      name += ".hauberk-nl";  // non-loop detectors only
+  }
+  if (want_ft && opt.protect_nonloop && opt.naive_duplication) name += ".naive";
+
+  PassPipeline pipe(std::move(name));
+  pipe.add(std::make_shared<SiteEnumerationPass>());
+  if ((want_ft || want_profile) && opt.protect_loop) {
+    pipe.add(std::make_shared<LoopAccumulatorPass>());
+    pipe.add(std::make_shared<LoopCheckPass>(want_profile));
+  }
+  if (want_ft && opt.protect_nonloop) {
+    if (opt.naive_duplication)
+      pipe.add(std::make_shared<NaiveDuplicationPass>());
+    else
+      pipe.add(std::make_shared<NonLoopChecksumPass>());
+  }
+  if (mode == LibMode::FI || mode == LibMode::FIFT) pipe.add(std::make_shared<FIHookPass>());
+  if (want_profile) pipe.add(std::make_shared<CountExecPass>());
+  pipe.add(std::make_shared<ControlLayoutPass>());
+  return pipe;
+}
+
+}  // namespace hauberk::core

@@ -1,0 +1,81 @@
+// Pass composition and execution.
+//
+// A PassPipeline is a named, ordered list of instrumentation passes;
+// pipeline_for() builds the canonical composition for each LibMode (and the
+// Hauberk-L / Hauberk-NL / naive-duplication ablations become differently
+// named compositions of the same pass set).  The PassManager runs a pipeline
+// over one PassContext, invalidating the cached analyses whenever a pass
+// reports an AST mutation, and can trace the kernel before/after each pass
+// for `inspect --dump-passes`.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hauberk/passes/pass.hpp"
+
+namespace hauberk::core {
+
+class PassPipeline {
+ public:
+  PassPipeline() = default;
+  explicit PassPipeline(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  PassPipeline& add(std::shared_ptr<Pass> pass) {
+    passes_.push_back(std::move(pass));
+    return *this;
+  }
+
+  /// Remove every pass with the given name; returns true if any was removed.
+  bool remove(std::string_view pass_name);
+
+  /// Insert `pass` before the first pass named `before`; returns false (and
+  /// does not insert) when no such pass exists.
+  bool insert_before(std::string_view before, std::shared_ptr<Pass> pass);
+
+  [[nodiscard]] bool has(std::string_view pass_name) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return passes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return passes_.empty(); }
+  [[nodiscard]] const std::vector<std::shared_ptr<Pass>>& passes() const noexcept {
+    return passes_;
+  }
+  /// Pass names in execution order (for --print-passes and tests).
+  [[nodiscard]] std::vector<std::string> pass_names() const;
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<Pass>> passes_;
+};
+
+/// Observer invoked around each pass: once with stage="input" before the
+/// first pass, then once per pass with stage=<pass name> after it ran
+/// (`mutated` reports what the pass returned).
+using PassTraceFn =
+    std::function<void(std::string_view stage, const kir::Kernel& kernel, bool mutated)>;
+
+class PassManager {
+ public:
+  PassManager() = default;
+  explicit PassManager(PassTraceFn trace) : trace_(std::move(trace)) {}
+
+  /// Run every pass of `pipeline` over `ctx` in order.  Cached analyses are
+  /// invalidated after each mutating pass; the pipeline name and the final
+  /// analysis-cache stats are published into the context's report.
+  void run(const PassPipeline& pipeline, PassContext& ctx) const;
+
+ private:
+  PassTraceFn trace_;
+};
+
+/// The canonical pass composition for a LibMode + ablation flags.  Pipeline
+/// names: "baseline", "profiler", "ft", "fi", "fi+ft", with ".hauberk-l" /
+/// ".hauberk-nl" / ".noprotect" and ".naive" suffixes for the ablations.
+[[nodiscard]] PassPipeline pipeline_for(LibMode mode, const TranslateOptions& opt);
+
+}  // namespace hauberk::core

@@ -24,8 +24,7 @@ KernelVariants build_variants(const kir::Kernel& source, TranslateOptions opt) {
   v.fi = kir::lower(translate(source, opt, &v.fi_report));
 
   opt.mode = LibMode::FIFT;
-  TranslateReport fift_rep;
-  v.fift = kir::lower(translate(source, opt, &fift_rep));
+  v.fift = kir::lower(translate(source, opt, &v.fift_report));
   return v;
 }
 

@@ -27,6 +27,7 @@ struct KernelVariants {
   TranslateReport ft_report;
   TranslateReport profiler_report;
   TranslateReport fi_report;
+  TranslateReport fift_report;
 };
 
 /// Compile all five variants.  `opt` controls Maxvar and which detector

@@ -1,10 +1,9 @@
 #include "hauberk/translator.hpp"
 
-#include "kir/bytecode.hpp"
-
 #include <chrono>
-#include <functional>
 #include <stdexcept>
+
+#include "hauberk/passes/pass_manager.hpp"
 
 namespace hauberk::core {
 
@@ -23,435 +22,72 @@ const char* lib_mode_name(LibMode m) noexcept {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Small AST helpers
-// ---------------------------------------------------------------------------
-
-bool expr_uses(const ExprPtr& e, VarId v) { return Analysis::expr_reads(e, v); }
-
-/// Does the statement (recursively) read variable v?  Hauberk-internal
-/// statements are ignored: instrumentation never extends a variable's
-/// semantic live range.
-bool stmt_uses(const StmtPtr& s, VarId v) {
-  if (s->hauberk_internal) return false;
-  if (expr_uses(s->value, v) || expr_uses(s->addr, v) || expr_uses(s->rhs, v) ||
-      expr_uses(s->init, v) || expr_uses(s->limit, v) || expr_uses(s->step, v))
-    return true;
-  for (const auto& c : s->body)
-    if (stmt_uses(c, v)) return true;
-  for (const auto& c : s->else_body)
-    if (stmt_uses(c, v)) return true;
+bool any_internal(const StmtList& body) {
+  for (const auto& s : body) {
+    if (s->hauberk_internal) return true;
+    if (any_internal(s->body) || any_internal(s->else_body)) return true;
+  }
   return false;
 }
 
-/// Does the statement (a loop or conditional subtree) re-define v?
-bool stmt_redefines(const StmtPtr& s, VarId v) {
-  if (s->hauberk_internal) return false;
-  if ((s->kind == StmtKind::Assign || s->kind == StmtKind::Let) && s->var == v) return true;
-  if (s->kind == StmtKind::For && s->var == v) return true;
-  for (const auto& c : s->body)
-    if (stmt_redefines(c, v)) return true;
-  for (const auto& c : s->else_body)
-    if (stmt_redefines(c, v)) return true;
-  return false;
+void fnv(std::uint64_t& h, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
 }
 
-ExprPtr var_ref(const Kernel& k, VarId v) { return Expr::make_var(v, k.vars[v].type); }
-
-StmtPtr internal(StmtPtr s) {
-  s->hauberk_internal = true;
-  return s;
+void fnv_str(std::uint64_t& h, const std::string& s) noexcept {
+  const std::uint64_t len = s.size();
+  fnv(h, &len, sizeof len);
+  fnv(h, s.data(), s.size());
 }
-
-StmtPtr make_checksum_xor(const Kernel& k, VarId v) {
-  auto s = std::make_shared<Stmt>();
-  s->kind = StmtKind::ChecksumXor;
-  s->value = var_ref(k, v);
-  return internal(std::move(s));
-}
-
-StmtPtr make_checksum_xor_param(const Kernel& k, std::uint32_t p) {
-  auto s = std::make_shared<Stmt>();
-  s->kind = StmtKind::ChecksumXor;
-  s->value = Expr::make_param(p, k.params[p].type);
-  return internal(std::move(s));
-}
-
-// ---------------------------------------------------------------------------
-// Translator
-// ---------------------------------------------------------------------------
-
-class Translator {
- public:
-  Translator(Kernel k, const TranslateOptions& opt, TranslateReport& rep)
-      : k_(std::move(k)), opt_(opt), rep_(rep) {}
-
-  Kernel run() {
-    // Site enumeration happens on the pristine clone so that Profiler and
-    // FI builds of the same kernel agree on site ids (Section VII).
-    enumerate_sites(k_.body, /*loop_iter_scope=*/false);
-
-    const bool want_ft = opt_.mode == LibMode::FT || opt_.mode == LibMode::FIFT;
-    const bool want_profile = opt_.mode == LibMode::Profiler;
-    if ((want_ft || want_profile) && opt_.protect_loop) instrument_loops(want_profile);
-    if (want_ft && opt_.protect_nonloop) instrument_nonloop();
-    if (opt_.mode == LibMode::FI || opt_.mode == LibMode::FIFT) insert_fi_hooks();
-    if (want_profile) insert_count_exec();
-    rep_.fi_sites = static_cast<int>(sites_.size());
-    return std::move(k_);
-  }
-
- private:
-  struct Site {
-    std::uint32_t id;
-    const Stmt* stmt;   ///< the definition statement (or For for iterators)
-    VarId var;
-    HwComponent hw;
-    bool is_iterator;
-    /// Late-window site: the hook goes after the variable's last use in the
-    /// definition's statement list, approximating the paper's time-random
-    /// injections over a variable's whole lifetime (faults striking after
-    /// the last use are architecturally masked).
-    bool late = false;
-  };
-
-  // --- site enumeration ---
-
-  void enumerate_sites(const StmtList& body, bool) {
-    for (const auto& s : body) {
-      if (s->hauberk_internal) continue;
-      switch (s->kind) {
-        case StmtKind::Let:
-        case StmtKind::Assign: {
-          sites_.push_back({next_site_++, s.get(), s->var, hw_of_def(*s), false, false});
-          sites_.push_back(
-              {next_site_++, s.get(), s->var, HwComponent::RegisterFile, false, true});
-          break;
-        }
-        case StmtKind::For:
-          if (opt_.fi_target_iterators)
-            sites_.push_back({next_site_++, s.get(), s->var, HwComponent::Scheduler, true, false});
-          enumerate_sites(s->body, true);
-          break;
-        case StmtKind::While:
-          enumerate_sites(s->body, true);
-          break;
-        case StmtKind::If:
-          enumerate_sites(s->body, false);
-          enumerate_sites(s->else_body, false);
-          break;
-        default:
-          break;
-      }
-    }
-  }
-
-  /// The paper statically derives the hardware components a statement
-  /// exercises from its operation types (Section VII(i)).
-  HwComponent hw_of_def(const Stmt& s) const {
-    int ops = 0, loads = 0;
-    Analysis::count_nodes(s.value, ops, loads);
-    if (ops == 0 && loads > 0) return HwComponent::Memory;
-    return k_.vars[s.var].type == DType::F32 ? HwComponent::FPU : HwComponent::ALU;
-  }
-
-  // --- loop detectors (Section V.B) ---
-
-  void instrument_loops(bool profile_mode) {
-    Analysis an(k_);
-    // Instrument each top-level loop (the paper's translator treats each
-    // outermost loop of the kernel as one protection target; nested loops
-    // are part of the outer loop's dataflow graph).
-    for (const auto& ln : an.loops()) {
-      if (ln.parent != kNoLoop) continue;
-      auto plan = an.plan_loop_protection(ln.id, opt_.maxvar);
-      if (plan.selected.empty()) continue;
-
-      auto [list, idx] = locate(ln.stmt);
-      StmtPtr loop_stmt = (*list)[idx];
-
-      // Shared accumulation counter (one per loop; the paper merges counters
-      // with identical control paths).
-      const VarId counter = declare("__hbk_iter" + std::to_string(ln.id), DType::I32);
-      auto counter_init = internal(Stmt::let(counter, Expr::make_const(Value::i32(0))));
-      counter_init->extra_flags = kInstrDetectorAux;
-      list->insert(list->begin() + static_cast<long>(idx), std::move(counter_init));
-      ++idx;  // loop statement shifted right
-      // counter++ as the last statement of the loop body: counts iterations
-      // and doubles as the loop-control-flow error detector.
-      auto counter_inc = internal(Stmt::assign(
-          counter, Expr::make_binary(BinOp::Add, var_ref(k_, counter),
-                                     Expr::make_const(Value::i32(1)))));
-      counter_inc->extra_flags = kInstrDetectorAux;
-      loop_stmt->body.push_back(std::move(counter_inc));
-
-      std::size_t insert_after = idx;  // position after the loop for checks
-      for (VarId p : plan.selected) {
-        LoopDetectorInfo info;
-        info.loop_id = ln.id;
-        info.var = p;
-        info.value_detector = next_detector_++;
-        info.self_accumulating = plan.self_accumulating.count(p) != 0;
-
-        const DType pt = k_.vars[p].type;
-        ExprPtr checked;  // averaged accumulated value
-        if (info.self_accumulating) {
-          // The protected variable is its own accumulator; no in-loop code.
-          checked = var_ref(k_, p);
-        } else {
-          const VarId accum = declare("__hbk_acc_" + k_.vars[p].name, pt);
-          const Value zero = pt == DType::F32 ? Value::f32(0.0f) : Value::i32(0);
-          auto accum_init = internal(Stmt::let(accum, Expr::make_const(zero)));
-          accum_init->extra_flags = kInstrDetectorAux;
-          list->insert(list->begin() + static_cast<long>(idx), std::move(accum_init));
-          ++idx;
-          ++insert_after;
-          // accumulator += p right after every definition of p in the loop.
-          add_accumulation(loop_stmt->body, p, accum);
-          checked = var_ref(k_, accum);
-        }
-        // averaged value = accumulated / counter (promoted for FP).
-        ExprPtr cnt = var_ref(k_, counter);
-        if (pt == DType::F32) cnt = Expr::make_unary(UnOp::CastF32, std::move(cnt));
-        ExprPtr avg = Expr::make_binary(BinOp::Div, std::move(checked), std::move(cnt));
-
-        // if (counter > 0) Check/Profile(avg)  -- guards division by zero
-        // when the loop body never ran.
-        auto chk = std::make_shared<Stmt>();
-        chk->kind = profile_mode ? StmtKind::ProfileValue : StmtKind::RangeCheck;
-        chk->detector_id = info.value_detector;
-        chk->value = std::move(avg);
-        chk->label = k_.vars[p].name;
-        auto guard = Stmt::if_stmt(
-            Expr::make_binary(BinOp::Gt, var_ref(k_, counter), Expr::make_const(Value::i32(0))),
-            {internal(std::move(chk))});
-        guard->extra_flags = kInstrDetectorAux;
-        list->insert(list->begin() + static_cast<long>(insert_after) + 1,
-                     internal(std::move(guard)));
-        ++insert_after;
-
-        rep_.loop_detectors.push_back(info);
-      }
-
-      // Iteration-count invariant (HauberkCheckEqual): emitted once per loop
-      // when the trip count is derivable.  The detector id is allocated in
-      // every mode so Profiler and FT detector id spaces stay aligned.
-
-      if (plan.trip_count) {
-        const int iter_det = next_detector_++;
-        for (auto& d : rep_.loop_detectors)
-          if (d.loop_id == ln.id) d.iter_detector = iter_det;
-        if (!profile_mode) {
-          auto eq = std::make_shared<Stmt>();
-          eq->kind = StmtKind::EqualCheck;
-          eq->detector_id = iter_det;
-          eq->value = var_ref(k_, counter);
-          eq->rhs = clone_expr(plan.trip_count);
-          eq->label = "__iter_check_loop" + std::to_string(ln.id);
-          list->insert(list->begin() + static_cast<long>(insert_after) + 1,
-                       internal(std::move(eq)));
-        }
-      }
-    }
-  }
-
-  /// Insert `accum += p` after every (non-internal) definition of p inside
-  /// the loop body, recursing into nested control flow.
-  void add_accumulation(StmtList& body, VarId p, VarId accum) {
-    for (std::size_t i = 0; i < body.size(); ++i) {
-      StmtPtr s = body[i];
-      if (s->hauberk_internal) continue;
-      if ((s->kind == StmtKind::Let || s->kind == StmtKind::Assign) && s->var == p) {
-        auto add = internal(Stmt::assign(
-            accum, Expr::make_binary(BinOp::Add, var_ref(k_, accum), var_ref(k_, p))));
-        add->extra_flags = kInstrDetectorAux;
-        body.insert(body.begin() + static_cast<long>(i) + 1, std::move(add));
-        ++i;
-      } else if (s->kind == StmtKind::For || s->kind == StmtKind::While ||
-                 s->kind == StmtKind::If) {
-        add_accumulation(s->body, p, accum);
-        add_accumulation(s->else_body, p, accum);
-      }
-    }
-  }
-
-  // --- non-loop detectors (Section V.A, Fig. 8(c)) ---
-
-  void instrument_nonloop() {
-    // (i) parameters: checksum-only protection at kernel entry and exit
-    // (the naive Fig. 8(b) ablation has no checksum and leaves parameters
-    // unprotected).
-    if (!opt_.naive_duplication) {
-      StmtList entry;
-      for (std::uint32_t p = 0; p < k_.params.size(); ++p)
-        entry.push_back(make_checksum_xor_param(k_, p));
-      k_.body.insert(k_.body.begin(), entry.begin(), entry.end());
-      rep_.params_protected = static_cast<int>(k_.params.size());
-    }
-
-    // (ii) virtual variables defined in non-loop code, in every depth-0 scope.
-    protect_scope(k_.body);
-
-    // (iii) close parameter windows and validate at kernel exit.
-    if (!opt_.naive_duplication) {
-      for (std::uint32_t p = 0; p < k_.params.size(); ++p)
-        k_.body.push_back(make_checksum_xor_param(k_, p));
-      auto validate = std::make_shared<Stmt>();
-      validate->kind = StmtKind::ChecksumValidate;
-      k_.body.push_back(internal(std::move(validate)));
-    }
-  }
-
-  void protect_scope(StmtList& list) {
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      StmtPtr s = list[i];
-      if (s->hauberk_internal) continue;
-      if (s->kind == StmtKind::If) {
-        protect_scope(s->body);
-        protect_scope(s->else_body);
-        continue;
-      }
-      if (s->kind != StmtKind::Let && s->kind != StmtKind::Assign) continue;
-
-      const VarId v = s->var;
-      // A self-referencing update (v = f(v)) cannot be re-computed after the
-      // fact — the paper treats the updated value as a fresh virtual
-      // variable; we keep the checksum protection and skip the duplication.
-      const bool self_ref = s->kind == StmtKind::Assign && expr_uses(s->value, v);
-      StmtList inserted;
-      VarId shadow = kInvalidVar;
-      if (opt_.naive_duplication) {
-        // Fig. 8(b): keep the duplicate in a *named* shadow register that
-        // stays live until the last use — the register-pressure-heavy scheme
-        // the paper rejects.  No checksum in this scheme.
-        if (!self_ref) {
-          shadow = declare(k_.vars[v].name + "__shadow", k_.vars[v].type);
-          auto dup_def = Stmt::let(shadow, clone_expr(s->value));
-          internal(dup_def);
-          inserted.push_back(std::move(dup_def));
-        }
-      } else {
-        // Step (i): first checksum update right after the definition.
-        // Step (ii)+(iii): duplicated computation + immediate comparison.
-        inserted.push_back(make_checksum_xor(k_, v));
-        if (!self_ref) {
-          auto dup = std::make_shared<Stmt>();
-          dup->kind = StmtKind::DupCheck;
-          dup->var = v;
-          dup->value = clone_expr(s->value);
-          dup->extra_flags = kInstrHauberkDup;
-          inserted.push_back(internal(std::move(dup)));
-        }
-      }
-      list.insert(list.begin() + static_cast<long>(i) + 1, inserted.begin(), inserted.end());
-      ++rep_.nonloop_protected;
-      const std::size_t after_dup = i + inserted.size();
-
-      // Step (iv): second checksum update.  Scan the remainder of the scope:
-      //  - v re-defined (Assign, or a loop that assigns it): close *before*
-      //    that statement (the paper's "uncovered window" case);
-      //  - otherwise after the last statement using v;
-      //  - no later use: immediately after the dup-check.
-      std::size_t close_before = list.size() + 1;  // sentinel: not found
-      std::size_t last_use = after_dup;
-      for (std::size_t j = after_dup + 1; j < list.size(); ++j) {
-        if (stmt_redefines(list[j], v)) {
-          close_before = j;
-          break;
-        }
-        if (stmt_uses(list[j], v)) last_use = j;
-      }
-      const std::size_t pos = close_before <= list.size() ? close_before : last_use + 1;
-      if (opt_.naive_duplication) {
-        if (shadow != kInvalidVar) {
-          // Compare original and shadow after the last use (Fig. 8(b)).
-          auto chk = std::make_shared<Stmt>();
-          chk->kind = StmtKind::DupCheck;
-          chk->var = v;
-          chk->value = var_ref(k_, shadow);
-          list.insert(list.begin() + static_cast<long>(pos), internal(std::move(chk)));
-        }
-      } else {
-        list.insert(list.begin() + static_cast<long>(pos), make_checksum_xor(k_, v));
-      }
-      i = after_dup;  // continue after the dup of this definition
-    }
-  }
-
-  // --- FI / profiler hook insertion ---
-
-  void insert_fi_hooks() { insert_hooks(StmtKind::FIHook); }
-  void insert_count_exec() { insert_hooks(StmtKind::CountExec); }
-
-  void insert_hooks(StmtKind kind) {
-    for (std::size_t si = 0; si < sites_.size(); ++si) {
-      const Site& site = sites_[si];
-      auto [list, idx] = locate(site.stmt);
-      auto hook = std::make_shared<Stmt>();
-      hook->kind = kind;
-      hook->site = site.id;
-      hook->var = site.var;
-      hook->hw = site.hw;
-      internal(hook);
-      hook->fi_dead_window = site.late;
-      if (site.is_iterator) {
-        // Hook at the top of the loop body (fires once per iteration).
-        (*list)[idx]->body.insert((*list)[idx]->body.begin(), std::move(hook));
-      } else if (site.late) {
-        // After the last statement using the variable in its own list.
-        std::size_t pos = idx;
-        for (std::size_t j = idx + 1; j < list->size(); ++j)
-          if (stmt_uses((*list)[j], site.var)) pos = j;
-        list->insert(list->begin() + static_cast<long>(pos) + 1, std::move(hook));
-      } else {
-        list->insert(list->begin() + static_cast<long>(idx) + 1, std::move(hook));
-      }
-    }
-  }
-
-  // --- utilities ---
-
-  VarId declare(const std::string& name, DType t) {
-    k_.vars.push_back({name, t});
-    return static_cast<VarId>(k_.vars.size() - 1);
-  }
-
-  /// Locate the list and index currently holding `target`.
-  std::pair<StmtList*, std::size_t> locate(const Stmt* target) {
-    std::pair<StmtList*, std::size_t> found{nullptr, 0};
-    std::function<bool(StmtList&)> search = [&](StmtList& list) {
-      for (std::size_t i = 0; i < list.size(); ++i) {
-        if (list[i].get() == target) {
-          found = {&list, i};
-          return true;
-        }
-        if (search(list[i]->body) || search(list[i]->else_body)) return true;
-      }
-      return false;
-    };
-    if (!search(k_.body)) throw std::logic_error("translator: statement vanished");
-    return found;
-  }
-
-  Kernel k_;
-  const TranslateOptions& opt_;
-  TranslateReport& rep_;
-  std::vector<Site> sites_;
-  std::uint32_t next_site_ = 0;
-  int next_detector_ = 0;
-};
 
 }  // namespace
 
+bool is_instrumented(const Kernel& k) { return any_internal(k.body); }
+
+std::uint64_t remark_digest(const TranslateReport& report) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  fnv_str(h, report.pipeline);
+  for (const PassRemark& r : report.remarks) {
+    fnv_str(h, r.pass);
+    fnv_str(h, r.message);
+    fnv(h, &r.loop_id, sizeof r.loop_id);
+    fnv(h, &r.var, sizeof r.var);
+    fnv(h, &r.detector, sizeof r.detector);
+  }
+  return h;
+}
+
+std::string format_remarks(const TranslateReport& report) {
+  std::string out;
+  for (const PassRemark& r : report.remarks) {
+    out += "[";
+    out += r.pass;
+    out += "] ";
+    out += r.message;
+    out += "\n";
+  }
+  return out;
+}
+
 Kernel translate(const Kernel& input, const TranslateOptions& opt, TranslateReport* report) {
   const auto t0 = std::chrono::steady_clock::now();
+  if (is_instrumented(input))
+    throw std::invalid_argument("hauberk: kernel '" + input.name +
+                                "' already carries Hauberk instrumentation; "
+                                "re-instrumenting would double-place detectors");
   TranslateReport local;
   TranslateReport& rep = report ? *report : local;
-  Translator tr(clone_kernel(input), opt, rep);
-  Kernel out = tr.run();
+  PassPipeline pipeline = pipeline_for(opt.mode, opt);
+  if (opt.pipeline_override) opt.pipeline_override(input.name, pipeline);
+  PassContext ctx(clone_kernel(input), opt, rep);
+  PassManager().run(pipeline, ctx);
   rep.transform_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return out;
+  return std::move(ctx.kernel);
 }
 
 }  // namespace hauberk::core

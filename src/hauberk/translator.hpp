@@ -13,14 +13,25 @@
 //  * FIFT — FT instrumentation plus FI hooks, used to measure the detection
 //    coverage of the placed detectors (Fig. 14).
 //
+// Since the pass-manager refactor each mode is a *named pass pipeline*
+// (src/hauberk/passes): discrete transformation passes composed by
+// pipeline_for(), sharing cached analyses through a kir::AnalysisManager and
+// emitting structured PassRemarks into the TranslateReport.  translate()
+// remains the convenience entry point; callers needing pass-level control
+// (selective per-kernel hardening, pass tracing) use TranslateOptions::
+// pipeline_override or the passes API directly.
+//
 // Baseline detectors from the related-work comparison (R-Naive, R-Scatter)
 // live in src/swifi/baselines.*.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "kir/analysis.hpp"
+#include "kir/analysis_manager.hpp"
 #include "kir/ast.hpp"
 
 namespace hauberk::core {
@@ -28,6 +39,8 @@ namespace hauberk::core {
 enum class LibMode : std::uint8_t { None, Profiler, FT, FI, FIFT };
 
 [[nodiscard]] const char* lib_mode_name(LibMode m) noexcept;
+
+class PassPipeline;  // src/hauberk/passes/pass_manager.hpp
 
 struct TranslateOptions {
   LibMode mode = LibMode::FT;
@@ -45,6 +58,24 @@ struct TranslateOptions {
   /// (shadow variable alive until the last use, compared there) instead of
   /// Hauberk's checksum-based scheme of Fig. 8(c).
   bool naive_duplication = false;
+  /// Selective per-kernel hardening hook: invoked with the kernel's name and
+  /// the pass pipeline composed for `mode` before it runs.  May drop or
+  /// reorder passes (e.g. disable loop protection for one kernel of a
+  /// multi-kernel program while fully hardening the others).
+  std::function<void(const std::string& kernel_name, PassPipeline& pipeline)>
+      pipeline_override;
+};
+
+/// One structured remark emitted by an instrumentation pass: what was placed
+/// or skipped, and why.  Remarks are deterministic — same kernel + options
+/// produce the same remark sequence — and are surfaced through inspect
+/// --print-passes and the SWIFI campaign results.
+struct PassRemark {
+  std::string pass;     ///< emitting pass name (e.g. "loop-check")
+  std::string message;  ///< human-readable, deterministic
+  std::uint32_t loop_id = 0xffffffffu;      ///< kir::kNoLoop when not loop-scoped
+  kir::VarId var = kir::kInvalidVar;        ///< subject variable, if any
+  int detector = -1;                        ///< placed detector id, if any
 };
 
 /// One placed loop detector, for reporting and tests.
@@ -62,10 +93,28 @@ struct TranslateReport {
   std::vector<LoopDetectorInfo> loop_detectors;
   int fi_sites = 0;
   double transform_seconds = 0.0;  ///< Section IX.D instrumentation time
+  std::string pipeline;            ///< name of the pass pipeline that ran
+  std::vector<PassRemark> remarks;
+  /// Analysis-cache behavior of the run (hits/misses/invalidations).
+  kir::AnalysisManager::Stats analysis_cache;
 };
 
+/// Stable digest over a report's remark stream (order-sensitive).  Campaign
+/// results carry it so tests can pin that instrumentation remarks are
+/// deterministic and worker-count-invariant.
+[[nodiscard]] std::uint64_t remark_digest(const TranslateReport& report) noexcept;
+
+/// Render remarks as one line each ("[pass] message"), for CLIs and logs.
+[[nodiscard]] std::string format_remarks(const TranslateReport& report);
+
 /// Instrument `input` according to `opt`.  The input kernel is not modified.
+/// Rejects kernels that already carry Hauberk instrumentation (re-running
+/// the translator would double-place detectors) with std::invalid_argument.
 [[nodiscard]] kir::Kernel translate(const kir::Kernel& input, const TranslateOptions& opt,
                                     TranslateReport* report = nullptr);
+
+/// True if `k` contains any translator-inserted statement (the idempotence
+/// guard translate() enforces).
+[[nodiscard]] bool is_instrumented(const kir::Kernel& k);
 
 }  // namespace hauberk::core

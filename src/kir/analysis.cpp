@@ -319,11 +319,15 @@ ExprPtr Analysis::derive_trip_count(std::uint32_t loop_id) const {
 }
 
 LoopProtectionPlan Analysis::plan_loop_protection(std::uint32_t loop_id, int maxvar) const {
+  return plan_loop_protection(loop_id, maxvar, loop_dataflow(loop_id));
+}
+
+LoopProtectionPlan Analysis::plan_loop_protection(std::uint32_t loop_id, int maxvar,
+                                                  const LoopDataflow& df) const {
   LoopProtectionPlan plan;
   plan.loop_id = loop_id;
   plan.trip_count = derive_trip_count(loop_id);
 
-  const LoopDataflow df = loop_dataflow(loop_id);
   const std::set<VarId> sa = self_accumulators(loop_id);
 
   // Candidate set: loop vars, excluding loop iterators (covered by the
@@ -341,7 +345,8 @@ LoopProtectionPlan Analysis::plan_loop_protection(std::uint32_t loop_id, int max
     remaining.erase(v);
     // Exclude variables with forward dataflow dependency to the selected one
     // (their errors propagate into it, so they are already covered).
-    for (VarId w : df.backward_set(v)) remaining.erase(w);
+    for (VarId w : df.backward_set(v))
+      if (remaining.erase(w)) plan.covered.push_back(w);
   };
 
   // Step 1: self-accumulating variables first (no in-loop code needed).
@@ -366,6 +371,8 @@ LoopProtectionPlan Analysis::plan_loop_protection(std::uint32_t loop_id, int max
     }
     take(best);
   }
+  // Whatever is still unselected lost to the Maxvar budget.
+  plan.evicted.assign(remaining.begin(), remaining.end());
   return plan;
 }
 

@@ -74,6 +74,12 @@ struct LoopProtectionPlan {
   std::uint32_t loop_id = 0;
   std::vector<VarId> selected;     ///< in selection order; self-accumulators first
   std::set<VarId> self_accumulating;
+  /// Candidates left unprotected because the Maxvar budget was exhausted
+  /// (feeds the translator's "Maxvar eviction" remarks).
+  std::vector<VarId> evicted;
+  /// Candidates dropped because their errors propagate into a selected
+  /// variable (backward-reachable from it, so already covered).
+  std::vector<VarId> covered;
   /// Trip count expression evaluable *before* the loop, when derivable.
   ExprPtr trip_count;
 };
@@ -101,8 +107,12 @@ class Analysis {
   /// or nullptr when not derivable (While loops; bounds mutated inside).
   [[nodiscard]] ExprPtr derive_trip_count(std::uint32_t loop_id) const;
 
-  /// Full protection plan for one loop with the given Maxvar budget.
+  /// Full protection plan for one loop with the given Maxvar budget.  The
+  /// overload taking a LoopDataflow reuses a graph the caller already holds
+  /// (e.g. from an AnalysisManager cache) instead of recomputing it.
   [[nodiscard]] LoopProtectionPlan plan_loop_protection(std::uint32_t loop_id, int maxvar) const;
+  [[nodiscard]] LoopProtectionPlan plan_loop_protection(std::uint32_t loop_id, int maxvar,
+                                                        const LoopDataflow& df) const;
 
   /// True if expression reads variable v anywhere.
   static bool expr_reads(const ExprPtr& e, VarId v);

@@ -1,0 +1,46 @@
+#include "kir/analysis_manager.hpp"
+
+namespace hauberk::kir {
+
+const Analysis& AnalysisManager::analysis() {
+  if (analysis_) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    analysis_.emplace(*kernel_);
+  }
+  return *analysis_;
+}
+
+const LoopDataflow& AnalysisManager::loop_dataflow(std::uint32_t loop_id) {
+  auto it = dataflow_.find(loop_id);
+  if (it != dataflow_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  const Analysis& an = analysis();
+  ++stats_.misses;
+  return dataflow_.emplace(loop_id, an.loop_dataflow(loop_id)).first->second;
+}
+
+const LoopProtectionPlan& AnalysisManager::loop_plan(std::uint32_t loop_id, int maxvar) {
+  const auto key = std::make_pair(loop_id, maxvar);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  const LoopDataflow& df = loop_dataflow(loop_id);
+  const Analysis& an = analysis();
+  ++stats_.misses;
+  return plans_.emplace(key, an.plan_loop_protection(loop_id, maxvar, df)).first->second;
+}
+
+void AnalysisManager::invalidate() noexcept {
+  analysis_.reset();
+  dataflow_.clear();
+  plans_.clear();
+  ++stats_.invalidations;
+}
+
+}  // namespace hauberk::kir

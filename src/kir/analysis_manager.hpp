@@ -1,0 +1,67 @@
+// Cached analyses over one kernel AST.
+//
+// The Hauberk pass pipeline (src/hauberk/passes) runs several discrete
+// transformation passes over one kernel, and most of them consume the same
+// static analyses: the whole-kernel Analysis (virtual-variable facts and
+// loop-nest structure), the per-loop Fig. 9 dataflow graph, and the per-loop
+// protection plan.  The AnalysisManager computes each analysis at most once
+// per kernel state and hands out const references; a pass that mutates the
+// AST invalidates the cache, and the next consumer recomputes lazily.  This
+// replaces the monolithic translator's recompute-per-call pattern (each
+// helper constructed its own Analysis / LoopDataflow on demand).
+//
+// Not thread-safe: one AnalysisManager serves one pass pipeline run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "kir/analysis.hpp"
+
+namespace hauberk::kir {
+
+class AnalysisManager {
+ public:
+  /// Binds to `kernel` without copying; the kernel must outlive the manager
+  /// and its address must be stable (the pass context owns it by value).
+  explicit AnalysisManager(const Kernel& kernel) : kernel_(&kernel) {}
+
+  AnalysisManager(const AnalysisManager&) = delete;
+  AnalysisManager& operator=(const AnalysisManager&) = delete;
+
+  /// Whole-kernel facts + loop nest; computed on first use.
+  [[nodiscard]] const Analysis& analysis();
+
+  /// Fig. 9 dataflow graph of one loop body.
+  [[nodiscard]] const LoopDataflow& loop_dataflow(std::uint32_t loop_id);
+
+  /// Protection plan of one loop under a Maxvar budget; cached per
+  /// (loop, maxvar) and built over the cached dataflow graph.
+  [[nodiscard]] const LoopProtectionPlan& loop_plan(std::uint32_t loop_id, int maxvar);
+
+  /// Drop every cached analysis.  Called by the pass manager after any pass
+  /// reports that it mutated the AST.
+  void invalidate() noexcept;
+
+  struct Stats {
+    std::uint64_t hits = 0;           ///< analysis requests served from cache
+    std::uint64_t misses = 0;         ///< analysis requests that had to compute
+    std::uint64_t invalidations = 0;  ///< cache flushes after AST mutation
+    [[nodiscard]] double hit_rate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  const Kernel* kernel_;
+  std::optional<Analysis> analysis_;
+  std::map<std::uint32_t, LoopDataflow> dataflow_;
+  std::map<std::pair<std::uint32_t, int>, LoopProtectionPlan> plans_;
+  Stats stats_;
+};
+
+}  // namespace hauberk::kir

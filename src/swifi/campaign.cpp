@@ -171,6 +171,8 @@ CampaignResult run_campaign(Device& dev, const kir::BytecodeProgram& program,
   const GoldenRun gold = golden_run(dev, program, job, cb, cfg.launch_workers);
   const std::uint64_t watchdog = campaign_watchdog(gold, cfg);
   CampaignResult result;
+  result.pipeline = cfg.pipeline.name;
+  if (cfg.pipeline.report) result.remark_digest = core::remark_digest(*cfg.pipeline.report);
   result.per_fault.reserve(specs.size());
   for (const FaultSpec& spec : specs) {
     const Outcome o = run_one_fault(dev, program, job, cb, spec, gold.output, req, watchdog,

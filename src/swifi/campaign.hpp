@@ -36,6 +36,23 @@ struct PlanOptions {
                                                  const core::ProfileData& profile,
                                                  const PlanOptions& opt);
 
+/// Which instrumentation pipeline produced the program(s) a campaign runs.
+/// Campaigns carry this through to their results so experiment logs record
+/// the exact detector configuration (pipeline name + deterministic remark
+/// digest) alongside the outcome counts — and so tests can pin that the
+/// digest is invariant under the campaign worker count.
+struct PipelineSpec {
+  std::string name;  ///< e.g. "fi+ft" or "ft.hauberk-nl" (TranslateReport::pipeline)
+  /// Translator report of the injected program; optional.  Not owned — the
+  /// caller keeps it alive for the duration of the campaign.
+  const core::TranslateReport* report = nullptr;
+
+  /// Construct from a translator report (name + digest source).
+  [[nodiscard]] static PipelineSpec from_report(const core::TranslateReport& rep) {
+    return {rep.pipeline, &rep};
+  }
+};
+
 struct CampaignConfig {
   /// Watchdog budget as a multiple of the fault-free per-thread instruction
   /// count (the guardian's hang rule applied to injection runs).
@@ -55,6 +72,9 @@ struct CampaignConfig {
   /// barrier divergence reclassify as Outcome::RaceDetected /
   /// Outcome::BarrierDivergence instead of Failure/other classes.
   bool sanitize = false;
+  /// Instrumentation pipeline that produced the injected program; copied
+  /// into CampaignResult for experiment logs.
+  PipelineSpec pipeline;
 
   [[nodiscard]] gpusim::ExecEngine effective_engine() const noexcept {
     return sanitize ? gpusim::ExecEngine::Sanitizer : engine;
@@ -64,6 +84,8 @@ struct CampaignConfig {
 struct CampaignResult {
   OutcomeCounts counts;
   std::vector<Outcome> per_fault;
+  std::string pipeline;               ///< from CampaignConfig::pipeline
+  std::uint64_t remark_digest = 0;    ///< core::remark_digest of the spec's report
 };
 
 /// Run one injection experiment.  `cb` may be null (FI without FT).

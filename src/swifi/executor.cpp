@@ -41,6 +41,8 @@ CampaignResult CampaignExecutor::run_trials(
   const std::uint64_t watchdog = campaign_watchdog(gold, cfg);
 
   CampaignResult result;
+  result.pipeline = cfg.pipeline.name;
+  if (cfg.pipeline.report) result.remark_digest = core::remark_digest(*cfg.pipeline.report);
   result.per_fault.resize(trial_count);
   if (trial_count == 0) return result;
 

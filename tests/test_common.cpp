@@ -182,6 +182,68 @@ TEST(CliArgs, ParsesAllForms) {
   EXPECT_TRUE(args.has("flag"));
   EXPECT_EQ(args.get_u64("seed", 0), 16u);
   EXPECT_EQ(args.get_int("missing", -1), -1);
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(CliArgs, BadIntegerFallsBackToDefaultAndRecordsError) {
+  const char* argv[] = {"prog", "--workers=abc", "--n=12x", "--seed=0xzz", "--alpha=nan?"};
+  hc::CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("workers", 4), 4);
+  EXPECT_EQ(args.get_int("n", -1), -1);
+  EXPECT_EQ(args.get_u64("seed", 9), 9u);
+  EXPECT_EQ(args.get_double("alpha", 1.5), 1.5);
+  EXPECT_FALSE(args.ok());
+  ASSERT_EQ(args.errors().size(), 4u);
+  EXPECT_NE(args.errors()[0].find("--workers"), std::string::npos);
+  EXPECT_NE(args.errors()[0].find("abc"), std::string::npos);
+}
+
+TEST(CliArgs, PartiallyNumericValuesAreRejectedNotTruncated) {
+  // strtoll would silently stop at the first bad character; the strict
+  // parser must reject the whole value instead.
+  const char* argv[] = {"prog", "--n=17crash"};
+  hc::CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 3), 3);
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(CliArgs, UnknownFlagsAreDetected) {
+  const char* argv[] = {"prog", "--workers=2", "--sanitize", "--wrokers=4"};
+  hc::CliArgs args(4, const_cast<char**>(argv));
+  const auto unknown = args.unknown_flags({"workers", "sanitize", "datasets"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "wrokers");
+  EXPECT_TRUE(args.unknown_flags({"workers", "sanitize", "wrokers"}).empty());
+}
+
+TEST(CampaignFlags, ParsesSharedFlagsWithDefaults) {
+  const char* argv[] = {"prog", "--workers=3", "--sanitize"};
+  hc::CliArgs args(3, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args, /*default_datasets=*/52);
+  EXPECT_EQ(f.workers, 3);
+  EXPECT_TRUE(f.sanitize);
+  EXPECT_EQ(f.datasets, 52);
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(CampaignFlags, RejectsOutOfRangeValues) {
+  const char* argv[] = {"prog", "--workers=-2", "--datasets=0"};
+  hc::CliArgs args(3, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args, /*default_datasets=*/10);
+  EXPECT_EQ(f.workers, 0) << "negative workers fall back to hardware concurrency";
+  EXPECT_EQ(f.datasets, 10) << "datasets < 1 falls back to the tool default";
+  EXPECT_FALSE(f.sanitize);
+  ASSERT_EQ(args.errors().size(), 2u);
+  EXPECT_NE(args.errors()[0].find("--workers"), std::string::npos);
+  EXPECT_NE(args.errors()[1].find("--datasets"), std::string::npos);
+}
+
+TEST(CampaignFlags, MalformedWorkerCountSurfacesTheParseError) {
+  const char* argv[] = {"prog", "--workers=two"};
+  hc::CliArgs args(2, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args);
+  EXPECT_EQ(f.workers, 0);
+  EXPECT_FALSE(args.ok());
 }
 
 // --- table (smoke) ---
