@@ -55,9 +55,11 @@ int main(int argc, char** argv) {
   const int max_vars = static_cast<int>(args.get_int("vars", 16));
   const int masks = static_cast<int>(args.get_int("masks", 8));
   const auto worker_list = parse_list(args.get("workers-list", "1,2,4,0"));
-  const bool sanitize = campaign_flags_from(args).sanitize;
+  const auto cflags = campaign_flags_from(args);
+  const bool sanitize = cflags.sanitize;
   swifi::CampaignConfig cfg;
   cfg.sanitize = sanitize;
+  cfg.sanitize_cap = static_cast<std::size_t>(cflags.sanitize_cap);
 
   std::unique_ptr<workloads::Workload> w;
   for (auto& cand : workloads::hpc_suite())

@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
       const auto specs = swifi::plan_faults(ctx.variants.fift, ctx.profile, opt);
       swifi::CampaignConfig ccfg;
       ccfg.sanitize = sanitize;
+      ccfg.sanitize_cap = static_cast<std::size_t>(flags.sanitize_cap);
       const auto res = ex.run(ctx.variants.fift,
                               context_factory(*ctx.workload, ctx.dataset, {},
                                               &ctx.variants.fift, &ctx.profile),

@@ -9,6 +9,7 @@
 //                  [--sanitize]    (run trials under the sanitizer engine:
 //                                   races / barrier divergence become their
 //                                   own outcome classes)
+//                  [--sanitize-cap=N]  (per-block sanitizer report cap)
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -22,7 +23,8 @@ using namespace hauberk;
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   for (const auto& f : args.unknown_flags({"program", "bits", "vars", "masks", "protected",
-                                           "scale", "seed", "workers", "sanitize"})) {
+                                           "scale", "seed", "workers", "sanitize",
+                                           "sanitize-cap"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
     return 2;
   }
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
 
   swifi::CampaignConfig cfg;
   cfg.sanitize = flags.sanitize;
+  cfg.sanitize_cap = static_cast<std::size_t>(flags.sanitize_cap);
   cfg.pipeline = swifi::PipelineSpec::from_report(prog_report);
   const auto res = ex.run(
       prog,

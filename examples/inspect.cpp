@@ -103,6 +103,23 @@ void print_sites(const kir::BytecodeProgram& p) {
   }
 }
 
+/// The --lint mode: instrument with the lint stage appended to the pipeline
+/// (TranslateOptions::lint) and print the resulting LintReport.
+int inspect_lint(const kir::Kernel& kernel, const common::CliArgs& args) {
+  core::TranslateOptions opt;
+  opt.mode = mode_from(args.get("mode", "ft"));
+  opt.maxvar = static_cast<int>(args.get_int("maxvar", 1));
+  opt.naive_duplication = args.has("naive");
+  opt.lint = true;
+  core::TranslateReport rep;
+  (void)core::translate(kernel, opt, &rep);
+  if (args.has("json"))
+    std::fputs(rep.lint.to_json().c_str(), stdout);
+  else
+    std::fputs(rep.lint.to_string().c_str(), stdout);
+  return rep.lint.errors > 0 ? 1 : 0;
+}
+
 void print_stats(const core::KernelVariants& v) {
   std::printf("variant statistics:\n");
   std::printf("  %-10s %-8s %-8s %-10s %-10s\n", "variant", "instrs", "regs", "detectors",
@@ -133,6 +150,9 @@ int main(int argc, char** argv) {
     if (cand->name() == name) w = std::move(cand);
   for (auto& cand : workloads::graphics_suite())
     if (cand && cand->name() == name) w = std::move(cand);
+  for (auto& cand : workloads::cpu_suite())
+    if (cand && cand->name() == name) w = std::move(cand);
+  if (!w && name == "cpu-matmul") w = workloads::make_cpu_matmul();
   if (!w) {
     std::fprintf(stderr, "unknown program '%s'\n", name.c_str());
     return 1;
@@ -140,6 +160,7 @@ int main(int argc, char** argv) {
 
   const auto kernel = w->build_kernel(workloads::Scale::Small);
   if (args.has("print-passes") || args.has("dump-passes")) return inspect_passes(kernel, args);
+  if (args.has("lint")) return inspect_lint(kernel, args);
   const auto v = core::build_variants(kernel);
   const bool all = what == "all";
 

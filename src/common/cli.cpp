@@ -107,6 +107,12 @@ CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
   } else {
     f.datasets = static_cast<int>(datasets);
   }
+  const auto cap = args.get_int("sanitize-cap", f.sanitize_cap);
+  if (cap < 1) {
+    args.note_error("--sanitize-cap: must be >= 1 (got " + std::to_string(cap) + ")");
+  } else {
+    f.sanitize_cap = static_cast<int>(cap);
+  }
   return f;
 }
 

@@ -45,17 +45,20 @@ class CliArgs {
 
 /// The campaign-control flags shared by every SWIFI-running tool
 /// (fault_campaign, controller, and the bench harnesses):
-///   --workers=N    campaign workers (0 = hardware concurrency)
-///   --sanitize     run trials under the sanitizer engine
-///   --datasets=N   independent datasets per experiment
+///   --workers=N       campaign workers (0 = hardware concurrency)
+///   --sanitize        run trials under the sanitizer engine
+///   --datasets=N      independent datasets per experiment
+///   --sanitize-cap=N  per-block sanitizer report cap (default 64)
 struct CampaignFlags {
   int workers = 0;
   bool sanitize = false;
   int datasets = 1;
+  int sanitize_cap = 64;  ///< gpusim::SharedShadow::kMaxReportsPerBlock
 };
 
-/// Parse the shared campaign flags, validating ranges: negative --workers or
-/// --datasets < 1 record an error on `args` and fall back to the default.
+/// Parse the shared campaign flags, validating ranges: negative --workers,
+/// --datasets < 1 or --sanitize-cap < 1 record an error on `args` and fall
+/// back to the default.
 [[nodiscard]] CampaignFlags parse_campaign_flags(const CliArgs& args,
                                                  int default_datasets = 1);
 

@@ -360,7 +360,7 @@ class BlockExec {
     if (report_sink)
       shadow_ = std::make_unique<SharedShadow>(
           static_cast<std::uint32_t>(shared_.size()), dev.props().warp_size,
-          block_linear, *report_sink);
+          block_linear, *report_sink, opts.sanitize_report_cap);
   }
 
   LaunchStatus run(std::span<const kir::Value> args);

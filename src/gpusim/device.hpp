@@ -210,6 +210,10 @@ struct LaunchOptions {
   /// number of times each instruction executed (all threads summed) — the
   /// basis for cycle-breakdown profiling (see bench_overhead_breakdown).
   std::vector<std::uint64_t>* instr_exec_counts = nullptr;
+  /// Per-block sanitizer report cap (ExecEngine::Sanitizer only): further
+  /// hazards in a block only bump LaunchResult::sanitizer_reports_dropped.
+  /// 0 is clamped to 1.
+  std::size_t sanitize_report_cap = SharedShadow::kMaxReportsPerBlock;
   /// Compute LaunchResult::simt_cycles (per-thread counting; slower).
   bool simt_cost = false;
 };

@@ -77,13 +77,15 @@ struct SanitizerReport {
 /// the block's (single) executing worker; no synchronization needed.
 class SharedShadow {
  public:
-  SharedShadow(std::uint32_t words, std::uint32_t warp_size, std::uint32_t block,
-               std::vector<SanitizerReport>& sink)
-      : words_(words, ShadowWord{}), warp_(warp_size == 0 ? 1 : warp_size),
-        block_(block), sink_(sink) {}
-
-  /// Reports kept per block before further hazards only bump dropped().
+  /// Default for reports kept per block before further hazards only bump
+  /// dropped() (overridable per launch via LaunchOptions::sanitize_report_cap).
   static constexpr std::size_t kMaxReportsPerBlock = 64;
+
+  SharedShadow(std::uint32_t words, std::uint32_t warp_size, std::uint32_t block,
+               std::vector<SanitizerReport>& sink,
+               std::size_t report_cap = kMaxReportsPerBlock)
+      : words_(words, ShadowWord{}), warp_(warp_size == 0 ? 1 : warp_size),
+        block_(block), cap_(report_cap == 0 ? 1 : report_cap), sink_(sink) {}
 
   void on_load(std::uint32_t pc, std::uint32_t site, std::uint32_t thread,
                std::uint32_t addr, std::uint32_t epoch) {
@@ -153,7 +155,7 @@ class SharedShadow {
                               (static_cast<std::uint64_t>(pc & 0x3fffffffu) << 30) |
                               (other_pc & 0x3fffffffu);
     if (!seen_.insert(key).second) return;  // one report per (kind, pc, other_pc)
-    if (sink_.size() >= kMaxReportsPerBlock) {
+    if (sink_.size() >= cap_) {
       ++dropped_;
       return;
     }
@@ -164,6 +166,7 @@ class SharedShadow {
   std::vector<ShadowWord> words_;
   std::uint32_t warp_;
   std::uint32_t block_;
+  std::size_t cap_;
   std::vector<SanitizerReport>& sink_;
   std::unordered_set<std::uint64_t> seen_;
   std::uint64_t dropped_ = 0;

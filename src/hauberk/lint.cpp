@@ -1,0 +1,583 @@
+#include "hauberk/lint.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+
+#include "kir/analysis.hpp"
+
+namespace hauberk::lint {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+int severity_rank(Severity s) { return static_cast<int>(s); }
+
+/// Excluded from the coverage universe: instrumentation-owned state.  Their
+/// corruption is either self-detecting (counters/accumulators feed a check by
+/// construction) or handled by the duplication compare itself (shadows).
+bool internal_var(const kir::Kernel& k, kir::VarId v) {
+  const auto& info = k.vars[v];
+  if (info.scatter_shadow) return true;
+  if (info.name.rfind("__hbk_", 0) == 0) return true;
+  const std::string suffix = "__shadow";
+  return info.name.size() >= suffix.size() &&
+         info.name.compare(info.name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+kir::VarId var_by_name(const kir::Kernel& k, const std::string& name) {
+  for (kir::VarId v = 0; v < k.vars.size(); ++v)
+    if (k.vars[v].name == name) return v;
+  return kir::kInvalidVar;
+}
+
+// ---------------------------------------------------------------------------
+// Bounds / barrier / overlap analyzers (over the interval fixpoint facts)
+// ---------------------------------------------------------------------------
+
+bool is_shared(kir::AccessKind k) {
+  return k == kir::AccessKind::LoadShared || k == kir::AccessKind::StoreShared;
+}
+bool is_memory(kir::AccessKind k) { return k != kir::AccessKind::Barrier; }
+
+/// pc and dense-sanitizer-site provenance for the ordinal-th access fact.
+struct Provenance {
+  std::vector<std::int64_t> pcs;    ///< per AccessFact ordinal, or empty
+  std::vector<std::int64_t> sites;  ///< dense site id per ordinal, -1 if none
+};
+
+Provenance make_provenance(const kir::IntervalAnalysis& ia, const kir::BytecodeProgram* p) {
+  Provenance out;
+  const auto& acc = ia.accesses();
+  if (p != nullptr) {
+    auto pcs = kir::access_pcs(*p);
+    if (pcs.size() == acc.size()) out.pcs = std::move(pcs);
+  }
+  // Dense sanitizer site ids are assigned to Barrier/LoadS/StoreS in pc
+  // order (kir::decode_program), which matches access lowering order.
+  out.sites.assign(acc.size(), -1);
+  std::int64_t next = 0;
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    if (is_shared(acc[i].kind) || acc[i].kind == kir::AccessKind::Barrier)
+      out.sites[i] = next++;
+  return out;
+}
+
+void check_bounds(const kir::IntervalAnalysis& ia, const Provenance& prov,
+                  std::vector<Diagnostic>& out) {
+  const double shared_hi = static_cast<double>(ia.shared_words()) - 1.0;
+  const double global_hi = static_cast<double>(ia.env().global_words) - 1.0;
+  for (const auto& a : ia.accesses()) {
+    if (!is_memory(a.kind) || !a.reached) continue;
+    const bool shared = is_shared(a.kind);
+    const auto bounds = kir::ValInterval::range(0.0, shared ? shared_hi : global_hi);
+    if (bounds.contains(a.addr)) continue;
+    Diagnostic d;
+    d.kind = DiagKind::PossibleOob;
+    const bool always = kir::meet(bounds, a.addr).is_empty();
+    d.severity = always ? Severity::Error : Severity::Warning;
+    d.message = fmt("%s address %s %s %s memory bounds %s", kir::access_kind_name(a.kind),
+                    a.addr.to_string().c_str(), always ? "is entirely outside" : "may escape",
+                    shared ? "shared" : "global", bounds.to_string().c_str());
+    if (!prov.pcs.empty()) d.pc = prov.pcs[static_cast<std::size_t>(a.ordinal)];
+    d.site = prov.sites[static_cast<std::size_t>(a.ordinal)];
+    out.push_back(std::move(d));
+  }
+}
+
+void check_barriers(const kir::IntervalAnalysis& ia, const Provenance& prov,
+                    std::vector<Diagnostic>& out) {
+  for (const auto& a : ia.accesses()) {
+    if (a.kind != kir::AccessKind::Barrier || !a.reached || !a.divergent_control) continue;
+    Diagnostic d;
+    d.kind = DiagKind::NonUniformBarrier;
+    d.severity = Severity::Warning;
+    d.message = "barrier under thread-dependent control flow: threads of a block may "
+                "diverge around it and deadlock";
+    if (!prov.pcs.empty()) d.pc = prov.pcs[static_cast<std::size_t>(a.ordinal)];
+    d.site = prov.sites[static_cast<std::size_t>(a.ordinal)];
+    out.push_back(std::move(d));
+  }
+}
+
+/// Does [lo, hi] contain an integer multiple of g (g > 0)?
+bool has_multiple(double lo, double hi, double g) {
+  return std::floor(hi / g) >= std::ceil(lo / g);
+}
+
+/// Can two *distinct* threads of a block write the same shared word, given
+/// that their address difference is `p + m` with p in [plo, phi] (the
+/// tid-coefficient part plus base difference) and m any multiple of `g`
+/// bounded by |m| <= B (the iterator delta set)?
+bool delta_can_be_zero(double plo, double phi, double g, double B) {
+  // Need m with -m in [plo, phi], |m| <= B, m multiple of g.
+  const double lo = std::max(-phi, -B), hi = std::min(-plo, B);
+  if (lo > hi) return false;
+  if (g <= 0.0) return lo <= 0.0 && 0.0 <= hi;
+  return has_multiple(lo, hi, g);
+}
+
+void check_overlap(const kir::IntervalAnalysis& ia, const Provenance& prov,
+                   std::vector<Diagnostic>& out) {
+  const auto& env = ia.env();
+  const std::int64_t bx = env.block_x, by = env.block_y;
+  if (bx * by < 2) return;  // single-thread blocks cannot conflict
+  const auto& acc = ia.accesses();
+
+  struct St {
+    const kir::SharedStoreFootprint* fp;
+    const kir::AccessFact* a;
+  };
+  std::vector<St> stores;
+  for (const auto& fp : ia.shared_stores()) {
+    const auto& a = acc[static_cast<std::size_t>(fp.access)];
+    if (a.reached) stores.push_back({&fp, &a});
+  }
+
+  // Two dynamic store instances can race only when no barrier is guaranteed
+  // between them.  Statically: equal pre-order epoch, or both inside loops
+  // (the loop back-edge can bring the later store around to before the
+  // earlier one without crossing a barrier).
+  auto comparable = [](const St& x, const St& y) {
+    return x.a->epoch == y.a->epoch || (x.a->in_loop && y.a->in_loop);
+  };
+
+  // Collision test between store instances executed by two distinct threads
+  // (dtx, dty) apart.  Returns {may_collide, proven} where proven means a
+  // zero-delta witness exists with no approximation involved.
+  auto affine_pair = [&](const St& x, const St& y, bool& proven) -> bool {
+    const auto& f = *x.fp;
+    const auto& g = *y.fp;
+    // Different tid coefficients: the thread terms do not cancel, so fall
+    // back to plain interval disjointness.
+    if (f.a != g.a || f.b != g.b) return !kir::meet(x.a->addr, y.a->addr).is_empty();
+    // Base difference interval (0 for a self-pair by construction).
+    double blo = 0.0, bhi = 0.0;
+    if (&f != &g) {
+      blo = g.base.lo - f.base.hi;
+      bhi = g.base.hi - f.base.lo;
+    } else {
+      // One syntactic store joined over visits: the thread-uniform base is
+      // identical for both threads, but joins may have widened it; only the
+      // width can separate the two instances.
+      bhi = f.base.width();
+      blo = -bhi;
+    }
+    const double stride =
+        f.iter_stride == 0.0
+            ? g.iter_stride
+            : (g.iter_stride == 0.0
+                   ? f.iter_stride
+                   : static_cast<double>(std::gcd(static_cast<std::int64_t>(f.iter_stride),
+                                                  static_cast<std::int64_t>(g.iter_stride))));
+    const double bound = f.iter_bound + g.iter_bound;
+    for (std::int64_t dty = -(by - 1); dty <= by - 1; ++dty) {
+      for (std::int64_t dtx = -(bx - 1); dtx <= bx - 1; ++dtx) {
+        if (dtx == 0 && dty == 0) continue;
+        const double dist = f.a * static_cast<double>(dtx) + f.b * static_cast<double>(dty);
+        if (!delta_can_be_zero(dist + blo, dist + bhi, stride, bound)) continue;
+        // Exact witness: zero base slack, no iterator delta needed, and both
+        // threads provably reach the store (uniform control flow).
+        proven = blo == 0.0 && bhi == 0.0 && dist == 0.0 && !x.a->divergent_control &&
+                 !y.a->divergent_control;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto emit = [&](const St& x, const St& y, bool proven, const char* how) {
+    Diagnostic d;
+    d.kind = DiagKind::SharedWriteOverlap;
+    d.severity = proven ? Severity::Error : Severity::Warning;
+    const bool self = x.fp == y.fp;
+    d.message = fmt("shared stores %s %s write the same word from distinct threads (%s)",
+                    self ? "at one site" : "at two sites", proven ? "provably" : "may",
+                    how);
+    if (!prov.pcs.empty()) {
+      d.pc = prov.pcs[static_cast<std::size_t>(x.a->ordinal)];
+      if (!self) d.other_pc = prov.pcs[static_cast<std::size_t>(y.a->ordinal)];
+    }
+    d.site = prov.sites[static_cast<std::size_t>(x.a->ordinal)];
+    out.push_back(std::move(d));
+  };
+
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    for (std::size_t j = i; j < stores.size(); ++j) {
+      const St& x = stores[i];
+      const St& y = stores[j];
+      if (!comparable(x, y)) continue;
+      if (x.fp->affine && y.fp->affine) {
+        bool proven = false;
+        if (affine_pair(x, y, proven)) emit(x, y, proven, "affine footprint collision");
+        continue;
+      }
+      // Non-affine fallback: plain address-interval overlap.  A point
+      // address reached under uniform control is a proven conflict (every
+      // thread writes that word).
+      const auto m = kir::meet(x.a->addr, y.a->addr);
+      if (m.is_empty()) continue;
+      const bool proven = i == j && x.a->addr.is_point() && !x.a->divergent_control;
+      emit(x, y, proven, "non-affine address intervals intersect");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Range cross-check (Fig. 16: profiled vs sound static ranges)
+// ---------------------------------------------------------------------------
+
+void check_ranges(const kir::IntervalAnalysis& ia, const std::vector<ObservedRange>& observed,
+                  std::vector<Diagnostic>& out, std::vector<StaticDetectorRange>& ranges) {
+  for (const auto& det : ia.detectors()) {
+    StaticDetectorRange r;
+    r.detector = det.detector;
+    r.label = det.label;
+    r.type = det.type;
+    r.value = det.value;
+    ranges.push_back(std::move(r));
+  }
+  for (const auto& obs : observed) {
+    const kir::DetectorValueFact* det = nullptr;
+    for (const auto& d : ia.detectors())
+      if (d.detector == obs.detector) det = &d;
+    if (det == nullptr || obs.samples == 0) continue;
+    const auto o = kir::ValInterval::range(obs.lo, obs.hi);
+    Diagnostic d;
+    d.detector = obs.detector;
+    if (!det->value.contains(o)) {
+      d.kind = DiagKind::StaticRangeUnsound;
+      d.severity = Severity::Error;
+      d.message = fmt("detector '%s': profiled range %s escapes the sound static interval "
+                      "%s — profiler or analysis defect",
+                      det->label.c_str(), o.to_string().c_str(),
+                      det->value.to_string().c_str());
+      out.push_back(std::move(d));
+    } else if (det->value.finite() && (o.lo > det->value.lo || o.hi < det->value.hi)) {
+      d.kind = DiagKind::RangeTighterThanStatic;
+      d.severity = Severity::Remark;
+      const double slack = det->value.width() - o.width();
+      d.message = fmt("detector '%s': profiled range %s is tighter than the static interval "
+                      "%s; %g units of legal value space would be flagged as SDC "
+                      "(Fig. 16 false-positive exposure)",
+                      det->label.c_str(), o.to_string().c_str(),
+                      det->value.to_string().c_str(), slack);
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Detector-coverage analyzer (Fig. 9 graph walk)
+// ---------------------------------------------------------------------------
+
+struct CoverageCtx {
+  std::set<kir::VarId> protected_direct;
+  std::map<kir::VarId, std::set<kir::VarId>> deps;  ///< var -> vars its defs read
+  bool any_detector = false;
+};
+
+void scan_coverage(const kir::Kernel& k, const kir::Analysis& an, const kir::StmtList& body,
+                   CoverageCtx& ctx) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case kir::StmtKind::Let:
+      case kir::StmtKind::Assign:
+        kir::Analysis::collect_reads(s->value, ctx.deps[s->var]);
+        break;
+      case kir::StmtKind::For: {
+        auto& d = ctx.deps[s->var];
+        kir::Analysis::collect_reads(s->init, d);
+        kir::Analysis::collect_reads(s->limit, d);
+        kir::Analysis::collect_reads(s->step, d);
+        scan_coverage(k, an, s->body, ctx);
+        break;
+      }
+      case kir::StmtKind::While:
+      case kir::StmtKind::If:
+        scan_coverage(k, an, s->body, ctx);
+        scan_coverage(k, an, s->else_body, ctx);
+        break;
+      case kir::StmtKind::DupCheck:
+        ctx.any_detector = true;
+        if (s->var != kir::kInvalidVar) ctx.protected_direct.insert(s->var);
+        break;
+      case kir::StmtKind::ChecksumXor:
+        ctx.any_detector = true;
+        if (s->value && s->value->kind == kir::ExprKind::VarRef)
+          ctx.protected_direct.insert(s->value->var);
+        break;
+      case kir::StmtKind::RangeCheck:
+      case kir::StmtKind::ProfileValue: {
+        ctx.any_detector = true;
+        const kir::VarId v = var_by_name(k, s->label);
+        if (v != kir::kInvalidVar) ctx.protected_direct.insert(v);
+        break;
+      }
+      case kir::StmtKind::EqualCheck: {
+        // Iteration-count check: protects the loop's iterator.
+        ctx.any_detector = true;
+        const std::string prefix = "__iter_check_loop";
+        if (s->label.rfind(prefix, 0) == 0) {
+          const auto id = static_cast<std::uint32_t>(std::atoi(s->label.c_str() + prefix.size()));
+          if (id < an.loops().size() && an.loop(id).iterator != kir::kInvalidVar)
+            ctx.protected_direct.insert(an.loop(id).iterator);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void check_coverage(const kir::Kernel& k, kir::AnalysisManager& am, Coverage& cov,
+                    std::vector<Diagnostic>& out) {
+  const auto& an = am.analysis();
+  CoverageCtx ctx;
+  scan_coverage(k, an, k.body, ctx);
+  if (!ctx.any_detector) return;  // uninstrumented kernel: nothing to grade
+
+  // Covered = detector-protected variables plus everything backward-reachable
+  // from them through def-reads edges (an error in an input propagates into
+  // the checked value, Section V.B's cumulative-backward-dependency rule).
+  std::set<kir::VarId> covered;
+  std::vector<kir::VarId> work(ctx.protected_direct.begin(), ctx.protected_direct.end());
+  while (!work.empty()) {
+    const kir::VarId v = work.back();
+    work.pop_back();
+    if (!covered.insert(v).second) continue;
+    const auto it = ctx.deps.find(v);
+    if (it == ctx.deps.end()) continue;
+    for (const kir::VarId u : it->second) work.push_back(u);
+  }
+
+  for (kir::VarId v = 0; v < k.vars.size(); ++v) {
+    if (internal_var(k, v)) continue;
+    ++cov.total_vars;
+    if (covered.count(v) != 0) {
+      ++cov.covered_vars;
+      continue;
+    }
+    Diagnostic d;
+    d.kind = DiagKind::UncoveredVariable;
+    d.severity = Severity::Warning;
+    d.var = v;
+    d.message = fmt("variable '%s' is reached by no detector: corruption of it cannot "
+                    "surface through ChkXor/DupCmp/RangeCheck or an accumulator",
+                    k.vars[v].name.c_str());
+    out.push_back(std::move(d));
+  }
+
+  // Fig. 9 dataflow edges, graded per loop graph.
+  for (const auto& loop : an.loops()) {
+    const auto& df = am.loop_dataflow(loop.id);
+    for (const auto& [def, uses] : df.uses) {
+      if (internal_var(k, def)) continue;
+      for (const kir::VarId use : uses) {
+        if (internal_var(k, use)) continue;
+        ++cov.total_edges;
+        if (covered.count(def) != 0) {
+          ++cov.covered_edges;
+          continue;
+        }
+        Diagnostic d;
+        d.kind = DiagKind::UncoveredEdge;
+        d.severity = Severity::Warning;
+        d.var = def;
+        d.var2 = use;
+        d.loop_id = loop.id;
+        d.message = fmt("dataflow edge '%s' -> '%s' in loop %u flows into no detector",
+                        k.vars[use].name.c_str(), k.vars[def].name.c_str(), loop.id);
+        out.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report assembly and printers
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += fmt("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  std::string s = fmt("%.17g", v);
+  return s;
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Remark: return "remark";
+  }
+  return "?";
+}
+
+const char* diag_kind_name(DiagKind k) noexcept {
+  switch (k) {
+    case DiagKind::PossibleOob: return "PossibleOob";
+    case DiagKind::NonUniformBarrier: return "NonUniformBarrier";
+    case DiagKind::SharedWriteOverlap: return "SharedWriteOverlap";
+    case DiagKind::StaticRangeUnsound: return "StaticRangeUnsound";
+    case DiagKind::RangeTighterThanStatic: return "RangeTighterThanStatic";
+    case DiagKind::UncoveredVariable: return "UncoveredVariable";
+    case DiagKind::UncoveredEdge: return "UncoveredEdge";
+  }
+  return "?";
+}
+
+bool LintReport::has(DiagKind k) const noexcept { return count(k) > 0; }
+
+int LintReport::count(DiagKind k) const noexcept {
+  int n = 0;
+  for (const auto& d : diagnostics) n += d.kind == k;
+  return n;
+}
+
+std::string LintReport::to_string() const {
+  std::string out = fmt("%s: %d error(s), %d warning(s), %d remark(s)", kernel.c_str(), errors,
+                        warnings, remarks);
+  if (coverage.total_vars != 0 || coverage.total_edges != 0)
+    out += fmt("; detector coverage %d/%d vars (%.1f%%), %d/%d edges (%.1f%%)",
+               coverage.covered_vars, coverage.total_vars, coverage.var_pct(),
+               coverage.covered_edges, coverage.total_edges, coverage.edge_pct());
+  out += "\n";
+  for (const auto& d : diagnostics) {
+    out += fmt("  %s [%s] %s", severity_name(d.severity), diag_kind_name(d.kind),
+               d.message.c_str());
+    if (d.pc >= 0) out += fmt(" (pc %" PRId64 "%s)", d.pc,
+                              d.other_pc >= 0 ? fmt(" vs pc %" PRId64, d.other_pc).c_str() : "");
+    if (d.site >= 0) out += fmt(" (site %" PRId64 ")", d.site);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string LintReport::to_json() const {
+  std::string out = "{\n";
+  out += fmt("  \"kernel\": \"%s\",\n", json_escape(kernel).c_str());
+  out += fmt("  \"errors\": %d,\n  \"warnings\": %d,\n  \"remarks\": %d,\n", errors, warnings,
+             remarks);
+  out += fmt("  \"coverage\": {\"total_vars\": %d, \"covered_vars\": %d, \"total_edges\": %d, "
+             "\"covered_edges\": %d},\n",
+             coverage.total_vars, coverage.covered_vars, coverage.total_edges,
+             coverage.covered_edges);
+  out += "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const auto& d = diagnostics[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += fmt("    {\"kind\": \"%s\", \"severity\": \"%s\", \"pc\": %" PRId64
+               ", \"other_pc\": %" PRId64 ", \"site\": %" PRId64
+               ", \"var\": %d, \"var2\": %d, \"detector\": %d, \"loop\": %d, "
+               "\"message\": \"%s\"}",
+               diag_kind_name(d.kind), severity_name(d.severity), d.pc, d.other_pc, d.site,
+               d.var == kir::kInvalidVar ? -1 : static_cast<int>(d.var),
+               d.var2 == kir::kInvalidVar ? -1 : static_cast<int>(d.var2), d.detector,
+               d.loop_id == kir::kNoLoop ? -1 : static_cast<int>(d.loop_id),
+               json_escape(d.message).c_str());
+  }
+  out += diagnostics.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"detector_ranges\": [";
+  for (std::size_t i = 0; i < detector_ranges.size(); ++i) {
+    const auto& r = detector_ranges[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += fmt("    {\"detector\": %d, \"label\": \"%s\", \"type\": \"%s\", \"lo\": %s, "
+               "\"hi\": %s}",
+               r.detector, json_escape(r.label).c_str(), kir::dtype_name(r.type),
+               json_num(r.value.lo).c_str(), json_num(r.value.hi).c_str());
+  }
+  out += detector_ranges.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+LintReport run_lint(const kir::Kernel& kernel, const LintOptions& opt,
+                    kir::AnalysisManager* am) {
+  std::optional<kir::AnalysisManager> local;
+  if (am == nullptr) {
+    local.emplace(kernel);
+    am = &*local;
+  }
+  LintReport rep;
+  rep.kernel = kernel.name;
+
+  const auto& ia = am->intervals(opt.env);
+  const Provenance prov = make_provenance(ia, opt.program);
+
+  if (opt.check_bounds) check_bounds(ia, prov, rep.diagnostics);
+  if (opt.check_barriers) check_barriers(ia, prov, rep.diagnostics);
+  if (opt.check_overlap) check_overlap(ia, prov, rep.diagnostics);
+  check_ranges(ia, opt.observed, rep.diagnostics, rep.detector_ranges);
+  if (opt.check_coverage) check_coverage(kernel, *am, rep.coverage, rep.diagnostics);
+
+  std::stable_sort(rep.diagnostics.begin(), rep.diagnostics.end(),
+                   [](const Diagnostic& x, const Diagnostic& y) {
+                     if (x.severity != y.severity)
+                       return severity_rank(x.severity) < severity_rank(y.severity);
+                     if (x.kind != y.kind) return x.kind < y.kind;
+                     if (x.pc != y.pc) return x.pc < y.pc;
+                     if (x.site != y.site) return x.site < y.site;
+                     if (x.var != y.var) return x.var < y.var;
+                     if (x.detector != y.detector) return x.detector < y.detector;
+                     if (x.loop_id != y.loop_id) return x.loop_id < y.loop_id;
+                     return x.message < y.message;
+                   });
+  for (const auto& d : rep.diagnostics) {
+    rep.errors += d.severity == Severity::Error;
+    rep.warnings += d.severity == Severity::Warning;
+    rep.remarks += d.severity == Severity::Remark;
+  }
+  return rep;
+}
+
+kir::IntervalEnv env_for(const gpusim::LaunchConfig& cfg, std::span<const kir::Value> args,
+                         const gpusim::DeviceProps& props) {
+  kir::IntervalEnv env;
+  env.block_x = cfg.block_x;
+  env.block_y = cfg.block_y;
+  env.grid_x = cfg.grid_x;
+  env.grid_y = cfg.grid_y;
+  // shared_words stays 0: the kernel's own allocation is the bound the
+  // dynamic engines enforce, not the device capacity.
+  env.global_words = props.global_mem_words;
+  env.params.reserve(args.size());
+  for (const auto& v : args) env.params.push_back(kir::ValInterval::point(v.as_double()));
+  return env;
+}
+
+}  // namespace hauberk::lint

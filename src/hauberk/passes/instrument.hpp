@@ -97,4 +97,14 @@ class ControlLayoutPass final : public Pass {
   bool run(PassContext& ctx) override;
 };
 
+/// Static analysis stage (gated by TranslateOptions::lint): runs the
+/// hauberk::lint suite over the instrumented kernel under
+/// TranslateOptions::lint_env, publishes the LintReport into the translate
+/// report, and emits one summary remark.  Never mutates.
+class LintPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "lint"; }
+  bool run(PassContext& ctx) override;
+};
+
 }  // namespace hauberk::core::passes

@@ -1,0 +1,26 @@
+#include <cstdio>
+
+#include "hauberk/lint.hpp"
+#include "hauberk/passes/instrument.hpp"
+
+namespace hauberk::core::passes {
+
+bool LintPass::run(PassContext& ctx) {
+  lint::LintOptions lo;
+  lo.env = ctx.opt->lint_env;
+  // Lower once for pc/site provenance; the pass runs last, so this is the
+  // same bytecode the launch engine will execute.
+  const kir::BytecodeProgram program = kir::lower(ctx.kernel);
+  lo.program = &program;
+  ctx.report->lint = lint::run_lint(ctx.kernel, lo, &ctx.am);
+  const auto& rep = ctx.report->lint;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%d error(s), %d warning(s), %d remark(s); coverage %d/%d vars %d/%d edges",
+                rep.errors, rep.warnings, rep.remarks, rep.coverage.covered_vars,
+                rep.coverage.total_vars, rep.coverage.covered_edges, rep.coverage.total_edges);
+  ctx.remark(name(), buf);
+  return false;
+}
+
+}  // namespace hauberk::core::passes

@@ -65,6 +65,7 @@ PassPipeline pipeline_for(LibMode mode, const TranslateOptions& opt) {
       name += ".hauberk-nl";  // non-loop detectors only
   }
   if (want_ft && opt.protect_nonloop && opt.naive_duplication) name += ".naive";
+  if (opt.lint) name += ".lint";
 
   PassPipeline pipe(std::move(name));
   pipe.add(std::make_shared<SiteEnumerationPass>());
@@ -81,6 +82,7 @@ PassPipeline pipeline_for(LibMode mode, const TranslateOptions& opt) {
   if (mode == LibMode::FI || mode == LibMode::FIFT) pipe.add(std::make_shared<FIHookPass>());
   if (want_profile) pipe.add(std::make_shared<CountExecPass>());
   pipe.add(std::make_shared<ControlLayoutPass>());
+  if (opt.lint) pipe.add(std::make_shared<LintPass>());
   return pipe;
 }
 

@@ -64,4 +64,33 @@ std::unique_ptr<ControlBlock> make_configured_control_block(const kir::BytecodeP
   return cb;
 }
 
+namespace {
+
+/// Express a contiguous static interval in the control block's three-band
+/// RangeSet form (negative / zero band / positive), covering it exactly.
+RangeSet range_set_from_interval(const kir::ValInterval& v) {
+  RangeSet rs;
+  if (v.is_empty()) return rs;
+  if (v.lo < -rs.zero_eps) rs.neg = {true, v.lo, std::min(v.hi, -rs.zero_eps)};
+  if (v.hi > rs.zero_eps) rs.pos = {true, std::max(v.lo, rs.zero_eps), v.hi};
+  rs.has_zero = v.lo <= rs.zero_eps && v.hi >= -rs.zero_eps;
+  return rs;
+}
+
+}  // namespace
+
+int apply_static_ranges(ControlBlock& cb, const hauberk::lint::LintReport& report) {
+  int configured = 0;
+  for (const auto& r : report.detector_ranges) {
+    if (!r.usable()) continue;
+    bool value_detector = false;
+    for (const auto& d : cb.detectors())
+      if (d.meta.id == r.detector && !d.meta.is_iteration_check) value_detector = true;
+    if (!value_detector) continue;
+    cb.set_ranges(r.detector, range_set_from_interval(r.value));
+    ++configured;
+  }
+  return configured;
+}
+
 }  // namespace hauberk::core

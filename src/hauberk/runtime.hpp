@@ -57,4 +57,13 @@ struct ProfileData {
 [[nodiscard]] std::unique_ptr<ControlBlock> make_configured_control_block(
     const kir::BytecodeProgram& ft_prog, const ProfileData& pd, double alpha = 1.0);
 
+/// Configure value detectors of `cb` from the lint stage's proven-sound
+/// static intervals (TranslateOptions::substitute_static_ranges): every
+/// finite StaticDetectorRange in `report.detector_ranges` overwrites the
+/// matching detector's RangeSet.  Returns how many detectors were
+/// configured.  Static ranges can never raise a Fig. 16 false positive
+/// (they contain every attainable value), at the cost of accepting every
+/// statically possible value as legitimate.
+int apply_static_ranges(ControlBlock& cb, const hauberk::lint::LintReport& report);
+
 }  // namespace hauberk::core

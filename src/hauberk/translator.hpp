@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "hauberk/lint.hpp"
 #include "kir/analysis.hpp"
 #include "kir/analysis_manager.hpp"
 #include "kir/ast.hpp"
@@ -58,6 +59,19 @@ struct TranslateOptions {
   /// (shadow variable alive until the last use, compared there) instead of
   /// Hauberk's checksum-based scheme of Fig. 8(c).
   bool naive_duplication = false;
+  /// Append the static lint stage (hauberk::lint) to the pipeline.  The
+  /// stage never mutates the kernel; its LintReport lands in
+  /// TranslateReport::lint and the pipeline name gains a ".lint" suffix.
+  bool lint = false;
+  /// Launch facts the lint stage's abstract interpretation may assume
+  /// (block/grid dimensions, parameter intervals).  Defaults are fully
+  /// conservative.
+  kir::IntervalEnv lint_env;
+  /// Configure RangeCheck detectors from the lint stage's proven-sound
+  /// static intervals instead of profiled ranges (apply_static_ranges in
+  /// runtime.hpp consumes TranslateReport::lint).  Eliminates the Fig. 16
+  /// unlucky-training false positives at the cost of wider accepted ranges.
+  bool substitute_static_ranges = false;
   /// Selective per-kernel hardening hook: invoked with the kernel's name and
   /// the pass pipeline composed for `mode` before it runs.  May drop or
   /// reorder passes (e.g. disable loop protection for one kernel of a
@@ -97,6 +111,8 @@ struct TranslateReport {
   std::vector<PassRemark> remarks;
   /// Analysis-cache behavior of the run (hits/misses/invalidations).
   kir::AnalysisManager::Stats analysis_cache;
+  /// Static analysis result; populated when TranslateOptions::lint is set.
+  hauberk::lint::LintReport lint;
 };
 
 /// Stable digest over a report's remark stream (order-sensitive).  Campaign

@@ -36,10 +36,22 @@ const LoopProtectionPlan& AnalysisManager::loop_plan(std::uint32_t loop_id, int 
   return plans_.emplace(key, an.plan_loop_protection(loop_id, maxvar, df)).first->second;
 }
 
+const IntervalAnalysis& AnalysisManager::intervals(const IntervalEnv& env) {
+  const std::uint64_t key = env.digest();
+  auto it = intervals_.find(key);
+  if (it != intervals_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  return intervals_.try_emplace(key, *kernel_, env).first->second;
+}
+
 void AnalysisManager::invalidate() noexcept {
   analysis_.reset();
   dataflow_.clear();
   plans_.clear();
+  intervals_.clear();
   ++stats_.invalidations;
 }
 

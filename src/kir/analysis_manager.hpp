@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "kir/analysis.hpp"
+#include "kir/interval.hpp"
 
 namespace hauberk::kir {
 
@@ -41,6 +42,10 @@ class AnalysisManager {
   /// (loop, maxvar) and built over the cached dataflow graph.
   [[nodiscard]] const LoopProtectionPlan& loop_plan(std::uint32_t loop_id, int maxvar);
 
+  /// Interval abstract interpretation under a launch environment; cached per
+  /// env digest (the lint analyzers query the same env repeatedly).
+  [[nodiscard]] const IntervalAnalysis& intervals(const IntervalEnv& env);
+
   /// Drop every cached analysis.  Called by the pass manager after any pass
   /// reports that it mutated the AST.
   void invalidate() noexcept;
@@ -61,6 +66,7 @@ class AnalysisManager {
   std::optional<Analysis> analysis_;
   std::map<std::uint32_t, LoopDataflow> dataflow_;
   std::map<std::pair<std::uint32_t, int>, LoopProtectionPlan> plans_;
+  std::map<std::uint64_t, IntervalAnalysis> intervals_;
   Stats stats_;
 };
 

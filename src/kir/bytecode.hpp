@@ -120,6 +120,12 @@ BytecodeProgram lower(const Kernel& kernel);
 /// Disassemble for debugging/tests.
 std::string disassemble(const BytecodeProgram& p);
 
+/// Order-sensitive FNV-1a digest over every semantically meaningful field of
+/// a program: code, slot layout, FI sites and detector tables.  Two programs
+/// digest equal iff the simulated GPU cannot distinguish them; the golden
+/// translator-equivalence suite and the printer round-trip tests pin on it.
+[[nodiscard]] std::uint64_t program_digest(const BytecodeProgram& p) noexcept;
+
 // ---------------------------------------------------------------------------
 // Predecoded execution form
 // ---------------------------------------------------------------------------

@@ -1,0 +1,210 @@
+// Interval abstract interpretation over the kernel IR.
+//
+// Hauberk's range-check detector learns value ranges by profiling (Section
+// IV): an unlucky training set yields ranges tighter than the program can
+// actually produce, which surfaces as the Fig. 16 false positives.  This
+// analysis computes a *sound* per-variable value interval by abstract
+// interpretation — every value any thread of any launch (within the supplied
+// IntervalEnv) can compute lies inside the static interval — so the two can
+// be cross-checked: a profiled range that escapes the static interval is a
+// profiling bug; a static interval much wider than the profiled range
+// quantifies false-positive exposure.
+//
+// The same fixpoint walk records three more fact families consumed by the
+// hauberk::lint analyzers (src/hauberk/lint.hpp):
+//
+//  * per-access address intervals for every global/shared load/store, in
+//    bytecode lowering order, so each fact maps positionally onto its
+//    LoadG/StoreG/LoadS/StoreS/AtomicAddG/Barrier instruction (pc and
+//    sanitizer-site provenance);
+//  * an affine-in-thread-index footprint for every shared store (address =
+//    base + a·tid.x + b·tid.y + c·tid_linear + Σ coeff·iterator), feeding the
+//    static write-overlap check;
+//  * a thread-dependence (divergence) taint per variable plus a
+//    divergent-control flag per barrier, feeding the barrier-uniformity lint.
+//
+// Abstract domain: closed real intervals [lo, hi] with lo > hi encoding
+// bottom (unreachable / no value seen).  Loop heads join the entry state
+// with the loop-back state and apply widening after two stable-signature
+// rounds: a bound that is still growing escapes to its type extreme
+// (INT32_MIN/MAX for i32, ±inf for f32, [0, 2^32) for ptr) so every loop
+// converges in a bounded number of rounds.  For-loop bodies additionally
+// refine the iterator to [init.lo, limit.hi - 1], which is what keeps
+// guarded-index addressing provably in bounds.
+//
+// f32 arithmetic is evaluated on interval corners in double precision and
+// then inflated outward to the nearest representable float, so single-
+// precision rounding in the simulated GPU cannot escape the interval; any
+// corner that yields NaN widens to the type top.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kir/ast.hpp"
+#include "kir/bytecode.hpp"
+
+namespace hauberk::kir {
+
+/// A closed interval of attainable values, in double precision.  `lo > hi`
+/// is the canonical empty (bottom) interval.
+struct ValInterval {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] static constexpr ValInterval empty() noexcept { return {}; }
+  [[nodiscard]] static constexpr ValInterval point(double v) noexcept { return {v, v}; }
+  [[nodiscard]] static constexpr ValInterval range(double lo, double hi) noexcept {
+    return {lo, hi};
+  }
+  /// Everything the type can represent (the abstract top).
+  [[nodiscard]] static ValInterval top_for(DType t) noexcept;
+
+  [[nodiscard]] constexpr bool is_empty() const noexcept { return lo > hi; }
+  [[nodiscard]] constexpr bool is_point() const noexcept { return lo == hi; }
+  /// Non-empty with both bounds finite.
+  [[nodiscard]] bool finite() const noexcept;
+  [[nodiscard]] constexpr bool contains(double v) const noexcept { return lo <= v && v <= hi; }
+  /// o ⊆ this (an empty o is contained in everything).
+  [[nodiscard]] constexpr bool contains(const ValInterval& o) const noexcept {
+    return o.is_empty() || (!is_empty() && lo <= o.lo && o.hi <= hi);
+  }
+  [[nodiscard]] constexpr double width() const noexcept { return is_empty() ? 0.0 : hi - lo; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const ValInterval& a, const ValInterval& b) noexcept {
+    // Two empties are equal regardless of representation.
+    return (a.is_empty() && b.is_empty()) || (a.lo == b.lo && a.hi == b.hi);
+  }
+};
+
+[[nodiscard]] ValInterval join(const ValInterval& a, const ValInterval& b) noexcept;
+[[nodiscard]] ValInterval meet(const ValInterval& a, const ValInterval& b) noexcept;
+/// Widening: any bound of `next` that moved past `prev` escapes to the type
+/// extreme, guaranteeing loop-head convergence.
+[[nodiscard]] ValInterval widen(const ValInterval& prev, const ValInterval& next,
+                                DType t) noexcept;
+
+/// The launch facts the analysis may assume.  Defaults are fully
+/// conservative (one unknown launch); a CLI or test narrows them to a
+/// concrete launch configuration and argument list.
+struct IntervalEnv {
+  std::uint32_t block_x = 1, block_y = 1;
+  std::uint32_t grid_x = 1, grid_y = 1;
+  /// 0 means "use the kernel's own shared_mem_words".
+  std::uint32_t shared_words = 0;
+  /// Device global-memory size in words (gpusim default: 16 Mi words).
+  std::uint32_t global_words = 16u << 20;
+  /// Per-parameter value intervals; missing/empty entries mean type-top.
+  std::vector<ValInterval> params;
+
+  /// Stable cache key over every field (FNV-1a of the bit patterns).
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+};
+
+enum class AccessKind : std::uint8_t {
+  LoadGlobal,
+  StoreGlobal,
+  AtomicAddGlobal,
+  LoadShared,
+  StoreShared,
+  Barrier,
+};
+
+[[nodiscard]] const char* access_kind_name(AccessKind k) noexcept;
+
+/// One syntactic memory access or barrier, in bytecode lowering order.
+struct AccessFact {
+  AccessKind kind{};
+  const Stmt* stmt = nullptr;  ///< enclosing statement (provenance only)
+  int ordinal = -1;            ///< position among all AccessFacts
+  int epoch = 0;               ///< barriers that precede this access (pre-order)
+  /// Address interval joined over every abstract visit; empty when the
+  /// access is statically unreachable.  Meaningless for barriers.
+  ValInterval addr{};
+  bool in_loop = false;
+  bool reached = false;            ///< visited by at least one abstract path
+  bool divergent_control = false;  ///< under thread-dependent control flow
+};
+
+/// Value interval recorded at a RangeCheck/ProfileValue statement — the
+/// static counterpart of the profiled range of that detector.
+struct DetectorValueFact {
+  int detector = -1;
+  std::string label;      ///< protected variable name (Stmt::label)
+  DType type = DType::F32;
+  ValInterval value{};    ///< joined over every abstract visit
+};
+
+/// Affine-in-thread-index footprint of one shared store:
+///
+///   addr = base + a·tid.x + b·tid.y  (tid_linear folded into a and b)
+///        + Σ_iter coeff·iter
+///
+/// where every iterator contribution is collapsed to a *delta set*: the
+/// difference between two dynamic instances of the store is a multiple of
+/// `iter_stride` with magnitude at most `iter_bound`.  `affine == false`
+/// means the address could not be linearized and only `addr` (the plain
+/// interval on the AccessFact) is known.
+struct SharedStoreFootprint {
+  int access = -1;        ///< index into IntervalAnalysis::accesses()
+  bool affine = false;
+  double a = 0.0;         ///< effective tid.x coefficient
+  double b = 0.0;         ///< effective tid.y coefficient
+  double iter_stride = 0; ///< gcd of iterator delta strides (0: no iterators)
+  double iter_bound = 0;  ///< max |iterator delta|
+  ValInterval base{};     ///< thread-uniform remainder
+};
+
+/// Runs the abstract interpretation once over a kernel under an environment
+/// and exposes the collected facts.  Deterministic: same kernel + env give
+/// identical results.
+class IntervalAnalysis {
+ public:
+  IntervalAnalysis(const Kernel& kernel, const IntervalEnv& env);
+
+  [[nodiscard]] const IntervalEnv& env() const noexcept { return env_; }
+  /// Shared size actually assumed (env override or the kernel's own).
+  [[nodiscard]] std::uint32_t shared_words() const noexcept { return shared_words_; }
+
+  /// Every memory access and barrier, in bytecode lowering order.
+  [[nodiscard]] const std::vector<AccessFact>& accesses() const noexcept { return accesses_; }
+  [[nodiscard]] const std::vector<DetectorValueFact>& detectors() const noexcept {
+    return detectors_;
+  }
+  [[nodiscard]] const std::vector<SharedStoreFootprint>& shared_stores() const noexcept {
+    return shared_stores_;
+  }
+
+  /// Join of every value ever assigned to `v` (empty if never assigned).
+  [[nodiscard]] const ValInterval& var_value(VarId v) const { return var_summary_.at(v); }
+  [[nodiscard]] const std::vector<ValInterval>& var_values() const noexcept {
+    return var_summary_;
+  }
+  /// True when `v` may hold thread-dependent values.
+  [[nodiscard]] bool var_divergent(VarId v) const { return var_divergent_.at(v) != 0; }
+
+ private:
+  friend class IntervalInterp;
+  IntervalEnv env_;
+  std::uint32_t shared_words_ = 0;
+  std::vector<AccessFact> accesses_;
+  std::vector<DetectorValueFact> detectors_;
+  std::vector<SharedStoreFootprint> shared_stores_;
+  std::vector<ValInterval> var_summary_;
+  std::vector<std::uint8_t> var_divergent_;
+};
+
+/// Positional pc map for AccessFacts: the k-th returned pc is the k-th
+/// {LoadG, StoreG, LoadS, StoreS, AtomicAddG, Barrier} instruction of `p`.
+/// Lowering emits exactly one such instruction per syntactic access in
+/// pre-order, so when `p` was lowered from the analyzed kernel the k-th
+/// AccessFact executes at the k-th returned pc (a size mismatch means the
+/// program was lowered from a different kernel).
+[[nodiscard]] std::vector<std::int64_t> access_pcs(const BytecodeProgram& p);
+
+}  // namespace hauberk::kir

@@ -465,4 +465,67 @@ std::string disassemble(const BytecodeProgram& p) {
   return out;
 }
 
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void bytes(const void* p, std::size_t n) noexcept {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ull;
+    }
+  }
+  template <typename T>
+  void pod(T v) noexcept {
+    bytes(&v, sizeof v);
+  }
+  void str(const std::string& s) noexcept {
+    pod<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+};
+
+}  // namespace
+
+std::uint64_t program_digest(const BytecodeProgram& p) noexcept {
+  Fnv f;
+  f.str(p.name);
+  f.pod(p.num_params);
+  f.pod(p.num_named);
+  f.pod(p.num_slots);
+  f.pod(p.shared_mem_words);
+  f.pod<std::uint32_t>(static_cast<std::uint32_t>(p.code.size()));
+  for (const auto& in : p.code) {
+    f.pod(static_cast<std::uint8_t>(in.op));
+    f.pod(in.flags);
+    f.pod(in.dst);
+    f.pod(in.a);
+    f.pod(in.b);
+    f.pod(in.aux);
+    f.pod(in.imm);
+  }
+  for (const auto t : p.slot_types) f.pod(static_cast<std::uint8_t>(t));
+  for (const auto s : p.var_slot) f.pod(s);
+  f.pod<std::uint32_t>(static_cast<std::uint32_t>(p.fi_sites.size()));
+  for (const auto& s : p.fi_sites) {
+    f.pod(s.site_id);
+    f.pod(s.var);
+    f.pod(s.slot);
+    f.pod(static_cast<std::uint8_t>(s.type));
+    f.pod(static_cast<std::uint8_t>(s.hw));
+    f.pod(static_cast<std::uint8_t>(s.in_loop));
+    f.pod(static_cast<std::uint8_t>(s.dead_window));
+    f.str(s.var_name);
+  }
+  f.pod<std::uint32_t>(static_cast<std::uint32_t>(p.detectors.size()));
+  for (const auto& d : p.detectors) {
+    f.pod(d.id);
+    f.str(d.name);
+    f.pod(static_cast<std::uint8_t>(d.value_type));
+    f.pod(static_cast<std::uint8_t>(d.is_iteration_check));
+  }
+  return f.h;
+}
+
 }  // namespace hauberk::kir

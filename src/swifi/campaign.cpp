@@ -139,7 +139,8 @@ std::optional<Outcome> sanitizer_outcome(const Device& dev, const gpusim::Launch
 Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::KernelJob& job,
                       core::ControlBlock* cb, const FaultSpec& spec,
                       const core::ProgramOutput& golden, const workloads::Requirement& req,
-                      std::uint64_t watchdog_instructions, int launch_workers) {
+                      std::uint64_t watchdog_instructions, int launch_workers,
+                      std::size_t sanitize_cap) {
   InjectingHooks hooks(program, cb);
   hooks.arm(spec);
   const auto args = job.setup(dev);
@@ -148,6 +149,7 @@ Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::Ke
   opts.hooks = &hooks;
   opts.watchdog_instructions = watchdog_instructions;
   opts.max_workers = launch_workers;
+  opts.sanitize_report_cap = sanitize_cap;
   const auto res = dev.launch(program, job.config(), args, opts);
   if (!hooks.activated() && res.status == LaunchStatus::Ok) return Outcome::NotActivated;
   if (const auto so = sanitizer_outcome(dev, res)) return *so;
@@ -176,7 +178,7 @@ CampaignResult run_campaign(Device& dev, const kir::BytecodeProgram& program,
   result.per_fault.reserve(specs.size());
   for (const FaultSpec& spec : specs) {
     const Outcome o = run_one_fault(dev, program, job, cb, spec, gold.output, req, watchdog,
-                                    cfg.launch_workers);
+                                    cfg.launch_workers, cfg.sanitize_cap);
     result.counts.add(o);
     result.per_fault.push_back(o);
   }
@@ -191,7 +193,8 @@ Outcome run_one_memory_fault(Device& dev, const kir::BytecodeProgram& program,
                              core::KernelJob& job, common::Rng& rng, std::uint32_t mask,
                              const core::ProgramOutput& golden,
                              const workloads::Requirement& req,
-                             std::uint64_t watchdog_instructions, int launch_workers) {
+                             std::uint64_t watchdog_instructions, int launch_workers,
+                             std::size_t sanitize_cap) {
   const auto args = job.setup(dev);
   // Corrupt one random live word of device memory ("data segment" fault).
   const std::uint32_t used = dev.mem().used_words();
@@ -205,6 +208,7 @@ Outcome run_one_memory_fault(Device& dev, const kir::BytecodeProgram& program,
   LaunchOptions opts;
   opts.watchdog_instructions = watchdog_instructions;
   opts.max_workers = launch_workers;
+  opts.sanitize_report_cap = sanitize_cap;
   const auto res = dev.launch(program, job.config(), args, opts);
   if (const auto so = sanitizer_outcome(dev, res)) return *so;
   if (res.status != LaunchStatus::Ok) return Outcome::Failure;
@@ -259,7 +263,8 @@ Outcome run_one_code_fault(Device& dev, const kir::BytecodeProgram& program,
                            core::KernelJob& job, common::Rng& rng,
                            const core::ProgramOutput& golden,
                            const workloads::Requirement& req,
-                           std::uint64_t watchdog_instructions, int launch_workers) {
+                           std::uint64_t watchdog_instructions, int launch_workers,
+                           std::size_t sanitize_cap) {
   kir::BytecodeProgram mutant = program;
   if (mutant.code.empty()) return Outcome::NotActivated;
   const std::size_t instr = rng.next_below(mutant.code.size());
@@ -274,6 +279,7 @@ Outcome run_one_code_fault(Device& dev, const kir::BytecodeProgram& program,
   LaunchOptions opts;
   opts.watchdog_instructions = watchdog_instructions;
   opts.max_workers = launch_workers;
+  opts.sanitize_report_cap = sanitize_cap;
   const auto res = dev.launch(mutant, job.config(), args, opts);
   if (const auto so = sanitizer_outcome(dev, res)) return *so;
   if (res.status != LaunchStatus::Ok) return Outcome::Failure;

@@ -72,6 +72,11 @@ struct CampaignConfig {
   /// barrier divergence reclassify as Outcome::RaceDetected /
   /// Outcome::BarrierDivergence instead of Failure/other classes.
   bool sanitize = false;
+  /// Per-block sanitizer report cap forwarded to every trial launch (and the
+  /// golden run) as LaunchOptions::sanitize_report_cap.  Only consulted when
+  /// the effective engine is Sanitizer; 0 clamps to 1 so the first hazard per
+  /// block always survives.
+  std::size_t sanitize_cap = gpusim::SharedShadow::kMaxReportsPerBlock;
   /// Instrumentation pipeline that produced the injected program; copied
   /// into CampaignResult for experiment logs.
   PipelineSpec pipeline;
@@ -96,7 +101,9 @@ struct CampaignResult {
                                     const core::ProgramOutput& golden,
                                     const workloads::Requirement& req,
                                     std::uint64_t watchdog_instructions,
-                                    int launch_workers = 0);
+                                    int launch_workers = 0,
+                                    std::size_t sanitize_cap =
+                                        gpusim::SharedShadow::kMaxReportsPerBlock);
 
 /// Run a whole campaign on one device: one launch per spec against a shared
 /// golden run, trials strictly in spec order.  This is the single-worker
@@ -122,7 +129,9 @@ struct CampaignResult {
                                            const core::ProgramOutput& golden,
                                            const workloads::Requirement& req,
                                            std::uint64_t watchdog_instructions,
-                                           int launch_workers = 0);
+                                           int launch_workers = 0,
+                                           std::size_t sanitize_cap =
+                                               gpusim::SharedShadow::kMaxReportsPerBlock);
 
 /// Flip one random bit in one random instruction encoding ("code segment"
 /// fault).  Structurally invalid mutants are classified as Failure without
@@ -133,7 +142,9 @@ struct CampaignResult {
                                          const core::ProgramOutput& golden,
                                          const workloads::Requirement& req,
                                          std::uint64_t watchdog_instructions,
-                                         int launch_workers = 0);
+                                         int launch_workers = 0,
+                                         std::size_t sanitize_cap =
+                                             gpusim::SharedShadow::kMaxReportsPerBlock);
 
 /// Structural validity check used by code-fault experiments: register
 /// indices in range, opcodes decodable, jump targets inside the program.

@@ -73,7 +73,7 @@ CampaignResult CampaignExecutor::run(const kir::BytecodeProgram& program,
                         std::size_t i) {
                       return run_one_fault(*ctx.device, program, *ctx.job, ctx.cb.get(),
                                            specs[i], gold.output, req, watchdog,
-                                           cfg.launch_workers);
+                                           cfg.launch_workers, cfg.sanitize_cap);
                     });
 }
 
@@ -91,7 +91,7 @@ CampaignResult CampaignExecutor::run_memory_faults(const kir::BytecodeProgram& p
                       const std::uint32_t mask = common::random_mask(rng, error_bits);
                       return run_one_memory_fault(*ctx.device, program, *ctx.job, rng, mask,
                                                   gold.output, req, watchdog,
-                                                  cfg.launch_workers);
+                                                  cfg.launch_workers, cfg.sanitize_cap);
                     });
 }
 
@@ -107,7 +107,7 @@ CampaignResult CampaignExecutor::run_code_faults(const kir::BytecodeProgram& pro
                       common::Rng rng = common::Rng::fork(seed, i);
                       return run_one_code_fault(*ctx.device, program, *ctx.job, rng,
                                                 gold.output, req, watchdog,
-                                                cfg.launch_workers);
+                                                cfg.launch_workers, cfg.sanitize_cap);
                     });
 }
 

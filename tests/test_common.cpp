@@ -223,7 +223,25 @@ TEST(CampaignFlags, ParsesSharedFlagsWithDefaults) {
   EXPECT_EQ(f.workers, 3);
   EXPECT_TRUE(f.sanitize);
   EXPECT_EQ(f.datasets, 52);
+  EXPECT_EQ(f.sanitize_cap, 64) << "default: SharedShadow::kMaxReportsPerBlock";
   EXPECT_TRUE(args.ok());
+}
+
+TEST(CampaignFlags, ParsesSanitizeCap) {
+  const char* argv[] = {"prog", "--sanitize-cap=8"};
+  hc::CliArgs args(2, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args);
+  EXPECT_EQ(f.sanitize_cap, 8);
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(CampaignFlags, RejectsNonPositiveSanitizeCap) {
+  const char* argv[] = {"prog", "--sanitize-cap=0"};
+  hc::CliArgs args(2, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args);
+  EXPECT_EQ(f.sanitize_cap, 64) << "out-of-range cap falls back to the default";
+  ASSERT_EQ(args.errors().size(), 1u);
+  EXPECT_NE(args.errors()[0].find("--sanitize-cap"), std::string::npos);
 }
 
 TEST(CampaignFlags, RejectsOutOfRangeValues) {

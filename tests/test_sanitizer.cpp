@@ -451,3 +451,43 @@ TEST(Sanitizer, SanitizedMemoryFaultCampaignReclassifiesSilentRaces) {
   // Determinism: the sanitized campaign replays bit-identically.
   EXPECT_EQ(on, run_trials(true));
 }
+
+TEST(Sanitizer, ReportCapIsConfigurablePerLaunch) {
+  // Two racy stores at distinct pcs yield two distinct (kind, pc, other_pc)
+  // reports under the default cap; LaunchOptions::sanitize_report_cap = 1
+  // keeps the first and counts the rest in sanitizer_reports_dropped.
+  KernelBuilder kb("cap", 16);
+  auto out = kb.param_ptr("out");
+  auto tid = kb.tid_x();
+  kb.shstore(i32c(0), tid);
+  kb.shstore(i32c(1), tid);
+  kb.store(out + tid, i32c(0));
+  const auto prog = lower(kb.build());
+
+  Device dev(cross_warp_props());
+  dev.set_engine(ExecEngine::Sanitizer);
+  const auto out_buf = dev.mem().alloc(64, AllocClass::I32Data);
+  const Value args[] = {Value::ptr(out_buf)};
+  const LaunchConfig cfg{1, 1, 8, 1};
+
+  const auto full = dev.launch(prog, cfg, args);
+  ASSERT_EQ(full.status, LaunchStatus::Ok);
+  ASSERT_EQ(full.sanitizer_reports.size(), 2u);
+  EXPECT_EQ(full.sanitizer_reports_dropped, 0u);
+
+  LaunchOptions capped;
+  capped.sanitize_report_cap = 1;
+  const auto one = dev.launch(prog, cfg, args, capped);
+  ASSERT_EQ(one.status, LaunchStatus::Ok);
+  ASSERT_EQ(one.sanitizer_reports.size(), 1u);
+  EXPECT_EQ(one.sanitizer_reports[0], full.sanitizer_reports[0])
+      << "the cap truncates, it never reorders";
+  EXPECT_EQ(one.sanitizer_reports_dropped, 1u);
+
+  // 0 clamps to 1: the first hazard per block always survives.
+  LaunchOptions zero;
+  zero.sanitize_report_cap = 0;
+  const auto clamped = dev.launch(prog, cfg, args, zero);
+  EXPECT_EQ(clamped.sanitizer_reports.size(), 1u);
+  EXPECT_EQ(clamped.sanitizer_reports_dropped, 1u);
+}

@@ -1,0 +1,190 @@
+// kirlint — static analysis front end for the Hauberk KIR lint suite.
+//
+// For each selected benchmark program: instrument the kernel for the chosen
+// library mode, derive the launch environment (block/grid dimensions and
+// parameter values) from real datasets, optionally run the profiler variant
+// over those datasets to obtain the observed per-detector value ranges, and
+// run every hauberk::lint analyzer.  The profiled ranges are cross-checked
+// against the sound static intervals: an escaping profile is an error
+// (StaticRangeUnsound), a tighter one a remark quantifying the Fig. 16
+// false-positive exposure.
+//
+// Usage:
+//   kirlint [--program=CP|all] [--scale=tiny|small] [--mode=ft] [--maxvar=N]
+//           [--naive] [--datasets=N] [--seed=S] [--json-dir=DIR] [--Werror]
+//           [--quiet]
+//
+// Exit status: 1 when any report contains an error-severity diagnostic
+// (warnings too under --Werror), 2 on usage errors; 0 otherwise.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "hauberk/lint.hpp"
+#include "hauberk/runtime.hpp"
+#include "hauberk/translator.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+
+namespace {
+
+core::LibMode mode_from(const std::string& s) {
+  if (s == "baseline" || s == "none") return core::LibMode::None;
+  if (s == "profiler") return core::LibMode::Profiler;
+  if (s == "fi") return core::LibMode::FI;
+  if (s == "fift" || s == "fi+ft") return core::LibMode::FIFT;
+  return core::LibMode::FT;
+}
+
+struct Entry {
+  std::unique_ptr<workloads::Workload> w;
+  bool cpu = false;  ///< runs on a PagedCpu device
+};
+
+std::vector<Entry> selected(const std::string& program) {
+  std::vector<Entry> out;
+  for (auto& w : workloads::hpc_suite()) out.push_back({std::move(w), false});
+  for (auto& w : workloads::graphics_suite()) out.push_back({std::move(w), false});
+  for (auto& w : workloads::cpu_suite()) out.push_back({std::move(w), true});
+  out.push_back({workloads::make_cpu_matmul(), true});  // not in cpu_suite
+  if (program.empty() || program == "all") return out;
+  std::vector<Entry> one;
+  for (auto& e : out)
+    if (e.w->name() == program) one.push_back(std::move(e));
+  return one;
+}
+
+/// Widen `into` so it also covers `from` (per-field maxima, param joins).
+void join_env(kir::IntervalEnv& into, const kir::IntervalEnv& from) {
+  into.block_x = std::max(into.block_x, from.block_x);
+  into.block_y = std::max(into.block_y, from.block_y);
+  into.grid_x = std::max(into.grid_x, from.grid_x);
+  into.grid_y = std::max(into.grid_y, from.grid_y);
+  if (into.params.size() < from.params.size()) into.params.resize(from.params.size());
+  for (std::size_t i = 0; i < from.params.size(); ++i)
+    into.params[i] = kir::join(into.params[i], from.params[i]);
+}
+
+int lint_one(const Entry& e, const common::CliArgs& args, int& reports_with_errors,
+             int& reports_with_warnings) {
+  const auto scale = args.get("scale", "tiny") == "small" ? workloads::Scale::Small
+                                                          : workloads::Scale::Tiny;
+  core::TranslateOptions opt;
+  opt.mode = mode_from(args.get("mode", "ft"));
+  opt.maxvar = static_cast<int>(args.get_int("maxvar", 1));
+  opt.naive_duplication = args.has("naive");
+
+  const auto kernel = e.w->build_kernel(scale);
+  const kir::Kernel instrumented =
+      opt.mode == core::LibMode::None ? kernel : core::translate(kernel, opt);
+  const kir::BytecodeProgram program = kir::lower(instrumented);
+
+  gpusim::DeviceProps props;
+  if (e.cpu) props.memory_model = gpusim::MemoryModel::PagedCpu;
+
+  // Launch environment joined over every dataset, plus the observed
+  // per-detector ranges from profiling runs over the same datasets.
+  const int datasets = static_cast<int>(args.get_int("datasets", 2));
+  const auto seed0 = args.get_u64("seed", 1);
+  lint::LintOptions lo;
+  lo.program = &program;
+  bool have_env = false;
+  std::vector<std::unique_ptr<core::KernelJob>> jobs;
+  std::vector<core::KernelJob*> job_ptrs;
+  gpusim::Device dev(props);
+  for (int d = 0; d < datasets; ++d) {
+    const auto ds = e.w->make_dataset(seed0 + static_cast<std::uint64_t>(d), scale);
+    jobs.push_back(e.w->make_job(ds));
+    const auto argv = jobs.back()->setup(dev);
+    const auto env = lint::env_for(jobs.back()->config(), argv, dev.props());
+    if (!have_env) {
+      lo.env = env;
+      have_env = true;
+    } else {
+      join_env(lo.env, env);
+    }
+    job_ptrs.push_back(jobs.back().get());
+  }
+
+  if (datasets > 0 && opt.mode != core::LibMode::None) {
+    const auto variants = core::build_variants(kernel, opt);
+    const auto pd = core::profile(dev, variants, job_ptrs);
+    for (std::size_t det = 0; det < pd.samples.size(); ++det) {
+      const auto& s = pd.samples[det];
+      if (s.empty()) continue;
+      lint::ObservedRange o;
+      o.detector = static_cast<int>(det);
+      o.lo = o.hi = s[0];
+      for (const double v : s) {
+        o.lo = std::min(o.lo, v);
+        o.hi = std::max(o.hi, v);
+      }
+      o.samples = s.size();
+      lo.observed.push_back(o);
+    }
+  }
+
+  const lint::LintReport rep = lint::run_lint(instrumented, lo);
+  reports_with_errors += rep.errors > 0;
+  reports_with_warnings += rep.warnings > 0;
+
+  if (args.has("quiet")) {
+    std::printf("%s: %d error(s), %d warning(s), %d remark(s)\n", rep.kernel.c_str(),
+                rep.errors, rep.warnings, rep.remarks);
+  } else {
+    std::fputs(rep.to_string().c_str(), stdout);
+  }
+
+  const std::string json_dir = args.get("json-dir", "");
+  if (!json_dir.empty()) {
+    const std::string path = json_dir + "/" + e.w->name() + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "kirlint: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << rep.to_json();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  for (const auto& f : args.unknown_flags({"program", "scale", "mode", "maxvar", "naive",
+                                           "datasets", "seed", "json-dir", "Werror", "quiet"})) {
+    std::fprintf(stderr, "kirlint: unknown flag --%s\n", f.c_str());
+    return 2;
+  }
+
+  const auto entries = selected(args.get("program", "all"));
+  if (entries.empty()) {
+    std::fprintf(stderr, "kirlint: unknown program '%s'\n", args.get("program").c_str());
+    return 2;
+  }
+
+  int with_errors = 0, with_warnings = 0;
+  for (const auto& e : entries) {
+    const int rc = lint_one(e, args, with_errors, with_warnings);
+    if (rc != 0) return rc;
+  }
+  if (!args.ok()) {
+    for (const auto& err : args.errors()) std::fprintf(stderr, "kirlint: %s\n", err.c_str());
+    return 2;
+  }
+  if (with_errors > 0) {
+    std::fprintf(stderr, "kirlint: %d program(s) with errors\n", with_errors);
+    return 1;
+  }
+  if (args.has("Werror") && with_warnings > 0) {
+    std::fprintf(stderr, "kirlint: %d program(s) with warnings (--Werror)\n", with_warnings);
+    return 1;
+  }
+  return 0;
+}
