@@ -13,7 +13,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   const int max_vars = static_cast<int>(args.get_int("vars", 16));
   const int masks = static_cast<int>(args.get_int("masks", 8));
-  swifi::CampaignExecutor ex(workers_from(args));
+  const auto cflags = campaign_flags_from(args);
+  if (report_flag_errors(args)) return 2;
+  swifi::CampaignConfig ccfg;
+  ccfg.engine = engine_from(cflags);
+  swifi::CampaignExecutor ex(cflags.workers);
 
   print_header("Ablation: Maxvar (protected variables per loop) vs coverage & overhead");
   common::Table t({"Program", "Maxvar", "Loop detectors", "Overhead", "Coverage", "Undetected"});
@@ -54,7 +58,7 @@ int main(int argc, char** argv) {
       popt.seed = seed + 7;
       const auto specs = swifi::plan_faults(v.fift, pd, popt);
       const auto res = ex.run(v.fift, context_factory(*w, ds, {}, &v.fift, &pd), specs,
-                              w->requirement());
+                              w->requirement(), ccfg);
 
       t.add_row({w->name(), std::to_string(maxvar),
                  std::to_string(v.ft_report.loop_detectors.size()),

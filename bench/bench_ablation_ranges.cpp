@@ -35,7 +35,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   const int max_vars = static_cast<int>(args.get_int("vars", 20));
   const int masks = static_cast<int>(args.get_int("masks", 10));
-  swifi::CampaignExecutor ex(workers_from(args));
+  const auto cflags = campaign_flags_from(args);
+  if (report_flag_errors(args)) return 2;
+  swifi::CampaignConfig ccfg;
+  ccfg.engine = engine_from(cflags);
+  swifi::CampaignExecutor ex(cflags.workers);
 
   print_header("Ablation: 3-correlation-point ranges vs single min/max interval");
   common::Table t({"Program", "Model", "Value space (decades)", "Escape rate", "Coverage",
@@ -90,7 +94,8 @@ int main(int argc, char** argv) {
         for (const auto& [d, rs] : sets) wc.cb->set_ranges(d, rs);
         return wc;
       };
-      const auto res = ex.run(ctx.variants.fift, factory, specs, ctx.workload->requirement());
+      const auto res =
+          ex.run(ctx.variants.fift, factory, specs, ctx.workload->requirement(), ccfg);
       t.add_row({ctx.workload->name(), model == 0 ? "3-point" : "single-interval",
                  common::Table::num(space, 1),
                  common::Table::pct_cell(nd ? escapes / nd : 0.0),

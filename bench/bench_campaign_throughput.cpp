@@ -12,10 +12,14 @@
 // Knobs: --program (default CP), --vars (default 16), --masks (default 8),
 // --workers-list=1,2,4,0 (0 = hardware concurrency), --sanitize (run the
 // baseline/executor/cache campaigns under the sanitizer engine — measures
-// the shadow's overhead; the reference-engine row stays unsanitized and its
+// the shadow's overhead; the engine-sweep rows stay unsanitized and their
 // outcome comparison is skipped, since sanitized trials may legitimately
-// reclassify).
+// reclassify), --engine=reference|fast|sanitizer|threaded (engine for the
+// baseline and executor campaigns; default fast), --json=FILE (write the
+// engine sweep + executor rows as JSON).
 #include <chrono>
+#include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -55,9 +59,12 @@ int main(int argc, char** argv) {
   const int max_vars = static_cast<int>(args.get_int("vars", 16));
   const int masks = static_cast<int>(args.get_int("masks", 8));
   const auto worker_list = parse_list(args.get("workers-list", "1,2,4,0"));
+  const std::string json_path = args.get("json");
   const auto cflags = campaign_flags_from(args);
+  if (report_flag_errors(args)) return 2;
   const bool sanitize = cflags.sanitize;
   swifi::CampaignConfig cfg;
+  cfg.engine = engine_from(cflags);
   cfg.sanitize = sanitize;
   cfg.sanitize_cap = static_cast<std::size_t>(cflags.sanitize_cap);
 
@@ -113,26 +120,40 @@ int main(int argc, char** argv) {
   std::printf("\noutcome determinism across engines and worker counts: %s\n",
               deterministic ? "OK (bitwise identical)" : "MISMATCH (bug!)");
 
-  // Interpreter-engine comparison: the same sequential campaign on the
-  // reference switch interpreter (the baseline above runs the predecoded
-  // fast engine, the campaign default).
+  // Interpreter-engine sweep: the same sequential campaign on each execution
+  // engine (the baseline above runs --engine, default fast).  Outcomes must
+  // be identical across the sweep; the sanitizer row is informational when
+  // --sanitize distorted the baseline.
+  std::map<std::string, double> engine_s;
   {
-    swifi::CampaignConfig rcfg;
-    rcfg.engine = gpusim::ExecEngine::Reference;
-    gpusim::Device refdev;
-    auto job = ctx.workload->make_job(ctx.dataset);
-    swifi::CampaignResult res;
-    const double ref_s = seconds([&] {
-      res = swifi::run_campaign(refdev, ctx.variants.fift, *job, ctx.cb.get(), specs,
-                                ctx.workload->requirement(), rcfg);
-    });
-    if (!sanitize) deterministic = deterministic && same_outcomes(base_res, res);
-    std::printf("\ninterpreter engine: %s %.3fs (%.1f trials/s) vs reference %.3fs "
-                "(%.1f trials/s) -> %.2fx, outcomes %s\n",
-                sanitize ? "sanitizer" : "fast", base_s, n / base_s, ref_s, n / ref_s,
-                ref_s / base_s,
-                sanitize ? "not compared (sanitized trials may reclassify)"
-                         : same_outcomes(base_res, res) ? "identical" : "MISMATCH");
+    common::Table et({"Engine", "Seconds", "Trials/sec", "vs reference"});
+    const gpusim::ExecEngine sweep[] = {
+        gpusim::ExecEngine::Reference, gpusim::ExecEngine::Fast,
+        gpusim::ExecEngine::Sanitizer, gpusim::ExecEngine::Threaded};
+    swifi::CampaignResult ref_res;
+    for (const auto engine : sweep) {
+      swifi::CampaignConfig rcfg;
+      rcfg.engine = engine;
+      gpusim::Device dev;
+      auto job = ctx.workload->make_job(ctx.dataset);
+      swifi::CampaignResult res;
+      const double s = seconds([&] {
+        res = swifi::run_campaign(dev, ctx.variants.fift, *job, ctx.cb.get(), specs,
+                                  ctx.workload->requirement(), rcfg);
+      });
+      const char* en = gpusim::exec_engine_name(engine);
+      engine_s[en] = s;
+      if (engine == sweep[0])
+        ref_res = res;
+      else
+        deterministic = deterministic && same_outcomes(res, ref_res);
+      et.add_row({en, common::Table::num(s, 3), common::Table::num(n / s, 1),
+                  common::Table::num(engine_s["reference"] / s, 2) + "x"});
+    }
+    std::printf("\nsequential campaign per engine (plan cache on):\n");
+    et.print();
+    std::printf("threaded vs fast: %.2fx trials/sec\n",
+                engine_s["fast"] / engine_s["threaded"]);
   }
 
   // Campaign-startup cost: the instrumentation (pass pipeline) time that
@@ -164,6 +185,27 @@ int main(int argc, char** argv) {
                 base_s, static_cast<unsigned long long>(ctx.device->plan_cache_hits()),
                 static_cast<unsigned long long>(ctx.device->plan_cache_misses()), cold_s,
                 cold_s / base_s, same_outcomes(base_res, res) ? "identical" : "MISMATCH");
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --json file '%s'\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"campaign_throughput\",\n  \"program\": \"%s\",\n",
+                 ctx.workload->name().c_str());
+    std::fprintf(f, "  \"trials\": %zu,\n  \"engines\": {\n", specs.size());
+    std::size_t i = 0;
+    for (const auto& [en, s] : engine_s)
+      std::fprintf(f, "    \"%s\": {\"seconds\": %.6f, \"trials_per_sec\": %.2f}%s\n",
+                   en.c_str(), s, n / s, ++i < engine_s.size() ? "," : "");
+    std::fprintf(f, "  },\n  \"speedup_threaded_vs_fast\": %.4f,\n",
+                 engine_s.at("fast") / engine_s.at("threaded"));
+    std::fprintf(f, "  \"speedup_threaded_vs_reference\": %.4f,\n",
+                 engine_s.at("reference") / engine_s.at("threaded"));
+    std::fprintf(f, "  \"deterministic\": %s\n}\n", deterministic ? "true" : "false");
+    std::fclose(f);
   }
   return deterministic ? 0 : 1;
 }

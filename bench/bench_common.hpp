@@ -40,10 +40,28 @@ inline int workers_from(const common::CliArgs& args) {
   return common::parse_campaign_flags(args).workers;
 }
 
-/// All shared campaign flags (--workers / --sanitize / --datasets) at once.
+/// All shared campaign flags (--workers / --sanitize / --datasets /
+/// --engine) at once.
 inline common::CampaignFlags campaign_flags_from(const common::CliArgs& args,
                                                  int default_datasets = 1) {
   return common::parse_campaign_flags(args, default_datasets);
+}
+
+// common::EngineKind mirrors gpusim::ExecEngine value for value so the CLI
+// layer stays link-independent of the simulator; pin it here, where both
+// headers are visible.
+static_assert(static_cast<int>(common::EngineKind::Fast) ==
+              static_cast<int>(gpusim::ExecEngine::Fast));
+static_assert(static_cast<int>(common::EngineKind::Reference) ==
+              static_cast<int>(gpusim::ExecEngine::Reference));
+static_assert(static_cast<int>(common::EngineKind::Sanitizer) ==
+              static_cast<int>(gpusim::ExecEngine::Sanitizer));
+static_assert(static_cast<int>(common::EngineKind::Threaded) ==
+              static_cast<int>(gpusim::ExecEngine::Threaded));
+
+/// The gpusim engine selected by --engine (default fast).
+inline gpusim::ExecEngine engine_from(const common::CampaignFlags& f) {
+  return static_cast<gpusim::ExecEngine>(f.engine);
 }
 
 /// Print accumulated flag diagnostics to stderr; returns true if any.

@@ -11,7 +11,9 @@
 //   CPU: SDC < ~2.3%, crash-dominated.
 //
 // Knobs: --vars (per program, default 20), --masks (per var, default 10),
-// --workers (campaign workers, 0 = hardware concurrency; default 0).
+// --workers (campaign workers, 0 = hardware concurrency; default 0),
+// --engine=reference|fast|sanitizer|threaded (trial interpreter; default fast
+// — engines are bitwise identical, so this only changes wall-clock).
 #include "bench_common.hpp"
 #include "common/bitops.hpp"
 #include "swifi/injector.hpp"
@@ -37,7 +39,7 @@ struct RowAccum {
 OutcomeCounts gpu_campaign(swifi::CampaignExecutor& ex,
                            const std::vector<std::unique_ptr<workloads::Workload>>& suite,
                            kir::DType type, workloads::Scale scale, std::uint64_t seed,
-                           int max_vars, int masks) {
+                           int max_vars, int masks, const swifi::CampaignConfig& cfg) {
   OutcomeCounts total;
   for (const auto& w : suite) {
     gpusim::Device dev;
@@ -53,7 +55,7 @@ OutcomeCounts gpu_campaign(swifi::CampaignExecutor& ex,
     opt.type_filter = type;
     const auto specs = swifi::plan_faults(v.fi, pd, opt);
     // Sensitivity of the *baseline* program: FI build without detectors.
-    const auto res = ex.run(v.fi, bench::context_factory(*w, ds), specs, w->requirement());
+    const auto res = ex.run(v.fi, bench::context_factory(*w, ds), specs, w->requirement(), cfg);
     total.failure += res.counts.failure;
     total.masked += res.counts.masked;
     total.undetected += res.counts.undetected;
@@ -70,6 +72,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   const int max_vars = static_cast<int>(args.get_int("vars", 20));
   const int masks = static_cast<int>(args.get_int("masks", 10));
+  const auto cflags = campaign_flags_from(args);
+  if (report_flag_errors(args)) return 2;
+  swifi::CampaignConfig gpu_cfg;
+  gpu_cfg.engine = engine_from(cflags);
   swifi::CampaignExecutor ex(workers_from(args));
 
   print_header("Fig. 1: error sensitivity by program type and corrupted state (single-bit)");
@@ -84,13 +90,13 @@ int main(int argc, char** argv) {
   double hpc_sdc[3] = {0, 0, 0};
   for (int i = 0; i < 3; ++i) {
     RowAccum r{gpu_campaign(ex, workloads::hpc_suite(), kTypes[i].type, scale, seed, max_vars,
-                            masks)};
+                            masks, gpu_cfg)};
     hpc_sdc[i] = 100.0 * r.counts.ratio(r.counts.undetected);
     r.print_row(t, "GPU HPC", kTypes[i].name);
   }
   for (const auto& kt : kTypes) {
     RowAccum r{gpu_campaign(ex, workloads::graphics_suite(), kt.type, scale, seed, max_vars,
-                            masks)};
+                            masks, gpu_cfg)};
     r.print_row(t, "GPU Graphics", kt.name);
   }
 
@@ -102,6 +108,7 @@ int main(int argc, char** argv) {
   // programs have much higher per-thread counts than the derived floor).
   swifi::CampaignConfig cpu_cfg;
   cpu_cfg.hang_floor = 50'000'000;
+  cpu_cfg.engine = gpu_cfg.engine;
   {
     // Stack: faults in local (virtual) variables via FI hooks.
     OutcomeCounts total;
@@ -116,8 +123,8 @@ int main(int argc, char** argv) {
       opt.masks_per_var = masks;
       opt.seed = seed + 29;
       const auto specs = swifi::plan_faults(v.fi, pd, opt);
-      const auto res =
-          ex.run(v.fi, bench::context_factory(*w, ds, cpu_props), specs, w->requirement());
+      const auto res = ex.run(v.fi, bench::context_factory(*w, ds, cpu_props), specs,
+                              w->requirement(), gpu_cfg);
       total.failure += res.counts.failure;
       total.masked += res.counts.masked;
       total.undetected += res.counts.undetected;

@@ -10,7 +10,8 @@
 // Knobs: --vars (default 20), --masks (default 10), --bits=1,3,6,10,15,
 // --workers (campaign workers, 0 = hardware concurrency; default 0),
 // --sanitize (run trials under the sanitizer engine and add Race /
-// Divergence outcome columns).
+// Divergence outcome columns), --engine=reference|fast|sanitizer|threaded
+// (trial interpreter; default fast — outcomes are engine-invariant).
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
   const int masks = static_cast<int>(args.get_int("masks", 10));
   const auto bits_list = parse_bits(args.get("bits", "1,3,6,10,15"));
   const auto flags = campaign_flags_from(args);
+  if (report_flag_errors(args)) return 2;
   const bool sanitize = flags.sanitize;
   swifi::CampaignExecutor ex(flags.workers);
 
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
       opt.seed = seed + static_cast<std::uint64_t>(bits) * 1000;
       const auto specs = swifi::plan_faults(ctx.variants.fift, ctx.profile, opt);
       swifi::CampaignConfig ccfg;
+      ccfg.engine = engine_from(flags);
       ccfg.sanitize = sanitize;
       ccfg.sanitize_cap = static_cast<std::size_t>(flags.sanitize_cap);
       const auto res = ex.run(ctx.variants.fift,

@@ -10,7 +10,9 @@
 // A false positive is a fault-free test run that raises an SDC alarm.
 //
 // Knobs: --repeats, --datasets (default 52), --workers (campaign workers for
-// the IX.C coverage sweep, 0 = hardware concurrency; default 0).
+// the IX.C coverage sweep, 0 = hardware concurrency; default 0),
+// --engine=reference|fast|sanitizer|threaded (interpreter for the test runs
+// and the IX.C campaigns; default fast — results are engine-invariant).
 #include <map>
 
 #include "bench_common.hpp"
@@ -82,7 +84,10 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   const auto scale = scale_from(args);
   const int repeats = static_cast<int>(args.get_int("repeats", 10));
-  const int n_datasets = campaign_flags_from(args, /*default_datasets=*/52).datasets;
+  const auto cflags = campaign_flags_from(args, /*default_datasets=*/52);
+  if (report_flag_errors(args)) return 2;
+  const int n_datasets = cflags.datasets;
+  const auto engine = engine_from(cflags);
   const std::uint64_t seed = args.get_u64("seed", 1);
 
   print_header("Fig. 16 (left): false positive ratio vs. number of training sets (alpha=1)");
@@ -96,6 +101,7 @@ int main(int argc, char** argv) {
   auto sweep = [&](ProgramData& pd, double alpha) {
     std::map<int, double> fp;  // train count -> average FP ratio
     gpusim::Device dev;
+    dev.set_engine(engine);
     for (int r = 0; r < repeats; ++r) {
       std::vector<int> order(pd.datasets.size());
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
@@ -162,10 +168,12 @@ int main(int argc, char** argv) {
       opt.error_bits = 1;
       opt.seed = seed + 3;
       const auto specs = swifi::plan_faults(pd.variants.fift, prof, opt);
+      swifi::CampaignConfig ccfg;
+      ccfg.engine = engine;
       const auto res = ex.run(pd.variants.fift,
                               context_factory(*pd.w, pd.datasets[0], {}, &pd.variants.fift,
                                               &prof, alpha),
-                              specs, pd.w->requirement());
+                              specs, pd.w->requirement(), ccfg);
       t.add_row({common::Table::num(alpha, 0),
                  common::Table::pct_cell(100.0 * res.counts.coverage()),
                  common::Table::pct_cell(100.0 * res.counts.ratio(res.counts.undetected))});

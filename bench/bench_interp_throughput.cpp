@@ -1,87 +1,250 @@
-// Substrate micro-benchmark: simulated-GPU interpreter throughput per
-// workload (instructions per second), plus the relative cost of running
-// with Hauberk FT instrumentation and with profiler hooks attached.  Not a
-// paper figure — used to size fault-injection campaigns.
-#include <benchmark/benchmark.h>
+// Substrate micro-benchmark: simulated-GPU interpreter throughput
+// (instructions per second) for every workload on every execution engine —
+// the reference switch interpreter, the predecoded fast engine, the
+// sanitizer engine, and the threaded-code engine (computed-goto dispatch +
+// launch-plan-specialized superinstructions).  Not a paper figure — used to
+// size fault-injection campaigns and to gate the threaded engine's speedup.
+//
+// All engines are pinned bitwise-identical by test_differential_fuzz and
+// test_golden_outputs; this harness only measures, but it still verifies
+// status/instruction equality across engines before reporting.
+//
+// Knobs:
+//   --scale=tiny|small|medium  problem size (default small)
+//   --seed=N                   dataset seed (default 1)
+//   --engine=K                 measure only one engine
+//                              (reference|fast|sanitizer|threaded)
+//   --min-time=S               seconds of timed launches per cell (default 0.15)
+//   --json=FILE                write rows + geomeans as JSON
+//   --min-speedup=X            exit nonzero unless the threaded engine's
+//                              geomean instr/sec >= X * the fast engine's
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
 
-#include "hauberk/runtime.hpp"
-#include "workloads/workload.hpp"
+#include "bench_common.hpp"
+#include "hauberk/control_block.hpp"
 
 using namespace hauberk;
-using namespace hauberk::workloads;
+using namespace hauberk::bench;
+using workloads::Workload;
 
 namespace {
 
-struct Fx {
-  std::unique_ptr<Workload> w;
-  core::KernelVariants v;
-  Dataset ds;
-  std::unique_ptr<core::KernelJob> job;
-  gpusim::Device dev;
-
-  explicit Fx(int index) {
-    auto suite = hpc_suite();
-    w = std::move(suite[static_cast<std::size_t>(index)]);
-    v = core::build_variants(w->build_kernel(Scale::Small));
-    ds = w->make_dataset(1, Scale::Small);
-    job = w->make_job(ds);
-  }
+struct Cell {
+  std::string workload, engine, variant;
+  double instr_per_sec = 0.0;
+  double seconds = 0.0;
+  std::uint64_t launches = 0;
+  std::uint64_t instructions_per_launch = 0;
 };
 
-void BM_Baseline(benchmark::State& state) {
-  Fx f(static_cast<int>(state.range(0)));
-  std::uint64_t instr = 0;
-  for (auto _ : state) {
-    const auto args = f.job->setup(f.dev);
-    const auto res = f.dev.launch(f.v.baseline, f.job->config(), args);
-    instr += res.instructions;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(instr));
-  state.SetLabel(f.w->name());
+struct Entry {
+  std::unique_ptr<Workload> workload;
+  bool paged = false;  // cpu_suite programs run on a PagedCpu device (Fig. 1)
+};
+
+std::vector<Entry> all_workloads() {
+  std::vector<Entry> all;
+  for (auto& w : workloads::hpc_suite()) all.push_back({std::move(w), false});
+  for (auto& w : workloads::graphics_suite()) all.push_back({std::move(w), false});
+  for (auto& w : workloads::cpu_suite()) all.push_back({std::move(w), true});
+  all.push_back({workloads::make_cpu_matmul(), false});
+  return all;
 }
 
-void BM_FtInstrumented(benchmark::State& state) {
-  Fx f(static_cast<int>(state.range(0)));
-  core::ControlBlock cb(f.v.ft);
-  for (auto _ : state) {
-    const auto args = f.job->setup(f.dev);
-    gpusim::LaunchOptions opts;
-    opts.hooks = &cb;
-    const auto res = f.dev.launch(f.v.ft, f.job->config(), args, opts);
-    benchmark::DoNotOptimize(res);
+gpusim::DeviceProps props_for(const Entry& e) {
+  gpusim::DeviceProps p;
+  if (e.paged) {
+    // Same substrate the Fig. 1 CPU rows use: sparse paged allocations so
+    // pointer-chasing code actually walks its list (a FlatGpu device would
+    // place the list head at address 0 and the walk would never start).
+    p.memory_model = gpusim::MemoryModel::PagedCpu;
+    p.num_sms = 1;
   }
-  state.SetLabel(f.w->name());
+  return p;
 }
 
-/// Engine comparison: the predecoded fast engine vs the reference switch
-/// interpreter on the same workload (arg1: 0 = fast, 1 = reference).  The
-/// items/sec ratio between the two rows is the fast path's speedup; the
-/// engines are pinned bitwise-identical by test_differential_fuzz.
-void BM_Engine(benchmark::State& state) {
-  Fx f(static_cast<int>(state.range(0)));
-  const bool fast = state.range(1) == 0;
-  f.dev.set_engine(fast ? gpusim::ExecEngine::Fast : gpusim::ExecEngine::Reference);
-  // Job setup (allocation + host->device copies) is hoisted out of the timed
-  // loop: this benchmark isolates *interpreter* throughput, and trip counts
-  // in these kernels come from params, so relaunching over stale buffers
-  // executes the same instruction stream.
-  const auto args = f.job->setup(f.dev);
-  std::uint64_t instr = 0;
-  for (auto _ : state) {
-    const auto res = f.dev.launch(f.v.baseline, f.job->config(), args);
-    if (res.status != gpusim::LaunchStatus::Ok) state.SkipWithError("launch failed");
-    instr += res.instructions;
+/// Timed launch loop over a prepared device+args: job setup (allocation and
+/// host->device copies) stays outside, so the cell isolates *interpreter*
+/// throughput; trip counts come from params, so relaunching over stale
+/// buffers executes the same instruction stream every iteration.
+Cell time_cell(Workload& w, gpusim::ExecEngine engine, const kir::BytecodeProgram& prog,
+               const gpusim::LaunchConfig& cfg, const std::vector<kir::Value>& args,
+               gpusim::Device& dev, gpusim::LaunchHooks* hooks, double min_time,
+               const char* variant) {
+  gpusim::LaunchOptions opts;
+  opts.hooks = hooks;
+
+  Cell c;
+  c.workload = w.name();
+  c.engine = gpusim::exec_engine_name(engine);
+  c.variant = variant;
+
+  // Warmup launch: compiles and caches the launch plan (decode + threaded
+  // stream) so plan-build time is not billed to the steady-state rate.
+  const auto warm = dev.launch(prog, cfg, args, opts);
+  if (warm.status != gpusim::LaunchStatus::Ok) {
+    std::fprintf(stderr, "error: %s/%s launch failed (%s)\n", c.workload.c_str(),
+                 c.engine.c_str(), gpusim::launch_status_name(warm.status));
+    std::exit(1);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(instr));
-  state.SetLabel(f.w->name() + (fast ? "/fast" : "/reference"));
+  c.instructions_per_launch = warm.instructions;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  std::uint64_t instr = 0, launches = 0;
+  while (elapsed < min_time || launches < 3) {
+    const auto res = dev.launch(prog, cfg, args, opts);
+    instr += res.instructions;
+    ++launches;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  c.seconds = elapsed;
+  c.launches = launches;
+  c.instr_per_sec = static_cast<double>(instr) / elapsed;
+  return c;
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) logsum += std::log(x);
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+void write_json(const std::string& path, const std::string& scale,
+                const std::vector<Cell>& cells,
+                const std::vector<gpusim::ExecEngine>& engines,
+                const std::map<std::string, double>& geo) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write --json file '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"interp_throughput\",\n  \"scale\": \"%s\",\n",
+               scale.c_str());
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"engine\": \"%s\", \"variant\": \"%s\", "
+                 "\"instr_per_sec\": %.6e, \"instructions_per_launch\": %llu, "
+                 "\"launches\": %llu, \"seconds\": %.6f}%s\n",
+                 c.workload.c_str(), c.engine.c_str(), c.variant.c_str(), c.instr_per_sec,
+                 static_cast<unsigned long long>(c.instructions_per_launch),
+                 static_cast<unsigned long long>(c.launches), c.seconds,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"geomean_instr_per_sec\": {");
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    const char* en = gpusim::exec_engine_name(engines[i]);
+    std::fprintf(f, "%s\"%s\": %.6e", i ? ", " : "", en, geo.at(en));
+  }
+  std::fprintf(f, "}");
+  if (geo.count("fast") && geo.count("threaded"))
+    std::fprintf(f, ",\n  \"speedup_threaded_vs_fast\": %.4f",
+                 geo.at("threaded") / geo.at("fast"));
+  if (geo.count("fast") && geo.count("reference"))
+    std::fprintf(f, ",\n  \"speedup_fast_vs_reference\": %.4f",
+                 geo.at("fast") / geo.at("reference"));
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
 }
 
 }  // namespace
 
-BENCHMARK(BM_Baseline)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FtInstrumented)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Engine)
-    ->ArgsProduct({benchmark::CreateDenseRange(0, 6, 1), {0, 1}})
-    ->Unit(benchmark::kMillisecond);
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const double min_time = args.get_double("min-time", 0.15);
+  const std::string json_path = args.get("json");
+  const double min_speedup = args.get_double("min-speedup", 0.0);
+  const auto cflags = campaign_flags_from(args);
+  if (report_flag_errors(args)) return 2;
 
-BENCHMARK_MAIN();
+  std::vector<gpusim::ExecEngine> engines = {
+      gpusim::ExecEngine::Reference, gpusim::ExecEngine::Fast,
+      gpusim::ExecEngine::Sanitizer, gpusim::ExecEngine::Threaded};
+  if (args.has("engine")) engines = {engine_from(cflags)};
+
+  print_header("Interpreter throughput: instructions/second per engine");
+
+  std::vector<Cell> cells;
+  // Per-engine geomean inputs: baseline-variant rates, one per workload.
+  std::map<std::string, std::vector<double>> base_rates;
+
+  common::Table t({"Workload", "Engine", "Base Minstr/s", "FT Minstr/s"});
+  for (auto& e : all_workloads()) {
+    auto& w = e.workload;
+    const auto ds = w->make_dataset(seed, scale);
+    const auto v = core::build_variants(w->build_kernel(scale));
+    const auto props = props_for(e);
+
+    // Engine-equality sanity: identical status + instruction totals across
+    // the measured engines (the bitwise pinning lives in the test suite).
+    std::uint64_t pinned_instr = 0;
+
+    for (const auto engine : engines) {
+      gpusim::Device dev(props);
+      dev.set_engine(engine);
+      auto job = w->make_job(ds);
+      const auto bargs = job->setup(dev);
+      const Cell base = time_cell(*w, engine, v.baseline, job->config(), bargs, dev,
+                                  nullptr, min_time, "base");
+      if (pinned_instr == 0) pinned_instr = base.instructions_per_launch;
+      if (base.instructions_per_launch != pinned_instr) {
+        std::fprintf(stderr, "error: %s/%s instruction count diverged\n",
+                     w->name().c_str(), base.engine.c_str());
+        return 1;
+      }
+
+      gpusim::Device ftdev(props);
+      ftdev.set_engine(engine);
+      auto ftjob = w->make_job(ds);
+      const auto fargs = ftjob->setup(ftdev);
+      core::ControlBlock cb(v.ft);
+      const Cell ft =
+          time_cell(*w, engine, v.ft, ftjob->config(), fargs, ftdev, &cb, min_time, "ft");
+
+      base_rates[base.engine].push_back(base.instr_per_sec);
+      t.add_row({w->name(), base.engine, common::Table::num(base.instr_per_sec / 1e6, 2),
+                 common::Table::num(ft.instr_per_sec / 1e6, 2)});
+      cells.push_back(base);
+      cells.push_back(ft);
+    }
+  }
+  t.print();
+
+  std::map<std::string, double> geo;
+  std::printf("\ngeomean instructions/sec over %zu workloads (baseline variant):\n",
+              base_rates.begin()->second.size());
+  for (const auto engine : engines) {
+    const char* en = gpusim::exec_engine_name(engine);
+    geo[en] = geomean(base_rates[en]);
+    std::printf("  %-10s %8.2f Minstr/s\n", en, geo[en] / 1e6);
+  }
+  if (geo.count("fast") && geo.count("reference"))
+    std::printf("fast vs reference:   %.2fx\n", geo["fast"] / geo["reference"]);
+  if (geo.count("fast") && geo.count("threaded"))
+    std::printf("threaded vs fast:    %.2fx\n", geo["threaded"] / geo["fast"]);
+
+  if (!json_path.empty()) write_json(json_path, args.get("scale", "small"), cells, engines, geo);
+
+  if (min_speedup > 0.0) {
+    if (!geo.count("fast") || !geo.count("threaded")) {
+      std::fprintf(stderr, "error: --min-speedup needs both fast and threaded measured\n");
+      return 2;
+    }
+    const double s = geo["threaded"] / geo["fast"];
+    if (s < min_speedup) {
+      std::fprintf(stderr, "error: threaded/fast speedup %.2fx below floor %.2fx\n", s,
+                   min_speedup);
+      return 1;
+    }
+    std::printf("speedup floor %.2fx: OK\n", min_speedup);
+  }
+  return 0;
+}

@@ -10,6 +10,8 @@
 //
 // Usage: controller [--program=CP] [--scale=small] [--ranges=/tmp/cp.ranges]
 //        [--workers=N]   (campaign workers for steps 4/5; 0 = hw concurrency)
+//        [--engine=reference|fast|sanitizer|threaded]
+//                        (campaign trial interpreter; default fast)
 #include <cstdio>
 #include <fstream>
 
@@ -90,13 +92,18 @@ int main(int argc, char** argv) {
               ft.sdc_alarm || cb->sdc_detected() ? "YES (bad!)" : "no");
 
   // 4. FI binary: baseline error sensitivity (trials spread across workers).
-  swifi::CampaignExecutor ex(common::parse_campaign_flags(args).workers);
+  const auto cflags = common::parse_campaign_flags(args);
+  for (const auto& err : args.errors()) std::fprintf(stderr, "error: %s\n", err.c_str());
+  if (!args.ok()) return 2;
+  const auto engine = static_cast<gpusim::ExecEngine>(cflags.engine);
+  swifi::CampaignExecutor ex(cflags.workers);
   swifi::PlanOptions popt;
   popt.max_vars = static_cast<int>(args.get_int("vars", 20));
   popt.masks_per_var = static_cast<int>(args.get_int("masks", 10));
   popt.seed = args.get_u64("seed", 1) + 5;
   const auto fi_specs = swifi::plan_faults(v.fi, profile, popt);
   swifi::CampaignConfig fi_cfg;
+  fi_cfg.engine = engine;
   fi_cfg.pipeline = swifi::PipelineSpec::from_report(v.fi_report);
   const auto fi = ex.run(
       v.fi,
@@ -117,6 +124,7 @@ int main(int argc, char** argv) {
   // stored ranges into its own control block).
   const auto fift_specs = swifi::plan_faults(v.fift, profile, popt);
   swifi::CampaignConfig fift_cfg;
+  fift_cfg.engine = engine;
   fift_cfg.pipeline = swifi::PipelineSpec::from_report(v.fift_report);
   const auto fift = ex.run(
       v.fift,

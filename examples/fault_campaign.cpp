@@ -10,6 +10,9 @@
 //                                   races / barrier divergence become their
 //                                   own outcome classes)
 //                  [--sanitize-cap=N]  (per-block sanitizer report cap)
+//                  [--engine=reference|fast|sanitizer|threaded]
+//                                  (trial interpreter; default fast — engines
+//                                   are bitwise identical, only speed differs)
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -24,7 +27,7 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   for (const auto& f : args.unknown_flags({"program", "bits", "vars", "masks", "protected",
                                            "scale", "seed", "workers", "sanitize",
-                                           "sanitize-cap"})) {
+                                           "sanitize-cap", "engine"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
     return 2;
   }
@@ -72,6 +75,7 @@ int main(int argc, char** argv) {
               flags.sanitize ? ", sanitizer ON" : "");
 
   swifi::CampaignConfig cfg;
+  cfg.engine = static_cast<gpusim::ExecEngine>(flags.engine);
   cfg.sanitize = flags.sanitize;
   cfg.sanitize_cap = static_cast<std::size_t>(flags.sanitize_cap);
   cfg.pipeline = swifi::PipelineSpec::from_report(prog_report);

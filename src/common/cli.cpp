@@ -91,6 +91,27 @@ std::vector<std::string> CliArgs::unknown_flags(
   return out;
 }
 
+const char* engine_kind_name(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::Fast: return "fast";
+    case EngineKind::Reference: return "reference";
+    case EngineKind::Sanitizer: return "sanitizer";
+    case EngineKind::Threaded: return "threaded";
+  }
+  return "?";
+}
+
+bool parse_engine_kind(std::string_view text, EngineKind& out) noexcept {
+  for (const auto k : {EngineKind::Fast, EngineKind::Reference, EngineKind::Sanitizer,
+                       EngineKind::Threaded}) {
+    if (text == engine_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
   CampaignFlags f;
   const auto workers = args.get_int("workers", 0);
@@ -112,6 +133,12 @@ CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
     args.note_error("--sanitize-cap: must be >= 1 (got " + std::to_string(cap) + ")");
   } else {
     f.sanitize_cap = static_cast<int>(cap);
+  }
+  if (args.has("engine")) {
+    const std::string text = args.get("engine");
+    if (!parse_engine_kind(text, f.engine))
+      args.note_error("--engine: unknown engine '" + text +
+                      "' (expected reference|fast|sanitizer|threaded)");
   }
   return f;
 }

@@ -43,17 +43,31 @@ class CliArgs {
   mutable std::vector<std::string> errors_;  ///< filled lazily by const getters
 };
 
+/// Interpreter engine selection, mirroring gpusim::ExecEngine value for
+/// value (common cannot link gpusim; static_asserts in bench_common.hpp pin
+/// the correspondence where both headers are visible).
+enum class EngineKind : std::uint8_t { Fast, Reference, Sanitizer, Threaded };
+
+/// Canonical spelling accepted by --engine and printed in reports.
+[[nodiscard]] const char* engine_kind_name(EngineKind k) noexcept;
+
+/// Parse an --engine value; returns false (out untouched) on any string
+/// that is not one of reference|fast|sanitizer|threaded.
+[[nodiscard]] bool parse_engine_kind(std::string_view text, EngineKind& out) noexcept;
+
 /// The campaign-control flags shared by every SWIFI-running tool
 /// (fault_campaign, controller, and the bench harnesses):
 ///   --workers=N       campaign workers (0 = hardware concurrency)
 ///   --sanitize        run trials under the sanitizer engine
 ///   --datasets=N      independent datasets per experiment
 ///   --sanitize-cap=N  per-block sanitizer report cap (default 64)
+///   --engine=K        interpreter engine: reference|fast|sanitizer|threaded
 struct CampaignFlags {
   int workers = 0;
   bool sanitize = false;
   int datasets = 1;
   int sanitize_cap = 64;  ///< gpusim::SharedShadow::kMaxReportsPerBlock
+  EngineKind engine = EngineKind::Fast;
 };
 
 /// Parse the shared campaign flags, validating ranges: negative --workers,

@@ -23,6 +23,7 @@ const char* exec_engine_name(ExecEngine e) noexcept {
     case ExecEngine::Fast: return "fast";
     case ExecEngine::Reference: return "reference";
     case ExecEngine::Sanitizer: return "sanitizer";
+    case ExecEngine::Threaded: return "threaded";
   }
   return "?";
 }
@@ -347,10 +348,14 @@ class BlockExec {
  public:
   BlockExec(Device& dev, const kir::BytecodeProgram& prog, const LaunchConfig& cfg,
             const LaunchOptions& opts, const std::vector<std::uint32_t>& costs,
-            const kir::DecodedProgram& decoded, ExecEngine engine,
-            std::uint32_t block_linear, std::vector<SanitizerReport>* report_sink)
+            const kir::DecodedProgram& decoded, const kir::ThreadedProgram& threaded,
+            ExecEngine engine, std::uint32_t block_linear,
+            std::vector<SanitizerReport>* report_sink)
       : dev_(dev), prog_(prog), cfg_(cfg), opts_(opts), costs_(costs),
         dec_(engine != ExecEngine::Reference ? decoded.code.data() : nullptr),
+        tcode_(engine == ExecEngine::Threaded && !threaded.code.empty()
+                   ? threaded.code.data()
+                   : nullptr),
         sites_(decoded.sanitizer_sites.data()),
         block_linear_(block_linear),
         sm_(block_linear % dev.props().num_sms),
@@ -394,6 +399,7 @@ class BlockExec {
   ThreadStop run_thread(ThreadCtx& t, LaunchStatus& crash_status);
   template <bool kCounts, bool kSimt, bool kHwFault, bool kSanitize>
   ThreadStop run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status);
+  ThreadStop run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_status);
   ThreadStop step_thread(ThreadCtx& t, LaunchStatus& crash_status);
   void finish_simt_cost();
   std::uint32_t builtin_value(const ThreadCtx& t, BuiltinVal b) const noexcept;
@@ -409,6 +415,7 @@ class BlockExec {
   const LaunchOptions& opts_;
   const std::vector<std::uint32_t>& costs_;
   const kir::DecodedInstr* dec_;  ///< fast-engine stream; nullptr -> reference
+  const kir::ThreadedInstr* tcode_;  ///< threaded-code stream; non-null only for Threaded
   const std::uint32_t* sites_;    ///< per-pc sanitizer site ids (all engines)
   std::uint32_t block_linear_, sm_, bx_, by_, threads_per_block_;
   std::vector<std::uint32_t> shared_;
@@ -820,6 +827,7 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
         if (gmem) {
           if (addr >= gsize) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
           gmem[addr] = regs[in.b];
+          mem.note_store(addr);
         } else if (!mem.store(addr, regs[in.b])) {
           FAST_CRASH(LaunchStatus::CrashOutOfBounds);
         }
@@ -854,6 +862,7 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
         std::uint32_t* const w = gmem ? (regs[in.a] < gsize ? gmem + regs[in.a] : nullptr)
                                       : mem.word_ptr(regs[in.a]);
         if (!w) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+        if (gmem) mem.note_store(regs[in.a]);
         *w = fadd_bits(*w, regs[in.b]);
         break;
       }
@@ -862,6 +871,7 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
         std::uint32_t* const w = gmem ? (regs[in.a] < gsize ? gmem + regs[in.a] : nullptr)
                                       : mem.word_ptr(regs[in.a]);
         if (!w) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+        if (gmem) mem.note_store(regs[in.a]);
         *w = i_bits(static_cast<std::int32_t>(
             static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in.b])));
         break;
@@ -926,11 +936,1003 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
 #undef FAST_CRASH
 }
 
+/// The threaded-code engine.  Dispatches the kir::ThreadedProgram stream
+/// compiled per launch plan: computed goto when the toolchain has
+/// labels-as-values (HAUBERK_COMPUTED_GOTO, see top-level CMakeLists), a
+/// switch loop otherwise — the two builds are bitwise identical, only
+/// dispatch latency differs.
+///
+/// Semantics are pinned to run_thread_fast (and through it to run_thread)
+/// by two rules:
+///
+///  * single ops replicate the fast handler bodies exactly, with the
+///    watchdog test rewritten as a countdown (`left`) that is equivalent
+///    step for step to the fast engine's `local_instr + budget_used >
+///    watchdog` test;
+///  * fused superinstructions perform *all* their checks — enough budget
+///    for the whole region, every memory bound — before any register
+///    write, memory write or cost charge.  Any case they cannot replicate
+///    bit for bit (budget boundary inside the region, a crash, paged
+///    global memory) delegates: finish() then run the rest of the slice on
+///    run_thread_fast<false,false,false,false> over the position-stable
+///    DecodedProgram, which reproduces reference behavior including
+///    partial charges and crash points.
+///
+/// Only the plain launch mode runs here (see BlockExec::run): exec-count /
+/// SIMT / hardware-fault / sanitizer launches use the fast engine's
+/// specializations, so instrumentation semantics live in one place.
+ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_status) {
+  using kir::TOp;
+  // The threaded stream, the thread's register file and the flat arena are
+  // three disjoint allocations; __restrict lets the compiler keep operands
+  // in registers across regs[]/gmem[] stores (plain uint32 writes that TBAA
+  // alone cannot separate from ThreadedInstr's uint32 fields).
+  const kir::ThreadedInstr* const __restrict code = tcode_;
+  std::uint32_t* const __restrict regs = t.regs;
+  DeviceMemory& mem = dev_.mem();
+  const std::span<std::uint32_t> arena = mem.flat_arena();
+  std::uint32_t* const __restrict gmem = arena.data();  // null for PagedCpu
+  const auto gsize = static_cast<std::uint32_t>(arena.size());
+  const auto ssize = static_cast<std::uint32_t>(shared_.size());
+  const std::uint64_t watchdog = opts_.watchdog_instructions;
+  std::uint64_t local_cycles = 0, local_loop = 0, local_instr = 0;
+
+  // Countdown form of the fast engine's watchdog test: that loop executes
+  // an instruction iff local_instr + budget_used <= watchdog, i.e. exactly
+  // watchdog - budget_used + 1 instructions this slice (zero if a barrier
+  // landed the thread just past the budget).  The +1 can only wrap for
+  // watchdog == UINT64_MAX, where the budget is unreachable anyway.
+  std::uint64_t left = t.budget_used > watchdog ? 0 : watchdog - t.budget_used + 1;
+  if (t.budget_used <= watchdog && left == 0) left = ~std::uint64_t{0};
+
+  // Register-resident instruction cursor: t.pc is a uint32 member, so every
+  // regs[] store (also uint32) could alias it as far as the compiler knows,
+  // forcing a reload per dispatch.  Keep the cursor local and sync it back
+  // only at slice exits (finish covers every return path, including the
+  // fast-engine delegation which resumes from t.pc).
+  std::uint32_t pc = t.pc;
+
+  auto finish = [&] {
+    t.pc = pc;
+    cycles += local_cycles;
+    loop_cycles += local_loop;
+    instructions += local_instr;
+    t.budget_used += local_instr;
+  };
+
+// Per-single prologue: budget countdown, pre-folded cost charge, pc++ —
+// the same order as the fast engine (budget test before any charge).
+#define T_STEP1()                     \
+  do {                                \
+    if (left == 0) {                  \
+      finish();                       \
+      return ThreadStop::Budget;      \
+    }                                 \
+    --left;                           \
+    local_cycles += in->cost;         \
+    local_loop += in->loop_cost;      \
+    ++local_instr;                    \
+    ++pc;                             \
+  } while (0)
+// Fused prologue: the region's summed charge under one budget decrement.
+// Callers must have verified left >= len and every crash condition first.
+#define T_CHARGE(n)                   \
+  do {                                \
+    left -= (n);                      \
+    local_cycles += in->cost;         \
+    local_loop += in->loop_cost;      \
+    local_instr += (n);               \
+  } while (0)
+#define T_CRASH(st)                   \
+  {                                   \
+    crash_status = (st);              \
+    finish();                         \
+    return ThreadStop::Crash;         \
+  }
+// Bail out of a fused head the interpreter cannot replicate exactly:
+// resume this slice on the single-op fast engine at the (unchanged) head
+// pc.  Nothing has been charged or written yet, so the fast engine
+// reproduces the reference trace including partial charges and crashes.
+#define T_DELEGATE()                                                        \
+  do {                                                                      \
+    finish();                                                               \
+    return run_thread_fast<false, false, false, false>(t, crash_status);    \
+  } while (0)
+
+#if HAUBERK_COMPUTED_GOTO
+#define T_LABEL(n) lbl_##n
+#define T_NEXT()                      \
+  do {                                \
+    in = &code[pc];                   \
+    goto* kLabels[in->op];            \
+  } while (0)
+// RunHead tail: dispatch the head op's naked handler without reloading `in`
+// (the head slot carries the first op's operands).
+#define T_DISPATCH_D() goto* kLabels[in->d]
+#else
+#define T_LABEL(n) case kir::TOp::n
+#define T_NEXT() break
+#define T_DISPATCH_D()                          \
+  do {                                          \
+    opv = in->d;                                \
+    goto lbl_redispatch;                        \
+  } while (0)
+#endif
+// Crash inside a run: the head charged the whole region up front, so hand
+// back the suffix *after* the crashing op (its refund fields) before the
+// normal crash exit — the launch then bills exactly what the fast engine
+// bills, the prefix up to and including the crashing op.
+#define T_NK_CRASH(st)                \
+  {                                   \
+    left += in->len;                  \
+    local_instr -= in->len;           \
+    local_cycles -= in->cost;         \
+    local_loop -= in->loop_cost;      \
+    T_CRASH(st);                      \
+  }
+#define T_SET(expr)                   \
+  {                                   \
+    T_STEP1();                        \
+    regs[in->dst] = (expr);           \
+    T_NEXT();                         \
+  }
+
+// Fused operand evaluators — bit-identical to the corresponding fast
+// single-op handlers.
+#define HB_CMP_LtI(A, B) static_cast<std::uint32_t>(as_i(A) < as_i(B))
+#define HB_CMP_LeI(A, B) static_cast<std::uint32_t>(as_i(A) <= as_i(B))
+#define HB_CMP_GtI(A, B) static_cast<std::uint32_t>(as_i(A) > as_i(B))
+#define HB_CMP_GeI(A, B) static_cast<std::uint32_t>(as_i(A) >= as_i(B))
+#define HB_CMP_LtU(A, B) static_cast<std::uint32_t>((A) < (B))
+#define HB_CMP_LeU(A, B) static_cast<std::uint32_t>((A) <= (B))
+#define HB_CMP_GtU(A, B) static_cast<std::uint32_t>((A) > (B))
+#define HB_CMP_GeU(A, B) static_cast<std::uint32_t>((A) >= (B))
+#define HB_CMP_LtF(A, B) static_cast<std::uint32_t>(as_f(A) < as_f(B))
+#define HB_CMP_LeF(A, B) static_cast<std::uint32_t>(as_f(A) <= as_f(B))
+#define HB_CMP_GtF(A, B) static_cast<std::uint32_t>(as_f(A) > as_f(B))
+#define HB_CMP_GeF(A, B) static_cast<std::uint32_t>(as_f(A) >= as_f(B))
+#define HB_CMP_EqW(A, B) static_cast<std::uint32_t>((A) == (B))
+#define HB_CMP_NeW(A, B) static_cast<std::uint32_t>((A) != (B))
+#define HB_CMP_EqF(A, B) static_cast<std::uint32_t>(as_f(A) == as_f(B))
+#define HB_CMP_NeF(A, B) static_cast<std::uint32_t>(as_f(A) != as_f(B))
+#define HB_ALU_AddW(A, B) ((A) + (B))
+#define HB_ALU_SubW(A, B) ((A) - (B))
+#define HB_ALU_MulW(A, B) ((A) * (B))
+#define HB_ALU_AddF(A, B) fadd_bits((A), (B))
+#define HB_ALU_SubF(A, B) fsub_bits((A), (B))
+#define HB_ALU_MulF(A, B) fmul_bits((A), (B))
+#define HB_ALU_DivF(A, B) fdiv_bits((A), (B))
+#define HB_ALU_MaxF(A, B) fmax_bits((A), (B))
+#define HB_ALU_LtF(A, B) HB_CMP_LtF((A), (B))
+#define HB_ALU_GtI(A, B) HB_CMP_GtI((A), (B))
+#define HB_ALU_EqW(A, B) HB_CMP_EqW((A), (B))
+#define HB_ALU_AndB(A, B) ((A) & (B))
+#define HB_ALU_ShrA(A, B) i_bits(as_i(A) >> ((B) & 31))
+#define HB_ALU_LAndW(A, B) static_cast<std::uint32_t>(((A) != 0) && ((B) != 0))
+
+  const kir::ThreadedInstr* in = code;
+#if HAUBERK_COMPUTED_GOTO
+  // Label table in TOp order — generated from the same X-macro lists as the
+  // enum itself, so the two cannot drift.
+  static const void* const kLabels[] = {
+#define HAUBERK_TOP_L(n) &&lbl_##n,
+      HAUBERK_TOP_SINGLE_LIST(HAUBERK_TOP_L)
+#undef HAUBERK_TOP_L
+#define HAUBERK_TOP_L(n) &&lbl_CmpJz_##n, &&lbl_ConstCmpJz_##n,
+          HAUBERK_TOP_CMP_LIST(HAUBERK_TOP_L)
+#undef HAUBERK_TOP_L
+              && lbl_ConstAddJmp,
+      &&lbl_AddJmp,
+#define HAUBERK_TOP_L(n) \
+  &&lbl_ConstBin_##n, &&lbl_LoadBinStore_##n, &&lbl_BinChkXor_##n, &&lbl_BinDupCmp_##n,
+      HAUBERK_TOP_ALU_LIST(HAUBERK_TOP_L)
+#undef HAUBERK_TOP_L
+          && lbl_ChkXor2,
+      &&lbl_RangeCheck2,
+      &&lbl_RunHead,
+#define HAUBERK_TOP_L(n) &&lbl_Nk_##n,
+      HAUBERK_TOP_NAKED_LIST(HAUBERK_TOP_L)
+#undef HAUBERK_TOP_L
+#define HAUBERK_TOP_L(n) &&lbl_NkConstBin_##n, &&lbl_NkBinChkXor_##n, &&lbl_NkBinDupCmp_##n,
+          HAUBERK_TOP_ALU_LIST(HAUBERK_TOP_L)
+#undef HAUBERK_TOP_L
+              && lbl_NkChkXor2,
+      &&lbl_NkRangeCheck2,
+#define HAUBERK_TOP_L(a, b) &&lbl_NkBinBin_##a##_##b,
+      HAUBERK_TOP_ALU_PAIR_LIST(HAUBERK_TOP_L)
+#undef HAUBERK_TOP_L
+#define HAUBERK_TOP_L(n) \
+  &&lbl_NkBinConst_##n, &&lbl_NkLoadBin_##n, &&lbl_NkBinLoad_##n, &&lbl_NkConstBinLoad_##n,
+          HAUBERK_TOP_ALU_LIST(HAUBERK_TOP_L)
+#undef HAUBERK_TOP_L
+              && lbl_NkConst2,
+      &&lbl_NkLoadConst,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kir::kNumTOps);
+  T_NEXT();
+#else
+  for (;;) {
+    in = &code[pc];
+    std::uint16_t opv = in->op;
+  lbl_redispatch:
+    switch (static_cast<kir::TOp>(opv)) {
+#endif
+
+  // --- singles (mirrors of the run_thread_fast plain-mode handlers) ---
+  T_LABEL(Nop) : {
+    T_STEP1();
+    T_NEXT();
+  }
+  T_LABEL(Const) : T_SET(in->imm);
+  T_LABEL(Mov) : T_SET(regs[in->a]);
+  T_LABEL(Builtin) : T_SET(builtin_value(t, static_cast<BuiltinVal>(in->aux)));
+  T_LABEL(Select) :
+      T_SET(regs[in->a] != 0 ? regs[in->b] : regs[static_cast<std::uint16_t>(in->imm)]);
+
+  T_LABEL(NegF) : T_SET(f_bits(-as_f(regs[in->a])));
+  T_LABEL(NegI) : T_SET(i_bits(-as_i(regs[in->a])));
+  T_LABEL(NotF) : T_SET(as_f(regs[in->a]) == 0.0f);
+  T_LABEL(NotW) : T_SET(regs[in->a] == 0);
+  T_LABEL(BitNot) : T_SET(~regs[in->a]);
+  T_LABEL(AbsF) : T_SET(f_bits(std::fabs(as_f(regs[in->a]))));
+  T_LABEL(AbsI) : {
+    T_STEP1();
+    const std::int32_t x = as_i(regs[in->a]);
+    regs[in->dst] = i_bits(x < 0 ? -x : x);
+    T_NEXT();
+  }
+  T_LABEL(SqrtF) : T_SET(f_bits(std::sqrt(as_f(regs[in->a]))));
+  T_LABEL(RsqrtF) : T_SET(f_bits(1.0f / std::sqrt(as_f(regs[in->a]))));
+  T_LABEL(ExpF) : T_SET(f_bits(std::exp(as_f(regs[in->a]))));
+  T_LABEL(LogF) : T_SET(f_bits(std::log(as_f(regs[in->a]))));
+  T_LABEL(SinF) : T_SET(f_bits(std::sin(as_f(regs[in->a]))));
+  T_LABEL(CosF) : T_SET(f_bits(std::cos(as_f(regs[in->a]))));
+  T_LABEL(FloorF) : T_SET(f_bits(std::floor(as_f(regs[in->a]))));
+  T_LABEL(I2F) : T_SET(f_bits(static_cast<float>(as_i(regs[in->a]))));
+  T_LABEL(P2F) : T_SET(f_bits(static_cast<float>(regs[in->a])));
+  T_LABEL(F2I) : T_SET(f2i_sat(regs[in->a]));
+  T_LABEL(CopyA) : T_SET(regs[in->a]);
+  T_LABEL(UnGeneric) :
+      T_SET(eval_un(static_cast<UnOp>(aux_op(in->aux)), aux_type(in->aux), regs[in->a]));
+
+  T_LABEL(AddF) : T_SET(fadd_bits(regs[in->a], regs[in->b]));
+  T_LABEL(SubF) : T_SET(fsub_bits(regs[in->a], regs[in->b]));
+  T_LABEL(MulF) : T_SET(fmul_bits(regs[in->a], regs[in->b]));
+  T_LABEL(DivF) : T_SET(fdiv_bits(regs[in->a], regs[in->b]));
+  T_LABEL(MinF) : T_SET(fmin_bits(regs[in->a], regs[in->b]));
+  T_LABEL(MaxF) : T_SET(fmax_bits(regs[in->a], regs[in->b]));
+  T_LABEL(LtF) : T_SET(HB_CMP_LtF(regs[in->a], regs[in->b]));
+  T_LABEL(LeF) : T_SET(HB_CMP_LeF(regs[in->a], regs[in->b]));
+  T_LABEL(GtF) : T_SET(HB_CMP_GtF(regs[in->a], regs[in->b]));
+  T_LABEL(GeF) : T_SET(HB_CMP_GeF(regs[in->a], regs[in->b]));
+  T_LABEL(EqF) : T_SET(HB_CMP_EqF(regs[in->a], regs[in->b]));
+  T_LABEL(NeF) : T_SET(HB_CMP_NeF(regs[in->a], regs[in->b]));
+  T_LABEL(AddW) : T_SET(regs[in->a] + regs[in->b]);
+  T_LABEL(SubW) : T_SET(regs[in->a] - regs[in->b]);
+  T_LABEL(MulW) : T_SET(regs[in->a] * regs[in->b]);
+  T_LABEL(DivI) : {
+    T_STEP1();
+    const std::int64_t x = as_i(regs[in->a]), y = as_i(regs[in->b]);
+    if (y == 0) T_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = i_bits(static_cast<std::int32_t>(x / y));
+    T_NEXT();
+  }
+  T_LABEL(ModI) : {
+    T_STEP1();
+    const std::int64_t x = as_i(regs[in->a]), y = as_i(regs[in->b]);
+    if (y == 0) T_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = i_bits(static_cast<std::int32_t>(x % y));
+    T_NEXT();
+  }
+  T_LABEL(DivU) : {
+    T_STEP1();
+    if (regs[in->b] == 0) T_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = regs[in->a] / regs[in->b];
+    T_NEXT();
+  }
+  T_LABEL(ModU) : {
+    T_STEP1();
+    if (regs[in->b] == 0) T_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = regs[in->a] % regs[in->b];
+    T_NEXT();
+  }
+  T_LABEL(MinI) : T_SET(as_i(regs[in->a]) < as_i(regs[in->b]) ? regs[in->a] : regs[in->b]);
+  T_LABEL(MaxI) : T_SET(as_i(regs[in->a]) > as_i(regs[in->b]) ? regs[in->a] : regs[in->b]);
+  T_LABEL(MinU) : T_SET(regs[in->a] < regs[in->b] ? regs[in->a] : regs[in->b]);
+  T_LABEL(MaxU) : T_SET(regs[in->a] > regs[in->b] ? regs[in->a] : regs[in->b]);
+  T_LABEL(LtI) : T_SET(HB_CMP_LtI(regs[in->a], regs[in->b]));
+  T_LABEL(LeI) : T_SET(HB_CMP_LeI(regs[in->a], regs[in->b]));
+  T_LABEL(GtI) : T_SET(HB_CMP_GtI(regs[in->a], regs[in->b]));
+  T_LABEL(GeI) : T_SET(HB_CMP_GeI(regs[in->a], regs[in->b]));
+  T_LABEL(LtU) : T_SET(HB_CMP_LtU(regs[in->a], regs[in->b]));
+  T_LABEL(LeU) : T_SET(HB_CMP_LeU(regs[in->a], regs[in->b]));
+  T_LABEL(GtU) : T_SET(HB_CMP_GtU(regs[in->a], regs[in->b]));
+  T_LABEL(GeU) : T_SET(HB_CMP_GeU(regs[in->a], regs[in->b]));
+  T_LABEL(EqW) : T_SET(HB_CMP_EqW(regs[in->a], regs[in->b]));
+  T_LABEL(NeW) : T_SET(HB_CMP_NeW(regs[in->a], regs[in->b]));
+  T_LABEL(AndB) : T_SET(regs[in->a] & regs[in->b]);
+  T_LABEL(OrB) : T_SET(regs[in->a] | regs[in->b]);
+  T_LABEL(XorB) : T_SET(regs[in->a] ^ regs[in->b]);
+  T_LABEL(ShlB) : T_SET(regs[in->a] << (regs[in->b] & 31));
+  T_LABEL(ShrL) : T_SET(regs[in->a] >> (regs[in->b] & 31));
+  T_LABEL(ShrA) : T_SET(i_bits(as_i(regs[in->a]) >> (regs[in->b] & 31)));
+  T_LABEL(LAndW) : T_SET((regs[in->a] != 0) && (regs[in->b] != 0));
+  T_LABEL(LOrW) : T_SET((regs[in->a] != 0) || (regs[in->b] != 0));
+  T_LABEL(BinGeneric) : {
+    T_STEP1();
+    bool crash = false;
+    const std::uint32_t r = eval_bin(static_cast<BinOp>(aux_op(in->aux)), aux_type(in->aux),
+                                     regs[in->a], regs[in->b], crash);
+    if (crash) T_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = r;
+    T_NEXT();
+  }
+
+  T_LABEL(LoadG) : {
+    T_STEP1();
+    const std::uint32_t addr = regs[in->a];
+    if (gmem) {
+      if (addr >= gsize) T_CRASH(LaunchStatus::CrashOutOfBounds);
+      regs[in->dst] = gmem[addr];
+    } else if (!mem.load(addr, regs[in->dst])) {
+      T_CRASH(LaunchStatus::CrashOutOfBounds);
+    }
+    T_NEXT();
+  }
+  T_LABEL(StoreG) : {
+    T_STEP1();
+    const std::uint32_t addr = regs[in->a];
+    if (gmem) {
+      if (addr >= gsize) T_CRASH(LaunchStatus::CrashOutOfBounds);
+      gmem[addr] = regs[in->b];
+      mem.note_store(addr);
+    } else if (!mem.store(addr, regs[in->b])) {
+      T_CRASH(LaunchStatus::CrashOutOfBounds);
+    }
+    T_NEXT();
+  }
+  T_LABEL(LoadS) : {
+    T_STEP1();
+    const std::uint32_t addr = regs[in->a];
+    if (addr >= ssize) T_CRASH(LaunchStatus::CrashSharedOutOfBounds);
+    regs[in->dst] = shared_[addr];
+    T_NEXT();
+  }
+  T_LABEL(StoreS) : {
+    T_STEP1();
+    const std::uint32_t addr = regs[in->a];
+    if (addr >= ssize) T_CRASH(LaunchStatus::CrashSharedOutOfBounds);
+    shared_[addr] = regs[in->b];
+    T_NEXT();
+  }
+  // The atomic handlers keep the lock_guard inside an inner block: the
+  // computed goto in T_NEXT() must not jump out of the guard's scope (an
+  // indirect goto does not unwind locals, so the mutex would stay locked
+  // and the next atomic in any thread would deadlock the launch).
+  T_LABEL(AtomicAddF) : {
+    T_STEP1();
+    {
+      std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
+      std::uint32_t* const w = gmem ? (regs[in->a] < gsize ? gmem + regs[in->a] : nullptr)
+                                    : mem.word_ptr(regs[in->a]);
+      if (!w) T_CRASH(LaunchStatus::CrashOutOfBounds);
+      if (gmem) mem.note_store(regs[in->a]);
+      *w = fadd_bits(*w, regs[in->b]);
+    }
+    T_NEXT();
+  }
+  T_LABEL(AtomicAddI) : {
+    T_STEP1();
+    {
+      std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
+      std::uint32_t* const w = gmem ? (regs[in->a] < gsize ? gmem + regs[in->a] : nullptr)
+                                    : mem.word_ptr(regs[in->a]);
+      if (!w) T_CRASH(LaunchStatus::CrashOutOfBounds);
+      if (gmem) mem.note_store(regs[in->a]);
+      *w = i_bits(static_cast<std::int32_t>(
+          static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in->b])));
+    }
+    T_NEXT();
+  }
+
+  T_LABEL(Jmp) : {
+    T_STEP1();
+    pc = in->aux;
+    T_NEXT();
+  }
+  T_LABEL(Jz) : {
+    T_STEP1();
+    if (regs[in->a] == 0) pc = in->aux;
+    T_NEXT();
+  }
+  T_LABEL(Barrier) : {
+    T_STEP1();
+    t.barrier_pc = pc - 1;
+    finish();
+    return ThreadStop::Barrier;
+  }
+  T_LABEL(Halt) : {
+    T_STEP1();
+    finish();
+    t.done = true;
+    return ThreadStop::Done;
+  }
+
+  T_LABEL(ChkXor) : {
+    T_STEP1();
+    regs[in->dst] ^= regs[in->a];
+    T_NEXT();
+  }
+  T_LABEL(ChkValidate) : {
+    T_STEP1();
+    if (regs[in->dst] != 0) sdc = true;
+    T_NEXT();
+  }
+  T_LABEL(DupCmp) : {
+    T_STEP1();
+    if (regs[in->a] != regs[in->b]) sdc = true;
+    T_NEXT();
+  }
+  T_LABEL(RangeCheck) : {
+    T_STEP1();
+    if (opts_.hooks &&
+        opts_.hooks->check_range(static_cast<int>(in->aux),
+                                 kir::Value{static_cast<DType>(in->t), regs[in->a]}))
+      sdc = true;
+    T_NEXT();
+  }
+  T_LABEL(EqualCheck) : {
+    T_STEP1();
+    if (regs[in->a] != regs[in->b]) {
+      sdc = true;
+      if (opts_.hooks) opts_.hooks->equal_check_failed(static_cast<int>(in->aux));
+    }
+    T_NEXT();
+  }
+  T_LABEL(ProfileVal) : {
+    T_STEP1();
+    if (opts_.hooks)
+      opts_.hooks->profile_value(static_cast<int>(in->aux),
+                                 kir::Value{static_cast<DType>(in->t), regs[in->a]});
+    T_NEXT();
+  }
+  T_LABEL(CountExec) : {
+    T_STEP1();
+    if (opts_.hooks) opts_.hooks->count_exec(in->aux, t.linear);
+    T_NEXT();
+  }
+  T_LABEL(FIHook) : {
+    T_STEP1();
+    if (opts_.hooks) opts_.hooks->fi_hook(in->aux, t.linear, regs[in->a]);
+    T_NEXT();
+  }
+  T_LABEL(Invalid) : {
+    T_STEP1();
+    T_CRASH(LaunchStatus::CrashInvalidInstr);
+  }
+
+  // --- fused superinstructions ---
+#define T_CMPJZ(K)                                                           \
+  T_LABEL(CmpJz_##K) : {                                                     \
+    if (left < 2) T_DELEGATE();                                              \
+    T_CHARGE(2);                                                             \
+    const std::uint32_t v_ = HB_CMP_##K(regs[in->a], regs[in->b]);           \
+    regs[in->dst] = v_;                                                      \
+    pc = v_ == 0 ? in->aux : pc + 2;                                     \
+    T_NEXT();                                                                \
+  }                                                                          \
+  T_LABEL(ConstCmpJz_##K) : {                                                \
+    if (left < 3) T_DELEGATE();                                              \
+    T_CHARGE(3);                                                             \
+    regs[in->c] = in->imm;                                                   \
+    const std::uint32_t x_ = regs[in->a];                                    \
+    const std::uint32_t v_ =                                                 \
+        in->t ? HB_CMP_##K(in->imm, x_) : HB_CMP_##K(x_, in->imm);           \
+    regs[in->dst] = v_;                                                      \
+    pc = v_ == 0 ? in->aux : pc + 3;                                     \
+    T_NEXT();                                                                \
+  }
+  HAUBERK_TOP_CMP_LIST(T_CMPJZ)
+#undef T_CMPJZ
+
+  T_LABEL(ConstAddJmp) : {
+    if (left < 3) T_DELEGATE();
+    T_CHARGE(3);
+    regs[in->c] = in->imm;
+    regs[in->dst] = regs[in->a] + regs[in->b];
+    pc = in->aux;
+    T_NEXT();
+  }
+  T_LABEL(AddJmp) : {
+    if (left < 2) T_DELEGATE();
+    T_CHARGE(2);
+    regs[in->dst] = regs[in->a] + regs[in->b];
+    pc = in->aux;
+    T_NEXT();
+  }
+
+#define T_ALUFUSE(K)                                                         \
+  T_LABEL(ConstBin_##K) : {                                                  \
+    if (left < 2) T_DELEGATE();                                              \
+    T_CHARGE(2);                                                             \
+    regs[in->c] = in->imm;                                                   \
+    regs[in->dst] = HB_ALU_##K(regs[in->a], regs[in->b]);                    \
+    pc += 2;                                                               \
+    T_NEXT();                                                                \
+  }                                                                          \
+  T_LABEL(LoadBinStore_##K) : {                                              \
+    const std::uint32_t la_ = regs[in->a];                                   \
+    const std::uint32_t sa_ = regs[in->b];                                   \
+    if (left < 3 || la_ >= gsize || sa_ >= gsize) T_DELEGATE();              \
+    T_CHARGE(3);                                                             \
+    regs[in->c] = gmem[la_];                                                 \
+    const std::uint32_t r_ =                                                 \
+        HB_ALU_##K(regs[in->aux & 0xffffu], regs[in->aux >> 16]);            \
+    regs[in->dst] = r_;                                                      \
+    gmem[sa_] = r_;                                                          \
+    mem.note_store(sa_);                                                     \
+    pc += 3;                                                               \
+    T_NEXT();                                                                \
+  }                                                                          \
+  T_LABEL(BinChkXor_##K) : {                                                 \
+    if (left < 2) T_DELEGATE();                                              \
+    T_CHARGE(2);                                                             \
+    regs[in->dst] = HB_ALU_##K(regs[in->a], regs[in->b]);                    \
+    regs[in->c] ^= regs[in->d];                                              \
+    pc += 2;                                                               \
+    T_NEXT();                                                                \
+  }                                                                          \
+  T_LABEL(BinDupCmp_##K) : {                                                 \
+    if (left < 2) T_DELEGATE();                                              \
+    T_CHARGE(2);                                                             \
+    regs[in->dst] = HB_ALU_##K(regs[in->a], regs[in->b]);                    \
+    if (regs[in->c] != regs[in->d]) sdc = true;                              \
+    pc += 2;                                                               \
+    T_NEXT();                                                                \
+  }
+  HAUBERK_TOP_ALU_LIST(T_ALUFUSE)
+#undef T_ALUFUSE
+
+  T_LABEL(ChkXor2) : {
+    if (left < 2) T_DELEGATE();
+    T_CHARGE(2);
+    regs[in->dst] ^= regs[in->a];
+    regs[in->c] ^= regs[in->d];
+    pc += 2;
+    T_NEXT();
+  }
+  T_LABEL(RangeCheck2) : {
+    if (left < 2) T_DELEGATE();
+    T_CHARGE(2);
+    if (opts_.hooks) {
+      if (opts_.hooks->check_range(static_cast<int>(in->aux),
+                                   kir::Value{static_cast<DType>(in->t & 0xf), regs[in->a]}))
+        sdc = true;
+      if (opts_.hooks->check_range(static_cast<int>(in->imm),
+                                   kir::Value{static_cast<DType>(in->t >> 4), regs[in->c]}))
+        sdc = true;
+    }
+    pc += 2;
+    T_NEXT();
+  }
+
+  // --- straight-line runs ---
+  // RunHead: one budget test and one pre-summed charge for the whole
+  // region, then dispatch the head op's naked handler (`in` unchanged —
+  // the head slot carries that op's operands).  A budget boundary inside
+  // the region delegates *before* any charge, so the fast engine replays
+  // it per-instruction and stops exactly where the reference would.
+  T_LABEL(RunHead) : {
+    if (left < in->len) T_DELEGATE();
+    T_CHARGE(in->len);
+    T_DISPATCH_D();
+  }
+
+  // Naked singles: the single-op bodies minus all accounting — the RunHead
+  // already billed the region.  Crashable ops refund their suffix (carried
+  // in their cost/loop_cost/len fields) before the crash exit; the atomic
+  // handlers keep the lock_guard scoped exactly like the accounted ones.
+#define T_NSET(expr)          \
+  {                           \
+    regs[in->dst] = (expr);   \
+    ++pc;                     \
+    T_NEXT();                 \
+  }
+  T_LABEL(Nk_Nop) : {
+    ++pc;
+    T_NEXT();
+  }
+  T_LABEL(Nk_Const) : T_NSET(in->imm);
+  T_LABEL(Nk_Mov) : T_NSET(regs[in->a]);
+  T_LABEL(Nk_Builtin) : T_NSET(builtin_value(t, static_cast<BuiltinVal>(in->aux)));
+  T_LABEL(Nk_Select) :
+      T_NSET(regs[in->a] != 0 ? regs[in->b] : regs[static_cast<std::uint16_t>(in->imm)]);
+
+  T_LABEL(Nk_NegF) : T_NSET(f_bits(-as_f(regs[in->a])));
+  T_LABEL(Nk_NegI) : T_NSET(i_bits(-as_i(regs[in->a])));
+  T_LABEL(Nk_NotF) : T_NSET(as_f(regs[in->a]) == 0.0f);
+  T_LABEL(Nk_NotW) : T_NSET(regs[in->a] == 0);
+  T_LABEL(Nk_BitNot) : T_NSET(~regs[in->a]);
+  T_LABEL(Nk_AbsF) : T_NSET(f_bits(std::fabs(as_f(regs[in->a]))));
+  T_LABEL(Nk_AbsI) : {
+    const std::int32_t x = as_i(regs[in->a]);
+    regs[in->dst] = i_bits(x < 0 ? -x : x);
+    ++pc;
+    T_NEXT();
+  }
+  T_LABEL(Nk_SqrtF) : T_NSET(f_bits(std::sqrt(as_f(regs[in->a]))));
+  T_LABEL(Nk_RsqrtF) : T_NSET(f_bits(1.0f / std::sqrt(as_f(regs[in->a]))));
+  T_LABEL(Nk_ExpF) : T_NSET(f_bits(std::exp(as_f(regs[in->a]))));
+  T_LABEL(Nk_LogF) : T_NSET(f_bits(std::log(as_f(regs[in->a]))));
+  T_LABEL(Nk_SinF) : T_NSET(f_bits(std::sin(as_f(regs[in->a]))));
+  T_LABEL(Nk_CosF) : T_NSET(f_bits(std::cos(as_f(regs[in->a]))));
+  T_LABEL(Nk_FloorF) : T_NSET(f_bits(std::floor(as_f(regs[in->a]))));
+  T_LABEL(Nk_I2F) : T_NSET(f_bits(static_cast<float>(as_i(regs[in->a]))));
+  T_LABEL(Nk_P2F) : T_NSET(f_bits(static_cast<float>(regs[in->a])));
+  T_LABEL(Nk_F2I) : T_NSET(f2i_sat(regs[in->a]));
+  T_LABEL(Nk_CopyA) : T_NSET(regs[in->a]);
+  T_LABEL(Nk_UnGeneric) :
+      T_NSET(eval_un(static_cast<UnOp>(aux_op(in->aux)), aux_type(in->aux), regs[in->a]));
+
+  T_LABEL(Nk_AddF) : T_NSET(fadd_bits(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_SubF) : T_NSET(fsub_bits(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_MulF) : T_NSET(fmul_bits(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_DivF) : T_NSET(fdiv_bits(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_MinF) : T_NSET(fmin_bits(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_MaxF) : T_NSET(fmax_bits(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_LtF) : T_NSET(HB_CMP_LtF(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_LeF) : T_NSET(HB_CMP_LeF(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_GtF) : T_NSET(HB_CMP_GtF(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_GeF) : T_NSET(HB_CMP_GeF(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_EqF) : T_NSET(HB_CMP_EqF(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_NeF) : T_NSET(HB_CMP_NeF(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_AddW) : T_NSET(regs[in->a] + regs[in->b]);
+  T_LABEL(Nk_SubW) : T_NSET(regs[in->a] - regs[in->b]);
+  T_LABEL(Nk_MulW) : T_NSET(regs[in->a] * regs[in->b]);
+  T_LABEL(Nk_DivI) : {
+    ++pc;
+    const std::int64_t x = as_i(regs[in->a]), y = as_i(regs[in->b]);
+    if (y == 0) T_NK_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = i_bits(static_cast<std::int32_t>(x / y));
+    T_NEXT();
+  }
+  T_LABEL(Nk_ModI) : {
+    ++pc;
+    const std::int64_t x = as_i(regs[in->a]), y = as_i(regs[in->b]);
+    if (y == 0) T_NK_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = i_bits(static_cast<std::int32_t>(x % y));
+    T_NEXT();
+  }
+  T_LABEL(Nk_DivU) : {
+    ++pc;
+    if (regs[in->b] == 0) T_NK_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = regs[in->a] / regs[in->b];
+    T_NEXT();
+  }
+  T_LABEL(Nk_ModU) : {
+    ++pc;
+    if (regs[in->b] == 0) T_NK_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = regs[in->a] % regs[in->b];
+    T_NEXT();
+  }
+  T_LABEL(Nk_MinI) : T_NSET(as_i(regs[in->a]) < as_i(regs[in->b]) ? regs[in->a] : regs[in->b]);
+  T_LABEL(Nk_MaxI) : T_NSET(as_i(regs[in->a]) > as_i(regs[in->b]) ? regs[in->a] : regs[in->b]);
+  T_LABEL(Nk_MinU) : T_NSET(regs[in->a] < regs[in->b] ? regs[in->a] : regs[in->b]);
+  T_LABEL(Nk_MaxU) : T_NSET(regs[in->a] > regs[in->b] ? regs[in->a] : regs[in->b]);
+  T_LABEL(Nk_LtI) : T_NSET(HB_CMP_LtI(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_LeI) : T_NSET(HB_CMP_LeI(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_GtI) : T_NSET(HB_CMP_GtI(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_GeI) : T_NSET(HB_CMP_GeI(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_LtU) : T_NSET(HB_CMP_LtU(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_LeU) : T_NSET(HB_CMP_LeU(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_GtU) : T_NSET(HB_CMP_GtU(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_GeU) : T_NSET(HB_CMP_GeU(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_EqW) : T_NSET(HB_CMP_EqW(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_NeW) : T_NSET(HB_CMP_NeW(regs[in->a], regs[in->b]));
+  T_LABEL(Nk_AndB) : T_NSET(regs[in->a] & regs[in->b]);
+  T_LABEL(Nk_OrB) : T_NSET(regs[in->a] | regs[in->b]);
+  T_LABEL(Nk_XorB) : T_NSET(regs[in->a] ^ regs[in->b]);
+  T_LABEL(Nk_ShlB) : T_NSET(regs[in->a] << (regs[in->b] & 31));
+  T_LABEL(Nk_ShrL) : T_NSET(regs[in->a] >> (regs[in->b] & 31));
+  T_LABEL(Nk_ShrA) : T_NSET(i_bits(as_i(regs[in->a]) >> (regs[in->b] & 31)));
+  T_LABEL(Nk_LAndW) : T_NSET((regs[in->a] != 0) && (regs[in->b] != 0));
+  T_LABEL(Nk_LOrW) : T_NSET((regs[in->a] != 0) || (regs[in->b] != 0));
+  T_LABEL(Nk_BinGeneric) : {
+    ++pc;
+    bool crash = false;
+    const std::uint32_t r = eval_bin(static_cast<BinOp>(aux_op(in->aux)), aux_type(in->aux),
+                                     regs[in->a], regs[in->b], crash);
+    if (crash) T_NK_CRASH(LaunchStatus::CrashDivByZero);
+    regs[in->dst] = r;
+    T_NEXT();
+  }
+
+  T_LABEL(Nk_LoadG) : {
+    ++pc;
+    const std::uint32_t addr = regs[in->a];
+    if (gmem) {
+      if (addr >= gsize) T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+      regs[in->dst] = gmem[addr];
+    } else if (!mem.load(addr, regs[in->dst])) {
+      T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+    }
+    T_NEXT();
+  }
+  T_LABEL(Nk_StoreG) : {
+    ++pc;
+    const std::uint32_t addr = regs[in->a];
+    if (gmem) {
+      if (addr >= gsize) T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+      gmem[addr] = regs[in->b];
+      mem.note_store(addr);
+    } else if (!mem.store(addr, regs[in->b])) {
+      T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+    }
+    T_NEXT();
+  }
+  T_LABEL(Nk_LoadS) : {
+    ++pc;
+    const std::uint32_t addr = regs[in->a];
+    if (addr >= ssize) T_NK_CRASH(LaunchStatus::CrashSharedOutOfBounds);
+    regs[in->dst] = shared_[addr];
+    T_NEXT();
+  }
+  T_LABEL(Nk_StoreS) : {
+    ++pc;
+    const std::uint32_t addr = regs[in->a];
+    if (addr >= ssize) T_NK_CRASH(LaunchStatus::CrashSharedOutOfBounds);
+    shared_[addr] = regs[in->b];
+    T_NEXT();
+  }
+  T_LABEL(Nk_AtomicAddF) : {
+    ++pc;
+    {
+      std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
+      std::uint32_t* const w = gmem ? (regs[in->a] < gsize ? gmem + regs[in->a] : nullptr)
+                                    : mem.word_ptr(regs[in->a]);
+      if (!w) T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+      if (gmem) mem.note_store(regs[in->a]);
+      *w = fadd_bits(*w, regs[in->b]);
+    }
+    T_NEXT();
+  }
+  T_LABEL(Nk_AtomicAddI) : {
+    ++pc;
+    {
+      std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
+      std::uint32_t* const w = gmem ? (regs[in->a] < gsize ? gmem + regs[in->a] : nullptr)
+                                    : mem.word_ptr(regs[in->a]);
+      if (!w) T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+      if (gmem) mem.note_store(regs[in->a]);
+      *w = i_bits(static_cast<std::int32_t>(
+          static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in->b])));
+    }
+    T_NEXT();
+  }
+
+  T_LABEL(Nk_ChkXor) : {
+    regs[in->dst] ^= regs[in->a];
+    ++pc;
+    T_NEXT();
+  }
+  T_LABEL(Nk_ChkValidate) : {
+    if (regs[in->dst] != 0) sdc = true;
+    ++pc;
+    T_NEXT();
+  }
+  T_LABEL(Nk_DupCmp) : {
+    if (regs[in->a] != regs[in->b]) sdc = true;
+    ++pc;
+    T_NEXT();
+  }
+  T_LABEL(Nk_RangeCheck) : {
+    if (opts_.hooks &&
+        opts_.hooks->check_range(static_cast<int>(in->aux),
+                                 kir::Value{static_cast<DType>(in->t), regs[in->a]}))
+      sdc = true;
+    ++pc;
+    T_NEXT();
+  }
+  T_LABEL(Nk_EqualCheck) : {
+    if (regs[in->a] != regs[in->b]) {
+      sdc = true;
+      if (opts_.hooks) opts_.hooks->equal_check_failed(static_cast<int>(in->aux));
+    }
+    ++pc;
+    T_NEXT();
+  }
+  T_LABEL(Nk_ProfileVal) : {
+    if (opts_.hooks)
+      opts_.hooks->profile_value(static_cast<int>(in->aux),
+                                 kir::Value{static_cast<DType>(in->t), regs[in->a]});
+    ++pc;
+    T_NEXT();
+  }
+  T_LABEL(Nk_CountExec) : {
+    if (opts_.hooks) opts_.hooks->count_exec(in->aux, t.linear);
+    ++pc;
+    T_NEXT();
+  }
+  T_LABEL(Nk_FIHook) : {
+    if (opts_.hooks) opts_.hooks->fi_hook(in->aux, t.linear, regs[in->a]);
+    ++pc;
+    T_NEXT();
+  }
+
+  // Naked fused pairs: two ops, one dispatch, zero accounting.
+#define T_NK_ALUFUSE(K)                                                      \
+  T_LABEL(NkConstBin_##K) : {                                                \
+    regs[in->c] = in->imm;                                                   \
+    regs[in->dst] = HB_ALU_##K(regs[in->a], regs[in->b]);                    \
+    pc += 2;                                                                 \
+    T_NEXT();                                                                \
+  }                                                                          \
+  T_LABEL(NkBinChkXor_##K) : {                                               \
+    regs[in->dst] = HB_ALU_##K(regs[in->a], regs[in->b]);                    \
+    regs[in->c] ^= regs[in->d];                                              \
+    pc += 2;                                                                 \
+    T_NEXT();                                                                \
+  }                                                                          \
+  T_LABEL(NkBinDupCmp_##K) : {                                               \
+    regs[in->dst] = HB_ALU_##K(regs[in->a], regs[in->b]);                    \
+    if (regs[in->c] != regs[in->d]) sdc = true;                              \
+    pc += 2;                                                                 \
+    T_NEXT();                                                                \
+  }
+  HAUBERK_TOP_ALU_LIST(T_NK_ALUFUSE)
+#undef T_NK_ALUFUSE
+
+  T_LABEL(NkChkXor2) : {
+    regs[in->dst] ^= regs[in->a];
+    regs[in->c] ^= regs[in->d];
+    pc += 2;
+    T_NEXT();
+  }
+  T_LABEL(NkRangeCheck2) : {
+    if (opts_.hooks) {
+      if (opts_.hooks->check_range(static_cast<int>(in->aux),
+                                   kir::Value{static_cast<DType>(in->t & 0xf), regs[in->a]}))
+        sdc = true;
+      if (opts_.hooks->check_range(static_cast<int>(in->imm),
+                                   kir::Value{static_cast<DType>(in->t >> 4), regs[in->c]}))
+        sdc = true;
+    }
+    pc += 2;
+    T_NEXT();
+  }
+
+// Load a word inside a naked tile: same bounds/paging behavior as Nk_LoadG,
+// with the tile's suffix-refund crash exit.
+#define T_NK_LOAD(DST, ADDREXPR)                                   \
+  {                                                                \
+    const std::uint32_t a_ = (ADDREXPR);                           \
+    if (gmem) {                                                    \
+      if (a_ >= gsize) T_NK_CRASH(LaunchStatus::CrashOutOfBounds); \
+      (DST) = gmem[a_];                                            \
+    } else if (!mem.load(a_, (DST))) {                             \
+      T_NK_CRASH(LaunchStatus::CrashOutOfBounds);                  \
+    }                                                              \
+  }
+
+  // Generic naked tiles (field layouts in threaded.cpp).  Sub-ops execute
+  // strictly in source order against regs[], so operand aliasing between
+  // them behaves exactly like the singles back to back; a load crash
+  // refunds the tile's suffix but keeps the sub-ops already executed
+  // billed, matching the fast engine's per-op trace.
+#define T_NK_BINBIN(K1, K2)                                                    \
+  T_LABEL(NkBinBin_##K1##_##K2) : {                                            \
+    regs[in->dst] = HB_ALU_##K1(regs[in->a], regs[in->b]);                     \
+    regs[in->c] = HB_ALU_##K2(regs[in->aux & 0xffffu], regs[in->aux >> 16]);   \
+    pc += 2;                                                                   \
+    T_NEXT();                                                                  \
+  }
+  HAUBERK_TOP_ALU_PAIR_LIST(T_NK_BINBIN)
+#undef T_NK_BINBIN
+
+#define T_NK_TILES(K)                                                          \
+  T_LABEL(NkBinConst_##K) : {                                                  \
+    regs[in->dst] = HB_ALU_##K(regs[in->a], regs[in->b]);                      \
+    regs[in->c] = in->imm;                                                     \
+    pc += 2;                                                                   \
+    T_NEXT();                                                                  \
+  }                                                                            \
+  T_LABEL(NkLoadBin_##K) : {                                                   \
+    pc += 2;                                                                   \
+    T_NK_LOAD(regs[in->dst], regs[in->a]);                                     \
+    regs[in->c] = HB_ALU_##K(regs[in->aux & 0xffffu], regs[in->aux >> 16]);    \
+    T_NEXT();                                                                  \
+  }                                                                            \
+  T_LABEL(NkBinLoad_##K) : {                                                   \
+    pc += 2;                                                                   \
+    regs[in->dst] = HB_ALU_##K(regs[in->a], regs[in->b]);                      \
+    T_NK_LOAD(regs[in->c], regs[in->d]);                                       \
+    T_NEXT();                                                                  \
+  }                                                                            \
+  T_LABEL(NkConstBinLoad_##K) : {                                              \
+    pc += 3;                                                                   \
+    regs[in->dst] = in->imm;                                                   \
+    regs[in->c] = HB_ALU_##K(regs[in->aux & 0xffffu], regs[in->aux >> 16]);    \
+    T_NK_LOAD(regs[in->b], regs[in->a]);                                       \
+    T_NEXT();                                                                  \
+  }
+  HAUBERK_TOP_ALU_LIST(T_NK_TILES)
+#undef T_NK_TILES
+
+  T_LABEL(NkConst2) : {
+    regs[in->dst] = in->imm;
+    regs[in->c] = in->aux;
+    pc += 2;
+    T_NEXT();
+  }
+  T_LABEL(NkLoadConst) : {
+    pc += 2;
+    T_NK_LOAD(regs[in->dst], regs[in->a]);
+    regs[in->c] = in->imm;
+    T_NEXT();
+  }
+
+#if !HAUBERK_COMPUTED_GOTO
+      default:
+        crash_status = LaunchStatus::CrashInvalidInstr;
+        finish();
+        return ThreadStop::Crash;
+    }
+  }
+#endif
+  // Not reached: every handler ends in a jump, break, or return.
+  crash_status = LaunchStatus::CrashInvalidInstr;
+  finish();
+  return ThreadStop::Crash;
+
+#undef T_STEP1
+#undef T_CHARGE
+#undef T_CRASH
+#undef T_NK_CRASH
+#undef T_NK_LOAD
+#undef T_DELEGATE
+#undef T_LABEL
+#undef T_NEXT
+#undef T_DISPATCH_D
+#undef T_SET
+#undef T_NSET
+#undef HB_CMP_LtI
+#undef HB_CMP_LeI
+#undef HB_CMP_GtI
+#undef HB_CMP_GeI
+#undef HB_CMP_LtU
+#undef HB_CMP_LeU
+#undef HB_CMP_GtU
+#undef HB_CMP_GeU
+#undef HB_CMP_LtF
+#undef HB_CMP_LeF
+#undef HB_CMP_GtF
+#undef HB_CMP_GeF
+#undef HB_CMP_EqW
+#undef HB_CMP_NeW
+#undef HB_CMP_EqF
+#undef HB_CMP_NeF
+#undef HB_ALU_AddW
+#undef HB_ALU_SubW
+#undef HB_ALU_MulW
+#undef HB_ALU_AddF
+#undef HB_ALU_SubF
+#undef HB_ALU_MulF
+#undef HB_ALU_DivF
+#undef HB_ALU_MaxF
+#undef HB_ALU_LtF
+#undef HB_ALU_GtI
+#undef HB_ALU_EqW
+#undef HB_ALU_AndB
+#undef HB_ALU_ShrA
+#undef HB_ALU_LAndW
+}
+
 /// Engine dispatch for one thread time-slice: mode -1 is the reference
 /// switch interpreter; modes 0..15 select the fast-path specialization on
 /// (exec-count profiling, SIMT thread counting, hardware fault installed,
 /// sanitizer shadow) so the common uninstrumented launch pays for none of
-/// those checks.
+/// those checks; mode 16 is the threaded-code engine (plain launches under
+/// ExecEngine::Threaded only).
 ThreadStop BlockExec::step_thread(ThreadCtx& t, LaunchStatus& crash_status) {
   switch (fast_mode_) {
     case 0: return run_thread_fast<false, false, false, false>(t, crash_status);
@@ -949,6 +1951,7 @@ ThreadStop BlockExec::step_thread(ThreadCtx& t, LaunchStatus& crash_status) {
     case 13: return run_thread_fast<true, false, true, true>(t, crash_status);
     case 14: return run_thread_fast<false, true, true, true>(t, crash_status);
     case 15: return run_thread_fast<true, true, true, true>(t, crash_status);
+    case 16: return run_thread_threaded(t, crash_status);
     default: return run_thread(t, crash_status);
   }
 }
@@ -960,6 +1963,10 @@ LaunchStatus BlockExec::run(std::span<const kir::Value> args) {
   fast_mode_ = dec_ ? ((exec_counts.empty() ? 0 : 1) | (thread_counts.empty() ? 0 : 2) |
                        (dev_.has_fault() ? 4 : 0) | (shadow_ ? 8 : 0))
                     : -1;
+  // The threaded engine only replaces the *plain* fast path (mode 0): any
+  // instrumented launch keeps the fast engine's specializations, which stay
+  // bitwise identical by construction.  Campaigns run plain.
+  if (fast_mode_ == 0 && tcode_) fast_mode_ = 16;
   const std::uint32_t slots = prog_.num_slots;
   std::vector<std::uint32_t> reg_slab(
       static_cast<std::size_t>(threads_per_block_) * slots, 0u);
@@ -1055,15 +2062,18 @@ constexpr std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) noexcept {
   return h ^ (h >> 29);
 }
 
-/// Fingerprint of everything the spill analysis and cost vector depend on:
-/// the instruction stream, the slot count, the register budget, and the
-/// cost model.  Hashed field-by-field (never raw struct bytes, which would
-/// include indeterminate padding).
+/// Fingerprint of everything the plan's contents depend on: the instruction
+/// stream, the slot count, the register budget, the cost model, and the
+/// engine kind (the threaded stream is only compiled for
+/// ExecEngine::Threaded, so flipping set_engine() on a live device must
+/// miss rather than serve a plan without it).  Hashed field-by-field (never
+/// raw struct bytes, which would include indeterminate padding).
 std::uint64_t plan_fingerprint(const kir::BytecodeProgram& program, const CostModel& cm,
-                               std::uint32_t regs_per_thread) noexcept {
+                               std::uint32_t regs_per_thread, ExecEngine engine) noexcept {
   std::uint64_t h = fp_mix(0x48415542ULL, program.code.size());
   h = fp_mix(h, program.num_slots);
   h = fp_mix(h, regs_per_thread);
+  h = fp_mix(h, static_cast<std::uint64_t>(engine));
   for (const Instr& in : program.code) {
     h = fp_mix(h, (static_cast<std::uint64_t>(in.op) << 56) |
                       (static_cast<std::uint64_t>(in.flags) << 48) |
@@ -1134,20 +2144,27 @@ std::vector<std::uint32_t> compute_launch_costs(const kir::BytecodeProgram& prog
 std::shared_ptr<const Device::LaunchPlan> Device::launch_plan(
     const kir::BytecodeProgram& program) {
   // The decoded stream is always built alongside the cost vector: decoding
-  // is a single O(n) pass (trivial next to the spill analysis) and keeping
-  // both in one cached plan means flipping set_engine() between launches
-  // never invalidates or misses the cache.
+  // is a single O(n) pass (trivial next to the spill analysis).  The
+  // threaded-code stream is compiled only under ExecEngine::Threaded — the
+  // engine kind is part of the cache key, so flipping set_engine() between
+  // launches misses once per engine and can never serve a plan missing the
+  // stream the new engine needs.
   auto build = [&] {
     auto plan = std::make_shared<LaunchPlan>();
     plan->costs = compute_launch_costs(program, cost_, props_.regs_per_thread);
     plan->decoded = kir::decode_program(program, plan->costs);
+    if (engine_ == ExecEngine::Threaded)
+      plan->threaded =
+          kir::compile_threaded(plan->decoded, program.num_slots,
+                                props_.memory_model == MemoryModel::FlatGpu);
     return std::shared_ptr<const LaunchPlan>(std::move(plan));
   };
   if (!plan_cache_enabled_) {
     plan_misses_.fetch_add(1, std::memory_order_relaxed);
     return build();
   }
-  const std::uint64_t key = plan_fingerprint(program, cost_, props_.regs_per_thread);
+  const std::uint64_t key =
+      plan_fingerprint(program, cost_, props_.regs_per_thread, engine_);
   {
     std::lock_guard<std::mutex> lk(plan_mu_);
     for (auto it = plan_cache_.begin(); it != plan_cache_.end(); ++it) {
@@ -1208,8 +2225,8 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
         return;
       const std::uint32_t b = next_block.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_blocks) return;
-      BlockExec exec(*this, program, cfg, opts, costs, plan->decoded, engine_, b,
-                     sanitize ? &block_reports[b] : nullptr);
+      BlockExec exec(*this, program, cfg, opts, costs, plan->decoded, plan->threaded,
+                     engine_, b, sanitize ? &block_reports[b] : nullptr);
       const LaunchStatus st = exec.run(args);
       cycles.fetch_add(exec.cycles, std::memory_order_relaxed);
       loop_cycles.fetch_add(exec.loop_cycles, std::memory_order_relaxed);

@@ -21,6 +21,7 @@
 #include "gpusim/memory.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "kir/bytecode.hpp"
+#include "kir/threaded.hpp"
 #include "kir/value.hpp"
 
 namespace hauberk::common {
@@ -116,13 +117,22 @@ enum class LaunchStatus : std::uint8_t {
 ///    between barrier epochs, barrier divergence, out-of-bounds and
 ///    uninitialized shared reads, and fills LaunchResult::sanitizer_reports.
 ///    Opt-in and diagnostic-only: it adds observations, never behavior.
+///  * Threaded — threaded-code engine: the DecodedProgram is further
+///    compiled per launch plan into a kir::ThreadedProgram (fused
+///    superinstructions, folded loop constants, one countdown budget) and
+///    dispatched with computed goto when the toolchain supports
+///    labels-as-values (CMake option HAUBERK_COMPUTED_GOTO; a portable
+///    switch fallback is bitwise identical).  Plain launches only — any
+///    instrumented mode (exec counts, SIMT costing, hardware fault model,
+///    sanitizer shadow) runs through the fast engine's specialized paths,
+///    so campaigns get the speed and diagnostics keep one implementation.
 ///
 /// All engines are bitwise identical on every observable: registers,
 /// memory, cycle/instruction counts, SIMT cost, crash/hang status, detector
 /// verdicts, and FI outcomes.  tests/test_differential_fuzz.cpp holds this
 /// guarantee in place with a seeded program generator; any divergence is a
-/// bug in the fast/sanitizer engine, never an accepted tradeoff.
-enum class ExecEngine : std::uint8_t { Fast, Reference, Sanitizer };
+/// bug in the fast/sanitizer/threaded engine, never an accepted tradeoff.
+enum class ExecEngine : std::uint8_t { Fast, Reference, Sanitizer, Threaded };
 
 [[nodiscard]] const char* exec_engine_name(ExecEngine e) noexcept;
 [[nodiscard]] constexpr bool is_crash(LaunchStatus s) noexcept {
@@ -258,12 +268,13 @@ class Device {
   [[nodiscard]] ExecEngine engine() const noexcept { return engine_; }
 
   // --- launch-plan cache ---
-  // The spill analysis and per-instruction cost vector depend only on the
-  // program, the cost model, and the register budget, yet a SWIFI campaign
-  // launches the same program thousands of times.  The device therefore
-  // caches recent plans keyed by a fingerprint of those inputs; mutating
-  // cost_model() simply changes the fingerprint, so stale entries can never
-  // be served.
+  // The spill analysis, per-instruction cost vector and compiled streams
+  // depend only on the program, the cost model, the register budget and the
+  // selected engine, yet a SWIFI campaign launches the same program
+  // thousands of times.  The device therefore caches recent plans keyed by
+  // a fingerprint of those inputs; mutating cost_model() or flipping
+  // set_engine() simply changes the fingerprint, so stale entries (e.g. a
+  // plan without the threaded stream) can never be served.
   void set_plan_cache_enabled(bool on) noexcept { plan_cache_enabled_ = on; }
   [[nodiscard]] bool plan_cache_enabled() const noexcept { return plan_cache_enabled_; }
   [[nodiscard]] std::uint64_t plan_cache_hits() const noexcept {
@@ -279,13 +290,15 @@ class Device {
   std::atomic<std::uint64_t> fault_injected_ops_{0};
 
  private:
-  /// Everything derived from (program, cost model, register budget) that a
-  /// launch needs: the per-instruction cost vector (reference engine, SIMT
-  /// costing) and the predecoded instruction stream with those costs folded
-  /// in (fast engine).
+  /// Everything derived from (program, cost model, register budget, engine)
+  /// that a launch needs: the per-instruction cost vector (reference engine,
+  /// SIMT costing), the predecoded instruction stream with those costs
+  /// folded in (fast engine), and — for ExecEngine::Threaded — the
+  /// threaded-code stream compiled from it (empty otherwise).
   struct LaunchPlan {
     std::vector<std::uint32_t> costs;
     kir::DecodedProgram decoded;
+    kir::ThreadedProgram threaded;
   };
   struct PlanEntry {
     std::uint64_t key = 0;

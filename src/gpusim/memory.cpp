@@ -24,8 +24,15 @@ void DeviceMemory::reset() {
   next_base_ = model_ == MemoryModel::PagedCpu ? 16 * kPageWords : 0;
   extents_.clear();
   extent_storage_.clear();
-  std::fill(words_.begin(), words_.end(), 0u);
+  // Words above the store high-water mark are zero by invariant (every write
+  // path notes its physical index), so the wipe only has to cover the dirty
+  // prefix — O(touched), not O(capacity).
+  const std::size_t hi = dirty_hi_.load(std::memory_order_relaxed);
+  std::fill(words_.begin(),
+            words_.begin() + static_cast<long>(hi < words_.size() ? hi : words_.size()),
+            0u);
   for (auto& c : class_words_) c = 0;
+  dirty_hi_.store(0, std::memory_order_relaxed);
 }
 
 std::uint32_t DeviceMemory::alloc(std::uint32_t words, AllocClass cls) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -56,14 +57,31 @@ class DeviceMemory {
   }
   [[nodiscard]] bool store(std::uint32_t addr, std::uint32_t value) noexcept {
     if (!valid(addr)) return false;
-    words_[index_of(addr)] = value;
+    const std::uint32_t idx = index_of(addr);
+    words_[idx] = value;
+    note_store(idx);
     return true;
   }
   /// Atomic read-modify-write word pointer for AtomicAddG (callers
   /// synchronize via the device's atomic mutex); nullptr when invalid.
   [[nodiscard]] std::uint32_t* word_ptr(std::uint32_t addr) noexcept {
     if (!valid(addr)) return nullptr;
-    return &words_[index_of(addr)];
+    const std::uint32_t idx = index_of(addr);
+    note_store(idx);
+    return &words_[idx];
+  }
+
+  /// Record that physical word `idx` may now differ from zero.  Interpreter
+  /// engines that store through the flat_arena() span (bypassing store())
+  /// must call this with the store address so restore_trial() knows how far
+  /// a faulty launch scribbled.  The common case — a store below the current
+  /// high water — is one relaxed load and a predictable branch; the CAS loop
+  /// only runs when the watermark actually grows (stray stores are rare).
+  void note_store(std::uint32_t idx) noexcept {
+    std::uint32_t cur = dirty_hi_.load(std::memory_order_relaxed);
+    while (idx >= cur &&
+           !dirty_hi_.compare_exchange_weak(cur, idx + 1, std::memory_order_relaxed)) {
+    }
   }
 
   [[nodiscard]] bool valid(std::uint32_t addr) const noexcept;
@@ -88,6 +106,25 @@ class DeviceMemory {
   void restore(std::span<const std::uint32_t> img) {
     const std::size_t n = img.size() < used_ ? img.size() : used_;
     std::copy(img.begin(), img.begin() + static_cast<long>(n), words_.begin());
+    if (n > 0) note_store(static_cast<std::uint32_t>(n - 1));
+  }
+  /// Exact equivalent of reset() + re-allocation + re-upload for a layout
+  /// that has not changed between launches: restore the staged prefix and
+  /// clear the words above it up to the store high-water mark.  The clear
+  /// matters on FlatGpu, where there is no page protection and a faulty
+  /// launch may have scribbled physical words that were never allocated;
+  /// reset() would have zeroed those too, but by wiping the entire arena —
+  /// the watermark keeps the per-trial cost proportional to what the trial
+  /// actually touched instead of to device capacity.
+  void restore_trial(std::span<const std::uint32_t> img) {
+    const std::size_t n = img.size() < words_.size() ? img.size() : words_.size();
+    const std::size_t hi = dirty_hi_.load(std::memory_order_relaxed);
+    std::copy(img.begin(), img.begin() + static_cast<long>(n), words_.begin());
+    if (hi > n)
+      std::fill(words_.begin() + static_cast<long>(n),
+                words_.begin() + static_cast<long>(hi < words_.size() ? hi : words_.size()),
+                0u);
+    dirty_hi_.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
   }
 
   [[nodiscard]] MemoryModel model() const noexcept { return model_; }
@@ -112,6 +149,10 @@ class DeviceMemory {
   std::vector<Extent> extents_;      // PagedCpu live allocations (sorted by base)
   std::vector<std::uint32_t> extent_storage_;  // PagedCpu: storage offset per extent
   std::uint64_t class_words_[4] = {0, 0, 0, 0};
+  /// One past the highest physical word that may be nonzero (atomic: engine
+  /// worker threads note stores concurrently; relaxed order is enough since
+  /// restore_trial only runs between launches, after the pool joined).
+  std::atomic<std::uint32_t> dirty_hi_{0};
 };
 
 }  // namespace hauberk::gpusim

@@ -136,14 +136,27 @@ std::optional<Outcome> sanitizer_outcome(const Device& dev, const gpusim::Launch
 
 }  // namespace
 
+const std::vector<kir::Value>& TrialStage::stage() {
+  if (!primed_) {
+    args_ = job_->setup(*dev_);
+    image_ = dev_->mem().image();
+    primed_ = true;
+  } else {
+    dev_->mem().restore_trial(image_);
+  }
+  return args_;
+}
+
 Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::KernelJob& job,
                       core::ControlBlock* cb, const FaultSpec& spec,
                       const core::ProgramOutput& golden, const workloads::Requirement& req,
                       std::uint64_t watchdog_instructions, int launch_workers,
-                      std::size_t sanitize_cap) {
+                      std::size_t sanitize_cap, TrialStage* stage) {
   InjectingHooks hooks(program, cb);
   hooks.arm(spec);
-  const auto args = job.setup(dev);
+  std::vector<kir::Value> own_args;
+  if (!stage) own_args = job.setup(dev);
+  const std::vector<kir::Value>& args = stage ? stage->stage() : own_args;
   if (cb) cb->reset_results();
   LaunchOptions opts;
   opts.hooks = &hooks;
@@ -176,9 +189,10 @@ CampaignResult run_campaign(Device& dev, const kir::BytecodeProgram& program,
   result.pipeline = cfg.pipeline.name;
   if (cfg.pipeline.report) result.remark_digest = core::remark_digest(*cfg.pipeline.report);
   result.per_fault.reserve(specs.size());
+  TrialStage stage(dev, job);
   for (const FaultSpec& spec : specs) {
     const Outcome o = run_one_fault(dev, program, job, cb, spec, gold.output, req, watchdog,
-                                    cfg.launch_workers, cfg.sanitize_cap);
+                                    cfg.launch_workers, cfg.sanitize_cap, &stage);
     result.counts.add(o);
     result.per_fault.push_back(o);
   }

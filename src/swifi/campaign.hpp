@@ -93,8 +93,31 @@ struct CampaignResult {
   std::uint64_t remark_digest = 0;    ///< core::remark_digest of the spec's report
 };
 
+/// Caches the staged device image for repeated trials of one (device, job)
+/// pair.  KernelJob::setup rebuilds the same allocation layout and contents
+/// on every call for a fixed dataset (the executor's determinism contract
+/// already depends on this), so the stage runs setup once and resets every
+/// later trial with a flat image restore — no per-trial allocation, no
+/// host->device re-upload, bitwise-identical device state.
+class TrialStage {
+ public:
+  TrialStage(gpusim::Device& dev, core::KernelJob& job) : dev_(&dev), job_(&job) {}
+
+  /// Stage device memory for the next trial and return the launch args.
+  const std::vector<kir::Value>& stage();
+
+ private:
+  gpusim::Device* dev_;
+  core::KernelJob* job_;
+  std::vector<kir::Value> args_;
+  std::vector<std::uint32_t> image_;
+  bool primed_ = false;
+};
+
 /// Run one injection experiment.  `cb` may be null (FI without FT).
 /// `launch_workers` caps block-level workers of the trial launch (0 = hw).
+/// `stage`, when given, re-stages memory via its cached image instead of a
+/// fresh job.setup() — the campaign drivers pass one stage per device.
 [[nodiscard]] Outcome run_one_fault(gpusim::Device& dev, const kir::BytecodeProgram& program,
                                     core::KernelJob& job, core::ControlBlock* cb,
                                     const FaultSpec& spec,
@@ -103,7 +126,8 @@ struct CampaignResult {
                                     std::uint64_t watchdog_instructions,
                                     int launch_workers = 0,
                                     std::size_t sanitize_cap =
-                                        gpusim::SharedShadow::kMaxReportsPerBlock);
+                                        gpusim::SharedShadow::kMaxReportsPerBlock,
+                                    TrialStage* stage = nullptr);
 
 /// Run a whole campaign on one device: one launch per spec against a shared
 /// golden run, trials strictly in spec order.  This is the single-worker

@@ -71,9 +71,12 @@ CampaignResult CampaignExecutor::run(const kir::BytecodeProgram& program,
   return run_trials(program, make_context, specs.size(), cfg,
                     [&](WorkerContext& ctx, const GoldenRun& gold, std::uint64_t watchdog,
                         std::size_t i) {
+                      if (!ctx.stage)
+                        ctx.stage = std::make_unique<TrialStage>(*ctx.device, *ctx.job);
                       return run_one_fault(*ctx.device, program, *ctx.job, ctx.cb.get(),
                                            specs[i], gold.output, req, watchdog,
-                                           cfg.launch_workers, cfg.sanitize_cap);
+                                           cfg.launch_workers, cfg.sanitize_cap,
+                                           ctx.stage.get());
                     });
 }
 

@@ -37,6 +37,7 @@ struct WorkerContext {
   std::unique_ptr<gpusim::Device> device;
   std::unique_ptr<core::KernelJob> job;
   std::unique_ptr<core::ControlBlock> cb;  ///< may be null (FI without FT)
+  std::unique_ptr<TrialStage> stage;       ///< lazily primed per-trial reset cache
 };
 
 /// Builds one worker's context.  Must be deterministic and

@@ -244,6 +244,41 @@ TEST(CampaignFlags, RejectsNonPositiveSanitizeCap) {
   EXPECT_NE(args.errors()[0].find("--sanitize-cap"), std::string::npos);
 }
 
+TEST(CampaignFlags, ParsesEveryEngineName) {
+  const struct {
+    const char* text;
+    hc::EngineKind kind;
+  } cases[] = {{"reference", hc::EngineKind::Reference},
+               {"fast", hc::EngineKind::Fast},
+               {"sanitizer", hc::EngineKind::Sanitizer},
+               {"threaded", hc::EngineKind::Threaded}};
+  for (const auto& c : cases) {
+    const std::string flag = std::string("--engine=") + c.text;
+    const char* argv[] = {"prog", flag.c_str()};
+    hc::CliArgs args(2, const_cast<char**>(argv));
+    const auto f = hc::parse_campaign_flags(args);
+    EXPECT_EQ(f.engine, c.kind) << c.text;
+    EXPECT_TRUE(args.ok()) << c.text;
+    EXPECT_STREQ(hc::engine_kind_name(f.engine), c.text);
+  }
+}
+
+TEST(CampaignFlags, DefaultsToFastEngine) {
+  const char* argv[] = {"prog"};
+  hc::CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(hc::parse_campaign_flags(args).engine, hc::EngineKind::Fast);
+}
+
+TEST(CampaignFlags, RejectsUnknownEngine) {
+  const char* argv[] = {"prog", "--engine=warpspeed"};
+  hc::CliArgs args(2, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args);
+  EXPECT_EQ(f.engine, hc::EngineKind::Fast) << "bad value falls back to the default";
+  ASSERT_EQ(args.errors().size(), 1u);
+  EXPECT_NE(args.errors()[0].find("--engine"), std::string::npos);
+  EXPECT_NE(args.errors()[0].find("warpspeed"), std::string::npos);
+}
+
 TEST(CampaignFlags, RejectsOutOfRangeValues) {
   const char* argv[] = {"prog", "--workers=-2", "--datasets=0"};
   hc::CliArgs args(3, const_cast<char**>(argv));

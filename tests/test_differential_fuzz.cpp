@@ -8,9 +8,12 @@
 // reference switch interpreter.  Every observable must match bitwise:
 // status, SDC alarm, cycle/loop-cycle/instruction/SIMT totals, the entire
 // device memory image (which covers partial state of crashed runs), and the
-// per-instruction execution profile.  A subset is additionally run through
-// the Hauberk FT translator (detector semantics) and through memory-fault
-// campaigns with 1 vs N workers on both engines.
+// per-instruction execution profile.  Each program additionally runs plain
+// (uninstrumented) on the threaded-code engine against a plain fast run —
+// the only configuration in which the superinstruction stream executes —
+// so all four engines are pinned to each other.  A subset is additionally
+// run through the Hauberk FT translator (detector semantics) and through
+// memory-fault campaigns with 1 vs N workers across engines.
 //
 // A second generator mode (racy) skews the distribution toward shared-memory
 // conflicts and divergent barriers on a small-warp device; those programs
@@ -311,7 +314,7 @@ void stage_input(std::vector<std::uint32_t>& words, std::uint64_t salt) {
 
 EngineRun run_engine(const BytecodeProgram& prog, const FuzzProgram& fp,
                      gpusim::ExecEngine engine, std::uint64_t salt,
-                     bool with_cb) {
+                     bool with_cb, bool instrumented = true) {
   gpusim::DeviceProps props;
   props.global_mem_words = 1u << 16;
   props.memory_model = fp.mem_model;
@@ -331,11 +334,14 @@ EngineRun run_engine(const BytecodeProgram& prog, const FuzzProgram& fp,
   gpusim::LaunchOptions opts;
   opts.watchdog_instructions = 10'000;
   opts.max_workers = 1;
-  opts.simt_cost = true;
+  // SIMT costing and the execution profile force the fast engine's
+  // instrumented specializations; a plain run is the configuration the
+  // threaded-code engine actually executes (campaigns run plain).
+  opts.simt_cost = instrumented;
   opts.hooks = with_cb ? &cb : nullptr;
   EngineRun r;
   std::vector<std::uint64_t> counts;
-  opts.instr_exec_counts = &counts;
+  if (instrumented) opts.instr_exec_counts = &counts;
   r.res = dev.launch(prog, fp.cfg, args, opts);
   r.mem = dev.mem().image();
   r.exec_counts = std::move(counts);
@@ -417,6 +423,14 @@ TEST(DifferentialFuzz, FastEngineMatchesReferenceEverywhere) {
         run_engine(prog, fp, gpusim::ExecEngine::Reference, i, false);
     expect_identical(fast, ref, fp, i, "baseline");
 
+    // Plain (uninstrumented) runs: the only mode in which the threaded
+    // engine's superinstruction stream executes, and the mode campaigns use.
+    const EngineRun pfast =
+        run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false, false);
+    const EngineRun pthr =
+        run_engine(prog, fp, gpusim::ExecEngine::Threaded, i, false, false);
+    expect_identical(pfast, pthr, fp, i, "threaded plain");
+
     switch (fast.res.status) {
       case gpusim::LaunchStatus::Ok: ++ok; break;
       case gpusim::LaunchStatus::Hang: ++hang; break;
@@ -434,6 +448,13 @@ TEST(DifferentialFuzz, FastEngineMatchesReferenceEverywhere) {
         const EngineRun fref =
             run_engine(ft, fp, gpusim::ExecEngine::Reference, i, true);
         expect_identical(ffast, fref, fp, i, "ft");
+        // FT detectors through the fused ChkXor2/BinChkXor/RangeCheck2/
+        // BinDupCmp handlers, control-block hooks included.
+        const EngineRun fpfast =
+            run_engine(ft, fp, gpusim::ExecEngine::Fast, i, true, false);
+        const EngineRun fpthr =
+            run_engine(ft, fp, gpusim::ExecEngine::Threaded, i, true, false);
+        expect_identical(fpfast, fpthr, fp, i, "ft threaded plain");
         ++ft_checked;
       } catch (const std::exception&) {
         // The translator may reject exotic generated kernels; that is not an
@@ -475,6 +496,14 @@ TEST(DifferentialFuzz, SanitizerAgreesOnRacyPrograms) {
         run_engine(prog, fp, gpusim::ExecEngine::Sanitizer, i, false);
     expect_identical(fast, ref, fp, i, "racy baseline");
     expect_identical(fast, san, fp, i, "racy sanitizer");
+
+    // Threaded on the hazard-skewed corpus: barriers and atomics inside the
+    // superinstruction stream, small-warp device.
+    const EngineRun pfast =
+        run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false, false);
+    const EngineRun pthr =
+        run_engine(prog, fp, gpusim::ExecEngine::Threaded, i, false, false);
+    expect_identical(pfast, pthr, fp, i, "racy threaded plain");
 
     ASSERT_TRUE(fast.res.sanitizer_reports.empty());
     ASSERT_TRUE(ref.res.sanitizer_reports.empty());
@@ -559,6 +588,13 @@ TEST(DifferentialFuzz, CampaignsAgreeAcrossEnginesAndWorkerCounts) {
     const auto ref = ref_ex.run_memory_faults(prog, factory, seed + i, 40, 2, req, rcfg);
     ASSERT_EQ(ref.per_fault, base.per_fault)
         << "reference-engine campaign diverged on fuzz program " << i;
+
+    swifi::CampaignConfig tcfg = ccfg;
+    tcfg.engine = gpusim::ExecEngine::Threaded;
+    swifi::CampaignExecutor thr_ex(4);
+    const auto thr = thr_ex.run_memory_faults(prog, factory, seed + i, 40, 2, req, tcfg);
+    ASSERT_EQ(thr.per_fault, base.per_fault)
+        << "threaded-engine campaign diverged on fuzz program " << i;
   }
   EXPECT_EQ(campaigns, 3u) << "not enough clean fuzz programs for campaigns";
 }

@@ -108,7 +108,8 @@ TEST(GoldenOutputs, AllWorkloadsMatchPinnedHashesOnBothEngines) {
     const Dataset ds = w->make_dataset(kDatasetSeed, Scale::Tiny);
     auto v = core::build_variants(w->build_kernel(Scale::Tiny));
 
-    for (const auto engine : {gpusim::ExecEngine::Fast, gpusim::ExecEngine::Reference}) {
+    for (const auto engine : {gpusim::ExecEngine::Fast, gpusim::ExecEngine::Reference,
+                              gpusim::ExecEngine::Threaded}) {
       const RunHash base = run_hashed(*w, ds, v.baseline, engine, nullptr);
       core::ControlBlock cb(v.ft);
       const RunHash ft = run_hashed(*w, ds, v.ft, engine, &cb);
@@ -139,6 +140,6 @@ TEST(GoldenOutputs, AllWorkloadsMatchPinnedHashesOnBothEngines) {
     }
   }
   if (!print) {
-    EXPECT_EQ(checked, 2 * goldens().size());
+    EXPECT_EQ(checked, 3 * goldens().size());
   }
 }

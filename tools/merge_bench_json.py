@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Merge per-bench --json outputs into one BENCH_engines.json document.
+
+Usage: merge_bench_json.py interp.json campaign.json [...] > BENCH_engines.json
+
+Each input is the --json output of bench_interp_throughput or
+bench_campaign_throughput; the merged document maps each bench's "bench" name
+to its full payload so the per-PR artifact carries every engine row and the
+headline speedups in one file.  Inputs that are missing or malformed are
+skipped with a warning instead of failing the merge — a perf artifact should
+never be the reason CI goes red.
+"""
+import json
+import sys
+
+
+def main(argv):
+    merged = {}
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"merge_bench_json: skipping {path}: {e}", file=sys.stderr)
+            continue
+        merged[doc.get("bench", path)] = doc
+    json.dump(merged, sys.stdout, indent=2)
+    print()
+    return 0 if merged else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
