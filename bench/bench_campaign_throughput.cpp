@@ -19,10 +19,12 @@
 // engine sweep + executor rows as JSON).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "swifi/service.hpp"
 
 using namespace hauberk;
 using namespace hauberk::bench;
@@ -120,6 +122,60 @@ int main(int argc, char** argv) {
   std::printf("\noutcome determinism across engines and worker counts: %s\n",
               deterministic ? "OK (bitwise identical)" : "MISMATCH (bug!)");
 
+  // Campaign service vs in-process executor: the streaming/checkpointing
+  // layer must cost almost nothing on top of the trial work itself (the
+  // acceptance bar is within 10% of CampaignExecutor), and periodic
+  // checkpoints should stay in the noise at a sane interval.
+  double service_s = 0, service_ex_s = 0, service_ckpt_s = 0;
+  {
+    swifi::CampaignExecutor ex(0);
+    swifi::CampaignResult ex_res;
+    service_ex_s = seconds([&] {
+      ex_res = ex.run(ctx.variants.fift, factory, specs, ctx.workload->requirement(), cfg);
+    });
+
+    swifi::ServiceConfig scfg;
+    scfg.campaign = cfg;
+    scfg.workers = 0;
+    swifi::ServiceResult sres;
+    service_s = seconds([&] {
+      sres = swifi::CampaignService(scfg).run(ctx.variants.fift, factory, specs,
+                                              ctx.workload->requirement());
+    });
+    deterministic = deterministic &&
+                    sres.counts.undetected == ex_res.counts.undetected &&
+                    sres.counts.detected == ex_res.counts.detected &&
+                    sres.counts.masked == ex_res.counts.masked &&
+                    sres.counts.failure == ex_res.counts.failure;
+
+    swifi::ServiceConfig ccfg = scfg;
+    ccfg.checkpoint_every = 50;
+    ccfg.checkpoint_path = std::string(::getenv("TMPDIR") ? ::getenv("TMPDIR") : "/tmp") +
+                           "/bench_campaignd.ckpt";
+    ccfg.resultlog_path = ccfg.checkpoint_path + ".log";
+    service_ckpt_s = seconds([&] {
+      sres = swifi::CampaignService(ccfg).run(ctx.variants.fift, factory, specs,
+                                              ctx.workload->requirement());
+    });
+    std::remove(ccfg.checkpoint_path.c_str());
+    std::remove(ccfg.resultlog_path.c_str());
+
+    common::Table st({"Driver", "Seconds", "Trials/sec", "vs executor"});
+    st.add_row({"executor", common::Table::num(service_ex_s, 3),
+                common::Table::num(n / service_ex_s, 1), "1.00x"});
+    st.add_row({"service", common::Table::num(service_s, 3),
+                common::Table::num(n / service_s, 1),
+                common::Table::num(service_ex_s / service_s, 2) + "x"});
+    st.add_row({"service+ckpt/50", common::Table::num(service_ckpt_s, 3),
+                common::Table::num(n / service_ckpt_s, 1),
+                common::Table::num(service_ex_s / service_ckpt_s, 2) + "x"});
+    std::printf("\ncampaign service (streaming aggregation, default workers):\n");
+    st.print();
+    std::printf("service overhead vs executor: %.1f%%, checkpoint overhead: %.1f%%\n",
+                100.0 * (service_s / service_ex_s - 1.0),
+                100.0 * (service_ckpt_s / service_s - 1.0));
+  }
+
   // Interpreter-engine sweep: the same sequential campaign on each execution
   // engine (the baseline above runs --engine, default fast).  Outcomes must
   // be identical across the sweep; the sanitizer row is informational when
@@ -204,6 +260,10 @@ int main(int argc, char** argv) {
                  engine_s.at("fast") / engine_s.at("threaded"));
     std::fprintf(f, "  \"speedup_threaded_vs_reference\": %.4f,\n",
                  engine_s.at("reference") / engine_s.at("threaded"));
+    std::fprintf(f, "  \"service\": {\"seconds\": %.6f, \"trials_per_sec\": %.2f,\n"
+                 "    \"vs_executor\": %.4f, \"checkpoint_overhead\": %.4f},\n",
+                 service_s, n / service_s, service_s / service_ex_s,
+                 service_ckpt_s / service_s);
     std::fprintf(f, "  \"deterministic\": %s\n}\n", deterministic ? "true" : "false");
     std::fclose(f);
   }

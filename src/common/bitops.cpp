@@ -1,5 +1,6 @@
 #include "common/bitops.hpp"
 
+#include <array>
 #include <cmath>
 
 namespace hauberk::common {
@@ -15,6 +16,24 @@ std::uint32_t random_mask(Rng& rng, int bits) {
     mask |= (mask & bit) ? (1u << j) : bit;
   }
   return mask;
+}
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) noexcept {
+  // Table generated on first use from the reflected IEEE polynomial; the
+  // byte-at-a-time loop is plenty for checkpoint/result-log sizes.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = seed ^ 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
 }
 
 int magnitude_decade(double x, int lo, int hi) noexcept {

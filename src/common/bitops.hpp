@@ -5,6 +5,7 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -35,5 +36,12 @@ inline float flip_float_bits(Rng& rng, float v, int bits) {
 /// returns floor(log10(|x|)) clamped to [lo, hi]; `zero_bucket` semantics are
 /// handled by callers (|x| == 0 maps to lo).
 int magnitude_decade(double x, int lo, int hi) noexcept;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range, resumable:
+/// pass the previous return value as `seed` to extend a running checksum.
+/// Guards the on-disk campaign checkpoint payloads and result-log streams —
+/// unlike the FNV digests used for in-memory identity, CRC detects the
+/// torn/truncated/bit-flipped file states a killed campaign run can leave.
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed = 0) noexcept;
 
 }  // namespace hauberk::common

@@ -112,6 +112,31 @@ bool parse_engine_kind(std::string_view text, EngineKind& out) noexcept {
   return false;
 }
 
+bool parse_shards(std::string_view text, int& shards, int& shard_index) noexcept {
+  const auto parse_int = [](std::string_view s, int& out) {
+    if (s.empty() || s.size() > 9) return false;
+    int v = 0;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + (c - '0');
+    }
+    out = v;
+    return true;
+  };
+  const auto slash = text.find('/');
+  int k = 0, i = 0;
+  if (slash == std::string_view::npos) {
+    if (!parse_int(text, k)) return false;
+  } else {
+    if (!parse_int(text.substr(0, slash), k) || !parse_int(text.substr(slash + 1), i))
+      return false;
+  }
+  if (k < 1 || i >= k) return false;
+  shards = k;
+  shard_index = i;
+  return true;
+}
+
 CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
   CampaignFlags f;
   const auto workers = args.get_int("workers", 0);
@@ -140,6 +165,19 @@ CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
       args.note_error("--engine: unknown engine '" + text +
                       "' (expected reference|fast|sanitizer|threaded)");
   }
+  if (args.has("shards")) {
+    const std::string text = args.get("shards");
+    if (!parse_shards(text, f.shards, f.shard_index))
+      args.note_error("--shards: expected K or K/I with K >= 1 and 0 <= I < K (got '" +
+                      text + "')");
+  }
+  f.checkpoint_every = args.get_u64("checkpoint-every", 0);
+  f.checkpoint = args.get("checkpoint");
+  f.resume = args.get("resume");
+  f.resultlog = args.get("resultlog");
+  if (f.checkpoint.empty()) f.checkpoint = f.resume;
+  if (f.checkpoint_every > 0 && f.checkpoint.empty())
+    args.note_error("--checkpoint-every: requires --checkpoint=FILE (or --resume=FILE)");
   return f;
 }
 

@@ -56,23 +56,41 @@ enum class EngineKind : std::uint8_t { Fast, Reference, Sanitizer, Threaded };
 [[nodiscard]] bool parse_engine_kind(std::string_view text, EngineKind& out) noexcept;
 
 /// The campaign-control flags shared by every SWIFI-running tool
-/// (fault_campaign, controller, and the bench harnesses):
-///   --workers=N       campaign workers (0 = hardware concurrency)
-///   --sanitize        run trials under the sanitizer engine
-///   --datasets=N      independent datasets per experiment
-///   --sanitize-cap=N  per-block sanitizer report cap (default 64)
-///   --engine=K        interpreter engine: reference|fast|sanitizer|threaded
+/// (fault_campaign, controller, campaignd, and the bench harnesses):
+///   --workers=N           campaign workers (0 = hardware concurrency)
+///   --sanitize            run trials under the sanitizer engine
+///   --datasets=N          independent datasets per experiment
+///   --sanitize-cap=N      per-block sanitizer report cap (default 64)
+///   --engine=K            interpreter engine: reference|fast|sanitizer|threaded
+///   --shards=K or K/I     split the campaign into K shards; run shard I
+///                         (trial t belongs to shard t mod K; default 1/0)
+///   --checkpoint=FILE     campaign checkpoint file to write
+///   --checkpoint-every=N  write a checkpoint every N committed trials (0 = off)
+///   --resume=FILE         resume from FILE (also becomes the checkpoint path
+///                         unless --checkpoint overrides it)
+///   --resultlog=FILE      compact binary per-trial result log
 struct CampaignFlags {
   int workers = 0;
   bool sanitize = false;
   int datasets = 1;
   int sanitize_cap = 64;  ///< gpusim::SharedShadow::kMaxReportsPerBlock
   EngineKind engine = EngineKind::Fast;
+  int shards = 1;
+  int shard_index = 0;
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint;
+  std::string resume;
+  std::string resultlog;
 };
 
+/// Parse a --shards value: "K" (shard 0 of K) or "K/I" (shard I of K).
+/// Returns false on malformed text or out-of-range indices (K < 1,
+/// I < 0 or I >= K); `shards`/`shard_index` are untouched on failure.
+[[nodiscard]] bool parse_shards(std::string_view text, int& shards, int& shard_index) noexcept;
+
 /// Parse the shared campaign flags, validating ranges: negative --workers,
-/// --datasets < 1 or --sanitize-cap < 1 record an error on `args` and fall
-/// back to the default.
+/// --datasets < 1, --sanitize-cap < 1 or a malformed --shards record an
+/// error on `args` and fall back to the default.
 [[nodiscard]] CampaignFlags parse_campaign_flags(const CliArgs& args,
                                                  int default_datasets = 1);
 

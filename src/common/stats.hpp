@@ -4,6 +4,8 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -96,6 +98,67 @@ class DecadeHistogram {
   int lo_, hi_;
   double zero_eps_;
   std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Constant-memory histogram over unsigned 64-bit values with power-of-two
+/// buckets: bucket 0 holds the value 0 and bucket b >= 1 holds
+/// [2^(b-1), 2^b).  The campaign service streams millions of per-trial
+/// observations (FI site ids, occurrence indices) through these without ever
+/// holding per-trial state, and checkpoints/merges them as plain count
+/// arrays: addition is commutative, so shard-merged and resumed histograms
+/// are bitwise identical to a single uninterrupted pass.
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  ///< value 0 plus one per bit width
+
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));  // 0 -> 0, else 1 + floor(log2 v)
+  }
+
+  constexpr void add(std::uint64_t v) noexcept {
+    ++counts_[bucket_of(v)];
+    ++total_;
+  }
+
+  void merge(const Log2Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
+  [[nodiscard]] std::uint64_t count(std::size_t bucket) const noexcept {
+    return counts_[bucket];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Checkpoint support: the bucket array is the entire state (total is
+  /// derived), so serialization round-trips through these two.
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& raw_counts() const noexcept {
+    return counts_;
+  }
+  void restore(const std::array<std::uint64_t, kBuckets>& counts) noexcept {
+    counts_ = counts;
+    total_ = 0;
+    for (const auto c : counts_) total_ += c;
+  }
+
+  /// Smallest prefix of buckets covering every nonzero count (print helper).
+  [[nodiscard]] std::size_t used_buckets() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      if (counts_[i] != 0) n = i + 1;
+    return n;
+  }
+
+  friend bool operator==(const Log2Histogram& a, const Log2Histogram& b) noexcept {
+    if (a.total_ != b.total_) return false;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      if (a.counts_[i] != b.counts_[i]) return false;
+    return true;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t total_ = 0;
 };
 

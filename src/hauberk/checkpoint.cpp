@@ -1,0 +1,173 @@
+#include "hauberk/checkpoint.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "common/bitops.hpp"
+
+namespace hauberk::core {
+
+namespace {
+
+// Little-endian field helpers.  The repo only targets little-endian hosts
+// today; the static_assert turns a future big-endian port into a compile
+// error instead of silently unreadable checkpoints.
+static_assert(std::endian::native == std::endian::little,
+              "checkpoint files are defined little-endian");
+
+struct FileHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t payload_bytes;
+  std::uint32_t payload_crc;
+};
+constexpr std::size_t kHeaderBytes = 20;  // packed on disk; struct padding ignored
+
+void write_header(std::FILE* f, const FileHeader& h) {
+  if (std::fwrite(&h.magic, 4, 1, f) != 1 || std::fwrite(&h.version, 4, 1, f) != 1 ||
+      std::fwrite(&h.payload_bytes, 8, 1, f) != 1 ||
+      std::fwrite(&h.payload_crc, 4, 1, f) != 1)
+    throw CheckpointError("checkpoint: short header write");
+}
+
+bool read_header(std::FILE* f, FileHeader& h) {
+  return std::fread(&h.magic, 4, 1, f) == 1 && std::fread(&h.version, 4, 1, f) == 1 &&
+         std::fread(&h.payload_bytes, 8, 1, f) == 1 && std::fread(&h.payload_crc, 4, 1, f) == 1;
+}
+
+}  // namespace
+
+void CheckpointWriter::u32(std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  payload_.insert(payload_.end(), p, p + 4);
+}
+
+void CheckpointWriter::u64(std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  payload_.insert(payload_.end(), p, p + 8);
+}
+
+void CheckpointWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void CheckpointWriter::bytes(std::span<const std::uint8_t> data) {
+  payload_.insert(payload_.end(), data.begin(), data.end());
+}
+
+void CheckpointWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  payload_.insert(payload_.end(), s.begin(), s.end());
+}
+
+void CheckpointWriter::save_atomic(const std::string& path, std::uint32_t magic,
+                                   std::uint32_t version) const {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw CheckpointError("checkpoint: cannot open '" + tmp + "' for writing");
+  try {
+    FileHeader h;
+    h.magic = magic;
+    h.version = version;
+    h.payload_bytes = payload_.size();
+    h.payload_crc = common::crc32(payload_.data(), payload_.size());
+    write_header(f, h);
+    if (!payload_.empty() && std::fwrite(payload_.data(), 1, payload_.size(), f) !=
+                                 payload_.size())
+      throw CheckpointError("checkpoint: short payload write to '" + tmp + "'");
+  } catch (...) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint: close failed for '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint: rename '" + tmp + "' -> '" + path + "' failed");
+  }
+}
+
+CheckpointReader CheckpointReader::load(const std::string& path, std::uint32_t magic,
+                                        std::uint32_t version) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw CheckpointError("checkpoint: cannot open '" + path + "'");
+  FileHeader h{};
+  std::vector<std::uint8_t> payload;
+  bool short_file = false;
+  if (!read_header(f, h)) {
+    short_file = true;
+  } else if (h.magic == magic && h.version == version) {
+    // Cap the allocation at the actual file size so a corrupt size field
+    // cannot demand gigabytes before the CRC check rejects the file.
+    if (std::fseek(f, 0, SEEK_END) != 0) short_file = true;
+    const long file_end = std::ftell(f);
+    if (file_end < 0 ||
+        h.payload_bytes > static_cast<std::uint64_t>(file_end) - kHeaderBytes) {
+      short_file = true;
+    } else {
+      std::fseek(f, static_cast<long>(kHeaderBytes), SEEK_SET);
+      payload.resize(static_cast<std::size_t>(h.payload_bytes));
+      if (!payload.empty() &&
+          std::fread(payload.data(), 1, payload.size(), f) != payload.size())
+        short_file = true;
+    }
+  }
+  std::fclose(f);
+  if (short_file)
+    throw CheckpointError("checkpoint: '" + path + "' is truncated or unreadable");
+  if (h.magic != magic)
+    throw CheckpointError("checkpoint: '" + path + "' has wrong magic (not this file kind)");
+  if (h.version != version)
+    throw CheckpointError("checkpoint: '" + path + "' is format version " +
+                          std::to_string(h.version) + ", expected " +
+                          std::to_string(version));
+  if (common::crc32(payload.data(), payload.size()) != h.payload_crc)
+    throw CheckpointError("checkpoint: '" + path + "' failed its CRC (corrupt or torn)");
+  return CheckpointReader(path, std::move(payload));
+}
+
+void CheckpointReader::need(std::size_t n) const {
+  if (payload_.size() - pos_ < n)
+    throw CheckpointError("checkpoint: '" + path_ + "' payload exhausted");
+}
+
+std::uint8_t CheckpointReader::u8() {
+  need(1);
+  return payload_[pos_++];
+}
+
+std::uint32_t CheckpointReader::u32() {
+  need(4);
+  std::uint32_t v;
+  std::memcpy(&v, payload_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t CheckpointReader::u64() {
+  need(8);
+  std::uint64_t v;
+  std::memcpy(&v, payload_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+double CheckpointReader::f64() { return std::bit_cast<double>(u64()); }
+
+void CheckpointReader::bytes(std::span<std::uint8_t> out) {
+  need(out.size());
+  std::memcpy(out.data(), payload_.data() + pos_, out.size());
+  pos_ += out.size();
+}
+
+std::string CheckpointReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(payload_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace hauberk::core

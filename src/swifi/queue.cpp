@@ -1,0 +1,68 @@
+#include "swifi/queue.hpp"
+
+#include <bit>
+
+namespace hauberk::swifi {
+
+TrialQueue::TrialQueue(std::size_t capacity) {
+  const std::size_t cap = std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity);
+  cells_ = std::make_unique<Cell[]>(cap);
+  mask_ = cap - 1;
+  for (std::size_t i = 0; i < cap; ++i)
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool TrialQueue::try_push(std::uint64_t value) noexcept {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (diff == 0) {
+      // Cell is free at this position; claim it.
+      if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+        break;
+      // Lost the race; `pos` was reloaded by the CAS.
+    } else if (diff < 0) {
+      return false;  // cell still holds an unconsumed value one lap behind: full
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);  // another producer advanced past us
+    }
+  }
+  Cell& cell = cells_[pos & mask_];
+  cell.value = value;
+  cell.seq.store(pos + 1, std::memory_order_release);
+  return true;
+}
+
+bool TrialQueue::try_pop(std::uint64_t& out) noexcept {
+  std::uint64_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto diff =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+    if (diff == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+        break;
+    } else if (diff < 0) {
+      return false;  // cell not yet published: empty
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+  Cell& cell = cells_[pos & mask_];
+  out = cell.value;
+  // Free the cell for the producer one lap ahead.
+  cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+  return true;
+}
+
+std::size_t TrialQueue::size_approx() const noexcept {
+  const std::uint64_t t = tail_.load(std::memory_order_acquire);
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  return t > h ? static_cast<std::size_t>(t - h) : 0;
+}
+
+}  // namespace hauberk::swifi

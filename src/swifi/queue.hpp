@@ -1,0 +1,67 @@
+// Bounded lock-free MPMC queue of trial ordinals.
+//
+// The campaign service pumps trial indices through this ring to its worker
+// threads: the pump enqueues the shard's next ordinals (bounded by the
+// commit window, so memory stays constant no matter how many trials the
+// campaign has), workers race to dequeue and execute them.  Classic
+// Vyukov-style design: every cell carries a sequence number, producers and
+// consumers claim positions with one CAS each and never block one another;
+// a stalled worker delays only the trials it already claimed.
+//
+// The queue itself makes no ordering promises — determinism comes from the
+// service keying every result by its trial ordinal and committing results
+// strictly in ordinal order, exactly like CampaignExecutor's per-index
+// outcome vector.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace hauberk::swifi {
+
+class TrialQueue {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit TrialQueue(std::size_t capacity);
+  TrialQueue(const TrialQueue&) = delete;
+  TrialQueue& operator=(const TrialQueue&) = delete;
+
+  /// Enqueue one ordinal; returns false when the ring is full (caller
+  /// retries after draining) or the queue is closed.
+  bool try_push(std::uint64_t value) noexcept;
+
+  /// Dequeue one ordinal; returns false when the ring is currently empty.
+  bool try_pop(std::uint64_t& out) noexcept;
+
+  /// Producer-side end-of-stream: consumers drain the remaining entries and
+  /// then observe closed() && !try_pop() as termination.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Instantaneous element count (approximate under concurrency; exact when
+  /// quiescent).  For tests and progress reporting only.
+  [[nodiscard]] std::size_t size_approx() const noexcept;
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq;
+    std::uint64_t value;
+  };
+
+  // Cells are deliberately unpadded — a trial costs ~1ms of interpretation,
+  // so neighbor-line sharing between 16-byte cells is noise.  Head and tail
+  // do get their own cache lines: they are the two genuinely contended words.
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next dequeue position
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next enqueue position
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace hauberk::swifi

@@ -1,0 +1,118 @@
+// Compact binary per-trial result log.
+//
+// A million-trial campaign at one JSON object per trial produces hundreds of
+// megabytes and a post-processing parse measured in minutes; this log spends
+// eight bytes per trial and streams.  The writer appends records strictly in
+// trial-index order (the service's committer guarantees it), which makes the
+// log bytes a deterministic function of the campaign alone: any worker
+// count, any kill/resume history — byte-identical file.
+//
+// Layout (little-endian):
+//
+//   offset  size  field
+//   0       4     magic "HBRL"
+//   4       2     format version (kResultLogVersion)
+//   6       2     record size in bytes (8)
+//   8       4     shard count K
+//   12      4     shard index I
+//   16      8     campaign config digest (matches the checkpoint's)
+//   24      8     total trials in the whole campaign (all shards)
+//   32      8*n   records
+//
+// Each record: u32 trial index, u8 outcome, u8[3] reserved (zero).  Torn
+// writes are expected — a killed process may leave a partial trailing
+// record — so the reader reports how many whole records parse and the
+// resume path truncates the file to the byte count its checkpoint vouches
+// for (guarded by a running CRC of the record stream).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "swifi/fault.hpp"
+
+namespace hauberk::swifi {
+
+constexpr std::uint32_t kResultLogMagic = 0x4c524248u;  // "HBRL" little-endian
+constexpr std::uint16_t kResultLogVersion = 1;
+
+struct ResultLogHeader {
+  std::uint32_t shards = 1;
+  std::uint32_t shard_index = 0;
+  std::uint64_t config_digest = 0;
+  std::uint64_t total_trials = 0;
+};
+
+struct ResultRecord {
+  std::uint32_t trial = 0;
+  std::uint8_t outcome = 0;
+  std::uint8_t reserved[3] = {0, 0, 0};
+
+  friend bool operator==(const ResultRecord& a, const ResultRecord& b) noexcept {
+    return a.trial == b.trial && a.outcome == b.outcome;
+  }
+};
+static_assert(sizeof(ResultRecord) == 8, "record layout is part of the file format");
+
+/// Append-only writer with a running CRC-32 of the record stream.  The
+/// service flushes before every checkpoint so the checkpoint's
+/// (payload_bytes, payload_crc) pair always describes bytes that are really
+/// on disk; a resume truncates to exactly that state.
+class ResultLogWriter {
+ public:
+  ResultLogWriter() = default;
+  ~ResultLogWriter();
+  ResultLogWriter(const ResultLogWriter&) = delete;
+  ResultLogWriter& operator=(const ResultLogWriter&) = delete;
+
+  /// Start a fresh log (truncates any existing file).
+  void create(const std::string& path, const ResultLogHeader& header);
+
+  /// Reopen an existing log for resume: validate the header against
+  /// `header`, truncate the record stream to `payload_bytes`, verify its
+  /// CRC equals `payload_crc`, and position for appending.  Throws
+  /// core::CheckpointError (via std::runtime_error) on any mismatch —
+  /// a log that disagrees with its checkpoint must not be extended.
+  void reopen(const std::string& path, const ResultLogHeader& header,
+              std::uint64_t payload_bytes, std::uint32_t payload_crc);
+
+  void append(const ResultRecord& rec);
+  void flush();
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+  /// Bytes of record stream written (excludes the header).
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept { return payload_bytes_; }
+  /// Running CRC-32 of the record stream.
+  [[nodiscard]] std::uint32_t payload_crc() const noexcept { return payload_crc_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint32_t payload_crc_ = 0;
+};
+
+/// A parsed log.  `torn_tail_bytes` counts trailing bytes that do not form a
+/// whole record (a killed writer's partial append); they are not an error.
+struct ResultLogData {
+  ResultLogHeader header;
+  std::vector<ResultRecord> records;
+  std::uint64_t torn_tail_bytes = 0;
+
+  [[nodiscard]] OutcomeCounts counts() const;
+};
+
+/// Read and validate a result log.  Throws std::runtime_error on missing
+/// file, bad magic, or unsupported version/record size.
+[[nodiscard]] ResultLogData read_result_log(const std::string& path);
+
+/// Merge per-shard logs of one campaign into a single trial-ordered record
+/// stream, verifying that the shards agree on config digest and trial total
+/// and that no trial is missing or duplicated.  The merged records are
+/// byte-identical to what a 1-shard run would have logged.
+[[nodiscard]] ResultLogData merge_result_logs(const std::vector<ResultLogData>& shards);
+
+}  // namespace hauberk::swifi

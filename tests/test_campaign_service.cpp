@@ -1,0 +1,478 @@
+// Crash-recovery and determinism tests for the sharded, checkpointed
+// campaign service (swifi/service.hpp).
+//
+// The contract under test: a campaign's final outcome counts, histograms,
+// remark digest and result-log bytes are a pure function of (program, specs,
+// requirement) — invariant across worker counts, shard splits, and any
+// kill/resume history.  Kills are simulated with the on_checkpoint hook,
+// which throws right after a periodic checkpoint lands on disk; that leaves
+// exactly the on-disk state a SIGKILL at that instant would.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hauberk/checkpoint.hpp"
+#include "hauberk/runtime.hpp"
+#include "swifi/resultlog.hpp"
+#include "swifi/service.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using namespace hauberk::swifi;
+using namespace hauberk::workloads;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Workload> w;
+  core::KernelVariants v;
+  Dataset ds;
+  core::ProfileData pd;
+  std::vector<FaultSpec> specs;
+
+  explicit Fixture(std::unique_ptr<Workload> wl, bool with_ft = false, std::uint64_t seed = 7)
+      : w(std::move(wl)),
+        v(core::build_variants(w->build_kernel(Scale::Tiny))),
+        ds(w->make_dataset(21, Scale::Tiny)) {
+    gpusim::Device dev;
+    auto job = w->make_job(ds);
+    pd = core::profile(dev, v, {job.get()});
+    PlanOptions opt;
+    opt.max_vars = 8;
+    opt.masks_per_var = 4;
+    opt.seed = seed;
+    specs = plan_faults(with_ft ? v.fift : v.fi, pd, opt);
+  }
+
+  [[nodiscard]] const kir::BytecodeProgram& prog(bool with_ft = false) const {
+    return with_ft ? v.fift : v.fi;
+  }
+
+  [[nodiscard]] WorkerContextFactory factory(bool with_cb = false) const {
+    return [this, with_cb] {
+      WorkerContext ctx;
+      ctx.device = std::make_unique<gpusim::Device>();
+      ctx.job = w->make_job(ds);
+      if (with_cb) ctx.cb = core::make_configured_control_block(v.fift, pd);
+      return ctx;
+    };
+  }
+};
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "hauberk_service_" + name;
+}
+
+void expect_same_aggregates(const ServiceResult& a, const ServiceResult& b,
+                            const char* what) {
+  EXPECT_EQ(a.counts.failure, b.counts.failure) << what;
+  EXPECT_EQ(a.counts.masked, b.counts.masked) << what;
+  EXPECT_EQ(a.counts.detected_masked, b.counts.detected_masked) << what;
+  EXPECT_EQ(a.counts.detected, b.counts.detected) << what;
+  EXPECT_EQ(a.counts.undetected, b.counts.undetected) << what;
+  EXPECT_EQ(a.counts.not_activated, b.counts.not_activated) << what;
+  EXPECT_TRUE(a.site_hist == b.site_hist) << what;
+  EXPECT_TRUE(a.sdc_site_hist == b.sdc_site_hist) << what;
+  EXPECT_EQ(a.remark_digest, b.remark_digest) << what;
+  EXPECT_EQ(a.config_digest, b.config_digest) << what;
+}
+
+/// The crash-recovery driver: run one shard to completion, simulating a kill
+/// right after every k-th periodic checkpoint (the hook throws once per run
+/// instance), resuming after each kill.  Returns the final completed result.
+struct CrashInjected : std::runtime_error {
+  CrashInjected() : std::runtime_error("injected crash") {}
+};
+
+ServiceResult run_with_crashes(const Fixture& f, ServiceConfig cfg, bool crash_every_ckpt,
+                               int& crashes) {
+  crashes = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    ServiceConfig attempt = cfg;
+    attempt.resume = cycle > 0;
+    if (crash_every_ckpt) {
+      auto armed = std::make_shared<bool>(true);
+      attempt.on_checkpoint = [armed](const CampaignCheckpoint&) {
+        if (*armed) {
+          *armed = false;  // one kill per process incarnation
+          throw CrashInjected();
+        }
+      };
+    }
+    CampaignService service(attempt);
+    try {
+      return service.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+    } catch (const CrashInjected&) {
+      ++crashes;
+    }
+  }
+  ADD_FAILURE() << "kill/resume cycle did not converge in 100 attempts";
+  return {};
+}
+
+}  // namespace
+
+TEST(CampaignService, MatchesCampaignExecutor) {
+  Fixture f(make_cp());
+  ASSERT_FALSE(f.specs.empty());
+
+  CampaignExecutor ex(2);
+  const auto ref = ex.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  CampaignService service(cfg);
+  const auto res = service.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+
+  EXPECT_EQ(res.counts.failure, ref.counts.failure);
+  EXPECT_EQ(res.counts.masked, ref.counts.masked);
+  EXPECT_EQ(res.counts.detected_masked, ref.counts.detected_masked);
+  EXPECT_EQ(res.counts.detected, ref.counts.detected);
+  EXPECT_EQ(res.counts.undetected, ref.counts.undetected);
+  EXPECT_EQ(res.counts.not_activated, ref.counts.not_activated);
+  EXPECT_EQ(res.shard_trials, f.specs.size());
+  EXPECT_EQ(res.trials_run, f.specs.size());
+  EXPECT_EQ(res.site_hist.total(), f.specs.size());
+}
+
+TEST(CampaignService, WorkerCountInvariantIncludingLogBytes) {
+  Fixture f(make_cp());
+  ServiceConfig base;
+  base.workers = 1;
+  base.resultlog_path = tmp_path("wc_ref.log");
+  CampaignService one(base);
+  const auto ref = one.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+  const auto ref_bytes = read_bytes(base.resultlog_path);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  for (const int workers : {2, 8}) {
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.resultlog_path = tmp_path("wc_" + std::to_string(workers) + ".log");
+    CampaignService service(cfg);
+    const auto res = service.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+    expect_same_aggregates(ref, res, "worker invariance");
+    EXPECT_EQ(read_bytes(cfg.resultlog_path), ref_bytes)
+        << "result log must be byte-identical at " << workers << " workers";
+  }
+}
+
+TEST(CampaignService, ShardMergeMatchesSingleShot) {
+  Fixture f(make_cp());
+  ServiceConfig ref_cfg;
+  ref_cfg.workers = 2;
+  ref_cfg.resultlog_path = tmp_path("merge_ref.log");
+  CampaignService ref_service(ref_cfg);
+  const auto ref = ref_service.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+  const auto ref_log = read_result_log(ref_cfg.resultlog_path);
+
+  for (const std::uint32_t K : {2u, 4u}) {
+    std::vector<ResultLogData> shard_logs;
+    ServiceResult merged;
+    std::uint64_t shard_sum = 0;
+    for (std::uint32_t i = 0; i < K; ++i) {
+      ServiceConfig cfg;
+      cfg.workers = 2;
+      cfg.shards = K;
+      cfg.shard_index = i;
+      cfg.resultlog_path =
+          tmp_path("merge_" + std::to_string(K) + "_" + std::to_string(i) + ".log");
+      CampaignService service(cfg);
+      const auto res = service.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+      shard_sum += res.shard_trials;
+      shard_logs.push_back(read_result_log(cfg.resultlog_path));
+      if (i == 0)
+        merged = res;
+      else
+        merged.merge(res);
+    }
+    EXPECT_EQ(shard_sum, f.specs.size()) << "shards must partition the campaign";
+    expect_same_aggregates(ref, merged, "shard merge invariance");
+
+    const auto log = merge_result_logs(shard_logs);
+    ASSERT_EQ(log.records.size(), ref_log.records.size());
+    for (std::size_t i = 0; i < log.records.size(); ++i)
+      EXPECT_EQ(log.records[i], ref_log.records[i]) << "K=" << K << " record " << i;
+  }
+}
+
+TEST(CampaignService, KillAfterEveryCheckpointResumesByteIdentical) {
+  Fixture f(make_cp());
+  // Uninterrupted single-shot reference.
+  ServiceConfig ref_cfg;
+  ref_cfg.workers = 2;
+  ref_cfg.resultlog_path = tmp_path("kill_ref.log");
+  CampaignService ref_service(ref_cfg);
+  const auto ref = ref_service.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+  const auto ref_log = read_result_log(ref_cfg.resultlog_path);
+
+  struct Config {
+    std::uint32_t shards;
+    int workers;
+  };
+  for (const Config c : {Config{1, 2}, Config{2, 2}, Config{4, 2}, Config{1, 1}, Config{1, 8}}) {
+    std::vector<ResultLogData> shard_logs;
+    ServiceResult merged;
+    const std::string tag = std::to_string(c.shards) + "s" + std::to_string(c.workers) + "w";
+    for (std::uint32_t i = 0; i < c.shards; ++i) {
+      ServiceConfig cfg;
+      cfg.workers = c.workers;
+      cfg.shards = c.shards;
+      cfg.shard_index = i;
+      cfg.checkpoint_every = 5;
+      cfg.checkpoint_path = tmp_path("kill_" + tag + "_" + std::to_string(i) + ".ckpt");
+      cfg.resultlog_path = tmp_path("kill_" + tag + "_" + std::to_string(i) + ".log");
+      int crashes = 0;
+      const auto res = run_with_crashes(f, cfg, /*crash_every_ckpt=*/true, crashes);
+      EXPECT_GT(crashes, 0) << tag << ": the crash harness must actually crash";
+      EXPECT_EQ(res.trials_run + res.trials_resumed, res.shard_trials) << tag;
+      EXPECT_GT(res.trials_resumed, 0u) << tag << ": final cycle must be a resume";
+      shard_logs.push_back(read_result_log(cfg.resultlog_path));
+      if (i == 0)
+        merged = res;
+      else
+        merged.merge(res);
+    }
+    expect_same_aggregates(ref, merged, tag.c_str());
+    const auto log = c.shards == 1 ? shard_logs[0] : merge_result_logs(shard_logs);
+    ASSERT_EQ(log.records.size(), ref_log.records.size()) << tag;
+    for (std::size_t i = 0; i < log.records.size(); ++i)
+      EXPECT_EQ(log.records[i], ref_log.records[i]) << tag << " record " << i;
+  }
+}
+
+TEST(CampaignService, ResumeOfCompletedShardIsNoOp) {
+  Fixture f(make_cp());
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.checkpoint_every = 5;
+  cfg.checkpoint_path = tmp_path("noop.ckpt");
+  cfg.resultlog_path = tmp_path("noop.log");
+  CampaignService first(cfg);
+  const auto full = first.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+  const auto bytes = read_bytes(cfg.resultlog_path);
+
+  cfg.resume = true;
+  CampaignService again(cfg);
+  const auto res = again.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+  EXPECT_EQ(res.trials_run, 0u);
+  EXPECT_EQ(res.trials_resumed, full.shard_trials);
+  expect_same_aggregates(full, res, "no-op resume");
+  EXPECT_EQ(read_bytes(cfg.resultlog_path), bytes) << "no-op resume must not disturb the log";
+}
+
+TEST(CampaignService, ResumeRejectsCheckpointFromDifferentCampaign) {
+  Fixture f(make_cp());
+  Fixture other(make_cp(), /*with_ft=*/false, /*seed=*/1234);  // different fault plan
+  ASSERT_NE(campaign_digest(f.prog(), f.specs, f.w->requirement(), 0),
+            campaign_digest(other.prog(), other.specs, other.w->requirement(), 0));
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.checkpoint_path = tmp_path("xcampaign.ckpt");
+  CampaignService writer(cfg);
+  (void)writer.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+
+  cfg.resume = true;
+  CampaignService reader(cfg);
+  EXPECT_THROW(
+      (void)reader.run(other.prog(), other.factory(), other.specs, other.w->requirement()),
+      core::CheckpointError);
+}
+
+TEST(CampaignService, ResumeRejectsWrongShard) {
+  Fixture f(make_cp());
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.shards = 2;
+  cfg.shard_index = 0;
+  cfg.checkpoint_path = tmp_path("xshard.ckpt");
+  CampaignService writer(cfg);
+  (void)writer.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+
+  cfg.shard_index = 1;
+  cfg.resume = true;
+  CampaignService reader(cfg);
+  EXPECT_THROW((void)reader.run(f.prog(), f.factory(), f.specs, f.w->requirement()),
+               core::CheckpointError);
+}
+
+TEST(CampaignService, TornLogTailIsTruncatedOnResume) {
+  Fixture f(make_cp());
+  ServiceConfig ref_cfg;
+  ref_cfg.workers = 2;
+  ref_cfg.resultlog_path = tmp_path("torn_ref.log");
+  CampaignService ref_service(ref_cfg);
+  const auto ref = ref_service.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+  const auto ref_bytes = read_bytes(ref_cfg.resultlog_path);
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.checkpoint_every = 5;
+  cfg.checkpoint_path = tmp_path("torn.ckpt");
+  cfg.resultlog_path = tmp_path("torn.log");
+  auto armed = std::make_shared<bool>(true);
+  cfg.on_checkpoint = [armed](const CampaignCheckpoint&) {
+    if (*armed) {
+      *armed = false;
+      throw CrashInjected();
+    }
+  };
+  CampaignService first(cfg);
+  EXPECT_THROW((void)first.run(f.prog(), f.factory(), f.specs, f.w->requirement()),
+               CrashInjected);
+
+  // A kill mid-append leaves a partial trailing record; fake one.
+  {
+    std::ofstream out(cfg.resultlog_path, std::ios::binary | std::ios::app);
+    out.write("\x7f\x00\x01", 3);
+  }
+  EXPECT_GT(read_result_log(cfg.resultlog_path).torn_tail_bytes, 0u);
+
+  cfg.on_checkpoint = nullptr;
+  cfg.resume = true;
+  CampaignService second(cfg);
+  const auto res = second.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+  expect_same_aggregates(ref, res, "torn-tail resume");
+  EXPECT_EQ(read_bytes(cfg.resultlog_path), ref_bytes)
+      << "resume must truncate the torn tail and converge to the reference bytes";
+}
+
+TEST(CampaignService, StaleTempCheckpointIsIgnoredAndReplaced) {
+  Fixture f(make_cp());
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.checkpoint_every = 5;
+  cfg.checkpoint_path = tmp_path("staletmp.ckpt");
+  cfg.resultlog_path = tmp_path("staletmp.log");
+  // A kill mid-save leaves a garbage temp file; it must never be read, and
+  // the next atomic save must clobber it.
+  {
+    std::ofstream out(cfg.checkpoint_path + ".tmp", std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  auto armed = std::make_shared<bool>(true);
+  cfg.on_checkpoint = [armed](const CampaignCheckpoint&) {
+    if (*armed) {
+      *armed = false;
+      throw CrashInjected();
+    }
+  };
+  CampaignService first(cfg);
+  EXPECT_THROW((void)first.run(f.prog(), f.factory(), f.specs, f.w->requirement()),
+               CrashInjected);
+
+  // The checkpoint that landed must be loadable (the stale tmp never
+  // contaminated it), and a resume completes normally.
+  const auto ck = CampaignCheckpoint::load(cfg.checkpoint_path);
+  EXPECT_GT(ck.watermark, 0u);
+  cfg.on_checkpoint = nullptr;
+  cfg.resume = true;
+  CampaignService second(cfg);
+  const auto res = second.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+  EXPECT_EQ(res.trials_run + res.trials_resumed, res.shard_trials);
+}
+
+TEST(CampaignService, FiFtCampaignWithControlBlockSurvivesKillResume) {
+  Fixture f(make_cp(), /*with_ft=*/true);
+  ASSERT_FALSE(f.specs.empty());
+  ServiceConfig ref_cfg;
+  ref_cfg.workers = 2;
+  ref_cfg.campaign.pipeline = PipelineSpec::from_report(f.v.fift_report);
+  CampaignService ref_service(ref_cfg);
+  const auto ref =
+      ref_service.run(f.prog(true), f.factory(true), f.specs, f.w->requirement());
+  EXPECT_GT(ref.counts.detected + ref.counts.detected_masked, 0u)
+      << "detectors must fire so the invariance check covers detected outcomes";
+  EXPECT_NE(ref.remark_digest, 0u);
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.campaign.pipeline = PipelineSpec::from_report(f.v.fift_report);
+  cfg.checkpoint_every = 5;
+  cfg.checkpoint_path = tmp_path("fift.ckpt");
+  int crashes = 0;
+  ServiceResult res;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    ServiceConfig attempt = cfg;
+    attempt.resume = cycle > 0;
+    auto armed = std::make_shared<bool>(true);
+    attempt.on_checkpoint = [armed](const CampaignCheckpoint&) {
+      if (*armed) {
+        *armed = false;
+        throw CrashInjected();
+      }
+    };
+    CampaignService service(attempt);
+    try {
+      res = service.run(f.prog(true), f.factory(true), f.specs, f.w->requirement());
+      break;
+    } catch (const CrashInjected&) {
+      ++crashes;
+    }
+  }
+  EXPECT_GT(crashes, 0);
+  expect_same_aggregates(ref, res, "FI&FT kill/resume");
+}
+
+TEST(CampaignService, EmptyCampaignAndEmptyShard) {
+  Fixture f(make_cp());
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  CampaignService service(cfg);
+  const auto res = service.run(f.prog(), f.factory(), {}, f.w->requirement());
+  EXPECT_EQ(res.shard_trials, 0u);
+  EXPECT_EQ(res.trials_run, 0u);
+  EXPECT_EQ(res.counts.activated() + res.counts.not_activated, 0u);
+
+  // A shard index beyond the trial count owns nothing and must still finish.
+  ServiceConfig tail;
+  tail.workers = 2;
+  tail.shards = 64;
+  tail.shard_index = 63;
+  std::vector<FaultSpec> three(f.specs.begin(), f.specs.begin() + 3);
+  CampaignService tail_service(tail);
+  const auto tail_res = tail_service.run(f.prog(), f.factory(), three, f.w->requirement());
+  EXPECT_EQ(tail_res.shard_trials, 0u);
+  EXPECT_EQ(tail_res.trials_run, 0u);
+}
+
+TEST(CampaignService, ConfigValidation) {
+  ServiceConfig bad_shard;
+  bad_shard.shards = 2;
+  bad_shard.shard_index = 2;
+  EXPECT_THROW(CampaignService{bad_shard}, std::invalid_argument);
+
+  ServiceConfig no_path;
+  no_path.checkpoint_every = 10;
+  EXPECT_THROW(CampaignService{no_path}, std::invalid_argument);
+
+  ServiceConfig resume_no_path;
+  resume_no_path.resume = true;
+  EXPECT_THROW(CampaignService{resume_no_path}, std::invalid_argument);
+
+  ServiceConfig zero_shards;
+  zero_shards.shards = 0;
+  EXPECT_THROW(CampaignService{zero_shards}, std::invalid_argument);
+}
+
+TEST(CampaignService, MergeRejectsForeignResults) {
+  ServiceResult a;
+  a.config_digest = 1;
+  ServiceResult b;
+  b.config_digest = 2;
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}

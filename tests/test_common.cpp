@@ -305,3 +305,109 @@ TEST(Table, FormatsNumbers) {
   EXPECT_EQ(hc::Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(hc::Table::pct_cell(12.345, 1), "12.3%");
 }
+
+TEST(ParseShards, AcceptsCountAndCountSlashIndex) {
+  int k = -1, i = -1;
+  EXPECT_TRUE(hc::parse_shards("4", k, i));
+  EXPECT_EQ(k, 4);
+  EXPECT_EQ(i, 0);
+  EXPECT_TRUE(hc::parse_shards("4/3", k, i));
+  EXPECT_EQ(k, 4);
+  EXPECT_EQ(i, 3);
+  EXPECT_TRUE(hc::parse_shards("1/0", k, i));
+  EXPECT_EQ(k, 1);
+  EXPECT_EQ(i, 0);
+}
+
+TEST(ParseShards, RejectsMalformedAndOutOfRange) {
+  int k = 7, i = 5;
+  for (const char* bad : {"", "/", "0", "0/0", "4/4", "4/5", "4/-1", "-2/0", "a/b", "4/",
+                          "/2", "4/2/1", "4x", " 4/1", "4/ 1"}) {
+    EXPECT_FALSE(hc::parse_shards(bad, k, i)) << "'" << bad << "' must be rejected";
+    EXPECT_EQ(k, 7) << "'" << bad << "' must leave outputs untouched";
+    EXPECT_EQ(i, 5) << "'" << bad << "' must leave outputs untouched";
+  }
+}
+
+TEST(CampaignFlags, ParsesShardingAndCheckpointKnobs) {
+  const char* argv[] = {"prog",          "--shards=4/2",         "--checkpoint=c.ckpt",
+                        "--checkpoint-every=500", "--resultlog=r.log"};
+  hc::CliArgs args(5, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args);
+  EXPECT_TRUE(args.ok());
+  EXPECT_EQ(f.shards, 4);
+  EXPECT_EQ(f.shard_index, 2);
+  EXPECT_EQ(f.checkpoint, "c.ckpt");
+  EXPECT_EQ(f.checkpoint_every, 500u);
+  EXPECT_EQ(f.resultlog, "r.log");
+  EXPECT_TRUE(f.resume.empty());
+}
+
+TEST(CampaignFlags, ResumeImpliesCheckpointPath) {
+  const char* argv[] = {"prog", "--resume=old.ckpt", "--checkpoint-every=100"};
+  hc::CliArgs args(3, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args);
+  EXPECT_TRUE(args.ok());
+  EXPECT_EQ(f.resume, "old.ckpt");
+  EXPECT_EQ(f.checkpoint, "old.ckpt") << "--resume doubles as the checkpoint path";
+
+  const char* argv2[] = {"prog", "--resume=old.ckpt", "--checkpoint=new.ckpt"};
+  hc::CliArgs args2(3, const_cast<char**>(argv2));
+  const auto f2 = hc::parse_campaign_flags(args2);
+  EXPECT_EQ(f2.checkpoint, "new.ckpt") << "--checkpoint overrides the resume path";
+}
+
+TEST(CampaignFlags, CheckpointEveryWithoutPathIsAnError) {
+  const char* argv[] = {"prog", "--checkpoint-every=100"};
+  hc::CliArgs args(2, const_cast<char**>(argv));
+  (void)hc::parse_campaign_flags(args);
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.errors()[0].find("--checkpoint-every"), std::string::npos);
+}
+
+TEST(CampaignFlags, MalformedShardsRecordsError) {
+  const char* argv[] = {"prog", "--shards=3/9"};
+  hc::CliArgs args(2, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args);
+  EXPECT_EQ(f.shards, 1) << "malformed --shards falls back to the default";
+  EXPECT_EQ(f.shard_index, 0);
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.errors()[0].find("--shards"), std::string::npos);
+}
+
+TEST(Log2Histogram, BucketsByBitWidth) {
+  hc::Log2Histogram h;
+  h.add(0);     // bucket 0
+  h.add(1);     // bucket 1: [1, 2)
+  h.add(2);     // bucket 2: [2, 4)
+  h.add(3);     // bucket 2
+  h.add(1024);  // bucket 11
+  h.add(~0ull); // bucket 64
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(11), 1u);
+  EXPECT_EQ(h.count(64), 1u);
+  EXPECT_EQ(h.used_buckets(), hc::Log2Histogram::kBuckets);
+}
+
+TEST(Log2Histogram, MergeIsCommutative) {
+  hc::Log2Histogram a, b;
+  for (std::uint64_t v : {0ull, 5ull, 100ull, 1ull << 40}) a.add(v);
+  for (std::uint64_t v : {7ull, 7ull, 255ull}) b.add(v);
+  hc::Log2Histogram ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_EQ(ab.total(), 7u);
+}
+
+TEST(Log2Histogram, RawCountsRestoreRoundTrip) {
+  hc::Log2Histogram h;
+  for (std::uint64_t v = 0; v < 1000; ++v) h.add(v * v);
+  hc::Log2Histogram back;
+  back.restore(h.raw_counts());
+  EXPECT_TRUE(back == h);
+  EXPECT_EQ(back.total(), h.total());
+}

@@ -601,3 +601,119 @@ TEST(SimtCost, IfElseDivergenceChargesBothPaths) {
               static_cast<double>(uni.cycles) * 0.05)
       << "per-thread cost is divergence-blind";
 }
+
+// --- restore_trial (the campaign service's per-trial re-staging primitive) ---
+
+TEST(RestoreTrial, ZeroWordTrialIsANoOpThatStaysFresh) {
+  // A trial that allocates nothing: image() is empty, restore_trial of the
+  // empty image must be valid and leave the arena exactly fresh.
+  DeviceMemory m(MemoryModel::FlatGpu, 64);
+  const auto img = m.image();
+  EXPECT_TRUE(img.empty());
+  m.restore_trial(img);
+  EXPECT_EQ(m.image(), img);
+
+  // Even after a stray scribble above the (empty) staged prefix — the
+  // no-page-protection case — restore_trial must wipe it back to zero.
+  ASSERT_TRUE(m.store(10, 0xdeadbeefu));
+  m.restore_trial(img);
+  std::uint32_t v = 1;
+  ASSERT_TRUE(m.load(10, v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(RestoreTrial, StoreExactlyAtHighWaterBoundaryIsCleared) {
+  DeviceMemory m(MemoryModel::FlatGpu, 64);
+  const auto base = m.alloc(8);
+  std::vector<std::uint32_t> data(8);
+  for (std::uint32_t i = 0; i < 8; ++i) data[i] = 100 + i;
+  m.copy_in(base, data);
+  const auto staged = m.image();
+  ASSERT_EQ(staged.size(), 8u);
+
+  // Scribble at the exact allocation boundary (first unallocated word) and
+  // at the last physical word: both are above the staged prefix and must be
+  // zeroed by restore_trial, while the prefix comes back bitwise.
+  ASSERT_TRUE(m.store(8, 0xffffffffu));
+  ASSERT_TRUE(m.store(63, 0xabababab));
+  // Also corrupt the staged prefix itself.
+  ASSERT_TRUE(m.store(3, 0x12345678u));
+
+  m.restore_trial(staged);
+  EXPECT_EQ(m.image(), staged) << "staged prefix must restore bitwise";
+  std::uint32_t v = 1;
+  ASSERT_TRUE(m.load(8, v));
+  EXPECT_EQ(v, 0u) << "word at the high-water boundary must be wiped";
+  ASSERT_TRUE(m.load(63, v));
+  EXPECT_EQ(v, 0u) << "last physical word must be wiped";
+}
+
+TEST(RestoreTrial, RestoreAfterRestoreIsIdempotent) {
+  DeviceMemory m(MemoryModel::FlatGpu, 128);
+  const auto base = m.alloc(16);
+  std::vector<std::uint32_t> data(16);
+  for (std::uint32_t i = 0; i < 16; ++i) data[i] = i * i + 7;
+  m.copy_in(base, data);
+  const auto staged = m.image();
+
+  ASSERT_TRUE(m.store(base + 5, 0xcccccccc));
+  ASSERT_TRUE(m.store(40, 0xdddddddd));
+  m.restore_trial(staged);
+  const auto after_first = m.image();
+  m.restore_trial(staged);  // no intervening stores: must change nothing
+  EXPECT_EQ(m.image(), after_first);
+  EXPECT_EQ(m.image(), staged);
+  std::uint32_t v = 1;
+  ASSERT_TRUE(m.load(40, v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(RestoreTrial, PostRestoreImageMatchesFreshDeviceBitwise) {
+  // The determinism contract's memory leg: a restored arena must be
+  // indistinguishable from a freshly staged one — compare against a second
+  // device that never ran a faulty trial.
+  const auto stage = [](DeviceMemory& m) {
+    const auto a = m.alloc(12, AllocClass::F32Data);
+    const auto b = m.alloc(4, AllocClass::PtrData);
+    std::vector<std::uint32_t> va(12), vb(4);
+    for (std::uint32_t i = 0; i < 12; ++i) va[i] = 0x40000000u + i;
+    for (std::uint32_t i = 0; i < 4; ++i) vb[i] = i;
+    m.copy_in(a, va);
+    m.copy_in(b, vb);
+  };
+  DeviceMemory dirty(MemoryModel::FlatGpu, 256);
+  DeviceMemory fresh(MemoryModel::FlatGpu, 256);
+  stage(dirty);
+  stage(fresh);
+  const auto staged = fresh.image();
+
+  // Simulate a wild trial: overwrite everything the model lets us reach.
+  for (std::uint32_t addr = 0; addr < 256; ++addr) (void)dirty.store(addr, ~addr);
+  dirty.restore_trial(staged);
+
+  EXPECT_EQ(dirty.image(), fresh.image());
+  for (std::uint32_t addr = 0; addr < 256; ++addr) {
+    std::uint32_t dv = 1, fv = 2;
+    ASSERT_TRUE(dirty.load(addr, dv));
+    ASSERT_TRUE(fresh.load(addr, fv));
+    ASSERT_EQ(dv, fv) << "word " << addr << " differs from a fresh device";
+  }
+}
+
+TEST(RestoreTrial, NoteStoreGrowsTheWatermarkMonotonically) {
+  DeviceMemory m(MemoryModel::FlatGpu, 64);
+  const auto staged = m.image();
+  // Engine-style dirty tracking: stores through flat_arena() + note_store.
+  auto arena = m.flat_arena();
+  ASSERT_FALSE(arena.empty());
+  arena[20] = 0xeeeeeeee;
+  m.note_store(20);
+  arena[5] = 0x55555555;
+  m.note_store(5);  // below the watermark: must not shrink it
+  m.restore_trial(staged);
+  std::uint32_t v = 1;
+  ASSERT_TRUE(m.load(20, v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(m.load(5, v));
+  EXPECT_EQ(v, 0u);
+}

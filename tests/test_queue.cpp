@@ -1,0 +1,171 @@
+// Unit and stress tests for the bounded lock-free MPMC trial queue
+// (swifi/queue.hpp).  The service's correctness argument needs exactly two
+// properties from it: no pushed value is ever lost, and no value is ever
+// delivered twice.  The stress tests check both under SPMC and MPMC
+// schedules, with a seeded schedule shuffler (random yields) to perturb
+// thread interleavings run-to-run while staying reproducible.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "swifi/queue.hpp"
+
+using hauberk::common::Rng;
+using hauberk::swifi::TrialQueue;
+
+namespace {
+
+/// Pop everything until the queue is closed AND drained, marking each value
+/// seen exactly-once in a shared tally.  Returns how many values this
+/// consumer got (for fairness sanity, not correctness).
+std::size_t consume(TrialQueue& q, std::vector<std::atomic<std::uint32_t>>& seen,
+                    std::uint64_t yield_seed) {
+  Rng rng(yield_seed);
+  std::size_t got = 0;
+  std::uint64_t v;
+  for (;;) {
+    if (q.try_pop(v)) {
+      seen[v].fetch_add(1, std::memory_order_relaxed);
+      ++got;
+      if ((rng.next_u64() & 7u) == 0) std::this_thread::yield();  // schedule shuffle
+    } else if (q.closed()) {
+      // closed() is sticky; one more pop settles races with late pushes.
+      if (!q.try_pop(v)) return got;
+      seen[v].fetch_add(1, std::memory_order_relaxed);
+      ++got;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace
+
+TEST(TrialQueue, CapacityIsRoundedToPowerOfTwo) {
+  EXPECT_EQ(TrialQueue(1).capacity(), 2u);
+  EXPECT_EQ(TrialQueue(2).capacity(), 2u);
+  EXPECT_EQ(TrialQueue(3).capacity(), 4u);
+  EXPECT_EQ(TrialQueue(256).capacity(), 256u);
+  EXPECT_EQ(TrialQueue(257).capacity(), 512u);
+}
+
+TEST(TrialQueue, SingleThreadedFifoAndFullEmpty) {
+  TrialQueue q(4);
+  std::uint64_t v = 99;
+  EXPECT_FALSE(q.try_pop(v));  // empty
+  EXPECT_EQ(v, 99u) << "failed pop must not clobber the out-param";
+
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(4)) << "queue holds exactly its capacity";
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i) << "single-threaded order is FIFO";
+  }
+  EXPECT_FALSE(q.try_pop(v));
+
+  // Wrap around several times: the sequence numbers must keep cycling.
+  for (std::uint64_t round = 0; round < 10; ++round) {
+    EXPECT_TRUE(q.try_push(round));
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, round);
+  }
+}
+
+TEST(TrialQueue, CloseIsSticky) {
+  TrialQueue q(4);
+  EXPECT_FALSE(q.closed());
+  ASSERT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  // close() stops producers by convention, not by force: the value already
+  // inside must still drain.
+  std::uint64_t v = 0;
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(TrialQueue, SpmcStressLosesNothingDuplicatesNothing) {
+  constexpr std::uint64_t kTrials = 10000;
+  constexpr int kConsumers = 4;
+  TrialQueue q(64);
+  std::vector<std::atomic<std::uint32_t>> seen(kTrials);
+
+  std::vector<std::thread> consumers;
+  std::vector<std::size_t> got(kConsumers, 0);
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&, c] { got[c] = consume(q, seen, 1000 + c); });
+
+  Rng rng(42);
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    while (!q.try_push(i)) std::this_thread::yield();
+    if ((rng.next_u64() & 15u) == 0) std::this_thread::yield();
+  }
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  std::size_t total = 0;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    EXPECT_EQ(seen[i].load(), 1u) << "trial " << i << " lost or duplicated";
+    total += seen[i].load();
+  }
+  EXPECT_EQ(total, kTrials);
+  std::size_t consumed = 0;
+  for (const auto g : got) consumed += g;
+  EXPECT_EQ(consumed, kTrials);
+}
+
+TEST(TrialQueue, MpmcStressLosesNothingDuplicatesNothing) {
+  constexpr std::uint64_t kTrials = 10000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = kTrials / kProducers;
+  TrialQueue q(32);
+  std::vector<std::atomic<std::uint32_t>> seen(kTrials);
+  std::atomic<int> producers_left{kProducers};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&, p] {
+      Rng rng(500 + p);
+      const std::uint64_t lo = static_cast<std::uint64_t>(p) * kPerProducer;
+      for (std::uint64_t i = lo; i < lo + kPerProducer; ++i) {
+        while (!q.try_push(i)) std::this_thread::yield();
+        if ((rng.next_u64() & 7u) == 0) std::this_thread::yield();
+      }
+      if (producers_left.fetch_sub(1) == 1) q.close();
+    });
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&, c] { (void)consume(q, seen, 2000 + c); });
+  for (auto& t : threads) t.join();
+
+  for (std::uint64_t i = 0; i < kTrials; ++i)
+    ASSERT_EQ(seen[i].load(), 1u) << "trial " << i << " lost or duplicated";
+}
+
+TEST(TrialQueue, TinyCapacityMaximizesContention) {
+  // A 2-slot queue under 2x2 threads forces constant full/empty boundary
+  // crossings — the regime where a broken sequence protocol loses values.
+  constexpr std::uint64_t kTrials = 4000;
+  TrialQueue q(2);
+  std::vector<std::atomic<std::uint32_t>> seen(kTrials);
+  std::atomic<int> producers_left{2};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 2; ++p)
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = static_cast<std::uint64_t>(p); i < kTrials; i += 2) {
+        while (!q.try_push(i)) std::this_thread::yield();
+      }
+      if (producers_left.fetch_sub(1) == 1) q.close();
+    });
+  for (int c = 0; c < 2; ++c)
+    threads.emplace_back([&, c] { (void)consume(q, seen, 3000 + c); });
+  for (auto& t : threads) t.join();
+
+  for (std::uint64_t i = 0; i < kTrials; ++i)
+    ASSERT_EQ(seen[i].load(), 1u) << "trial " << i << " lost or duplicated";
+}

@@ -1,0 +1,85 @@
+// resultlog_dump — read, merge, and pretty-print campaign result logs.
+//
+// The binary per-trial result log (swifi/resultlog.hpp) is what campaignd
+// leaves behind; this tool turns one log — or the merge of one campaign's
+// per-shard logs — into a canonical text form.  The text is deterministic
+// (merge sorts by trial index and normalizes the shard header), so CI can
+// diff a crashed-and-resumed multi-shard campaign against an uninterrupted
+// single-shot reference with plain `diff`.
+//
+// Usage:
+//   resultlog_dump LOG [LOG...] [--records]
+//
+// One LOG prints it as-is; several are merged first (they must agree on
+// config digest and trial total, and must cover every trial exactly once).
+// --records additionally prints one "trial N: outcome" line per record.
+//
+// Exit codes: 0 success, 1 unreadable/mismatched logs, 2 usage error.
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "swifi/resultlog.hpp"
+
+using namespace hauberk;
+
+int main(int argc, char** argv) {
+  bool records = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--records") {
+      records = true;
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      paths.emplace_back(a);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: %s LOG [LOG...] [--records]\n", argv[0]);
+    return 2;
+  }
+
+  swifi::ResultLogData data;
+  try {
+    if (paths.size() == 1) {
+      data = swifi::read_result_log(paths[0]);
+    } else {
+      std::vector<swifi::ResultLogData> shards;
+      shards.reserve(paths.size());
+      for (const auto& p : paths) shards.push_back(swifi::read_result_log(p));
+      data = swifi::merge_result_logs(shards);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("resultlog: shard %u/%u, config digest %016llx, campaign trials %llu\n",
+              data.header.shard_index, data.header.shards,
+              static_cast<unsigned long long>(data.header.config_digest),
+              static_cast<unsigned long long>(data.header.total_trials));
+  std::printf("records %zu, torn tail bytes %llu\n", data.records.size(),
+              static_cast<unsigned long long>(data.torn_tail_bytes));
+
+  const auto c = data.counts();
+  std::printf("failure %llu\n", static_cast<unsigned long long>(c.failure));
+  std::printf("masked %llu\n", static_cast<unsigned long long>(c.masked));
+  std::printf("detected&masked %llu\n", static_cast<unsigned long long>(c.detected_masked));
+  std::printf("detected %llu\n", static_cast<unsigned long long>(c.detected));
+  std::printf("undetected %llu\n", static_cast<unsigned long long>(c.undetected));
+  std::printf("not-activated %llu\n", static_cast<unsigned long long>(c.not_activated));
+  std::printf("race-detected %llu\n", static_cast<unsigned long long>(c.race_detected));
+  std::printf("barrier-divergence %llu\n",
+              static_cast<unsigned long long>(c.barrier_divergence));
+  std::printf("coverage %.6f\n", c.coverage());
+
+  if (records)
+    for (const auto& r : data.records)
+      std::printf("trial %u: %s\n", r.trial,
+                  swifi::outcome_name(static_cast<swifi::Outcome>(r.outcome)));
+  return 0;
+}
