@@ -15,8 +15,10 @@
 // the shadow's overhead; the engine-sweep rows stay unsanitized and their
 // outcome comparison is skipped, since sanitized trials may legitimately
 // reclassify), --engine=reference|fast|sanitizer|threaded (engine for the
-// baseline and executor campaigns; default fast), --json=FILE (write the
-// engine sweep + executor rows as JSON).
+// baseline and executor campaigns; default fast), --protection=none|hamming|
+// hsiao (hardware ECC on every campaign device; the dedicated protected-mode
+// section below always measures none-vs-hsiao regardless), --json=FILE
+// (write the engine sweep + executor + protection rows as JSON).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -65,10 +67,13 @@ int main(int argc, char** argv) {
   const auto cflags = campaign_flags_from(args);
   if (report_flag_errors(args)) return 2;
   const bool sanitize = cflags.sanitize;
+  gpusim::DeviceProps props;
+  props.protection = protection_from(cflags);
   swifi::CampaignConfig cfg;
   cfg.engine = engine_from(cflags);
   cfg.sanitize = sanitize;
   cfg.sanitize_cap = static_cast<std::size_t>(cflags.sanitize_cap);
+  cfg.protection = props.protection;
 
   std::unique_ptr<workloads::Workload> w;
   for (auto& cand : workloads::hpc_suite())
@@ -78,7 +83,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto ctx = make_context(std::move(w), seed, scale);
+  auto ctx = make_context(std::move(w), seed, scale, 1.0, props);
   cfg.pipeline = swifi::PipelineSpec::from_report(ctx.variants.fift_report);
   swifi::PlanOptions opt;
   opt.max_vars = max_vars;
@@ -87,7 +92,7 @@ int main(int argc, char** argv) {
   opt.seed = seed + 7;
   const auto specs = swifi::plan_faults(ctx.variants.fift, ctx.profile, opt);
   const auto n = static_cast<double>(specs.size());
-  const auto factory = context_factory(*ctx.workload, ctx.dataset, {}, &ctx.variants.fift,
+  const auto factory = context_factory(*ctx.workload, ctx.dataset, props, &ctx.variants.fift,
                                        &ctx.profile);
 
   print_header("Campaign throughput: sequential baseline vs parallel executor");
@@ -212,6 +217,49 @@ int main(int argc, char** argv) {
                 engine_s["fast"] / engine_s["threaded"]);
   }
 
+  // Protected-memory (hardware ECC) overhead on the threaded engine: the
+  // same sequential campaign with a (72,64) SEC-DED code on device memory.
+  // Protection closes the flat-arena shortcut — every global access takes
+  // the EDC-checked load()/store() path — so this is the full cost of the
+  // checked path, not just the modeled cycle surcharge.  Acceptance bar
+  // (tracked in EXPERIMENTS.md): within 2x of unprotected throughput.
+  // Outcomes must not move: a register-fault campaign never corrupts memory
+  // cells, so ECC has nothing to correct and classification is invariant.
+  double prot_none_s = 0, prot_hsiao_s = 0;
+  {
+    common::Table pt({"Protection", "Seconds", "Trials/sec", "vs none"});
+    swifi::CampaignResult none_res;
+    for (const auto scheme : {gpusim::ecc::Scheme::None, gpusim::ecc::Scheme::Hsiao}) {
+      gpusim::DeviceProps pprops;
+      pprops.protection = scheme;
+      gpusim::Device dev(pprops);
+      auto job = ctx.workload->make_job(ctx.dataset);
+      swifi::CampaignConfig pcfg;
+      pcfg.engine = gpusim::ExecEngine::Threaded;
+      pcfg.protection = scheme;
+      pcfg.pipeline = cfg.pipeline;
+      swifi::CampaignResult res;
+      const double s = seconds([&] {
+        res = swifi::run_campaign(dev, ctx.variants.fift, *job, ctx.cb.get(), specs,
+                                  ctx.workload->requirement(), pcfg);
+      });
+      if (scheme == gpusim::ecc::Scheme::None) {
+        prot_none_s = s;
+        none_res = res;
+      } else {
+        prot_hsiao_s = s;
+        deterministic = deterministic && same_outcomes(none_res, res);
+      }
+      pt.add_row({gpusim::ecc::scheme_name(scheme), common::Table::num(s, 3),
+                  common::Table::num(n / s, 1),
+                  common::Table::num(s / prot_none_s, 2) + "x"});
+    }
+    std::printf("\nprotected memory (threaded engine, sequential campaign):\n");
+    pt.print();
+    std::printf("hsiao slowdown vs none: %.2fx (acceptance: <= 2x)\n",
+                prot_hsiao_s / prot_none_s);
+  }
+
   // Campaign-startup cost: the instrumentation (pass pipeline) time that
   // precedes any trial, with the analysis-cache behavior behind it.  The
   // full translation-throughput sweep lives in bench_translate_time.
@@ -227,7 +275,7 @@ int main(int argc, char** argv) {
 
   // Launch-plan cache ablation: same sequential campaign with the cache off.
   {
-    gpusim::Device cold;
+    gpusim::Device cold(props);
     cold.set_plan_cache_enabled(false);
     auto job = ctx.workload->make_job(ctx.dataset);
     swifi::CampaignResult res;
@@ -264,6 +312,11 @@ int main(int argc, char** argv) {
                  "    \"vs_executor\": %.4f, \"checkpoint_overhead\": %.4f},\n",
                  service_s, n / service_s, service_s / service_ex_s,
                  service_ckpt_s / service_s);
+    std::fprintf(f, "  \"protection\": {\"threaded_none\": {\"seconds\": %.6f, "
+                 "\"trials_per_sec\": %.2f},\n    \"threaded_hsiao\": {\"seconds\": %.6f, "
+                 "\"trials_per_sec\": %.2f},\n    \"hsiao_slowdown_vs_none\": %.4f},\n",
+                 prot_none_s, n / prot_none_s, prot_hsiao_s, n / prot_hsiao_s,
+                 prot_hsiao_s / prot_none_s);
     std::fprintf(f, "  \"deterministic\": %s\n}\n", deterministic ? "true" : "false");
     std::fclose(f);
   }

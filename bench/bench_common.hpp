@@ -64,6 +64,19 @@ inline gpusim::ExecEngine engine_from(const common::CampaignFlags& f) {
   return static_cast<gpusim::ExecEngine>(f.engine);
 }
 
+// Same arrangement for common::ProtectionKind / gpusim::ecc::Scheme.
+static_assert(static_cast<int>(common::ProtectionKind::None) ==
+              static_cast<int>(gpusim::ecc::Scheme::None));
+static_assert(static_cast<int>(common::ProtectionKind::Hamming) ==
+              static_cast<int>(gpusim::ecc::Scheme::Hamming));
+static_assert(static_cast<int>(common::ProtectionKind::Hsiao) ==
+              static_cast<int>(gpusim::ecc::Scheme::Hsiao));
+
+/// The memory-protection scheme selected by --protection (default none).
+inline gpusim::ecc::Scheme protection_from(const common::CampaignFlags& f) {
+  return static_cast<gpusim::ecc::Scheme>(f.protection);
+}
+
 /// Print accumulated flag diagnostics to stderr; returns true if any.
 inline bool report_flag_errors(const common::CliArgs& args) {
   for (const auto& e : args.errors()) std::fprintf(stderr, "error: %s\n", e.c_str());

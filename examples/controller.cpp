@@ -12,6 +12,8 @@
 //        [--workers=N]   (campaign workers for steps 4/5; 0 = hw concurrency)
 //        [--engine=reference|fast|sanitizer|threaded]
 //                        (campaign trial interpreter; default fast)
+//        [--protection=none|hamming|hsiao]
+//                        (hardware ECC on every device, steps 1-5)
 #include <cstdio>
 #include <fstream>
 
@@ -39,7 +41,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf("=== Hauberk evaluation controller: %s ===\n\n", name.c_str());
-  gpusim::Device dev;
+  const auto cflags = common::parse_campaign_flags(args);
+  for (const auto& err : args.errors()) std::fprintf(stderr, "error: %s\n", err.c_str());
+  if (!args.ok()) return 2;
+  gpusim::DeviceProps props;
+  props.protection = static_cast<gpusim::ecc::Scheme>(cflags.protection);
+  gpusim::Device dev(props);
   const auto v = core::build_variants(w->build_kernel(scale));
   const auto ds = w->make_dataset(args.get_u64("seed", 1), scale);
   auto job = w->make_job(ds);
@@ -92,9 +99,6 @@ int main(int argc, char** argv) {
               ft.sdc_alarm || cb->sdc_detected() ? "YES (bad!)" : "no");
 
   // 4. FI binary: baseline error sensitivity (trials spread across workers).
-  const auto cflags = common::parse_campaign_flags(args);
-  for (const auto& err : args.errors()) std::fprintf(stderr, "error: %s\n", err.c_str());
-  if (!args.ok()) return 2;
   const auto engine = static_cast<gpusim::ExecEngine>(cflags.engine);
   swifi::CampaignExecutor ex(cflags.workers);
   swifi::PlanOptions popt;
@@ -104,12 +108,13 @@ int main(int argc, char** argv) {
   const auto fi_specs = swifi::plan_faults(v.fi, profile, popt);
   swifi::CampaignConfig fi_cfg;
   fi_cfg.engine = engine;
+  fi_cfg.protection = props.protection;
   fi_cfg.pipeline = swifi::PipelineSpec::from_report(v.fi_report);
   const auto fi = ex.run(
       v.fi,
       [&] {
         swifi::WorkerContext ctx;
-        ctx.device = std::make_unique<gpusim::Device>();
+        ctx.device = std::make_unique<gpusim::Device>(props);
         ctx.job = w->make_job(ds);
         return ctx;
       },
@@ -125,12 +130,13 @@ int main(int argc, char** argv) {
   const auto fift_specs = swifi::plan_faults(v.fift, profile, popt);
   swifi::CampaignConfig fift_cfg;
   fift_cfg.engine = engine;
+  fift_cfg.protection = props.protection;
   fift_cfg.pipeline = swifi::PipelineSpec::from_report(v.fift_report);
   const auto fift = ex.run(
       v.fift,
       [&] {
         swifi::WorkerContext ctx;
-        ctx.device = std::make_unique<gpusim::Device>();
+        ctx.device = std::make_unique<gpusim::Device>(props);
         ctx.job = w->make_job(ds);
         ctx.cb = make_loaded_cb();
         return ctx;

@@ -13,6 +13,11 @@
 //                  [--engine=reference|fast|sanitizer|threaded]
 //                                  (trial interpreter; default fast — engines
 //                                   are bitwise identical, only speed differs)
+//                  [--protection=none|hamming|hsiao]
+//                                  (hardware ECC on every campaign device;
+//                                   single-bit memory errors correct, double-bit
+//                                   errors detect — composes with --protected
+//                                   for the hardware-vs-Hauberk comparison)
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -27,7 +32,7 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   for (const auto& f : args.unknown_flags({"program", "bits", "vars", "masks", "protected",
                                            "scale", "seed", "workers", "sanitize",
-                                           "sanitize-cap", "engine"})) {
+                                           "sanitize-cap", "engine", "protection"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
     return 2;
   }
@@ -53,7 +58,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  gpusim::Device dev;
+  gpusim::DeviceProps props;
+  props.protection = static_cast<gpusim::ecc::Scheme>(flags.protection);
+  gpusim::Device dev(props);
   const auto v = core::build_variants(w->build_kernel(scale));
   const auto ds = w->make_dataset(args.get_u64("seed", 1), scale);
   auto job = w->make_job(ds);
@@ -69,21 +76,26 @@ int main(int argc, char** argv) {
   const auto& prog_report = use_ft ? v.fift_report : v.fi_report;
   const auto specs = swifi::plan_faults(prog, profile, opt);
   swifi::CampaignExecutor ex(flags.workers);
-  std::printf("program %s (%s), %d-bit faults, %zu experiments, detectors %s, %d workers%s\n",
+  std::printf("program %s (%s), %d-bit faults, %zu experiments, detectors %s, %d workers%s%s%s\n",
               w->name().c_str(), w->requirement().to_string().c_str(), bits, specs.size(),
               use_ft ? "ON (Hauberk FT)" : "off (baseline sensitivity)", ex.workers(),
-              flags.sanitize ? ", sanitizer ON" : "");
+              flags.sanitize ? ", sanitizer ON" : "",
+              flags.protection != common::ProtectionKind::None ? ", ECC " : "",
+              flags.protection != common::ProtectionKind::None
+                  ? common::protection_kind_name(flags.protection)
+                  : "");
 
   swifi::CampaignConfig cfg;
   cfg.engine = static_cast<gpusim::ExecEngine>(flags.engine);
   cfg.sanitize = flags.sanitize;
   cfg.sanitize_cap = static_cast<std::size_t>(flags.sanitize_cap);
+  cfg.protection = props.protection;
   cfg.pipeline = swifi::PipelineSpec::from_report(prog_report);
   const auto res = ex.run(
       prog,
       [&] {
         swifi::WorkerContext ctx;
-        ctx.device = std::make_unique<gpusim::Device>();
+        ctx.device = std::make_unique<gpusim::Device>(props);
         ctx.job = w->make_job(ds);
         if (use_ft) ctx.cb = core::make_configured_control_block(v.fift, profile);
         return ctx;
@@ -101,6 +113,10 @@ int main(int argc, char** argv) {
   if (flags.sanitize) {
     std::printf("  race detected        : %5.1f%%\n", pct(c.race_detected));
     std::printf("  barrier divergence   : %5.1f%%\n", pct(c.barrier_divergence));
+  }
+  if (flags.protection != common::ProtectionKind::None) {
+    std::printf("  ecc corrected        : %5.1f%%\n", pct(c.ecc_corrected));
+    std::printf("  ecc uncorrectable    : %5.1f%%\n", pct(c.ecc_uncorrectable));
   }
   std::printf("  -------------------------------\n");
   std::printf("  detection coverage   : %5.1f%%\n", 100.0 * c.coverage());

@@ -112,6 +112,26 @@ bool parse_engine_kind(std::string_view text, EngineKind& out) noexcept {
   return false;
 }
 
+const char* protection_kind_name(ProtectionKind k) noexcept {
+  switch (k) {
+    case ProtectionKind::None: return "none";
+    case ProtectionKind::Hamming: return "hamming";
+    case ProtectionKind::Hsiao: return "hsiao";
+  }
+  return "?";
+}
+
+bool parse_protection_kind(std::string_view text, ProtectionKind& out) noexcept {
+  for (const auto k :
+       {ProtectionKind::None, ProtectionKind::Hamming, ProtectionKind::Hsiao}) {
+    if (text == protection_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool parse_shards(std::string_view text, int& shards, int& shard_index) noexcept {
   const auto parse_int = [](std::string_view s, int& out) {
     if (s.empty() || s.size() > 9) return false;
@@ -164,6 +184,12 @@ CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
     if (!parse_engine_kind(text, f.engine))
       args.note_error("--engine: unknown engine '" + text +
                       "' (expected reference|fast|sanitizer|threaded)");
+  }
+  if (args.has("protection")) {
+    const std::string text = args.get("protection");
+    if (!parse_protection_kind(text, f.protection))
+      args.note_error("--protection: unknown scheme '" + text +
+                      "' (expected none|hamming|hsiao)");
   }
   if (args.has("shards")) {
     const std::string text = args.get("shards");

@@ -55,6 +55,18 @@ enum class EngineKind : std::uint8_t { Fast, Reference, Sanitizer, Threaded };
 /// that is not one of reference|fast|sanitizer|threaded.
 [[nodiscard]] bool parse_engine_kind(std::string_view text, EngineKind& out) noexcept;
 
+/// Hardware memory-protection selection, mirroring gpusim::ecc::Scheme value
+/// for value (same arrangement as EngineKind: common cannot link gpusim, and
+/// bench_common.hpp static_asserts pin the correspondence).
+enum class ProtectionKind : std::uint8_t { None, Hamming, Hsiao };
+
+/// Canonical spelling accepted by --protection and printed in reports.
+[[nodiscard]] const char* protection_kind_name(ProtectionKind k) noexcept;
+
+/// Parse a --protection value; returns false (out untouched) on any string
+/// that is not one of none|hamming|hsiao.
+[[nodiscard]] bool parse_protection_kind(std::string_view text, ProtectionKind& out) noexcept;
+
 /// The campaign-control flags shared by every SWIFI-running tool
 /// (fault_campaign, controller, campaignd, and the bench harnesses):
 ///   --workers=N           campaign workers (0 = hardware concurrency)
@@ -69,12 +81,14 @@ enum class EngineKind : std::uint8_t { Fast, Reference, Sanitizer, Threaded };
 ///   --resume=FILE         resume from FILE (also becomes the checkpoint path
 ///                         unless --checkpoint overrides it)
 ///   --resultlog=FILE      compact binary per-trial result log
+///   --protection=K        hardware memory protection: none|hamming|hsiao
 struct CampaignFlags {
   int workers = 0;
   bool sanitize = false;
   int datasets = 1;
   int sanitize_cap = 64;  ///< gpusim::SharedShadow::kMaxReportsPerBlock
   EngineKind engine = EngineKind::Fast;
+  ProtectionKind protection = ProtectionKind::None;
   int shards = 1;
   int shard_index = 0;
   std::uint64_t checkpoint_every = 0;

@@ -39,13 +39,15 @@ const char* launch_status_name(LaunchStatus s) noexcept {
     case LaunchStatus::Hang: return "hang";
     case LaunchStatus::LaunchFailure: return "launch-failure";
     case LaunchStatus::DeviceDisabled: return "device-disabled";
+    case LaunchStatus::EccUncorrectable: return "ecc-uncorrectable";
   }
   return "?";
 }
 
 Device::Device(DeviceProps props)
     : props_(props),
-      mem_(std::make_unique<DeviceMemory>(props.memory_model, props.global_mem_words)) {}
+      mem_(std::make_unique<DeviceMemory>(props.memory_model, props.global_mem_words,
+                                          props.protection)) {}
 
 Device::~Device() = default;  // out of line: WorkerPool is incomplete in the header
 
@@ -62,6 +64,15 @@ void Device::clear_fault() {
 }
 
 namespace {
+
+/// A failed DeviceMemory load/store/rmw is either an invalid address or —
+/// under protection — an uncorrectable ECC error; the thread-local flag the
+/// failing path sets tells which, and the distinction becomes the launch
+/// status (crash-oob vs the machine-check analog).
+inline LaunchStatus mem_fail_status() noexcept {
+  return DeviceMemory::last_fault_uncorrectable() ? LaunchStatus::EccUncorrectable
+                                                  : LaunchStatus::CrashOutOfBounds;
+}
 
 constexpr std::uint32_t aux_op(std::uint32_t aux) noexcept { return aux & 0xffffu; }
 constexpr DType aux_type(std::uint32_t aux) noexcept {
@@ -247,9 +258,12 @@ std::uint32_t eval_un(UnOp op, DType t, std::uint32_t a) noexcept {
   }
 }
 
-/// Per-instruction static cost including register-spill surcharge.
+/// Per-instruction static cost including register-spill surcharge.  `ecc`
+/// (device has protected memory) folds the per-access EDC-check/encode
+/// surcharge into every global access right here at plan build, so the
+/// engines' hot paths never branch on the protection mode.
 std::uint32_t static_cost(const Instr& in, const CostModel& cm,
-                          const std::vector<bool>& spilled) {
+                          const std::vector<bool>& spilled, bool ecc) {
   std::uint32_t base = 0;
   switch (in.op) {
     case OpCode::Nop: base = 0; break;
@@ -279,11 +293,13 @@ std::uint32_t static_cost(const Instr& in, const CostModel& cm,
       else base = f ? cm.fpu_addmul : cm.alu;
       break;
     }
-    case OpCode::LoadG: base = cm.load_global; break;
-    case OpCode::StoreG: base = cm.store_global; break;
+    case OpCode::LoadG: base = cm.load_global + (ecc ? cm.ecc_check : 0); break;
+    case OpCode::StoreG: base = cm.store_global + (ecc ? cm.ecc_encode : 0); break;
     case OpCode::LoadS: base = cm.load_shared; break;
     case OpCode::StoreS: base = cm.store_shared; break;
-    case OpCode::AtomicAddG: base = cm.atomic_global; break;
+    case OpCode::AtomicAddG:
+      base = cm.atomic_global + (ecc ? cm.ecc_check + cm.ecc_encode : 0);
+      break;
     case OpCode::Barrier: base = cm.barrier; break;
     case OpCode::Halt: base = 0; break;
     case OpCode::ChkXor: base = cm.chk_xor; break;
@@ -526,14 +542,14 @@ ThreadStop BlockExec::run_thread(ThreadCtx& t, LaunchStatus& crash_status) {
         break;
       case OpCode::LoadG:
         if (!mem.load(regs[in.a], regs[in.dst])) {
-          crash_status = LaunchStatus::CrashOutOfBounds;
+          crash_status = mem_fail_status();
           finish();
           return ThreadStop::Crash;
         }
         break;
       case OpCode::StoreG:
         if (!mem.store(regs[in.a], regs[in.b])) {
-          crash_status = LaunchStatus::CrashOutOfBounds;
+          crash_status = mem_fail_status();
           finish();
           return ThreadStop::Crash;
         }
@@ -556,17 +572,19 @@ ThreadStop BlockExec::run_thread(ThreadCtx& t, LaunchStatus& crash_status) {
         break;
       case OpCode::AtomicAddG: {
         std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
-        std::uint32_t* w = mem.word_ptr(regs[in.a]);
-        if (!w) {
-          crash_status = LaunchStatus::CrashOutOfBounds;
+        const bool ok =
+            aux_type(in.aux) == DType::F32
+                ? mem.rmw(regs[in.a],
+                          [&](std::uint32_t w) { return fadd_bits(w, regs[in.b]); })
+                : mem.rmw(regs[in.a], [&](std::uint32_t w) {
+                    return i_bits(static_cast<std::int32_t>(
+                        static_cast<std::int64_t>(as_i(w)) + as_i(regs[in.b])));
+                  });
+        if (!ok) {
+          crash_status = mem_fail_status();
           finish();
           return ThreadStop::Crash;
         }
-        if (aux_type(in.aux) == DType::F32)
-          *w = fadd_bits(*w, regs[in.b]);
-        else
-          *w = i_bits(static_cast<std::int32_t>(
-              static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in.b])));
         break;
       }
       case OpCode::Jmp:
@@ -818,7 +836,7 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
           if (addr >= gsize) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
           regs[in.dst] = gmem[addr];
         } else if (!mem.load(addr, regs[in.dst])) {
-          FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+          FAST_CRASH(mem_fail_status());
         }
         break;
       }
@@ -829,7 +847,7 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
           gmem[addr] = regs[in.b];
           mem.note_store(addr);
         } else if (!mem.store(addr, regs[in.b])) {
-          FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+          FAST_CRASH(mem_fail_status());
         }
         break;
       }
@@ -859,21 +877,31 @@ ThreadStop BlockExec::run_thread_fast(ThreadCtx& t, LaunchStatus& crash_status) 
       }
       case DecodedOp::AtomicAddF: {
         std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
-        std::uint32_t* const w = gmem ? (regs[in.a] < gsize ? gmem + regs[in.a] : nullptr)
-                                      : mem.word_ptr(regs[in.a]);
-        if (!w) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
-        if (gmem) mem.note_store(regs[in.a]);
-        *w = fadd_bits(*w, regs[in.b]);
+        if (gmem) {
+          if (regs[in.a] >= gsize) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+          mem.note_store(regs[in.a]);
+          std::uint32_t* const w = gmem + regs[in.a];
+          *w = fadd_bits(*w, regs[in.b]);
+        } else if (!mem.rmw(regs[in.a],
+                            [&](std::uint32_t w) { return fadd_bits(w, regs[in.b]); })) {
+          FAST_CRASH(mem_fail_status());
+        }
         break;
       }
       case DecodedOp::AtomicAddI: {
         std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
-        std::uint32_t* const w = gmem ? (regs[in.a] < gsize ? gmem + regs[in.a] : nullptr)
-                                      : mem.word_ptr(regs[in.a]);
-        if (!w) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
-        if (gmem) mem.note_store(regs[in.a]);
-        *w = i_bits(static_cast<std::int32_t>(
-            static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in.b])));
+        if (gmem) {
+          if (regs[in.a] >= gsize) FAST_CRASH(LaunchStatus::CrashOutOfBounds);
+          mem.note_store(regs[in.a]);
+          std::uint32_t* const w = gmem + regs[in.a];
+          *w = i_bits(static_cast<std::int32_t>(
+              static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in.b])));
+        } else if (!mem.rmw(regs[in.a], [&](std::uint32_t w) {
+                     return i_bits(static_cast<std::int32_t>(
+                         static_cast<std::int64_t>(as_i(w)) + as_i(regs[in.b])));
+                   })) {
+          FAST_CRASH(mem_fail_status());
+        }
         break;
       }
 
@@ -1275,7 +1303,7 @@ ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_stat
       if (addr >= gsize) T_CRASH(LaunchStatus::CrashOutOfBounds);
       regs[in->dst] = gmem[addr];
     } else if (!mem.load(addr, regs[in->dst])) {
-      T_CRASH(LaunchStatus::CrashOutOfBounds);
+      T_CRASH(mem_fail_status());
     }
     T_NEXT();
   }
@@ -1287,7 +1315,7 @@ ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_stat
       gmem[addr] = regs[in->b];
       mem.note_store(addr);
     } else if (!mem.store(addr, regs[in->b])) {
-      T_CRASH(LaunchStatus::CrashOutOfBounds);
+      T_CRASH(mem_fail_status());
     }
     T_NEXT();
   }
@@ -1313,11 +1341,15 @@ ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_stat
     T_STEP1();
     {
       std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
-      std::uint32_t* const w = gmem ? (regs[in->a] < gsize ? gmem + regs[in->a] : nullptr)
-                                    : mem.word_ptr(regs[in->a]);
-      if (!w) T_CRASH(LaunchStatus::CrashOutOfBounds);
-      if (gmem) mem.note_store(regs[in->a]);
-      *w = fadd_bits(*w, regs[in->b]);
+      if (gmem) {
+        if (regs[in->a] >= gsize) T_CRASH(LaunchStatus::CrashOutOfBounds);
+        mem.note_store(regs[in->a]);
+        std::uint32_t* const w = gmem + regs[in->a];
+        *w = fadd_bits(*w, regs[in->b]);
+      } else if (!mem.rmw(regs[in->a],
+                          [&](std::uint32_t w) { return fadd_bits(w, regs[in->b]); })) {
+        T_CRASH(mem_fail_status());
+      }
     }
     T_NEXT();
   }
@@ -1325,12 +1357,18 @@ ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_stat
     T_STEP1();
     {
       std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
-      std::uint32_t* const w = gmem ? (regs[in->a] < gsize ? gmem + regs[in->a] : nullptr)
-                                    : mem.word_ptr(regs[in->a]);
-      if (!w) T_CRASH(LaunchStatus::CrashOutOfBounds);
-      if (gmem) mem.note_store(regs[in->a]);
-      *w = i_bits(static_cast<std::int32_t>(
-          static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in->b])));
+      if (gmem) {
+        if (regs[in->a] >= gsize) T_CRASH(LaunchStatus::CrashOutOfBounds);
+        mem.note_store(regs[in->a]);
+        std::uint32_t* const w = gmem + regs[in->a];
+        *w = i_bits(static_cast<std::int32_t>(
+            static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in->b])));
+      } else if (!mem.rmw(regs[in->a], [&](std::uint32_t w) {
+                   return i_bits(static_cast<std::int32_t>(
+                       static_cast<std::int64_t>(as_i(w)) + as_i(regs[in->b])));
+                 })) {
+        T_CRASH(mem_fail_status());
+      }
     }
     T_NEXT();
   }
@@ -1654,7 +1692,7 @@ ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_stat
       if (addr >= gsize) T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
       regs[in->dst] = gmem[addr];
     } else if (!mem.load(addr, regs[in->dst])) {
-      T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+      T_NK_CRASH(mem_fail_status());
     }
     T_NEXT();
   }
@@ -1666,7 +1704,7 @@ ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_stat
       gmem[addr] = regs[in->b];
       mem.note_store(addr);
     } else if (!mem.store(addr, regs[in->b])) {
-      T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+      T_NK_CRASH(mem_fail_status());
     }
     T_NEXT();
   }
@@ -1688,11 +1726,15 @@ ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_stat
     ++pc;
     {
       std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
-      std::uint32_t* const w = gmem ? (regs[in->a] < gsize ? gmem + regs[in->a] : nullptr)
-                                    : mem.word_ptr(regs[in->a]);
-      if (!w) T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
-      if (gmem) mem.note_store(regs[in->a]);
-      *w = fadd_bits(*w, regs[in->b]);
+      if (gmem) {
+        if (regs[in->a] >= gsize) T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+        mem.note_store(regs[in->a]);
+        std::uint32_t* const w = gmem + regs[in->a];
+        *w = fadd_bits(*w, regs[in->b]);
+      } else if (!mem.rmw(regs[in->a],
+                          [&](std::uint32_t w) { return fadd_bits(w, regs[in->b]); })) {
+        T_NK_CRASH(mem_fail_status());
+      }
     }
     T_NEXT();
   }
@@ -1700,12 +1742,18 @@ ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_stat
     ++pc;
     {
       std::lock_guard<std::mutex> lk(dev_.atomic_mutex());
-      std::uint32_t* const w = gmem ? (regs[in->a] < gsize ? gmem + regs[in->a] : nullptr)
-                                    : mem.word_ptr(regs[in->a]);
-      if (!w) T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
-      if (gmem) mem.note_store(regs[in->a]);
-      *w = i_bits(static_cast<std::int32_t>(
-          static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in->b])));
+      if (gmem) {
+        if (regs[in->a] >= gsize) T_NK_CRASH(LaunchStatus::CrashOutOfBounds);
+        mem.note_store(regs[in->a]);
+        std::uint32_t* const w = gmem + regs[in->a];
+        *w = i_bits(static_cast<std::int32_t>(
+            static_cast<std::int64_t>(as_i(*w)) + as_i(regs[in->b])));
+      } else if (!mem.rmw(regs[in->a], [&](std::uint32_t w) {
+                   return i_bits(static_cast<std::int32_t>(
+                       static_cast<std::int64_t>(as_i(w)) + as_i(regs[in->b])));
+                 })) {
+        T_NK_CRASH(mem_fail_status());
+      }
     }
     T_NEXT();
   }
@@ -1810,7 +1858,7 @@ ThreadStop BlockExec::run_thread_threaded(ThreadCtx& t, LaunchStatus& crash_stat
       if (a_ >= gsize) T_NK_CRASH(LaunchStatus::CrashOutOfBounds); \
       (DST) = gmem[a_];                                            \
     } else if (!mem.load(a_, (DST))) {                             \
-      T_NK_CRASH(LaunchStatus::CrashOutOfBounds);                  \
+      T_NK_CRASH(mem_fail_status());                               \
     }                                                              \
   }
 
@@ -2069,11 +2117,16 @@ constexpr std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) noexcept {
 /// miss rather than serve a plan without it).  Hashed field-by-field (never
 /// raw struct bytes, which would include indeterminate padding).
 std::uint64_t plan_fingerprint(const kir::BytecodeProgram& program, const CostModel& cm,
-                               std::uint32_t regs_per_thread, ExecEngine engine) noexcept {
+                               std::uint32_t regs_per_thread, ExecEngine engine,
+                               ecc::Scheme protection) noexcept {
   std::uint64_t h = fp_mix(0x48415542ULL, program.code.size());
   h = fp_mix(h, program.num_slots);
   h = fp_mix(h, regs_per_thread);
   h = fp_mix(h, static_cast<std::uint64_t>(engine));
+  // Protection folds ECC surcharges into the cost vector and switches the
+  // threaded compile off the flat-arena specializations; a plan built for
+  // one mode must never be served to the other.
+  h = fp_mix(h, static_cast<std::uint64_t>(protection));
   for (const Instr& in : program.code) {
     h = fp_mix(h, (static_cast<std::uint64_t>(in.op) << 56) |
                       (static_cast<std::uint64_t>(in.flags) << 48) |
@@ -2085,7 +2138,8 @@ std::uint64_t plan_fingerprint(const kir::BytecodeProgram& program, const CostMo
                           cm.store_global, cm.load_shared, cm.store_shared, cm.atomic_global,
                           cm.barrier, cm.chk_xor, cm.dup_cmp, cm.range_check, cm.equal_check,
                           cm.chk_validate, cm.spill, cm.scatter_percent,
-                          cm.hauberk_dup_percent, cm.control_block_per_launch})
+                          cm.hauberk_dup_percent, cm.control_block_per_launch, cm.ecc_check,
+                          cm.ecc_encode, cm.ecc_scrub})
     h = fp_mix(h, v);
   return h;
 }
@@ -2094,7 +2148,7 @@ std::uint64_t plan_fingerprint(const kir::BytecodeProgram& program, const CostMo
 /// per-instruction cost vector.
 std::vector<std::uint32_t> compute_launch_costs(const kir::BytecodeProgram& program,
                                                 const CostModel& cm,
-                                                std::uint32_t regs_per_thread) {
+                                                std::uint32_t regs_per_thread, bool ecc) {
   // Register allocation model: when the kernel's register demand exceeds
   // the per-thread budget, the *least frequently accessed* values are
   // spilled to local memory (loop-nested accesses weighted heavily), as a
@@ -2135,7 +2189,7 @@ std::vector<std::uint32_t> compute_launch_costs(const kir::BytecodeProgram& prog
   // Precompute per-instruction cost (base + spill surcharge).
   std::vector<std::uint32_t> costs(program.code.size());
   for (std::size_t i = 0; i < program.code.size(); ++i)
-    costs[i] = static_cost(program.code[i], cm, spilled);
+    costs[i] = static_cost(program.code[i], cm, spilled, ecc);
   return costs;
 }
 
@@ -2151,12 +2205,14 @@ std::shared_ptr<const Device::LaunchPlan> Device::launch_plan(
   // stream the new engine needs.
   auto build = [&] {
     auto plan = std::make_shared<LaunchPlan>();
-    plan->costs = compute_launch_costs(program, cost_, props_.regs_per_thread);
+    plan->costs = compute_launch_costs(program, cost_, props_.regs_per_thread,
+                                       props_.protection != ecc::Scheme::None);
     plan->decoded = kir::decode_program(program, plan->costs);
     if (engine_ == ExecEngine::Threaded)
       plan->threaded =
           kir::compile_threaded(plan->decoded, program.num_slots,
-                                props_.memory_model == MemoryModel::FlatGpu);
+                                props_.memory_model == MemoryModel::FlatGpu &&
+                                    props_.protection == ecc::Scheme::None);
     return std::shared_ptr<const LaunchPlan>(std::move(plan));
   };
   if (!plan_cache_enabled_) {
@@ -2164,7 +2220,7 @@ std::shared_ptr<const Device::LaunchPlan> Device::launch_plan(
     return build();
   }
   const std::uint64_t key =
-      plan_fingerprint(program, cost_, props_.regs_per_thread, engine_);
+      plan_fingerprint(program, cost_, props_.regs_per_thread, engine_, props_.protection);
   {
     std::lock_guard<std::mutex> lk(plan_mu_);
     for (auto it = plan_cache_.begin(); it != plan_cache_.end(); ++it) {
@@ -2202,6 +2258,10 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
   const auto plan = launch_plan(program);
   const std::vector<std::uint32_t>& costs = plan->costs;
   const bool sanitize = engine_ == ExecEngine::Sanitizer;
+  // Corrections are counted by the memory itself (it scrubs each corrupted
+  // codeword exactly once); the delta across the launch is this launch's
+  // corrected count, deterministic because the set of pairs read is.
+  const std::uint64_t ecc_before = mem_->ecc_corrected();
 
   const std::uint32_t num_blocks = cfg.grid_x * cfg.grid_y;
   std::atomic<std::uint32_t> next_block{0};
@@ -2284,6 +2344,11 @@ LaunchResult Device::launch(const kir::BytecodeProgram& program, const LaunchCon
   res.instructions = instructions.load();
   res.simt_cycles = simt_cycles.load();
   res.threads = cfg.total_threads();
+  // Per-correction scrub write-back: charged flat per corrected codeword
+  // (the per-access check/encode cost is already folded into the plan's
+  // static costs, so only the rare correction path is charged here).
+  res.ecc_corrected = mem_->ecc_corrected() - ecc_before;
+  res.cycles += res.ecc_corrected * cost_.ecc_scrub;
   // The control-block delivery is a host-side per-launch cost; it is charged
   // to the thread-cycle total only (simt_cycles measures kernel execution at
   // warp granularity and would be distorted by a flat host-side constant).

@@ -43,6 +43,11 @@ struct DeviceProps {
   std::uint32_t shared_mem_words = 4096;  // 16 KiB
   std::uint32_t global_mem_words = 16u << 20;
   MemoryModel memory_model = MemoryModel::FlatGpu;
+  /// Hardware memory protection on global memory (gpusim/ecc.hpp): a
+  /// (72,64) SEC-DED code checked on every device-side read.  The paper's
+  /// GT200-class parts have none; Hamming/Hsiao model the Fermi-and-later
+  /// ECC the hardware-vs-Hauberk study compares against.
+  ecc::Scheme protection = ecc::Scheme::None;
 };
 
 /// Per-instruction cycle costs.  Values model relative throughput of a
@@ -73,6 +78,14 @@ struct CostModel {
   /// despite a ~75% sequential share).
   std::uint32_t hauberk_dup_percent = 75;
   std::uint32_t control_block_per_launch = 2000;  ///< CPU<->GPU control block delivery
+  /// Protected-memory (ECC) surcharges, charged only when DeviceProps::
+  /// protection is on.  The EDC syndrome check rides every global read and
+  /// the encoder every global write (folded into the static per-instruction
+  /// cost at plan build, so the hot path never branches on them); a
+  /// correction additionally pays the scrub write-back per corrected pair.
+  std::uint32_t ecc_check = 2;    ///< syndrome check per global load
+  std::uint32_t ecc_encode = 2;   ///< check-bit encode per global store
+  std::uint32_t ecc_scrub = 120;  ///< array write-back per corrected codeword
 };
 
 /// Simulated hardware fault in the device itself (used by the BIST/guardian
@@ -99,6 +112,9 @@ enum class LaunchStatus : std::uint8_t {
   Hang,                  ///< per-thread watchdog budget exceeded
   LaunchFailure,         ///< resource violation (e.g. shared memory too large)
   DeviceDisabled,        ///< guardian disabled this device
+  EccUncorrectable,      ///< protected memory detected a double-bit error
+                         ///  (the machine-check analog: kernel is killed,
+                         ///  but the corruption never reaches results)
 };
 
 [[nodiscard]] const char* launch_status_name(LaunchStatus s) noexcept;
@@ -153,6 +169,13 @@ struct LaunchResult {
   /// checks are warp-uniform, so simt_cycles shows they add no divergence
   /// penalty (Section V.A step (iii)).
   std::uint64_t simt_cycles = 0;
+
+  /// Single-bit errors the protected memory corrected (and scrubbed) during
+  /// this launch; 0 when DeviceProps::protection is off.  Each corrected
+  /// codeword also charges CostModel::ecc_scrub into `cycles`.  An
+  /// uncorrectable (double-bit) error instead kills the launch with
+  /// LaunchStatus::EccUncorrectable.
+  std::uint64_t ecc_corrected = 0;
 
   /// CrashBarrierDeadlock diagnostics (any engine): the pc of the barrier
   /// the waiting threads were stuck at and its dense sanitizer site id

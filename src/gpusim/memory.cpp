@@ -13,8 +13,19 @@ constexpr std::uint32_t kPageWords = 1024;
 constexpr std::uint32_t kGapWords = 257 * kPageWords;  // prime-ish page stride
 }  // namespace
 
-DeviceMemory::DeviceMemory(MemoryModel model, std::uint32_t capacity_words)
-    : model_(model), capacity_(capacity_words), words_(capacity_words, 0) {
+thread_local bool DeviceMemory::tl_ecc_fault_ = false;
+
+DeviceMemory::DeviceMemory(MemoryModel model, std::uint32_t capacity_words,
+                           ecc::Scheme protection)
+    : model_(model),
+      protection_(protection),
+      // Codewords span aligned pairs of words; keep the arena pair-complete.
+      capacity_(capacity_words + (capacity_words & 1u)),
+      words_(capacity_, 0) {
+  if (protection_ != ecc::Scheme::None) {
+    code_ = &ecc::code(protection_);
+    check_.assign(capacity_ / 2, 0);  // zero data encodes to zero check bits
+  }
   // Start CPU placements away from address 0 so null-ish pointers fault.
   next_base_ = model_ == MemoryModel::PagedCpu ? 16 * kPageWords : 0;
 }
@@ -31,6 +42,7 @@ void DeviceMemory::reset() {
   std::fill(words_.begin(),
             words_.begin() + static_cast<long>(hi < words_.size() ? hi : words_.size()),
             0u);
+  zero_check_tail(0, hi);
   for (auto& c : class_words_) c = 0;
   dirty_hi_.store(0, std::memory_order_relaxed);
 }
@@ -88,6 +100,72 @@ void DeviceMemory::copy_out(std::uint32_t addr, std::span<std::uint32_t> out) co
     if (!load(addr + static_cast<std::uint32_t>(i), out[i]))
       throw std::out_of_range("DeviceMemory::copy_out: invalid address");
   }
+}
+
+bool DeviceMemory::store_checked(std::uint32_t idx, std::uint32_t value) noexcept {
+  // A partial (32-bit) write is a read-modify-write of the 64-bit codeword,
+  // exactly as in ECC DRAM: the sibling word is EDC-checked first — a latent
+  // single-bit error gets corrected (and counted) rather than being silently
+  // laundered into the freshly encoded pair, and an uncorrectable pair fails
+  // the store.  The new pair is then re-encoded, which is why datapath
+  // faults that arrive here through a store are invisible to the code.
+  const std::uint32_t p = idx / 2;
+  const std::uint64_t data = static_cast<std::uint64_t>(words_[2 * p]) |
+                             (static_cast<std::uint64_t>(words_[2 * p + 1]) << 32);
+  if (ecc::encode(*code_, data) != check_[p] && !repair_pair(p)) return false;
+  words_[idx] = value;
+  const std::uint64_t fresh = static_cast<std::uint64_t>(words_[2 * p]) |
+                              (static_cast<std::uint64_t>(words_[2 * p + 1]) << 32);
+  check_[p] = ecc::encode(*code_, fresh);
+  note_store(idx);
+  return true;
+}
+
+bool DeviceMemory::repair_and_load(std::uint32_t idx, std::uint32_t& out) const noexcept {
+  // Scrubbing mutates the arena from a logically-const read path; the
+  // corrected value is the canonical content, so observable state only moves
+  // *toward* the clean codeword.
+  auto& self = const_cast<DeviceMemory&>(*this);
+  if (!self.repair_pair(idx / 2)) return false;
+  out = words_[idx];
+  return true;
+}
+
+bool DeviceMemory::repair_pair(std::uint32_t pair) noexcept {
+  std::lock_guard<std::mutex> lock(scrub_mutex_);
+  const std::uint64_t data = static_cast<std::uint64_t>(words_[2 * pair]) |
+                             (static_cast<std::uint64_t>(words_[2 * pair + 1]) << 32);
+  const auto dec = ecc::decode(*code_, data, check_[pair]);
+  if (dec.bit == ecc::kNoError) return true;  // another thread scrubbed it first
+  if (dec.bit == ecc::kUncorrectable) {
+    ecc_uncorrectable_.fetch_add(1, std::memory_order_relaxed);
+    tl_ecc_fault_ = true;
+    return false;
+  }
+  words_[2 * pair] = static_cast<std::uint32_t>(dec.data);
+  words_[2 * pair + 1] = static_cast<std::uint32_t>(dec.data >> 32);
+  check_[pair] = dec.check;
+  ecc_corrected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DeviceMemory::reencode_prefix(std::size_t n) noexcept {
+  if (protection_ == ecc::Scheme::None) return;
+  const std::size_t pairs = check_prefix(n);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const std::uint64_t data = static_cast<std::uint64_t>(words_[2 * p]) |
+                               (static_cast<std::uint64_t>(words_[2 * p + 1]) << 32);
+    check_[p] = ecc::encode(*code_, data);
+  }
+}
+
+void DeviceMemory::zero_check_tail(std::size_t n, std::size_t hi) noexcept {
+  if (protection_ == ecc::Scheme::None) return;
+  const std::size_t from = check_prefix(n);
+  const std::size_t to = check_prefix(hi < words_.size() ? hi : words_.size());
+  if (to > from)
+    std::fill(check_.begin() + static_cast<long>(from),
+              check_.begin() + static_cast<long>(to), std::uint8_t{0});
 }
 
 }  // namespace hauberk::gpusim

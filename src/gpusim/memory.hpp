@@ -16,13 +16,30 @@
 //
 // Addresses are 32-bit *word* indices (each word is 32 bits), matching the
 // IR's PTR values.
+//
+// Protected mode (gpusim/ecc.hpp) layers a hardware-ECC model on top of
+// either address space: every aligned pair of arena words carries one shadow
+// check byte of a (72,64) SEC-DED code.  Stores re-encode their pair — so a
+// datapath fault that reaches memory through a store is, correctly,
+// invisible to ECC — while SWIFI's corrupt_word()/corrupt_check() flip
+// stored bits *without* re-encoding, modeling a memory-cell upset.  Every
+// device-side read EDC-checks its pair: a single-bit error is corrected,
+// scrubbed back to the array and counted; a double-bit error fails the
+// access with the uncorrectable flag raised (the device turns that into
+// LaunchStatus::EccUncorrectable, the machine-check analog).  Protected
+// mode also empties flat_arena(), which routes the fast/threaded engines'
+// raw flat-arena accesses through load()/store() — one hook point, four
+// engines, bitwise-identical observables.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
+
+#include "gpusim/ecc.hpp"
 
 namespace hauberk::gpusim {
 
@@ -34,7 +51,8 @@ enum class AllocClass : std::uint8_t { F32Data, I32Data, PtrData, Other };
 class DeviceMemory {
  public:
   explicit DeviceMemory(MemoryModel model = MemoryModel::FlatGpu,
-                        std::uint32_t capacity_words = 16u << 20);
+                        std::uint32_t capacity_words = 16u << 20,
+                        ecc::Scheme protection = ecc::Scheme::None);
 
   /// Allocate `words` 32-bit words; returns the base word address.
   /// Throws std::bad_alloc on exhaustion.
@@ -48,27 +66,45 @@ class DeviceMemory {
   void copy_out(std::uint32_t addr, std::span<std::uint32_t> out) const;
 
   /// Device-side access used by the interpreter: returns false on an invalid
-  /// address (the GPU kernel crash / CPU segfault signal) instead of
-  /// throwing, keeping the interpreter hot path exception-free.
+  /// address (the GPU kernel crash / CPU segfault signal) or an uncorrectable
+  /// ECC error (see last_fault_uncorrectable()) instead of throwing, keeping
+  /// the interpreter hot path exception-free.
   [[nodiscard]] bool load(std::uint32_t addr, std::uint32_t& out) const noexcept {
-    if (!valid(addr)) return false;
-    out = words_[index_of(addr)];
-    return true;
+    if (!valid(addr)) return fail_oob();
+    const std::uint32_t idx = index_of(addr);
+    if (protection_ == ecc::Scheme::None) {
+      out = words_[idx];
+      return true;
+    }
+    return load_checked(idx, out);
   }
   [[nodiscard]] bool store(std::uint32_t addr, std::uint32_t value) noexcept {
-    if (!valid(addr)) return false;
+    if (!valid(addr)) return fail_oob();
     const std::uint32_t idx = index_of(addr);
-    words_[idx] = value;
-    note_store(idx);
-    return true;
+    if (protection_ == ecc::Scheme::None) {
+      words_[idx] = value;
+      note_store(idx);
+      return true;
+    }
+    return store_checked(idx, value);
   }
-  /// Atomic read-modify-write word pointer for AtomicAddG (callers
-  /// synchronize via the device's atomic mutex); nullptr when invalid.
-  [[nodiscard]] std::uint32_t* word_ptr(std::uint32_t addr) noexcept {
-    if (!valid(addr)) return nullptr;
+  /// Read-modify-write for AtomicAddG (callers hold the device's atomic
+  /// mutex): `f` maps the current word value to the new one.  Under
+  /// protection the read is EDC-checked/corrected and the write re-encodes
+  /// the pair; returns false on an invalid address or an uncorrectable
+  /// error, exactly like load()/store().
+  template <class F>
+  [[nodiscard]] bool rmw(std::uint32_t addr, F&& f) noexcept {
+    if (!valid(addr)) return fail_oob();
     const std::uint32_t idx = index_of(addr);
-    note_store(idx);
-    return &words_[idx];
+    if (protection_ == ecc::Scheme::None) {
+      words_[idx] = f(words_[idx]);
+      note_store(idx);
+      return true;
+    }
+    std::uint32_t cur;
+    if (!load_checked(idx, cur)) return false;
+    return store_checked(idx, f(cur));
   }
 
   /// Record that physical word `idx` may now differ from zero.  Interpreter
@@ -90,10 +126,12 @@ class DeviceMemory {
   /// addressing (FlatGpu: addr == storage index, valid() == addr < capacity)
   /// the whole physical arena, so loads/stores reduce to one bounds compare
   /// and one indexed access.  Empty for PagedCpu, whose extent lookup has no
-  /// such shortcut — callers must fall back to load()/store().
+  /// such shortcut, and in protected mode, where every access must pass the
+  /// EDC check — callers must fall back to load()/store().
   [[nodiscard]] std::span<std::uint32_t> flat_arena() noexcept {
-    return model_ == MemoryModel::FlatGpu ? std::span<std::uint32_t>(words_)
-                                          : std::span<std::uint32_t>{};
+    return model_ == MemoryModel::FlatGpu && protection_ == ecc::Scheme::None
+               ? std::span<std::uint32_t>(words_)
+               : std::span<std::uint32_t>{};
   }
 
   /// Checkpoint support (CheCUDA-style, Section VI(i)): snapshot the live
@@ -103,10 +141,22 @@ class DeviceMemory {
   [[nodiscard]] std::vector<std::uint32_t> image() const {
     return {words_.begin(), words_.begin() + used_};
   }
+  /// Shadow check bytes over the live arena prefix (pair-granular; empty
+  /// when unprotected).  TrialStage snapshots this next to image() so
+  /// restore_trial() can put the check arena back bitwise instead of
+  /// re-encoding it.
+  [[nodiscard]] std::vector<std::uint8_t> check_image() const {
+    if (protection_ == ecc::Scheme::None) return {};
+    return {check_.begin(), check_.begin() + static_cast<long>(check_prefix(used_))};
+  }
   void restore(std::span<const std::uint32_t> img) {
     const std::size_t n = img.size() < used_ ? img.size() : used_;
     std::copy(img.begin(), img.begin() + static_cast<long>(n), words_.begin());
     if (n > 0) note_store(static_cast<std::uint32_t>(n - 1));
+    // The restored image is taken as ground truth: re-encode its check
+    // bytes.  Raw fault injection (corrupt_word / corrupt_check) happens
+    // *after* the restore, so the codeword actually disagrees with the data.
+    reencode_prefix(n);
   }
   /// Exact equivalent of reset() + re-allocation + re-upload for a layout
   /// that has not changed between launches: restore the staged prefix and
@@ -115,8 +165,12 @@ class DeviceMemory {
   /// launch may have scribbled physical words that were never allocated;
   /// reset() would have zeroed those too, but by wiping the entire arena —
   /// the watermark keeps the per-trial cost proportional to what the trial
-  /// actually touched instead of to device capacity.
-  void restore_trial(std::span<const std::uint32_t> img) {
+  /// actually touched instead of to device capacity.  `check_img` (from
+  /// check_image(), empty when unprotected) restores the shadow check arena
+  /// the same way: staged prefix copied back, dirty tail zeroed (the zero
+  /// word encodes to a zero check byte under both linear codes).
+  void restore_trial(std::span<const std::uint32_t> img,
+                     std::span<const std::uint8_t> check_img = {}) {
     const std::size_t n = img.size() < words_.size() ? img.size() : words_.size();
     const std::size_t hi = dirty_hi_.load(std::memory_order_relaxed);
     std::copy(img.begin(), img.begin() + static_cast<long>(n), words_.begin());
@@ -124,14 +178,63 @@ class DeviceMemory {
       std::fill(words_.begin() + static_cast<long>(n),
                 words_.begin() + static_cast<long>(hi < words_.size() ? hi : words_.size()),
                 0u);
+    if (protection_ != ecc::Scheme::None) {
+      const std::size_t cn = check_prefix(n);
+      if (check_img.size() >= cn) {
+        std::copy(check_img.begin(), check_img.begin() + static_cast<long>(cn),
+                  check_.begin());
+        const std::size_t chi = check_prefix(hi < words_.size() ? hi : words_.size());
+        if (chi > cn)
+          std::fill(check_.begin() + static_cast<long>(cn),
+                    check_.begin() + static_cast<long>(chi), std::uint8_t{0});
+      } else {
+        // No staged check image (caller predates protection): fall back to
+        // re-encoding, which is bitwise what a fresh stage would hold.
+        reencode_prefix(n);
+        zero_check_tail(n, hi);
+      }
+    }
     dirty_hi_.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
   }
 
+  /// SWIFI memory-cell fault injection: XOR a mask into a stored data word
+  /// (physical index, as used by image()) or into the check byte of the
+  /// word's pair, *without* re-encoding — the codeword is left disagreeing
+  /// with itself exactly as a particle strike would leave a DRAM row.
+  void corrupt_word(std::uint32_t idx, std::uint32_t mask) noexcept {
+    if (idx >= words_.size() || mask == 0) return;
+    words_[idx] ^= mask;
+    note_store(idx);
+  }
+  void corrupt_check(std::uint32_t idx, std::uint8_t mask) noexcept {
+    if (protection_ == ecc::Scheme::None || idx >= words_.size()) return;
+    check_[idx / 2] ^= mask;
+  }
+
   [[nodiscard]] MemoryModel model() const noexcept { return model_; }
+  [[nodiscard]] ecc::Scheme protection() const noexcept { return protection_; }
   [[nodiscard]] std::uint32_t used_words() const noexcept { return used_; }
   [[nodiscard]] std::uint64_t allocated_bytes(AllocClass cls) const noexcept {
     return 4ull * class_words_[static_cast<int>(cls)];
   }
+
+  /// Single-bit errors corrected (and scrubbed) since construction.  Each
+  /// corrupted pair is counted exactly once — the scrub runs under a mutex
+  /// with the syndrome re-checked, so concurrent readers of the same bad
+  /// pair cannot double-count and the total is schedule-independent.
+  [[nodiscard]] std::uint64_t ecc_corrected() const noexcept {
+    return ecc_corrected_.load(std::memory_order_relaxed);
+  }
+  /// Uncorrectable (double-bit) errors detected since construction.
+  [[nodiscard]] std::uint64_t ecc_uncorrectable() const noexcept {
+    return ecc_uncorrectable_.load(std::memory_order_relaxed);
+  }
+
+  /// Whether this thread's most recent failed load/store/rmw failed because
+  /// of an uncorrectable ECC error (true) or an invalid address (false).
+  /// Thread-local, so concurrent engine workers cannot smear each other's
+  /// crash causes.
+  [[nodiscard]] static bool last_fault_uncorrectable() noexcept { return tl_ecc_fault_; }
 
  private:
   struct Extent {
@@ -141,9 +244,48 @@ class DeviceMemory {
 
   [[nodiscard]] std::uint32_t index_of(std::uint32_t addr) const noexcept;
 
+  /// Check bytes covering word prefix [0, n): pairs are word-aligned, so a
+  /// prefix of n words spans ceil(n/2) check bytes.
+  [[nodiscard]] static std::size_t check_prefix(std::size_t n) noexcept {
+    return (n + 1) / 2;
+  }
+
+  static bool fail_oob() noexcept {
+    tl_ecc_fault_ = false;
+    return false;
+  }
+
+  [[nodiscard]] bool load_checked(std::uint32_t idx, std::uint32_t& out) const noexcept {
+    const std::uint32_t p = idx / 2;
+    const std::uint64_t data =
+        static_cast<std::uint64_t>(words_[2 * p]) |
+        (static_cast<std::uint64_t>(words_[2 * p + 1]) << 32);
+    if (ecc::encode(*code_, data) == check_[p]) {
+      out = words_[idx];
+      return true;
+    }
+    return repair_and_load(idx, out);
+  }
+  [[nodiscard]] bool store_checked(std::uint32_t idx, std::uint32_t value) noexcept;
+  /// Cold path: correct + scrub a pair whose syndrome is nonzero, or raise
+  /// the uncorrectable flag.  Out-of-line; serialized so a pair is counted
+  /// (and scrubbed) exactly once no matter how many threads race on it.
+  bool repair_and_load(std::uint32_t idx, std::uint32_t& out) const noexcept;
+  [[nodiscard]] bool repair_pair(std::uint32_t pair) noexcept;
+
+  void reencode_prefix(std::size_t n) noexcept;
+  void zero_check_tail(std::size_t n, std::size_t hi) noexcept;
+
   MemoryModel model_;
+  ecc::Scheme protection_;
+  const ecc::Code* code_ = nullptr;  ///< tables when protected, else nullptr
   std::uint32_t capacity_;
   std::vector<std::uint32_t> words_;
+  /// Shadow check-bit arena: one byte per aligned pair of words (empty when
+  /// unprotected).  Invariant outside injected faults: check_[p] ==
+  /// encode(words_[2p] | words_[2p+1] << 32); the all-zero arena satisfies
+  /// it for free because the codes are linear.
+  std::vector<std::uint8_t> check_;
   std::uint32_t used_ = 0;           // FlatGpu high-water mark / PagedCpu storage cursor
   std::uint32_t next_base_ = 0;      // PagedCpu virtual placement cursor
   std::vector<Extent> extents_;      // PagedCpu live allocations (sorted by base)
@@ -153,6 +295,11 @@ class DeviceMemory {
   /// worker threads note stores concurrently; relaxed order is enough since
   /// restore_trial only runs between launches, after the pool joined).
   std::atomic<std::uint32_t> dirty_hi_{0};
+  /// Scrub serialization + deterministic correction counting (cold path).
+  mutable std::mutex scrub_mutex_;
+  mutable std::atomic<std::uint64_t> ecc_corrected_{0};
+  mutable std::atomic<std::uint64_t> ecc_uncorrectable_{0};
+  static thread_local bool tl_ecc_fault_;
 };
 
 }  // namespace hauberk::gpusim

@@ -23,6 +23,8 @@ const char* outcome_name(Outcome o) noexcept {
     case Outcome::NotActivated: return "not-activated";
     case Outcome::RaceDetected: return "race-detected";
     case Outcome::BarrierDivergence: return "barrier-divergence";
+    case Outcome::EccCorrected: return "ecc-corrected";
+    case Outcome::EccDetectedUncorrectable: return "ecc-uncorrectable";
   }
   return "?";
 }
@@ -37,6 +39,8 @@ void OutcomeCounts::add(Outcome o) noexcept {
     case Outcome::NotActivated: ++not_activated; break;
     case Outcome::RaceDetected: ++race_detected; break;
     case Outcome::BarrierDivergence: ++barrier_divergence; break;
+    case Outcome::EccCorrected: ++ecc_corrected; break;
+    case Outcome::EccDetectedUncorrectable: ++ecc_uncorrectable; break;
   }
 }
 
@@ -110,9 +114,18 @@ namespace {
 
 Outcome classify(const gpusim::LaunchResult& res, bool alarm, const core::ProgramOutput& out,
                  const core::ProgramOutput& golden, const workloads::Requirement& req) {
+  // Hardware-ECC taxonomy first: an uncorrectable (double-bit) error kills
+  // the kernel but is *detected* — it never reaches results silently, so it
+  // gets its own class instead of folding into Failure.  A run that finished
+  // clean only because the code corrected a single-bit memory error is
+  // EccCorrected rather than Masked: the hardware, not luck or the workload's
+  // tolerance, absorbed the fault.  Detector alarms keep priority — if
+  // Hauberk also fired, the trial stays in the Detected classes.
+  if (res.status == LaunchStatus::EccUncorrectable) return Outcome::EccDetectedUncorrectable;
   if (res.status != LaunchStatus::Ok) return Outcome::Failure;
   const bool correct = req.satisfied(out, golden);
   if (alarm) return correct ? Outcome::DetectedMasked : Outcome::Detected;
+  if (correct && res.ecc_corrected > 0) return Outcome::EccCorrected;
   return correct ? Outcome::Masked : Outcome::Undetected;
 }
 
@@ -140,9 +153,10 @@ const std::vector<kir::Value>& TrialStage::stage() {
   if (!primed_) {
     args_ = job_->setup(*dev_);
     image_ = dev_->mem().image();
+    check_image_ = dev_->mem().check_image();
     primed_ = true;
   } else {
-    dev_->mem().restore_trial(image_);
+    dev_->mem().restore_trial(image_, check_image_);
   }
   return args_;
 }
@@ -166,7 +180,9 @@ Outcome run_one_fault(Device& dev, const kir::BytecodeProgram& program, core::Ke
   const auto res = dev.launch(program, job.config(), args, opts);
   if (!hooks.activated() && res.status == LaunchStatus::Ok) return Outcome::NotActivated;
   if (const auto so = sanitizer_outcome(dev, res)) return *so;
-  if (res.status != LaunchStatus::Ok) return Outcome::Failure;
+  if (res.status != LaunchStatus::Ok)
+    return res.status == LaunchStatus::EccUncorrectable ? Outcome::EccDetectedUncorrectable
+                                                        : Outcome::Failure;
   const auto out = job.read_output(dev);
   const bool alarm = res.sdc_alarm || (cb && cb->sdc_detected());
   return classify(res, alarm, out, golden, req);
@@ -208,7 +224,7 @@ Outcome run_one_memory_fault(Device& dev, const kir::BytecodeProgram& program,
                              const core::ProgramOutput& golden,
                              const workloads::Requirement& req,
                              std::uint64_t watchdog_instructions, int launch_workers,
-                             std::size_t sanitize_cap) {
+                             std::size_t sanitize_cap, core::ControlBlock* cb) {
   const auto args = job.setup(dev);
   // Corrupt one random live word of device memory ("data segment" fault).
   const std::uint32_t used = dev.mem().used_words();
@@ -216,18 +232,51 @@ Outcome run_one_memory_fault(Device& dev, const kir::BytecodeProgram& program,
   // Addresses in PagedCpu mode are sparse; walk allocations via image().
   auto img = dev.mem().image();
   const std::uint32_t idx = static_cast<std::uint32_t>(rng.next_below(img.size()));
-  img[idx] ^= mask;
-  dev.mem().restore(img);
+  if (dev.mem().protection() == gpusim::ecc::Scheme::None) {
+    img[idx] ^= mask;
+    dev.mem().restore(img);
+  } else {
+    // Protected arena: restore() models an ECC-clean host upload and
+    // re-encodes, so the memory-cell upset must be planted raw *after*
+    // staging.  Check-bit cells are DRAM too: 8 of the codeword's 72 bit
+    // positions live in the shadow byte, so with probability 8/72 the strike
+    // lands there instead (a single check-bit flip — correctable, and a
+    // correct model of a one-cell upset in the check storage).  The extra
+    // draw only happens under protection, keeping the unprotected RNG
+    // sequence — and therefore every existing golden — bitwise unchanged.
+    const std::uint32_t r =
+        static_cast<std::uint32_t>(rng.next_below(gpusim::ecc::kCodeBits));
+    if (r >= gpusim::ecc::kDataBits)
+      dev.mem().corrupt_check(idx, static_cast<std::uint8_t>(
+                                       1u << (r - gpusim::ecc::kDataBits)));
+    else
+      dev.mem().corrupt_word(idx, mask);
+  }
 
+  if (cb) cb->reset_results();
   LaunchOptions opts;
+  opts.hooks = cb;
   opts.watchdog_instructions = watchdog_instructions;
   opts.max_workers = launch_workers;
   opts.sanitize_report_cap = sanitize_cap;
   const auto res = dev.launch(program, job.config(), args, opts);
   if (const auto so = sanitizer_outcome(dev, res)) return *so;
-  if (res.status != LaunchStatus::Ok) return Outcome::Failure;
-  const auto out = job.read_output(dev);
-  return classify(res, res.sdc_alarm, out, golden, req);
+  if (res.status != LaunchStatus::Ok)
+    return res.status == LaunchStatus::EccUncorrectable ? Outcome::EccDetectedUncorrectable
+                                                        : Outcome::Failure;
+  core::ProgramOutput out;
+  try {
+    out = job.read_output(dev);
+  } catch (const std::out_of_range&) {
+    // The kernel never touched the corrupted pair, but the device->host
+    // output copy did: the machine check fires on the copy-out exactly as it
+    // would on a device read.  Detected, never silent.
+    return gpusim::DeviceMemory::last_fault_uncorrectable()
+               ? Outcome::EccDetectedUncorrectable
+               : Outcome::Failure;
+  }
+  const bool alarm = res.sdc_alarm || (cb && cb->sdc_detected());
+  return classify(res, alarm, out, golden, req);
 }
 
 bool validate_program(const kir::BytecodeProgram& p) {
@@ -296,7 +345,9 @@ Outcome run_one_code_fault(Device& dev, const kir::BytecodeProgram& program,
   opts.sanitize_report_cap = sanitize_cap;
   const auto res = dev.launch(mutant, job.config(), args, opts);
   if (const auto so = sanitizer_outcome(dev, res)) return *so;
-  if (res.status != LaunchStatus::Ok) return Outcome::Failure;
+  if (res.status != LaunchStatus::Ok)
+    return res.status == LaunchStatus::EccUncorrectable ? Outcome::EccDetectedUncorrectable
+                                                        : Outcome::Failure;
   const auto out = job.read_output(dev);
   return classify(res, res.sdc_alarm, out, golden, req);
 }

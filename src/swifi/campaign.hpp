@@ -77,6 +77,13 @@ struct CampaignConfig {
   /// the effective engine is Sanitizer; 0 clamps to 1 so the first hazard per
   /// block always survives.
   std::size_t sanitize_cap = gpusim::SharedShadow::kMaxReportsPerBlock;
+  /// Hardware memory protection every campaign device must be built with
+  /// (DeviceProps::protection).  The campaign drivers construct their own
+  /// devices from this; CampaignService additionally folds a non-None scheme
+  /// into the campaign digest, so an ECC checkpoint can never resume an
+  /// unprotected campaign or vice versa (None keeps existing digests — and
+  /// therefore existing checkpoints and logs — bitwise valid).
+  gpusim::ecc::Scheme protection = gpusim::ecc::Scheme::None;
   /// Instrumentation pipeline that produced the injected program; copied
   /// into CampaignResult for experiment logs.
   PipelineSpec pipeline;
@@ -111,6 +118,10 @@ class TrialStage {
   core::KernelJob* job_;
   std::vector<kir::Value> args_;
   std::vector<std::uint32_t> image_;
+  /// Shadow check bytes staged next to image_ (empty when the device is
+  /// unprotected) so a re-staged trial starts with bitwise-identical ECC
+  /// state to a fresh setup, not merely re-encoded-equivalent state.
+  std::vector<std::uint8_t> check_image_;
   bool primed_ = false;
 };
 
@@ -145,7 +156,10 @@ class TrialStage {
 // ---------------------------------------------------------------------------
 
 /// Flip `mask` into a uniformly chosen live memory word after job setup,
-/// then run and classify.
+/// then run and classify.  On a protected device the flip is planted raw
+/// (corrupt_word / corrupt_check) after staging, so hardware ECC actually
+/// sees a cell upset; `cb`, when given, arms Hauberk's range detectors for
+/// the run (the hardware-vs-Hauberk study runs all four combinations).
 [[nodiscard]] Outcome run_one_memory_fault(gpusim::Device& dev,
                                            const kir::BytecodeProgram& program,
                                            core::KernelJob& job, common::Rng& rng,
@@ -155,7 +169,8 @@ class TrialStage {
                                            std::uint64_t watchdog_instructions,
                                            int launch_workers = 0,
                                            std::size_t sanitize_cap =
-                                               gpusim::SharedShadow::kMaxReportsPerBlock);
+                                               gpusim::SharedShadow::kMaxReportsPerBlock,
+                                           core::ControlBlock* cb = nullptr);
 
 /// Flip one random bit in one random instruction encoding ("code segment"
 /// fault).  Structurally invalid mutants are classified as Failure without

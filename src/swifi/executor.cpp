@@ -94,7 +94,8 @@ CampaignResult CampaignExecutor::run_memory_faults(const kir::BytecodeProgram& p
                       const std::uint32_t mask = common::random_mask(rng, error_bits);
                       return run_one_memory_fault(*ctx.device, program, *ctx.job, rng, mask,
                                                   gold.output, req, watchdog,
-                                                  cfg.launch_workers, cfg.sanitize_cap);
+                                                  cfg.launch_workers, cfg.sanitize_cap,
+                                                  ctx.cb.get());
                     });
 }
 

@@ -34,6 +34,12 @@ struct FaultSpec {
 /// classes out of Failure: RaceDetected (the fault turned the kernel racy)
 /// and BarrierDivergence (the fault broke barrier uniformity).  With the
 /// sanitizer off, those trials classify exactly as before.
+/// Campaigns on a protected-memory device (CampaignConfig::protection) add
+/// the hardware-ECC taxonomy: EccCorrected (the code corrected a single-bit
+/// memory error and the run finished clean) and EccDetectedUncorrectable
+/// (a double-bit error was detected and killed the kernel — detected, never
+/// silent).  Outcome values are part of the binary result-log format; new
+/// classes append, existing encodings never renumber.
 enum class Outcome : std::uint8_t {
   Failure,         ///< kernel crash, or hang caught by the guardian watchdog
   Masked,          ///< output satisfies the correctness requirement, no alarm
@@ -43,6 +49,8 @@ enum class Outcome : std::uint8_t {
   NotActivated,
   RaceDetected,       ///< sanitizer saw a shared-memory race (WW/RW or uninit read)
   BarrierDivergence,  ///< sanitizer saw divergent/abandoned barriers
+  EccCorrected,       ///< hardware ECC corrected the error; output clean, no alarm
+  EccDetectedUncorrectable,  ///< hardware ECC detected a double-bit error (kernel killed)
 };
 
 [[nodiscard]] const char* outcome_name(Outcome o) noexcept;
@@ -57,11 +65,13 @@ struct OutcomeCounts {
   std::uint64_t not_activated = 0;
   std::uint64_t race_detected = 0;
   std::uint64_t barrier_divergence = 0;
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_uncorrectable = 0;
 
   void add(Outcome o) noexcept;
   [[nodiscard]] std::uint64_t activated() const noexcept {
     return failure + masked + detected_masked + detected + undetected +
-           race_detected + barrier_divergence;
+           race_detected + barrier_divergence + ecc_corrected + ecc_uncorrectable;
   }
   /// Error detection coverage: probability a fault is detected or masked
   /// (Section VIII: 1 - undetected ratio).

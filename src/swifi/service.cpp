@@ -37,7 +37,8 @@ void fnv_f64(std::uint64_t& h, double v) noexcept {
 std::uint64_t campaign_digest(const kir::BytecodeProgram& program,
                               const std::vector<FaultSpec>& specs,
                               const workloads::Requirement& req,
-                              std::uint64_t remark_digest) {
+                              std::uint64_t remark_digest,
+                              gpusim::ecc::Scheme protection) {
   std::uint64_t h = kFnvOffset;
   fnv(h, kir::program_digest(program));
   fnv(h, specs.size());
@@ -58,6 +59,12 @@ std::uint64_t campaign_digest(const kir::BytecodeProgram& program,
   fnv_f64(h, req.pixel_delta);
   fnv_f64(h, req.frac);
   fnv(h, remark_digest);
+  // Folded only when protection is on: the None digest must stay what it was
+  // before protected mode existed, so pre-ECC checkpoints keep validating.
+  if (protection != gpusim::ecc::Scheme::None) {
+    fnv(h, 0xECCull);
+    fnv(h, static_cast<std::uint64_t>(protection));
+  }
   return h;
 }
 
@@ -76,6 +83,8 @@ void CampaignCheckpoint::save(const std::string& path) const {
   w.u64(counts.not_activated);
   w.u64(counts.race_detected);
   w.u64(counts.barrier_divergence);
+  w.u64(counts.ecc_corrected);
+  w.u64(counts.ecc_uncorrectable);
   for (const auto c : site_hist.raw_counts()) w.u64(c);
   for (const auto c : sdc_site_hist.raw_counts()) w.u64(c);
   w.u64(remark_digest);
@@ -102,6 +111,8 @@ CampaignCheckpoint CampaignCheckpoint::load(const std::string& path) {
   ck.counts.not_activated = r.u64();
   ck.counts.race_detected = r.u64();
   ck.counts.barrier_divergence = r.u64();
+  ck.counts.ecc_corrected = r.u64();
+  ck.counts.ecc_uncorrectable = r.u64();
   std::array<std::uint64_t, common::Log2Histogram::kBuckets> buckets;
   for (auto& c : buckets) c = r.u64();
   ck.site_hist.restore(buckets);
@@ -129,6 +140,8 @@ void ServiceResult::merge(const ServiceResult& other) {
   counts.not_activated += other.counts.not_activated;
   counts.race_detected += other.counts.race_detected;
   counts.barrier_divergence += other.counts.barrier_divergence;
+  counts.ecc_corrected += other.counts.ecc_corrected;
+  counts.ecc_uncorrectable += other.counts.ecc_uncorrectable;
   site_hist.merge(other.site_hist);
   sdc_site_hist.merge(other.sdc_site_hist);
   shard_trials += other.shard_trials;
@@ -160,7 +173,8 @@ ServiceResult CampaignService::run(const kir::BytecodeProgram& program,
   std::uint64_t remark_digest = 0;
   if (cfg_.campaign.pipeline.report)
     remark_digest = core::remark_digest(*cfg_.campaign.pipeline.report);
-  const std::uint64_t digest = campaign_digest(program, specs, req, remark_digest);
+  const std::uint64_t digest =
+      campaign_digest(program, specs, req, remark_digest, cfg_.campaign.protection);
 
   ServiceResult result;
   result.pipeline = cfg_.campaign.pipeline.name;

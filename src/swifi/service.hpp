@@ -53,11 +53,17 @@ namespace hauberk::swifi {
 /// interpreter engine — all of those are execution details that cannot
 /// change outcomes, so a campaign may legitimately resume with a different
 /// engine or worker count, and per-shard artifacts of one campaign share
-/// one digest (which is how the merge tool pairs them up).
+/// one digest (which is how the merge tool pairs them up).  Memory
+/// protection *is* part of the identity — an ECC campaign has different
+/// outcomes — but ecc::Scheme::None contributes nothing, so every digest
+/// (and checkpoint, and result log) minted before protection existed stays
+/// valid.
 [[nodiscard]] std::uint64_t campaign_digest(const kir::BytecodeProgram& program,
                                             const std::vector<FaultSpec>& specs,
                                             const workloads::Requirement& req,
-                                            std::uint64_t remark_digest);
+                                            std::uint64_t remark_digest,
+                                            gpusim::ecc::Scheme protection =
+                                                gpusim::ecc::Scheme::None);
 
 /// The on-disk campaign checkpoint (magic "HBKC", version
 /// kCampaignCheckpointVersion).  Everything needed to resume shard I of K
@@ -85,7 +91,11 @@ struct CampaignCheckpoint {
 };
 
 constexpr std::uint32_t kCampaignCheckpointMagic = 0x434b4248u;  // "HBKC"
-constexpr std::uint32_t kCampaignCheckpointVersion = 1;
+/// v2 appends the hardware-ECC outcome counters (OutcomeCounts::ecc_corrected
+/// / ecc_uncorrectable) after barrier_divergence.  v1 checkpoints are
+/// rejected by load() with a version error — resuming them as v2 would
+/// silently zero counters the campaign may have accumulated.
+constexpr std::uint32_t kCampaignCheckpointVersion = 2;
 
 struct ServiceConfig {
   CampaignConfig campaign;     ///< engine, sanitize, watchdog, pipeline

@@ -62,6 +62,21 @@ struct Fixture {
       return ctx;
     };
   }
+
+  /// Like factory(), but every worker device carries hardware ECC on global
+  /// memory.  All four engines then route loads through the EDC check path,
+  /// so this exercises the protected datapath under the full service
+  /// machinery (sharding, checkpoints, result logs).
+  [[nodiscard]] WorkerContextFactory protected_factory(gpusim::ecc::Scheme scheme) const {
+    return [this, scheme] {
+      WorkerContext ctx;
+      gpusim::DeviceProps props;
+      props.protection = scheme;
+      ctx.device = std::make_unique<gpusim::Device>(props);
+      ctx.job = w->make_job(ds);
+      return ctx;
+    };
+  }
 };
 
 std::string read_bytes(const std::string& path) {
@@ -84,6 +99,8 @@ void expect_same_aggregates(const ServiceResult& a, const ServiceResult& b,
   EXPECT_EQ(a.counts.detected, b.counts.detected) << what;
   EXPECT_EQ(a.counts.undetected, b.counts.undetected) << what;
   EXPECT_EQ(a.counts.not_activated, b.counts.not_activated) << what;
+  EXPECT_EQ(a.counts.ecc_corrected, b.counts.ecc_corrected) << what;
+  EXPECT_EQ(a.counts.ecc_uncorrectable, b.counts.ecc_uncorrectable) << what;
   EXPECT_TRUE(a.site_hist == b.site_hist) << what;
   EXPECT_TRUE(a.sdc_site_hist == b.sdc_site_hist) << what;
   EXPECT_EQ(a.remark_digest, b.remark_digest) << what;
@@ -475,4 +492,148 @@ TEST(CampaignService, MergeRejectsForeignResults) {
   ServiceResult b;
   b.config_digest = 2;
   EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ECC-protected campaigns.  The same determinism contract must hold when the
+// worker devices carry hardware SEC-DED: outcome counts, histograms and
+// result-log bytes invariant across worker counts, shard splits and
+// kill/resume — and the protection scheme is part of the campaign identity,
+// so checkpoints cannot leak across schemes.
+
+TEST(CampaignServiceEcc, ProtectionIsPartOfTheCampaignIdentity) {
+  Fixture f(make_cp());
+  const auto none = campaign_digest(f.prog(), f.specs, f.w->requirement(), 0);
+  const auto hamming = campaign_digest(f.prog(), f.specs, f.w->requirement(), 0,
+                                       gpusim::ecc::Scheme::Hamming);
+  const auto hsiao = campaign_digest(f.prog(), f.specs, f.w->requirement(), 0,
+                                     gpusim::ecc::Scheme::Hsiao);
+  EXPECT_NE(none, hamming);
+  EXPECT_NE(none, hsiao);
+  EXPECT_NE(hamming, hsiao);
+  // The explicit-None digest must equal the pre-ECC four-argument form, so
+  // digests (and checkpoints) minted before protection existed stay valid.
+  EXPECT_EQ(none, campaign_digest(f.prog(), f.specs, f.w->requirement(), 0,
+                                  gpusim::ecc::Scheme::None));
+}
+
+TEST(CampaignServiceEcc, WorkerAndShardInvariantIncludingLogBytes) {
+  Fixture f(make_cp());
+  const auto scheme = gpusim::ecc::Scheme::Hsiao;
+
+  ServiceConfig base;
+  base.workers = 1;
+  base.campaign.protection = scheme;
+  base.resultlog_path = tmp_path("ecc_ref.log");
+  CampaignService one(base);
+  const auto ref = one.run(f.prog(), f.protected_factory(scheme), f.specs, f.w->requirement());
+  const auto ref_bytes = read_bytes(base.resultlog_path);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  for (const int workers : {2, 8}) {
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.campaign.protection = scheme;
+    cfg.resultlog_path = tmp_path("ecc_wc_" + std::to_string(workers) + ".log");
+    CampaignService service(cfg);
+    const auto res =
+        service.run(f.prog(), f.protected_factory(scheme), f.specs, f.w->requirement());
+    expect_same_aggregates(ref, res, "ECC worker invariance");
+    EXPECT_EQ(read_bytes(cfg.resultlog_path), ref_bytes)
+        << "ECC result log must be byte-identical at " << workers << " workers";
+  }
+
+  const auto ref_log = read_result_log(base.resultlog_path);
+  for (const std::uint32_t K : {2u, 4u}) {
+    std::vector<ResultLogData> shard_logs;
+    ServiceResult merged;
+    for (std::uint32_t i = 0; i < K; ++i) {
+      ServiceConfig cfg;
+      cfg.workers = 2;
+      cfg.shards = K;
+      cfg.shard_index = i;
+      cfg.campaign.protection = scheme;
+      cfg.resultlog_path =
+          tmp_path("ecc_merge_" + std::to_string(K) + "_" + std::to_string(i) + ".log");
+      CampaignService service(cfg);
+      const auto res =
+          service.run(f.prog(), f.protected_factory(scheme), f.specs, f.w->requirement());
+      shard_logs.push_back(read_result_log(cfg.resultlog_path));
+      if (i == 0)
+        merged = res;
+      else
+        merged.merge(res);
+    }
+    expect_same_aggregates(ref, merged, "ECC shard merge invariance");
+    const auto log = merge_result_logs(shard_logs);
+    ASSERT_EQ(log.records.size(), ref_log.records.size());
+    for (std::size_t i = 0; i < log.records.size(); ++i)
+      EXPECT_EQ(log.records[i], ref_log.records[i]) << "ECC K=" << K << " record " << i;
+  }
+}
+
+TEST(CampaignServiceEcc, KillResumeWithProtectionResumesByteIdentical) {
+  Fixture f(make_cp());
+  const auto scheme = gpusim::ecc::Scheme::Hsiao;
+
+  ServiceConfig ref_cfg;
+  ref_cfg.workers = 2;
+  ref_cfg.campaign.protection = scheme;
+  ref_cfg.resultlog_path = tmp_path("ecc_kill_ref.log");
+  CampaignService ref_service(ref_cfg);
+  const auto ref =
+      ref_service.run(f.prog(), f.protected_factory(scheme), f.specs, f.w->requirement());
+  const auto ref_bytes = read_bytes(ref_cfg.resultlog_path);
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.campaign.protection = scheme;
+  cfg.checkpoint_every = 5;
+  cfg.checkpoint_path = tmp_path("ecc_kill.ckpt");
+  cfg.resultlog_path = tmp_path("ecc_kill.log");
+  int crashes = 0;
+  ServiceResult res;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    ServiceConfig attempt = cfg;
+    attempt.resume = cycle > 0;
+    auto armed = std::make_shared<bool>(true);
+    attempt.on_checkpoint = [armed](const CampaignCheckpoint&) {
+      if (*armed) {
+        *armed = false;
+        throw CrashInjected();
+      }
+    };
+    CampaignService service(attempt);
+    try {
+      res = service.run(f.prog(), f.protected_factory(scheme), f.specs, f.w->requirement());
+      break;
+    } catch (const CrashInjected&) {
+      ++crashes;
+    }
+  }
+  EXPECT_GT(crashes, 0) << "the crash harness must actually crash";
+  EXPECT_GT(res.trials_resumed, 0u) << "final cycle must be a resume";
+  expect_same_aggregates(ref, res, "ECC kill/resume");
+  EXPECT_EQ(read_bytes(cfg.resultlog_path), ref_bytes)
+      << "ECC result log must survive kill/resume byte-identical";
+}
+
+TEST(CampaignServiceEcc, ResumeRejectsCheckpointAcrossProtectionSchemes) {
+  Fixture f(make_cp());
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.checkpoint_path = tmp_path("ecc_xscheme.ckpt");
+  CampaignService writer(cfg);
+  (void)writer.run(f.prog(), f.factory(), f.specs, f.w->requirement());
+
+  // Same program, same specs, same requirement — only the protection scheme
+  // differs.  The digest folds it, so the unprotected checkpoint must not
+  // seed a protected campaign (the logged outcomes mean different things).
+  cfg.resume = true;
+  cfg.campaign.protection = gpusim::ecc::Scheme::Hsiao;
+  CampaignService reader(cfg);
+  EXPECT_THROW(
+      (void)reader.run(f.prog(), f.protected_factory(gpusim::ecc::Scheme::Hsiao), f.specs,
+                       f.w->requirement()),
+      core::CheckpointError);
 }

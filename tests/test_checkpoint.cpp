@@ -220,6 +220,8 @@ TEST(CampaignCheckpointFile, RoundTripsAllAggregateState) {
   ck.counts.not_activated = 6;
   ck.counts.race_detected = 7;
   ck.counts.barrier_divergence = 8;
+  ck.counts.ecc_corrected = 9;
+  ck.counts.ecc_uncorrectable = 10;
   for (std::uint64_t v : {0ull, 1ull, 2ull, 1023ull, 1024ull, ~0ull}) ck.site_hist.add(v);
   ck.sdc_site_hist.add(42);
   ck.remark_digest = 0x99aabbccddeeff00ull;
@@ -243,6 +245,8 @@ TEST(CampaignCheckpointFile, RoundTripsAllAggregateState) {
   EXPECT_EQ(back.counts.not_activated, ck.counts.not_activated);
   EXPECT_EQ(back.counts.race_detected, ck.counts.race_detected);
   EXPECT_EQ(back.counts.barrier_divergence, ck.counts.barrier_divergence);
+  EXPECT_EQ(back.counts.ecc_corrected, ck.counts.ecc_corrected);
+  EXPECT_EQ(back.counts.ecc_uncorrectable, ck.counts.ecc_uncorrectable);
   EXPECT_TRUE(back.site_hist == ck.site_hist);
   EXPECT_TRUE(back.sdc_site_hist == ck.sdc_site_hist);
   EXPECT_EQ(back.remark_digest, ck.remark_digest);
@@ -269,5 +273,33 @@ TEST(CampaignCheckpointFile, RejectsTrailingPayloadBytes) {
     w2.bytes(payload);
   }
   w2.save_atomic(path, swifi::kCampaignCheckpointMagic, swifi::kCampaignCheckpointVersion);
+  EXPECT_THROW((void)swifi::CampaignCheckpoint::load(path), core::CheckpointError);
+}
+
+TEST(CampaignCheckpointFile, RejectsPreEccVersionOne) {
+  // Version 1 predates the ECC outcome counters; its payload is two u64s
+  // short, so silently accepting it would zero-fill (or worse, shift) the
+  // aggregate state.  The reader must reject it outright on the version
+  // field, before it ever looks at the payload.
+  swifi::CampaignCheckpoint ck;
+  ck.counts.masked = 7;
+  const auto path = tmp_path("campaign_v1.ckpt");
+  ck.save(path);
+  core::CheckpointWriter w1;
+  {
+    auto r = core::CheckpointReader::load(path, swifi::kCampaignCheckpointMagic,
+                                          swifi::kCampaignCheckpointVersion);
+    // Drop the two trailing-format u64 ECC counters the v2 writer appended
+    // after barrier_divergence to fake a faithful v1 payload, not just a
+    // v2 payload with a v1 header.
+    std::vector<std::uint8_t> payload;
+    while (r.remaining() > 0) payload.push_back(r.u8());
+    // Fixed-width prefix before the counters: digest(8) + shards(4) +
+    // shard_index(4) + trials_total(8) + watermark(8) = 32 bytes, then
+    // eight pre-ECC u64 counters; the ECC pair sits at bytes [96, 112).
+    payload.erase(payload.begin() + 96, payload.begin() + 112);
+    w1.bytes(payload);
+  }
+  w1.save_atomic(path, swifi::kCampaignCheckpointMagic, /*version=*/1);
   EXPECT_THROW((void)swifi::CampaignCheckpoint::load(path), core::CheckpointError);
 }

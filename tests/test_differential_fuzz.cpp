@@ -297,9 +297,11 @@ class ProgramGen {
 struct EngineRun {
   gpusim::LaunchResult res;
   std::vector<std::uint32_t> mem;           ///< full live arena, incl. crashes
+  std::vector<std::uint8_t> check_mem;      ///< shadow check arena (protected mode)
   std::vector<std::uint64_t> exec_counts;   ///< per-pc execution profile
   bool cb_sdc = false;
   std::uint64_t cb_checks = 0, cb_violations = 0;
+  std::uint64_t ecc_corrected = 0, ecc_uncorrectable = 0;  ///< device counters
 };
 
 /// Deterministic input staging shared by both engines.
@@ -314,11 +316,13 @@ void stage_input(std::vector<std::uint32_t>& words, std::uint64_t salt) {
 
 EngineRun run_engine(const BytecodeProgram& prog, const FuzzProgram& fp,
                      gpusim::ExecEngine engine, std::uint64_t salt,
-                     bool with_cb, bool instrumented = true) {
+                     bool with_cb, bool instrumented = true,
+                     gpusim::ecc::Scheme protection = gpusim::ecc::Scheme::None) {
   gpusim::DeviceProps props;
   props.global_mem_words = 1u << 16;
   props.memory_model = fp.mem_model;
   props.warp_size = fp.warp_size;
+  props.protection = protection;
   gpusim::Device dev(props);
   dev.set_engine(engine);
 
@@ -327,6 +331,26 @@ EngineRun run_engine(const BytecodeProgram& prog, const FuzzProgram& fp,
   std::vector<std::uint32_t> input(kBufWords);
   stage_input(input, salt);
   dev.mem().copy_in(in_a, input);
+  if (protection != gpusim::ecc::Scheme::None) {
+    // Plant a deterministic raw memory-cell upset in the input buffer: a
+    // single-bit data flip (corrected on first read), a check-bit flip, or a
+    // double-bit flip in one codeword (uncorrectable if the pair is read).
+    Rng cr = Rng::fork(salt, 0x0ecc);
+    const auto widx = in_a + static_cast<std::uint32_t>(cr.next_below(kBufWords));
+    const auto bit = 1u << cr.next_below(32);
+    switch (cr.next_below(5)) {
+      case 0:
+        dev.mem().corrupt_word(widx, bit);
+        dev.mem().corrupt_word(widx ^ 1u, bit);  // sibling word, same pair
+        break;
+      case 1:
+        dev.mem().corrupt_check(widx, static_cast<std::uint8_t>(1u << cr.next_below(8)));
+        break;
+      default:
+        dev.mem().corrupt_word(widx, bit);
+        break;
+    }
+  }
 
   const Value args[] = {Value::ptr(out_a), Value::ptr(in_a),
                         Value::i32(kBufWords)};
@@ -344,7 +368,10 @@ EngineRun run_engine(const BytecodeProgram& prog, const FuzzProgram& fp,
   if (instrumented) opts.instr_exec_counts = &counts;
   r.res = dev.launch(prog, fp.cfg, args, opts);
   r.mem = dev.mem().image();
+  r.check_mem = dev.mem().check_image();
   r.exec_counts = std::move(counts);
+  r.ecc_corrected = dev.mem().ecc_corrected();
+  r.ecc_uncorrectable = dev.mem().ecc_uncorrectable();
   if (with_cb) {
     r.cb_sdc = cb.sdc_detected();
     r.cb_checks = cb.total_checks();
@@ -368,7 +395,11 @@ void expect_identical(const EngineRun& fast, const EngineRun& ref,
                     fast.res.deadlock_site == ref.res.deadlock_site &&
                     fast.mem == ref.mem && fast.exec_counts == ref.exec_counts &&
                     fast.cb_sdc == ref.cb_sdc && fast.cb_checks == ref.cb_checks &&
-                    fast.cb_violations == ref.cb_violations;
+                    fast.cb_violations == ref.cb_violations &&
+                    fast.res.ecc_corrected == ref.res.ecc_corrected &&
+                    fast.check_mem == ref.check_mem &&
+                    fast.ecc_corrected == ref.ecc_corrected &&
+                    fast.ecc_uncorrectable == ref.ecc_uncorrectable;
   if (same) return;
 
   std::string mem_diff;
@@ -386,10 +417,13 @@ void expect_identical(const EngineRun& fast, const EngineRun& ref,
                 << " cycles=" << fast.res.cycles
                 << " instr=" << fast.res.instructions
                 << " simt=" << fast.res.simt_cycles << " sdc=" << fast.res.sdc_alarm
+                << " ecc=" << fast.ecc_corrected << "/" << fast.ecc_uncorrectable
                 << "\n  ref:  status=" << gpusim::launch_status_name(ref.res.status)
                 << " cycles=" << ref.res.cycles << " instr=" << ref.res.instructions
                 << " simt=" << ref.res.simt_cycles << " sdc=" << ref.res.sdc_alarm
+                << " ecc=" << ref.ecc_corrected << "/" << ref.ecc_uncorrectable
                 << "\n  mem equal=" << (fast.mem == ref.mem)
+                << " check equal=" << (fast.check_mem == ref.check_mem)
                 << " profile equal=" << (fast.exec_counts == ref.exec_counts)
                 << mem_diff
                 << "\n--- program ---\n"
@@ -672,4 +706,132 @@ TEST(DifferentialFuzz, SanitizedCampaignsDeterministicAcrossWorkers) {
   EXPECT_EQ(campaigns, 3u) << "not enough clean racy programs for campaigns";
   EXPECT_GT(reclassified, 0u)
       << "no trial was ever reclassified as race/divergence";
+}
+
+TEST(DifferentialFuzz, EnginesAgreeUnderEccProtection) {
+  // Protected-mode corpus: every program runs with a raw memory-cell upset
+  // planted after staging (single data bit, check bit, or a double-bit
+  // codeword) on a Hsiao SEC-DED device.  All four engines route global
+  // memory through the EDC-checked load/store path (flat_arena() is empty),
+  // and must stay bitwise identical on every observable — including the
+  // correction counters, the EccUncorrectable status, the scrubbed data
+  // arena, and the shadow check arena.
+  const std::uint64_t seed = env_u64("HAUBERK_FUZZ_SEED", 0xfa57'0005);
+  const auto programs =
+      static_cast<std::size_t>(env_u64("HAUBERK_FUZZ_PROGRAMS", 400)) / 2;
+
+  std::uint64_t corrected = 0;
+  std::size_t uncorrectable_runs = 0;
+  for (std::size_t i = 0; i < programs; ++i) {
+    Rng rng = Rng::fork(seed, i);
+    ProgramGen gen(rng);
+    const FuzzProgram fp = gen.gen();
+    const BytecodeProgram prog = lower(fp.kernel);
+    constexpr auto kProt = gpusim::ecc::Scheme::Hsiao;
+
+    const EngineRun fast =
+        run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false, true, kProt);
+    const EngineRun ref =
+        run_engine(prog, fp, gpusim::ExecEngine::Reference, i, false, true, kProt);
+    expect_identical(fast, ref, fp, i, "ecc baseline");
+    const EngineRun san =
+        run_engine(prog, fp, gpusim::ExecEngine::Sanitizer, i, false, true, kProt);
+    expect_identical(fast, san, fp, i, "ecc sanitizer");
+
+    const EngineRun pfast =
+        run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false, false, kProt);
+    const EngineRun pthr =
+        run_engine(prog, fp, gpusim::ExecEngine::Threaded, i, false, false, kProt);
+    expect_identical(pfast, pthr, fp, i, "ecc threaded plain");
+
+    // Hamming spot check on a slice: same contract, different H matrix.
+    if (i % 11 == 0) {
+      const EngineRun hf = run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false,
+                                      true, gpusim::ecc::Scheme::Hamming);
+      const EngineRun hr = run_engine(prog, fp, gpusim::ExecEngine::Reference, i,
+                                      false, true, gpusim::ecc::Scheme::Hamming);
+      expect_identical(hf, hr, fp, i, "ecc hamming");
+    }
+
+    corrected += fast.ecc_corrected;
+    uncorrectable_runs += fast.res.status == gpusim::LaunchStatus::EccUncorrectable;
+    if (::testing::Test::HasFailure()) break;
+  }
+  // The corpus must actually exercise both halves of the SEC-DED contract.
+  EXPECT_GT(corrected, 0u) << "no planted fault was ever corrected";
+  EXPECT_GT(uncorrectable_runs, 0u) << "no double-bit fault was ever detected";
+}
+
+TEST(DifferentialFuzz, ProtectionNoneCampaignMatchesPinnedGoldens) {
+  // Golden regression for the unprotected path: the exact per-trial outcome
+  // sequence of a fixed memory-fault campaign, pinned byte for byte.  The
+  // protected mode consumes extra RNG draws and reclassifies outcomes; none
+  // of that may leak into protection=none campaigns, whose result logs and
+  // checkpoints must stay bitwise valid across the ECC change.
+  const std::uint64_t seed = 0xfa57'0002;  // deliberately not env-overridable
+  using workloads::BufferJob;
+
+  for (std::size_t i = 0; i < 64; ++i) {
+    Rng rng = Rng::fork(seed, 1'000'000 + i);
+    ProgramGen gen(rng);
+    FuzzProgram fp = gen.gen();
+    fp.mem_model = gpusim::MemoryModel::FlatGpu;
+    const BytecodeProgram prog = lower(fp.kernel);
+    if (run_engine(prog, fp, gpusim::ExecEngine::Fast, i, false).res.status !=
+        gpusim::LaunchStatus::Ok)
+      continue;
+
+    std::vector<std::uint32_t> input(kBufWords);
+    stage_input(input, i);
+    auto factory = [&fp, input](gpusim::ecc::Scheme prot) {
+      return [&fp, input, prot] {
+        swifi::WorkerContext ctx;
+        gpusim::DeviceProps props;
+        props.global_mem_words = 1u << 16;
+        props.memory_model = fp.mem_model;
+        props.protection = prot;
+        ctx.device = std::make_unique<gpusim::Device>(props);
+        std::vector<BufferJob::Buffer> bufs(2);
+        bufs[0].data.assign(kBufWords, 0u);  // out
+        bufs[1].data = input;                // in
+        ctx.job = std::make_unique<BufferJob>(
+            std::move(bufs),
+            std::vector<BufferJob::Arg>{BufferJob::Arg::buf(0), BufferJob::Arg::buf(1),
+                                        BufferJob::Arg::val(Value::i32(kBufWords))},
+            fp.cfg, /*output_buffer=*/0, DType::F32);
+        return ctx;
+      };
+    };
+
+    const workloads::Requirement req{};  // Exact
+    swifi::CampaignConfig ccfg;
+    ccfg.hang_floor = 20'000;
+    swifi::CampaignExecutor one(1);
+    const auto res = one.run_memory_faults(prog, factory(gpusim::ecc::Scheme::None),
+                                           seed + i, 40, 2, req, ccfg);
+
+    // Pinned from the pre-ECC harness: Masked=1, Undetected=4 (swifi::Outcome
+    // values are part of the result-log format and never renumber).
+    const std::uint8_t golden[40] = {
+        4, 1, 4, 1, 1, 1, 4, 1, 4, 4, 1, 4, 4, 1, 1, 4, 1, 4, 4, 4,
+        4, 4, 1, 1, 1, 4, 1, 1, 4, 4, 4, 4, 4, 4, 1, 4, 1, 4, 1, 4,
+    };
+    ASSERT_EQ(res.per_fault.size(), std::size(golden));
+    for (std::size_t t = 0; t < std::size(golden); ++t)
+      EXPECT_EQ(static_cast<std::uint8_t>(res.per_fault[t]), golden[t])
+          << "trial " << t << " diverged from the pre-ECC golden sequence";
+
+    // The same campaign on a Hsiao device: two-bit data faults become
+    // detected-uncorrectable, check-bit singles are corrected — silent data
+    // corruption and crashes must both be gone.
+    swifi::CampaignConfig pcfg = ccfg;
+    pcfg.protection = gpusim::ecc::Scheme::Hsiao;
+    const auto prot = one.run_memory_faults(prog, factory(gpusim::ecc::Scheme::Hsiao),
+                                            seed + i, 40, 2, req, pcfg);
+    EXPECT_EQ(prot.counts.undetected, 0u);
+    EXPECT_EQ(prot.counts.failure, 0u);
+    EXPECT_GT(prot.counts.ecc_uncorrectable, 0u);
+    return;  // first clean program is the pinned one
+  }
+  FAIL() << "no clean fuzz program found for the golden campaign";
 }

@@ -10,6 +10,11 @@
 //                 [--scale=tiny|small] [--seed=N]
 //                 [--workers=N] [--engine=reference|fast|sanitizer|threaded]
 //                 [--sanitize] [--sanitize-cap=N]
+//                 [--protection=none|hamming|hsiao]
+//                                         hardware ECC on every campaign device
+//                                         (--protected is Hauberk's software FT;
+//                                         the two compose for the ECC-vs-Hauberk
+//                                         study)
 //                 [--shards=K/I]          run shard I of K (trial t -> shard t mod K)
 //                 [--checkpoint=FILE]     checkpoint file to maintain
 //                 [--checkpoint-every=N]  checkpoint every N committed trials
@@ -39,7 +44,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s run --program=NAME [--protected] [--shards=K/I]\n"
                "       [--checkpoint=FILE --checkpoint-every=N | --resume=FILE]\n"
-               "       [--resultlog=FILE] [--workers=N] [--engine=E] [--crash-after=N]\n",
+               "       [--resultlog=FILE] [--workers=N] [--engine=E]\n"
+               "       [--protection=none|hamming|hsiao] [--crash-after=N]\n",
                argv0);
   return 2;
 }
@@ -51,8 +57,8 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   for (const auto& f : args.unknown_flags(
            {"program", "bits", "vars", "masks", "protected", "scale", "seed", "workers",
-            "sanitize", "sanitize-cap", "engine", "shards", "checkpoint", "checkpoint-every",
-            "resume", "resultlog", "crash-after", "quiet"})) {
+            "sanitize", "sanitize-cap", "engine", "protection", "shards", "checkpoint",
+            "checkpoint-every", "resume", "resultlog", "crash-after", "quiet"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
     return 2;
   }
@@ -79,7 +85,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  gpusim::Device dev;
+  // ProtectionKind mirrors gpusim::ecc::Scheme value for value (pinned by
+  // static_asserts in bench/bench_common.hpp, same arrangement as --engine).
+  gpusim::DeviceProps props;
+  props.protection = static_cast<gpusim::ecc::Scheme>(flags.protection);
+  gpusim::Device dev(props);
   const auto v = core::build_variants(w->build_kernel(scale));
   const auto ds = w->make_dataset(args.get_u64("seed", 1), scale);
   auto job = w->make_job(ds);
@@ -99,6 +109,7 @@ int main(int argc, char** argv) {
   scfg.campaign.engine = static_cast<gpusim::ExecEngine>(flags.engine);
   scfg.campaign.sanitize = flags.sanitize;
   scfg.campaign.sanitize_cap = static_cast<std::size_t>(flags.sanitize_cap);
+  scfg.campaign.protection = props.protection;
   scfg.campaign.pipeline = swifi::PipelineSpec::from_report(prog_report);
   scfg.workers = flags.workers;
   scfg.shards = static_cast<std::uint32_t>(flags.shards);
@@ -132,7 +143,7 @@ int main(int argc, char** argv) {
         prog,
         [&] {
           swifi::WorkerContext ctx;
-          ctx.device = std::make_unique<gpusim::Device>();
+          ctx.device = std::make_unique<gpusim::Device>(props);
           ctx.job = w->make_job(ds);
           if (use_ft) ctx.cb = core::make_configured_control_block(v.fift, profile);
           return ctx;
@@ -165,6 +176,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(c.detected),
                 static_cast<unsigned long long>(c.undetected),
                 static_cast<unsigned long long>(c.not_activated));
+    if (props.protection != gpusim::ecc::Scheme::None)
+      std::printf("  ecc-corrected %llu  ecc-uncorrectable %llu\n",
+                  static_cast<unsigned long long>(c.ecc_corrected),
+                  static_cast<unsigned long long>(c.ecc_uncorrectable));
     std::printf("  coverage %.4f, %llu trial sites histogrammed, %llu SDC sites\n",
                 c.coverage(), static_cast<unsigned long long>(res.site_hist.total()),
                 static_cast<unsigned long long>(res.sdc_site_hist.total()));

@@ -75,6 +75,9 @@ int main(int argc, char** argv) {
   std::printf("race-detected %llu\n", static_cast<unsigned long long>(c.race_detected));
   std::printf("barrier-divergence %llu\n",
               static_cast<unsigned long long>(c.barrier_divergence));
+  std::printf("ecc-corrected %llu\n", static_cast<unsigned long long>(c.ecc_corrected));
+  std::printf("ecc-uncorrectable %llu\n",
+              static_cast<unsigned long long>(c.ecc_uncorrectable));
   std::printf("coverage %.6f\n", c.coverage());
 
   if (records)
