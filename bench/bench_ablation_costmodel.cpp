@@ -4,6 +4,10 @@
 // transcendental cost) and verifies that the paper's *qualitative* ordering
 //   Hauberk << R-Scatter <= R-Naive,   R-Naive = 100%
 // is not an artifact of one parameter choice.
+//
+// --json=FILE emits the per-model suite averages in the same shape as the
+// throughput benches, so CI folds this ablation into BENCH_engines.json via
+// tools/merge_bench_json.py alongside the selective-hardening frontier.
 #include "bench_common.hpp"
 #include "swifi/baselines.hpp"
 
@@ -98,6 +102,12 @@ int main(int argc, char** argv) {
 
   print_header("Ablation: Fig. 13 ordering under cost-model variations (suite averages)");
   common::Table t({"Cost model", "Hauberk", "R-Scatter", "R-Naive", "Ordering holds"});
+  struct JsonRow {
+    std::string model;
+    double hauberk, scatter, naive;
+    bool holds;
+  };
+  std::vector<JsonRow> jrows;
   bool all_hold = true;
   for (const auto& spec : models()) {
     const auto so = run_suite(spec.model, scale, seed);
@@ -108,9 +118,32 @@ int main(int argc, char** argv) {
     all_hold &= holds;
     t.add_row({spec.name, common::Table::pct_cell(h), common::Table::pct_cell(sc),
                common::Table::pct_cell(rn), holds ? "yes" : "NO"});
+    jrows.push_back({spec.name, h, sc, rn, holds});
   }
   t.print();
   std::printf("\nQualitative claim (Hauberk << R-Scatter <= ~R-Naive) %s across all "
               "cost-model variants.\n", all_hold ? "HOLDS" : "DOES NOT HOLD");
+
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --json file '%s'\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"ablation_costmodel\",\n  \"scale\": \"%s\",\n",
+                 args.get("scale", "small").c_str());
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < jrows.size(); ++i)
+      std::fprintf(f,
+                   "    {\"model\": \"%s\", \"hauberk_overhead_pct\": %.4f, "
+                   "\"r_scatter_overhead_pct\": %.4f, \"r_naive_overhead_pct\": %.4f, "
+                   "\"ordering_holds\": %s}%s\n",
+                   jrows[i].model.c_str(), jrows[i].hauberk, jrows[i].scatter,
+                   jrows[i].naive, jrows[i].holds ? "true" : "false",
+                   i + 1 < jrows.size() ? "," : "");
+    std::fprintf(f, "  ],\n  \"ordering_holds\": %s\n}\n", all_hold ? "true" : "false");
+    std::fclose(f);
+  }
   return all_hold ? 0 : 1;
 }

@@ -8,38 +8,20 @@
 //   detector-aux   loop-detector bookkeeping (accumulator/counter adds,
 //                  post-loop guards),
 // giving the per-program anatomy behind Fig. 13's Hauberk bars.
+//
+// Classification and pricing come from the shared gpusim cost layer
+// (gpusim/cost.hpp) — the same classify()/weighted_breakdown() every layer
+// uses — so this bench can never drift from the device's own accounting.
 #include "bench_common.hpp"
 
 using namespace hauberk;
 using namespace hauberk::bench;
-using kir::OpCode;
-
-namespace {
-
-struct Breakdown {
-  std::uint64_t program = 0, dup = 0, checks = 0, aux = 0;
-  [[nodiscard]] std::uint64_t total() const { return program + dup + checks + aux; }
-};
-
-bool is_check_op(OpCode op) {
-  switch (op) {
-    case OpCode::ChkXor:
-    case OpCode::ChkValidate:
-    case OpCode::DupCmp:
-    case OpCode::RangeCheck:
-    case OpCode::EqualCheck:
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   const auto scale = scale_from(args);
   const std::uint64_t seed = args.get_u64("seed", 1);
+  const bool by_cycles = args.has("cycles");
 
   print_header("Hauberk overhead anatomy: FT-build cycles by category (%)");
   common::Table t({"Program", "Original", "Dup recompute", "Runtime checks", "Detector aux",
@@ -71,31 +53,32 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    // Attribute executed instructions to categories via opcode and the
-    // translator's instruction flags.
-    Breakdown bd;
-    for (std::size_t i = 0; i < prog.code.size(); ++i) {
-      const auto& in = prog.code[i];
-      if (is_check_op(in.op)) bd.checks += counts[i];
-      else if (in.flags & kir::kInstrHauberkDup) bd.dup += counts[i];
-      else if (in.flags & kir::kInstrDetectorAux) bd.aux += counts[i];
-      else if (in.op != OpCode::FIHook && in.op != OpCode::CountExec &&
-               in.op != OpCode::ProfileVal)
-        bd.program += counts[i];
-    }
+    // Attribute executed work to categories via the shared cost layer
+    // (execution-count weighted; --cycles weights by per-class cycles under
+    // the device's pricing instead).
+    const gpusim::CostBreakdown bd = gpusim::weighted_breakdown(
+        prog, dev.cost_model(), dev.props().regs_per_thread,
+        dev.props().protection != gpusim::ecc::Scheme::None, counts);
+    const auto share = [&](gpusim::CostClass c) {
+      const std::uint64_t total =
+          by_cycles ? bd.total_cycles() : bd.total_instructions();
+      return total == 0 ? 0.0
+                        : 100.0 * static_cast<double>(bd.at(c, by_cycles)) /
+                              static_cast<double>(total);
+    };
 
-    const double total = static_cast<double>(bd.total());
     const double overhead =
         100.0 * (static_cast<double>(res.cycles) - static_cast<double>(base.cycles)) /
         static_cast<double>(base.cycles);
-    t.add_row({w->name(), common::Table::pct_cell(100.0 * bd.program / total),
-               common::Table::pct_cell(100.0 * bd.dup / total),
-               common::Table::pct_cell(100.0 * bd.checks / total),
-               common::Table::pct_cell(100.0 * bd.aux / total),
+    t.add_row({w->name(), common::Table::pct_cell(share(gpusim::CostClass::Program)),
+               common::Table::pct_cell(share(gpusim::CostClass::Dup)),
+               common::Table::pct_cell(share(gpusim::CostClass::Check)),
+               common::Table::pct_cell(share(gpusim::CostClass::DetectorAux)),
                common::Table::pct_cell(overhead)});
   }
   t.print();
-  std::printf("\n(category shares are fractions of executed instructions in the FT build;\n"
-              "the overhead column is the measured cycle overhead of Fig. 13)\n");
+  std::printf("\n(category shares are fractions of executed %s in the FT build;\n"
+              "the overhead column is the measured cycle overhead of Fig. 13)\n",
+              by_cycles ? "cycles" : "instructions");
   return 0;
 }

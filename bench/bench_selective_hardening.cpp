@@ -1,0 +1,282 @@
+// Selective hardening — the coverage-vs-budget frontier.
+//
+// For every campaign-capable workload (the seven HPC programs plus the two
+// graphics programs) and every overhead budget in {0, 5, 10, 20, 50}% and
+// "full", ask the hauberk::opt optimizer for the coverage-maximizing
+// HardeningPlan under that budget, then measure what the plan actually
+// delivers:
+//
+//   * predicted overhead   the static estimator's claim (what kirtune says),
+//   * measured overhead    the simulated FT build's cycle overhead,
+//   * SWIFI coverage       detection coverage of a fault-injection campaign
+//                          against the plan's FIFT build,
+//   * retention            that coverage as a fraction of full-Hauberk's.
+//
+// A "none" arm (FI build, no detectors) anchors the bottom of the frontier.
+// This is the measured validation behind kirtune: predictions are useful
+// only if the estimator tracks the simulator and the plan's coverage holds
+// up under real injected faults.
+//
+// Usage:
+//   bench_selective_hardening [--program=CP|all] [--scale=tiny|small]
+//       [--seed=N] [--vars=N] [--masks=N] [--workers=N]
+//       [--budgets=0,5,10,20,50] [--json=FILE] [--check-budget=P]
+//
+// --check-budget=P exits nonzero unless, for every program, the P%-budget
+// plan's measured coverage is >= the no-hardening arm's and its measured
+// overhead stays within the budget (plus a small estimator tolerance).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hauberk/cost.hpp"
+#include "hauberk/opt.hpp"
+#include "hauberk/plan.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+
+namespace {
+
+struct Arm {
+  std::string budget;  ///< "none", "P%", or "full"
+  double budget_pct = -1.0;
+  double predicted_ovh = 0.0;  ///< % over measured baseline (estimator)
+  double measured_ovh = 0.0;   ///< % over measured baseline (simulator)
+  double coverage = 0.0;       ///< SWIFI detection coverage, %
+  double retention = 0.0;      ///< coverage / full-arm coverage, %
+};
+
+struct ProgramRow {
+  std::string name;
+  std::vector<Arm> arms;
+};
+
+double overhead_pct(std::uint64_t cycles, std::uint64_t base) {
+  return 100.0 * (static_cast<double>(cycles) - static_cast<double>(base)) /
+         static_cast<double>(base);
+}
+
+std::uint64_t run_cycles(gpusim::Device& dev, const kir::BytecodeProgram& prog,
+                         core::KernelJob& job) {
+  const auto args = job.setup(dev);
+  const auto res = dev.launch(prog, job.config(), args);
+  if (res.status != gpusim::LaunchStatus::Ok) {
+    std::fprintf(stderr, "selective_hardening: %s failed: %s\n", prog.name.c_str(),
+                 gpusim::launch_status_name(res.status));
+    return 0;
+  }
+  return res.cycles;
+}
+
+/// SWIFI detection coverage (%) of `prog` (an FI or FIFT build).
+double swifi_coverage(const workloads::Workload& w, const workloads::Dataset& ds,
+                      const core::KernelVariants& v, bool with_ft,
+                      const swifi::PlanOptions& popt, int workers) {
+  gpusim::Device dev;
+  auto job = w.make_job(ds);
+  const auto profile = core::profile(dev, v, {job.get()});
+  const auto& prog = with_ft ? v.fift : v.fi;
+  const auto specs = swifi::plan_faults(prog, profile, popt);
+  swifi::CampaignExecutor ex(workers);
+  swifi::CampaignConfig cfg;
+  cfg.pipeline = swifi::PipelineSpec::from_report(with_ft ? v.fift_report : v.fi_report);
+  const auto res = ex.run(
+      prog,
+      [&] {
+        swifi::WorkerContext ctx;
+        ctx.device = std::make_unique<gpusim::Device>();
+        ctx.job = w.make_job(ds);
+        if (with_ft) ctx.cb = core::make_configured_control_block(prog, profile);
+        return ctx;
+      },
+      specs, w.requirement(), cfg);
+  return 100.0 * res.counts.coverage();
+}
+
+std::vector<double> parse_budgets(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const auto comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) out.push_back(std::strtod(tok.c_str(), nullptr));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const int workers = workers_from(args);
+  const double check_budget = args.get_double("check-budget", -1.0);
+  const auto budgets = parse_budgets(args.get("budgets", "0,5,10,20,50"));
+  const std::string only = args.get("program", "all");
+
+  swifi::PlanOptions popt;
+  popt.max_vars = static_cast<int>(args.get_int("vars", 12));
+  popt.masks_per_var = static_cast<int>(args.get_int("masks", 6));
+  popt.error_bits = 1;
+  popt.seed = seed + 99;
+
+  print_header("Selective hardening: coverage-vs-budget frontier (predicted and measured)");
+
+  std::vector<ProgramRow> rows;
+  bool check_ok = true;
+  std::vector<std::unique_ptr<workloads::Workload>> suite;
+  for (auto& w : workloads::hpc_suite()) suite.push_back(std::move(w));
+  for (auto& w : workloads::graphics_suite()) suite.push_back(std::move(w));
+  for (auto& w : suite) {
+    if (only != "all" && w->name() != only) continue;
+    ProgramRow row;
+    row.name = w->name();
+    const auto kernel = w->build_kernel(scale);
+    const auto ds = w->make_dataset(seed, scale);
+    auto job = w->make_job(ds);
+    gpusim::Device dev;
+    cost::CostProfile profile;
+    try {
+      profile = cost::measure_profile(dev, kernel, *job);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "selective_hardening: %s: %s\n", row.name.c_str(), ex.what());
+      return 1;
+    }
+    const std::uint64_t base = profile.measured_cycles;
+
+    // Anchors: plan-free variants serve both the "none" (FI) and "full"
+    // (FT/FIFT) arms.
+    const auto plain = core::build_variants(kernel);
+
+    {
+      Arm none;
+      none.budget = "none";
+      none.coverage = swifi_coverage(*w, ds, plain, false, popt, workers);
+      row.arms.push_back(none);
+    }
+
+    for (const double pct : budgets) {
+      const auto budget_cycles =
+          static_cast<std::uint64_t>(pct / 100.0 * static_cast<double>(base));
+      const auto pr = opt::plan_for_budget(kernel, profile, budget_cycles);
+      core::TranslateOptions topt;
+      topt.plan = std::make_shared<core::HardeningPlan>(pr.plan);
+      const auto v = core::build_variants(kernel, topt);
+      Arm a;
+      a.budget = common::Table::pct_cell(pct);
+      a.budget_pct = pct;
+      a.predicted_ovh = overhead_pct(pr.predicted_cycles, base);
+      a.measured_ovh = overhead_pct(run_cycles(dev, v.ft, *job), base);
+      a.coverage = swifi_coverage(*w, ds, v, true, popt, workers);
+      row.arms.push_back(a);
+    }
+
+    {
+      Arm full;
+      full.budget = "full";
+      full.predicted_ovh =
+          overhead_pct(cost::estimate_kernel_cycles(kernel, {}, profile), base);
+      full.measured_ovh = overhead_pct(run_cycles(dev, plain.ft, *job), base);
+      full.coverage = swifi_coverage(*w, ds, plain, true, popt, workers);
+      row.arms.push_back(full);
+    }
+
+    const double full_cov = row.arms.back().coverage;
+    for (auto& a : row.arms)
+      a.retention = full_cov > 0.0 ? 100.0 * a.coverage / full_cov : 0.0;
+    rows.push_back(std::move(row));
+  }
+
+  if (rows.empty()) {
+    std::fprintf(stderr, "selective_hardening: unknown program '%s'\n", only.c_str());
+    return 2;
+  }
+
+  common::Table t({"Program", "Budget", "Pred ovh", "Meas ovh", "SWIFI coverage",
+                   "Retention vs full"});
+  for (const auto& row : rows)
+    for (const auto& a : row.arms)
+      t.add_row({row.name, a.budget, common::Table::pct_cell(a.predicted_ovh),
+                 common::Table::pct_cell(a.measured_ovh), common::Table::pct_cell(a.coverage),
+                 common::Table::pct_cell(a.retention)});
+  t.print();
+
+  // Headline: how many programs keep >= 70% of full coverage at <= 20%?
+  int retained = 0, with_20 = 0;
+  for (const auto& row : rows)
+    for (const auto& a : row.arms)
+      if (a.budget_pct >= 0.0 && a.budget_pct <= 20.0 && a.retention >= 70.0) {
+        ++retained;
+        break;
+      }
+  for (const auto& row : rows) {
+    (void)row;
+    ++with_20;
+  }
+  std::printf("\n%d/%d program(s) retain >= 70%% of full-Hauberk SWIFI coverage within a "
+              "<= 20%% overhead budget.\n", retained, with_20);
+
+  if (check_budget >= 0.0) {
+    const double tol = std::max(1.0, 0.1 * check_budget);  // estimator tolerance, pp
+    for (const auto& row : rows) {
+      const Arm* none = nullptr;
+      const Arm* arm = nullptr;
+      for (const auto& a : row.arms) {
+        if (a.budget == "none") none = &a;
+        if (a.budget_pct == check_budget) arm = &a;
+      }
+      if (!none || !arm) {
+        std::fprintf(stderr, "check-budget: %s lacks a %.0f%% arm\n", row.name.c_str(),
+                     check_budget);
+        check_ok = false;
+        continue;
+      }
+      if (arm->coverage + 1e-9 < none->coverage) {
+        std::fprintf(stderr,
+                     "check-budget: %s: %.0f%%-budget coverage %.1f%% < no-hardening "
+                     "%.1f%%\n",
+                     row.name.c_str(), check_budget, arm->coverage, none->coverage);
+        check_ok = false;
+      }
+      if (arm->measured_ovh > check_budget + tol) {
+        std::fprintf(stderr,
+                     "check-budget: %s: measured overhead %.1f%% exceeds budget %.0f%% "
+                     "(+%.1fpp tolerance)\n",
+                     row.name.c_str(), arm->measured_ovh, check_budget, tol);
+        check_ok = false;
+      }
+    }
+    std::printf("budget check (%.0f%%): %s\n", check_budget, check_ok ? "OK" : "FAILED");
+  }
+
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --json file '%s'\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"selective_hardening\",\n  \"scale\": \"%s\",\n",
+                 args.get("scale", "small").c_str());
+    std::fprintf(f, "  \"rows\": [\n");
+    std::size_t n = 0, total = 0;
+    for (const auto& row : rows) total += row.arms.size();
+    for (const auto& row : rows)
+      for (const auto& a : row.arms)
+        std::fprintf(f,
+                     "    {\"program\": \"%s\", \"budget\": \"%s\", "
+                     "\"predicted_overhead_pct\": %.4f, \"measured_overhead_pct\": %.4f, "
+                     "\"coverage_pct\": %.4f, \"retention_pct\": %.4f}%s\n",
+                     row.name.c_str(), a.budget.c_str(), a.predicted_ovh, a.measured_ovh,
+                     a.coverage, a.retention, ++n < total ? "," : "");
+    std::fprintf(f, "  ],\n  \"programs_retaining_70pct_within_20pct\": %d,\n", retained);
+    std::fprintf(f, "  \"programs\": %d\n}\n", with_20);
+    std::fclose(f);
+  }
+  return check_ok ? 0 : 1;
+}

@@ -18,9 +18,15 @@
 //                                   single-bit memory errors correct, double-bit
 //                                   errors detect — composes with --protected
 //                                   for the hardware-vs-Hauberk comparison)
+//                  [--plan=FILE]   (selective-hardening plan — kirtune
+//                                   --emit-plan output — applied to the
+//                                   instrumented variants; its digest is
+//                                   folded into the campaign digest)
 #include <cstdio>
+#include <memory>
 
 #include "common/cli.hpp"
+#include "hauberk/plan.hpp"
 #include "hauberk/runtime.hpp"
 #include "swifi/campaign.hpp"
 #include "swifi/executor.hpp"
@@ -32,7 +38,8 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   for (const auto& f : args.unknown_flags({"program", "bits", "vars", "masks", "protected",
                                            "scale", "seed", "workers", "sanitize",
-                                           "sanitize-cap", "engine", "protection"})) {
+                                           "sanitize-cap", "engine", "protection",
+                                           "plan"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
     return 2;
   }
@@ -58,10 +65,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  core::TranslateOptions topt;
+  if (!flags.plan.empty()) {
+    try {
+      topt.plan = std::make_shared<core::HardeningPlan>(core::load_plan(flags.plan));
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: --plan: %s\n", ex.what());
+      return 2;
+    }
+  }
+
   gpusim::DeviceProps props;
   props.protection = static_cast<gpusim::ecc::Scheme>(flags.protection);
   gpusim::Device dev(props);
-  const auto v = core::build_variants(w->build_kernel(scale));
+  const auto v = core::build_variants(w->build_kernel(scale), topt);
   const auto ds = w->make_dataset(args.get_u64("seed", 1), scale);
   auto job = w->make_job(ds);
   const auto profile = core::profile(dev, v, {job.get()});
@@ -91,6 +108,7 @@ int main(int argc, char** argv) {
   cfg.sanitize_cap = static_cast<std::size_t>(flags.sanitize_cap);
   cfg.protection = props.protection;
   cfg.pipeline = swifi::PipelineSpec::from_report(prog_report);
+  if (topt.plan) cfg.plan_digest = core::plan_digest(*topt.plan);
   const auto res = ex.run(
       prog,
       [&] {

@@ -12,12 +12,18 @@
 // skipped and why, Maxvar evictions) and the analysis-cache behavior;
 // --dump-passes additionally writes the kernel IR before the first pass and
 // after every pass to DIR, for before/after diffing of one transformation.
+//
+// Every mode accepts --plan=FILE (a kirtune --emit-plan hardening plan):
+// instrumented output, pipelines, remarks and lint reports then reflect the
+// plan's per-kernel/per-loop/per-variable selections.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string_view>
 
 #include "common/cli.hpp"
 #include "hauberk/passes/pass_manager.hpp"
+#include "hauberk/plan.hpp"
 #include "hauberk/runtime.hpp"
 #include "kir/printer.hpp"
 #include "workloads/workload.hpp"
@@ -34,6 +40,19 @@ core::LibMode mode_from(const std::string& s) {
   return core::LibMode::FT;
 }
 
+/// Load --plan=FILE into `opt`; returns false (message printed) on failure.
+bool apply_plan_flag(const common::CliArgs& args, core::TranslateOptions& opt) {
+  const std::string path = args.get("plan", "");
+  if (path.empty()) return true;
+  try {
+    opt.plan = std::make_shared<core::HardeningPlan>(core::load_plan(path));
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "--plan: %s\n", ex.what());
+    return false;
+  }
+  return true;
+}
+
 /// The --print-passes / --dump-passes mode: compose the pipeline, run it
 /// with a trace observer, and report passes, remarks and cache stats.
 int inspect_passes(const kir::Kernel& kernel, const common::CliArgs& args) {
@@ -43,8 +62,12 @@ int inspect_passes(const kir::Kernel& kernel, const common::CliArgs& args) {
   opt.naive_duplication = args.has("naive");
   opt.protect_loop = !args.has("no-loop");
   opt.protect_nonloop = !args.has("no-nonloop");
+  if (!apply_plan_flag(args, opt)) return 2;
 
-  const core::PassPipeline pipe = core::pipeline_for(opt.mode, opt);
+  core::TranslateOptions eff = opt;
+  const core::PassPipeline pipe =
+      opt.plan ? core::plan_to_pipeline(*opt.plan, opt, kernel.name, &eff)
+               : core::pipeline_for(opt.mode, opt);
   std::printf("pipeline '%s' for kernel '%s':\n", pipe.name().c_str(), kernel.name.c_str());
   int n = 0;
   for (const auto& pn : pipe.pass_names()) std::printf("  %2d. %s\n", ++n, pn.c_str());
@@ -70,7 +93,7 @@ int inspect_passes(const kir::Kernel& kernel, const common::CliArgs& args) {
   }
 
   core::TranslateReport rep;
-  core::PassContext ctx(kir::clone_kernel(kernel), opt, rep);
+  core::PassContext ctx(kir::clone_kernel(kernel), eff, rep);
   core::PassManager(std::move(trace)).run(pipe, ctx);
 
   std::printf("\nremarks (%zu):\n%s", rep.remarks.size(), core::format_remarks(rep).c_str());
@@ -111,6 +134,7 @@ int inspect_lint(const kir::Kernel& kernel, const common::CliArgs& args) {
   opt.maxvar = static_cast<int>(args.get_int("maxvar", 1));
   opt.naive_duplication = args.has("naive");
   opt.lint = true;
+  if (!apply_plan_flag(args, opt)) return 2;
   core::TranslateReport rep;
   (void)core::translate(kernel, opt, &rep);
   if (args.has("json"))
@@ -161,7 +185,9 @@ int main(int argc, char** argv) {
   const auto kernel = w->build_kernel(workloads::Scale::Small);
   if (args.has("print-passes") || args.has("dump-passes")) return inspect_passes(kernel, args);
   if (args.has("lint")) return inspect_lint(kernel, args);
-  const auto v = core::build_variants(kernel);
+  core::TranslateOptions topt;
+  if (!apply_plan_flag(args, topt)) return 2;
+  const auto v = core::build_variants(kernel, topt);
   const bool all = what == "all";
 
   if (all || what == "source")

@@ -157,6 +157,31 @@ bool parse_shards(std::string_view text, int& shards, int& shard_index) noexcept
   return true;
 }
 
+bool parse_budget(std::string_view text, double& pct, std::uint64_t& cycles) noexcept {
+  if (text.empty()) return false;
+  if (text.back() == '%') {
+    const std::string num(text.substr(0, text.size() - 1));
+    if (num.empty() || num.front() == '-' || num.front() == '+') return false;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0') return false;
+    if (!(v >= 0.0) || v > 100.0) return false;
+    pct = v;
+    cycles = 0;
+    return true;
+  }
+  if (text.front() == '-' || text.front() == '+') return false;
+  const std::string num(text);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(num.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  pct = -1.0;
+  cycles = v;
+  return true;
+}
+
 CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
   CampaignFlags f;
   const auto workers = args.get_int("workers", 0);
@@ -197,6 +222,13 @@ CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
       args.note_error("--shards: expected K or K/I with K >= 1 and 0 <= I < K (got '" +
                       text + "')");
   }
+  if (args.has("budget")) {
+    const std::string text = args.get("budget");
+    if (!parse_budget(text, f.budget_pct, f.budget_cycles))
+      args.note_error("--budget: expected P% (0 <= P <= 100) or a non-negative "
+                      "cycle count (got '" + text + "')");
+  }
+  f.plan = args.get("plan");
   f.checkpoint_every = args.get_u64("checkpoint-every", 0);
   f.checkpoint = args.get("checkpoint");
   f.resume = args.get("resume");

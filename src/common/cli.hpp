@@ -82,6 +82,11 @@ enum class ProtectionKind : std::uint8_t { None, Hamming, Hsiao };
 ///                         unless --checkpoint overrides it)
 ///   --resultlog=FILE      compact binary per-trial result log
 ///   --protection=K        hardware memory protection: none|hamming|hsiao
+///   --plan=FILE           structured hardening plan (hauberk-plan s-expr)
+///                         applied to every translated kernel
+///   --budget=P%|N         selective-hardening overhead budget: percent of
+///                         the baseline cycles ("10%", 0..100) or an
+///                         absolute extra-cycle count ("250000")
 struct CampaignFlags {
   int workers = 0;
   bool sanitize = false;
@@ -95,12 +100,24 @@ struct CampaignFlags {
   std::string checkpoint;
   std::string resume;
   std::string resultlog;
+  std::string plan;          ///< --plan=FILE; empty when absent
+  double budget_pct = -1.0;  ///< --budget=P%; negative when absent/absolute
+  std::uint64_t budget_cycles = 0;  ///< --budget=N (absolute extra cycles)
 };
 
 /// Parse a --shards value: "K" (shard 0 of K) or "K/I" (shard I of K).
 /// Returns false on malformed text or out-of-range indices (K < 1,
 /// I < 0 or I >= K); `shards`/`shard_index` are untouched on failure.
 [[nodiscard]] bool parse_shards(std::string_view text, int& shards, int& shard_index) noexcept;
+
+/// Parse a --budget value: "P%" (percent overhead over the unprotected
+/// baseline; fractional allowed, 0 <= P <= 100) or a plain non-negative
+/// integer (absolute extra cycles).  A percent sets `pct` and zeroes
+/// `cycles`; an absolute count sets `cycles` and sets `pct` to -1.
+/// Returns false on malformed text, a negative value, or percent > 100;
+/// outputs are untouched on failure.
+[[nodiscard]] bool parse_budget(std::string_view text, double& pct,
+                                std::uint64_t& cycles) noexcept;
 
 /// Parse the shared campaign flags, validating ranges: negative --workers,
 /// --datasets < 1, --sanitize-cap < 1 or a malformed --shards record an

@@ -1,0 +1,238 @@
+#include "gpusim/cost.hpp"
+
+#include <algorithm>
+
+namespace hauberk::gpusim {
+
+namespace {
+
+using kir::Instr;
+using kir::OpCode;
+
+constexpr std::uint32_t aux_op(std::uint32_t aux) noexcept { return aux & 0xffffu; }
+constexpr kir::DType aux_type(std::uint32_t aux) noexcept {
+  return static_cast<kir::DType>((aux >> 16) & 0xffu);
+}
+
+bool is_check_op(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::ChkXor:
+    case OpCode::ChkValidate:
+    case OpCode::DupCmp:
+    case OpCode::RangeCheck:
+    case OpCode::EqualCheck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CostClass classify(const kir::Instr& in) noexcept {
+  if (is_check_op(in.op)) return CostClass::Check;
+  if (in.flags & (kir::kInstrHauberkDup | kir::kInstrScatter)) return CostClass::Dup;
+  if (in.flags & kir::kInstrDetectorAux) return CostClass::DetectorAux;
+  if (in.op == OpCode::FIHook || in.op == OpCode::CountExec || in.op == OpCode::ProfileVal)
+    return CostClass::Measurement;
+  return CostClass::Program;
+}
+
+const char* cost_class_name(CostClass c) noexcept {
+  switch (c) {
+    case CostClass::Program: return "program";
+    case CostClass::Dup: return "dup";
+    case CostClass::Check: return "check";
+    case CostClass::DetectorAux: return "detector-aux";
+    case CostClass::Measurement: return "measurement";
+  }
+  return "?";
+}
+
+std::vector<bool> spill_mask(const kir::BytecodeProgram& program,
+                             std::uint32_t regs_per_thread) {
+  std::vector<bool> spilled(program.num_slots, false);
+  if (program.num_slots <= regs_per_thread) return spilled;
+  std::vector<std::uint64_t> weight(program.num_slots, 0);
+  auto touch = [&](std::uint16_t slot, std::uint64_t w) { weight[slot] += w; };
+  for (const Instr& in : program.code) {
+    const std::uint64_t w = (in.flags & kir::kInstrInLoop) ? 64 : 1;
+    switch (in.op) {
+      case OpCode::Const: case OpCode::Builtin: touch(in.dst, w); break;
+      case OpCode::Mov: case OpCode::Un: case OpCode::LoadG: case OpCode::LoadS:
+        touch(in.dst, w); touch(in.a, w); break;
+      case OpCode::Bin: touch(in.dst, w); touch(in.a, w); touch(in.b, w); break;
+      case OpCode::Select:
+        touch(in.dst, w); touch(in.a, w); touch(in.b, w);
+        touch(static_cast<std::uint16_t>(in.imm), w); break;
+      case OpCode::StoreG: case OpCode::StoreS: case OpCode::AtomicAddG:
+        touch(in.a, w); touch(in.b, w); break;
+      case OpCode::Jz: case OpCode::RangeCheck: touch(in.a, w); break;
+      case OpCode::ChkXor: touch(in.dst, w); touch(in.a, w); break;
+      case OpCode::ChkValidate: touch(in.dst, w); break;
+      case OpCode::DupCmp: case OpCode::EqualCheck: touch(in.a, w); touch(in.b, w); break;
+      default: break;
+    }
+  }
+  std::vector<std::uint16_t> order(program.num_slots);
+  for (std::uint16_t s = 0; s < program.num_slots; ++s) order[s] = s;
+  std::sort(order.begin(), order.end(), [&](std::uint16_t a, std::uint16_t b) {
+    return weight[a] != weight[b] ? weight[a] < weight[b] : a < b;
+  });
+  const std::uint32_t to_spill = program.num_slots - regs_per_thread;
+  for (std::uint32_t i = 0; i < to_spill; ++i) spilled[order[i]] = true;
+  return spilled;
+}
+
+std::uint32_t static_cost(const Instr& in, const CostModel& cm,
+                          const std::vector<bool>& spilled, bool ecc) {
+  std::uint32_t base = 0;
+  switch (in.op) {
+    case OpCode::Nop: base = 0; break;
+    case OpCode::Const:
+    case OpCode::Mov:
+    case OpCode::Builtin:
+    case OpCode::Select:
+    case OpCode::Jmp:
+    case OpCode::Jz:
+      base = cm.alu;
+      break;
+    case OpCode::Un: {
+      const auto op = static_cast<kir::UnOp>(aux_op(in.aux));
+      switch (op) {
+        case kir::UnOp::Sqrt: case kir::UnOp::Rsqrt: case kir::UnOp::Exp:
+        case kir::UnOp::Log: case kir::UnOp::Sin: case kir::UnOp::Cos:
+          base = cm.sfu; break;
+        default:
+          base = aux_type(in.aux) == kir::DType::F32 ? cm.fpu_addmul : cm.alu;
+      }
+      break;
+    }
+    case OpCode::Bin: {
+      const auto op = static_cast<kir::BinOp>(aux_op(in.aux));
+      const bool f = aux_type(in.aux) == kir::DType::F32;
+      if (op == kir::BinOp::Div || op == kir::BinOp::Mod) base = cm.fpu_div;
+      else base = f ? cm.fpu_addmul : cm.alu;
+      break;
+    }
+    case OpCode::LoadG: base = cm.load_global + (ecc ? cm.ecc_check : 0); break;
+    case OpCode::StoreG: base = cm.store_global + (ecc ? cm.ecc_encode : 0); break;
+    case OpCode::LoadS: base = cm.load_shared; break;
+    case OpCode::StoreS: base = cm.store_shared; break;
+    case OpCode::AtomicAddG:
+      base = cm.atomic_global + (ecc ? cm.ecc_check + cm.ecc_encode : 0);
+      break;
+    case OpCode::Barrier: base = cm.barrier; break;
+    case OpCode::Halt: base = 0; break;
+    case OpCode::ChkXor: base = cm.chk_xor; break;
+    case OpCode::ChkValidate: base = cm.chk_validate; break;
+    case OpCode::DupCmp: base = cm.dup_cmp; break;
+    case OpCode::RangeCheck: base = cm.range_check; break;
+    case OpCode::EqualCheck: base = cm.equal_check; break;
+    // Measurement-only hooks are free: the paper's FT overhead numbers come
+    // from the FT binary, which contains no profiler/FI code.
+    case OpCode::ProfileVal:
+    case OpCode::CountExec:
+    case OpCode::FIHook:
+      return 0;
+  }
+  if (in.flags & kir::kInstrScatter) {
+    // R-Scatter duplicates execute in otherwise-idle issue slots/lanes and
+    // keep their data there too: discounted cost (rounded up — a duplicated
+    // instruction is never free), no spill surcharge.
+    return (base * cm.scatter_percent + 99) / 100;
+  }
+  if (in.flags & kir::kInstrHauberkDup)
+    base = (base * cm.hauberk_dup_percent + 99) / 100;  // spill surcharge still applies
+
+  // Spill surcharge: every access to a spilled register costs a
+  // local-memory round trip.
+  std::uint32_t spills = 0;
+  auto reg_operand = [&](std::uint16_t slot) {
+    if (spilled[slot]) ++spills;
+  };
+  switch (in.op) {
+    case OpCode::Const: case OpCode::Builtin:
+      reg_operand(in.dst); break;
+    case OpCode::Mov: case OpCode::Un:
+      reg_operand(in.dst); reg_operand(in.a); break;
+    case OpCode::Bin:
+      reg_operand(in.dst); reg_operand(in.a); reg_operand(in.b); break;
+    case OpCode::Select:
+      reg_operand(in.dst); reg_operand(in.a); reg_operand(in.b);
+      reg_operand(static_cast<std::uint16_t>(in.imm));
+      break;
+    case OpCode::LoadG: case OpCode::LoadS:
+      reg_operand(in.dst); reg_operand(in.a); break;
+    case OpCode::StoreG: case OpCode::StoreS: case OpCode::AtomicAddG:
+      reg_operand(in.a); reg_operand(in.b); break;
+    case OpCode::Jz: case OpCode::RangeCheck:
+      reg_operand(in.a); break;
+    case OpCode::ChkXor:
+      reg_operand(in.dst); reg_operand(in.a); break;
+    case OpCode::ChkValidate:
+      reg_operand(in.dst); break;
+    case OpCode::DupCmp: case OpCode::EqualCheck:
+      reg_operand(in.a); reg_operand(in.b); break;
+    default: break;
+  }
+  return base + spills * cm.spill;
+}
+
+std::vector<std::uint32_t> instruction_costs(const kir::BytecodeProgram& program,
+                                             const CostModel& cm,
+                                             std::uint32_t regs_per_thread, bool ecc) {
+  const std::vector<bool> spilled = spill_mask(program, regs_per_thread);
+  std::vector<std::uint32_t> costs(program.code.size());
+  for (std::size_t i = 0; i < program.code.size(); ++i)
+    costs[i] = static_cost(program.code[i], cm, spilled, ecc);
+  return costs;
+}
+
+std::uint64_t CostBreakdown::total_instructions() const noexcept {
+  std::uint64_t t = 0;
+  for (std::size_t c = 0; c < kNumCostClasses; ++c)
+    if (static_cast<CostClass>(c) != CostClass::Measurement) t += instructions[c];
+  return t;
+}
+
+std::uint64_t CostBreakdown::total_cycles() const noexcept {
+  std::uint64_t t = 0;
+  for (const std::uint64_t v : cycles) t += v;
+  return t;
+}
+
+std::uint64_t CostBreakdown::at(CostClass c, bool cycles_view) const noexcept {
+  const auto i = static_cast<std::size_t>(c);
+  return cycles_view ? cycles[i] : instructions[i];
+}
+
+CostBreakdown static_breakdown(const kir::BytecodeProgram& program, const CostModel& cm,
+                               std::uint32_t regs_per_thread, bool ecc) {
+  const std::vector<std::uint32_t> costs =
+      instruction_costs(program, cm, regs_per_thread, ecc);
+  CostBreakdown bd;
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const auto c = static_cast<std::size_t>(classify(program.code[i]));
+    bd.instructions[c] += 1;
+    bd.cycles[c] += costs[i];
+  }
+  return bd;
+}
+
+CostBreakdown weighted_breakdown(const kir::BytecodeProgram& program, const CostModel& cm,
+                                 std::uint32_t regs_per_thread, bool ecc,
+                                 std::span<const std::uint64_t> counts) {
+  const std::vector<std::uint32_t> costs =
+      instruction_costs(program, cm, regs_per_thread, ecc);
+  CostBreakdown bd;
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const std::uint64_t n = i < counts.size() ? counts[i] : 0;
+    const auto c = static_cast<std::size_t>(classify(program.code[i]));
+    bd.instructions[c] += n;
+    bd.cycles[c] += n * costs[i];
+  }
+  return bd;
+}
+
+}  // namespace hauberk::gpusim

@@ -258,105 +258,6 @@ std::uint32_t eval_un(UnOp op, DType t, std::uint32_t a) noexcept {
   }
 }
 
-/// Per-instruction static cost including register-spill surcharge.  `ecc`
-/// (device has protected memory) folds the per-access EDC-check/encode
-/// surcharge into every global access right here at plan build, so the
-/// engines' hot paths never branch on the protection mode.
-std::uint32_t static_cost(const Instr& in, const CostModel& cm,
-                          const std::vector<bool>& spilled, bool ecc) {
-  std::uint32_t base = 0;
-  switch (in.op) {
-    case OpCode::Nop: base = 0; break;
-    case OpCode::Const:
-    case OpCode::Mov:
-    case OpCode::Builtin:
-    case OpCode::Select:
-    case OpCode::Jmp:
-    case OpCode::Jz:
-      base = cm.alu;
-      break;
-    case OpCode::Un: {
-      const auto op = static_cast<UnOp>(aux_op(in.aux));
-      switch (op) {
-        case UnOp::Sqrt: case UnOp::Rsqrt: case UnOp::Exp:
-        case UnOp::Log: case UnOp::Sin: case UnOp::Cos:
-          base = cm.sfu; break;
-        default:
-          base = aux_type(in.aux) == DType::F32 ? cm.fpu_addmul : cm.alu;
-      }
-      break;
-    }
-    case OpCode::Bin: {
-      const auto op = static_cast<BinOp>(aux_op(in.aux));
-      const bool f = aux_type(in.aux) == DType::F32;
-      if (op == BinOp::Div || op == BinOp::Mod) base = cm.fpu_div;
-      else base = f ? cm.fpu_addmul : cm.alu;
-      break;
-    }
-    case OpCode::LoadG: base = cm.load_global + (ecc ? cm.ecc_check : 0); break;
-    case OpCode::StoreG: base = cm.store_global + (ecc ? cm.ecc_encode : 0); break;
-    case OpCode::LoadS: base = cm.load_shared; break;
-    case OpCode::StoreS: base = cm.store_shared; break;
-    case OpCode::AtomicAddG:
-      base = cm.atomic_global + (ecc ? cm.ecc_check + cm.ecc_encode : 0);
-      break;
-    case OpCode::Barrier: base = cm.barrier; break;
-    case OpCode::Halt: base = 0; break;
-    case OpCode::ChkXor: base = cm.chk_xor; break;
-    case OpCode::ChkValidate: base = cm.chk_validate; break;
-    case OpCode::DupCmp: base = cm.dup_cmp; break;
-    case OpCode::RangeCheck: base = cm.range_check; break;
-    case OpCode::EqualCheck: base = cm.equal_check; break;
-    // Measurement-only hooks are free: the paper's FT overhead numbers come
-    // from the FT binary, which contains no profiler/FI code.
-    case OpCode::ProfileVal:
-    case OpCode::CountExec:
-    case OpCode::FIHook:
-      return 0;
-  }
-  if (in.flags & kir::kInstrScatter) {
-    // R-Scatter duplicates execute in otherwise-idle issue slots/lanes and
-    // keep their data there too: discounted cost (rounded up — a duplicated
-    // instruction is never free), no spill surcharge.
-    return (base * cm.scatter_percent + 99) / 100;
-  }
-  if (in.flags & kir::kInstrHauberkDup)
-    base = (base * cm.hauberk_dup_percent + 99) / 100;  // spill surcharge still applies
-
-  // Spill surcharge: every access to a spilled register costs a
-  // local-memory round trip.
-  std::uint32_t spills = 0;
-  auto reg_operand = [&](std::uint16_t slot) {
-    if (spilled[slot]) ++spills;
-  };
-  switch (in.op) {
-    case OpCode::Const: case OpCode::Builtin:
-      reg_operand(in.dst); break;
-    case OpCode::Mov: case OpCode::Un:
-      reg_operand(in.dst); reg_operand(in.a); break;
-    case OpCode::Bin:
-      reg_operand(in.dst); reg_operand(in.a); reg_operand(in.b); break;
-    case OpCode::Select:
-      reg_operand(in.dst); reg_operand(in.a); reg_operand(in.b);
-      reg_operand(static_cast<std::uint16_t>(in.imm));
-      break;
-    case OpCode::LoadG: case OpCode::LoadS:
-      reg_operand(in.dst); reg_operand(in.a); break;
-    case OpCode::StoreG: case OpCode::StoreS: case OpCode::AtomicAddG:
-      reg_operand(in.a); reg_operand(in.b); break;
-    case OpCode::Jz: case OpCode::RangeCheck:
-      reg_operand(in.a); break;
-    case OpCode::ChkXor:
-      reg_operand(in.dst); reg_operand(in.a); break;
-    case OpCode::ChkValidate:
-      reg_operand(in.dst); break;
-    case OpCode::DupCmp: case OpCode::EqualCheck:
-      reg_operand(in.a); reg_operand(in.b); break;
-    default: break;
-  }
-  return base + spills * cm.spill;
-}
-
 enum class ThreadStop : std::uint8_t { Done, Barrier, Crash, Budget };
 
 /// Executes all threads of one block.
@@ -2144,55 +2045,6 @@ std::uint64_t plan_fingerprint(const kir::BytecodeProgram& program, const CostMo
   return h;
 }
 
-/// The uncached plan computation: register-spill analysis plus the
-/// per-instruction cost vector.
-std::vector<std::uint32_t> compute_launch_costs(const kir::BytecodeProgram& program,
-                                                const CostModel& cm,
-                                                std::uint32_t regs_per_thread, bool ecc) {
-  // Register allocation model: when the kernel's register demand exceeds
-  // the per-thread budget, the *least frequently accessed* values are
-  // spilled to local memory (loop-nested accesses weighted heavily), as a
-  // real allocator would.  Every access to a spilled slot then pays
-  // CostModel::spill extra cycles.
-  std::vector<bool> spilled(program.num_slots, false);
-  if (program.num_slots > regs_per_thread) {
-    std::vector<std::uint64_t> weight(program.num_slots, 0);
-    auto touch = [&](std::uint16_t slot, std::uint64_t w) { weight[slot] += w; };
-    for (const Instr& in : program.code) {
-      const std::uint64_t w = (in.flags & kir::kInstrInLoop) ? 64 : 1;
-      switch (in.op) {
-        case OpCode::Const: case OpCode::Builtin: touch(in.dst, w); break;
-        case OpCode::Mov: case OpCode::Un: case OpCode::LoadG: case OpCode::LoadS:
-          touch(in.dst, w); touch(in.a, w); break;
-        case OpCode::Bin: touch(in.dst, w); touch(in.a, w); touch(in.b, w); break;
-        case OpCode::Select:
-          touch(in.dst, w); touch(in.a, w); touch(in.b, w);
-          touch(static_cast<std::uint16_t>(in.imm), w); break;
-        case OpCode::StoreG: case OpCode::StoreS: case OpCode::AtomicAddG:
-          touch(in.a, w); touch(in.b, w); break;
-        case OpCode::Jz: case OpCode::RangeCheck: touch(in.a, w); break;
-        case OpCode::ChkXor: touch(in.dst, w); touch(in.a, w); break;
-        case OpCode::ChkValidate: touch(in.dst, w); break;
-        case OpCode::DupCmp: case OpCode::EqualCheck: touch(in.a, w); touch(in.b, w); break;
-        default: break;
-      }
-    }
-    std::vector<std::uint16_t> order(program.num_slots);
-    for (std::uint16_t s = 0; s < program.num_slots; ++s) order[s] = s;
-    std::sort(order.begin(), order.end(), [&](std::uint16_t a, std::uint16_t b) {
-      return weight[a] != weight[b] ? weight[a] < weight[b] : a < b;
-    });
-    const std::uint32_t to_spill = program.num_slots - regs_per_thread;
-    for (std::uint32_t i = 0; i < to_spill; ++i) spilled[order[i]] = true;
-  }
-
-  // Precompute per-instruction cost (base + spill surcharge).
-  std::vector<std::uint32_t> costs(program.code.size());
-  for (std::size_t i = 0; i < program.code.size(); ++i)
-    costs[i] = static_cost(program.code[i], cm, spilled, ecc);
-  return costs;
-}
-
 }  // namespace
 
 std::shared_ptr<const Device::LaunchPlan> Device::launch_plan(
@@ -2205,8 +2057,8 @@ std::shared_ptr<const Device::LaunchPlan> Device::launch_plan(
   // stream the new engine needs.
   auto build = [&] {
     auto plan = std::make_shared<LaunchPlan>();
-    plan->costs = compute_launch_costs(program, cost_, props_.regs_per_thread,
-                                       props_.protection != ecc::Scheme::None);
+    plan->costs = instruction_costs(program, cost_, props_.regs_per_thread,
+                                    props_.protection != ecc::Scheme::None);
     plan->decoded = kir::decode_program(program, plan->costs);
     if (engine_ == ExecEngine::Threaded)
       plan->threaded =

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/cost.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "kir/bytecode.hpp"
@@ -50,43 +51,10 @@ struct DeviceProps {
   ecc::Scheme protection = ecc::Scheme::None;
 };
 
-/// Per-instruction cycle costs.  Values model relative throughput of a
-/// GT200-class part (FP32 MAD pipe, SFU transcendentals, uncoalesced-average
-/// global memory); absolute numbers are not calibrated — the paper's
-/// evaluation reasons about *relative* overhead.
-struct CostModel {
-  std::uint32_t alu = 1;            ///< integer/pointer ops, moves, branches
-  std::uint32_t fpu_addmul = 4;     ///< f32 add/sub/mul/min/max/compare
-  std::uint32_t fpu_div = 20;       ///< f32 div, i32 div/mod
-  std::uint32_t sfu = 16;           ///< sqrt/rsqrt/exp/log/sin/cos
-  std::uint32_t load_global = 24;   ///< coalesced-average access
-  std::uint32_t store_global = 24;
-  std::uint32_t load_shared = 4;
-  std::uint32_t store_shared = 4;
-  std::uint32_t atomic_global = 80;
-  std::uint32_t barrier = 8;
-  std::uint32_t chk_xor = 1;        ///< Hauberk checksum update (one XOR)
-  std::uint32_t dup_cmp = 2;        ///< compare + conditional set
-  std::uint32_t range_check = 36;   ///< FP value vs up to 3 ranges + CB access
-  std::uint32_t equal_check = 6;
-  std::uint32_t chk_validate = 12;
-  std::uint32_t spill = 8;          ///< extra per access to a spilled register
-  std::uint32_t scatter_percent = 85;  ///< cost of R-Scatter duplicated instrs (% of base)
-  /// Cost of Hauberk's non-loop duplicated computation (% of base): the
-  /// duplicate issues in the ILP slack of the original latency-bound
-  /// sequential code (this is what makes the paper's RPES overhead ~60%
-  /// despite a ~75% sequential share).
-  std::uint32_t hauberk_dup_percent = 75;
-  std::uint32_t control_block_per_launch = 2000;  ///< CPU<->GPU control block delivery
-  /// Protected-memory (ECC) surcharges, charged only when DeviceProps::
-  /// protection is on.  The EDC syndrome check rides every global read and
-  /// the encoder every global write (folded into the static per-instruction
-  /// cost at plan build, so the hot path never branches on them); a
-  /// correction additionally pays the scrub write-back per corrected pair.
-  std::uint32_t ecc_check = 2;    ///< syndrome check per global load
-  std::uint32_t ecc_encode = 2;   ///< check-bit encode per global store
-  std::uint32_t ecc_scrub = 120;  ///< array write-back per corrected codeword
-};
+// CostModel (the per-opcode cycle table) and the spill/static-cost helpers
+// live in the dedicated cost layer; the device consumes them verbatim so
+// launch plans and static estimators can never disagree on a price.
+// (gpusim/cost.hpp is included above.)
 
 /// Simulated hardware fault in the device itself (used by the BIST/guardian
 /// recovery path, Section VI): corrupts results of matching operations.

@@ -1,0 +1,111 @@
+#include "hauberk/cost.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace hauberk::cost {
+
+CostProfile measure_profile(gpusim::Device& dev, const kir::Kernel& kernel,
+                            core::KernelJob& job) {
+  CostProfile pr;
+  pr.baseline = kir::lower(kernel);
+  auto args = job.setup(dev);
+  gpusim::LaunchOptions opts;
+  opts.instr_exec_counts = &pr.exec_counts;
+  const auto res = dev.launch(pr.baseline, job.config(), args, opts);
+  if (res.status != gpusim::LaunchStatus::Ok)
+    throw std::runtime_error(std::string("measure_profile: baseline launch failed: ") +
+                             gpusim::launch_status_name(res.status));
+  pr.measured_cycles = res.cycles;
+  pr.model = dev.cost_model();
+  pr.regs_per_thread = dev.props().regs_per_thread;
+  pr.ecc = dev.props().protection != gpusim::ecc::Scheme::None;
+  return pr;
+}
+
+std::uint64_t estimate_program_cycles(const kir::BytecodeProgram& program,
+                                      const CostProfile& profile) {
+  const kir::BytecodeProgram& base = profile.baseline;
+  // Baseline: (statement ordinal, intra-statement index) -> execution count.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::uint64_t> base_count;
+  {
+    std::map<std::int32_t, std::int32_t> intra;
+    for (std::size_t pc = 0; pc < base.code.size() && pc < base.stmt_origin.size(); ++pc) {
+      const std::int32_t ord = base.stmt_origin[pc];
+      if (ord < 0) continue;
+      const std::int32_t idx = intra[ord]++;
+      base_count[{ord, idx}] = pc < profile.exec_counts.size() ? profile.exec_counts[pc] : 0;
+    }
+  }
+
+  // Candidate pass 1: direct provenance matches.
+  const std::size_t n = program.code.size();
+  constexpr std::uint64_t kUnknown = ~0ull;
+  std::vector<std::uint64_t> counts(n, kUnknown);
+  {
+    std::map<std::int32_t, std::int32_t> intra;
+    for (std::size_t pc = 0; pc < n && pc < program.stmt_origin.size(); ++pc) {
+      const std::int32_t ord = program.stmt_origin[pc];
+      if (ord < 0) continue;
+      const std::int32_t idx = intra[ord]++;
+      const auto it = base_count.find({ord, idx});
+      if (it != base_count.end()) counts[pc] = it->second;
+    }
+  }
+
+  // Pass 2: inserted instructions inherit the *smaller* of the nearest
+  // preceding and following matched counts.  Both neighbours matter:
+  // detector-state inits sit between the prologue (1x) and a loop header
+  // (iterations+1), and run at prologue frequency; post-loop guards sit
+  // between the loop body (iterations) and the epilogue (1x), and run at
+  // epilogue frequency; in-loop bookkeeping has iteration-frequency
+  // neighbours on both sides.  Runs with no neighbour on one side fall back
+  // to the per-thread count (baseline pc 0) on that side.
+  const std::uint64_t per_thread = profile.exec_counts.empty() ? 0 : profile.exec_counts[0];
+  std::vector<std::uint64_t> following(n, per_thread);
+  std::uint64_t carry = per_thread;
+  for (std::size_t i = n; i-- > 0;) {
+    if (counts[i] != kUnknown) carry = counts[i];
+    following[i] = carry;
+  }
+  carry = per_thread;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[i] == kUnknown) counts[i] = std::min(carry, following[i]);
+    else carry = counts[i];
+  }
+
+  // Predicted cycles: the device's own accounting, folded statically.
+  const std::vector<std::uint32_t> costs = gpusim::instruction_costs(
+      program, profile.model, profile.regs_per_thread, profile.ecc);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += counts[i] * costs[i];
+  return total;
+}
+
+std::uint64_t estimate_kernel_cycles(const kir::Kernel& kernel,
+                                     const core::HardeningPlan& plan,
+                                     const CostProfile& profile,
+                                     const core::TranslateOptions& base) {
+  core::TranslateOptions opt = base;
+  opt.plan = std::make_shared<core::HardeningPlan>(plan);
+  const kir::Kernel hardened = core::translate(kernel, opt);
+  return estimate_program_cycles(kir::lower(hardened), profile);
+}
+
+gpusim::CostBreakdown kernel_static_breakdown(const kir::Kernel& kernel,
+                                              kir::AnalysisManager& am) {
+  // Key in the manager's external-analysis slot; the manager is already
+  // scoped to one kernel state, so a fixed tag suffices.
+  constexpr std::uint64_t kKey = 0xC057'0000'0000'0001ull;
+  auto cached = am.external(kKey, [&]() -> std::shared_ptr<void> {
+    const gpusim::DeviceProps defaults;
+    return std::make_shared<gpusim::CostBreakdown>(gpusim::static_breakdown(
+        kir::lower(kernel), gpusim::CostModel{}, defaults.regs_per_thread,
+        defaults.protection != gpusim::ecc::Scheme::None));
+  });
+  return *static_cast<const gpusim::CostBreakdown*>(cached.get());
+}
+
+}  // namespace hauberk::cost

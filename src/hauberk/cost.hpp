@@ -1,0 +1,78 @@
+// Static cycle estimation for selective hardening.
+//
+// The gpusim cost layer (gpusim/cost.hpp) owns the *price* of every
+// instruction; this layer owns the *prediction*: given one measured
+// baseline run of a kernel, estimate the cycles any instrumented variant of
+// the same kernel would take — without executing it.  That is what lets
+// the budgeted optimizer (hauberk/opt.hpp) score hundreds of candidate
+// HardeningPlans at translate-and-lower speed instead of simulation speed.
+//
+// The transfer works through the BytecodeProgram::stmt_origin provenance
+// table: instrumentation inserts whole (internal) statements and never
+// rewrites the original ones, so a non-internal statement lowers to the
+// identical instruction sequence in the baseline and in every instrumented
+// build.  Matching (statement ordinal, intra-statement index) pairs carries
+// the baseline's per-pc execution counts onto the instrumented stream;
+// inserted instructions inherit the *smaller* of the nearest preceding and
+// following matched counts (detector-state inits before a loop header run
+// at prologue frequency, post-loop guards at epilogue frequency, in-loop
+// bookkeeping at iteration frequency), and a run with no matched neighbour
+// on one side falls back to the per-thread count (baseline pc 0) on that
+// side.  Predicted cycles are then exactly the
+// device's accounting: sum over pc of static cost x transferred count.
+//
+// Because LaunchResult::cycles is itself a pure fold of the same
+// instruction_costs() vector over the interpreter's execution counts, the
+// estimator is exact whenever the count transfer is (identical control
+// flow), and within a few percent when inserted guards perturb it; the
+// test suite pins <= 10% error on all 12 workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "hauberk/plan.hpp"
+#include "hauberk/program.hpp"
+#include "hauberk/translator.hpp"
+
+namespace hauberk::cost {
+
+/// One measured baseline (uninstrumented) run of a kernel: the lowered
+/// program, its per-pc execution counts, and the device pricing context.
+/// Everything estimate_* needs; build one per (kernel, dataset, device).
+struct CostProfile {
+  kir::BytecodeProgram baseline;
+  std::vector<std::uint64_t> exec_counts;  ///< per baseline pc
+  std::uint64_t measured_cycles = 0;       ///< LaunchResult::cycles of that run
+  gpusim::CostModel model;
+  std::uint32_t regs_per_thread = 28;
+  bool ecc = false;
+};
+
+/// Launch the uninstrumented `kernel` once on `dev` under `job` and capture
+/// the profile.  Throws std::runtime_error if the launch does not complete
+/// cleanly (an estimator seeded from a crashed run predicts nothing).
+[[nodiscard]] CostProfile measure_profile(gpusim::Device& dev, const kir::Kernel& kernel,
+                                          core::KernelJob& job);
+
+/// Predict total kernel cycles for `program`, any lowering of an
+/// instrumented (or the baseline) build of the profiled kernel.
+[[nodiscard]] std::uint64_t estimate_program_cycles(const kir::BytecodeProgram& program,
+                                                    const CostProfile& profile);
+
+/// Predict total kernel cycles of `kernel` hardened under `plan`:
+/// translate (with `base` options + the plan), lower, estimate.  The
+/// convenience entry the optimizer and kirtune score candidates with.
+[[nodiscard]] std::uint64_t estimate_kernel_cycles(const kir::Kernel& kernel,
+                                                   const core::HardeningPlan& plan,
+                                                   const CostProfile& profile,
+                                                   const core::TranslateOptions& base = {});
+
+/// Static per-class cost anatomy of (the lowering of) `kernel` under the
+/// default device pricing, cached in `am`'s external-analysis slot so
+/// repeated consumers per pipeline run (the translate report, lint
+/// surfacing) lower at most once per kernel state.
+[[nodiscard]] gpusim::CostBreakdown kernel_static_breakdown(const kir::Kernel& kernel,
+                                                            kir::AnalysisManager& am);
+
+}  // namespace hauberk::cost

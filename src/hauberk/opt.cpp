@@ -1,0 +1,360 @@
+#include "hauberk/opt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace hauberk::opt {
+
+namespace {
+
+using core::HardeningPlan;
+using core::KernelPlan;
+using core::TranslateOptions;
+using core::Tri;
+
+/// Mirrors lint.cpp's internal_var: instrumentation-owned variables are
+/// invisible to the coverage universe.
+bool internal_var(const kir::Kernel& k, kir::VarId v) {
+  const auto& info = k.vars[v];
+  if (info.scatter_shadow) return true;
+  if (info.name.rfind("__hbk_", 0) == 0) return true;
+  const std::string suffix = "__shadow";
+  return info.name.size() >= suffix.size() &&
+         info.name.compare(info.name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// The coverage universe lint grades: every non-internal variable, and every
+/// non-internal (loop, def, use) dataflow edge.  Built from the *pristine*
+/// kernel — instrumentation only adds internal items, so the identities (and
+/// therefore lint's totals) are the same in every build of the kernel.
+struct Universe {
+  std::map<std::string, std::uint32_t> var_index;
+  std::map<std::tuple<std::uint32_t, std::string, std::string>, std::uint32_t> edge_index;
+  std::size_t num_vars = 0;
+  [[nodiscard]] std::size_t size() const { return var_index.size() + edge_index.size(); }
+};
+
+Universe build_universe(const kir::Kernel& kernel) {
+  Universe u;
+  kir::AnalysisManager am(kernel);
+  const kir::Analysis& an = am.analysis();
+  std::uint32_t next = 0;
+  for (kir::VarId v = 0; v < kernel.vars.size(); ++v) {
+    if (internal_var(kernel, v)) continue;
+    u.var_index.emplace(kernel.vars[v].name, next++);
+  }
+  u.num_vars = u.var_index.size();
+  for (const auto& loop : an.loops()) {
+    const auto& df = am.loop_dataflow(loop.id);
+    for (const auto& [def, uses] : df.uses) {
+      if (internal_var(kernel, def)) continue;
+      for (const kir::VarId use : uses) {
+        if (internal_var(kernel, use)) continue;
+        u.edge_index.emplace(
+            std::make_tuple(loop.id, kernel.vars[def].name, kernel.vars[use].name), next++);
+      }
+    }
+  }
+  return u;
+}
+
+/// One candidate build, translated + lint-graded + statically priced.
+struct BuildEval {
+  std::uint64_t est = 0;                ///< predicted cycles (estimator)
+  std::set<std::uint32_t> covered;      ///< universe indices lint grades covered
+  lint::Coverage coverage;              ///< lint's own covered/total counts
+};
+
+BuildEval eval_build(const kir::Kernel& kernel, const HardeningPlan& plan,
+                     const cost::CostProfile& profile, const TranslateOptions& base,
+                     const Universe& u) {
+  TranslateOptions opt = base;
+  opt.plan = std::make_shared<HardeningPlan>(plan);
+  opt.lint = true;
+  core::TranslateReport rep;
+  const kir::Kernel inst = core::translate(kernel, opt, &rep);
+
+  BuildEval ev;
+  ev.est = cost::estimate_program_cycles(kir::lower(inst), profile);
+  ev.coverage = rep.lint.coverage;
+  // Lint grades nothing when the build has no detectors — coverage is empty,
+  // not full.
+  if (rep.lint.coverage.total_vars == 0 && rep.lint.coverage.total_edges == 0) return ev;
+
+  // Covered = universe minus the uncovered diagnostics.
+  for (const auto& [name, idx] : u.var_index) ev.covered.insert(idx);
+  for (const auto& [key, idx] : u.edge_index) ev.covered.insert(idx);
+  for (const auto& d : rep.lint.diagnostics) {
+    if (d.kind == lint::DiagKind::UncoveredVariable) {
+      const auto it = u.var_index.find(inst.vars[d.var].name);
+      if (it != u.var_index.end()) ev.covered.erase(it->second);
+    } else if (d.kind == lint::DiagKind::UncoveredEdge) {
+      const auto it = u.edge_index.find(
+          std::make_tuple(d.loop_id, inst.vars[d.var].name, inst.vars[d.var2].name));
+      if (it != u.edge_index.end()) ev.covered.erase(it->second);
+    }
+  }
+  return ev;
+}
+
+/// Non-loop variables protect_scope would reach: Let/Assign targets in
+/// depth-0 scopes, recursing into If bodies only (mirror of instrument.cpp).
+void nonloop_vars(const kir::Kernel& k, const kir::StmtList& body,
+                  std::vector<std::string>& out, std::set<kir::VarId>& seen) {
+  for (const auto& s : body) {
+    if (s->hauberk_internal) continue;
+    if (s->kind == kir::StmtKind::If) {
+      nonloop_vars(k, s->body, out, seen);
+      nonloop_vars(k, s->else_body, out, seen);
+      continue;
+    }
+    if (s->kind != kir::StmtKind::Let && s->kind != kir::StmtKind::Assign) continue;
+    if (seen.insert(s->var).second) out.push_back(k.vars[s->var].name);
+  }
+}
+
+KernelPlan base_entry(const std::string& kernel_name) {
+  KernelPlan kp;
+  kp.kernel = kernel_name;
+  return kp;
+}
+
+HardeningPlan single_entry(KernelPlan kp) {
+  HardeningPlan p;
+  p.kernels.push_back(std::move(kp));
+  return p;
+}
+
+/// Ratio compare by exact cross-multiplication: is gain_a/cost_a >
+/// gain_b/cost_b?  Zero costs count as the best possible ratio.
+bool better_ratio(std::uint64_t gain_a, std::uint64_t cost_a, std::uint64_t gain_b,
+                  std::uint64_t cost_b) {
+  if (cost_a == 0 || cost_b == 0) {
+    if (cost_a == 0 && cost_b == 0) return gain_a > gain_b;
+    return cost_a == 0 ? gain_a > 0 : false;
+  }
+  return static_cast<unsigned __int128>(gain_a) * cost_b >
+         static_cast<unsigned __int128>(gain_b) * cost_a;
+}
+
+std::size_t marginal_gain(const Item& it, const std::set<std::uint32_t>& cov) {
+  std::size_t g = 0;
+  for (const std::uint32_t x : it.covered)
+    if (cov.count(x) == 0) ++g;
+  return g;
+}
+
+}  // namespace
+
+std::string Item::label() const {
+  return is_loop ? "loop " + std::to_string(loop_id) : "var \"" + var + "\"";
+}
+
+Selection greedy_cover(const std::vector<Item>& items, std::uint64_t budget) {
+  Selection sel;
+  std::set<std::uint32_t> cov;
+  std::vector<bool> used(items.size(), false);
+  for (;;) {
+    std::size_t best = items.size();
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (used[i] || items[i].cost > budget - sel.cost) continue;
+      const std::size_t gain = marginal_gain(items[i], cov);
+      if (gain == 0) continue;
+      if (best == items.size() ||
+          better_ratio(gain, items[i].cost, best_gain, items[best].cost) ||
+          (!better_ratio(best_gain, items[best].cost, gain, items[i].cost) &&
+           (gain > best_gain ||
+            (gain == best_gain && items[i].cost < items[best].cost)))) {
+        best = i;
+        best_gain = gain;
+      }
+    }
+    if (best == items.size()) break;
+    used[best] = true;
+    sel.chosen.push_back(best);
+    sel.cost += items[best].cost;
+    cov.insert(items[best].covered.begin(), items[best].covered.end());
+  }
+  sel.covered = cov.size();
+
+  // Classic fallback: a single large item can beat every ratio pick.
+  std::size_t single = items.size();
+  std::size_t single_gain = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].cost > budget) continue;
+    const std::size_t gain = items[i].covered.size();
+    if (gain > single_gain || (gain == single_gain && single != items.size() &&
+                               items[i].cost < items[single].cost)) {
+      single = i;
+      single_gain = gain;
+    }
+  }
+  if (single != items.size() && single_gain > sel.covered) {
+    sel.chosen = {single};
+    sel.cost = items[single].cost;
+    sel.covered = single_gain;
+  }
+  std::sort(sel.chosen.begin(), sel.chosen.end());
+  return sel;
+}
+
+namespace {
+
+struct ExactState {
+  const std::vector<Item>* items = nullptr;
+  std::uint64_t budget = 0;
+  std::vector<std::set<std::uint32_t>> suffix_union;  ///< covered by items [i..n)
+  Selection best;
+  std::vector<std::size_t> chosen;
+
+  void dfs(std::size_t i, const std::set<std::uint32_t>& cov, std::uint64_t cost) {
+    const auto& its = *items;
+    if (i == its.size()) {
+      if (cov.size() > best.covered ||
+          (cov.size() == best.covered && cost < best.cost)) {
+        best.chosen = chosen;
+        best.cost = cost;
+        best.covered = cov.size();
+      }
+      return;
+    }
+    // Bound: even taking every remaining item cannot beat the incumbent.
+    std::size_t bound = cov.size();
+    for (const std::uint32_t x : suffix_union[i])
+      if (cov.count(x) == 0) ++bound;
+    if (bound < best.covered || (bound == best.covered && cost >= best.cost)) return;
+
+    if (cost + its[i].cost <= budget) {
+      std::set<std::uint32_t> next = cov;
+      next.insert(its[i].covered.begin(), its[i].covered.end());
+      chosen.push_back(i);
+      dfs(i + 1, next, cost + its[i].cost);
+      chosen.pop_back();
+    }
+    dfs(i + 1, cov, cost);
+  }
+};
+
+}  // namespace
+
+Selection exact_cover(const std::vector<Item>& items, std::uint64_t budget) {
+  ExactState st;
+  st.items = &items;
+  st.budget = budget;
+  st.suffix_union.assign(items.size() + 1, {});
+  for (std::size_t i = items.size(); i-- > 0;) {
+    st.suffix_union[i] = st.suffix_union[i + 1];
+    st.suffix_union[i].insert(items[i].covered.begin(), items[i].covered.end());
+  }
+  st.dfs(0, {}, 0);
+  st.best.exact = true;
+  std::sort(st.best.chosen.begin(), st.best.chosen.end());
+  return st.best;
+}
+
+PlanResult plan_for_budget(const kir::Kernel& kernel, const cost::CostProfile& profile,
+                           std::uint64_t budget_cycles, const TranslateOptions& base,
+                           std::size_t exact_limit) {
+  PlanResult res;
+  res.baseline_cycles = profile.measured_cycles;
+  const Universe u = build_universe(kernel);
+  res.total_vars = u.num_vars;
+  res.total_edges = u.size() - u.num_vars;
+
+  // Anchor builds: no detectors at all, and full Hauberk.
+  KernelPlan none = base_entry(kernel.name);
+  none.loops = Tri::Off;
+  none.nonloop = Tri::Off;
+  const BuildEval e_none = eval_build(kernel, single_entry(none), profile, base, u);
+  res.none_cycles = e_none.est;
+  const BuildEval e_full = eval_build(kernel, HardeningPlan{}, profile, base, u);
+  res.full_cycles = e_full.est;
+  for (const std::uint32_t x : e_full.covered)
+    (x < u.num_vars ? res.full_covered_vars : res.full_covered_edges) += 1;
+
+  // Candidate items: one per protectable top-level loop, one per non-loop
+  // variable; each priced and graded from its own single-item build.
+  kir::AnalysisManager am(kernel);
+  const kir::Analysis& an = am.analysis();
+  for (const auto& ln : an.loops()) {
+    if (ln.parent != kir::kNoLoop) continue;
+    if (am.loop_plan(ln.id, base.maxvar).selected.empty()) continue;
+    KernelPlan kp = base_entry(kernel.name);
+    kp.nonloop = Tri::Off;
+    kp.loop_actions.emplace(ln.id, true);  // allowlist: only this loop
+    const BuildEval ev = eval_build(kernel, single_entry(kp), profile, base, u);
+    Item it;
+    it.is_loop = true;
+    it.loop_id = ln.id;
+    it.cost = ev.est > e_none.est ? ev.est - e_none.est : 0;
+    it.covered.assign(ev.covered.begin(), ev.covered.end());
+    res.items.push_back(std::move(it));
+  }
+  {
+    std::vector<std::string> vars;
+    std::set<kir::VarId> seen;
+    nonloop_vars(kernel, kernel.body, vars, seen);
+    for (const std::string& v : vars) {
+      KernelPlan kp = base_entry(kernel.name);
+      kp.loops = Tri::Off;
+      kp.var_actions.emplace(v, true);  // allowlist: only this variable
+      const BuildEval ev = eval_build(kernel, single_entry(kp), profile, base, u);
+      Item it;
+      it.var = v;
+      it.cost = ev.est > e_none.est ? ev.est - e_none.est : 0;
+      it.covered.assign(ev.covered.begin(), ev.covered.end());
+      res.items.push_back(std::move(it));
+    }
+  }
+
+  res.selection = res.items.size() <= exact_limit ? exact_cover(res.items, budget_cycles)
+                                                  : greedy_cover(res.items, budget_cycles);
+
+  // Assemble the combined plan, re-estimate (item costs can interact — e.g.
+  // shared spill pressure), and shed worst-ratio items until the prediction
+  // respects the budget.
+  std::vector<std::size_t> chosen = res.selection.chosen;
+  for (;;) {
+    KernelPlan kp = base_entry(kernel.name);
+    bool any_loop = false;
+    bool any_var = false;
+    for (const std::size_t i : chosen) {
+      if (res.items[i].is_loop) {
+        any_loop = true;
+        kp.loop_actions.emplace(res.items[i].loop_id, true);
+      } else {
+        any_var = true;
+        kp.var_actions.emplace(res.items[i].var, true);
+      }
+    }
+    if (!any_loop) kp.loops = Tri::Off;
+    if (!any_var) kp.nonloop = Tri::Off;
+    const HardeningPlan plan = single_entry(kp);
+    const BuildEval ev = eval_build(kernel, plan, profile, base, u);
+    const std::uint64_t overhead = ev.est > e_none.est ? ev.est - e_none.est : 0;
+    if (overhead <= budget_cycles || chosen.empty()) {
+      res.plan = plan;
+      res.predicted_cycles = ev.est;
+      res.covered_vars = static_cast<std::size_t>(ev.coverage.covered_vars);
+      res.covered_edges = static_cast<std::size_t>(ev.coverage.covered_edges);
+      res.selection.chosen = chosen;
+      res.selection.cost = overhead;
+      res.selection.covered = ev.covered.size();
+      break;
+    }
+    // Drop the chosen item with the worst standalone coverage-per-cycle.
+    std::size_t worst = 0;
+    for (std::size_t j = 1; j < chosen.size(); ++j) {
+      const Item& a = res.items[chosen[j]];
+      const Item& b = res.items[chosen[worst]];
+      if (better_ratio(b.covered.size(), b.cost, a.covered.size(), a.cost)) worst = j;
+    }
+    chosen.erase(chosen.begin() + static_cast<long>(worst));
+  }
+  return res;
+}
+
+}  // namespace hauberk::opt

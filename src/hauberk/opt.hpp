@@ -1,0 +1,100 @@
+// Budgeted selective-hardening optimizer.
+//
+// Input: a kernel, one measured baseline CostProfile (hauberk/cost.hpp),
+// and an overhead budget in extra cycles.  Output: the HardeningPlan that
+// maximizes predicted SDC detection coverage — the lint layer's Fig. 9
+// dataflow grading (covered variables + covered loop-dataflow edges) —
+// subject to the plan's predicted cycle overhead staying within budget.
+//
+// Candidate items are the kernel's independent protection units:
+//
+//   * one per top-level loop with a non-empty LoopProtectionPlan
+//     (Hauberk-L accumulator + range check + iteration invariant), and
+//   * one per non-loop virtual variable protect_scope would reach
+//     (checksum + duplicated recompute).
+//
+// Each item is priced by the static estimator (translate the single-item
+// plan, lower, transfer baseline counts) and graded by a lint run of the
+// same build, so costs and coverage come from the exact code the plan
+// would ship.  Coverage sets compose by union under selection (lint's
+// covered set is a backward closure from the protected-direct set, and
+// closure(A ∪ B) = closure(A) ∪ closure(B)), which makes this a budgeted
+// maximum-coverage problem: NP-hard in general, so
+//
+//   * greedy_cover() picks by marginal-coverage-per-cycle (with the
+//     classic best-single-item fallback, giving the standard
+//     (1 - 1/e)/2 approximation bound), and
+//   * exact_cover() branch-and-bounds the small instances (<= ~16 items)
+//     kirtune uses to bound greedy's gap — tests pin their agreement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hauberk/cost.hpp"
+#include "hauberk/plan.hpp"
+
+namespace hauberk::opt {
+
+/// One selectable protection unit.
+struct Item {
+  bool is_loop = false;
+  std::uint32_t loop_id = 0;  ///< valid when is_loop
+  std::string var;            ///< valid when !is_loop
+  std::uint64_t cost = 0;     ///< predicted extra cycles vs the unprotected build
+  std::vector<std::uint32_t> covered;  ///< universe indices this item covers
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// A chosen subset of items.
+struct Selection {
+  std::vector<std::size_t> chosen;  ///< indices into the item vector
+  std::uint64_t cost = 0;           ///< sum of item costs
+  std::size_t covered = 0;          ///< |union of covered sets|
+  bool exact = false;               ///< solved to optimality
+};
+
+/// Greedy budgeted maximum coverage: repeatedly take the affordable item
+/// with the best marginal-coverage / cost ratio; return the better of that
+/// and the single best affordable item.  Deterministic tie-breaks
+/// (coverage, then cost, then index).  Never exceeds `budget`.
+[[nodiscard]] Selection greedy_cover(const std::vector<Item>& items, std::uint64_t budget);
+
+/// Exact optimum by depth-first branch and bound (prune on budget and on
+/// the union of all remaining coverage).  Intended for small instances;
+/// cost grows exponentially past ~20 items.  Never exceeds `budget`.
+[[nodiscard]] Selection exact_cover(const std::vector<Item>& items, std::uint64_t budget);
+
+/// End-to-end result of plan_for_budget.
+struct PlanResult {
+  core::HardeningPlan plan;          ///< the emitted plan (single kernel entry)
+  std::vector<Item> items;           ///< all candidates considered
+  Selection selection;               ///< what was chosen and why
+  std::uint64_t baseline_cycles = 0;   ///< measured unprotected cycles
+  std::uint64_t none_cycles = 0;       ///< predicted cycles of the no-detector build
+  std::uint64_t full_cycles = 0;       ///< predicted cycles of the full-Hauberk build
+  std::uint64_t predicted_cycles = 0;  ///< predicted cycles of the emitted plan
+  /// Lint coverage of the emitted plan's build and of the full build, for
+  /// the coverage-retention frontier.
+  std::size_t covered_vars = 0, total_vars = 0;
+  std::size_t covered_edges = 0, total_edges = 0;
+  std::size_t full_covered_vars = 0, full_covered_edges = 0;
+};
+
+/// Emit the coverage-maximizing HardeningPlan for `kernel` whose predicted
+/// overhead (vs the profile's measured baseline) stays within
+/// `budget_cycles` extra cycles.  Uses exact_cover when the instance is
+/// small (<= `exact_limit` items), greedy otherwise; either way the
+/// combined plan is re-estimated and items are dropped worst-ratio-first
+/// if interactions push it past budget, so the returned predicted_cycles
+/// respects the budget.  `base` carries mode/maxvar (mode must be FT or
+/// FIFT for detectors to exist).
+[[nodiscard]] PlanResult plan_for_budget(const kir::Kernel& kernel,
+                                         const cost::CostProfile& profile,
+                                         std::uint64_t budget_cycles,
+                                         const core::TranslateOptions& base = {},
+                                         std::size_t exact_limit = 16);
+
+}  // namespace hauberk::opt

@@ -1,5 +1,6 @@
 #include "hauberk/passes/instrument.hpp"
 
+#include "hauberk/plan.hpp"
 #include "kir/bytecode.hpp"
 
 #include <functional>
@@ -173,6 +174,11 @@ bool LoopAccumulatorPass::run(PassContext& ctx) {
   // part of the outer loop's dataflow graph).
   for (const auto& ln : an.loops()) {
     if (ln.parent != kNoLoop) continue;
+    if (ctx.opt->kernel_plan && !plan_allows_loop(*ctx.opt->kernel_plan, ln.id)) {
+      ctx.remark(name(), "loop " + std::to_string(ln.id) + ": excluded by hardening plan",
+                 ln.id);
+      continue;
+    }
     const LoopProtectionPlan& plan = ctx.am.loop_plan(ln.id, ctx.opt->maxvar);
     if (plan.selected.empty()) {
       ctx.remark(name(), "loop " + std::to_string(ln.id) +
@@ -359,6 +365,10 @@ std::size_t protect_scope(PassContext& ctx, StmtList& list, bool naive,
     if (s->kind != StmtKind::Let && s->kind != StmtKind::Assign) continue;
 
     const VarId v = s->var;
+    if (ctx.opt->kernel_plan && !plan_allows_var(*ctx.opt->kernel_plan, k.vars[v].name)) {
+      ctx.remark(pass_name, quoted(k, v) + " excluded by hardening plan", 0xffffffffu, v);
+      continue;
+    }
     // A self-referencing update (v = f(v)) cannot be re-computed after the
     // fact — the paper treats the updated value as a fresh virtual
     // variable; we keep the checksum protection and skip the duplication.

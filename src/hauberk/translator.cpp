@@ -3,7 +3,9 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "hauberk/cost.hpp"
 #include "hauberk/passes/pass_manager.hpp"
+#include "hauberk/plan.hpp"
 
 namespace hauberk::core {
 
@@ -81,10 +83,21 @@ Kernel translate(const Kernel& input, const TranslateOptions& opt, TranslateRepo
                                 "re-instrumenting would double-place detectors");
   TranslateReport local;
   TranslateReport& rep = report ? *report : local;
-  PassPipeline pipeline = pipeline_for(opt.mode, opt);
+  // Resolve the structured hardening plan (if any) into effective options
+  // before the pipeline is composed; the deprecated pipeline_override shim
+  // still runs afterwards so legacy callers keep working.
+  TranslateOptions eff = opt;
+  PassPipeline pipeline;
+  if (opt.plan) {
+    pipeline = plan_to_pipeline(*opt.plan, opt, input.name, &eff);
+  } else {
+    pipeline = pipeline_for(opt.mode, opt);
+  }
   if (opt.pipeline_override) opt.pipeline_override(input.name, pipeline);
-  PassContext ctx(clone_kernel(input), opt, rep);
+  PassContext ctx(clone_kernel(input), eff, rep);
   PassManager().run(pipeline, ctx);
+  rep.cost = cost::kernel_static_breakdown(ctx.kernel, ctx.am);
+  rep.analysis_cache = ctx.am.stats();
   rep.transform_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return std::move(ctx.kernel);

@@ -27,9 +27,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "gpusim/cost.hpp"
 #include "hauberk/lint.hpp"
 #include "kir/analysis.hpp"
 #include "kir/analysis_manager.hpp"
@@ -41,7 +43,9 @@ enum class LibMode : std::uint8_t { None, Profiler, FT, FI, FIFT };
 
 [[nodiscard]] const char* lib_mode_name(LibMode m) noexcept;
 
-class PassPipeline;  // src/hauberk/passes/pass_manager.hpp
+class PassPipeline;   // src/hauberk/passes/pass_manager.hpp
+struct HardeningPlan;  // src/hauberk/plan.hpp
+struct KernelPlan;
 
 struct TranslateOptions {
   LibMode mode = LibMode::FT;
@@ -72,10 +76,19 @@ struct TranslateOptions {
   /// runtime.hpp consumes TranslateReport::lint).  Eliminates the Fig. 16
   /// unlucky-training false positives at the cost of wider accepted ranges.
   bool substitute_static_ranges = false;
-  /// Selective per-kernel hardening hook: invoked with the kernel's name and
-  /// the pass pipeline composed for `mode` before it runs.  May drop or
-  /// reorder passes (e.g. disable loop protection for one kernel of a
-  /// multi-kernel program while fully hardening the others).
+  /// Structured selective hardening (hauberk/plan.hpp): per-kernel,
+  /// per-loop, per-variable decisions resolved by translate() before the
+  /// pipeline is composed.  A trivial (decision-free) plan is guaranteed to
+  /// behave exactly like no plan.
+  std::shared_ptr<const HardeningPlan> plan;
+  /// Resolved by apply_plan() for the kernel being translated; passes
+  /// consult it for per-loop/per-variable selections.  Aliases `plan` —
+  /// never set it by hand.
+  const KernelPlan* kernel_plan = nullptr;
+  /// DEPRECATED selective-hardening hook, superseded by `plan`: invoked
+  /// with the kernel's name and the composed pass pipeline before it runs.
+  /// Kept as a thin compatibility shim (applied after plan resolution); may
+  /// drop or reorder passes.
   std::function<void(const std::string& kernel_name, PassPipeline& pipeline)>
       pipeline_override;
 };
@@ -111,6 +124,10 @@ struct TranslateReport {
   std::vector<PassRemark> remarks;
   /// Analysis-cache behavior of the run (hits/misses/invalidations).
   kir::AnalysisManager::Stats analysis_cache;
+  /// Static per-class cost anatomy of the instrumented kernel under the
+  /// default device pricing (shared gpusim cost layer; cached through the
+  /// analysis manager's external slot).
+  gpusim::CostBreakdown cost;
   /// Static analysis result; populated when TranslateOptions::lint is set.
   hauberk::lint::LintReport lint;
 };

@@ -47,11 +47,23 @@ const IntervalAnalysis& AnalysisManager::intervals(const IntervalEnv& env) {
   return intervals_.try_emplace(key, *kernel_, env).first->second;
 }
 
+std::shared_ptr<void> AnalysisManager::external(
+    std::uint64_t key, const std::function<std::shared_ptr<void>()>& compute) {
+  auto it = external_.find(key);
+  if (it != external_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  return external_.emplace(key, compute()).first->second;
+}
+
 void AnalysisManager::invalidate() noexcept {
   analysis_.reset();
   dataflow_.clear();
   plans_.clear();
   intervals_.clear();
+  external_.clear();
   ++stats_.invalidations;
 }
 

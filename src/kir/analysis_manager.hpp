@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -46,6 +48,14 @@ class AnalysisManager {
   /// env digest (the lint analyzers query the same env repeatedly).
   [[nodiscard]] const IntervalAnalysis& intervals(const IntervalEnv& env);
 
+  /// Cache slot for analyses registered by higher layers (kir cannot name
+  /// their types): returns the cached value under `key`, or runs `compute`
+  /// once and caches the result.  Shares the stats counters and is flushed
+  /// by invalidate() like the built-in analyses.  The cost-model layer in
+  /// src/hauberk registers its per-kernel cycle summaries here.
+  [[nodiscard]] std::shared_ptr<void> external(
+      std::uint64_t key, const std::function<std::shared_ptr<void>()>& compute);
+
   /// Drop every cached analysis.  Called by the pass manager after any pass
   /// reports that it mutated the AST.
   void invalidate() noexcept;
@@ -67,6 +77,7 @@ class AnalysisManager {
   std::map<std::uint32_t, LoopDataflow> dataflow_;
   std::map<std::pair<std::uint32_t, int>, LoopProtectionPlan> plans_;
   std::map<std::uint64_t, IntervalAnalysis> intervals_;
+  std::map<std::uint64_t, std::shared_ptr<void>> external_;
   Stats stats_;
 };
 

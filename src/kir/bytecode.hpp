@@ -108,6 +108,16 @@ struct BytecodeProgram {
   std::vector<DetectorMeta> detectors;
   std::uint32_t shared_mem_words = 0;
 
+  /// Provenance side table, 1:1 with `code`: the pre-order ordinal of the
+  /// originating *non-internal* source statement (counting only non-internal
+  /// statements), or -1 for instructions the instrumentation inserted.
+  /// Because instrumentation only ever inserts whole statements, ordinal k
+  /// names the same source statement in a baseline and an instrumented
+  /// lowering of one kernel — the anchor the static cycle estimator uses to
+  /// transfer measured execution counts between builds.  A side table only:
+  /// never read by the engines and excluded from program_digest.
+  std::vector<std::int32_t> stmt_origin;
+
   /// Register demand reported to the launch engine; slots at or above the
   /// device's register budget are modeled as spilled.
   [[nodiscard]] std::uint16_t register_demand() const noexcept { return num_slots; }

@@ -123,6 +123,7 @@ class Lowerer {
     i.aux = aux;
     i.imm = imm;
     p_.code.push_back(i);
+    p_.stmt_origin.push_back(cur_origin_);
     return p_.code.size() - 1;
   }
 
@@ -262,6 +263,11 @@ class Lowerer {
 
   void lower_stmt(const Stmt& s, bool in_loop, std::uint8_t extra) {
     const std::uint8_t saved = cur_flags_;
+    // Provenance: non-internal statements are numbered in pre-order (the
+    // same order in every lowering of this kernel, since instrumentation
+    // only inserts internal statements and never reorders the original).
+    const std::int32_t saved_origin = cur_origin_;
+    cur_origin_ = s.hauberk_internal ? -1 : next_ordinal_++;
     cur_flags_ = static_cast<std::uint8_t>((in_loop ? kInstrInLoop : 0) | extra | s.extra_flags);
     const std::uint8_t child_extra = static_cast<std::uint8_t>(extra | s.extra_flags);
 
@@ -392,6 +398,7 @@ class Lowerer {
         break;
     }
     cur_flags_ = saved;
+    cur_origin_ = saved_origin;
   }
 
   /// Register (or find) the FISite for a CountExec/FIHook statement; returns
@@ -435,6 +442,8 @@ class Lowerer {
   std::uint16_t max_slot_ = 0;
   std::vector<std::uint16_t> free_;
   std::uint8_t cur_flags_ = 0;
+  std::int32_t cur_origin_ = -1;   ///< stmt_origin value for emitted instrs
+  std::int32_t next_ordinal_ = 0;  ///< next non-internal statement ordinal
 };
 
 }  // namespace

@@ -87,6 +87,12 @@ struct CampaignConfig {
   /// Instrumentation pipeline that produced the injected program; copied
   /// into CampaignResult for experiment logs.
   PipelineSpec pipeline;
+  /// Digest of the selective-hardening plan the injected program was built
+  /// under (core::plan_digest); 0 — the trivial plan — when hardening was
+  /// not plan-driven.  CampaignService folds a nonzero digest into the
+  /// campaign digest so a checkpoint or result log can never silently pair
+  /// with a differently-hardened build.
+  std::uint64_t plan_digest = 0;
 
   [[nodiscard]] gpusim::ExecEngine effective_engine() const noexcept {
     return sanitize ? gpusim::ExecEngine::Sanitizer : engine;

@@ -38,7 +38,8 @@ std::uint64_t campaign_digest(const kir::BytecodeProgram& program,
                               const std::vector<FaultSpec>& specs,
                               const workloads::Requirement& req,
                               std::uint64_t remark_digest,
-                              gpusim::ecc::Scheme protection) {
+                              gpusim::ecc::Scheme protection,
+                              std::uint64_t plan_digest) {
   std::uint64_t h = kFnvOffset;
   fnv(h, kir::program_digest(program));
   fnv(h, specs.size());
@@ -64,6 +65,12 @@ std::uint64_t campaign_digest(const kir::BytecodeProgram& program,
   if (protection != gpusim::ecc::Scheme::None) {
     fnv(h, 0xECCull);
     fnv(h, static_cast<std::uint64_t>(protection));
+  }
+  // Same arrangement for hardening plans: the trivial plan's digest is 0 and
+  // contributes nothing, so plan-free campaigns keep their historic digests.
+  if (plan_digest != 0) {
+    fnv(h, 0x504Cull);
+    fnv(h, plan_digest);
   }
   return h;
 }
@@ -174,7 +181,8 @@ ServiceResult CampaignService::run(const kir::BytecodeProgram& program,
   if (cfg_.campaign.pipeline.report)
     remark_digest = core::remark_digest(*cfg_.campaign.pipeline.report);
   const std::uint64_t digest =
-      campaign_digest(program, specs, req, remark_digest, cfg_.campaign.protection);
+      campaign_digest(program, specs, req, remark_digest, cfg_.campaign.protection,
+                      cfg_.campaign.plan_digest);
 
   ServiceResult result;
   result.pipeline = cfg_.campaign.pipeline.name;

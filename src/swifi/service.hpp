@@ -57,13 +57,17 @@ namespace hauberk::swifi {
 /// protection *is* part of the identity — an ECC campaign has different
 /// outcomes — but ecc::Scheme::None contributes nothing, so every digest
 /// (and checkpoint, and result log) minted before protection existed stays
-/// valid.
+/// valid.  A selective-hardening plan is identity the same way: a nonzero
+/// `plan_digest` (core::plan_digest of the plan the injected program was
+/// built under) is folded in, while the trivial-plan digest 0 contributes
+/// nothing, keeping plan-free campaign digests bitwise stable.
 [[nodiscard]] std::uint64_t campaign_digest(const kir::BytecodeProgram& program,
                                             const std::vector<FaultSpec>& specs,
                                             const workloads::Requirement& req,
                                             std::uint64_t remark_digest,
                                             gpusim::ecc::Scheme protection =
-                                                gpusim::ecc::Scheme::None);
+                                                gpusim::ecc::Scheme::None,
+                                            std::uint64_t plan_digest = 0);
 
 /// The on-disk campaign checkpoint (magic "HBKC", version
 /// kCampaignCheckpointVersion).  Everything needed to resume shard I of K

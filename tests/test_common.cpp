@@ -375,6 +375,69 @@ TEST(CampaignFlags, MalformedShardsRecordsError) {
   EXPECT_NE(args.errors()[0].find("--shards"), std::string::npos);
 }
 
+TEST(ParseBudget, AcceptsPercentAndAbsoluteCycles) {
+  double pct = -7.0;
+  std::uint64_t cycles = 99;
+  EXPECT_TRUE(hc::parse_budget("10%", pct, cycles));
+  EXPECT_DOUBLE_EQ(pct, 10.0);
+  EXPECT_EQ(cycles, 0u);
+  EXPECT_TRUE(hc::parse_budget("0%", pct, cycles));
+  EXPECT_DOUBLE_EQ(pct, 0.0);
+  EXPECT_TRUE(hc::parse_budget("100%", pct, cycles));
+  EXPECT_DOUBLE_EQ(pct, 100.0);
+  EXPECT_TRUE(hc::parse_budget("2.5%", pct, cycles));
+  EXPECT_DOUBLE_EQ(pct, 2.5);
+  EXPECT_TRUE(hc::parse_budget("250000", pct, cycles));
+  EXPECT_EQ(cycles, 250000u);
+  EXPECT_DOUBLE_EQ(pct, -1.0) << "absolute budgets clear the percent form";
+  EXPECT_TRUE(hc::parse_budget("0", pct, cycles));
+  EXPECT_EQ(cycles, 0u);
+}
+
+TEST(ParseBudget, RejectsMalformedNegativeAndOverOneHundredPercent) {
+  for (const char* bad : {"", "%", "-5%", "+10%", "100.1%", "101%", "abc", "5%%", "5 %",
+                          "ten%", "-3", "+7", "4.5", "0x10", "12px"}) {
+    double pct = 42.0;
+    std::uint64_t cycles = 77;
+    EXPECT_FALSE(hc::parse_budget(bad, pct, cycles)) << "'" << bad << "' must be rejected";
+    EXPECT_DOUBLE_EQ(pct, 42.0) << "'" << bad << "' must leave outputs untouched";
+    EXPECT_EQ(cycles, 77u) << "'" << bad << "' must leave outputs untouched";
+  }
+}
+
+TEST(CampaignFlags, ParsesBudgetAndPlan) {
+  const char* argv[] = {"prog", "--budget=20%", "--plan=tuned.plan"};
+  hc::CliArgs args(3, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args);
+  EXPECT_TRUE(args.ok());
+  EXPECT_DOUBLE_EQ(f.budget_pct, 20.0);
+  EXPECT_EQ(f.budget_cycles, 0u);
+  EXPECT_EQ(f.plan, "tuned.plan");
+
+  const char* argv2[] = {"prog", "--budget=5000"};
+  hc::CliArgs args2(2, const_cast<char**>(argv2));
+  const auto f2 = hc::parse_campaign_flags(args2);
+  EXPECT_TRUE(args2.ok());
+  EXPECT_DOUBLE_EQ(f2.budget_pct, -1.0);
+  EXPECT_EQ(f2.budget_cycles, 5000u);
+}
+
+TEST(CampaignFlags, BudgetDefaultsOffAndMalformedBudgetRecordsError) {
+  const char* argv[] = {"prog"};
+  hc::CliArgs args(1, const_cast<char**>(argv));
+  const auto f = hc::parse_campaign_flags(args);
+  EXPECT_DOUBLE_EQ(f.budget_pct, -1.0) << "no --budget means no budget";
+  EXPECT_EQ(f.budget_cycles, 0u);
+  EXPECT_TRUE(f.plan.empty());
+
+  const char* argv2[] = {"prog", "--budget=110%"};
+  hc::CliArgs args2(2, const_cast<char**>(argv2));
+  (void)hc::parse_campaign_flags(args2);
+  ASSERT_FALSE(args2.ok());
+  EXPECT_NE(args2.errors()[0].find("--budget"), std::string::npos);
+  EXPECT_NE(args2.errors()[0].find("110%"), std::string::npos);
+}
+
 TEST(Log2Histogram, BucketsByBitWidth) {
   hc::Log2Histogram h;
   h.add(0);     // bucket 0

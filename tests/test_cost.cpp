@@ -1,0 +1,171 @@
+// Static cycle-estimator tests (hauberk/cost.hpp).
+//
+// The estimator transfers one measured baseline run's per-pc execution
+// counts onto any instrumented lowering of the same kernel through the
+// stmt_origin provenance table, then folds them against the shared gpusim
+// cost vector.  Two accuracy contracts are pinned here:
+//
+//   * identity — estimating the profiled baseline itself reproduces the
+//     measured cycles exactly (same counts, same cost vector), and
+//   * transfer — estimating the full-Hauberk FT build lands within 10% of
+//     the simulator on every one of the 12 workloads (the acceptance bound
+//     kirtune's predictions are trusted to).
+//
+// Plus the cost-anatomy arithmetic (CostBreakdown totals, Measurement
+// exclusion) and the AnalysisManager external-slot caching that keeps
+// repeated per-pipeline consumers from re-lowering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/cost.hpp"
+#include "gpusim/device.hpp"
+#include "hauberk/cost.hpp"
+#include "hauberk/translator.hpp"
+#include "kir/analysis_manager.hpp"
+#include "kir/bytecode.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+
+namespace {
+
+struct WorkloadEntry {
+  std::unique_ptr<workloads::Workload> w;
+  bool cpu = false;
+};
+
+std::vector<WorkloadEntry> all_workloads() {
+  std::vector<WorkloadEntry> out;
+  for (auto& w : workloads::hpc_suite()) out.push_back({std::move(w), false});
+  for (auto& w : workloads::graphics_suite()) out.push_back({std::move(w), false});
+  for (auto& w : workloads::cpu_suite()) out.push_back({std::move(w), true});
+  out.push_back({workloads::make_cpu_matmul(), true});  // not in cpu_suite
+  return out;
+}
+
+gpusim::Device make_device(bool cpu) {
+  gpusim::DeviceProps props;
+  if (cpu) props.memory_model = gpusim::MemoryModel::PagedCpu;
+  return gpusim::Device(props);
+}
+
+}  // namespace
+
+TEST(CostEstimator, BaselineEstimateIsExactOnEveryWorkload) {
+  for (const auto& e : all_workloads()) {
+    auto dev = make_device(e.cpu);
+    const auto kernel = e.w->build_kernel(workloads::Scale::Tiny);
+    const auto ds = e.w->make_dataset(1, workloads::Scale::Tiny);
+    auto job = e.w->make_job(ds);
+    const auto profile = cost::measure_profile(dev, kernel, *job);
+    ASSERT_GT(profile.measured_cycles, 0u) << e.w->name();
+    EXPECT_EQ(cost::estimate_program_cycles(profile.baseline, profile),
+              profile.measured_cycles)
+        << e.w->name() << ": same counts x same cost vector must be an identity";
+  }
+}
+
+TEST(CostEstimator, FtBuildWithinTenPercentOnEveryWorkload) {
+  for (const auto& e : all_workloads()) {
+    auto dev = make_device(e.cpu);
+    const auto kernel = e.w->build_kernel(workloads::Scale::Tiny);
+    const auto ds = e.w->make_dataset(1, workloads::Scale::Tiny);
+    auto job = e.w->make_job(ds);
+    const auto profile = cost::measure_profile(dev, kernel, *job);
+
+    core::TranslateOptions opt;
+    opt.mode = core::LibMode::FT;
+    const auto prog = kir::lower(core::translate(kernel, opt));
+    const std::uint64_t predicted = cost::estimate_program_cycles(prog, profile);
+
+    auto args = job->setup(dev);
+    const auto res = dev.launch(prog, job->config(), args);
+    ASSERT_EQ(res.status, gpusim::LaunchStatus::Ok) << e.w->name();
+    const double err = std::fabs(static_cast<double>(predicted) -
+                                 static_cast<double>(res.cycles)) /
+                       static_cast<double>(res.cycles);
+    EXPECT_LE(err, 0.10) << e.w->name() << ": predicted " << predicted << " vs measured "
+                         << res.cycles;
+
+    // The plan-level convenience entry must agree with the program-level one
+    // for the trivial (full-Hauberk) plan.
+    EXPECT_EQ(cost::estimate_kernel_cycles(kernel, {}, profile), predicted) << e.w->name();
+  }
+}
+
+TEST(CostEstimator, InstrumentationNeverEstimatesBelowBaseline) {
+  for (const auto& e : all_workloads()) {
+    auto dev = make_device(e.cpu);
+    const auto kernel = e.w->build_kernel(workloads::Scale::Tiny);
+    const auto ds = e.w->make_dataset(1, workloads::Scale::Tiny);
+    auto job = e.w->make_job(ds);
+    const auto profile = cost::measure_profile(dev, kernel, *job);
+    EXPECT_GE(cost::estimate_kernel_cycles(kernel, {}, profile), profile.measured_cycles)
+        << e.w->name() << ": detectors only add instructions";
+  }
+}
+
+TEST(CostBreakdown, TotalsSumClassesAndExcludeMeasurement) {
+  const auto suite = workloads::hpc_suite();
+  core::TranslateOptions opt;
+  opt.mode = core::LibMode::FIFT;  // FI hooks give a nonzero Measurement class
+  const auto prog =
+      kir::lower(core::translate(suite.front()->build_kernel(workloads::Scale::Tiny), opt));
+  const gpusim::CostModel cm;
+  const auto bd = gpusim::static_breakdown(prog, cm, /*regs_per_thread=*/28, /*ecc=*/false);
+
+  std::uint64_t instrs = 0, cycles = 0;
+  for (const gpusim::CostClass c :
+       {gpusim::CostClass::Program, gpusim::CostClass::Dup, gpusim::CostClass::Check,
+        gpusim::CostClass::DetectorAux}) {
+    instrs += bd.at(c, false);
+    cycles += bd.at(c, true);
+  }
+  EXPECT_EQ(bd.total_instructions(), instrs) << "Measurement must not count";
+  EXPECT_EQ(bd.total_cycles(), cycles);
+  EXPECT_GT(bd.at(gpusim::CostClass::Measurement, false), 0u)
+      << "a FIFT build carries FI hooks";
+  EXPECT_EQ(bd.at(gpusim::CostClass::Measurement, true), 0u) << "hooks are free";
+  EXPECT_GT(bd.at(gpusim::CostClass::Program, false), 0u);
+  EXPECT_GT(bd.at(gpusim::CostClass::Check, false), 0u);
+}
+
+TEST(CostBreakdown, WeightedBreakdownMatchesLaunchCycles) {
+  // weighted_breakdown folded over the interpreter's own counts must account
+  // for exactly the cycles the launch reported — same table, same counts.
+  const auto suite = workloads::hpc_suite();
+  const auto& w = *suite.front();
+  gpusim::Device dev;
+  const auto prog = kir::lower(w.build_kernel(workloads::Scale::Tiny));
+  const auto ds = w.make_dataset(1, workloads::Scale::Tiny);
+  auto job = w.make_job(ds);
+  auto args = job->setup(dev);
+  std::vector<std::uint64_t> counts;
+  gpusim::LaunchOptions opts;
+  opts.instr_exec_counts = &counts;
+  const auto res = dev.launch(prog, job->config(), args, opts);
+  ASSERT_EQ(res.status, gpusim::LaunchStatus::Ok);
+  const auto bd = gpusim::weighted_breakdown(prog, dev.cost_model(),
+                                             dev.props().regs_per_thread,
+                                             /*ecc=*/false, counts);
+  EXPECT_EQ(bd.total_cycles(), res.cycles);
+}
+
+TEST(CostBreakdown, StaticAnatomyIsCachedInTheAnalysisManager) {
+  const auto suite = workloads::hpc_suite();
+  const auto kernel = suite.front()->build_kernel(workloads::Scale::Tiny);
+  kir::AnalysisManager am(kernel);
+  const auto a = cost::kernel_static_breakdown(kernel, am);
+  const auto before = am.stats();
+  const auto b = cost::kernel_static_breakdown(kernel, am);
+  const auto after = am.stats();
+  EXPECT_EQ(a.total_cycles(), b.total_cycles());
+  EXPECT_EQ(a.total_instructions(), b.total_instructions());
+  EXPECT_GT(a.total_cycles(), 0u);
+  EXPECT_EQ(after.misses, before.misses) << "second lookup must hit the cached slot";
+  EXPECT_GT(after.hits, before.hits);
+}

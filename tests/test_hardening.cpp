@@ -1,0 +1,333 @@
+// HardeningPlan and budgeted-optimizer tests.
+//
+// Three contracts from the selective-hardening stack:
+//
+//   1. serialize_plan/parse_plan is a canonical round trip — parse(text)
+//      re-serializes to the identical string and the identical plan_digest,
+//      over representative plans derived from every workload's real kernel
+//      (its loop ids and variable names), and the strict parser rejects
+//      every malformed form with an exception rather than a guess.
+//   2. A trivial plan is indistinguishable from no plan: same program
+//      digests, same pipeline names, same remark digests, digest 0.  This
+//      is the invariant that keeps the 216 golden translator digests and
+//      historic campaign digests stable.
+//   3. greedy_cover never beats exact_cover, never exceeds the budget, and
+//      stays within the classic (1 - 1/e)/2 budgeted-max-coverage bound —
+//      checked on adversarial hand instances and a randomized sweep of
+//      every instance size exact_cover is used for (<= 12 items).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hauberk/cost.hpp"
+#include "hauberk/opt.hpp"
+#include "hauberk/plan.hpp"
+#include "hauberk/runtime.hpp"
+#include "hauberk/translator.hpp"
+#include "kir/analysis_manager.hpp"
+#include "kir/bytecode.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+using core::HardeningPlan;
+using core::KernelPlan;
+using core::Tri;
+
+namespace {
+
+std::vector<std::unique_ptr<workloads::Workload>> all_workloads() {
+  std::vector<std::unique_ptr<workloads::Workload>> out;
+  for (auto& w : workloads::hpc_suite()) out.push_back(std::move(w));
+  for (auto& w : workloads::graphics_suite()) out.push_back(std::move(w));
+  for (auto& w : workloads::cpu_suite()) out.push_back(std::move(w));
+  out.push_back(workloads::make_cpu_matmul());  // not in cpu_suite
+  return out;
+}
+
+/// A plan that exercises every field against `kernel`'s real loop ids and
+/// variable names: maxvar override, all three master switches, a loop
+/// denylist entry per top-level loop, a var allowlist entry per named
+/// variable (capped), plus a wildcard entry.
+HardeningPlan representative_plan(const kir::Kernel& kernel) {
+  KernelPlan kp;
+  kp.kernel = kernel.name;
+  kp.maxvar = 2;
+  kp.loops = Tri::On;
+  kp.nonloop = Tri::Default;
+  kp.naive = Tri::Off;
+  kir::AnalysisManager am(kernel);
+  for (const auto& ln : am.analysis().loops())
+    if (ln.parent == kir::kNoLoop) kp.loop_actions.emplace(ln.id, false);
+  int named = 0;
+  for (const auto& v : kernel.vars) {
+    if (v.name.empty() || named >= 4) continue;
+    kp.var_actions.emplace(v.name, (named++ % 2) == 0);
+  }
+  KernelPlan wild;  // wildcard: loops off everywhere else
+  wild.loops = Tri::Off;
+  return HardeningPlan{{kp, wild}};
+}
+
+void expect_roundtrip(const HardeningPlan& plan, const std::string& what) {
+  const std::string text = core::serialize_plan(plan);
+  HardeningPlan back;
+  ASSERT_NO_THROW(back = core::parse_plan(text)) << what << "\n" << text;
+  EXPECT_EQ(core::serialize_plan(back), text) << what;
+  EXPECT_EQ(core::plan_digest(back), core::plan_digest(plan)) << what;
+}
+
+opt::Item item(std::uint64_t cost, std::vector<std::uint32_t> covered) {
+  opt::Item it;
+  it.var = "synthetic";
+  it.cost = cost;
+  it.covered = std::move(covered);
+  return it;
+}
+
+std::vector<std::uint32_t> range(std::uint32_t lo, std::uint32_t hi) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = lo; i < hi; ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace
+
+// --- round trip ---
+
+TEST(HardeningPlanRoundTrip, RepresentativePlansForEveryWorkload) {
+  for (const auto& w : all_workloads()) {
+    const auto kernel = w->build_kernel(workloads::Scale::Tiny);
+    const auto plan = representative_plan(kernel);
+    expect_roundtrip(plan, w->name());
+    EXPECT_NE(core::plan_digest(plan), 0u) << w->name() << ": non-trivial plan digests nonzero";
+  }
+}
+
+TEST(HardeningPlanRoundTrip, EmptyAndSingleFieldPlans) {
+  expect_roundtrip(HardeningPlan{}, "empty");
+  for (const Tri t : {Tri::Default, Tri::Off, Tri::On}) {
+    KernelPlan kp;
+    kp.kernel = "k";
+    kp.loops = t;
+    expect_roundtrip(HardeningPlan{{kp}}, std::string("loops=") + core::tri_name(t));
+  }
+  KernelPlan kp;
+  kp.maxvar = 0;  // explicit 0 is a decision, distinct from -1 (inherit)
+  kp.var_actions.emplace("x y", true);  // names with spaces must quote cleanly
+  expect_roundtrip(HardeningPlan{{kp}}, "wildcard maxvar+spaced var");
+}
+
+TEST(HardeningPlanRoundTrip, DigestSeparatesDecisions) {
+  KernelPlan a;
+  a.kernel = "k";
+  a.loops = Tri::On;
+  KernelPlan b = a;
+  b.loops = Tri::Off;
+  EXPECT_NE(core::plan_digest(HardeningPlan{{a}}), core::plan_digest(HardeningPlan{{b}}));
+  KernelPlan c = a;
+  c.loop_actions.emplace(3, true);
+  EXPECT_NE(core::plan_digest(HardeningPlan{{a}}), core::plan_digest(HardeningPlan{{c}}));
+}
+
+TEST(HardeningPlanParse, AcceptsLooseWhitespaceButSerializesCanonically) {
+  const auto p = core::parse_plan(
+      "  (hauberk-plan   1\n\t(kernel \"k\"\n     (loops on) (var \"acc\" off)))\n");
+  ASSERT_EQ(p.kernels.size(), 1u);
+  EXPECT_EQ(p.kernels[0].kernel, "k");
+  EXPECT_EQ(p.kernels[0].loops, Tri::On);
+  ASSERT_EQ(p.kernels[0].var_actions.count("acc"), 1u);
+  EXPECT_FALSE(p.kernels[0].var_actions.at("acc"));
+  KernelPlan same;
+  same.kernel = "k";
+  same.loops = Tri::On;
+  same.var_actions.emplace("acc", false);
+  EXPECT_EQ(core::serialize_plan(p), core::serialize_plan(HardeningPlan{{same}}));
+}
+
+TEST(HardeningPlanParse, RejectsEveryMalformedForm) {
+  const char* bad[] = {
+      "",
+      "(nonsense 1)",
+      "(hauberk-plan one)",
+      "(hauberk-plan 2)",                                     // unsupported version
+      "(hauberk-plan 1",                                      // unterminated
+      "(hauberk-plan 1) junk",                                // trailing garbage
+      "(hauberk-plan 1 (kernel k))",                          // unquoted name
+      "(hauberk-plan 1 (kernel \"k\") (kernel \"k\"))",       // duplicate kernel
+      "(hauberk-plan 1 (kernel \"k\" (frobnicate on)))",      // unknown field
+      "(hauberk-plan 1 (kernel \"k\" (maxvar -2)))",          // out of range
+      "(hauberk-plan 1 (kernel \"k\" (loops maybe)))",        // bad tri
+      "(hauberk-plan 1 (kernel \"k\" (loop -1 on)))",         // bad loop id
+      "(hauberk-plan 1 (kernel \"k\" (loop 3 default)))",     // loop needs on/off
+      "(hauberk-plan 1 (kernel \"k\" (loop 3 on) (loop 3 off)))",
+      "(hauberk-plan 1 (kernel \"k\" (var \"x\" on) (var \"x\" on)))",
+      "(hauberk-plan 1 (kernel \"k\" (var \"x\" on",          // unterminated field
+      "(hauberk-plan 1 (kernel \"k\" (var \"x)))",            // unterminated string
+  };
+  for (const char* text : bad)
+    EXPECT_THROW((void)core::parse_plan(text), std::runtime_error)
+        << "'" << text << "' must be rejected";
+}
+
+// --- trivial plan == no plan ---
+
+TEST(HardeningPlanTrivial, IndistinguishableFromNoPlanOnEveryWorkload) {
+  HardeningPlan trivial;
+  trivial.kernels.push_back(KernelPlan{});  // wildcard entry with no decisions
+  ASSERT_TRUE(trivial.trivial());
+  EXPECT_EQ(core::plan_digest(trivial), 0u);
+  EXPECT_EQ(core::plan_digest(HardeningPlan{}), 0u);
+
+  for (const auto& w : all_workloads()) {
+    const auto kernel = w->build_kernel(workloads::Scale::Tiny);
+    const auto plain = core::build_variants(kernel);
+    core::TranslateOptions topt;
+    topt.plan = std::make_shared<HardeningPlan>(trivial);
+    const auto planned = core::build_variants(kernel, topt);
+    EXPECT_EQ(kir::program_digest(planned.ft), kir::program_digest(plain.ft)) << w->name();
+    EXPECT_EQ(kir::program_digest(planned.fift), kir::program_digest(plain.fift))
+        << w->name();
+    EXPECT_EQ(planned.ft_report.pipeline, plain.ft_report.pipeline) << w->name();
+    EXPECT_EQ(core::remark_digest(planned.ft_report), core::remark_digest(plain.ft_report))
+        << w->name();
+  }
+}
+
+// --- greedy vs exact ---
+
+TEST(BudgetedCover, ExactBeatsGreedyOnComplementaryPair) {
+  // Greedy's ratio rule grabs the small dense item first and can then no
+  // longer afford the complementary pair that the exact solver finds.
+  const std::vector<opt::Item> items = {
+      item(2, range(0, 3)),    // ratio 1.5 — greedy's first pick
+      item(5, range(3, 9)),    // the optimal pair...
+      item(5, range(9, 15)),   // ...covers 12 for cost 10
+  };
+  const auto g = opt::greedy_cover(items, 10);
+  const auto e = opt::exact_cover(items, 10);
+  EXPECT_TRUE(e.exact);
+  EXPECT_EQ(e.covered, 12u);
+  EXPECT_EQ(e.cost, 10u);
+  EXPECT_EQ(g.covered, 9u);
+  EXPECT_LE(g.cost, 10u);
+  EXPECT_GE(static_cast<double>(g.covered),
+            (1.0 - 1.0 / std::exp(1.0)) / 2.0 * static_cast<double>(e.covered));
+}
+
+TEST(BudgetedCover, SingleItemFallbackRescuesGreedy) {
+  // Classic ratio trap: a cheap 1-element item starves the budget for the
+  // big item; the best-single-item fallback must win.
+  const std::vector<opt::Item> items = {
+      item(1, range(0, 1)),     // ratio 1.0
+      item(10, range(1, 10)),   // ratio 0.9 but 9 elements
+  };
+  const auto g = opt::greedy_cover(items, 10);
+  EXPECT_EQ(g.covered, 9u) << "fallback must pick the single big item";
+  EXPECT_EQ(g.cost, 10u);
+  const auto e = opt::exact_cover(items, 10);
+  EXPECT_EQ(e.covered, 9u);
+}
+
+TEST(BudgetedCover, ZeroBudgetSelectsOnlyFreeItems) {
+  const std::vector<opt::Item> items = {
+      item(0, range(0, 2)),
+      item(1, range(2, 9)),
+  };
+  for (const auto& s : {opt::greedy_cover(items, 0), opt::exact_cover(items, 0)}) {
+    EXPECT_EQ(s.cost, 0u);
+    EXPECT_EQ(s.covered, 2u);
+    ASSERT_EQ(s.chosen.size(), 1u);
+    EXPECT_EQ(s.chosen[0], 0u);
+  }
+}
+
+TEST(BudgetedCover, EmptyAndUnaffordableInstances) {
+  EXPECT_EQ(opt::greedy_cover({}, 100).covered, 0u);
+  EXPECT_TRUE(opt::exact_cover({}, 100).exact);
+  const std::vector<opt::Item> items = {item(50, range(0, 5))};
+  EXPECT_TRUE(opt::greedy_cover(items, 49).chosen.empty());
+  EXPECT_TRUE(opt::exact_cover(items, 49).chosen.empty());
+}
+
+TEST(BudgetedCover, RandomizedAgreementSweep) {
+  // Every instance size exact_cover serves in kirtune's range: exact must
+  // dominate greedy, neither may exceed the budget, selections must report
+  // consistent cost/coverage, and greedy must stay within its bound.
+  hauberk::common::Rng rng(2026);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + rng.next_u64() % 12;
+    std::vector<opt::Item> items;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::uint32_t> cov;
+      const std::size_t m = rng.next_u64() % 8;
+      for (std::size_t j = 0; j < m; ++j)
+        cov.push_back(static_cast<std::uint32_t>(rng.next_u64() % 30));
+      std::sort(cov.begin(), cov.end());
+      cov.erase(std::unique(cov.begin(), cov.end()), cov.end());
+      items.push_back(item(rng.next_u64() % 20, std::move(cov)));
+    }
+    const std::uint64_t budget = rng.next_u64() % 40;
+    const auto g = opt::greedy_cover(items, budget);
+    const auto e = opt::exact_cover(items, budget);
+    EXPECT_LE(g.cost, budget) << "trial " << trial;
+    EXPECT_LE(e.cost, budget) << "trial " << trial;
+    EXPECT_TRUE(e.exact) << "trial " << trial;
+    EXPECT_GE(e.covered, g.covered) << "trial " << trial;
+    EXPECT_GE(static_cast<double>(g.covered) + 1e-9,
+              (1.0 - 1.0 / std::exp(1.0)) / 2.0 * static_cast<double>(e.covered))
+        << "trial " << trial;
+    for (const auto& s : {g, e}) {
+      std::uint64_t cost = 0;
+      std::vector<std::uint32_t> uni;
+      for (const std::size_t i : s.chosen) {
+        ASSERT_LT(i, items.size());
+        cost += items[i].cost;
+        uni.insert(uni.end(), items[i].covered.begin(), items[i].covered.end());
+      }
+      std::sort(uni.begin(), uni.end());
+      uni.erase(std::unique(uni.begin(), uni.end()), uni.end());
+      EXPECT_EQ(cost, s.cost) << "trial " << trial;
+      EXPECT_EQ(uni.size(), s.covered) << "trial " << trial;
+    }
+  }
+}
+
+// --- plan_for_budget on a real kernel ---
+
+TEST(PlanForBudget, RespectsBudgetAndBracketsCoverage) {
+  const auto suite = workloads::hpc_suite();
+  const auto& w = *suite.front();
+  const auto kernel = w.build_kernel(workloads::Scale::Tiny);
+  const auto ds = w.make_dataset(1, workloads::Scale::Tiny);
+  auto job = w.make_job(ds);
+  gpusim::Device dev;
+  const auto profile = cost::measure_profile(dev, kernel, *job);
+
+  const std::uint64_t full_overhead =
+      cost::estimate_kernel_cycles(kernel, {}, profile) - profile.measured_cycles;
+
+  const auto zero = opt::plan_for_budget(kernel, profile, 0);
+  EXPECT_LE(zero.predicted_cycles, zero.none_cycles)
+      << "a zero budget admits only free protection";
+
+  const std::uint64_t ten_pct = profile.measured_cycles / 10;
+  const auto pr = opt::plan_for_budget(kernel, profile, ten_pct);
+  EXPECT_LE(pr.predicted_cycles, pr.none_cycles + ten_pct) << "budget is a hard ceiling";
+  EXPECT_GE(pr.predicted_cycles, pr.none_cycles);
+  EXPECT_GT(pr.total_vars, 0u);
+  EXPECT_LE(pr.covered_vars, pr.full_covered_vars);
+  EXPECT_LE(pr.covered_edges, pr.full_covered_edges);
+  EXPECT_GE(pr.covered_vars + pr.covered_edges, zero.covered_vars + zero.covered_edges)
+      << "more budget can only help";
+  expect_roundtrip(pr.plan, "plan_for_budget output");
+
+  // A budget wide enough for everything recovers full-Hauberk coverage.
+  const auto wide = opt::plan_for_budget(kernel, profile, full_overhead * 4 + 1);
+  EXPECT_EQ(wide.covered_vars, wide.full_covered_vars);
+  EXPECT_EQ(wide.covered_edges, wide.full_covered_edges);
+}

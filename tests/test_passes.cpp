@@ -12,6 +12,7 @@
 
 #include "hauberk/passes/instrument.hpp"
 #include "hauberk/passes/pass_manager.hpp"
+#include "hauberk/plan.hpp"
 #include "hauberk/runtime.hpp"
 #include "hauberk/translator.hpp"
 #include "kir/builder.hpp"
@@ -296,6 +297,39 @@ TEST(PipelineFor, CompositionMatchesMode) {
   EXPECT_FALSE(pipeline_for(LibMode::FT, opt).has("nonloop-checksum"));
 }
 
+TEST(HardeningPlanAPI, SelectiveHardeningDropsAPassForOneKernel) {
+  // The structured replacement for the pipeline_override scenario below:
+  // a plan entry for "loopy" turning the non-loop detectors off must equal
+  // the Hauberk-L reference build, while other kernels are untouched.
+  const auto k = loop_kernel();
+  TranslateOptions plain;
+  plain.mode = LibMode::FT;
+  plain.protect_nonloop = false;  // Hauberk-L reference
+  const auto reference = translate(k, plain);
+
+  auto plan = std::make_shared<HardeningPlan>();
+  plan->kernels.push_back({"loopy", -1, Tri::Default, Tri::Off, Tri::Default, {}, {}});
+  TranslateOptions sel;
+  sel.mode = LibMode::FT;
+  sel.plan = plan;
+  TranslateReport rep;
+  const auto planned = translate(k, sel, &rep);
+  EXPECT_EQ(kir::print_kernel(planned), kir::print_kernel(reference))
+      << "plan (nonloop off) must equal the Hauberk-L build";
+  EXPECT_EQ(rep.pipeline, "ft.hauberk-l.plan")
+      << "a non-trivial matched plan entry tags the pipeline name";
+
+  // A kernel with a different name has no matching entry: full pipeline.
+  auto other = kir::clone_kernel(k);
+  other.name = "other";
+  TranslateReport full_rep;
+  const auto full = translate(other, sel, &full_rep);
+  EXPECT_GT(count_kind(full.body, kir::StmtKind::ChecksumValidate), 0);
+  EXPECT_EQ(full_rep.pipeline, "ft");
+}
+
+// Backward-compatibility shim: the deprecated stringly hook still composes
+// with (and runs after) plan resolution.
 TEST(PipelineOverride, SelectiveHardeningDropsAPassForOneKernel) {
   const auto k = loop_kernel();
   TranslateOptions plain;

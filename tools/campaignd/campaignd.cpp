@@ -20,6 +20,11 @@
 //                 [--checkpoint-every=N]  checkpoint every N committed trials
 //                 [--resume=FILE]         resume from FILE (implies --checkpoint=FILE)
 //                 [--resultlog=FILE]      binary per-trial result log
+//                 [--plan=FILE]           selective-hardening plan (kirtune
+//                                         --emit-plan output) applied to the
+//                                         instrumented variants; its digest is
+//                                         folded into the campaign digest, so
+//                                         checkpoints/logs bind to the plan
 //                 [--crash-after=N]       testing: simulate SIGKILL (exit 42,
 //                                         no cleanup) right after the N-th
 //                                         periodic checkpoint of this process
@@ -29,9 +34,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "hauberk/checkpoint.hpp"
+#include "hauberk/plan.hpp"
 #include "hauberk/runtime.hpp"
 #include "swifi/service.hpp"
 #include "workloads/workload.hpp"
@@ -58,7 +65,7 @@ int main(int argc, char** argv) {
   for (const auto& f : args.unknown_flags(
            {"program", "bits", "vars", "masks", "protected", "scale", "seed", "workers",
             "sanitize", "sanitize-cap", "engine", "protection", "shards", "checkpoint",
-            "checkpoint-every", "resume", "resultlog", "crash-after", "quiet"})) {
+            "checkpoint-every", "resume", "resultlog", "plan", "crash-after", "quiet"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
     return 2;
   }
@@ -87,10 +94,20 @@ int main(int argc, char** argv) {
 
   // ProtectionKind mirrors gpusim::ecc::Scheme value for value (pinned by
   // static_asserts in bench/bench_common.hpp, same arrangement as --engine).
+  core::TranslateOptions topt;
+  if (!flags.plan.empty()) {
+    try {
+      topt.plan = std::make_shared<core::HardeningPlan>(core::load_plan(flags.plan));
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: --plan: %s\n", ex.what());
+      return 2;
+    }
+  }
+
   gpusim::DeviceProps props;
   props.protection = static_cast<gpusim::ecc::Scheme>(flags.protection);
   gpusim::Device dev(props);
-  const auto v = core::build_variants(w->build_kernel(scale));
+  const auto v = core::build_variants(w->build_kernel(scale), topt);
   const auto ds = w->make_dataset(args.get_u64("seed", 1), scale);
   auto job = w->make_job(ds);
   const auto profile = core::profile(dev, v, {job.get()});
@@ -111,6 +128,7 @@ int main(int argc, char** argv) {
   scfg.campaign.sanitize_cap = static_cast<std::size_t>(flags.sanitize_cap);
   scfg.campaign.protection = props.protection;
   scfg.campaign.pipeline = swifi::PipelineSpec::from_report(prog_report);
+  if (topt.plan) scfg.campaign.plan_digest = core::plan_digest(*topt.plan);
   scfg.workers = flags.workers;
   scfg.shards = static_cast<std::uint32_t>(flags.shards);
   scfg.shard_index = static_cast<std::uint32_t>(flags.shard_index);

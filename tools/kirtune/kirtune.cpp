@@ -1,0 +1,227 @@
+// kirtune — budgeted selective-hardening planner.
+//
+// For each selected benchmark program: measure the unprotected baseline
+// (one launch, per-pc execution counts + cycles), enumerate the kernel's
+// protection units (top-level Hauberk-L loops, non-loop variables), price
+// each with the static cycle estimator, grade each with the lint coverage
+// closure, and solve the budgeted maximum-coverage problem (exact branch
+// and bound for small instances, ratio-greedy otherwise).  The winning
+// HardeningPlan is printed, optionally serialized (--emit-plan) for
+// fault_campaign / campaignd --plan=FILE, and optionally dumped as JSON.
+//
+// Usage:
+//   kirtune [--program=CP|all] [--scale=tiny|small] [--seed=S]
+//           [--budget=P%|N] [--maxvar=N] [--exact-limit=N]
+//           [--emit-plan=FILE] [--json=FILE] [--quiet]
+//
+// --budget accepts a percent of the measured baseline cycles ("10%",
+// default) or an absolute extra-cycle count.  Exit status: 2 on usage
+// errors, 1 when any program's measurement fails, 0 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "hauberk/cost.hpp"
+#include "hauberk/opt.hpp"
+#include "hauberk/plan.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+
+namespace {
+
+struct Entry {
+  std::unique_ptr<workloads::Workload> w;
+  bool cpu = false;  ///< runs on a PagedCpu device
+};
+
+std::vector<Entry> selected(const std::string& program) {
+  std::vector<Entry> out;
+  for (auto& w : workloads::hpc_suite()) out.push_back({std::move(w), false});
+  for (auto& w : workloads::graphics_suite()) out.push_back({std::move(w), false});
+  for (auto& w : workloads::cpu_suite()) out.push_back({std::move(w), true});
+  out.push_back({workloads::make_cpu_matmul(), true});  // not in cpu_suite
+  if (program.empty() || program == "all") return out;
+  std::vector<Entry> one;
+  for (auto& e : out)
+    if (e.w->name() == program) one.push_back(std::move(e));
+  return one;
+}
+
+double pct_of(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+struct ProgramRecord {
+  std::string name;
+  opt::PlanResult res;
+  std::uint64_t budget = 0;
+};
+
+void print_result(const ProgramRecord& r, bool quiet) {
+  const auto& res = r.res;
+  std::printf("== %s ==\n", r.name.c_str());
+  std::printf("  baseline %llu cycles; budget %llu extra (%.2f%%)\n",
+              static_cast<unsigned long long>(res.baseline_cycles),
+              static_cast<unsigned long long>(r.budget),
+              pct_of(r.budget, res.baseline_cycles));
+  std::printf("  no-detector %llu, full-hauberk %llu (+%.2f%%), plan %llu (+%.2f%%)\n",
+              static_cast<unsigned long long>(res.none_cycles),
+              static_cast<unsigned long long>(res.full_cycles),
+              pct_of(res.full_cycles - res.none_cycles, res.none_cycles),
+              static_cast<unsigned long long>(res.predicted_cycles),
+              pct_of(res.predicted_cycles > res.none_cycles
+                         ? res.predicted_cycles - res.none_cycles
+                         : 0,
+                     res.none_cycles));
+  std::printf("  coverage: %zu/%zu vars, %zu/%zu edges (full plan: %zu vars, %zu edges)\n",
+              res.covered_vars, res.total_vars, res.covered_edges, res.total_edges,
+              res.full_covered_vars, res.full_covered_edges);
+  std::printf("  %zu candidate item(s); chose %zu (%s)\n", res.items.size(),
+              res.selection.chosen.size(), res.selection.exact ? "exact" : "greedy");
+  if (!quiet) {
+    for (std::size_t i = 0; i < res.items.size(); ++i) {
+      const auto& it = res.items[i];
+      bool chosen = false;
+      for (const std::size_t c : res.selection.chosen) chosen |= (c == i);
+      std::printf("    [%c] %-24s cost %8llu covers %zu\n", chosen ? 'x' : ' ',
+                  it.label().c_str(), static_cast<unsigned long long>(it.cost),
+                  it.covered.size());
+    }
+    std::printf("  plan:\n%s", core::serialize_plan(res.plan).c_str());
+  }
+}
+
+void write_json(std::ostream& out, const std::vector<ProgramRecord>& records) {
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    const auto& res = r.res;
+    out << "  {\"program\": \"" << json_escape(r.name) << "\""
+        << ", \"baseline_cycles\": " << res.baseline_cycles
+        << ", \"budget_cycles\": " << r.budget
+        << ", \"none_cycles\": " << res.none_cycles
+        << ", \"full_cycles\": " << res.full_cycles
+        << ", \"predicted_cycles\": " << res.predicted_cycles
+        << ", \"exact\": " << (res.selection.exact ? "true" : "false")
+        << ", \"items\": " << res.items.size()
+        << ", \"chosen\": " << res.selection.chosen.size()
+        << ", \"covered_vars\": " << res.covered_vars
+        << ", \"total_vars\": " << res.total_vars
+        << ", \"covered_edges\": " << res.covered_edges
+        << ", \"total_edges\": " << res.total_edges
+        << ", \"full_covered_vars\": " << res.full_covered_vars
+        << ", \"full_covered_edges\": " << res.full_covered_edges
+        << ", \"plan_digest\": " << core::plan_digest(res.plan) << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  for (const auto& f :
+       args.unknown_flags({"program", "scale", "seed", "budget", "maxvar", "exact-limit",
+                           "emit-plan", "json", "quiet"})) {
+    std::fprintf(stderr, "kirtune: unknown flag --%s\n", f.c_str());
+    return 2;
+  }
+
+  const auto entries = selected(args.get("program", "all"));
+  if (entries.empty()) {
+    std::fprintf(stderr, "kirtune: unknown program '%s'\n", args.get("program").c_str());
+    return 2;
+  }
+
+  double budget_pct = 10.0;
+  std::uint64_t budget_abs = 0;
+  if (args.has("budget") &&
+      !common::parse_budget(args.get("budget"), budget_pct, budget_abs)) {
+    std::fprintf(stderr,
+                 "kirtune: --budget: expected P%% (0 <= P <= 100) or a cycle count "
+                 "(got '%s')\n",
+                 args.get("budget").c_str());
+    return 2;
+  }
+
+  const auto scale = args.get("scale", "tiny") == "small" ? workloads::Scale::Small
+                                                          : workloads::Scale::Tiny;
+  core::TranslateOptions base;
+  base.mode = core::LibMode::FT;
+  base.maxvar = static_cast<int>(args.get_int("maxvar", 1));
+  const auto exact_limit = static_cast<std::size_t>(args.get_int("exact-limit", 16));
+  const auto seed = args.get_u64("seed", 1);
+  if (!args.ok()) {
+    for (const auto& err : args.errors()) std::fprintf(stderr, "kirtune: %s\n", err.c_str());
+    return 2;
+  }
+
+  std::vector<ProgramRecord> records;
+  core::HardeningPlan merged;
+  for (const auto& e : entries) {
+    const auto kernel = e.w->build_kernel(scale);
+    gpusim::DeviceProps props;
+    if (e.cpu) props.memory_model = gpusim::MemoryModel::PagedCpu;
+    gpusim::Device dev(props);
+    const auto ds = e.w->make_dataset(seed, scale);
+    const auto job = e.w->make_job(ds);
+    cost::CostProfile profile;
+    try {
+      profile = cost::measure_profile(dev, kernel, *job);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "kirtune: %s: %s\n", e.w->name().c_str(), ex.what());
+      return 1;
+    }
+    const std::uint64_t budget =
+        budget_pct >= 0.0 ? static_cast<std::uint64_t>(
+                                budget_pct / 100.0 *
+                                static_cast<double>(profile.measured_cycles))
+                          : budget_abs;
+
+    ProgramRecord rec;
+    rec.name = e.w->name();
+    rec.budget = budget;
+    rec.res = opt::plan_for_budget(kernel, profile, budget, base, exact_limit);
+    for (const auto& kp : rec.res.plan.kernels) merged.kernels.push_back(kp);
+    print_result(rec, args.has("quiet"));
+    records.push_back(std::move(rec));
+  }
+
+  const std::string emit = args.get("emit-plan", "");
+  if (!emit.empty()) {
+    std::ofstream out(emit);
+    if (!out) {
+      std::fprintf(stderr, "kirtune: cannot write %s\n", emit.c_str());
+      return 2;
+    }
+    out << core::serialize_plan(merged);
+    std::printf("kirtune: wrote plan for %zu kernel(s) to %s (digest %llu)\n",
+                merged.kernels.size(), emit.c_str(),
+                static_cast<unsigned long long>(core::plan_digest(merged)));
+  }
+
+  const std::string json = args.get("json", "");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out) {
+      std::fprintf(stderr, "kirtune: cannot write %s\n", json.c_str());
+      return 2;
+    }
+    write_json(out, records);
+  }
+  return 0;
+}
