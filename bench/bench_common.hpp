@@ -19,6 +19,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "gpusim/device.hpp"
+#include "hauberk/plan.hpp"
 #include "hauberk/runtime.hpp"
 #include "swifi/campaign.hpp"
 #include "swifi/executor.hpp"
@@ -41,10 +42,31 @@ inline int workers_from(const common::CliArgs& args) {
 }
 
 /// All shared campaign flags (--workers / --sanitize / --datasets /
-/// --engine) at once.
+/// --engine / --plan / --prune) at once.
 inline common::CampaignFlags campaign_flags_from(const common::CliArgs& args,
                                                  int default_datasets = 1) {
   return common::parse_campaign_flags(args, default_datasets);
+}
+
+/// Load the --plan=FILE selective-hardening plan referenced by the shared
+/// campaign flags into translate options — the same handling fault_campaign
+/// and campaignd use, so every campaign harness accepts kirtune --emit-plan
+/// output.  Returns false (after printing the error) on a missing/garbage
+/// plan file; callers exit 2 like any other flag error.
+inline bool load_plan_flag(const common::CampaignFlags& flags, core::TranslateOptions& topt) {
+  if (flags.plan.empty()) return true;
+  try {
+    topt.plan = std::make_shared<core::HardeningPlan>(core::load_plan(flags.plan));
+    return true;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: --plan: %s\n", ex.what());
+    return false;
+  }
+}
+
+/// Campaign-config digest contribution of a loaded plan (0 when none).
+inline std::uint64_t plan_digest_of(const core::TranslateOptions& topt) {
+  return topt.plan ? core::plan_digest(*topt.plan) : 0;
 }
 
 // common::EngineKind mirrors gpusim::ExecEngine value for value so the CLI
@@ -115,10 +137,11 @@ struct ProgramContext {
 
 inline ProgramContext make_context(std::unique_ptr<workloads::Workload> w, std::uint64_t seed,
                                    workloads::Scale scale, double alpha = 1.0,
-                                   gpusim::DeviceProps props = {}) {
+                                   gpusim::DeviceProps props = {},
+                                   const core::TranslateOptions& topt = {}) {
   ProgramContext ctx;
   ctx.workload = std::move(w);
-  ctx.variants = core::build_variants(ctx.workload->build_kernel(scale));
+  ctx.variants = core::build_variants(ctx.workload->build_kernel(scale), topt);
   ctx.dataset = ctx.workload->make_dataset(seed, scale);
   ctx.job = ctx.workload->make_job(ctx.dataset);
   ctx.device = std::make_unique<gpusim::Device>(props);

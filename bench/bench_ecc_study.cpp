@@ -82,6 +82,11 @@ int main(int argc, char** argv) {
   const auto flags = campaign_flags_from(args);
   if (!scheme_ok) std::fprintf(stderr, "error: --scheme must be hamming or hsiao\n");
   if (report_flag_errors(args) || !scheme_ok) return 2;
+  // --plan=FILE routes through the same shared handling as fault_campaign
+  // and campaignd: the plan shapes the Hauberk arms' FT instrumentation and
+  // its digest is folded into every campaign digest.
+  core::TranslateOptions topt;
+  if (!load_plan_flag(flags, topt)) return 2;
   const auto scheme = static_cast<gpusim::ecc::Scheme>(scheme_kind);
   swifi::CampaignExecutor ex(flags.workers);
 
@@ -97,7 +102,7 @@ int main(int argc, char** argv) {
   const auto run_suite = [&](std::vector<std::unique_ptr<workloads::Workload>> suite,
                              gpusim::DeviceProps base_props, std::uint64_t hang_floor) {
     for (const auto& w : suite) {
-      const auto v = core::build_variants(w->build_kernel(scale));
+      const auto v = core::build_variants(w->build_kernel(scale), topt);
       const auto ds = w->make_dataset(seed, scale);
       auto pjob = w->make_job(ds);
       gpusim::Device pdev(base_props);
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
 
         swifi::CampaignConfig ccfg;
         ccfg.engine = engine_from(flags);
+        ccfg.plan_digest = plan_digest_of(topt);
         ccfg.hang_floor = hang_floor;
         ccfg.protection = props.protection;
         const auto res = ex.run_memory_faults(

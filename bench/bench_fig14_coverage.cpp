@@ -41,6 +41,11 @@ int main(int argc, char** argv) {
   const auto bits_list = parse_bits(args.get("bits", "1,3,6,10,15"));
   const auto flags = campaign_flags_from(args);
   if (report_flag_errors(args)) return 2;
+  // --plan=FILE routes through the same shared handling as fault_campaign
+  // and campaignd: the selective-hardening plan shapes the FI&FT build and
+  // its digest is folded into every campaign digest.
+  core::TranslateOptions topt;
+  if (!load_plan_flag(flags, topt)) return 2;
   const bool sanitize = flags.sanitize;
   swifi::CampaignExecutor ex(flags.workers);
 
@@ -57,7 +62,7 @@ int main(int argc, char** argv) {
   OutcomeCounts grand;
 
   for (auto& w : workloads::hpc_suite()) {
-    auto ctx = make_context(std::move(w), seed, scale);
+    auto ctx = make_context(std::move(w), seed, scale, 1.0, {}, topt);
     for (int bits : bits_list) {
       swifi::PlanOptions opt;
       opt.max_vars = max_vars;
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
       const auto specs = swifi::plan_faults(ctx.variants.fift, ctx.profile, opt);
       swifi::CampaignConfig ccfg;
       ccfg.engine = engine_from(flags);
+      ccfg.plan_digest = plan_digest_of(topt);
       ccfg.sanitize = sanitize;
       ccfg.sanitize_cap = static_cast<std::size_t>(flags.sanitize_cap);
       const auto res = ex.run(ctx.variants.fift,

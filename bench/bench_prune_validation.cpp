@@ -1,0 +1,320 @@
+// Pruned-vs-full campaign validation: the regression gate behind the static
+// fault-site equivalence analysis (kir::DefUseAnalysis -> hauberk::prune ->
+// swifi::prune_specs).  Every program of the full 12-workload suite
+// (7 HPC + 2 graphics + 3 CPU) is validated on both build arms — the bare FI
+// build (no detectors: dead-window sites are provably Benign) and the FI&FT
+// build (detectors re-read values at check time, so dead-window liveness
+// shrinks to the detector-observed mask).  For each (program, arm) the
+// harness:
+//
+//   1. runs the *full* campaign to ground truth (per-trial outcomes),
+//   2. cross-checks every statically-proven-Benign spec against that ground
+//      truth — a single non-{Masked, NotActivated} outcome at a proven site
+//      is an analysis soundness bug and fails the run (hard gate),
+//   3. partitions the campaign into equivalence classes, runs only the
+//      representatives at 1, 2 and 8 workers, and requires bitwise-identical
+//      per-trial outcomes across worker counts *and* against the full
+//      campaign's outcome for the same spec,
+//   4. replays the pruned campaign through a 2-shard CampaignService with a
+//      simulated kill after every periodic checkpoint, requiring the merged
+//      resumed shards to reproduce the executor aggregates exactly,
+//   5. compares the *weighted* pruned outcome distribution against the full
+//      campaign: benign classes must match exactly (step 2 covers the full
+//      side, step 3 the representative side); sampled classes must agree on
+//      SDC and crash/hang rates within a pinned tolerance,
+//   6. gates the total trial reduction across the suite (both arms) at
+//      >= --min-reduction (default 3x; individual (program, arm) rows may
+//      fall below, the suite may not).
+//
+// Exit nonzero on any gate violation — this harness doubles as the
+// bench_check_prune_validation CTest entry.
+//
+// Knobs: --vars (default 20), --masks (default 10), --bits (default 1),
+// --tolerance (max |pruned - full| outcome-rate delta, default 0.10),
+// --min-reduction (default 3.0), --workers, --engine, --scale, --seed.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "hauberk/prune.hpp"
+#include "swifi/prune.hpp"
+#include "swifi/service.hpp"
+
+using namespace hauberk;
+using namespace hauberk::bench;
+using swifi::Outcome;
+using swifi::OutcomeCounts;
+
+namespace {
+
+struct Gates {
+  double tolerance = 0.10;
+  bool sound = true;        ///< no statically-Benign spec with a bad ground truth
+  bool deterministic = true;///< worker sweep + service kill/resume all bitwise equal
+  bool within_tol = true;   ///< weighted rates agree with the full campaign
+  std::uint64_t total_specs = 0;
+  std::uint64_t kept_specs = 0;
+};
+
+struct CrashInjected {};
+
+/// Run one pruned shard to completion, simulating a kill (the hook throws)
+/// right after the first periodic checkpoint of every process incarnation.
+swifi::ServiceResult run_shard_with_kills(swifi::ServiceConfig cfg,
+                                          const kir::BytecodeProgram& prog,
+                                          const swifi::WorkerContextFactory& factory,
+                                          const std::vector<swifi::FaultSpec>& specs,
+                                          const workloads::Requirement& req) {
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    swifi::ServiceConfig attempt = cfg;
+    attempt.resume = cycle > 0;
+    auto armed = std::make_shared<bool>(true);
+    attempt.on_checkpoint = [armed](const swifi::CampaignCheckpoint&) {
+      if (*armed) {
+        *armed = false;  // one kill per incarnation
+        throw CrashInjected{};
+      }
+    };
+    swifi::CampaignService service(attempt);
+    try {
+      return service.run(prog, factory, specs, req);
+    } catch (const CrashInjected&) {
+    }
+  }
+  std::fprintf(stderr, "FAIL: kill/resume did not converge in 100 attempts\n");
+  return {};
+}
+
+bool counts_equal(const OutcomeCounts& a, const OutcomeCounts& b) {
+  return a.failure == b.failure && a.masked == b.masked &&
+         a.detected_masked == b.detected_masked && a.detected == b.detected &&
+         a.undetected == b.undetected && a.not_activated == b.not_activated &&
+         a.race_detected == b.race_detected &&
+         a.barrier_divergence == b.barrier_divergence &&
+         a.ecc_corrected == b.ecc_corrected &&
+         a.ecc_uncorrectable == b.ecc_uncorrectable;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const auto scale = scale_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const int max_vars = static_cast<int>(args.get_int("vars", 20));
+  const int masks = static_cast<int>(args.get_int("masks", 10));
+  const int bits = static_cast<int>(args.get_int("bits", 1));
+  const double min_reduction = args.get_double("min-reduction", 3.0);
+  const auto flags = campaign_flags_from(args);
+  Gates gates;
+  gates.tolerance = args.get_double("tolerance", 0.10);
+  if (report_flag_errors(args)) return 2;
+
+  print_header("Pruned-vs-full SWIFI campaign validation (static equivalence classes)");
+  std::printf("bits=%d vars=%d masks=%d tolerance=%.2f min-reduction=%.1fx\n", bits,
+              max_vars, masks, gates.tolerance, min_reduction);
+  common::Table t({"Program", "Specs", "Kept", "Reduction", "Benign", "SDC full",
+                   "SDC pruned", "Crash full", "Crash pruned", "Sound", "Det"});
+
+  const auto run_suite = [&](std::vector<std::unique_ptr<workloads::Workload>> suite,
+                             gpusim::DeviceProps props, std::uint64_t hang_floor) {
+    for (const auto& w : suite) {
+      const auto v = core::build_variants(w->build_kernel(scale));
+      const auto ds = w->make_dataset(seed, scale);
+      auto pjob = w->make_job(ds);
+      gpusim::Device pdev(props);
+      const auto profile = core::profile(pdev, v, {pjob.get()});
+
+      // Both build arms: the bare FI build (detector-free, dead-window sites
+      // provably Benign) and the detector-instrumented FI&FT build.
+      struct Arm {
+        const char* tag;
+        const kir::BytecodeProgram* prog;
+        const kir::Kernel* source;
+        const core::TranslateReport* report;
+        swifi::WorkerContextFactory factory;
+      };
+      const Arm arms[] = {
+          {"fi", &v.fi, &v.fi_source, &v.fi_report, context_factory(*w, ds, props)},
+          {"fift", &v.fift, &v.fift_source, &v.fift_report,
+           context_factory(*w, ds, props, &v.fift, &profile)},
+      };
+      for (const Arm& arm : arms) {
+      const std::string row_name = w->name() + "/" + arm.tag;
+      swifi::PlanOptions popt;
+      popt.max_vars = max_vars;
+      popt.masks_per_var = masks;
+      popt.error_bits = bits;
+      popt.seed = seed + 99;
+      const auto specs = swifi::plan_faults(*arm.prog, profile, popt);
+
+      auto facts = prune::build_kernel_prune_facts(*arm.source, *arm.prog);
+      facts.kernel = w->name();  // campaigns select by program name
+      prune::PruningPlan plan;
+      plan.kernels.push_back(facts);
+      const auto pruned = swifi::prune_specs(plan, w->name(), *arm.prog, specs);
+      gates.total_specs += pruned.stats.total_specs;
+      gates.kept_specs += pruned.stats.kept_specs;
+
+      swifi::CampaignConfig base_cfg;
+      base_cfg.engine = engine_from(flags);
+      base_cfg.hang_floor = hang_floor;
+      base_cfg.pipeline = swifi::PipelineSpec::from_report(*arm.report);
+      const auto& factory = arm.factory;
+
+      // 1. Full campaign: the ground truth every gate compares against.
+      swifi::CampaignExecutor full_ex(flags.workers);
+      const auto full = full_ex.run(*arm.prog, factory, specs, w->requirement(), base_cfg);
+
+      // 2. Soundness: statically-Benign specs must resolve Masked/NotActivated.
+      const auto violations = swifi::cross_check_benign(facts, specs, full.per_fault);
+      bool sound = violations.empty();
+      for (const auto& bv : violations)
+        std::fprintf(stderr,
+                     "FAIL %s: statically-Benign spec %u (site %u mask %08x) "
+                     "resolved %s\n",
+                     row_name.c_str(), bv.spec_index, bv.spec.site_id, bv.spec.mask,
+                     swifi::outcome_name(bv.outcome));
+
+      // 3. Pruned campaign, worker sweep: bitwise-identical per-trial
+      // outcomes at 1/2/8 workers, each equal to the full campaign's outcome
+      // for the same spec.
+      swifi::CampaignConfig pruned_cfg = base_cfg;
+      pruned_cfg.prune_digest = pruned.plan_digest;
+      pruned_cfg.trial_weights = pruned.weights;
+      bool deterministic = true;
+      swifi::CampaignResult pruned_res;
+      for (const int workers : {1, 2, 8}) {
+        swifi::CampaignExecutor ex(workers);
+        auto res = ex.run(*arm.prog, factory, pruned.specs, w->requirement(), pruned_cfg);
+        for (std::size_t i = 0; i < pruned.specs.size(); ++i) {
+          if (res.per_fault[i] != full.per_fault[pruned.rep_index[i]]) {
+            deterministic = false;
+            std::fprintf(stderr,
+                         "FAIL %s: representative %zu diverged from the full "
+                         "campaign at %d workers\n",
+                         row_name.c_str(), i, workers);
+            break;
+          }
+          // Benign-class exact gate, representative side.
+          if (pruned.benign[i] && res.per_fault[i] != Outcome::Masked &&
+              res.per_fault[i] != Outcome::NotActivated) {
+            sound = false;
+            std::fprintf(stderr, "FAIL %s: benign class %zu ran to %s\n",
+                         row_name.c_str(), i, swifi::outcome_name(res.per_fault[i]));
+          }
+        }
+        if (workers == 1) {
+          pruned_res = std::move(res);
+        } else if (!counts_equal(pruned_res.counts, res.counts)) {
+          deterministic = false;
+          std::fprintf(stderr, "FAIL %s: weighted counts diverged at %d workers\n",
+                       row_name.c_str(), workers);
+        }
+      }
+
+      // 4. 2-shard CampaignService with kill/resume: merged shards must
+      // reproduce the executor's weighted aggregates exactly.
+      swifi::ServiceResult merged;
+      for (std::uint32_t shard = 0; shard < 2; ++shard) {
+        swifi::ServiceConfig scfg;
+        scfg.campaign = pruned_cfg;
+        scfg.workers = 2;
+        scfg.shards = 2;
+        scfg.shard_index = shard;
+        scfg.checkpoint_every = 8;
+        scfg.checkpoint_path =
+            (std::filesystem::temp_directory_path() /
+             ("hauberk_prune_val_" + w->name() + "_" + arm.tag + "_s" +
+              std::to_string(shard) + ".ckpt"))
+                .string();
+        std::remove(scfg.checkpoint_path.c_str());  // never resume a stale run
+        auto res = run_shard_with_kills(scfg, *arm.prog, factory, pruned.specs,
+                                        w->requirement());
+        if (shard == 0)
+          merged = std::move(res);
+        else
+          merged.merge(res);
+      }
+      if (!counts_equal(merged.counts, pruned_res.counts)) {
+        deterministic = false;
+        std::fprintf(stderr,
+                     "FAIL %s: 2-shard kill/resume aggregates diverged from the "
+                     "executor\n",
+                     row_name.c_str());
+      }
+
+      // 5. Distribution agreement: weighted pruned rates vs full rates.
+      const auto& fc = full.counts;
+      const auto& pc = pruned_res.counts;
+      const double sdc_full = fc.ratio(fc.undetected);
+      const double sdc_pruned = pc.ratio(pc.undetected);
+      const double crash_full = fc.ratio(fc.failure);
+      const double crash_pruned = pc.ratio(pc.failure);
+      const bool within = std::fabs(sdc_full - sdc_pruned) <= gates.tolerance &&
+                          std::fabs(crash_full - crash_pruned) <= gates.tolerance;
+      if (!within)
+        std::fprintf(stderr,
+                     "FAIL %s: pruned outcome rates drifted past %.2f "
+                     "(SDC %.3f vs %.3f, crash %.3f vs %.3f)\n",
+                     row_name.c_str(), gates.tolerance, sdc_pruned, sdc_full,
+                     crash_pruned, crash_full);
+
+      gates.sound = gates.sound && sound;
+      gates.deterministic = gates.deterministic && deterministic;
+      gates.within_tol = gates.within_tol && within;
+      t.add_row({row_name, std::to_string(pruned.stats.total_specs),
+                 std::to_string(pruned.stats.kept_specs),
+                 common::Table::num(pruned.stats.reduction(), 2) + "x",
+                 std::to_string(pruned.stats.benign_specs),
+                 common::Table::pct_cell(100.0 * sdc_full),
+                 common::Table::pct_cell(100.0 * sdc_pruned),
+                 common::Table::pct_cell(100.0 * crash_full),
+                 common::Table::pct_cell(100.0 * crash_pruned), sound ? "yes" : "NO",
+                 deterministic ? "yes" : "NO"});
+      }  // arm
+    }
+  };
+
+  run_suite(workloads::hpc_suite(), {}, swifi::CampaignConfig{}.hang_floor);
+  run_suite(workloads::graphics_suite(), {}, swifi::CampaignConfig{}.hang_floor);
+  // CPU programs: paged memory on one SM, generous watchdog (matches the
+  // Fig. 1 / ECC-study harnesses).
+  gpusim::DeviceProps cpu_props;
+  cpu_props.memory_model = gpusim::MemoryModel::PagedCpu;
+  cpu_props.num_sms = 1;
+  auto cpu = workloads::cpu_suite();
+  cpu.push_back(workloads::make_cpu_matmul());
+  run_suite(std::move(cpu), cpu_props, 50'000'000);
+  t.print();
+
+  const double reduction =
+      gates.kept_specs == 0 ? 1.0
+                            : static_cast<double>(gates.total_specs) /
+                                  static_cast<double>(gates.kept_specs);
+  std::printf("\nSuite total: %llu specs -> %llu representatives (%.2fx reduction, "
+              "gate >= %.1fx)\n",
+              static_cast<unsigned long long>(gates.total_specs),
+              static_cast<unsigned long long>(gates.kept_specs), reduction,
+              min_reduction);
+
+  bool ok = gates.sound && gates.deterministic && gates.within_tol;
+  if (reduction < min_reduction) {
+    std::fprintf(stderr, "FAIL: suite reduction %.2fx below the %.1fx gate\n",
+                 reduction, min_reduction);
+    ok = false;
+  }
+  if (!gates.sound)
+    std::printf("FAIL: the static Benign proof was unsound somewhere above.\n");
+  if (!gates.deterministic)
+    std::printf("FAIL: a pruned campaign lost bitwise determinism somewhere above.\n");
+  if (!gates.within_tol)
+    std::printf("FAIL: a pruned outcome distribution drifted past tolerance.\n");
+  if (ok)
+    std::printf("OK: statically-Benign proofs sound, pruned campaigns deterministic "
+                "across workers/shards/kill-resume, distributions within %.2f.\n",
+                gates.tolerance);
+  return ok ? 0 : 1;
+}

@@ -22,14 +22,20 @@
 //                                   --emit-plan output — applied to the
 //                                   instrumented variants; its digest is
 //                                   folded into the campaign digest)
+//                  [--prune=FILE]  (static pruning plan — kirprune
+//                                   --emit-plan output — run one trial per
+//                                   fault-site equivalence class, weighting
+//                                   aggregates by class size)
 #include <cstdio>
 #include <memory>
 
 #include "common/cli.hpp"
 #include "hauberk/plan.hpp"
+#include "hauberk/prune.hpp"
 #include "hauberk/runtime.hpp"
 #include "swifi/campaign.hpp"
 #include "swifi/executor.hpp"
+#include "swifi/prune.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hauberk;
@@ -39,7 +45,7 @@ int main(int argc, char** argv) {
   for (const auto& f : args.unknown_flags({"program", "bits", "vars", "masks", "protected",
                                            "scale", "seed", "workers", "sanitize",
                                            "sanitize-cap", "engine", "protection",
-                                           "plan"})) {
+                                           "plan", "prune"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
     return 2;
   }
@@ -91,7 +97,27 @@ int main(int argc, char** argv) {
 
   const auto& prog = use_ft ? v.fift : v.fi;
   const auto& prog_report = use_ft ? v.fift_report : v.fi_report;
-  const auto specs = swifi::plan_faults(prog, profile, opt);
+  auto specs = swifi::plan_faults(prog, profile, opt);
+
+  swifi::PrunedCampaign pruned;
+  bool use_prune = false;
+  if (!flags.prune.empty()) {
+    try {
+      const auto pplan = prune::load_pruning_plan(flags.prune);
+      pruned = swifi::prune_specs(pplan, w->name(), prog, specs);
+      specs = pruned.specs;
+      use_prune = true;
+      std::printf("pruning: %llu specs -> %llu representatives (%.1fx, %llu benign classes)\n",
+                  static_cast<unsigned long long>(pruned.stats.total_specs),
+                  static_cast<unsigned long long>(pruned.stats.kept_specs),
+                  pruned.stats.reduction(),
+                  static_cast<unsigned long long>(pruned.stats.benign_classes));
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: --prune: %s\n", ex.what());
+      return 2;
+    }
+  }
+
   swifi::CampaignExecutor ex(flags.workers);
   std::printf("program %s (%s), %d-bit faults, %zu experiments, detectors %s, %d workers%s%s%s\n",
               w->name().c_str(), w->requirement().to_string().c_str(), bits, specs.size(),
@@ -109,6 +135,10 @@ int main(int argc, char** argv) {
   cfg.protection = props.protection;
   cfg.pipeline = swifi::PipelineSpec::from_report(prog_report);
   if (topt.plan) cfg.plan_digest = core::plan_digest(*topt.plan);
+  if (use_prune) {
+    cfg.prune_digest = pruned.plan_digest;
+    cfg.trial_weights = pruned.weights;
+  }
   const auto res = ex.run(
       prog,
       [&] {

@@ -229,6 +229,7 @@ CampaignFlags parse_campaign_flags(const CliArgs& args, int default_datasets) {
                       "cycle count (got '" + text + "')");
   }
   f.plan = args.get("plan");
+  f.prune = args.get("prune");
   f.checkpoint_every = args.get_u64("checkpoint-every", 0);
   f.checkpoint = args.get("checkpoint");
   f.resume = args.get("resume");

@@ -84,6 +84,10 @@ enum class ProtectionKind : std::uint8_t { None, Hamming, Hsiao };
 ///   --protection=K        hardware memory protection: none|hamming|hsiao
 ///   --plan=FILE           structured hardening plan (hauberk-plan s-expr)
 ///                         applied to every translated kernel
+///   --prune=FILE          static fault-site pruning plan (hauberk-prune
+///                         s-expr, from kirprune --emit-plan): run one
+///                         representative trial per equivalence class and
+///                         weight aggregates by class size
 ///   --budget=P%|N         selective-hardening overhead budget: percent of
 ///                         the baseline cycles ("10%", 0..100) or an
 ///                         absolute extra-cycle count ("250000")
@@ -101,6 +105,7 @@ struct CampaignFlags {
   std::string resume;
   std::string resultlog;
   std::string plan;          ///< --plan=FILE; empty when absent
+  std::string prune;         ///< --prune=FILE; empty when absent
   double budget_pct = -1.0;  ///< --budget=P%; negative when absent/absolute
   std::uint64_t budget_cycles = 0;  ///< --budget=N (absolute extra cycles)
 };

@@ -121,6 +121,13 @@ class Log2Histogram {
     ++total_;
   }
 
+  /// Weighted accumulation: count `v` as `n` identical samples (campaign
+  /// pruning populates class representatives with their class size).
+  constexpr void add(std::uint64_t v, std::uint64_t n) noexcept {
+    counts_[bucket_of(v)] += n;
+    total_ += n;
+  }
+
   void merge(const Log2Histogram& other) noexcept {
     for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
     total_ += other.total_;

@@ -10,6 +10,7 @@
 #include <optional>
 #include <set>
 
+#include "hauberk/plan.hpp"
 #include "kir/analysis.hpp"
 
 namespace hauberk::lint {
@@ -345,12 +346,26 @@ void scan_coverage(const kir::Kernel& k, const kir::Analysis& an, const kir::Stm
   }
 }
 
-void check_coverage(const kir::Kernel& k, kir::AnalysisManager& am, Coverage& cov,
+void check_coverage(const kir::Kernel& k, kir::AnalysisManager& am,
+                    const core::HardeningPlan* plan, Coverage& cov,
                     std::vector<Diagnostic>& out) {
   const auto& an = am.analysis();
   CoverageCtx ctx;
   scan_coverage(k, an, k.body, ctx);
   if (!ctx.any_detector) return;  // uninstrumented kernel: nothing to grade
+
+  // Plan-aware exclusions: a variable/loop the active HardeningPlan
+  // deliberately leaves unprotected is an accepted budget decision, not an
+  // instrumentation gap.
+  const core::KernelPlan* kp = plan ? plan->find(k.name) : nullptr;
+  const auto var_excluded = [&](kir::VarId v) {
+    return kp != nullptr && (kp->nonloop == core::Tri::Off ||
+                             !core::plan_allows_var(*kp, k.vars[v].name));
+  };
+  const auto loop_excluded = [&](std::uint32_t loop_id) {
+    return kp != nullptr &&
+           (kp->loops == core::Tri::Off || !core::plan_allows_loop(*kp, loop_id));
+  };
 
   // Covered = detector-protected variables plus everything backward-reachable
   // from them through def-reads edges (an error in an input propagates into
@@ -374,12 +389,21 @@ void check_coverage(const kir::Kernel& k, kir::AnalysisManager& am, Coverage& co
       continue;
     }
     Diagnostic d;
-    d.kind = DiagKind::UncoveredVariable;
-    d.severity = Severity::Warning;
     d.var = v;
-    d.message = fmt("variable '%s' is reached by no detector: corruption of it cannot "
-                    "surface through ChkXor/DupCmp/RangeCheck or an accumulator",
-                    k.vars[v].name.c_str());
+    if (var_excluded(v)) {
+      ++cov.excluded_vars;
+      d.kind = DiagKind::ExcludedByPlan;
+      d.severity = Severity::Remark;
+      d.message = fmt("variable '%s' is unprotected because the active hardening plan "
+                      "excludes it from non-loop protection",
+                      k.vars[v].name.c_str());
+    } else {
+      d.kind = DiagKind::UncoveredVariable;
+      d.severity = Severity::Warning;
+      d.message = fmt("variable '%s' is reached by no detector: corruption of it cannot "
+                      "surface through ChkXor/DupCmp/RangeCheck or an accumulator",
+                      k.vars[v].name.c_str());
+    }
     out.push_back(std::move(d));
   }
 
@@ -396,13 +420,22 @@ void check_coverage(const kir::Kernel& k, kir::AnalysisManager& am, Coverage& co
           continue;
         }
         Diagnostic d;
-        d.kind = DiagKind::UncoveredEdge;
-        d.severity = Severity::Warning;
         d.var = def;
         d.var2 = use;
         d.loop_id = loop.id;
-        d.message = fmt("dataflow edge '%s' -> '%s' in loop %u flows into no detector",
-                        k.vars[use].name.c_str(), k.vars[def].name.c_str(), loop.id);
+        if (loop_excluded(loop.id)) {
+          ++cov.excluded_edges;
+          d.kind = DiagKind::ExcludedByPlan;
+          d.severity = Severity::Remark;
+          d.message = fmt("dataflow edge '%s' -> '%s' is unprotected because the active "
+                          "hardening plan excludes loop %u from loop detectors",
+                          k.vars[use].name.c_str(), k.vars[def].name.c_str(), loop.id);
+        } else {
+          d.kind = DiagKind::UncoveredEdge;
+          d.severity = Severity::Warning;
+          d.message = fmt("dataflow edge '%s' -> '%s' in loop %u flows into no detector",
+                          k.vars[use].name.c_str(), k.vars[def].name.c_str(), loop.id);
+        }
         out.push_back(std::move(d));
       }
     }
@@ -457,6 +490,7 @@ const char* diag_kind_name(DiagKind k) noexcept {
     case DiagKind::RangeTighterThanStatic: return "RangeTighterThanStatic";
     case DiagKind::UncoveredVariable: return "UncoveredVariable";
     case DiagKind::UncoveredEdge: return "UncoveredEdge";
+    case DiagKind::ExcludedByPlan: return "ExcludedByPlan";
   }
   return "?";
 }
@@ -472,10 +506,14 @@ int LintReport::count(DiagKind k) const noexcept {
 std::string LintReport::to_string() const {
   std::string out = fmt("%s: %d error(s), %d warning(s), %d remark(s)", kernel.c_str(), errors,
                         warnings, remarks);
-  if (coverage.total_vars != 0 || coverage.total_edges != 0)
+  if (coverage.total_vars != 0 || coverage.total_edges != 0) {
     out += fmt("; detector coverage %d/%d vars (%.1f%%), %d/%d edges (%.1f%%)",
                coverage.covered_vars, coverage.total_vars, coverage.var_pct(),
                coverage.covered_edges, coverage.total_edges, coverage.edge_pct());
+    if (coverage.excluded_vars != 0 || coverage.excluded_edges != 0)
+      out += fmt(" [%d vars, %d edges excluded by plan]", coverage.excluded_vars,
+                 coverage.excluded_edges);
+  }
   out += "\n";
   for (const auto& d : diagnostics) {
     out += fmt("  %s [%s] %s", severity_name(d.severity), diag_kind_name(d.kind),
@@ -493,10 +531,11 @@ std::string LintReport::to_json() const {
   out += fmt("  \"kernel\": \"%s\",\n", json_escape(kernel).c_str());
   out += fmt("  \"errors\": %d,\n  \"warnings\": %d,\n  \"remarks\": %d,\n", errors, warnings,
              remarks);
-  out += fmt("  \"coverage\": {\"total_vars\": %d, \"covered_vars\": %d, \"total_edges\": %d, "
-             "\"covered_edges\": %d},\n",
-             coverage.total_vars, coverage.covered_vars, coverage.total_edges,
-             coverage.covered_edges);
+  out += fmt("  \"coverage\": {\"total_vars\": %d, \"covered_vars\": %d, "
+             "\"excluded_vars\": %d, \"total_edges\": %d, \"covered_edges\": %d, "
+             "\"excluded_edges\": %d},\n",
+             coverage.total_vars, coverage.covered_vars, coverage.excluded_vars,
+             coverage.total_edges, coverage.covered_edges, coverage.excluded_edges);
   out += "  \"diagnostics\": [";
   for (std::size_t i = 0; i < diagnostics.size(); ++i) {
     const auto& d = diagnostics[i];
@@ -543,7 +582,8 @@ LintReport run_lint(const kir::Kernel& kernel, const LintOptions& opt,
   if (opt.check_barriers) check_barriers(ia, prov, rep.diagnostics);
   if (opt.check_overlap) check_overlap(ia, prov, rep.diagnostics);
   check_ranges(ia, opt.observed, rep.diagnostics, rep.detector_ranges);
-  if (opt.check_coverage) check_coverage(kernel, *am, rep.coverage, rep.diagnostics);
+  if (opt.check_coverage)
+    check_coverage(kernel, *am, opt.plan, rep.coverage, rep.diagnostics);
 
   std::stable_sort(rep.diagnostics.begin(), rep.diagnostics.end(),
                    [](const Diagnostic& x, const Diagnostic& y) {

@@ -43,6 +43,10 @@
 #include "kir/bytecode.hpp"
 #include "kir/interval.hpp"
 
+namespace hauberk::core {
+struct HardeningPlan;
+}
+
 namespace hauberk::lint {
 
 enum class Severity : std::uint8_t { Error = 0, Warning = 1, Remark = 2 };
@@ -55,6 +59,10 @@ enum class DiagKind : std::uint8_t {
   RangeTighterThanStatic,
   UncoveredVariable,
   UncoveredEdge,
+  /// The variable/edge is reached by no detector *because the active
+  /// HardeningPlan deliberately excludes it* — a budget decision, not an
+  /// instrumentation gap, so it is a remark rather than a warning.
+  ExcludedByPlan,
 };
 
 [[nodiscard]] const char* severity_name(Severity s) noexcept;
@@ -73,10 +81,13 @@ struct Diagnostic {
   std::uint32_t loop_id = kir::kNoLoop;
 };
 
-/// Fig. 9 coverage of an instrumented kernel.
+/// Fig. 9 coverage of an instrumented kernel.  An excluded variable/edge is
+/// one the active HardeningPlan deliberately left unprotected; it still
+/// counts as uncovered in the percentages (the corruption surface is real)
+/// but is reported as a remark, not a warning.
 struct Coverage {
-  int total_vars = 0, covered_vars = 0;
-  int total_edges = 0, covered_edges = 0;
+  int total_vars = 0, covered_vars = 0, excluded_vars = 0;
+  int total_edges = 0, covered_edges = 0, excluded_edges = 0;
   [[nodiscard]] double var_pct() const noexcept {
     return total_vars == 0 ? 100.0 : 100.0 * covered_vars / total_vars;
   }
@@ -129,6 +140,11 @@ struct LintOptions {
   /// The program lowered from the analyzed kernel; enables pc/site
   /// provenance on diagnostics.  May be null.
   const kir::BytecodeProgram* program = nullptr;
+  /// The HardeningPlan the kernel was instrumented under.  When set, the
+  /// coverage analyzer downgrades UncoveredVariable/UncoveredEdge to
+  /// ExcludedByPlan remarks for variables/loops the plan deliberately
+  /// excludes.  May be null (grade against full Hauberk instrumentation).
+  const core::HardeningPlan* plan = nullptr;
 };
 
 /// Run every enabled analyzer over `kernel`.  Supplying an AnalysisManager

@@ -86,11 +86,20 @@ BuildEval eval_build(const kir::Kernel& kernel, const HardeningPlan& plan,
   // Covered = universe minus the uncovered diagnostics.
   for (const auto& [name, idx] : u.var_index) ev.covered.insert(idx);
   for (const auto& [key, idx] : u.edge_index) ev.covered.insert(idx);
+  // A plan-excluded variable/edge (ExcludedByPlan, remark) is just as
+  // unprotected as an UncoveredVariable/UncoveredEdge warning for grading
+  // purposes — the candidate plan under evaluation is itself the plan doing
+  // the excluding, so exclusions must count against its coverage.  The two
+  // exclusion shapes share a kind and are told apart by var2 (edges have a
+  // use variable, variables do not).
   for (const auto& d : rep.lint.diagnostics) {
-    if (d.kind == lint::DiagKind::UncoveredVariable) {
+    const bool excluded = d.kind == lint::DiagKind::ExcludedByPlan;
+    if (d.kind == lint::DiagKind::UncoveredVariable ||
+        (excluded && d.var2 == kir::kInvalidVar)) {
       const auto it = u.var_index.find(inst.vars[d.var].name);
       if (it != u.var_index.end()) ev.covered.erase(it->second);
-    } else if (d.kind == lint::DiagKind::UncoveredEdge) {
+    } else if (d.kind == lint::DiagKind::UncoveredEdge ||
+               (excluded && d.var2 != kir::kInvalidVar)) {
       const auto it = u.edge_index.find(
           std::make_tuple(d.loop_id, inst.vars[d.var].name, inst.vars[d.var2].name));
       if (it != u.edge_index.end()) ev.covered.erase(it->second);

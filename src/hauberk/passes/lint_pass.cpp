@@ -12,6 +12,9 @@ bool LintPass::run(PassContext& ctx) {
   // same bytecode the launch engine will execute.
   const kir::BytecodeProgram program = kir::lower(ctx.kernel);
   lo.program = &program;
+  // Grade coverage against the active hardening plan: deliberately excluded
+  // variables/loops surface as ExcludedByPlan remarks, not warnings.
+  lo.plan = ctx.opt->plan.get();
   ctx.report->lint = lint::run_lint(ctx.kernel, lo, &ctx.am);
   const auto& rep = ctx.report->lint;
   char buf[160];

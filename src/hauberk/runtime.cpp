@@ -21,10 +21,12 @@ KernelVariants build_variants(const kir::Kernel& source, TranslateOptions opt) {
   v.ft = kir::lower(v.ft_source);
 
   opt.mode = LibMode::FI;
-  v.fi = kir::lower(translate(source, opt, &v.fi_report));
+  v.fi_source = translate(source, opt, &v.fi_report);
+  v.fi = kir::lower(v.fi_source);
 
   opt.mode = LibMode::FIFT;
-  v.fift = kir::lower(translate(source, opt, &v.fift_report));
+  v.fift_source = translate(source, opt, &v.fift_report);
+  v.fift = kir::lower(v.fift_source);
   return v;
 }
 

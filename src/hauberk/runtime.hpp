@@ -19,6 +19,8 @@ namespace hauberk::core {
 struct KernelVariants {
   kir::Kernel source;            ///< original AST (for inspection/printing)
   kir::Kernel ft_source;         ///< instrumented FT AST (translator output)
+  kir::Kernel fi_source;         ///< instrumented FI AST (prune analysis input)
+  kir::Kernel fift_source;       ///< instrumented FI&FT AST (prune analysis input)
   kir::BytecodeProgram baseline;
   kir::BytecodeProgram profiler;
   kir::BytecodeProgram ft;

@@ -12,6 +12,16 @@ const Analysis& AnalysisManager::analysis() {
   return *analysis_;
 }
 
+const DefUseAnalysis& AnalysisManager::def_use() {
+  if (defuse_) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    defuse_.emplace(*kernel_);
+  }
+  return *defuse_;
+}
+
 const LoopDataflow& AnalysisManager::loop_dataflow(std::uint32_t loop_id) {
   auto it = dataflow_.find(loop_id);
   if (it != dataflow_.end()) {
@@ -60,6 +70,7 @@ std::shared_ptr<void> AnalysisManager::external(
 
 void AnalysisManager::invalidate() noexcept {
   analysis_.reset();
+  defuse_.reset();
   dataflow_.clear();
   plans_.clear();
   intervals_.clear();

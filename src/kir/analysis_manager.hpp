@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "kir/analysis.hpp"
+#include "kir/defuse.hpp"
 #include "kir/interval.hpp"
 
 namespace hauberk::kir {
@@ -36,6 +37,10 @@ class AnalysisManager {
 
   /// Whole-kernel facts + loop nest; computed on first use.
   [[nodiscard]] const Analysis& analysis();
+
+  /// Def-use chains, bit-liveness, divergence, and cone signatures; the
+  /// fault-site pruner (hauberk::prune) is the main consumer.
+  [[nodiscard]] const DefUseAnalysis& def_use();
 
   /// Fig. 9 dataflow graph of one loop body.
   [[nodiscard]] const LoopDataflow& loop_dataflow(std::uint32_t loop_id);
@@ -74,6 +79,7 @@ class AnalysisManager {
  private:
   const Kernel* kernel_;
   std::optional<Analysis> analysis_;
+  std::optional<DefUseAnalysis> defuse_;
   std::map<std::uint32_t, LoopDataflow> dataflow_;
   std::map<std::pair<std::uint32_t, int>, LoopProtectionPlan> plans_;
   std::map<std::uint64_t, IntervalAnalysis> intervals_;

@@ -1,0 +1,109 @@
+#pragma once
+// Def-use analysis over a KIR kernel: per-variable def/use chains, a
+// bit-liveness ("observed bits") fixpoint used to prove fault injections
+// statically Benign, thread-divergence taint, lightweight structural
+// dominance facts, and def-use propagation-cone signatures used by the
+// campaign pruner (hauberk::prune) to group equivalent fault sites.
+//
+// All facts are environment-free: they depend only on the kernel AST, never
+// on launch geometry or input data, so they are safe to fold into campaign
+// digests and to serialize into PruningPlans.
+
+#include <cstdint>
+#include <vector>
+
+#include "kir/ast.hpp"
+
+namespace hauberk::kir {
+
+/// Per-variable facts computed by DefUseAnalysis.
+struct VarDefUse {
+  VarId var = 0;
+  /// Number of defining statements (Let/Assign/For-iterator/Scatter target).
+  std::uint32_t defs = 0;
+  /// Number of reading references across the whole kernel.
+  std::uint32_t uses = 0;
+  /// Union of bits of this variable that can reach any observable root
+  /// (store, address, branch condition, detector) through the def-use graph.
+  /// A bit NOT in this mask is killed by downstream masking/shifts before it
+  /// can influence any observable behaviour: flipping it is statically
+  /// Benign.  0 means the variable is a dead destination.
+  std::uint32_t observed_mask = 0;
+  /// Subset of observed_mask reachable from *detector* roots only (DupCheck,
+  /// ChecksumXor/Validate, RangeCheck, EqualCheck, ProfileValue).  This is
+  /// the live mask for late-window injections: a flip after the variable's
+  /// last semantic use can no longer reach stores or branches, but detectors
+  /// that re-read the value at check time (checksum validation, duplicate
+  /// comparison) still see it.  0 in an uninstrumented kernel.
+  std::uint32_t detector_observed_mask = 0;
+  /// Value may differ across threads (seeded by thread builtins and memory
+  /// loads, propagated through data and structured control dependence).
+  bool divergent = false;
+  /// Value (transitively) reaches a branch/loop condition or loop bound.
+  bool feeds_control = false;
+  /// Value (transitively) flows into a memory address computation.
+  bool feeds_address = false;
+  /// Variable's definition reads itself across a loop back edge (e.g. an
+  /// accumulator).  Faults in different dynamic occurrences of such a
+  /// variable are NOT interchangeable.
+  bool loop_carried = false;
+  /// Some read of the variable appears before its first definition in
+  /// program pre-order (use not dominated by a def).
+  bool use_before_def = false;
+  /// Structural hash of the forward def-use propagation cone rooted at this
+  /// variable, with variable/parameter identities and constant values
+  /// erased.  Two variables with equal signatures have isomorphic
+  /// propagation cones (symmetric register lanes, unrolled twins).
+  std::uint64_t cone_sig = 0;
+};
+
+/// Def-use chains + bit-liveness over one kernel.  Construct directly or via
+/// AnalysisManager::def_use() for caching.
+class DefUseAnalysis {
+ public:
+  explicit DefUseAnalysis(const Kernel& kernel);
+
+  [[nodiscard]] const VarDefUse& var(VarId v) const { return vars_.at(v); }
+  [[nodiscard]] const std::vector<VarDefUse>& vars() const { return vars_; }
+
+  /// True when no bit of `v` can reach an observable root: every write to it
+  /// is dead and any fault injected into it is statically Benign.
+  [[nodiscard]] bool dead_destination(VarId v) const {
+    return vars_.at(v).observed_mask == 0;
+  }
+
+  /// Bits of `v` whose corruption can influence observable behaviour.
+  [[nodiscard]] std::uint32_t live_mask(VarId v) const {
+    return vars_.at(v).observed_mask;
+  }
+
+  /// Bits of `v` a detector can still observe after the last semantic use
+  /// (the live mask for dead-window injection sites).
+  [[nodiscard]] std::uint32_t detector_live_mask(VarId v) const {
+    return vars_.at(v).detector_observed_mask;
+  }
+
+  /// True when the value of `v` is provably identical across all threads of
+  /// a launch (never tainted by thread builtins, loads, or divergent
+  /// control).
+  [[nodiscard]] bool thread_uniform(VarId v) const {
+    return !vars_.at(v).divergent;
+  }
+
+  /// True when faults in different dynamic occurrences of `v` are
+  /// interchangeable: the variable is not loop-carried, is not a loop
+  /// iterator, and does not steer control flow.
+  [[nodiscard]] bool occurrence_symmetric(VarId v) const {
+    const VarDefUse& f = vars_.at(v);
+    return !f.loop_carried && !f.feeds_control && !f.use_before_def;
+  }
+
+  /// Number of fixpoint iterations the observed-bits pass needed.
+  [[nodiscard]] int fixpoint_rounds() const { return rounds_; }
+
+ private:
+  std::vector<VarDefUse> vars_;
+  int rounds_ = 0;
+};
+
+}  // namespace hauberk::kir

@@ -44,6 +44,21 @@ void OutcomeCounts::add(Outcome o) noexcept {
   }
 }
 
+void OutcomeCounts::add(Outcome o, std::uint64_t n) noexcept {
+  switch (o) {
+    case Outcome::Failure: failure += n; break;
+    case Outcome::Masked: masked += n; break;
+    case Outcome::DetectedMasked: detected_masked += n; break;
+    case Outcome::Detected: detected += n; break;
+    case Outcome::Undetected: undetected += n; break;
+    case Outcome::NotActivated: not_activated += n; break;
+    case Outcome::RaceDetected: race_detected += n; break;
+    case Outcome::BarrierDivergence: barrier_divergence += n; break;
+    case Outcome::EccCorrected: ecc_corrected += n; break;
+    case Outcome::EccDetectedUncorrectable: ecc_uncorrectable += n; break;
+  }
+}
+
 GoldenRun golden_run(Device& dev, const kir::BytecodeProgram& program, core::KernelJob& job,
                      core::ControlBlock* cb, int launch_workers) {
   const auto args = job.setup(dev);

@@ -93,6 +93,21 @@ struct CampaignConfig {
   /// campaign digest so a checkpoint or result log can never silently pair
   /// with a differently-hardened build.
   std::uint64_t plan_digest = 0;
+  /// Digest of the PruningPlan the trial list was pruned under
+  /// (hauberk::prune::pruning_plan_digest); 0 when the campaign is unpruned.
+  /// Folded into the campaign digest like plan_digest so pruned and full
+  /// campaigns can never silently share checkpoints or result logs.
+  std::uint64_t prune_digest = 0;
+  /// Per-trial population weights from campaign pruning: trial i of the
+  /// (pruned) spec list stands for trial_weights[i] specs of the full
+  /// campaign, and aggregates (OutcomeCounts, site histograms, result-log
+  /// populations) count it that many times.  Empty = every trial weighs 1.
+  std::vector<std::uint32_t> trial_weights;
+
+  /// Weight of trial `i` under trial_weights (1 when unpruned).
+  [[nodiscard]] std::uint64_t trial_weight(std::size_t i) const noexcept {
+    return i < trial_weights.size() && trial_weights[i] != 0 ? trial_weights[i] : 1;
+  }
 
   [[nodiscard]] gpusim::ExecEngine effective_engine() const noexcept {
     return sanitize ? gpusim::ExecEngine::Sanitizer : engine;

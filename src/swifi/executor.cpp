@@ -59,7 +59,8 @@ CampaignResult CampaignExecutor::run_trials(
     }
   });
 
-  for (const Outcome o : result.per_fault) result.counts.add(o);
+  for (std::size_t i = 0; i < result.per_fault.size(); ++i)
+    result.counts.add(result.per_fault[i], cfg.trial_weight(i));
   return result;
 }
 

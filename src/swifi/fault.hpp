@@ -69,6 +69,9 @@ struct OutcomeCounts {
   std::uint64_t ecc_uncorrectable = 0;
 
   void add(Outcome o) noexcept;
+  /// Weighted accumulation: one representative trial standing for `n`
+  /// equivalent fault specs (campaign pruning).
+  void add(Outcome o, std::uint64_t n) noexcept;
   [[nodiscard]] std::uint64_t activated() const noexcept {
     return failure + masked + detected_masked + detected + undetected +
            race_detected + barrier_divergence + ecc_corrected + ecc_uncorrectable;

@@ -1,0 +1,109 @@
+#include "swifi/prune.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace hauberk::swifi {
+
+namespace {
+
+/// Coarse bit stratum of a (live-masked) flip: which architecturally
+/// distinct value regions the surviving bits land in.
+std::uint32_t bit_stratum(std::uint32_t mask, kir::DType type) {
+  std::uint32_t s = 0;
+  if (type == kir::DType::F32) {
+    if (mask & 0x80000000u) s |= 1u;  // sign
+    if (mask & 0x7f800000u) s |= 2u;  // exponent
+    if (mask & 0x007fffffu) s |= 4u;  // mantissa
+  } else {
+    if (mask & 0xffff0000u) s |= 1u;  // high half
+    if (mask & 0x0000ffffu) s |= 2u;  // low half
+  }
+  return s;
+}
+
+}  // namespace
+
+PrunedCampaign prune_specs(const hauberk::prune::PruningPlan& plan,
+                           const std::string& kernel_name,
+                           const kir::BytecodeProgram& program,
+                           const std::vector<FaultSpec>& specs) {
+  const hauberk::prune::KernelPruneFacts* facts = plan.find(kernel_name);
+  if (!facts)
+    throw std::runtime_error("hauberk-prune: plan has no entry for kernel '" +
+                             kernel_name + "'");
+  const std::uint64_t digest = kir::program_digest(program);
+  if (facts->program_digest != digest)
+    throw std::runtime_error(
+        "hauberk-prune: plan for kernel '" + kernel_name +
+        "' was emitted for a different program build (digest mismatch)");
+
+  PrunedCampaign out;
+  out.plan_digest = hauberk::prune::pruning_plan_digest(plan);
+  out.stats.total_specs = specs.size();
+  out.class_of.assign(specs.size(), 0);
+
+  // Class key -> representative position in out.specs.  Keys are exact
+  // tuples, so the partition (and therefore the pruned campaign) is a pure
+  // function of (plan, specs) — no ordering or hashing artifacts.
+  using Key = std::tuple<std::uint64_t, std::uint32_t, std::uint32_t, std::uint32_t>;
+  std::map<Key, std::uint32_t> classes;
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FaultSpec& s = specs[i];
+    const hauberk::prune::SiteFacts* f = facts->find(s.site_id);
+    Key key;
+    bool is_benign = false;
+    if (!f) {
+      // Site unknown to the plan: keep the spec as its own class.
+      ++out.stats.unknown_site_specs;
+      key = Key{0x554eull, s.site_id, static_cast<std::uint32_t>(i), 0};
+    } else {
+      const std::uint32_t live = s.mask & f->live_mask;
+      is_benign = live == 0;
+      if (is_benign) {
+        ++out.stats.benign_specs;
+        if (f->live_mask == 0) ++out.stats.dead_site_specs;
+        // All Benign flips at one site collapse: ground truth is Masked (or
+        // NotActivated) for every one of them.
+        key = Key{0x42ull, s.site_id, 0, 0};
+      } else {
+        const std::uint32_t occ = f->occ_symmetric ? 0 : s.occurrence;
+        // Thread always collapses (see file comment in prune.hpp).
+        key = Key{f->cone_sig, bit_stratum(live, s.type), occ, 0};
+      }
+    }
+    const auto [it, inserted] =
+        classes.emplace(key, static_cast<std::uint32_t>(out.specs.size()));
+    if (inserted) {
+      out.specs.push_back(s);
+      out.weights.push_back(1);
+      out.rep_index.push_back(static_cast<std::uint32_t>(i));
+      out.benign.push_back(is_benign ? 1 : 0);
+      if (is_benign) ++out.stats.benign_classes;
+    } else {
+      ++out.weights[it->second];
+    }
+    out.class_of[i] = it->second;
+  }
+  out.stats.kept_specs = out.specs.size();
+  return out;
+}
+
+std::vector<BenignViolation> cross_check_benign(
+    const hauberk::prune::KernelPruneFacts& facts, const std::vector<FaultSpec>& specs,
+    const std::vector<Outcome>& outcomes) {
+  std::vector<BenignViolation> out;
+  const std::size_t n = specs.size() < outcomes.size() ? specs.size() : outcomes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const hauberk::prune::SiteFacts* f = facts.find(specs[i].site_id);
+    if (!f || !hauberk::prune::statically_benign(*f, specs[i].mask)) continue;
+    const Outcome o = outcomes[i];
+    if (o != Outcome::Masked && o != Outcome::NotActivated)
+      out.push_back({static_cast<std::uint32_t>(i), specs[i], o});
+  }
+  return out;
+}
+
+}  // namespace hauberk::swifi

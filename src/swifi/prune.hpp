@@ -1,0 +1,97 @@
+// Campaign pruning: partition a fault-spec list into static equivalence
+// classes and keep one representative trial per class.
+//
+// hauberk::prune supplies the per-site facts (bit-liveness, propagation-cone
+// signatures, thread uniformity, occurrence symmetry); this layer applies
+// them to the concrete FaultSpecs a campaign planner produced:
+//
+//   * a spec whose mask lands entirely outside the site's live bits is
+//     *statically Benign* — all such specs at one site collapse into a
+//     single class whose ground-truth outcome must be Masked (or
+//     NotActivated), which bench_prune_validation gates exactly;
+//   * other specs class on (cone signature, live-masked bit stratum,
+//     occurrence key): sites with isomorphic propagation cones merge, the
+//     bit stratum separates sign/exponent/mantissa (f32) or hi/lo half
+//     (i32/ptr) flips, and occurrence collapses when the site is
+//     occurrence-symmetric.  Thread ids always collapse — inter-thread
+//     similarity ("Partial Thread Protection", arXiv 2103.02825) makes
+//     same-site same-mask specs across threads statistical replicas, and
+//     the validation harness bounds the residual error.
+//
+// The pruned campaign is an ordinary (smaller) campaign: representatives
+// keep their original relative order, so every determinism contract
+// (worker-count invariance, shard splits, kill/resume) is inherited
+// unchanged, and only aggregation is weighted (CampaignConfig::trial_weights
+// -> OutcomeCounts/site histograms/result-log population counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hauberk/prune.hpp"
+#include "swifi/fault.hpp"
+
+namespace hauberk::swifi {
+
+struct PruneStats {
+  std::uint64_t total_specs = 0;
+  std::uint64_t kept_specs = 0;      ///< class representatives actually run
+  std::uint64_t benign_specs = 0;    ///< specs statically proven Benign
+  std::uint64_t benign_classes = 0;  ///< classes whose members are all Benign
+  std::uint64_t dead_site_specs = 0; ///< Benign via a fully-dead site (live == 0)
+  std::uint64_t unknown_site_specs = 0;  ///< specs at sites the plan lacks (kept 1:1)
+
+  [[nodiscard]] double reduction() const noexcept {
+    return kept_specs == 0 ? 1.0
+                           : static_cast<double>(total_specs) /
+                                 static_cast<double>(kept_specs);
+  }
+};
+
+/// Result of pruning one campaign's spec list.
+struct PrunedCampaign {
+  /// Representative specs, in ascending original index order.
+  std::vector<FaultSpec> specs;
+  /// Population weight of each representative (class size); aligned with
+  /// `specs` and fed to CampaignConfig::trial_weights.
+  std::vector<std::uint32_t> weights;
+  /// Original index (into the full spec list) of each representative.
+  std::vector<std::uint32_t> rep_index;
+  /// For every full-campaign spec, the position of its class representative
+  /// in `specs` (full-vs-pruned outcome comparison).
+  std::vector<std::uint32_t> class_of;
+  /// Per representative: the class is statically proven Benign.
+  std::vector<std::uint8_t> benign;
+  /// pruning_plan_digest of the plan the classes were derived from; wire
+  /// into CampaignConfig::prune_digest.
+  std::uint64_t plan_digest = 0;
+  PruneStats stats;
+};
+
+/// Partition `specs` under the plan's facts for `kernel_name`.  Throws
+/// std::runtime_error when the plan has no entry for the kernel or its
+/// pinned program digest does not match `program` (the plan was emitted for
+/// a different build).  Specs at sites missing from the plan entry are kept
+/// unpruned (weight 1).
+[[nodiscard]] PrunedCampaign prune_specs(const hauberk::prune::PruningPlan& plan,
+                                         const std::string& kernel_name,
+                                         const kir::BytecodeProgram& program,
+                                         const std::vector<FaultSpec>& specs);
+
+/// A statically-Benign spec whose ground-truth outcome was neither Masked
+/// nor NotActivated: the analysis made an unsound claim.
+struct BenignViolation {
+  std::uint32_t spec_index = 0;
+  FaultSpec spec;
+  Outcome outcome = Outcome::Failure;
+};
+
+/// Cross-check static Benign proofs against ground-truth outcomes of a
+/// *full* (unpruned) campaign; any returned entry is an analysis soundness
+/// bug.  `outcomes` is CampaignResult::per_fault aligned with `specs`.
+[[nodiscard]] std::vector<BenignViolation> cross_check_benign(
+    const hauberk::prune::KernelPruneFacts& facts, const std::vector<FaultSpec>& specs,
+    const std::vector<Outcome>& outcomes);
+
+}  // namespace hauberk::swifi

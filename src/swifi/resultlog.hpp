@@ -19,7 +19,10 @@
 //   24      8     total trials in the whole campaign (all shards)
 //   32      8*n   records
 //
-// Each record: u32 trial index, u8 outcome, u8[3] reserved (zero).  Torn
+// Each record: u32 trial index, u8 outcome, u24 little-endian population
+// weight (0 encodes weight 1, so pre-pruning logs — which wrote zeroed
+// reserved bytes there — read back unchanged).  A pruned campaign's
+// representative trial carries its equivalence-class size here.  Torn
 // writes are expected — a killed process may leave a partial trailing
 // record — so the reader reports how many whole records parse and the
 // resume path truncates the file to the byte count its checkpoint vouches
@@ -48,10 +51,28 @@ struct ResultLogHeader {
 struct ResultRecord {
   std::uint32_t trial = 0;
   std::uint8_t outcome = 0;
+  /// u24 LE population weight; 0 encodes 1 (back-compat with v1 logs that
+  /// zeroed these bytes).  See set_weight()/weight().
   std::uint8_t reserved[3] = {0, 0, 0};
 
+  /// Population weight of this trial (equivalence-class size under campaign
+  /// pruning); saturates at 2^24 - 1.
+  void set_weight(std::uint64_t w) noexcept {
+    const std::uint32_t enc =
+        w <= 1 ? 0u : static_cast<std::uint32_t>(w < 0xffffffu ? w : 0xffffffu);
+    reserved[0] = static_cast<std::uint8_t>(enc & 0xffu);
+    reserved[1] = static_cast<std::uint8_t>((enc >> 8) & 0xffu);
+    reserved[2] = static_cast<std::uint8_t>((enc >> 16) & 0xffu);
+  }
+  [[nodiscard]] std::uint64_t weight() const noexcept {
+    const std::uint32_t enc = static_cast<std::uint32_t>(reserved[0]) |
+                              (static_cast<std::uint32_t>(reserved[1]) << 8) |
+                              (static_cast<std::uint32_t>(reserved[2]) << 16);
+    return enc == 0 ? 1 : enc;
+  }
+
   friend bool operator==(const ResultRecord& a, const ResultRecord& b) noexcept {
-    return a.trial == b.trial && a.outcome == b.outcome;
+    return a.trial == b.trial && a.outcome == b.outcome && a.weight() == b.weight();
   }
 };
 static_assert(sizeof(ResultRecord) == 8, "record layout is part of the file format");

@@ -39,7 +39,8 @@ std::uint64_t campaign_digest(const kir::BytecodeProgram& program,
                               const workloads::Requirement& req,
                               std::uint64_t remark_digest,
                               gpusim::ecc::Scheme protection,
-                              std::uint64_t plan_digest) {
+                              std::uint64_t plan_digest,
+                              std::uint64_t prune_digest) {
   std::uint64_t h = kFnvOffset;
   fnv(h, kir::program_digest(program));
   fnv(h, specs.size());
@@ -71,6 +72,11 @@ std::uint64_t campaign_digest(const kir::BytecodeProgram& program,
   if (plan_digest != 0) {
     fnv(h, 0x504Cull);
     fnv(h, plan_digest);
+  }
+  // And for pruning plans: unpruned campaigns keep their historic digests.
+  if (prune_digest != 0) {
+    fnv(h, 0x5052ull);
+    fnv(h, prune_digest);
   }
   return h;
 }
@@ -182,7 +188,7 @@ ServiceResult CampaignService::run(const kir::BytecodeProgram& program,
     remark_digest = core::remark_digest(*cfg_.campaign.pipeline.report);
   const std::uint64_t digest =
       campaign_digest(program, specs, req, remark_digest, cfg_.campaign.protection,
-                      cfg_.campaign.plan_digest);
+                      cfg_.campaign.plan_digest, cfg_.campaign.prune_digest);
 
   ServiceResult result;
   result.pipeline = cfg_.campaign.pipeline.name;
@@ -353,13 +359,15 @@ ServiceResult CampaignService::run(const kir::BytecodeProgram& program,
         const auto o = static_cast<Outcome>(slot.outcome);
         slot.ready.store(0, std::memory_order_relaxed);
         const std::uint64_t trial = I + committed * K;
-        result.counts.add(o);
-        result.site_hist.add(specs[trial].site_id);
-        if (o == Outcome::Undetected) result.sdc_site_hist.add(specs[trial].site_id);
+        const std::uint64_t weight = cfg_.campaign.trial_weight(trial);
+        result.counts.add(o, weight);
+        result.site_hist.add(specs[trial].site_id, weight);
+        if (o == Outcome::Undetected) result.sdc_site_hist.add(specs[trial].site_id, weight);
         if (log.is_open()) {
           ResultRecord rec;
           rec.trial = static_cast<std::uint32_t>(trial);
           rec.outcome = static_cast<std::uint8_t>(o);
+          rec.set_weight(weight);
           log.append(rec);
         }
         ++committed;

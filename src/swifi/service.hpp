@@ -60,14 +60,20 @@ namespace hauberk::swifi {
 /// valid.  A selective-hardening plan is identity the same way: a nonzero
 /// `plan_digest` (core::plan_digest of the plan the injected program was
 /// built under) is folded in, while the trivial-plan digest 0 contributes
-/// nothing, keeping plan-free campaign digests bitwise stable.
+/// nothing, keeping plan-free campaign digests bitwise stable.  A campaign
+/// pruned under a PruningPlan folds `prune_digest`
+/// (hauberk::prune::pruning_plan_digest) the same way — note the pruned
+/// spec list *already* differs from the full campaign's, but the digest
+/// additionally separates "these specs happen to coincide" from "these
+/// specs were chosen as class representatives with population weights".
 [[nodiscard]] std::uint64_t campaign_digest(const kir::BytecodeProgram& program,
                                             const std::vector<FaultSpec>& specs,
                                             const workloads::Requirement& req,
                                             std::uint64_t remark_digest,
                                             gpusim::ecc::Scheme protection =
                                                 gpusim::ecc::Scheme::None,
-                                            std::uint64_t plan_digest = 0);
+                                            std::uint64_t plan_digest = 0,
+                                            std::uint64_t prune_digest = 0);
 
 /// The on-disk campaign checkpoint (magic "HBKC", version
 /// kCampaignCheckpointVersion).  Everything needed to resume shard I of K

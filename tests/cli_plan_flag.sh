@@ -1,0 +1,43 @@
+#!/bin/sh
+# CLI contract for the shared --plan flag (common::parse_campaign_flags):
+# every campaign harness — fault_campaign, bench_fig14_coverage,
+# bench_ecc_study — accepts kirtune --emit-plan output through the same
+# handling, and rejects a garbage plan file with exit 2 (a flag error, not a
+# crash).  Run as: cli_plan_flag.sh BUILD_DIR
+set -eu
+BUILD=${1:?usage: cli_plan_flag.sh BUILD_DIR}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# A real plan out of the budgeted optimizer.
+"$BUILD/tools/kirtune" --program=CP --scale=tiny --emit-plan="$TMP/plan.sexp" \
+    --quiet >/dev/null
+
+# Every harness must accept it.
+"$BUILD/examples/fault_campaign" --program=CP --scale=tiny --vars=4 --masks=2 \
+    --protected --plan="$TMP/plan.sexp" >/dev/null
+"$BUILD/bench/bench_fig14_coverage" --scale=tiny --vars=4 --masks=2 --bits=1 \
+    --plan="$TMP/plan.sexp" >/dev/null
+"$BUILD/bench/bench_ecc_study" --scale=tiny --trials=4 \
+    --plan="$TMP/plan.sexp" >/dev/null
+
+# Every harness must reject garbage (and a missing file) with exit 2.
+echo "(not a plan" > "$TMP/bad.sexp"
+for cmd in \
+    "examples/fault_campaign --program=CP --scale=tiny --vars=4 --masks=2" \
+    "bench/bench_fig14_coverage --scale=tiny --vars=4 --masks=2 --bits=1" \
+    "bench/bench_ecc_study --scale=tiny --trials=4"; do
+  for bad in "$TMP/bad.sexp" "$TMP/does_not_exist.sexp"; do
+    set +e
+    # shellcheck disable=SC2086  # word-splitting of $cmd is intentional
+    "$BUILD/$(echo $cmd | cut -d' ' -f1)" $(echo $cmd | cut -d' ' -f2-) \
+        --plan="$bad" >/dev/null 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" -ne 2 ]; then
+      echo "FAIL: '$cmd --plan=$bad' exited $rc (want 2)"
+      exit 1
+    fi
+  done
+done
+echo "OK: --plan handling is uniform across campaign harnesses"

@@ -25,6 +25,7 @@
 #include "common/worker_pool.hpp"
 #include "gpusim/device.hpp"
 #include "hauberk/lint.hpp"
+#include "hauberk/plan.hpp"
 #include "hauberk/runtime.hpp"
 #include "hauberk/translator.hpp"
 #include "kir/builder.hpp"
@@ -133,6 +134,115 @@ TEST(Interval, WhileLoopWideningConverges) {
   EXPECT_FALSE(v.is_empty());
   EXPECT_EQ(v.lo, 0.0);
   EXPECT_GE(v.hi, 1000000.0);
+}
+
+TEST(Interval, TripleNestedLoopWideningConverges) {
+  // Widening at 3-deep nested loop heads: an accumulator fed from all three
+  // levels must escape to the type top in finitely many rounds (the
+  // constructor returning at all is the termination claim), while the
+  // constant-bound iterator refinements survive the widening unharmed.
+  KernelBuilder kb("deep");
+  auto out = kb.param_ptr("out");
+  auto n = kb.param_i32("n");  // unbounded: forces widening on the accumulator
+  auto acc = kb.let("acc", i32c(0));
+  kir::VarId i_id = kir::kInvalidVar, j_id = kir::kInvalidVar, k_id = kir::kInvalidVar;
+  kb.for_loop("i", i32c(0), i32c(4), [&](kir::ExprH i) {
+    i_id = i.var_id();
+    kb.for_loop("j", i32c(0), i32c(4), [&](kir::ExprH j) {
+      j_id = j.var_id();
+      kb.for_loop("k", i32c(0), n, [&](kir::ExprH kv) {
+        k_id = kv.var_id();
+        kb.assign(acc, acc + i + j + kv);
+      });
+    });
+  });
+  kb.store(out, acc);
+  const auto k = kb.build();
+
+  kir::IntervalAnalysis ia(k, kir::IntervalEnv{});
+  // The growing accumulator widens to the i32 top at the deepest head.
+  const auto a = ia.var_value(acc.var_id());
+  ASSERT_FALSE(a.is_empty());
+  EXPECT_LE(a.lo, 0.0);
+  EXPECT_EQ(a.hi, 2147483647.0);
+  // Constant-bound iterators keep sound (and still useful) bounds: every
+  // summary must contain the concrete iteration space [0, 3].
+  for (const kir::VarId v : {i_id, j_id}) {
+    ASSERT_NE(v, kir::kInvalidVar);
+    const auto it = ia.var_value(v);
+    ASSERT_FALSE(it.is_empty());
+    EXPECT_TRUE(it.contains(ValInterval::range(0, 3))) << it.to_string();
+    EXPECT_EQ(it.lo, 0.0) << "widening must not lose the loop-init bound";
+  }
+  // The unbounded innermost iterator still knows its lower bound.
+  const auto kit = ia.var_value(k_id);
+  ASSERT_FALSE(kit.is_empty());
+  EXPECT_EQ(kit.lo, 0.0);
+
+  // Determinism at depth 3: a second run reproduces every summary.
+  kir::IntervalAnalysis again(k, kir::IntervalEnv{});
+  EXPECT_EQ(ia.var_values().size(), again.var_values().size());
+  for (std::size_t v = 0; v < ia.var_values().size(); ++v)
+    EXPECT_EQ(ia.var_values()[v], again.var_values()[v]) << "var " << v;
+}
+
+TEST(StaticRanges, SubstitutionComposesWithPartialPlan) {
+  // TranslateOptions::substitute_static_ranges composed with a partial
+  // HardeningPlan: static ranges are substituted only into the detectors the
+  // plan actually placed.  Turning loop detectors off for the kernel removes
+  // its RangeCheck detectors, so apply_static_ranges configures fewer (none);
+  // a plan naming some other kernel changes nothing.
+  // TPACF: both its detector values have *finite* static intervals under a
+  // concrete launch env, which is what makes the ranges usable at all
+  // (accumulator-style detectors such as CP's widen to +-inf and are skipped).
+  std::unique_ptr<workloads::Workload> w;
+  for (auto& cand : workloads::hpc_suite())
+    if (cand->name() == "TPACF") w = std::move(cand);
+  ASSERT_NE(w, nullptr);
+  const auto kernel = w->build_kernel(workloads::Scale::Tiny);
+
+  // Static ranges are only finite (usable) under a concrete launch env, so
+  // derive one from a real Tiny dataset exactly as kirlint does.
+  gpusim::Device dev{gpusim::DeviceProps{}};
+  const auto ds = w->make_dataset(1, workloads::Scale::Tiny);
+  auto job = w->make_job(ds);
+  const auto argv = job->setup(dev);
+
+  core::TranslateOptions base;
+  base.lint = true;  // lands the LintReport (detector_ranges) in ft_report
+  base.lint_env = lint::env_for(job->config(), argv, dev.props());
+  const auto vfull = core::build_variants(kernel, base);
+  core::ControlBlock cb_full(vfull.ft);
+  const int nfull = core::apply_static_ranges(cb_full, vfull.ft_report.lint);
+  ASSERT_GT(nfull, 0) << "TPACF's detectors publish finite static ranges";
+
+  core::TranslateOptions planned = base;
+  {
+    auto plan = std::make_shared<core::HardeningPlan>();
+    core::KernelPlan kp;
+    kp.kernel = kernel.name;
+    kp.loops = core::Tri::Off;  // partial: keep nonloop checksums only
+    plan->kernels.push_back(kp);
+    planned.plan = plan;
+  }
+  const auto vplan = core::build_variants(kernel, planned);
+  core::ControlBlock cb_plan(vplan.ft);
+  const int nplan = core::apply_static_ranges(cb_plan, vplan.ft_report.lint);
+  EXPECT_LT(nplan, nfull) << "plan-excluded loop detectors must not be configured";
+
+  core::TranslateOptions other = base;
+  {
+    auto plan = std::make_shared<core::HardeningPlan>();
+    core::KernelPlan kp;
+    kp.kernel = "not-this-kernel";
+    kp.loops = core::Tri::Off;
+    plan->kernels.push_back(kp);
+    other.plan = plan;
+  }
+  const auto vother = core::build_variants(kernel, other);
+  core::ControlBlock cb_other(vother.ft);
+  EXPECT_EQ(core::apply_static_ranges(cb_other, vother.ft_report.lint), nfull)
+      << "a plan for another kernel must not change the substitution";
 }
 
 // ---------------------------------------------------------------------------
@@ -332,6 +442,69 @@ TEST(LintDiag, CoverageNegativeFullyCovered) {
   EXPECT_EQ(rep.coverage.covered_vars, rep.coverage.total_vars);
   EXPECT_DOUBLE_EQ(rep.coverage.var_pct(), 100.0);
   EXPECT_DOUBLE_EQ(rep.coverage.edge_pct(), 100.0);
+}
+
+TEST(LintDiag, PlanExclusionsDowngradeToRemarks) {
+  // A plan that deliberately leaves `t`/`u` and the loop unprotected turns
+  // every Uncovered* warning into an ExcludedByPlan remark: the corruption
+  // surface is unchanged (coverage percentages identical), only the blame
+  // moves from "instrumentation gap" to "budget decision".
+  core::HardeningPlan plan;
+  core::KernelPlan kp;
+  kp.kernel = "coverage";
+  kp.var_actions = {{"t", false}, {"u", false}};
+  kp.loop_actions = {{0u, false}};
+  plan.kernels.push_back(kp);
+
+  const auto k = coverage_kernel(/*also_cover_u=*/false);
+  lint::LintOptions lo;
+  lo.env.block_x = 8;
+  lo.plan = &plan;
+  const auto rep = lint::run_lint(k, lo);
+
+  EXPECT_EQ(rep.count(DiagKind::UncoveredVariable), 0) << rep.to_string();
+  EXPECT_EQ(rep.count(DiagKind::UncoveredEdge), 0) << rep.to_string();
+  ASSERT_TRUE(rep.has(DiagKind::ExcludedByPlan)) << rep.to_string();
+  EXPECT_EQ(find_diag(rep, DiagKind::ExcludedByPlan)->severity, lint::Severity::Remark);
+  EXPECT_GT(rep.coverage.excluded_vars, 0);
+  EXPECT_GT(rep.coverage.excluded_edges, 0);
+  // Excluded still counts as uncovered: the percentages match the plan-free
+  // report exactly.
+  const auto bare = lint_block(k, 8);
+  EXPECT_EQ(rep.coverage.covered_vars, bare.coverage.covered_vars);
+  EXPECT_EQ(rep.coverage.covered_edges, bare.coverage.covered_edges);
+  EXPECT_EQ(rep.coverage.total_vars, bare.coverage.total_vars);
+  EXPECT_EQ(rep.coverage.total_edges, bare.coverage.total_edges);
+}
+
+TEST(LintDiag, PlanForOtherKernelOrTrivialPlanKeepsWarnings) {
+  const auto k = coverage_kernel(/*also_cover_u=*/false);
+
+  // A plan that matches a different kernel leaves the grading untouched.
+  core::HardeningPlan other;
+  core::KernelPlan okp;
+  okp.kernel = "somebody-else";
+  okp.var_actions = {{"t", false}};
+  other.kernels.push_back(okp);
+  lint::LintOptions lo;
+  lo.env.block_x = 8;
+  lo.plan = &other;
+  auto rep = lint::run_lint(k, lo);
+  EXPECT_TRUE(rep.has(DiagKind::UncoveredVariable)) << rep.to_string();
+  EXPECT_TRUE(rep.has(DiagKind::UncoveredEdge)) << rep.to_string();
+  EXPECT_EQ(rep.count(DiagKind::ExcludedByPlan), 0) << rep.to_string();
+
+  // A trivial matching entry (no decisions) excludes nothing either: every
+  // variable/loop is allowed by an empty denylist.
+  core::HardeningPlan trivial;
+  core::KernelPlan tkp;
+  tkp.kernel = "coverage";
+  trivial.kernels.push_back(tkp);
+  lo.plan = &trivial;
+  rep = lint::run_lint(k, lo);
+  EXPECT_TRUE(rep.has(DiagKind::UncoveredVariable)) << rep.to_string();
+  EXPECT_TRUE(rep.has(DiagKind::UncoveredEdge)) << rep.to_string();
+  EXPECT_EQ(rep.count(DiagKind::ExcludedByPlan), 0) << rep.to_string();
 }
 
 TEST(LintDiag, CoverageSkippedWithoutDetectors) {

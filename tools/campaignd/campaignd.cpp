@@ -25,6 +25,12 @@
 //                                         instrumented variants; its digest is
 //                                         folded into the campaign digest, so
 //                                         checkpoints/logs bind to the plan
+//                 [--prune=FILE]          static pruning plan (kirprune
+//                                         --emit-plan output): run one trial
+//                                         per fault-site equivalence class,
+//                                         weight aggregates and result-log
+//                                         populations by class size; the
+//                                         plan digest binds checkpoints/logs
 //                 [--crash-after=N]       testing: simulate SIGKILL (exit 42,
 //                                         no cleanup) right after the N-th
 //                                         periodic checkpoint of this process
@@ -39,7 +45,9 @@
 #include "common/cli.hpp"
 #include "hauberk/checkpoint.hpp"
 #include "hauberk/plan.hpp"
+#include "hauberk/prune.hpp"
 #include "hauberk/runtime.hpp"
+#include "swifi/prune.hpp"
 #include "swifi/service.hpp"
 #include "workloads/workload.hpp"
 
@@ -65,7 +73,8 @@ int main(int argc, char** argv) {
   for (const auto& f : args.unknown_flags(
            {"program", "bits", "vars", "masks", "protected", "scale", "seed", "workers",
             "sanitize", "sanitize-cap", "engine", "protection", "shards", "checkpoint",
-            "checkpoint-every", "resume", "resultlog", "plan", "crash-after", "quiet"})) {
+            "checkpoint-every", "resume", "resultlog", "plan", "prune", "crash-after",
+            "quiet"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
     return 2;
   }
@@ -120,7 +129,21 @@ int main(int argc, char** argv) {
 
   const auto& prog = use_ft ? v.fift : v.fi;
   const auto& prog_report = use_ft ? v.fift_report : v.fi_report;
-  const auto specs = swifi::plan_faults(prog, profile, opt);
+  auto specs = swifi::plan_faults(prog, profile, opt);
+
+  swifi::PrunedCampaign pruned;
+  bool use_prune = false;
+  if (!flags.prune.empty()) {
+    try {
+      const auto pplan = prune::load_pruning_plan(flags.prune);
+      pruned = swifi::prune_specs(pplan, w->name(), prog, specs);
+      specs = pruned.specs;
+      use_prune = true;
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: --prune: %s\n", ex.what());
+      return 2;
+    }
+  }
 
   swifi::ServiceConfig scfg;
   scfg.campaign.engine = static_cast<gpusim::ExecEngine>(flags.engine);
@@ -129,6 +152,10 @@ int main(int argc, char** argv) {
   scfg.campaign.protection = props.protection;
   scfg.campaign.pipeline = swifi::PipelineSpec::from_report(prog_report);
   if (topt.plan) scfg.campaign.plan_digest = core::plan_digest(*topt.plan);
+  if (use_prune) {
+    scfg.campaign.prune_digest = pruned.plan_digest;
+    scfg.campaign.trial_weights = pruned.weights;
+  }
   scfg.workers = flags.workers;
   scfg.shards = static_cast<std::uint32_t>(flags.shards);
   scfg.shard_index = static_cast<std::uint32_t>(flags.shard_index);
@@ -148,10 +175,16 @@ int main(int argc, char** argv) {
     };
   }
 
-  if (!quiet)
+  if (!quiet) {
     std::printf("campaignd: %s %s, %zu trials total, shard %d/%d, %llu per checkpoint\n",
                 name.c_str(), use_ft ? "(FI&FT)" : "(FI)", specs.size(), flags.shard_index,
                 flags.shards, static_cast<unsigned long long>(flags.checkpoint_every));
+    if (use_prune)
+      std::printf("campaignd: pruned %llu specs -> %llu representatives (%.1fx)\n",
+                  static_cast<unsigned long long>(pruned.stats.total_specs),
+                  static_cast<unsigned long long>(pruned.stats.kept_specs),
+                  pruned.stats.reduction());
+  }
 
   swifi::CampaignService service(scfg);
   swifi::ServiceResult res;

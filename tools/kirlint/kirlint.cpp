@@ -11,8 +11,12 @@
 //
 // Usage:
 //   kirlint [--program=CP|all] [--scale=tiny|small] [--mode=ft] [--maxvar=N]
-//           [--naive] [--datasets=N] [--seed=S] [--json-dir=DIR] [--Werror]
-//           [--quiet]
+//           [--naive] [--plan=FILE] [--datasets=N] [--seed=S] [--json-dir=DIR]
+//           [--Werror] [--quiet]
+//
+// --plan=FILE instruments under the given HardeningPlan (kirtune --emit-plan
+// output) and makes the coverage analyzer report plan-excluded variables and
+// loop edges as ExcludedByPlan remarks instead of Uncovered* warnings.
 //
 // Exit status: 1 when any report contains an error-severity diagnostic
 // (warnings too under --Werror), 2 on usage errors; 0 otherwise.
@@ -25,6 +29,7 @@
 
 #include "common/cli.hpp"
 #include "hauberk/lint.hpp"
+#include "hauberk/plan.hpp"
 #include "hauberk/runtime.hpp"
 #include "hauberk/translator.hpp"
 #include "workloads/workload.hpp"
@@ -70,7 +75,8 @@ void join_env(kir::IntervalEnv& into, const kir::IntervalEnv& from) {
     into.params[i] = kir::join(into.params[i], from.params[i]);
 }
 
-int lint_one(const Entry& e, const common::CliArgs& args, int& reports_with_errors,
+int lint_one(const Entry& e, const common::CliArgs& args,
+             const std::shared_ptr<core::HardeningPlan>& plan, int& reports_with_errors,
              int& reports_with_warnings) {
   const auto scale = args.get("scale", "tiny") == "small" ? workloads::Scale::Small
                                                           : workloads::Scale::Tiny;
@@ -78,6 +84,7 @@ int lint_one(const Entry& e, const common::CliArgs& args, int& reports_with_erro
   opt.mode = mode_from(args.get("mode", "ft"));
   opt.maxvar = static_cast<int>(args.get_int("maxvar", 1));
   opt.naive_duplication = args.has("naive");
+  opt.plan = plan;  // instrument exactly what the plan selects
 
   const auto kernel = e.w->build_kernel(scale);
   const kir::Kernel instrumented =
@@ -93,6 +100,7 @@ int lint_one(const Entry& e, const common::CliArgs& args, int& reports_with_erro
   const auto seed0 = args.get_u64("seed", 1);
   lint::LintOptions lo;
   lo.program = &program;
+  lo.plan = plan.get();  // grade coverage against the plan's decisions
   bool have_env = false;
   std::vector<std::unique_ptr<core::KernelJob>> jobs;
   std::vector<core::KernelJob*> job_ptrs;
@@ -157,8 +165,9 @@ int lint_one(const Entry& e, const common::CliArgs& args, int& reports_with_erro
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  for (const auto& f : args.unknown_flags({"program", "scale", "mode", "maxvar", "naive",
-                                           "datasets", "seed", "json-dir", "Werror", "quiet"})) {
+  for (const auto& f :
+       args.unknown_flags({"program", "scale", "mode", "maxvar", "naive", "plan",
+                           "datasets", "seed", "json-dir", "Werror", "quiet"})) {
     std::fprintf(stderr, "kirlint: unknown flag --%s\n", f.c_str());
     return 2;
   }
@@ -169,9 +178,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::shared_ptr<core::HardeningPlan> plan;
+  if (args.has("plan")) {
+    try {
+      plan = std::make_shared<core::HardeningPlan>(core::load_plan(args.get("plan")));
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "kirlint: --plan: %s\n", ex.what());
+      return 2;
+    }
+  }
+
   int with_errors = 0, with_warnings = 0;
   for (const auto& e : entries) {
-    const int rc = lint_one(e, args, with_errors, with_warnings);
+    const int rc = lint_one(e, args, plan, with_errors, with_warnings);
     if (rc != 0) return rc;
   }
   if (!args.ok()) {

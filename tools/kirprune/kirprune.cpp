@@ -1,0 +1,158 @@
+// kirprune — static fault-site equivalence analysis and pruning planner.
+//
+// For each selected benchmark program: build the instrumented variants, run
+// kir::DefUseAnalysis over the injected kernel (FI, or FI&FT under
+// --protected), derive per-site pruning facts (bit-liveness masks,
+// propagation-cone signatures, thread uniformity, occurrence symmetry), and
+// emit them as a hauberk-prune s-expression for fault_campaign / campaignd /
+// bench --prune=FILE.  With --stats, additionally plan the default SWIFI
+// campaign and report how the facts partition it: classes, statically-Benign
+// specs, and the trial reduction factor.
+//
+// Usage:
+//   kirprune [--program=CP|all] [--protected] [--scale=tiny|small] [--seed=S]
+//            [--vars=N] [--masks=N] [--bits=N]
+//            [--emit-plan=FILE] [--stats] [--quiet]
+//
+// A plan entry pins the exact bytecode program digest it was computed for,
+// so a plan emitted with --protected only applies to --protected campaigns
+// (and vice versa).  Exit status: 2 on usage errors, 1 when any program's
+// analysis fails, 0 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "hauberk/prune.hpp"
+#include "hauberk/runtime.hpp"
+#include "swifi/campaign.hpp"
+#include "swifi/prune.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hauberk;
+
+namespace {
+
+struct Entry {
+  std::unique_ptr<workloads::Workload> w;
+  bool cpu = false;  ///< runs on a PagedCpu device
+};
+
+std::vector<Entry> selected(const std::string& program) {
+  std::vector<Entry> out;
+  for (auto& w : workloads::hpc_suite()) out.push_back({std::move(w), false});
+  for (auto& w : workloads::graphics_suite()) out.push_back({std::move(w), false});
+  for (auto& w : workloads::cpu_suite()) out.push_back({std::move(w), true});
+  out.push_back({workloads::make_cpu_matmul(), true});  // not in cpu_suite
+  if (program.empty() || program == "all") return out;
+  std::vector<Entry> one;
+  for (auto& e : out)
+    if (e.w->name() == program) one.push_back(std::move(e));
+  return one;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  for (const auto& f : args.unknown_flags({"program", "protected", "scale", "seed", "vars",
+                                           "masks", "bits", "emit-plan", "stats",
+                                           "quiet"})) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", f.c_str());
+    return 2;
+  }
+  const std::string program = args.get("program", "all");
+  const bool use_ft = args.has("protected");
+  const bool stats = args.has("stats");
+  const bool quiet = args.has("quiet");
+  const std::string emit = args.get("emit-plan");
+  const auto scale = args.get("scale", "tiny") == "small" ? workloads::Scale::Small
+                                                          : workloads::Scale::Tiny;
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  if (!args.ok()) {
+    for (const auto& e : args.errors()) std::fprintf(stderr, "error: %s\n", e.c_str());
+    return 2;
+  }
+
+  auto entries = selected(program);
+  if (entries.empty()) {
+    std::fprintf(stderr, "error: unknown program '%s'\n", program.c_str());
+    return 2;
+  }
+
+  prune::PruningPlan plan;
+  bool failed = false;
+  for (const Entry& e : entries) {
+    try {
+      const auto v = core::build_variants(e.w->build_kernel(scale));
+      const auto& prog = use_ft ? v.fift : v.fi;
+      const auto& src = use_ft ? v.fift_source : v.fi_source;
+      auto facts = prune::build_kernel_prune_facts(src, prog);
+      // Key the entry by the benchmark program name: that is what every
+      // campaign harness selects by (--program=CP), and the pinned program
+      // digest already identifies the exact kernel build.
+      facts.kernel = e.w->name();
+
+      std::uint64_t dead = 0, partial = 0;
+      for (const auto& s : facts.sites) {
+        if (s.live_mask == 0) ++dead;
+        else if (s.live_mask != 0xffffffffu) ++partial;
+      }
+      if (!quiet)
+        std::printf("== %s (%s) ==\n  %zu sites: %llu dead, %llu partially live\n",
+                    e.w->name().c_str(), use_ft ? "FI&FT" : "FI", facts.sites.size(),
+                    static_cast<unsigned long long>(dead),
+                    static_cast<unsigned long long>(partial));
+
+      if (stats) {
+        gpusim::DeviceProps props;
+        if (e.cpu) {
+          props.memory_model = gpusim::MemoryModel::PagedCpu;
+          props.num_sms = 1;
+        }
+        gpusim::Device dev(props);
+        const auto ds = e.w->make_dataset(seed, scale);
+        auto job = e.w->make_job(ds);
+        const auto profile = core::profile(dev, v, {job.get()});
+        swifi::PlanOptions popt;
+        popt.max_vars = static_cast<int>(args.get_int("vars", 20));
+        popt.masks_per_var = static_cast<int>(args.get_int("masks", 10));
+        popt.error_bits = static_cast<int>(args.get_int("bits", 1));
+        popt.seed = seed + 99;
+        const auto specs = swifi::plan_faults(prog, profile, popt);
+        prune::PruningPlan one;
+        one.kernels.push_back(facts);
+        const auto pruned = swifi::prune_specs(one, e.w->name(), prog, specs);
+        std::printf("  campaign: %llu specs -> %llu classes (%.2fx); %llu benign specs "
+                    "in %llu classes, %llu at dead sites, %llu unknown-site\n",
+                    static_cast<unsigned long long>(pruned.stats.total_specs),
+                    static_cast<unsigned long long>(pruned.stats.kept_specs),
+                    pruned.stats.reduction(),
+                    static_cast<unsigned long long>(pruned.stats.benign_specs),
+                    static_cast<unsigned long long>(pruned.stats.benign_classes),
+                    static_cast<unsigned long long>(pruned.stats.dead_site_specs),
+                    static_cast<unsigned long long>(pruned.stats.unknown_site_specs));
+      }
+      plan.kernels.push_back(std::move(facts));
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "kirprune: %s: %s\n", e.w->name().c_str(), ex.what());
+      failed = true;
+    }
+  }
+
+  if (!emit.empty() && !plan.kernels.empty()) {
+    std::ofstream out(emit);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", emit.c_str());
+      return 1;
+    }
+    out << prune::serialize_pruning_plan(plan);
+    if (!quiet)
+      std::printf("wrote %s (%zu kernel(s), digest %016llx)\n", emit.c_str(),
+                  plan.kernels.size(),
+                  static_cast<unsigned long long>(prune::pruning_plan_digest(plan)));
+  }
+  return failed ? 1 : 0;
+}

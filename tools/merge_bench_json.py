@@ -3,30 +3,54 @@
 
 Usage: merge_bench_json.py interp.json campaign.json [...] > BENCH_engines.json
 
-Each input is the --json output of bench_interp_throughput or
-bench_campaign_throughput; the merged document maps each bench's "bench" name
-to its full payload so the per-PR artifact carries every engine row and the
-headline speedups in one file.  Inputs that are missing or malformed are
-skipped with a warning instead of failing the merge — a perf artifact should
-never be the reason CI goes red.
+Each input is the --json output of one bench binary (bench_interp_throughput,
+bench_campaign_throughput, ...).  The merged document maps each bench's
+"bench" name to its full payload so the per-PR artifact carries every engine
+row and the headline speedups in one file.
+
+The merge validates its inputs and fails loudly instead of papering over
+problems: a bench that silently dropped out of the artifact looks exactly
+like a bench that never regressed.  Every input must parse as a JSON object
+whose "bench" key is a non-empty string, and no two inputs may claim the
+same bench name — a duplicate means the CI recipe merged the same file twice
+or two benches collide on a name, and either way the artifact would silently
+keep only one of them.  Any violation prints the offending path and exits
+nonzero without emitting a document.
 """
 import json
 import sys
 
 
+def fail(msg):
+    print(f"merge_bench_json: error: {msg}", file=sys.stderr)
+    return 1
+
+
 def main(argv):
+    if len(argv) < 2:
+        return fail("no input files (usage: merge_bench_json.py a.json b.json ...)")
     merged = {}
+    sources = {}  # bench name -> path that contributed it
     for path in argv[1:]:
         try:
             with open(path) as f:
                 doc = json.load(f)
-        except (OSError, ValueError) as e:
-            print(f"merge_bench_json: skipping {path}: {e}", file=sys.stderr)
-            continue
-        merged[doc.get("bench", path)] = doc
+        except OSError as e:
+            return fail(f"cannot read {path}: {e}")
+        except ValueError as e:
+            return fail(f"{path} is not valid JSON: {e}")
+        if not isinstance(doc, dict):
+            return fail(f"{path}: top level must be a JSON object, got {type(doc).__name__}")
+        bench = doc.get("bench")
+        if not isinstance(bench, str) or not bench:
+            return fail(f'{path}: missing or empty "bench" key (not a bench --json output?)')
+        if bench in sources:
+            return fail(f'duplicate bench "{bench}": {sources[bench]} and {path}')
+        sources[bench] = path
+        merged[bench] = doc
     json.dump(merged, sys.stdout, indent=2)
     print()
-    return 0 if merged else 1
+    return 0
 
 
 if __name__ == "__main__":
